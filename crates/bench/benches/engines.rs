@@ -1,0 +1,126 @@
+//! Criterion benches of the three query algorithms at the headline
+//! configurations of Figures 5–7: one representative point per figure so
+//! `cargo bench` tracks regressions in each curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simquery::engine::{join, mtindex, seqscan, stindex};
+use simquery::prelude::*;
+use std::hint::black_box;
+
+const N: usize = 128;
+
+fn fig5_point(c: &mut Criterion) {
+    // Fig. 5 at 2000 synthetic sequences, |T| = 16.
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 2000, N, 50);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
+    let family = Family::moving_averages(10..=25, N);
+    let spec = RangeSpec::correlation(0.96);
+    let query = corpus.series()[123].clone();
+
+    let mut group = c.benchmark_group("fig5_range_query_2000seqs_16T");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("seqscan"), |b| {
+        b.iter(|| {
+            index.reset_counters();
+            black_box(seqscan::range_query(&index, &query, &family, &spec).unwrap())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("stindex"), |b| {
+        b.iter(|| {
+            index.reset_counters();
+            black_box(stindex::range_query(&index, &query, &family, &spec).unwrap())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("mtindex"), |b| {
+        b.iter(|| {
+            index.reset_counters();
+            black_box(mtindex::range_query(&index, &query, &family, &spec).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn fig6_point(c: &mut Criterion) {
+    // Fig. 6 at |T| = 30 on the 1068-stock corpus.
+    let corpus = Corpus::generate(CorpusKind::StockCloses, 1068, N, 60);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
+    let family = Family::moving_averages(5..=34, N);
+    let spec = RangeSpec::correlation(0.96);
+    let query = corpus.series()[500].clone();
+
+    let mut group = c.benchmark_group("fig6_range_query_1068stocks_30T");
+    group.sample_size(10);
+    for (name, run) in [
+        ("seqscan", seqscan::range_query as fn(_, _, _, _) -> _),
+        ("stindex", stindex::range_query),
+        ("mtindex", mtindex::range_query),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                index.reset_counters();
+                black_box(run(&index, &query, &family, &spec).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig7_point(c: &mut Criterion) {
+    // Fig. 7's join at |T| = 10 on a smaller corpus (joins are quadratic).
+    let corpus = Corpus::generate(CorpusKind::StockCloses, 300, N, 70);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
+    let family = Family::moving_averages(5..=14, N);
+    let spec = RangeSpec::correlation(0.99);
+
+    let mut group = c.benchmark_group("fig7_self_join_300stocks_10T");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("scan_join"), |b| {
+        b.iter(|| {
+            index.reset_counters();
+            black_box(join::scan_join(&index, &family, &spec).unwrap())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("st_join"), |b| {
+        b.iter(|| {
+            index.reset_counters();
+            black_box(join::st_join(&index, &family, &spec).unwrap())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("mt_join"), |b| {
+        b.iter(|| {
+            index.reset_counters();
+            black_box(join::mt_join(&index, &family, &spec).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn filter_policies(c: &mut Criterion) {
+    // Pruning power vs cost of the three angle-dimension policies on the
+    // ± (two-cluster) family, where they differ most.
+    use simquery::query::FilterPolicy;
+    let corpus = Corpus::generate(CorpusKind::StockCloses, 1068, N, 90);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
+    let family = Family::moving_averages(6..=29, N).with_inverted();
+    let query = corpus.series()[321].clone();
+
+    let mut group = c.benchmark_group("filter_policies_inverted_family");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("paper", FilterPolicy::Paper),
+        ("safe", FilterPolicy::Safe),
+        ("adaptive", FilterPolicy::Adaptive),
+    ] {
+        let spec = RangeSpec::correlation(0.96).with_policy(policy);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                index.reset_counters();
+                black_box(mtindex::range_query(&index, &query, &family, &spec).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_point, fig6_point, fig7_point, filter_policies);
+criterion_main!(benches);

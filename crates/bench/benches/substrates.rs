@@ -1,0 +1,124 @@
+//! Criterion micro-benches of the substrates: FFT, R*-tree operations,
+//! transformation application and the Eq. 12 rectangle algebra. These pin
+//! the constants behind the engine-level curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rstartree::{MemStore, Params, RStarTree, Rect};
+use simquery::feature::SeqFeatures;
+use simquery::prelude::*;
+use simquery::tmbr::TransformMbr;
+use std::hint::black_box;
+use tsfft::{fft, Complex64};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[128usize, 127, 1024] {
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::new((t as f64 * 0.1).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| black_box(fft(x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 1, 128, 7);
+    let ts = corpus.series()[0].clone();
+    c.bench_function("feature_extract_128", |b| {
+        b.iter(|| black_box(SeqFeatures::extract(&ts).unwrap()))
+    });
+}
+
+fn bench_transform_apply(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 2, 128, 8);
+    let x = SeqFeatures::extract(&corpus.series()[0]).unwrap();
+    let q = SeqFeatures::extract(&corpus.series()[1]).unwrap();
+    let t = simquery::transform::Transform::moving_average(9, 128);
+    c.bench_function("transformed_distance_128", |b| {
+        b.iter(|| black_box(t.transformed_distance(&x, &q)))
+    });
+    let family = Family::moving_averages(5..=34, 128);
+    let mbr = TransformMbr::of_family(&family);
+    let rect = Rect::new(
+        [0.0, 0.5, 0.1, -1.0, 0.05, -2.0],
+        [10.0, 3.0, 4.0, 1.0, 2.0, 2.0],
+    );
+    c.bench_function("eq12_apply_to_rect", |b| {
+        b.iter(|| black_box(mbr.apply_to_rect(&rect)))
+    });
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let points: Vec<(Rect<6>, u64)> = (0..5000)
+        .map(|i| {
+            let mut p = [0.0; 6];
+            for slot in p.iter_mut() {
+                *slot = rng.random_range(-100.0..100.0);
+            }
+            (Rect::point(p), i as u64)
+        })
+        .collect();
+
+    c.bench_function("rtree_insert_5000x6d", |b| {
+        b.iter(|| {
+            let mut tree: RStarTree<6, MemStore<6>> =
+                RStarTree::with_params(MemStore::new(), Params::with_max(32));
+            for (r, d) in &points {
+                tree.insert(*r, *d);
+            }
+            black_box(tree.len())
+        })
+    });
+
+    let tree = rstartree::bulk_load_str(MemStore::new(), Params::with_max(32), points.clone());
+    let query = Rect::new([-20.0; 6], [20.0; 6]);
+    c.bench_function("rtree_range_query_5000x6d", |b| {
+        b.iter(|| black_box(tree.range(&query).0.len()))
+    });
+    c.bench_function("rtree_bulk_load_5000x6d", |b| {
+        b.iter(|| {
+            let t = rstartree::bulk_load_str(MemStore::new(), Params::with_max(32), points.clone());
+            black_box(t.len())
+        })
+    });
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusKind::StockCloses, 1068, 128, 9);
+    let mut group = c.benchmark_group("index_build_1068x128");
+    group.sample_size(10);
+    group.bench_function("bulk", |b| {
+        b.iter(|| {
+            black_box(
+                SeqIndex::build(&corpus, IndexConfig::default())
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            let cfg = IndexConfig {
+                bulk: false,
+                ..Default::default()
+            };
+            black_box(SeqIndex::build(&corpus, cfg).unwrap().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_feature_extraction,
+    bench_transform_apply,
+    bench_rtree,
+    bench_index_build
+);
+criterion_main!(benches);

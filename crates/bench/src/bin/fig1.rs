@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 1.
+//!
+//! `cargo run -p bench --release --bin fig1` (env: REPRO_QUERIES, REPRO_FAST).
+
+fn main() {
+    let dir = bench::results_dir();
+    for (i, table) in bench::figures::fig1().iter().enumerate() {
+        table.print();
+        let path = dir.join(format!("fig1_{i}.tsv"));
+        table.save_tsv(&path).expect("write tsv");
+        eprintln!("(saved {})", path.display());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 2.
+//!
+//! `cargo run -p bench --release --bin fig2` (env: REPRO_QUERIES, REPRO_FAST).
+
+fn main() {
+    let dir = bench::results_dir();
+    for (i, table) in bench::figures::fig2().iter().enumerate() {
+        table.print();
+        let path = dir.join(format!("fig2_{i}.tsv"));
+        table.save_tsv(&path).expect("write tsv");
+        eprintln!("(saved {})", path.display());
+    }
+}

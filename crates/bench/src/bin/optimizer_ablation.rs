@@ -1,0 +1,85 @@
+//! §4.3 optimizer ablation: the cost-driven MBR chooser
+//! (`partition::optimize`) against fixed partitionings, on both the plain
+//! moving-average family (Fig. 8's workload) and the two-cluster ± family
+//! (Fig. 9's).
+//!
+//! `cargo run -p bench --release --bin optimizer_ablation`
+
+use bench::table::{f2, Table};
+use simquery::cost::CostModel;
+use simquery::engine::mtindex;
+use simquery::prelude::*;
+
+fn main() {
+    let n = 128;
+    let queries = bench::query_count().min(40);
+    let corpus = Corpus::generate(CorpusKind::StockCloses, 1068, n, 80);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty corpus");
+    let spec = RangeSpec::correlation(0.96);
+    let model = CostModel::default();
+    let dir = bench::results_dir();
+
+    for (tag, family) in [
+        ("mv(6..29)", Family::moving_averages(6..=29, n)),
+        (
+            "±mv(6..29)",
+            Family::moving_averages(6..=29, n).with_inverted(),
+        ),
+    ] {
+        // Optimize on 3 sample queries, evaluate on `queries` fresh ones.
+        let samples: Vec<TimeSeries> = (0..3)
+            .map(|i| corpus.series()[101 * i + 7].clone())
+            .collect();
+        let (chosen, report) =
+            simquery::partition::optimize(&index, &family, &spec, &samples, &model)
+                .expect("optimize");
+
+        let mut t = Table::new(
+            format!("§4.3 optimizer — candidate costs for {tag} (Eq. 20, 3 sample queries)"),
+            &["candidate", "estimated cost"],
+        );
+        for (name, cost) in &report {
+            t.push(vec![name.clone(), f2(*cost)]);
+        }
+        t.print();
+
+        // Measured wall time: chosen plan vs the two extremes.
+        let mut m = Table::new(
+            format!("§4.3 optimizer — measured time for {tag} ({queries} queries)"),
+            &["plan", "rects", "time ms"],
+        );
+        let single = simquery::partition::partition(&family, &PartitionStrategy::Single);
+        let st_like =
+            simquery::partition::partition(&family, &PartitionStrategy::EqualWidth { per_mbr: 1 });
+        for (name, mbrs) in [
+            ("optimizer's choice", &chosen),
+            ("all-in-one", &single),
+            ("one-per-MBR (ST-like)", &st_like),
+        ] {
+            let mut wall = 0.0;
+            for qi in 0..queries {
+                let q = &corpus.series()[(qi * 13) % corpus.len()];
+                index.reset_counters();
+                let start = std::time::Instant::now();
+                let _ = mtindex::range_query_with_mbrs(&index, q, &family, &spec, mbrs, None)
+                    .expect("query");
+                wall += start.elapsed().as_secs_f64() * 1e3;
+            }
+            m.push(vec![
+                name.into(),
+                mbrs.len().to_string(),
+                f2(wall / queries as f64),
+            ]);
+        }
+        m.print();
+        let file = dir.join(format!(
+            "optimizer_{}.tsv",
+            if tag.starts_with('±') {
+                "inverted"
+            } else {
+                "plain"
+            }
+        ));
+        m.save_tsv(&file).expect("save");
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the §4.4 ordering ablation.
+//!
+//! `cargo run -p bench --release --bin ordering_ablation`.
+
+fn main() {
+    let dir = bench::results_dir();
+    for (i, table) in bench::figures::ordering_ablation().iter().enumerate() {
+        table.print();
+        let path = dir.join(format!("ordering_{i}.tsv"));
+        table.save_tsv(&path).expect("write tsv");
+        eprintln!("(saved {})", path.display());
+    }
+}

@@ -1,0 +1,36 @@
+//! Runs the full evaluation: every figure plus the ordering ablation,
+//! printing each table and saving TSVs under `results/`.
+//!
+//! `cargo run -p bench --release --bin repro`
+//! (env: REPRO_QUERIES=N, REPRO_FAST=1, REPRO_OUT=dir).
+
+use std::time::Instant;
+
+type FigureFn = fn() -> Vec<bench::table::Table>;
+
+fn main() {
+    let dir = bench::results_dir();
+    let figures: Vec<(&str, FigureFn)> = vec![
+        ("fig1", bench::figures::fig1),
+        ("fig2", bench::figures::fig2),
+        ("fig3", bench::figures::fig3),
+        ("fig5", bench::figures::fig5),
+        ("fig6", bench::figures::fig6),
+        ("fig7", bench::figures::fig7),
+        ("fig8", bench::figures::fig8),
+        ("fig9", bench::figures::fig9),
+        ("ordering", bench::figures::ordering_ablation),
+    ];
+    for (name, run) in figures {
+        let start = Instant::now();
+        eprintln!(">>> {name} …");
+        for (i, table) in run().iter().enumerate() {
+            table.print();
+            table
+                .save_tsv(&dir.join(format!("{name}_{i}.tsv")))
+                .expect("write tsv");
+        }
+        eprintln!("<<< {name} done in {:.1?}\n", start.elapsed());
+    }
+    eprintln!("all tables saved under {}", dir.display());
+}

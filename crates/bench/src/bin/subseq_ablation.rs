@@ -1,0 +1,66 @@
+//! Subsequence-index ablation: the FRM trail-length trade-off. Longer
+//! sub-trails shrink the index (fewer MBRs) but widen each rectangle,
+//! admitting more candidate windows — the same filter-vs-traversal tension
+//! as the paper's transformations-per-MBR sweep, one level down.
+//!
+//! `cargo run -p bench --release --bin subseq_ablation`
+
+use bench::table::{f2, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simquery::prelude::*;
+use tseries::random_walk;
+
+fn main() {
+    let window = 32;
+    let queries = bench::query_count().min(30);
+    let mut rng = StdRng::seed_from_u64(909);
+    let seqs: Vec<TimeSeries> = (0..60).map(|_| random_walk(&mut rng, 1000, 6.0)).collect();
+    let family = Family::moving_averages(1..=4, window);
+    let spec = RangeSpec::correlation(0.92).with_policy(FilterPolicy::Adaptive);
+
+    let mut t = Table::new(
+        format!(
+            "Subsequence index — windows per sub-trail MBR \
+             (60 sequences × 1000 samples, window {window}, {queries} patterns)"
+        ),
+        &[
+            "trail len",
+            "index MBRs",
+            "time ms",
+            "nodes",
+            "windows verified",
+            "avg |output|",
+        ],
+    );
+    for trail_len in [1usize, 2, 4, 8, 16, 32, 64] {
+        let index = SubseqIndex::build(seqs.clone(), window, trail_len).expect("indexable corpus");
+        let mut wall = 0.0;
+        let mut nodes = 0.0;
+        let mut cmps = 0.0;
+        let mut output = 0.0;
+        for qi in 0..queries {
+            let seq = (qi * 7) % seqs.len();
+            let off = (qi * 131) % (1000 - window);
+            let pattern: TimeSeries = seqs[seq].values()[off..off + window].to_vec().into();
+            let start = std::time::Instant::now();
+            let (matches, metrics) = index.query(&pattern, &family, &spec).expect("query");
+            wall += start.elapsed().as_secs_f64() * 1e3;
+            nodes += metrics.node_accesses as f64;
+            cmps += metrics.comparisons as f64;
+            output += matches.len() as f64;
+        }
+        let k = 1.0 / queries as f64;
+        t.push(vec![
+            trail_len.to_string(),
+            index.trail_count().to_string(),
+            f2(wall * k),
+            f2(nodes * k),
+            f2(cmps * k / family.len() as f64),
+            f2(output * k),
+        ]);
+    }
+    t.print();
+    t.save_tsv(&bench::results_dir().join("subseq_ablation.tsv"))
+        .expect("save");
+}

@@ -1,0 +1,669 @@
+//! Regenerators for every figure of the paper's evaluation (§1 Figures 1–2,
+//! §4.1 Figures 3–4, §5 Figures 5–9) plus the §4.4 ordering ablation.
+//!
+//! Each returns printable [`Table`]s whose *shapes* are compared against
+//! the paper in `EXPERIMENTS.md`; absolute times differ (modern CPU,
+//! simulated disk — see DESIGN.md §2.3).
+
+use crate::measure::{average_range_queries, measure_join, Averages};
+use crate::table::{f2, f3, Table};
+use crate::{fast_mode, query_count};
+use simquery::cost::CostModel;
+use simquery::engine::{join, mtindex, seqscan, stindex};
+use simquery::feature::SeqFeatures;
+use simquery::ordering::OrderedFamily;
+use simquery::partition::PartitionStrategy;
+use simquery::prelude::*;
+use simquery::tmbr::TransformMbr;
+use simquery::transform::Transform;
+use tseries::{
+    euclidean, momentum, moving_average_circular, shift_right, spiky_pair, Market, MarketConfig,
+};
+
+const N: usize = 128;
+
+fn stock_corpus(count: usize, seed: u64) -> Corpus {
+    Corpus::generate(CorpusKind::StockCloses, count, N, seed)
+}
+
+fn build(corpus: &Corpus) -> SeqIndex {
+    SeqIndex::build(corpus, IndexConfig::default()).expect("non-empty corpus")
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 — Example 1.1: normalization + moving average reveals
+// similarity between noisy index series.
+// ---------------------------------------------------------------------
+
+/// Figure 1: raw vs normalized vs smoothed distances, and the shortest
+/// qualifying moving average per pair.
+pub fn fig1() -> Vec<Table> {
+    // Volume-like series: shared sector trend + heavy daily jitter.
+    let cfg = MarketConfig {
+        stocks: 12,
+        days: N,
+        sectors: 2,
+        sector_weight: 0.97,
+        volatility: 0.09,
+        spike_prob: 0.0,
+        daily_noise: 0.30,
+    };
+    let closes = Market::new(cfg, 1999).closes();
+
+    let mut t = Table::new(
+        "Fig. 1 — Example 1.1: distances before/after normalization and smoothing \
+         (paper: COMPV–NYV 2873 → <3 at 9-day MA; COMPV–DECL 12939 → <3 at 19-day MA)",
+        &[
+            "pair",
+            "raw D",
+            "normalized D",
+            "shortest MA with D<3",
+            "D at that MA",
+        ],
+    );
+    for (a, b) in [(0usize, 2usize), (0, 4), (1, 3)] {
+        let (x, y) = (&closes[a], &closes[b]);
+        let raw = euclidean(x, y);
+        let nx = x.normal_form().expect("non-degenerate").series;
+        let ny = y.normal_form().expect("non-degenerate").series;
+        let normalized = euclidean(&nx, &ny);
+        let shortest = (1..=40).find_map(|m| {
+            let d = euclidean(
+                &moving_average_circular(&nx, m),
+                &moving_average_circular(&ny, m),
+            );
+            (d < 3.0).then_some((m, d))
+        });
+        let (m_str, d_str) = match shortest {
+            Some((m, d)) => (format!("{m}-day"), f3(d)),
+            None => ("none ≤ 40".into(), "-".into()),
+        };
+        t.push(vec![
+            format!("S{a:02}–S{b:02}"),
+            f2(raw),
+            f3(normalized),
+            m_str,
+            d_str,
+        ]);
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — Example 1.2: momentum + 2-day shift aligns news spikes.
+// ---------------------------------------------------------------------
+
+/// Figure 2: momentum distances before/after the aligning shift, in the
+/// time domain and as composed frequency-domain transformations.
+pub fn fig2() -> Vec<Table> {
+    let (pcg, pcl) = spiky_pair(N, 60, 2);
+    let m_pcg = momentum(&pcg, 1);
+    let m_pcl = momentum(&pcl, 1);
+
+    let mut t = Table::new(
+        "Fig. 2 — Example 1.2: spike alignment by shifting one momentum \
+         (paper: 13.01 → 5.65 after a 2-day shift)",
+        &["comparison", "distance"],
+    );
+    t.push(vec![
+        "time domain: D(mom(PCG), mom(PCL))".into(),
+        f3(euclidean(&m_pcg, &m_pcl)),
+    ]);
+    t.push(vec![
+        "time domain: D(shift₂(mom(PCG)), mom(PCL))".into(),
+        f3(euclidean(&shift_right(&m_pcg, 2), &m_pcl)),
+    ]);
+
+    let fx = SeqFeatures::extract(&pcg).expect("non-degenerate");
+    let fy = SeqFeatures::extract(&pcl).expect("non-degenerate");
+    let mom = Transform::momentum(1, N);
+    let target = SeqFeatures::from_spectrum(mom.apply_spectrum(&fy.spectrum), fy.mean, fy.std);
+    for s in 0..=4 {
+        let composed = Transform::circular_shift(s, N).compose(&mom);
+        t.push(vec![
+            format!("frequency domain: D(shift{s}(mom(x̂)), mom(ŷ))"),
+            f3(composed.distance_data_only(&fx, &target)),
+        ]);
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 (+ Fig. 4's algebra) — MBR decomposition of the MA family.
+// ---------------------------------------------------------------------
+
+/// Figure 3: second-DFT-coefficient transformation points of mv(1..40) and
+/// their mult-MBR / add-MBR decomposition; plus Fig. 4's worked rectangle.
+pub fn fig3() -> Vec<Table> {
+    let family = Family::moving_averages(1..=40, N);
+    let mut pts = Table::new(
+        "Fig. 3 — mv(1..40) transformation points at the 2nd DFT coefficient \
+         (dims: |F₂| multiplier a, ∠F₂ addend b)",
+        &["m", "a (|F2| mult)", "b (angle add)"],
+    );
+    for (i, tr) in family.transforms().iter().enumerate() {
+        pts.push(vec![
+            format!("{}", i + 1),
+            f3(tr.feat_a()[4]),
+            f3(tr.feat_b()[5]),
+        ]);
+    }
+
+    let mbr = TransformMbr::of_family(&family);
+    let mut env = Table::new(
+        "Fig. 3 — mult-MBR and add-MBR envelopes per index dimension",
+        &["dim", "meaning", "mult lo", "mult hi", "add lo", "add hi"],
+    );
+    let names = ["mean", "std", "|F1|", "angle F1", "|F2|", "angle F2"];
+    for (d, name) in names.iter().enumerate() {
+        env.push(vec![
+            d.to_string(),
+            (*name).into(),
+            f3(mbr.mult_lo[d]),
+            f3(mbr.mult_hi[d]),
+            f3(mbr.add_lo[d]),
+            f3(mbr.add_hi[d]),
+        ]);
+    }
+
+    // Fig. 4: the worked data rectangle from the paper's illustration.
+    let mut fig4 = Table::new(
+        "Fig. 4 — a data rectangle before/after Eq. 12 (paper's illustration: \
+         |F₂| ∈ [7, 17] → [0.85·7, 17]; ∠F₂ ∈ [1, 3] → [1−0.96, 3])",
+        &["dim", "before lo", "before hi", "after lo", "after hi"],
+    );
+    let mut demo = TransformMbr::of_family(&family);
+    demo.mult_lo = [1.0; 6];
+    demo.mult_hi = [1.0; 6];
+    demo.add_lo = [0.0; 6];
+    demo.add_hi = [0.0; 6];
+    demo.mult_lo[4] = 0.85;
+    demo.add_lo[5] = -0.96;
+    let mut lo = [0.0; 6];
+    let mut hi = [0.0; 6];
+    lo[4] = 7.0;
+    hi[4] = 17.0;
+    lo[5] = 1.0;
+    hi[5] = 3.0;
+    let x = rstartree::Rect { lo, hi };
+    let y = demo.apply_to_rect(&x);
+    for (d, name) in [(4usize, "|F2|"), (5, "angle F2")] {
+        fig4.push(vec![
+            name.into(),
+            f2(x.lo[d]),
+            f2(x.hi[d]),
+            f2(y.lo[d]),
+            f2(y.hi[d]),
+        ]);
+    }
+
+    vec![pts, env, fig4]
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 — Query 1 time vs number of sequences.
+// ---------------------------------------------------------------------
+
+/// Figure 5: time/accesses per query, varying corpus size (synthetic random
+/// walks, |T| = 16 = mv(10..25), ρ = 0.96).
+pub fn fig5() -> Vec<Table> {
+    let sizes: &[usize] = if fast_mode() {
+        &[500, 1000, 2000]
+    } else {
+        &[500, 1000, 2000, 4000, 8000, 12000]
+    };
+    let family = Family::moving_averages(10..=25, N);
+    let spec = RangeSpec::correlation(0.96);
+    let queries = query_count();
+
+    let mut t = Table::new(
+        format!(
+            "Fig. 5 — Query 1 per-query averages vs corpus size \
+             (synthetic walks, |T|=16 mv(10..25), ρ=0.96, {queries} queries)"
+        ),
+        &[
+            "sequences",
+            "scan ms",
+            "scan(8thr) ms",
+            "ST ms",
+            "MT ms",
+            "ST nodes",
+            "MT nodes",
+            "scan cmps",
+            "ST cmps",
+            "MT cmps",
+            "avg |output|",
+        ],
+    );
+    // One big corpus, truncated per size so smaller corpora are prefixes.
+    let full = Corpus::generate(
+        CorpusKind::SyntheticWalks,
+        *sizes.last().expect("non-empty"),
+        N,
+        50,
+    );
+    for &size in sizes {
+        let corpus = full.truncated(size);
+        let index = build(&corpus);
+        let scan = average_range_queries(&index, &corpus, queries, 1, |i, q| {
+            seqscan::range_query(i, q, &family, &spec)
+        });
+        let par = average_range_queries(&index, &corpus, queries, 1, |i, q| {
+            seqscan::range_query_parallel(i, q, &family, &spec, 8)
+        });
+        let st = average_range_queries(&index, &corpus, queries, 1, |i, q| {
+            stindex::range_query(i, q, &family, &spec)
+        });
+        let mt = average_range_queries(&index, &corpus, queries, 1, |i, q| {
+            mtindex::range_query(i, q, &family, &spec)
+        });
+        t.push(vec![
+            size.to_string(),
+            f2(scan.wall_ms),
+            f2(par.wall_ms),
+            f2(st.wall_ms),
+            f2(mt.wall_ms),
+            f2(st.node_accesses),
+            f2(mt.node_accesses),
+            f2(scan.comparisons),
+            f2(st.comparisons),
+            f2(mt.comparisons),
+            f2(mt.output),
+        ]);
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 — Query 1 time vs number of transformations.
+// ---------------------------------------------------------------------
+
+/// Figure 6: time/accesses per query, varying |T| = 1..30 (mv(5..)), stock
+/// corpus of 1068 × 128.
+pub fn fig6() -> Vec<Table> {
+    let counts: &[usize] = if fast_mode() {
+        &[1, 8, 16]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 20, 24, 30]
+    };
+    let corpus = stock_corpus(1068, 60);
+    let index = build(&corpus);
+    let spec = RangeSpec::correlation(0.96);
+    let queries = query_count();
+
+    let mut t = Table::new(
+        format!(
+            "Fig. 6 — Query 1 per-query averages vs |T| \
+             (1068 stocks × 128 days, mv(5..), ρ=0.96, {queries} queries)"
+        ),
+        &[
+            "|T|",
+            "scan ms",
+            "ST ms",
+            "MT ms",
+            "ST nodes",
+            "MT nodes",
+            "avg |output|",
+        ],
+    );
+    for &k in counts {
+        let family = Family::moving_averages(5..=(4 + k), N);
+        let scan = average_range_queries(&index, &corpus, queries, 2, |i, q| {
+            seqscan::range_query(i, q, &family, &spec)
+        });
+        let st = average_range_queries(&index, &corpus, queries, 2, |i, q| {
+            stindex::range_query(i, q, &family, &spec)
+        });
+        let mt = average_range_queries(&index, &corpus, queries, 2, |i, q| {
+            mtindex::range_query(i, q, &family, &spec)
+        });
+        t.push(vec![
+            k.to_string(),
+            f2(scan.wall_ms),
+            f2(st.wall_ms),
+            f2(mt.wall_ms),
+            f2(st.node_accesses),
+            f2(mt.node_accesses),
+            f2(mt.output),
+        ]);
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 — Query 2 (spatial self-join) time vs |T|.
+// ---------------------------------------------------------------------
+
+/// Figure 7: join time varying |T| (mv(5..), ρ = 0.99, stock corpus).
+pub fn fig7() -> Vec<Table> {
+    let counts: &[usize] = if fast_mode() {
+        &[1, 5, 10]
+    } else {
+        &[1, 5, 10, 15, 20, 25, 30]
+    };
+    // Sector weight calibrated so the ρ ≥ 0.99 join's output size is in
+    // the paper's ballpark (small tens) at moderate |T|.
+    let cfg = MarketConfig {
+        stocks: 1068,
+        days: N,
+        sectors: 8,
+        sector_weight: 0.6,
+        spike_prob: 0.0,
+        ..MarketConfig::default()
+    };
+    let market = Market::new(cfg, 70);
+    let corpus = Corpus::from_parts(market.names(), market.closes());
+    let index = build(&corpus);
+    let spec = RangeSpec::correlation(0.99);
+
+    let mut t = Table::new(
+        "Fig. 7 — Query 2 (self-join) vs |T| (1068 stocks, mv(5..), ρ=0.99);          MT(6/MBR) is the §4.3 multi-rectangle remedy",
+        &["|T|", "scan ms", "ST ms", "MT ms", "MT(6/MBR) ms", "ST nodes", "MT nodes", "|output|"],
+    );
+    for &k in counts {
+        let family = Family::moving_averages(5..=(4 + k), N);
+        let (scan, out) = measure_join(&index, |i| join::scan_join(i, &family, &spec));
+        let (st, _) = measure_join(&index, |i| join::st_join(i, &family, &spec));
+        let (mt, _) = measure_join(&index, |i| join::mt_join(i, &family, &spec));
+        let mbrs =
+            simquery::partition::partition(&family, &PartitionStrategy::EqualWidth { per_mbr: 6 });
+        let (mt6, _) = measure_join(&index, |i| {
+            join::mt_join_with_mbrs(i, &family, &spec, &mbrs)
+        });
+        t.push(vec![
+            k.to_string(),
+            f2(scan.wall_ms),
+            f2(st.wall_ms),
+            f2(mt.wall_ms),
+            f2(mt6.wall_ms),
+            f2(st.node_accesses),
+            f2(mt.node_accesses),
+            out.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// ---------------------------------------------------------------------
+// Figures 8 & 9 — transformations per MBR.
+// ---------------------------------------------------------------------
+
+fn mbr_sweep(
+    title: String,
+    family: &Family,
+    per_mbr_values: &[usize],
+    corpus: &Corpus,
+    index: &SeqIndex,
+    queries: usize,
+) -> Table {
+    let spec = RangeSpec::correlation(0.96);
+    let model = CostModel::default();
+    let mut t = Table::new(
+        title,
+        &[
+            "per MBR",
+            "rects",
+            "time ms",
+            "disk accesses",
+            "cost fn (Eq.20)",
+            "cmps",
+            "avg |output|",
+        ],
+    );
+    for &per in per_mbr_values {
+        let strategy = PartitionStrategy::EqualWidth { per_mbr: per };
+        let mbrs = simquery::partition::partition(family, &strategy);
+        let rects = mbrs.len();
+        // Average metrics + the cost function over random queries.
+        let mut avg = Averages::default();
+        let mut cost_sum = 0.0;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        for _ in 0..queries {
+            let qi = rand::Rng::random_range(&mut rng, 0..corpus.len());
+            let query = &corpus.series()[qi];
+            index.reset_counters();
+            let start = std::time::Instant::now();
+            let (res, trav) =
+                mtindex::range_query_with_mbrs(index, query, family, &spec, &mbrs, None)
+                    .expect("valid query");
+            avg.wall_ms += start.elapsed().as_secs_f64() * 1e3;
+            avg.node_accesses += res.metrics.node_accesses as f64;
+            // The paper's Fig. 8–9 access counts include every record
+            // fetch of the post-processing step (no buffering assumed).
+            avg.record_pages += res.metrics.record_fetches as f64;
+            avg.comparisons += res.metrics.comparisons as f64;
+            avg.output += res.matches.len() as f64;
+            cost_sum += model.cost(&trav, index.leaf_capacity());
+        }
+        let k = 1.0 / queries as f64;
+        t.push(vec![
+            per.to_string(),
+            rects.to_string(),
+            f2(avg.wall_ms * k),
+            f2((avg.node_accesses + avg.record_pages) * k),
+            f2(cost_sum * k),
+            f2(avg.comparisons * k),
+            f2(avg.output * k),
+        ]);
+    }
+    t
+}
+
+/// Figure 8: running time and disk accesses vs transformations-per-MBR for
+/// mv(6..29) (24 transformations) on the stock corpus, with the Eq. 20
+/// cost function.
+pub fn fig8() -> Vec<Table> {
+    let corpus = stock_corpus(1068, 80);
+    let index = build(&corpus);
+    let family = Family::moving_averages(6..=29, N);
+    let pers: &[usize] = if fast_mode() {
+        &[24, 6, 1]
+    } else {
+        &[24, 12, 8, 6, 4, 3, 2, 1]
+    };
+    let queries = query_count();
+    vec![mbr_sweep(
+        format!(
+            "Fig. 8 — MT-index vs transformations per MBR \
+             (mv(6..29), 1068 stocks, ρ=0.96, {queries} queries; paper: best at 6–8/MBR)"
+        ),
+        &family,
+        pers,
+        &corpus,
+        &index,
+        queries,
+    )]
+}
+
+/// Figure 9: the same sweep after adding the inverted transformations
+/// (48 members, two clusters) — the paper's bumps appear when an MBR spans
+/// the gap; a clustering-based partitioning removes them.
+pub fn fig9() -> Vec<Table> {
+    let corpus = stock_corpus(1068, 90);
+    let index = build(&corpus);
+    let family = Family::moving_averages(6..=29, N).with_inverted();
+    let pers: &[usize] = if fast_mode() {
+        &[48, 16, 4]
+    } else {
+        &[48, 24, 16, 12, 8, 6, 4, 2, 1]
+    };
+    let queries = query_count();
+    let mut tables = vec![mbr_sweep(
+        format!(
+            "Fig. 9 — MT-index vs transformations per MBR with inverted family \
+             (±mv(6..29) = 48 transforms, two clusters, {queries} queries; \
+             paper: bumps at 16/MBR and 48/MBR where an MBR straddles the clusters)"
+        ),
+        &family,
+        pers,
+        &corpus,
+        &index,
+        queries,
+    )];
+
+    // The §4.3/§5.2 remedy: cluster detection before packing.
+    let spec = RangeSpec::correlation(0.96);
+    let model = CostModel::default();
+    let mut fix = Table::new(
+        "Fig. 9 (remedy) — cluster-aware partitioning vs straddling rectangles",
+        &[
+            "partitioning",
+            "rects",
+            "time ms",
+            "disk accesses",
+            "cost fn (Eq.20)",
+        ],
+    );
+    for (name, strategy) in [
+        ("all-in-one (straddles)", PartitionStrategy::Single),
+        ("k-means k=2", PartitionStrategy::KMeans { k: 2 }),
+        (
+            "agglomerative k=2",
+            PartitionStrategy::Agglomerative { k: 2 },
+        ),
+        ("k-means k=6", PartitionStrategy::KMeans { k: 6 }),
+    ] {
+        let mbrs = simquery::partition::partition(&family, &strategy);
+        let mut wall = 0.0;
+        let mut accesses = 0.0;
+        let mut cost = 0.0;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+        for _ in 0..queries {
+            let qi = rand::Rng::random_range(&mut rng, 0..corpus.len());
+            index.reset_counters();
+            let start = std::time::Instant::now();
+            let (res, trav) = mtindex::range_query_with_mbrs(
+                &index,
+                &corpus.series()[qi],
+                &family,
+                &spec,
+                &mbrs,
+                None,
+            )
+            .expect("valid query");
+            wall += start.elapsed().as_secs_f64() * 1e3;
+            accesses += res.metrics.paper_disk_accesses() as f64;
+            cost += model.cost(&trav, index.leaf_capacity());
+        }
+        let k = 1.0 / queries as f64;
+        fix.push(vec![
+            name.into(),
+            mbrs.len().to_string(),
+            f2(wall * k),
+            f2(accesses * k),
+            f2(cost * k),
+        ]);
+    }
+    tables.push(fix);
+    tables
+}
+
+// ---------------------------------------------------------------------
+// §4.4 — ordering ablation.
+// ---------------------------------------------------------------------
+
+/// The §4.4 ablation: engines with and without the ordering-based binary
+/// search, on the (ordered) scale-factor family.
+pub fn ordering_ablation() -> Vec<Table> {
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 2000, N, 95);
+    let index = build(&corpus);
+    let factors: Vec<f64> = (1..=64).map(|k| 0.5 + 0.125 * k as f64).collect();
+    let ordered = OrderedFamily::scalings(&factors, N);
+    let spec = RangeSpec::euclidean(9.0);
+    let queries = query_count();
+
+    let mut t = Table::new(
+        format!(
+            "§4.4 — ordering ablation (|T|=64 scale factors, {queries} queries): \
+             binary search cuts comparisons to log|T| and ST traversals to one"
+        ),
+        &[
+            "engine",
+            "time ms",
+            "node accesses",
+            "comparisons",
+            "avg |output|",
+        ],
+    );
+    type Runner<'a> = (
+        &'a str,
+        Box<
+            dyn Fn(&SeqIndex, &TimeSeries) -> Result<QueryResult, simquery::report::QueryError>
+                + 'a,
+        >,
+    );
+    let runners: Vec<Runner> = vec![
+        (
+            "scan",
+            Box::new(|i, q| seqscan::range_query(i, q, ordered.family(), &spec)),
+        ),
+        (
+            "scan+ordering",
+            Box::new(|i, q| seqscan::range_query_ordered(i, q, &ordered, &spec)),
+        ),
+        (
+            "ST",
+            Box::new(|i, q| stindex::range_query(i, q, ordered.family(), &spec)),
+        ),
+        (
+            "ST+ordering",
+            Box::new(|i, q| stindex::range_query_ordered(i, q, &ordered, &spec)),
+        ),
+        (
+            "MT",
+            Box::new(|i, q| mtindex::range_query(i, q, ordered.family(), &spec)),
+        ),
+        (
+            "MT+ordering",
+            Box::new(|i, q| mtindex::range_query_ordered(i, q, &ordered, &spec)),
+        ),
+    ];
+    for (name, run) in runners {
+        let avg = average_range_queries(&index, &corpus, queries, 5, |i, q| run(i, q));
+        t.push(vec![
+            name.into(),
+            f2(avg.wall_ms),
+            f2(avg.node_accesses),
+            f2(avg.comparisons),
+            f2(avg.output),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_runs_and_finds_smoothing_windows() {
+        let tables = fig1();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 3);
+        // At least one pair becomes similar under some MA ≤ 40.
+        assert!(tables[0].rows.iter().any(|r| r[3].contains("day")));
+    }
+
+    #[test]
+    fn fig2_shift_reduces_distance() {
+        let tables = fig2();
+        let rows = &tables[0].rows;
+        let before: f64 = rows[0][1].parse().unwrap();
+        let after: f64 = rows[1][1].parse().unwrap();
+        assert!(after < before / 2.0, "{after} !< {before}/2");
+        // Frequency-domain shift2 row should be the small one.
+        let s2: f64 = rows[4][1].parse().unwrap();
+        let s0: f64 = rows[2][1].parse().unwrap();
+        assert!(s2 < s0);
+    }
+
+    #[test]
+    fn fig3_envelope_rows() {
+        let tables = fig3();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows.len(), 40);
+        assert_eq!(tables[1].rows.len(), 6);
+        // Fig. 4 worked example: after-lo of |F2| = 5.95.
+        assert_eq!(tables[2].rows[0][3], "5.95");
+    }
+}

@@ -1,0 +1,38 @@
+//! Benchmark harness for the ICDE '99 reproduction.
+//!
+//! Every figure of the paper's evaluation has a regenerator here (used by
+//! the `fig*` binaries and the all-in-one `repro` binary); shared plumbing
+//! lives in [`measure`] and [`table`].
+//!
+//! Environment knobs:
+//!
+//! * `REPRO_QUERIES` — random query sequences averaged per configuration
+//!   (default 50; the paper used 100);
+//! * `REPRO_FAST=1` — shrink sweeps for a quick smoke run.
+
+pub mod figures;
+pub mod measure;
+pub mod table;
+
+/// Number of random queries to average, from `REPRO_QUERIES`.
+pub fn query_count() -> usize {
+    std::env::var("REPRO_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+}
+
+/// Whether to shrink sweeps (`REPRO_FAST=1`).
+pub fn fast_mode() -> bool {
+    std::env::var("REPRO_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Where TSV outputs go (`results/` under the workspace root).
+pub fn results_dir() -> std::path::PathBuf {
+    let dir =
+        std::path::PathBuf::from(std::env::var("REPRO_OUT").unwrap_or_else(|_| "results".into()));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}

@@ -1,0 +1,138 @@
+//! Measurement plumbing: cold-per-query averaging over random query
+//! sequences, as in §5 ("we ran each experiment 100 times and each time we
+//! chose a random query sequence from the data set … averaged the
+//! execution times").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simquery::prelude::*;
+use simquery::report::{JoinResult, QueryError};
+use std::time::Instant;
+use tseries::TimeSeries;
+
+/// Averages accumulated over a batch of queries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Averages {
+    /// Mean wall time per query, milliseconds.
+    pub wall_ms: f64,
+    /// Mean index node accesses.
+    pub node_accesses: f64,
+    /// Mean leaf accesses.
+    pub leaf_accesses: f64,
+    /// Mean record-page accesses (physical).
+    pub record_pages: f64,
+    /// Mean logical record fetches (the paper's accounting).
+    pub record_fetches: f64,
+    /// Mean full-sequence comparisons.
+    pub comparisons: f64,
+    /// Mean candidates.
+    pub candidates: f64,
+    /// Mean output size (matches).
+    pub output: f64,
+}
+
+impl Averages {
+    /// Mean total physical disk accesses (index + record pages).
+    pub fn disk_accesses(&self) -> f64 {
+        self.node_accesses + self.record_pages
+    }
+
+    /// Mean disk accesses in the paper's accounting (index nodes + logical
+    /// record fetches).
+    pub fn paper_disk_accesses(&self) -> f64 {
+        self.node_accesses + self.record_fetches
+    }
+}
+
+/// Runs `engine` over `queries` random query sequences drawn from the
+/// corpus (seeded), resetting counters before each query so accesses are
+/// cold, and averages the metrics.
+pub fn average_range_queries(
+    index: &SeqIndex,
+    corpus: &Corpus,
+    queries: usize,
+    seed: u64,
+    mut engine: impl FnMut(&SeqIndex, &TimeSeries) -> Result<QueryResult, QueryError>,
+) -> Averages {
+    assert!(queries > 0, "need at least one query");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = Averages::default();
+    let mut ran = 0usize;
+    while ran < queries {
+        let qi = rng.random_range(0..corpus.len());
+        let query = &corpus.series()[qi];
+        index.reset_counters();
+        let start = Instant::now();
+        let result = match engine(index, query) {
+            Ok(r) => r,
+            Err(QueryError::DegenerateQuery) => continue, // redraw
+            Err(e) => panic!("query failed: {e}"),
+        };
+        let wall = start.elapsed();
+        acc.wall_ms += wall.as_secs_f64() * 1e3;
+        acc.node_accesses += result.metrics.node_accesses as f64;
+        acc.leaf_accesses += result.metrics.leaf_accesses as f64;
+        acc.record_pages += result.metrics.record_page_accesses as f64;
+        acc.record_fetches += result.metrics.record_fetches as f64;
+        acc.comparisons += result.metrics.comparisons as f64;
+        acc.candidates += result.metrics.candidates as f64;
+        acc.output += result.matches.len() as f64;
+        ran += 1;
+    }
+    scale(acc, ran)
+}
+
+/// Times one join execution (joins are whole-relation, not per-query).
+pub fn measure_join(
+    index: &SeqIndex,
+    run: impl FnOnce(&SeqIndex) -> Result<JoinResult, QueryError>,
+) -> (Averages, usize) {
+    index.reset_counters();
+    let start = Instant::now();
+    let result = run(index).expect("join failed");
+    let wall = start.elapsed();
+    let avg = Averages {
+        wall_ms: wall.as_secs_f64() * 1e3,
+        node_accesses: result.metrics.node_accesses as f64,
+        leaf_accesses: result.metrics.leaf_accesses as f64,
+        record_pages: result.metrics.record_page_accesses as f64,
+        record_fetches: result.metrics.record_fetches as f64,
+        comparisons: result.metrics.comparisons as f64,
+        candidates: result.metrics.candidates as f64,
+        output: result.matches.len() as f64,
+    };
+    (avg, result.matches.len())
+}
+
+fn scale(mut acc: Averages, n: usize) -> Averages {
+    let k = 1.0 / n as f64;
+    acc.wall_ms *= k;
+    acc.node_accesses *= k;
+    acc.leaf_accesses *= k;
+    acc.record_pages *= k;
+    acc.record_fetches *= k;
+    acc.comparisons *= k;
+    acc.candidates *= k;
+    acc.output *= k;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simquery::engine::mtindex;
+
+    #[test]
+    fn averaging_is_deterministic_per_seed() {
+        let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 80, 64, 1);
+        let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+        let family = Family::moving_averages(3..=6, 64);
+        let spec = RangeSpec::correlation(0.96);
+        let run = |idx: &SeqIndex, q: &TimeSeries| mtindex::range_query(idx, q, &family, &spec);
+        let a = average_range_queries(&index, &corpus, 5, 9, run);
+        let b = average_range_queries(&index, &corpus, 5, 9, run);
+        assert_eq!(a.node_accesses, b.node_accesses);
+        assert_eq!(a.output, b.output);
+        assert!(a.wall_ms > 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain-text result tables (printed and saved as TSV).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A labelled table of measurement rows.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Human-readable title (figure id + description).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Row values, stringified by the producer.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arity differs from the header.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Saves tab-separated values.
+    pub fn save_tsv(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.header.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        std::fs::write(path, out)
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_tsv() {
+        let mut t = Table::new("Fig. X — demo", &["n", "ms"]);
+        t.push(vec!["10".into(), f2(1.234)]);
+        t.push(vec!["10000".into(), f2(56.7)]);
+        let text = t.render();
+        assert!(text.contains("Fig. X"));
+        assert!(text.contains("1.23"));
+        let dir = std::env::temp_dir().join("bench_table_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.tsv");
+        t.save_tsv(&p).unwrap();
+        let back = std::fs::read_to_string(&p).unwrap();
+        assert!(back.contains("n\tms"));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+}

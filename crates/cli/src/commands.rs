@@ -1,0 +1,297 @@
+//! Subcommand implementations.
+
+use crate::args::{err, Args, CliError};
+use simquery::engine::{join as join_engine, knn, mtindex, seqscan, stindex};
+use simquery::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// Help text.
+pub const USAGE: &str = "\
+simseq — similarity-based queries for time series (Rafiei, ICDE '99)
+
+USAGE:
+  simseq gen   --kind walks|stocks --count N --len N --out FILE.csv [--seed S]
+  simseq build --data FILE.csv --out DIR/
+  simseq info  --index DIR/
+  simseq query --index DIR/ (--query-index I | --query-csv FILE --row I)
+               [--ma LO..HI] [--shift LO..HI] [--inverted yes]
+               [--rho R | --eps E] [--engine mt|st|scan]
+               [--policy adaptive|safe|paper] [--mode symmetric|data-only]
+               [--limit N]
+  simseq join  --index DIR/ [--ma LO..HI] (--rho R | --eps E)
+               [--engine mt|st|scan] [--limit N]
+  simseq nn    --index DIR/ (--query-index I | --query-csv FILE --row I)
+               --k K [--ma LO..HI]
+
+Thresholds: --rho is a cross-correlation in [-1, 1], converted through
+Eq. 9; --eps is a Euclidean distance over transformed normal forms.
+";
+
+type CliResult = Result<(), CliError>;
+
+/// `simseq gen` — write a synthetic corpus as CSV.
+pub fn gen(args: &Args) -> CliResult {
+    let kind = match args.req("kind")? {
+        "walks" => CorpusKind::SyntheticWalks,
+        "stocks" => CorpusKind::StockCloses,
+        other => return Err(err(format!("--kind must be walks|stocks, got `{other}`"))),
+    };
+    let count: usize = args.req_parse("count")?;
+    let len: usize = args.req_parse("len")?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let out = PathBuf::from(args.req("out")?);
+    let corpus = Corpus::generate(kind, count, len, seed);
+    corpus
+        .save_csv(&out)
+        .map_err(|e| err(format!("writing {}: {e}", out.display())))?;
+    println!(
+        "wrote {count} sequences of length {len} to {}",
+        out.display()
+    );
+    Ok(())
+}
+
+/// `simseq build` — index a CSV corpus and persist it.
+pub fn build(args: &Args) -> CliResult {
+    let data = PathBuf::from(args.req("data")?);
+    let out = PathBuf::from(args.req("out")?);
+    let corpus =
+        Corpus::load_csv(&data).map_err(|e| err(format!("reading {}: {e}", data.display())))?;
+    let index =
+        SeqIndex::build(&corpus, IndexConfig::default()).ok_or_else(|| err("corpus is empty"))?;
+    index
+        .save(&out)
+        .map_err(|e| err(format!("saving index: {e}")))?;
+    // Names are needed later for reporting; keep them next to the index.
+    std::fs::write(out.join("names.txt"), corpus.names().join("\n"))
+        .map_err(|e| err(format!("saving names: {e}")))?;
+    println!(
+        "indexed {} sequences of length {} ({} skipped as degenerate) into {}",
+        index.len(),
+        index.seq_len(),
+        index.skipped().len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `simseq info` — describe a persisted index.
+pub fn info(args: &Args) -> CliResult {
+    let (index, names) = open_index(args)?;
+    println!("sequences:   {}", index.len());
+    println!("length:      {}", index.seq_len());
+    println!("tree height: {}", index.height());
+    println!("leaf fanout: {}", index.leaf_capacity());
+    println!("skipped:     {}", index.skipped().len());
+    println!("deleted:     {}", index.deleted_count());
+    if let Some(first) = names.first() {
+        println!("first name:  {first}");
+    }
+    Ok(())
+}
+
+/// `simseq query` — Query 1.
+pub fn query(args: &Args) -> CliResult {
+    let (index, names) = open_index(args)?;
+    let family = family_from(args, index.seq_len())?;
+    let spec = spec_from(args)?;
+    let q = query_series(args, &index)?;
+
+    let engine = args.opt("engine").unwrap_or("mt");
+    index.reset_counters();
+    let result = match engine {
+        "mt" => mtindex::range_query(&index, &q, &family, &spec),
+        "st" => stindex::range_query(&index, &q, &family, &spec),
+        "scan" => seqscan::range_query(&index, &q, &family, &spec),
+        other => return Err(err(format!("--engine must be mt|st|scan, got `{other}`"))),
+    }
+    .map_err(|e| err(e.to_string()))?;
+
+    let limit: usize = args.parse_or("limit", 20)?;
+    let mut matches = result.matches.clone();
+    matches.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+    for m in matches.iter().take(limit) {
+        println!(
+            "{:24} via {:12} D = {:.4}",
+            display_name(&names, m.seq),
+            family.transforms()[m.transform].label(),
+            m.dist
+        );
+    }
+    if matches.len() > limit {
+        println!("… and {} more (raise --limit)", matches.len() - limit);
+    }
+    eprintln!(
+        "{} matches over {} sequences | {}",
+        result.matches.len(),
+        result.matched_sequences().len(),
+        result.metrics
+    );
+    Ok(())
+}
+
+/// `simseq join` — Query 2.
+pub fn join(args: &Args) -> CliResult {
+    let (index, names) = open_index(args)?;
+    let family = family_from(args, index.seq_len())?;
+    let spec = spec_from(args)?;
+    let engine = args.opt("engine").unwrap_or("mt");
+    index.reset_counters();
+    let result = match engine {
+        "mt" => join_engine::mt_join(&index, &family, &spec),
+        "st" => join_engine::st_join(&index, &family, &spec),
+        "scan" => join_engine::scan_join(&index, &family, &spec),
+        other => return Err(err(format!("--engine must be mt|st|scan, got `{other}`"))),
+    }
+    .map_err(|e| err(e.to_string()))?;
+
+    let limit: usize = args.parse_or("limit", 20)?;
+    let mut matches = result.matches.clone();
+    matches.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+    for m in matches.iter().take(limit) {
+        println!(
+            "{:20} ~ {:20} via {:10} D = {:.4}",
+            display_name(&names, m.seq_a),
+            display_name(&names, m.seq_b),
+            family.transforms()[m.transform].label(),
+            m.dist
+        );
+    }
+    eprintln!(
+        "{} qualifying pairs | {}",
+        result.matches.len(),
+        result.metrics
+    );
+    Ok(())
+}
+
+/// `simseq nn` — k nearest neighbours under the family.
+pub fn nn(args: &Args) -> CliResult {
+    let (index, names) = open_index(args)?;
+    let family = family_from(args, index.seq_len())?;
+    let k: usize = args.req_parse("k")?;
+    let q = query_series(args, &index)?;
+    index.reset_counters();
+    let (matches, metrics) = knn::knn(&index, &q, &family, k).map_err(|e| err(e.to_string()))?;
+    for m in &matches {
+        println!(
+            "{:24} via {:12} D = {:.4}",
+            display_name(&names, m.seq),
+            family.transforms()[m.transform].label(),
+            m.dist
+        );
+    }
+    eprintln!("{metrics}");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+
+fn open_index(args: &Args) -> Result<(SeqIndex, Vec<String>), CliError> {
+    let dir = PathBuf::from(args.req("index")?);
+    let index = SeqIndex::open(&dir, 256)
+        .map_err(|e| err(format!("opening index {}: {e}", dir.display())))?;
+    let names = std::fs::read_to_string(dir.join("names.txt"))
+        .map(|s| s.lines().map(String::from).collect())
+        .unwrap_or_default();
+    Ok((index, names))
+}
+
+fn display_name(names: &[String], ordinal: usize) -> String {
+    names
+        .get(ordinal)
+        .cloned()
+        .unwrap_or_else(|| format!("#{ordinal}"))
+}
+
+fn query_series(args: &Args, index: &SeqIndex) -> Result<TimeSeries, CliError> {
+    if let Some(raw) = args.opt("query-index") {
+        let ordinal: usize = raw
+            .parse()
+            .map_err(|_| err(format!("--query-index: bad ordinal `{raw}`")))?;
+        if ordinal >= index.len() {
+            return Err(err(format!(
+                "--query-index {ordinal} out of range (0..{})",
+                index.len()
+            )));
+        }
+        return Ok(index.fetch_series(ordinal));
+    }
+    let csv = Path::new(args.req("query-csv")?);
+    let row: usize = args.req_parse("row")?;
+    let corpus =
+        Corpus::load_csv(csv).map_err(|e| err(format!("reading {}: {e}", csv.display())))?;
+    if row >= corpus.len() {
+        return Err(err(format!(
+            "--row {row} out of range (0..{})",
+            corpus.len()
+        )));
+    }
+    Ok(corpus.series()[row].clone())
+}
+
+fn family_from(args: &Args, n: usize) -> Result<Family, CliError> {
+    let mut parts: Vec<Family> = Vec::new();
+    if let Some((lo, hi)) = args.range("ma")? {
+        if hi > n {
+            return Err(err(format!("--ma window {hi} exceeds sequence length {n}")));
+        }
+        parts.push(Family::moving_averages(lo.max(1)..=hi, n));
+    }
+    if let Some((lo, hi)) = args.range("shift")? {
+        parts.push(Family::circular_shifts(lo..=hi, n));
+    }
+    let mut family = match parts.len() {
+        0 => Family::moving_averages(1..=1, n), // identity
+        1 => parts.pop().expect("one part"),
+        // Several ranges: the composed family (§3.3 — shift, then smooth).
+        _ => {
+            let mut iter = parts.into_iter();
+            let first = iter.next().expect("non-empty");
+            iter.fold(first, |acc, next| next.compose(&acc))
+        }
+    };
+    if args.opt("inverted") == Some("yes") {
+        family = family.with_inverted();
+    }
+    Ok(family)
+}
+
+fn spec_from(args: &Args) -> Result<RangeSpec, CliError> {
+    let mut spec = match (args.opt("rho"), args.opt("eps")) {
+        (Some(_), Some(_)) => return Err(err("give either --rho or --eps, not both")),
+        (Some(raw), None) => {
+            let rho: f64 = raw
+                .parse()
+                .map_err(|_| err(format!("--rho: bad value `{raw}`")))?;
+            RangeSpec::correlation(rho)
+        }
+        (None, Some(raw)) => {
+            let eps: f64 = raw
+                .parse()
+                .map_err(|_| err(format!("--eps: bad value `{raw}`")))?;
+            RangeSpec::euclidean(eps)
+        }
+        (None, None) => RangeSpec::correlation(0.96), // the paper's default
+    };
+    spec = match args.opt("policy").unwrap_or("adaptive") {
+        "adaptive" => spec.with_policy(FilterPolicy::Adaptive),
+        "safe" => spec.with_policy(FilterPolicy::Safe),
+        "paper" => spec.with_policy(FilterPolicy::Paper),
+        other => {
+            return Err(err(format!(
+                "--policy must be adaptive|safe|paper, got `{other}`"
+            )))
+        }
+    };
+    spec = match args.opt("mode").unwrap_or("symmetric") {
+        "symmetric" => spec.with_mode(QueryMode::Symmetric),
+        "data-only" => spec.with_mode(QueryMode::DataOnly),
+        other => {
+            return Err(err(format!(
+                "--mode must be symmetric|data-only, got `{other}`"
+            )))
+        }
+    };
+    Ok(spec)
+}

@@ -1,0 +1,38 @@
+//! `simseq` — similarity-based time-series queries from the command line.
+//!
+//! ```sh
+//! simseq gen   --kind stocks --count 1068 --len 128 --seed 7 --out data.csv
+//! simseq build --data data.csv --out idx/
+//! simseq info  --index idx/
+//! simseq query --index idx/ --query-index 42 --ma 5..34 --rho 0.96
+//! simseq join  --index idx/ --ma 5..14 --rho 0.99
+//! simseq nn    --index idx/ --query-index 42 --k 5 --ma 2..20
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("help") || argv.is_empty() {
+        print!("{}", commands::USAGE);
+        return;
+    }
+    let result = Args::parse(&argv).and_then(|args| match args.sub() {
+        "gen" => commands::gen(&args),
+        "build" => commands::build(&args),
+        "info" => commands::info(&args),
+        "query" => commands::query(&args),
+        "join" => commands::join(&args),
+        "nn" => commands::nn(&args),
+        other => Err(args::err(format!(
+            "unknown subcommand `{other}`; try `simseq help`"
+        ))),
+    });
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

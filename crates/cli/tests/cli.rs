@@ -1,0 +1,164 @@
+//! End-to-end test of the `simseq` binary: generate → build → info →
+//! query → join → nn, all through the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn simseq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_simseq"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("simseq_cli_test").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> (String, String) {
+    let out = cmd.output().expect("spawn simseq");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "command failed.\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    (stdout, stderr)
+}
+
+#[test]
+fn full_pipeline() {
+    let dir = workdir("pipeline");
+    let data = dir.join("data.csv");
+    let idx = dir.join("idx");
+
+    run_ok(
+        simseq()
+            .args([
+                "gen", "--kind", "stocks", "--count", "120", "--len", "128", "--seed", "5", "--out",
+            ])
+            .arg(&data),
+    );
+    assert!(data.exists());
+
+    let (stdout, _) = run_ok(
+        simseq()
+            .args(["build", "--data"])
+            .arg(&data)
+            .arg("--out")
+            .arg(&idx),
+    );
+    assert!(stdout.contains("indexed 120 sequences"));
+
+    let (stdout, _) = run_ok(simseq().args(["info", "--index"]).arg(&idx));
+    assert!(stdout.contains("sequences:   120"));
+    assert!(stdout.contains("length:      128"));
+
+    // Query: sequence 7 must match itself under the smallest window.
+    let (stdout, stderr) = run_ok(
+        simseq()
+            .args([
+                "query",
+                "--query-index",
+                "7",
+                "--ma",
+                "5..20",
+                "--rho",
+                "0.96",
+                "--limit",
+                "3",
+                "--index",
+            ])
+            .arg(&idx),
+    );
+    assert!(stdout.contains("S0007"), "self-match missing: {stdout}");
+    assert!(stderr.contains("matches over"));
+
+    // The three engines agree on the match count.
+    let count = |engine: &str| -> String {
+        let (_, stderr) = run_ok(
+            simseq()
+                .args([
+                    "query",
+                    "--query-index",
+                    "7",
+                    "--ma",
+                    "5..20",
+                    "--rho",
+                    "0.96",
+                    "--engine",
+                    engine,
+                    "--policy",
+                    "safe",
+                    "--index",
+                ])
+                .arg(&idx),
+        );
+        stderr.split(" matches").next().unwrap_or("").to_string()
+    };
+    let mt = count("mt");
+    assert_eq!(mt, count("st"));
+    assert_eq!(mt, count("scan"));
+
+    // Join runs and reports pairs.
+    let (_, stderr) = run_ok(
+        simseq()
+            .args([
+                "join", "--ma", "5..8", "--rho", "0.9", "--limit", "2", "--index",
+            ])
+            .arg(&idx),
+    );
+    assert!(stderr.contains("qualifying pairs"));
+
+    // NN returns the query itself first.
+    let (stdout, _) = run_ok(
+        simseq()
+            .args([
+                "nn",
+                "--query-index",
+                "7",
+                "--k",
+                "2",
+                "--ma",
+                "1..5",
+                "--index",
+            ])
+            .arg(&idx),
+    );
+    assert!(stdout.lines().next().unwrap_or("").contains("S0007"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let out = simseq().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let out = simseq()
+        .args(["query", "--index", "/nonexistent-simseq-dir"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("opening index"));
+
+    let out = simseq()
+        .args([
+            "gen",
+            "--kind",
+            "nope",
+            "--count",
+            "1",
+            "--len",
+            "8",
+            "--out",
+            "/tmp/x.csv",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let (stdout, _) = run_ok(simseq().arg("help"));
+    assert!(stdout.contains("USAGE"));
+}

@@ -1,0 +1,228 @@
+//! Clustering of transformation points — the "cluster detection algorithm"
+//! §4.3/§5.2 prescribes to avoid packing two clusters into one MBR (the
+//! paper cites CURE; deterministic k-means and agglomerative linkage are
+//! sufficient for transformation sets, which are tiny and low-dimensional).
+
+/// Deterministic k-means: maximin ("farthest point") seeding, Lloyd
+/// iterations until assignments stabilise. Returns one cluster id per
+/// point, ids in `0..k'` with `k' ≤ k` (empty clusters are dropped and ids
+/// compacted).
+///
+/// # Panics
+///
+/// Panics when `points` is empty, `k == 0`, or dimensions are ragged.
+pub fn kmeans(points: &[Vec<f64>], k: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "kmeans needs points");
+    assert!(k >= 1, "kmeans needs k ≥ 1");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+    let k = k.min(points.len());
+
+    // Maximin seeding: start from the point farthest from the centroid,
+    // then repeatedly take the point farthest from every chosen seed.
+    let centroid: Vec<f64> = (0..dim)
+        .map(|d| points.iter().map(|p| p[d]).sum::<f64>() / points.len() as f64)
+        .collect();
+    let mut seeds: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..points.len())
+        .max_by(|&a, &b| dist_sq(&points[a], &centroid).total_cmp(&dist_sq(&points[b], &centroid)))
+        .expect("non-empty");
+    seeds.push(first);
+    while seeds.len() < k {
+        let next = (0..points.len())
+            .max_by(|&a, &b| {
+                let da = seeds
+                    .iter()
+                    .map(|&s| dist_sq(&points[a], &points[s]))
+                    .fold(f64::INFINITY, f64::min);
+                let db = seeds
+                    .iter()
+                    .map(|&s| dist_sq(&points[b], &points[s]))
+                    .fold(f64::INFINITY, f64::min);
+                da.total_cmp(&db)
+            })
+            .expect("non-empty");
+        seeds.push(next);
+    }
+
+    let mut centers: Vec<Vec<f64>> = seeds.iter().map(|&s| points[s].clone()).collect();
+    let mut assign = vec![0usize; points.len()];
+    for _iter in 0..64 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..centers.len())
+                .min_by(|&a, &b| dist_sq(p, &centers[a]).total_cmp(&dist_sq(p, &centers[b])))
+                .expect("k ≥ 1");
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Recompute centres (keep empty clusters' old centres).
+        let mut sums = vec![vec![0.0; dim]; centers.len()];
+        let mut counts = vec![0usize; centers.len()];
+        for (i, p) in points.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for d in 0..dim {
+                sums[assign[i]][d] += p[d];
+            }
+        }
+        for (c, (sum, count)) in sums.iter().zip(&counts).enumerate() {
+            if *count > 0 {
+                for d in 0..dim {
+                    centers[c][d] = sum[d] / *count as f64;
+                }
+            }
+        }
+    }
+    compact_ids(assign)
+}
+
+/// Agglomerative clustering with complete linkage down to `k` clusters.
+/// O(n³) worst case — fine for transformation sets (tens of members).
+pub fn agglomerative(points: &[Vec<f64>], k: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "agglomerative needs points");
+    assert!(k >= 1, "agglomerative needs k ≥ 1");
+    let n = points.len();
+    let k = k.min(n);
+    // clusters[i] = member indices; dead clusters become empty.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut live = n;
+    while live > k {
+        // Find the pair of live clusters with the smallest complete-linkage
+        // distance.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..clusters.len() {
+            if clusters[i].is_empty() {
+                continue;
+            }
+            for j in (i + 1)..clusters.len() {
+                if clusters[j].is_empty() {
+                    continue;
+                }
+                let d = complete_linkage(points, &clusters[i], &clusters[j]);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, _) = best.expect("at least two live clusters");
+        let absorbed = std::mem::take(&mut clusters[j]);
+        clusters[i].extend(absorbed);
+        live -= 1;
+    }
+    let mut assign = vec![0usize; n];
+    for (next, members) in clusters.iter().filter(|m| !m.is_empty()).enumerate() {
+        for &m in members {
+            assign[m] = next;
+        }
+    }
+    assign
+}
+
+fn complete_linkage(points: &[Vec<f64>], a: &[usize], b: &[usize]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for &i in a {
+        for &j in b {
+            worst = worst.max(dist_sq(&points[i], &points[j]));
+        }
+    }
+    worst
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Renumbers cluster ids to a dense `0..k'` range, preserving first-seen
+/// order.
+fn compact_ids(assign: Vec<usize>) -> Vec<usize> {
+    let mut map: Vec<Option<usize>> =
+        vec![None; assign.len().max(assign.iter().max().map_or(0, |m| m + 1))];
+    let mut next = 0;
+    assign
+        .into_iter()
+        .map(|c| {
+            *map[c].get_or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..6 {
+            pts.push(vec![100.0 + i as f64 * 0.01, 1.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let assign = kmeans(&two_blobs(), 2);
+        let first = &assign[..6];
+        let second = &assign[6..];
+        assert!(first.iter().all(|c| *c == first[0]));
+        assert!(second.iter().all(|c| *c == second[0]));
+        assert_ne!(first[0], second[0]);
+    }
+
+    #[test]
+    fn agglomerative_separates_two_blobs() {
+        let assign = agglomerative(&two_blobs(), 2);
+        assert!(assign[..6].iter().all(|c| *c == assign[0]));
+        assert!(assign[6..].iter().all(|c| *c == assign[6]));
+        assert_ne!(assign[0], assign[6]);
+    }
+
+    #[test]
+    fn k_clamps_to_point_count() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let a = kmeans(&pts, 10);
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|c| *c < 2));
+        let b = agglomerative(&pts, 10);
+        assert_eq!(b, vec![0, 1]);
+    }
+
+    #[test]
+    fn k_one_puts_everything_together() {
+        let pts = two_blobs();
+        assert!(kmeans(&pts, 1).iter().all(|c| *c == 0));
+        assert!(agglomerative(&pts, 1).iter().all(|c| *c == 0));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let pts = two_blobs();
+        assert_eq!(kmeans(&pts, 3), kmeans(&pts, 3));
+        assert_eq!(agglomerative(&pts, 3), agglomerative(&pts, 3));
+    }
+
+    #[test]
+    fn identical_points_are_one_cluster_each_way() {
+        let pts = vec![vec![5.0, 5.0]; 8];
+        let a = kmeans(&pts, 3);
+        // All points coincide: every assignment is to one centre.
+        assert!(a.iter().all(|c| *c == a[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs points")]
+    fn empty_input_rejected() {
+        kmeans(&[], 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! MT-index — *Multiple Transformations at a time* (Algorithm 1, the
+//! paper's contribution).
+//!
+//! Build the MBR of the transformation set, split it into a mult-MBR and an
+//! add-MBR, and descend the R*-tree **once**, applying the pair to every
+//! index rectangle via Eq. 12 and testing the result against the
+//! ε-expanded query region. Candidates are post-processed with every member
+//! transformation (step 5). With `k > 1` transformation rectangles (§4.3)
+//! the index is traversed once per rectangle — the trade-off Figures 8–9
+//! explore.
+
+use crate::engine::{check_family, verify_candidate, CandidateCache, VerifyMode};
+use crate::index::SeqIndex;
+use crate::ordering::OrderedFamily;
+use crate::partition::PartitionStrategy;
+use crate::query::{mt_query_region, Filter, RangeSpec};
+use crate::report::{EngineMetrics, QueryError, QueryResult};
+use crate::tmbr::TransformMbr;
+use crate::transform::Family;
+use std::time::Instant;
+use tseries::TimeSeries;
+
+/// Per-rectangle cost counters — the `DA_all(q, rᵢ)`, `DA_leaf(q, rᵢ)` and
+/// `NT(rᵢ)` of Eq. 19/20, reported so the cost model can be evaluated
+/// against measurements (Fig. 8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RectTraversal {
+    /// Node accesses of this rectangle's traversal (all levels).
+    pub da_all: u64,
+    /// Leaf accesses of this rectangle's traversal.
+    pub da_leaf: u64,
+    /// Candidates retrieved.
+    pub candidates: u64,
+    /// Number of member transformations.
+    pub nt: usize,
+}
+
+/// Query 1 by MT-index with all transformations in one rectangle (the §5.1
+/// configuration).
+pub fn range_query(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+) -> Result<QueryResult, QueryError> {
+    let (result, _) =
+        range_query_partitioned(index, query, family, spec, &PartitionStrategy::Single)?;
+    Ok(result)
+}
+
+/// Query 1 by MT-index with an explicit partitioning strategy; also returns
+/// the per-rectangle traversal counters for cost-model evaluation.
+pub fn range_query_partitioned(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+    strategy: &PartitionStrategy,
+) -> Result<(QueryResult, Vec<RectTraversal>), QueryError> {
+    let mbrs = crate::partition::partition(family, strategy);
+    range_query_with_mbrs(index, query, family, spec, &mbrs, None)
+}
+
+/// Query 1 by MT-index over an ordered family: candidate verification uses
+/// binary search (§4.4 — "the number of comparisons for every candidate
+/// sequence drops to log|T|").
+pub fn range_query_ordered(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    ordered: &OrderedFamily,
+    spec: &RangeSpec,
+) -> Result<QueryResult, QueryError> {
+    let mbrs = vec![TransformMbr::of_family(ordered.family())];
+    let (result, _) =
+        range_query_with_mbrs(index, query, ordered.family(), spec, &mbrs, Some(ordered))?;
+    Ok(result)
+}
+
+/// The general driver: one traversal per transformation rectangle.
+pub fn range_query_with_mbrs(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+    mbrs: &[TransformMbr],
+    ordered: Option<&OrderedFamily>,
+) -> Result<(QueryResult, Vec<RectTraversal>), QueryError> {
+    let q = index.prepare_query(query)?;
+    range_query_features(index, &q, family, spec, mbrs, ordered)
+}
+
+/// Like [`range_query_with_mbrs`] but with an already-prepared query target
+/// — typically used with [`crate::query::QueryMode::DataOnly`] and a
+/// transformed spectrum (e.g. "compare each candidate's shifted momentum
+/// against the momentum of q").
+pub fn range_query_features(
+    index: &SeqIndex,
+    q: &crate::feature::SeqFeatures,
+    family: &Family,
+    spec: &RangeSpec,
+    mbrs: &[TransformMbr],
+    ordered: Option<&OrderedFamily>,
+) -> Result<(QueryResult, Vec<RectTraversal>), QueryError> {
+    let start = Instant::now();
+    check_family(family, index.seq_len())?;
+    if q.len() != index.seq_len() {
+        return Err(QueryError::LengthMismatch {
+            query: q.len(),
+            indexed: index.seq_len(),
+        });
+    }
+    let eps = spec.epsilon(index.seq_len());
+    let filter = Filter::new(eps, spec.policy);
+
+    let before = index.counters();
+    let mut metrics = EngineMetrics::default();
+    let mut matches = Vec::new();
+    let mut traversals = Vec::with_capacity(mbrs.len());
+    let mut cache = CandidateCache::new(index);
+
+    for mbr in mbrs {
+        // Step 1–2: the transformed query region for this rectangle.
+        let region = mt_query_region(mbr, &q.point, spec.mode);
+        // Steps 3–4: one descent, transforming every index rectangle.
+        let mut candidates = Vec::new();
+        let stats = index.search(
+            |rect| filter.hit(&mbr.apply_to_rect(rect), &region),
+            |_, data| candidates.push(data as usize),
+        );
+        metrics.node_accesses += stats.nodes_accessed;
+        metrics.leaf_accesses += stats.leaf_nodes_accessed;
+        metrics.candidates += candidates.len() as u64;
+        traversals.push(RectTraversal {
+            da_all: stats.nodes_accessed,
+            da_leaf: stats.leaf_nodes_accessed,
+            candidates: candidates.len() as u64,
+            nt: mbr.nt(),
+        });
+
+        // Step 5: retrieve full records and verify every member.
+        let mode = match ordered {
+            Some(of) => VerifyMode::Ordered(of),
+            None => VerifyMode::Exhaustive,
+        };
+        for seq in candidates {
+            let x = cache.get(seq);
+            verify_candidate(
+                family,
+                &mbr.members,
+                mode,
+                spec.mode,
+                seq,
+                &x,
+                q,
+                eps,
+                &mut metrics.comparisons,
+                &mut matches,
+            );
+        }
+    }
+
+    let after = index.counters();
+    metrics.record_page_accesses = after.record_page_reads - before.record_page_reads;
+    metrics.record_fetches = cache.touches;
+    metrics.wall = start.elapsed();
+    Ok((QueryResult { matches, metrics }, traversals))
+}
+
+/// A filter-only probe: runs each rectangle's traversal, counting node and
+/// candidate statistics **without** fetching or verifying candidates. This
+/// is the measurement §4.3's optimizer needs to evaluate Eq. 20 for a
+/// candidate partitioning at a fraction of a real query's cost.
+pub fn probe(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+    mbrs: &[TransformMbr],
+) -> Result<Vec<RectTraversal>, QueryError> {
+    check_family(family, index.seq_len())?;
+    let q = index.prepare_query(query)?;
+    let eps = spec.epsilon(index.seq_len());
+    let filter = Filter::new(eps, spec.policy);
+    let mut out = Vec::with_capacity(mbrs.len());
+    for mbr in mbrs {
+        let region = mt_query_region(mbr, &q.point, spec.mode);
+        let mut candidates = 0u64;
+        let stats = index.search(
+            |rect| filter.hit(&mbr.apply_to_rect(rect), &region),
+            |_, _| candidates += 1,
+        );
+        out.push(RectTraversal {
+            da_all: stats.nodes_accessed,
+            da_leaf: stats.leaf_nodes_accessed,
+            candidates,
+            nt: mbr.nt(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{seqscan, stindex};
+    use crate::index::IndexConfig;
+    use crate::query::FilterPolicy;
+    use tseries::{Corpus, CorpusKind};
+
+    fn setup(n: usize) -> (Corpus, SeqIndex) {
+        let c = Corpus::generate(CorpusKind::SyntheticWalks, n, 128, 29);
+        let idx = SeqIndex::build(&c, IndexConfig::default()).unwrap();
+        (c, idx)
+    }
+
+    #[test]
+    fn safe_policy_matches_scan_and_st() {
+        let (c, idx) = setup(150);
+        let family = Family::moving_averages(10..=25, 128);
+        let spec = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+        for qi in [0usize, 50, 149] {
+            let q = &c.series()[qi];
+            let scan = seqscan::range_query(&idx, q, &family, &spec).unwrap();
+            let st = stindex::range_query(&idx, q, &family, &spec).unwrap();
+            let mt = range_query(&idx, q, &family, &spec).unwrap();
+            assert_eq!(scan.sorted_pairs(), st.sorted_pairs(), "ST query {qi}");
+            assert_eq!(scan.sorted_pairs(), mt.sorted_pairs(), "MT query {qi}");
+        }
+    }
+
+    #[test]
+    fn single_traversal_beats_st_on_node_accesses() {
+        let (c, idx) = setup(400);
+        let family = Family::moving_averages(5..=34, 128);
+        let spec = RangeSpec::correlation(0.96);
+        let q = &c.series()[11];
+        let st = stindex::range_query(&idx, q, &family, &spec).unwrap();
+        let mt = range_query(&idx, q, &family, &spec).unwrap();
+        assert!(
+            mt.metrics.node_accesses * 5 < st.metrics.node_accesses,
+            "MT {} vs ST {}",
+            mt.metrics.node_accesses,
+            st.metrics.node_accesses
+        );
+    }
+
+    #[test]
+    fn partitioned_equals_single_rectangle_results() {
+        let (c, idx) = setup(120);
+        let family = Family::moving_averages(6..=29, 128);
+        let spec = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+        let q = &c.series()[5];
+        let (one, tr1) =
+            range_query_partitioned(&idx, q, &family, &spec, &PartitionStrategy::Single).unwrap();
+        let (four, tr4) = range_query_partitioned(
+            &idx,
+            q,
+            &family,
+            &spec,
+            &PartitionStrategy::EqualWidth { per_mbr: 6 },
+        )
+        .unwrap();
+        assert_eq!(one.sorted_pairs(), four.sorted_pairs());
+        assert_eq!(tr1.len(), 1);
+        assert_eq!(tr4.len(), 4);
+        assert_eq!(tr4.iter().map(|t| t.nt).sum::<usize>(), 24);
+    }
+
+    #[test]
+    fn traversal_counters_sum_to_metrics() {
+        let (c, idx) = setup(200);
+        let family = Family::moving_averages(6..=17, 128);
+        let spec = RangeSpec::correlation(0.96);
+        let (res, trav) = range_query_partitioned(
+            &idx,
+            &c.series()[2],
+            &family,
+            &spec,
+            &PartitionStrategy::EqualWidth { per_mbr: 4 },
+        )
+        .unwrap();
+        assert_eq!(
+            trav.iter().map(|t| t.da_all).sum::<u64>(),
+            res.metrics.node_accesses
+        );
+        assert_eq!(
+            trav.iter().map(|t| t.candidates).sum::<u64>(),
+            res.metrics.candidates
+        );
+    }
+
+    #[test]
+    fn ordered_verification_saves_comparisons() {
+        let (c, idx) = setup(150);
+        let factors: Vec<f64> = (1..=32).map(|k| 0.2 + 0.1 * k as f64).collect();
+        let ordered = OrderedFamily::scalings(&factors, 128);
+        let spec = RangeSpec::euclidean(10.0).with_policy(FilterPolicy::Safe);
+        let q = &c.series()[8];
+        let general = range_query(&idx, q, ordered.family(), &spec).unwrap();
+        let fast = range_query_ordered(&idx, q, &ordered, &spec).unwrap();
+        assert_eq!(general.sorted_pairs(), fast.sorted_pairs());
+        assert!(
+            fast.metrics.comparisons <= general.metrics.comparisons / 3,
+            "{} vs {}",
+            fast.metrics.comparisons,
+            general.metrics.comparisons
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! The sequential-scan baseline: read the whole relation, try every
+//! transformation on every sequence (`|S|·|T|` comparisons — §4's cost
+//! description).
+
+use crate::engine::{check_family, verify_candidate, VerifyMode};
+use crate::feature::SeqFeatures;
+use crate::index::SeqIndex;
+use crate::ordering::OrderedFamily;
+use crate::query::RangeSpec;
+use crate::report::{EngineMetrics, QueryError, QueryResult};
+use crate::transform::Family;
+use std::time::Instant;
+use tseries::TimeSeries;
+
+/// Query 1 by sequential scan.
+pub fn range_query(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+) -> Result<QueryResult, QueryError> {
+    run(index, query, family, spec, VerifyMode::Exhaustive)
+}
+
+/// Sequential scan over an *ordered* family (§4.4): `|S|·log|T|`
+/// comparisons instead of `|S|·|T|`.
+pub fn range_query_ordered(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    ordered: &OrderedFamily,
+    spec: &RangeSpec,
+) -> Result<QueryResult, QueryError> {
+    run(
+        index,
+        query,
+        ordered.family(),
+        spec,
+        VerifyMode::Ordered(ordered),
+    )
+}
+
+/// A multi-threaded sequential scan: the relation is partitioned into
+/// `threads` disjoint ordinal ranges scanned concurrently (crossbeam scoped
+/// threads). Identical results to [`range_query`]; a modern baseline the
+/// 1999 evaluation lacked, included so the index algorithms are compared
+/// against the strongest scan available.
+pub fn range_query_parallel(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+    threads: usize,
+) -> Result<QueryResult, QueryError> {
+    assert!(threads >= 1, "need at least one thread");
+    let start = Instant::now();
+    check_family(family, index.seq_len())?;
+    let q = index.prepare_query(query)?;
+    let eps = spec.epsilon(index.seq_len());
+    let members: Vec<usize> = (0..family.len()).collect();
+
+    let before = index.counters();
+    let n = index.len();
+    let chunk = n.div_ceil(threads);
+    let results: Vec<(Vec<crate::report::Match>, u64)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(n));
+                let (q, members) = (&q, &members);
+                scope.spawn(move |_| {
+                    let mut matches = Vec::new();
+                    let mut comparisons = 0;
+                    index.scan_range(lo, hi, |ordinal, ts| {
+                        let Some(x) = SeqFeatures::extract(&ts) else {
+                            return;
+                        };
+                        verify_candidate(
+                            family,
+                            members,
+                            VerifyMode::Exhaustive,
+                            spec.mode,
+                            ordinal,
+                            &x,
+                            q,
+                            eps,
+                            &mut comparisons,
+                            &mut matches,
+                        );
+                    });
+                    (matches, comparisons)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut matches = Vec::new();
+    let mut comparisons = 0;
+    for (m, c) in results {
+        matches.extend(m);
+        comparisons += c;
+    }
+    matches.sort_by_key(|a| (a.seq, a.transform));
+    let after = index.counters();
+
+    Ok(QueryResult {
+        matches,
+        metrics: EngineMetrics {
+            node_accesses: 0,
+            leaf_accesses: 0,
+            record_page_accesses: after.record_page_reads - before.record_page_reads,
+            record_fetches: after.record_fetches - before.record_fetches,
+            comparisons,
+            candidates: n as u64,
+            wall: start.elapsed(),
+        },
+    })
+}
+
+fn run(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+    mode: VerifyMode<'_>,
+) -> Result<QueryResult, QueryError> {
+    let start = Instant::now();
+    check_family(family, index.seq_len())?;
+    let q = index.prepare_query(query)?;
+    let eps = spec.epsilon(index.seq_len());
+    let members: Vec<usize> = (0..family.len()).collect();
+
+    let before = index.counters();
+    let mut comparisons = 0;
+    let mut matches = Vec::new();
+    index.scan(|ordinal, ts| {
+        let Some(x) = SeqFeatures::extract(&ts) else {
+            return; // degenerate rows cannot match a normal-form query
+        };
+        verify_candidate(
+            family,
+            &members,
+            mode,
+            spec.mode,
+            ordinal,
+            &x,
+            &q,
+            eps,
+            &mut comparisons,
+            &mut matches,
+        );
+    });
+    let after = index.counters();
+
+    Ok(QueryResult {
+        matches,
+        metrics: EngineMetrics {
+            node_accesses: 0,
+            leaf_accesses: 0,
+            record_page_accesses: after.record_page_reads - before.record_page_reads,
+            record_fetches: after.record_fetches - before.record_fetches,
+            comparisons,
+            candidates: index.len() as u64,
+            wall: start.elapsed(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use tseries::{Corpus, CorpusKind};
+
+    fn setup(n: usize) -> (Corpus, SeqIndex) {
+        let c = Corpus::generate(CorpusKind::SyntheticWalks, n, 64, 17);
+        let idx = SeqIndex::build(&c, IndexConfig::default()).unwrap();
+        (c, idx)
+    }
+
+    #[test]
+    fn finds_itself_under_identity_window() {
+        let (c, idx) = setup(40);
+        let family = Family::moving_averages(1..=8, 64);
+        let spec = RangeSpec::euclidean(1e-6);
+        let r = range_query(&idx, &c.series()[7], &family, &spec).unwrap();
+        // mv1 = identity: the query matches itself at distance 0.
+        assert!(r.matches.iter().any(|m| m.seq == 7 && m.transform == 0));
+        assert_eq!(r.metrics.comparisons, 40 * 8);
+    }
+
+    #[test]
+    fn record_pages_counted() {
+        let (c, idx) = setup(100);
+        idx.reset_counters();
+        let family = Family::moving_averages(5..=6, 64);
+        let r = range_query(&idx, &c.series()[0], &family, &RangeSpec::correlation(0.96)).unwrap();
+        // 100 sequences × 512 bytes = 6.4 per 8 KiB page → 7 pages.
+        assert!(r.metrics.record_page_accesses >= 7, "{}", r.metrics);
+        assert_eq!(r.metrics.node_accesses, 0);
+    }
+
+    #[test]
+    fn ordered_scan_equals_exhaustive_scan() {
+        let (c, idx) = setup(60);
+        let factors: Vec<f64> = (1..=16).map(|k| k as f64 * 0.5).collect();
+        let ordered = OrderedFamily::scalings(&factors, 64);
+        let spec = RangeSpec::euclidean(8.0);
+        let q = &c.series()[3];
+        let a = range_query(&idx, q, ordered.family(), &spec).unwrap();
+        let b = range_query_ordered(&idx, q, &ordered, &spec).unwrap();
+        assert_eq!(a.sorted_pairs(), b.sorted_pairs());
+        assert!(
+            b.metrics.comparisons < a.metrics.comparisons / 2,
+            "binary search should save comparisons: {} vs {}",
+            b.metrics.comparisons,
+            a.metrics.comparisons
+        );
+    }
+
+    #[test]
+    fn parallel_scan_equals_sequential_scan() {
+        let (c, idx) = setup(200);
+        let family = Family::moving_averages(3..=10, 64);
+        let spec = RangeSpec::correlation(0.96);
+        for threads in [1usize, 2, 4, 7] {
+            let a = range_query(&idx, &c.series()[11], &family, &spec).unwrap();
+            let b = range_query_parallel(&idx, &c.series()[11], &family, &spec, threads).unwrap();
+            assert_eq!(a.sorted_pairs(), b.sorted_pairs(), "threads = {threads}");
+            assert_eq!(a.metrics.comparisons, b.metrics.comparisons);
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_family() {
+        let (c, idx) = setup(10);
+        let family = Family::moving_averages(1..=4, 32); // wrong length
+        let err =
+            range_query(&idx, &c.series()[0], &family, &RangeSpec::euclidean(1.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::FamilyLengthMismatch {
+                family: 32,
+                indexed: 64
+            }
+        ));
+    }
+}

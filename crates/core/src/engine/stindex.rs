@@ -1,0 +1,174 @@
+//! ST-index — *a Single Transformation at a time* (§4).
+//!
+//! For every `t ∈ T`, apply `t` to the index (every rectangle met during
+//! the descent is transformed through `a⊙x + b`) and run a range search
+//! around `t(q)`; the union over `t` is the answer. Costs `|T|` traversals.
+
+use crate::engine::{check_family, pair_distance, CandidateCache};
+use crate::index::SeqIndex;
+use crate::ordering::OrderedFamily;
+use crate::query::{st_query_region, Filter, RangeSpec};
+use crate::report::{EngineMetrics, Match, QueryError, QueryResult};
+use crate::transform::Family;
+use std::time::Instant;
+use tseries::TimeSeries;
+
+/// Query 1 by ST-index.
+pub fn range_query(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+) -> Result<QueryResult, QueryError> {
+    let start = Instant::now();
+    check_family(family, index.seq_len())?;
+    let q = index.prepare_query(query)?;
+    let eps = spec.epsilon(index.seq_len());
+    let filter = Filter::new(eps, spec.policy);
+
+    let before = index.counters();
+    let mut metrics = EngineMetrics::default();
+    let mut matches = Vec::new();
+    let mut cache = CandidateCache::new(index);
+
+    for (ti, t) in family.transforms().iter().enumerate() {
+        let region = st_query_region(t, &q.point, spec.mode);
+        let mut candidates = Vec::new();
+        let stats = index.search(
+            |rect| filter.hit(&t.apply_rect(rect), &region),
+            |_, data| candidates.push(data as usize),
+        );
+        metrics.node_accesses += stats.nodes_accessed;
+        metrics.leaf_accesses += stats.leaf_nodes_accessed;
+        metrics.candidates += candidates.len() as u64;
+        for seq in candidates {
+            let x = cache.get(seq);
+            let d = pair_distance(t, &x, &q, spec.mode);
+            metrics.comparisons += 1;
+            if d < eps {
+                matches.push(Match {
+                    seq,
+                    transform: ti,
+                    dist: d,
+                });
+            }
+        }
+    }
+
+    let after = index.counters();
+    metrics.record_page_accesses = after.record_page_reads - before.record_page_reads;
+    metrics.record_fetches = cache.touches;
+    metrics.wall = start.elapsed();
+    Ok(QueryResult { matches, metrics })
+}
+
+/// ST-index over an *ordered* family (§4.4, refined): since qualifying
+/// members form a per-sequence prefix, a **single** traversal with the
+/// minimal transformation retrieves a superset of every member's answers;
+/// each candidate is then binary-searched for its maximal qualifying rank.
+pub fn range_query_ordered(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    ordered: &OrderedFamily,
+    spec: &RangeSpec,
+) -> Result<QueryResult, QueryError> {
+    let start = Instant::now();
+    let family = ordered.family();
+    check_family(family, index.seq_len())?;
+    let q = index.prepare_query(query)?;
+    let eps = spec.epsilon(index.seq_len());
+    let filter = Filter::new(eps, spec.policy);
+
+    let before = index.counters();
+    let mut metrics = EngineMetrics::default();
+    let mut matches = Vec::new();
+
+    let t0 = &family.transforms()[0];
+    let region = st_query_region(t0, &q.point, spec.mode);
+    let mut candidates = Vec::new();
+    let stats = index.search(
+        |rect| filter.hit(&t0.apply_rect(rect), &region),
+        |_, data| candidates.push(data as usize),
+    );
+    metrics.node_accesses = stats.nodes_accessed;
+    metrics.leaf_accesses = stats.leaf_nodes_accessed;
+    metrics.candidates = candidates.len() as u64;
+
+    for seq in candidates {
+        let x = index.fetch(seq);
+        if let Some(max_rank) = ordered.max_qualifying(&x, &q, eps, &mut metrics.comparisons) {
+            for ti in 0..=max_rank {
+                let d = family.transforms()[ti].transformed_distance(&x, &q);
+                matches.push(Match {
+                    seq,
+                    transform: ti,
+                    dist: d,
+                });
+            }
+        }
+    }
+
+    let after = index.counters();
+    metrics.record_page_accesses = after.record_page_reads - before.record_page_reads;
+    metrics.record_fetches = after.record_fetches - before.record_fetches;
+    metrics.wall = start.elapsed();
+    Ok(QueryResult { matches, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::seqscan;
+    use crate::index::IndexConfig;
+    use crate::query::FilterPolicy;
+    use tseries::{Corpus, CorpusKind};
+
+    fn setup(n: usize) -> (Corpus, SeqIndex) {
+        let c = Corpus::generate(CorpusKind::SyntheticWalks, n, 128, 23);
+        let idx = SeqIndex::build(&c, IndexConfig::default()).unwrap();
+        (c, idx)
+    }
+
+    #[test]
+    fn safe_policy_matches_sequential_scan() {
+        let (c, idx) = setup(120);
+        let family = Family::moving_averages(10..=17, 128);
+        let spec = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+        for qi in [0usize, 31, 77] {
+            let a = seqscan::range_query(&idx, &c.series()[qi], &family, &spec).unwrap();
+            let b = range_query(&idx, &c.series()[qi], &family, &spec).unwrap();
+            assert_eq!(a.sorted_pairs(), b.sorted_pairs(), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn traversal_count_scales_with_family() {
+        let (c, idx) = setup(300);
+        let spec = RangeSpec::correlation(0.96);
+        let small = Family::moving_averages(10..=11, 128);
+        let large = Family::moving_averages(10..=25, 128);
+        let q = &c.series()[0];
+        let a = range_query(&idx, q, &small, &spec).unwrap();
+        let b = range_query(&idx, q, &large, &spec).unwrap();
+        // 16 traversals vs 2: node accesses should grow accordingly.
+        assert!(
+            b.metrics.node_accesses >= 4 * a.metrics.node_accesses,
+            "{} vs {}",
+            b.metrics.node_accesses,
+            a.metrics.node_accesses
+        );
+    }
+
+    #[test]
+    fn ordered_variant_equals_general_variant() {
+        let (c, idx) = setup(100);
+        let factors: Vec<f64> = (1..=8).map(|k| 0.5 + k as f64 * 0.25).collect();
+        let ordered = OrderedFamily::scalings(&factors, 128);
+        let spec = RangeSpec::euclidean(6.0).with_policy(FilterPolicy::Safe);
+        let q = &c.series()[9];
+        let a = range_query(&idx, q, ordered.family(), &spec).unwrap();
+        let b = range_query_ordered(&idx, q, &ordered, &spec).unwrap();
+        assert_eq!(a.sorted_pairs(), b.sorted_pairs());
+        assert!(b.metrics.node_accesses < a.metrics.node_accesses);
+    }
+}

@@ -1,0 +1,166 @@
+//! Query-expression rewriting (§3.3 and the paper's abstract: "we also
+//! examine the possibility of composing transformations in a query or of
+//! rewriting a query expression such that the resulting query can be
+//! efficiently evaluated").
+//!
+//! A [`SimilarityExpr`] describes *which* transformations a query allows —
+//! single operators, whole families, unions, and sequenced applications —
+//! without committing to an evaluation order. [`SimilarityExpr::rewrite`]
+//! normalises any expression into one flat [`Family`] using Eq. 10
+//! (pairwise composition) and Eq. 11 (set composition), which the MT-index
+//! engine then processes in a single pass — exactly the paper's promise
+//! that "queries expressed in terms of such a sequence of transformations
+//! also benefit from the algorithms given in this paper".
+
+use crate::transform::{Family, Transform};
+
+/// A transformation expression tree.
+#[derive(Clone, Debug)]
+pub enum SimilarityExpr {
+    /// A single transformation.
+    One(Transform),
+    /// Any member of a family ("some m-day moving average").
+    Any(Family),
+    /// Either branch ("a moving average OR a momentum").
+    Union(Box<SimilarityExpr>, Box<SimilarityExpr>),
+    /// `second ∘ first`: apply `first`, then `second` ("an s-day shift
+    /// followed by an m-day moving average", §3.3's worked example).
+    Then(Box<SimilarityExpr>, Box<SimilarityExpr>),
+}
+
+impl SimilarityExpr {
+    /// A single-transformation leaf.
+    pub fn one(t: Transform) -> Self {
+        Self::One(t)
+    }
+
+    /// A family leaf.
+    pub fn any(family: Family) -> Self {
+        Self::Any(family)
+    }
+
+    /// `self` followed by `next` (reads left to right, like a pipeline).
+    pub fn then(self, next: SimilarityExpr) -> Self {
+        Self::Then(Box::new(self), Box::new(next))
+    }
+
+    /// `self` or `other`.
+    pub fn or(self, other: SimilarityExpr) -> Self {
+        Self::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Number of concrete transformations the expression denotes
+    /// (|T₁|·|T₂| for sequences, |T₁|+|T₂| for unions).
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Self::One(_) => 1,
+            Self::Any(f) => f.len(),
+            Self::Union(a, b) => a.cardinality() + b.cardinality(),
+            Self::Then(a, b) => a.cardinality() * b.cardinality(),
+        }
+    }
+
+    /// Rewrites the expression into a single flat family via Eq. 10–11.
+    /// The result's member order is deterministic: unions concatenate
+    /// left-to-right; sequences enumerate the second stage outermost
+    /// (matching [`Family::compose`]).
+    pub fn rewrite(&self) -> Family {
+        match self {
+            Self::One(t) => Family::new(t.label().to_string(), vec![t.clone()]),
+            Self::Any(f) => f.clone(),
+            Self::Union(a, b) => {
+                let fa = a.rewrite();
+                let fb = b.rewrite();
+                let mut transforms = fa.transforms().to_vec();
+                transforms.extend(fb.transforms().iter().cloned());
+                Family::new(format!("{}|{}", fa.name(), fb.name()), transforms)
+            }
+            // `a then b` = apply a first → the composed operator is b∘a.
+            Self::Then(a, b) => b.rewrite().compose(&a.rewrite()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{mtindex, seqscan};
+    use crate::index::{IndexConfig, SeqIndex};
+    use crate::query::{FilterPolicy, RangeSpec};
+    use tseries::{Corpus, CorpusKind};
+
+    const N: usize = 64;
+
+    #[test]
+    fn cardinality_arithmetic() {
+        let shifts = SimilarityExpr::any(Family::circular_shifts(0..=10, N)); // 11
+        let mas = SimilarityExpr::any(Family::moving_averages(1..=40, N)); // 40
+        let momentum = SimilarityExpr::one(Transform::momentum(1, N)); // 1
+        let expr = shifts.then(mas).or(momentum);
+        assert_eq!(expr.cardinality(), 11 * 40 + 1);
+        assert_eq!(expr.rewrite().len(), 441);
+    }
+
+    #[test]
+    fn then_composes_in_application_order() {
+        // "shift 2, then mv 5" must equal mv5 ∘ shift2.
+        let expr = SimilarityExpr::one(Transform::circular_shift(2, N))
+            .then(SimilarityExpr::one(Transform::moving_average(5, N)));
+        let fam = expr.rewrite();
+        assert_eq!(fam.len(), 1);
+        let direct = Transform::moving_average(5, N).compose(&Transform::circular_shift(2, N));
+        let ts: tseries::TimeSeries = (0..N).map(|t| (t as f64 * 0.37).sin() * 3.0).collect();
+        let f = crate::feature::SeqFeatures::extract(&ts).unwrap();
+        let a = fam.transforms()[0].apply_spectrum(&f.spectrum);
+        let b = direct.apply_spectrum(&f.spectrum);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rewritten_expression_queries_like_its_parts() {
+        // A union-of-sequences expression, rewritten and run through MT,
+        // must agree with a sequential scan of the same flat family.
+        let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 120, N, 5);
+        let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+        let expr = SimilarityExpr::any(Family::circular_shifts(0..=2, N))
+            .then(SimilarityExpr::any(Family::moving_averages(3..=6, N)))
+            .or(SimilarityExpr::one(Transform::momentum(1, N)));
+        let family = expr.rewrite();
+        assert_eq!(family.len(), 3 * 4 + 1);
+        let spec = RangeSpec::correlation(0.93).with_policy(FilterPolicy::Safe);
+        let q = &corpus.series()[7];
+        let scan = seqscan::range_query(&index, q, &family, &spec).unwrap();
+        let mt = mtindex::range_query(&index, q, &family, &spec).unwrap();
+        assert_eq!(scan.sorted_pairs(), mt.sorted_pairs());
+    }
+
+    #[test]
+    fn union_preserves_left_to_right_member_order() {
+        let left = Family::moving_averages(1..=3, N);
+        let right = Family::circular_shifts(0..=1, N);
+        let expr = SimilarityExpr::any(left.clone()).or(SimilarityExpr::any(right.clone()));
+        let fam = expr.rewrite();
+        assert_eq!(fam.len(), 5);
+        assert_eq!(fam.transforms()[0].label(), left.transforms()[0].label());
+        assert_eq!(fam.transforms()[3].label(), right.transforms()[0].label());
+    }
+
+    #[test]
+    fn nested_sequences_flatten_associatively() {
+        // (a then b) then c ≡ a then (b then c) on spectra.
+        let a = SimilarityExpr::one(Transform::circular_shift(1, N));
+        let b = SimilarityExpr::one(Transform::moving_average(4, N));
+        let c = SimilarityExpr::one(Transform::scaling(2.0, N));
+        let left = a.clone().then(b.clone()).then(c.clone()).rewrite();
+        let right = a.then(b.then(c)).rewrite();
+        let ts: tseries::TimeSeries = (0..N).map(|t| ((t * 3) % 17) as f64).collect();
+        let f = crate::feature::SeqFeatures::extract(&ts).unwrap();
+        let x = left.transforms()[0].apply_spectrum(&f.spectrum);
+        let y = right.transforms()[0].apply_spectrum(&f.spectrum);
+        for (u, v) in x.iter().zip(&y) {
+            assert!((*u - *v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The 6-dimensional feature space of §5.
+//!
+//! For every sequence the paper stores, in this order:
+//!
+//! | dim | content |
+//! |-----|---------|
+//! | 0 | mean of the original sequence |
+//! | 1 | (sample) standard deviation of the original sequence |
+//! | 2 | magnitude of DFT coefficient 1 of the **normal form** |
+//! | 3 | phase angle of DFT coefficient 1 |
+//! | 4 | magnitude of DFT coefficient 2 |
+//! | 5 | phase angle of DFT coefficient 2 |
+//!
+//! Coefficient 0 of a normal form is identically zero ("the first Fourier
+//! coefficient is always zero, so we can throw it away") and is not stored.
+//! The conjugate-symmetry property (Eq. 6) makes the two retained
+//! coefficients bound the true distance *twice over* — the √2 shrink
+//! applied to every search rectangle (see [`crate::query`]).
+
+use rstartree::Rect;
+use tseries::TimeSeries;
+use tsfft::{Complex64, RealDft};
+
+/// Number of feature dimensions.
+pub const DIMS: usize = 6;
+/// Number of retained DFT coefficients (coefficients `1..=COEFFS`).
+pub const COEFFS: usize = 2;
+/// Feature-space dimensions holding magnitudes.
+pub const MAG_DIMS: [usize; COEFFS] = [2, 4];
+/// Feature-space dimensions holding phase angles.
+pub const ANGLE_DIMS: [usize; COEFFS] = [3, 5];
+
+/// A point in the feature space.
+pub type FeatureVec = [f64; DIMS];
+/// A rectangle in the feature space.
+pub type FRect = Rect<DIMS>;
+
+/// Everything extracted from one sequence: the index point plus the full
+/// normal-form spectrum used for exact distance computation.
+#[derive(Clone, Debug)]
+pub struct SeqFeatures {
+    /// The 6-dimensional index point.
+    pub point: FeatureVec,
+    /// Mean of the original sequence.
+    pub mean: f64,
+    /// Sample standard deviation of the original sequence.
+    pub std: f64,
+    /// Full unitary DFT of the normal form (length `n`).
+    pub spectrum: Vec<Complex64>,
+    /// Polar form of every coefficient, cached for the hot distance loop
+    /// (transformations act on magnitude/angle — §3.1.1).
+    pub polar: Vec<(f64, f64)>,
+    /// Whether the spectrum is conjugate-symmetric (Eq. 6) — true for every
+    /// real sequence; prepared targets built from asymmetric transforms may
+    /// lose it, disabling the half-spectrum distance fast path.
+    pub conj_symmetric: bool,
+}
+
+impl SeqFeatures {
+    /// Extracts features; `None` for degenerate (constant or too-short)
+    /// sequences, which have no normal form.
+    pub fn extract(ts: &TimeSeries) -> Option<Self> {
+        if ts.len() <= 2 * COEFFS {
+            return None;
+        }
+        let nf = ts.normal_form()?;
+        let dft = RealDft::forward(nf.series.values());
+        Some(Self::from_spectrum(dft.coeffs().to_vec(), nf.mean, nf.std))
+    }
+
+    /// Builds features directly from a spectrum — for *prepared* query
+    /// targets, e.g. comparing candidates against a transformed version of
+    /// a sequence (`mom(q̂)` in the Example 1.2 workflow). The index point
+    /// is recomputed from the spectrum so filters and verification agree.
+    pub fn from_spectrum(spectrum: Vec<Complex64>, mean: f64, std: f64) -> Self {
+        assert!(
+            spectrum.len() > 2 * COEFFS,
+            "spectrum too short for the feature space"
+        );
+        let polar: Vec<(f64, f64)> = spectrum.iter().map(|c| c.to_polar()).collect();
+        let n = spectrum.len();
+        let scale: f64 = polar.iter().map(|(r, _)| r.abs()).fold(0.0, f64::max) + 1e-12;
+        let conj_symmetric =
+            (1..n).all(|f| (spectrum[f] - spectrum[n - f].conj()).abs() <= 1e-9 * scale);
+        let mut point = [0.0; DIMS];
+        point[0] = mean;
+        point[1] = std;
+        for (k, (&md, &ad)) in MAG_DIMS.iter().zip(&ANGLE_DIMS).enumerate() {
+            let (r, theta) = polar[k + 1];
+            point[md] = r;
+            point[ad] = theta;
+        }
+        Self {
+            point,
+            mean,
+            std,
+            spectrum,
+            polar,
+            conj_symmetric,
+        }
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.spectrum.len()
+    }
+
+    /// True when the spectrum is empty (never produced by
+    /// [`Self::extract`]).
+    pub fn is_empty(&self) -> bool {
+        self.spectrum.is_empty()
+    }
+
+    /// Exact Euclidean distance between the *normal forms* of the two
+    /// underlying sequences (via Parseval, Eq. 8).
+    pub fn distance(&self, other: &Self) -> f64 {
+        debug_assert_eq!(self.len(), other.len());
+        self.spectrum
+            .iter()
+            .zip(&other.spectrum)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseries::euclidean;
+
+    fn sample(seed: f64) -> TimeSeries {
+        (0..128)
+            .map(|t| (t as f64 * 0.13 + seed).sin() * 5.0 + seed + t as f64 * 0.02)
+            .collect()
+    }
+
+    #[test]
+    fn extract_layout_matches_paper() {
+        let ts = sample(1.0);
+        let f = SeqFeatures::extract(&ts).unwrap();
+        assert!((f.point[0] - ts.mean()).abs() < 1e-12);
+        assert!((f.point[1] - ts.std()).abs() < 1e-12);
+        // Coefficient 0 of the normal form is ~0 (not stored).
+        assert!(f.spectrum[0].abs() < 1e-9);
+        // Stored polar coords match the spectrum.
+        assert!((f.point[2] - f.spectrum[1].abs()).abs() < 1e-12);
+        assert!((f.point[3] - f.spectrum[1].arg()).abs() < 1e-12);
+        assert!((f.point[4] - f.spectrum[2].abs()).abs() < 1e-12);
+        assert!((f.point[5] - f.spectrum[2].arg()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sequences_are_rejected() {
+        assert!(SeqFeatures::extract(&TimeSeries::new(vec![7.0; 50])).is_none());
+        assert!(SeqFeatures::extract(&TimeSeries::new(vec![1.0, 2.0, 3.0])).is_none());
+        assert!(SeqFeatures::extract(&TimeSeries::default()).is_none());
+    }
+
+    #[test]
+    fn distance_equals_time_domain_normal_form_distance() {
+        let (a, b) = (sample(0.0), sample(2.0));
+        let (fa, fb) = (
+            SeqFeatures::extract(&a).unwrap(),
+            SeqFeatures::extract(&b).unwrap(),
+        );
+        let want = euclidean(
+            &a.normal_form().unwrap().series,
+            &b.normal_form().unwrap().series,
+        );
+        assert!((fa.distance(&fb) - want).abs() < 1e-8);
+    }
+
+    #[test]
+    fn feature_point_lower_bounds_distance() {
+        // √2 · (truncated feature distance on DFT dims) ≤ true distance.
+        let (a, b) = (sample(0.5), sample(3.0));
+        let (fa, fb) = (
+            SeqFeatures::extract(&a).unwrap(),
+            SeqFeatures::extract(&b).unwrap(),
+        );
+        let partial: f64 = (1..=COEFFS)
+            .map(|k| (fa.spectrum[k] - fb.spectrum[k]).norm_sqr())
+            .sum();
+        assert!((2.0 * partial).sqrt() <= fa.distance(&fb) + 1e-9);
+    }
+}

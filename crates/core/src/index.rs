@@ -1,0 +1,933 @@
+//! The sequence index: an R*-tree over feature points plus a heap file of
+//! full sequence records, with unified access accounting.
+//!
+//! Mirrors the paper's storage layout (§5): for every sequence, its normal
+//! form's DFT features go into the R*-tree (payload = sequence ordinal) and
+//! the full record lives in a paged relation, fetched during Algorithm 1's
+//! post-processing step. Both access streams are counted.
+
+use crate::feature::{FRect, SeqFeatures, DIMS};
+use crate::report::QueryError;
+use pagestore::{BufferPool, Disk, DynHeapFile};
+use rstartree::{
+    bulk_load_str, MemStore, Neighbor, NodeStore, PagedStore, Params, RStarTree, SearchStats,
+};
+use std::sync::Arc;
+use tseries::{Corpus, TimeSeries};
+
+/// Where tree nodes live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// Nodes serialised to pages of a simulated disk; node reads are disk
+    /// accesses (the paper's cold-per-query accounting).
+    #[default]
+    Paged,
+    /// Nodes in memory; accesses still counted identically.
+    Mem,
+}
+
+/// Index construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// Node storage backend.
+    pub store: StoreKind,
+    /// Fanout override; defaults to the page capacity (78 at `D = 6`).
+    pub fanout: Option<usize>,
+    /// Bulk-load with STR (fast, well-packed) instead of one-by-one
+    /// R*-tree insertion.
+    pub bulk: bool,
+    /// Buffer-pool frames for the record heap.
+    pub heap_pool_pages: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self {
+            store: StoreKind::Paged,
+            fanout: None,
+            bulk: true,
+            heap_pool_pages: 64,
+        }
+    }
+}
+
+enum TreeImpl {
+    Mem(RStarTree<DIMS, MemStore<DIMS>>),
+    Paged(RStarTree<DIMS, PagedStore<DIMS>>),
+}
+
+/// Combined access counters of the index structures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessCounters {
+    /// Tree node reads.
+    pub node_reads: u64,
+    /// Record-heap page reads that missed the pool (physical accesses).
+    pub record_page_reads: u64,
+    /// Logical record fetches (every [`SeqIndex::fetch`]/`fetch_series`),
+    /// regardless of buffering — the paper's Fig. 8–9 count accesses this
+    /// way (its per-query numbers far exceed the distinct page count).
+    pub record_fetches: u64,
+}
+
+/// An indexed corpus of equal-length sequences.
+pub struct SeqIndex {
+    tree: TreeImpl,
+    heap: DynHeapFile,
+    heap_pool: Arc<BufferPool>,
+    rids: Vec<pagestore::RecordId>,
+    seq_len: usize,
+    len: usize,
+    skipped: Vec<usize>,
+    deleted: Vec<bool>,
+    leaf_capacity: usize,
+    fetches: std::sync::atomic::AtomicU64,
+}
+
+impl SeqIndex {
+    /// Builds the index over a corpus. Degenerate sequences (no normal
+    /// form) are stored in the relation but not indexed; their ordinals are
+    /// reported by [`Self::skipped`].
+    ///
+    /// Returns `None` for an empty corpus or zero-length sequences.
+    pub fn build(corpus: &Corpus, config: IndexConfig) -> Option<Self> {
+        let seq_len = corpus.series_len();
+        if corpus.is_empty() || seq_len == 0 {
+            return None;
+        }
+
+        // Record heap: one page stream for the full sequences.
+        let heap_disk = Arc::new(Disk::new());
+        let heap_pool = Arc::new(BufferPool::new(
+            Arc::clone(&heap_disk),
+            config.heap_pool_pages.max(1),
+        ));
+        let heap = DynHeapFile::create(Arc::clone(&heap_pool), seq_len * 8);
+
+        let mut rids = Vec::with_capacity(corpus.len());
+        let mut skipped = Vec::new();
+        let mut items: Vec<(FRect, u64)> = Vec::with_capacity(corpus.len());
+        let mut buf = vec![0u8; seq_len * 8];
+        for (ordinal, ts) in corpus.series().iter().enumerate() {
+            encode_record(ts, &mut buf);
+            rids.push(heap.insert(&buf));
+            match SeqFeatures::extract(ts) {
+                Some(f) => items.push((rstartree::Rect::point(f.point), ordinal as u64)),
+                None => skipped.push(ordinal),
+            }
+        }
+
+        let params = match config.fanout {
+            Some(f) => Params::with_max(f),
+            None => Params::for_dimension::<DIMS>(),
+        };
+        let leaf_capacity = params.max_entries;
+
+        let tree = match config.store {
+            StoreKind::Mem => {
+                let store = MemStore::new();
+                TreeImpl::Mem(build_tree(store, params, items, config.bulk))
+            }
+            StoreKind::Paged => {
+                let store = PagedStore::new(Arc::new(Disk::new()));
+                TreeImpl::Paged(build_tree(store, params, items, config.bulk))
+            }
+        };
+
+        Some(Self {
+            tree,
+            heap,
+            heap_pool,
+            rids,
+            seq_len,
+            len: corpus.len(),
+            skipped,
+            deleted: vec![false; corpus.len()],
+            leaf_capacity,
+            fetches: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Appends a new sequence to the live index, returning its ordinal.
+    /// Degenerate sequences are stored but not indexed (reported by
+    /// [`Self::skipped`]).
+    pub fn insert_series(&mut self, ts: &TimeSeries) -> Result<usize, QueryError> {
+        if ts.len() != self.seq_len {
+            return Err(QueryError::LengthMismatch {
+                query: ts.len(),
+                indexed: self.seq_len,
+            });
+        }
+        let ordinal = self.len;
+        let mut buf = vec![0u8; self.seq_len * 8];
+        encode_record(ts, &mut buf);
+        self.rids.push(self.heap.insert(&buf));
+        self.deleted.push(false);
+        match SeqFeatures::extract(ts) {
+            Some(f) => {
+                let rect = rstartree::Rect::point(f.point);
+                match &mut self.tree {
+                    TreeImpl::Mem(t) => t.insert(rect, ordinal as u64),
+                    TreeImpl::Paged(t) => t.insert(rect, ordinal as u64),
+                }
+            }
+            None => self.skipped.push(ordinal),
+        }
+        self.len += 1;
+        Ok(ordinal)
+    }
+
+    /// Removes a sequence from the live index. The record stays in the heap
+    /// (append-only) but the index entry is deleted and scans skip the
+    /// tombstone. Returns false when the ordinal is out of range or already
+    /// deleted.
+    pub fn delete_series(&mut self, ordinal: usize) -> bool {
+        if ordinal >= self.len || self.deleted[ordinal] {
+            return false;
+        }
+        // Recompute the stored feature point to locate the tree entry.
+        if !self.skipped.contains(&ordinal) {
+            let ts = self.fetch_series(ordinal);
+            let f = SeqFeatures::extract(&ts).expect("indexed entries are non-degenerate");
+            let rect = rstartree::Rect::point(f.point);
+            let removed = match &mut self.tree {
+                TreeImpl::Mem(t) => t.delete(&rect, ordinal as u64),
+                TreeImpl::Paged(t) => t.delete(&rect, ordinal as u64),
+            };
+            debug_assert!(removed, "tree entry for live ordinal {ordinal} must exist");
+        }
+        self.deleted[ordinal] = true;
+        true
+    }
+
+    /// Ordinals currently tombstoned by [`Self::delete_series`].
+    pub fn deleted_count(&self) -> usize {
+        self.deleted.iter().filter(|d| **d).count()
+    }
+
+    /// Number of sequences in the relation (indexed or not).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the relation is empty (never — `build` rejects that).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Length of every sequence.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Ordinals of sequences that could not be indexed (degenerate).
+    pub fn skipped(&self) -> &[usize] {
+        &self.skipped
+    }
+
+    /// Average leaf capacity — the `CA_leaf` of the cost model.
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// Tree height.
+    pub fn height(&self) -> u32 {
+        match &self.tree {
+            TreeImpl::Mem(t) => t.height(),
+            TreeImpl::Paged(t) => t.height(),
+        }
+    }
+
+    /// Prepares a query sequence: validates its length and extracts its
+    /// features.
+    pub fn prepare_query(&self, ts: &TimeSeries) -> Result<SeqFeatures, QueryError> {
+        if ts.len() != self.seq_len {
+            return Err(QueryError::LengthMismatch {
+                query: ts.len(),
+                indexed: self.seq_len,
+            });
+        }
+        SeqFeatures::extract(ts).ok_or(QueryError::DegenerateQuery)
+    }
+
+    /// Fetches a sequence's full record (a counted page access) and
+    /// recomputes its features.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the record decodes to a degenerate sequence — only
+    /// indexed ordinals should be fetched.
+    pub fn fetch(&self, ordinal: usize) -> SeqFeatures {
+        let ts = self.fetch_series(ordinal);
+        SeqFeatures::extract(&ts).unwrap_or_else(|| panic!("fetched degenerate sequence {ordinal}"))
+    }
+
+    /// Fetches a sequence's raw samples (a counted page access).
+    pub fn fetch_series(&self, ordinal: usize) -> TimeSeries {
+        self.fetches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let bytes = self.heap.get(self.rids[ordinal]);
+        decode_record(&bytes)
+    }
+
+    /// Scans the whole relation (the sequential-scan baseline); one page
+    /// access per heap page.
+    pub fn scan(&self, f: impl FnMut(usize, TimeSeries)) {
+        self.scan_range(0, self.len, f);
+    }
+
+    /// Scans ordinals `[start, end)`; disjoint ranges can run on separate
+    /// threads (the parallel scan baseline).
+    pub fn scan_range(&self, start: usize, end: usize, mut f: impl FnMut(usize, TimeSeries)) {
+        self.heap.scan_range(start, end, |ordinal, _rid, bytes| {
+            if !self.deleted[ordinal] {
+                f(ordinal, decode_record(bytes));
+            }
+        });
+    }
+
+    /// Predicate-driven index search (see [`RStarTree::search`]).
+    pub fn search(
+        &self,
+        pred: impl FnMut(&FRect) -> bool,
+        on_data: impl FnMut(&FRect, u64),
+    ) -> SearchStats {
+        match &self.tree {
+            TreeImpl::Mem(t) => t.search(pred, on_data),
+            TreeImpl::Paged(t) => t.search(pred, on_data),
+        }
+    }
+
+    /// Duplicate-free self join (see [`RStarTree::self_join`]).
+    pub fn self_join(
+        &self,
+        pred: impl FnMut(&FRect, &FRect) -> bool,
+        on_pair: impl FnMut(&FRect, u64, &FRect, u64),
+    ) -> SearchStats {
+        match &self.tree {
+            TreeImpl::Mem(t) => t.self_join(pred, on_pair),
+            TreeImpl::Paged(t) => t.self_join(pred, on_pair),
+        }
+    }
+
+    /// Best-first nearest-neighbour search (see [`RStarTree::nearest_by`]).
+    pub fn nearest_by(
+        &self,
+        k: usize,
+        node_bound: impl FnMut(&FRect) -> f64,
+        leaf_score: impl FnMut(&FRect, u64) -> Option<f64>,
+    ) -> (Vec<Neighbor<DIMS>>, SearchStats) {
+        match &self.tree {
+            TreeImpl::Mem(t) => t.nearest_by(k, node_bound, leaf_score),
+            TreeImpl::Paged(t) => t.nearest_by(k, node_bound, leaf_score),
+        }
+    }
+
+    /// Optimal multi-step k-NN (see [`RStarTree::nearest_by_refine`]).
+    pub fn nearest_by_refine(
+        &self,
+        k: usize,
+        node_bound: impl FnMut(&FRect) -> f64,
+        leaf_bound: impl FnMut(&FRect, u64) -> f64,
+        refine: impl FnMut(&FRect, u64) -> Option<f64>,
+    ) -> (Vec<Neighbor<DIMS>>, SearchStats) {
+        match &self.tree {
+            TreeImpl::Mem(t) => t.nearest_by_refine(k, node_bound, leaf_bound, refine),
+            TreeImpl::Paged(t) => t.nearest_by_refine(k, node_bound, leaf_bound, refine),
+        }
+    }
+
+    /// Zeroes all access counters and empties the record pool, so the next
+    /// query is measured cold (the paper's per-query accounting).
+    pub fn reset_counters(&self) {
+        match &self.tree {
+            TreeImpl::Mem(t) => t.store().reset_stats(),
+            TreeImpl::Paged(t) => t.store().reset_stats(),
+        }
+        self.heap_pool.clear();
+        self.heap_pool.reset_stats();
+        self.heap_pool.disk().reset_stats();
+        self.fetches.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Snapshot of the access counters.
+    pub fn counters(&self) -> AccessCounters {
+        let node_reads = match &self.tree {
+            TreeImpl::Mem(t) => t.store().stats().reads,
+            TreeImpl::Paged(t) => t.store().stats().reads,
+        };
+        AccessCounters {
+            node_reads,
+            record_page_reads: self.heap_pool.stats().misses,
+            record_fetches: self.fetches.load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// Structural self-check (test support).
+    pub fn validate(&self) -> usize {
+        match &self.tree {
+            TreeImpl::Mem(t) => t.validate(),
+            TreeImpl::Paged(t) => t.validate(),
+        }
+    }
+}
+
+fn build_tree<S: rstartree::NodeStore<DIMS>>(
+    store: S,
+    params: Params,
+    items: Vec<(FRect, u64)>,
+    bulk: bool,
+) -> RStarTree<DIMS, S> {
+    if bulk {
+        bulk_load_str(store, params, items)
+    } else {
+        let mut tree = RStarTree::with_params(store, params);
+        for (rect, data) in items {
+            tree.insert(rect, data);
+        }
+        tree
+    }
+}
+
+fn encode_record(ts: &TimeSeries, buf: &mut [u8]) {
+    debug_assert_eq!(buf.len(), ts.len() * 8);
+    for (chunk, v) in buf.chunks_exact_mut(8).zip(ts.values()) {
+        chunk.copy_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn decode_record(bytes: &[u8]) -> TimeSeries {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseries::CorpusKind;
+
+    fn corpus(n: usize) -> Corpus {
+        Corpus::generate(CorpusKind::SyntheticWalks, n, 64, 5)
+    }
+
+    #[test]
+    fn build_and_fetch_roundtrip() {
+        let c = corpus(50);
+        let idx = SeqIndex::build(&c, IndexConfig::default()).unwrap();
+        assert_eq!(idx.len(), 50);
+        assert_eq!(idx.seq_len(), 64);
+        assert!(idx.skipped().is_empty());
+        idx.validate();
+        for i in [0usize, 17, 49] {
+            let back = idx.fetch_series(i);
+            for (a, b) in back.values().iter().zip(c.series()[i].values()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        let c = Corpus::default();
+        assert!(SeqIndex::build(&c, IndexConfig::default()).is_none());
+    }
+
+    #[test]
+    fn degenerate_sequences_skipped_but_stored() {
+        let mut series = corpus(5).series().to_vec();
+        series.push(TimeSeries::new(vec![3.0; 64]));
+        let names = (0..6).map(|i| format!("s{i}")).collect();
+        let c = Corpus::from_parts(names, series);
+        let idx = SeqIndex::build(&c, IndexConfig::default()).unwrap();
+        assert_eq!(idx.skipped(), &[5]);
+        // The record is still fetchable.
+        assert_eq!(idx.fetch_series(5).values()[0], 3.0);
+        // And the index only holds 5 points.
+        let mut count = 0;
+        idx.search(|_| true, |_, _| count += 1);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn counters_reset_and_track() {
+        let idx = SeqIndex::build(&corpus(200), IndexConfig::default()).unwrap();
+        idx.reset_counters();
+        assert_eq!(idx.counters(), AccessCounters::default());
+        let stats = idx.search(|_| true, |_, _| {});
+        let counters = idx.counters();
+        assert_eq!(counters.node_reads, stats.nodes_accessed);
+        let _ = idx.fetch(0);
+        assert!(idx.counters().record_page_reads >= 1);
+        idx.reset_counters();
+        // Pool was cleared: refetching costs again.
+        let _ = idx.fetch(0);
+        assert_eq!(idx.counters().record_page_reads, 1);
+    }
+
+    #[test]
+    fn mem_and_paged_stores_agree() {
+        let c = corpus(150);
+        let a = SeqIndex::build(
+            &c,
+            IndexConfig {
+                store: StoreKind::Mem,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = SeqIndex::build(&c, IndexConfig::default()).unwrap();
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        a.search(|_| true, |_, d| got_a.push(d));
+        b.search(|_| true, |_, d| got_b.push(d));
+        got_a.sort_unstable();
+        got_b.sort_unstable();
+        assert_eq!(got_a, got_b);
+    }
+
+    #[test]
+    fn insert_built_tree_matches_bulk_tree() {
+        let c = corpus(120);
+        let bulk = SeqIndex::build(&c, IndexConfig::default()).unwrap();
+        let incr = SeqIndex::build(
+            &c,
+            IndexConfig {
+                bulk: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        incr.validate();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        bulk.search(|_| true, |_, d| a.push(d));
+        incr.search(|_| true, |_, d| b.push(d));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prepare_query_validates() {
+        let idx = SeqIndex::build(&corpus(10), IndexConfig::default()).unwrap();
+        let short = TimeSeries::new(vec![1.0; 32]);
+        assert!(matches!(
+            idx.prepare_query(&short),
+            Err(QueryError::LengthMismatch {
+                query: 32,
+                indexed: 64
+            })
+        ));
+        let flat = TimeSeries::new(vec![2.0; 64]);
+        assert!(matches!(
+            idx.prepare_query(&flat),
+            Err(QueryError::DegenerateQuery)
+        ));
+        assert!(idx.prepare_query(&corpus(10).series()[3]).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Persistence: save a built index to a directory, reopen it later.
+// ---------------------------------------------------------------------
+
+impl SeqIndex {
+    /// Persists the index to `dir` (created if needed): the tree's page
+    /// image, the record heap's page image, and a small metadata file.
+    /// Only paged indexes can be saved.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        let TreeImpl::Paged(tree) = &self.tree else {
+            return Err(std::io::Error::other(
+                "only StoreKind::Paged indexes can be saved",
+            ));
+        };
+        std::fs::create_dir_all(dir)?;
+        self.heap_pool.flush_all();
+        tree.store().disk().save_to(&dir.join("tree.pg"))?;
+        self.heap_pool.disk().save_to(&dir.join("records.pg"))?;
+
+        let mut meta = String::new();
+        use std::fmt::Write as _;
+        let params = tree.params();
+        let _ = writeln!(meta, "simseq-index v1");
+        let _ = writeln!(meta, "seq_len {}", self.seq_len);
+        let _ = writeln!(meta, "len {}", self.len);
+        let _ = writeln!(meta, "tree_root {}", tree.root_id().0);
+        let _ = writeln!(meta, "tree_root_level {}", tree.root_level());
+        let _ = writeln!(meta, "tree_len {}", tree.len());
+        let _ = writeln!(
+            meta,
+            "params {} {} {}",
+            params.max_entries, params.min_entries, params.reinsert_count
+        );
+        let _ = writeln!(
+            meta,
+            "skipped {}",
+            self.skipped
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let _ = writeln!(
+            meta,
+            "deleted {}",
+            self.deleted
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| **d)
+                .map(|(i, _)| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let _ = writeln!(
+            meta,
+            "heap_pages {}",
+            self.heap
+                .page_ids()
+                .iter()
+                .map(|p| p.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        std::fs::write(dir.join("meta.txt"), meta)
+    }
+
+    /// Reopens an index saved by [`Self::save`]. `heap_pool_pages` sizes
+    /// the record buffer pool, as in [`IndexConfig`].
+    pub fn open(dir: &std::path::Path, heap_pool_pages: usize) -> std::io::Result<Self> {
+        let meta = std::fs::read_to_string(dir.join("meta.txt"))?;
+        let mut fields = std::collections::HashMap::new();
+        let mut lines = meta.lines();
+        if lines.next() != Some("simseq-index v1") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not a simseq index directory",
+            ));
+        }
+        for line in lines {
+            if let Some((key, value)) = line.split_once(' ') {
+                fields.insert(key.to_string(), value.to_string());
+            } else {
+                fields.insert(line.to_string(), String::new());
+            }
+        }
+        let get = |k: &str| -> std::io::Result<&str> {
+            fields.get(k).map(String::as_str).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("missing {k}"))
+            })
+        };
+        let parse_usize = |k: &str| -> std::io::Result<usize> {
+            get(k)?.trim().parse().map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad {k}: {e}"))
+            })
+        };
+        let parse_list = |k: &str| -> std::io::Result<Vec<u32>> {
+            let raw = get(k)?.trim();
+            if raw.is_empty() {
+                return Ok(Vec::new());
+            }
+            raw.split(',')
+                .map(|s| {
+                    s.parse().map_err(|e| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("bad {k} entry: {e}"),
+                        )
+                    })
+                })
+                .collect()
+        };
+
+        let seq_len = parse_usize("seq_len")?;
+        let len = parse_usize("len")?;
+        let tree_root = parse_usize("tree_root")? as u32;
+        let tree_root_level = parse_usize("tree_root_level")? as u32;
+        let tree_len = parse_usize("tree_len")?;
+        let params_raw: Vec<usize> = get("params")?
+            .split_whitespace()
+            .map(|s| s.parse().unwrap_or(0))
+            .collect();
+        if params_raw.len() != 3 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bad params line",
+            ));
+        }
+        let params = Params {
+            max_entries: params_raw[0],
+            min_entries: params_raw[1],
+            reinsert_count: params_raw[2],
+        };
+        let skipped: Vec<usize> = parse_list("skipped")?
+            .into_iter()
+            .map(|v| v as usize)
+            .collect();
+        let mut deleted = vec![false; len];
+        // Older images may lack the deleted line; treat absence as empty.
+        if fields.contains_key("deleted") {
+            for idx in parse_list("deleted")? {
+                if (idx as usize) < len {
+                    deleted[idx as usize] = true;
+                }
+            }
+        }
+        let heap_pages: Vec<pagestore::PageId> = parse_list("heap_pages")?
+            .into_iter()
+            .map(pagestore::PageId)
+            .collect();
+
+        let tree_disk = Arc::new(Disk::load_from(&dir.join("tree.pg"))?);
+        let heap_disk = Arc::new(Disk::load_from(&dir.join("records.pg"))?);
+        let heap_pool = Arc::new(BufferPool::new(heap_disk, heap_pool_pages.max(1)));
+        let heap = DynHeapFile::reopen(Arc::clone(&heap_pool), seq_len * 8, len, heap_pages);
+        let rids = (0..len).map(|i| heap.rid_of(i)).collect();
+        let tree = RStarTree::open(
+            PagedStore::new(tree_disk),
+            rstartree::NodeId(tree_root),
+            tree_root_level,
+            tree_len,
+            params,
+        );
+
+        Ok(Self {
+            tree: TreeImpl::Paged(tree),
+            heap,
+            heap_pool,
+            rids,
+            seq_len,
+            len,
+            skipped,
+            deleted,
+            leaf_capacity: params.max_entries,
+            fetches: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod maintenance_tests {
+    use super::*;
+    use crate::engine::{mtindex, seqscan};
+    use crate::query::{FilterPolicy, RangeSpec};
+    use crate::transform::Family;
+    use tseries::CorpusKind;
+
+    #[test]
+    fn incremental_index_matches_fresh_build() {
+        let full = Corpus::generate(CorpusKind::SyntheticWalks, 120, 64, 61);
+        // Build from the first 80, then insert the remaining 40 live.
+        let mut index = SeqIndex::build(&full.truncated(80), IndexConfig::default()).unwrap();
+        for ts in &full.series()[80..] {
+            index.insert_series(ts).unwrap();
+        }
+        assert_eq!(index.len(), 120);
+        index.validate();
+
+        let fresh = SeqIndex::build(&full, IndexConfig::default()).unwrap();
+        let family = Family::moving_averages(3..=8, 64);
+        let spec = RangeSpec::correlation(0.94).with_policy(FilterPolicy::Safe);
+        for qi in [0usize, 79, 119] {
+            let q = &full.series()[qi];
+            let a = mtindex::range_query(&index, q, &family, &spec).unwrap();
+            let b = mtindex::range_query(&fresh, q, &family, &spec).unwrap();
+            assert_eq!(a.sorted_pairs(), b.sorted_pairs(), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn deletions_remove_from_all_engines() {
+        let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 90, 64, 67);
+        let mut index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+        for victim in [5usize, 30, 31, 89] {
+            assert!(index.delete_series(victim));
+            assert!(!index.delete_series(victim), "double delete returns false");
+        }
+        assert_eq!(index.deleted_count(), 4);
+        index.validate();
+
+        let family = Family::moving_averages(2..=6, 64);
+        let spec = RangeSpec::correlation(0.9).with_policy(FilterPolicy::Safe);
+        let q = &corpus.series()[0];
+        let mt = mtindex::range_query(&index, q, &family, &spec).unwrap();
+        let scan = seqscan::range_query(&index, q, &family, &spec).unwrap();
+        assert_eq!(mt.sorted_pairs(), scan.sorted_pairs());
+        for victim in [5usize, 30, 31, 89] {
+            assert!(
+                mt.matches.iter().all(|m| m.seq != victim),
+                "deleted {victim} resurfaced"
+            );
+        }
+    }
+
+    #[test]
+    fn deleted_set_survives_persistence() {
+        let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 40, 64, 71);
+        let mut index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+        index.delete_series(7);
+        index.delete_series(12);
+        let dir = std::env::temp_dir()
+            .join("simquery_index_persistence")
+            .join("tombstones");
+        std::fs::create_dir_all(&dir).unwrap();
+        index.save(&dir).unwrap();
+        let reopened = SeqIndex::open(&dir, 16).unwrap();
+        assert_eq!(reopened.deleted_count(), 2);
+        let family = Family::moving_averages(1..=1, 64);
+        let spec = RangeSpec::euclidean(1e-6).with_policy(FilterPolicy::Safe);
+        // Deleted sequence no longer matches even itself.
+        let r = mtindex::range_query(&reopened, &corpus.series()[7], &family, &spec).unwrap();
+        assert!(r.matches.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn insert_wrong_length_rejected() {
+        let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 10, 64, 73);
+        let mut index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+        let short = TimeSeries::new(vec![1.0; 32]);
+        assert!(matches!(
+            index.insert_series(&short),
+            Err(QueryError::LengthMismatch {
+                query: 32,
+                indexed: 64
+            })
+        ));
+        // Degenerate inserts are stored but skipped.
+        let flat = TimeSeries::new(vec![2.0; 64]);
+        let ord = index.insert_series(&flat).unwrap();
+        assert!(index.skipped().contains(&ord));
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::engine::mtindex;
+    use crate::query::{FilterPolicy, RangeSpec};
+    use crate::transform::Family;
+    use tseries::CorpusKind;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("simquery_index_persistence")
+            .join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_open_roundtrip_preserves_queries() {
+        let corpus = Corpus::generate(CorpusKind::StockCloses, 150, 128, 21);
+        let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+        let family = Family::moving_averages(5..=12, 128);
+        let spec = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+        let q = &corpus.series()[33];
+        let want = mtindex::range_query(&index, q, &family, &spec).unwrap();
+
+        let dir = tmpdir("roundtrip");
+        index.save(&dir).unwrap();
+        let reopened = SeqIndex::open(&dir, 64).unwrap();
+        reopened.validate();
+        assert_eq!(reopened.len(), 150);
+        assert_eq!(reopened.seq_len(), 128);
+        let got = mtindex::range_query(&reopened, q, &family, &spec).unwrap();
+        assert_eq!(want.sorted_pairs(), got.sorted_pairs());
+        // Records survive bit-exactly.
+        for i in [0usize, 77, 149] {
+            let a = index.fetch_series(i);
+            let b = reopened.fetch_series(i);
+            assert_eq!(a.values(), b.values());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_index_refuses_to_save() {
+        let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 10, 64, 1);
+        let index = SeqIndex::build(
+            &corpus,
+            IndexConfig {
+                store: StoreKind::Mem,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(index.save(&tmpdir("mem")).is_err());
+    }
+
+    #[test]
+    fn open_rejects_garbage_dir() {
+        let dir = tmpdir("garbage");
+        std::fs::write(dir.join("meta.txt"), "something else").unwrap();
+        assert!(SeqIndex::open(&dir, 8).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn skipped_ordinals_survive() {
+        let mut series = Corpus::generate(CorpusKind::SyntheticWalks, 5, 64, 2)
+            .series()
+            .to_vec();
+        series.insert(2, tseries::TimeSeries::new(vec![1.0; 64]));
+        let names = (0..6).map(|i| format!("s{i}")).collect();
+        let corpus = Corpus::from_parts(names, series);
+        let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+        assert_eq!(index.skipped(), &[2]);
+        let dir = tmpdir("skipped");
+        index.save(&dir).unwrap();
+        let reopened = SeqIndex::open(&dir, 8).unwrap();
+        assert_eq!(reopened.skipped(), &[2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod open_robustness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Arbitrary bytes in meta.txt must produce an error, never a panic.
+        #[test]
+        fn garbage_meta_is_an_error(garbage in ".{0,400}") {
+            let dir = std::env::temp_dir()
+                .join("simquery_meta_fuzz")
+                .join(format!("{:x}", garbage.len() * 31 + garbage.bytes().map(u64::from).sum::<u64>() as usize));
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("meta.txt"), &garbage).unwrap();
+            // tree.pg / records.pg absent or garbage — open must just Err.
+            std::fs::write(dir.join("tree.pg"), b"junk").ok();
+            std::fs::write(dir.join("records.pg"), b"junk").ok();
+            prop_assert!(SeqIndex::open(&dir, 8).is_err());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        /// A valid header with corrupted numeric fields errors cleanly too.
+        #[test]
+        fn corrupted_fields_are_errors(
+            seq_len in ".{0,8}",
+            root in ".{0,8}",
+        ) {
+            let dir = std::env::temp_dir().join("simquery_meta_fuzz2").join(format!(
+                "{:x}",
+                seq_len.len() * 131 + root.len()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let meta = format!(
+                "simseq-index v1\nseq_len {seq_len}\nlen 1\ntree_root {root}\n\
+                 tree_root_level 0\ntree_len 1\nparams 8 3 2\nskipped \nheap_pages 0\n"
+            );
+            std::fs::write(dir.join("meta.txt"), meta).unwrap();
+            std::fs::write(dir.join("tree.pg"), b"junk").ok();
+            std::fs::write(dir.join("records.pg"), b"junk").ok();
+            // Either field parsing fails or the page images are rejected —
+            // never a panic.
+            prop_assert!(SeqIndex::open(&dir, 8).is_err());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Grouping transformations into rectangles (§4.3, §5.2).
+//!
+//! One big MBR minimises index traversals but can cover a huge region
+//! (especially when the set has several clusters — Fig. 9's bumps); many
+//! small MBRs filter sharply but traverse repeatedly. The strategies here
+//! reproduce the paper's sweep ("we equally partitioned subsequent
+//! transformations") plus the cluster-aware fix it recommends.
+
+use crate::cluster::{agglomerative, kmeans};
+use crate::feature::DIMS;
+use crate::tmbr::TransformMbr;
+use crate::transform::Family;
+
+/// How to split a family into transformation rectangles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Everything in one rectangle (the §5.1 configuration).
+    Single,
+    /// Consecutive runs of `per_mbr` transformations per rectangle — the
+    /// §5.2 sweep variable ("# of transformations per MBR").
+    EqualWidth {
+        /// Transformations per rectangle.
+        per_mbr: usize,
+    },
+    /// Deterministic k-means over the `(a, b)` points.
+    KMeans {
+        /// Number of clusters.
+        k: usize,
+    },
+    /// Agglomerative complete-linkage clustering over the `(a, b)` points.
+    Agglomerative {
+        /// Number of clusters.
+        k: usize,
+    },
+}
+
+/// Splits `family` into MBRs per the strategy. Member index lists are
+/// always sorted ascending (binary search over ordered families relies on
+/// this).
+pub fn partition(family: &Family, strategy: &PartitionStrategy) -> Vec<TransformMbr> {
+    match strategy {
+        PartitionStrategy::Single => vec![TransformMbr::of_family(family)],
+        PartitionStrategy::EqualWidth { per_mbr } => {
+            assert!(*per_mbr >= 1, "per_mbr must be positive");
+            (0..family.len())
+                .collect::<Vec<_>>()
+                .chunks(*per_mbr)
+                .map(|chunk| TransformMbr::of(family, chunk.to_vec()))
+                .collect()
+        }
+        PartitionStrategy::KMeans { k } => {
+            groups_to_mbrs(family, kmeans(&transform_points(family), *k))
+        }
+        PartitionStrategy::Agglomerative { k } => {
+            groups_to_mbrs(family, agglomerative(&transform_points(family), *k))
+        }
+    }
+}
+
+/// Each transformation as a point in the 2·DIMS-dimensional `(a, b)` space
+/// of §4.1.
+fn transform_points(family: &Family) -> Vec<Vec<f64>> {
+    family
+        .transforms()
+        .iter()
+        .map(|t| {
+            let mut p = Vec::with_capacity(2 * DIMS);
+            p.extend_from_slice(t.feat_a());
+            p.extend_from_slice(t.feat_b());
+            p
+        })
+        .collect()
+}
+
+fn groups_to_mbrs(family: &Family, assign: Vec<usize>) -> Vec<TransformMbr> {
+    let k = assign.iter().max().map_or(0, |m| m + 1);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, c) in assign.iter().enumerate() {
+        groups[*c].push(i);
+    }
+    groups
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| TransformMbr::of(family, g))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_covers_all() {
+        let fam = Family::moving_averages(6..=29, 64);
+        let mbrs = partition(&fam, &PartitionStrategy::Single);
+        assert_eq!(mbrs.len(), 1);
+        assert_eq!(mbrs[0].nt(), 24);
+    }
+
+    #[test]
+    fn equal_width_partitions_exactly() {
+        let fam = Family::moving_averages(6..=29, 64); // 24 transforms
+        for per in [1usize, 4, 6, 8, 24, 30] {
+            let mbrs = partition(&fam, &PartitionStrategy::EqualWidth { per_mbr: per });
+            assert_eq!(mbrs.len(), 24usize.div_ceil(per));
+            let mut all: Vec<usize> = mbrs.iter().flat_map(|m| m.members.clone()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..24).collect::<Vec<_>>());
+            // All but the last group hold exactly `per`.
+            for m in &mbrs[..mbrs.len() - 1] {
+                assert_eq!(m.nt(), per.min(24));
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_splits_inverted_family() {
+        // mv6..29 plus their inversions form two clusters in (a, b) space
+        // (inversion flips magnitudes' sign structure via the +π angle
+        // offsets). Cluster-aware partitioning must never mix them.
+        let fam = Family::moving_averages(6..=29, 64).with_inverted();
+        for strategy in [
+            PartitionStrategy::KMeans { k: 2 },
+            PartitionStrategy::Agglomerative { k: 2 },
+        ] {
+            let mbrs = partition(&fam, &strategy);
+            assert_eq!(mbrs.len(), 2, "{strategy:?}");
+            for m in &mbrs {
+                let inverted: Vec<bool> = m.members.iter().map(|&i| i >= 24).collect();
+                assert!(
+                    inverted.iter().all(|b| *b) || inverted.iter().all(|b| !*b),
+                    "{strategy:?} mixed clusters: {:?}",
+                    m.members
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn members_are_sorted() {
+        let fam = Family::moving_averages(1..=16, 64).with_inverted();
+        for strategy in [
+            PartitionStrategy::EqualWidth { per_mbr: 5 },
+            PartitionStrategy::KMeans { k: 3 },
+            PartitionStrategy::Agglomerative { k: 3 },
+        ] {
+            for m in partition(&fam, &strategy) {
+                assert!(m.members.windows(2).all(|w| w[0] < w[1]), "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_rectangles_have_smaller_extent() {
+        let fam = Family::moving_averages(6..=29, 64);
+        let one = partition(&fam, &PartitionStrategy::Single);
+        let six = partition(&fam, &PartitionStrategy::EqualWidth { per_mbr: 6 });
+        let max_small = six.iter().map(TransformMbr::extent).fold(0.0, f64::max);
+        assert!(max_small <= one[0].extent());
+    }
+}
+
+/// A cost-annotated optimizer report: candidate partitioning names with
+/// their estimated Eq. 20 costs.
+pub type OptimizerReport = Vec<(String, f64)>;
+
+/// §4.3's cost-driven partitioning: "estimate the cost for any possible set
+/// of MBRs and choose the set that gives the minimum cost."
+///
+/// Enumerates a candidate set of partitionings (one rectangle, equal-width
+/// runs at several granularities, and cluster-based groupings), probes each
+/// with filter-only traversals over the given sample queries, evaluates
+/// Eq. 20, and returns the cheapest. The returned report lists every
+/// candidate with its estimated cost, for inspection and for the ablation
+/// bench.
+pub fn optimize(
+    index: &crate::index::SeqIndex,
+    family: &Family,
+    spec: &crate::query::RangeSpec,
+    sample_queries: &[tseries::TimeSeries],
+    model: &crate::cost::CostModel,
+) -> Result<(Vec<TransformMbr>, OptimizerReport), crate::report::QueryError> {
+    assert!(
+        !sample_queries.is_empty(),
+        "optimizer needs at least one sample query"
+    );
+    let t = family.len();
+    let mut candidates: Vec<(String, PartitionStrategy)> =
+        vec![("single".into(), PartitionStrategy::Single)];
+    for per in [2usize, 3, 4, 6, 8, 12, 16] {
+        if per < t {
+            candidates.push((
+                format!("equal {per}/MBR"),
+                PartitionStrategy::EqualWidth { per_mbr: per },
+            ));
+        }
+    }
+    for k in 2..=4usize {
+        if k < t {
+            candidates.push((format!("k-means k={k}"), PartitionStrategy::KMeans { k }));
+        }
+    }
+
+    let mut report = Vec::with_capacity(candidates.len());
+    let mut best: Option<(f64, Vec<TransformMbr>)> = None;
+    for (name, strategy) in candidates {
+        let mbrs = partition(family, &strategy);
+        let mut cost = 0.0;
+        for q in sample_queries {
+            let traversals = crate::engine::mtindex::probe(index, q, family, spec, &mbrs)?;
+            cost += model.cost(&traversals, index.leaf_capacity());
+        }
+        cost /= sample_queries.len() as f64;
+        report.push((name, cost));
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, mbrs));
+        }
+    }
+    let (_, mbrs) = best.expect("at least one candidate");
+    Ok((mbrs, report))
+}
+
+#[cfg(test)]
+mod optimize_tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::index::{IndexConfig, SeqIndex};
+    use crate::query::RangeSpec;
+    use tseries::{Corpus, CorpusKind};
+
+    #[test]
+    fn optimizer_picks_a_cheap_partitioning() {
+        let corpus = Corpus::generate(CorpusKind::StockCloses, 300, 128, 9);
+        let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+        let family = Family::moving_averages(6..=29, 128);
+        let spec = RangeSpec::correlation(0.96);
+        let samples: Vec<_> = (0..3).map(|i| corpus.series()[i * 90].clone()).collect();
+        let (mbrs, report) =
+            optimize(&index, &family, &spec, &samples, &CostModel::default()).unwrap();
+        assert!(!mbrs.is_empty());
+        assert!(report.len() >= 5);
+        // The chosen plan's cost equals the report's minimum.
+        let min = report.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+        let chosen_cost = report
+            .iter()
+            .find(|(_, c)| (*c - min).abs() < 1e-9)
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert!((chosen_cost - min).abs() < 1e-9);
+        // Every transformation is covered exactly once.
+        let mut members: Vec<usize> = mbrs.iter().flat_map(|m| m.members.clone()).collect();
+        members.sort_unstable();
+        assert_eq!(members, (0..family.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn optimizer_avoids_straddling_for_clustered_families() {
+        // For a ±family the straddling single rectangle should not win:
+        // its leaf term (DA_leaf · NT) dominates Eq. 20.
+        let corpus = Corpus::generate(CorpusKind::StockCloses, 300, 128, 10);
+        let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+        let family = Family::moving_averages(6..=29, 128).with_inverted();
+        let spec = RangeSpec::correlation(0.96);
+        let samples = vec![corpus.series()[42].clone()];
+        let (_, report) =
+            optimize(&index, &family, &spec, &samples, &CostModel::default()).unwrap();
+        let single = report.iter().find(|(n, _)| n == "single").unwrap().1;
+        let best = report.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+        assert!(
+            best <= single,
+            "single-rectangle must not beat the best: {best} vs {single}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn optimizer_rejects_empty_samples() {
+        let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 10, 64, 1);
+        let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+        let family = Family::moving_averages(1..=4, 64);
+        let _ = optimize(
+            &index,
+            &family,
+            &RangeSpec::correlation(0.96),
+            &[],
+            &CostModel::default(),
+        );
+    }
+}

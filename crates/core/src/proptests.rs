@@ -1,0 +1,144 @@
+#![allow(clippy::needless_range_loop)] // parallel-array loops over DIMS read clearer indexed
+//! Crate-wide property tests of the core geometric/algebraic invariants.
+
+use crate::feature::{FeatureVec, DIMS};
+use crate::query::{Filter, FilterPolicy};
+use crate::tmbr::TransformMbr;
+use crate::transform::{Family, Transform};
+use proptest::prelude::*;
+use rstartree::Rect;
+
+fn fvec() -> impl Strategy<Value = FeatureVec> {
+    // mean/std plain; magnitudes non-negative; angles within (−π, π].
+    let pi = std::f64::consts::PI;
+    (
+        -100f64..100.0,
+        0.1f64..50.0,
+        0f64..12.0,
+        -pi..pi,
+        0f64..8.0,
+        -pi..pi,
+    )
+        .prop_map(|(m, s, r1, t1, r2, t2)| [m, s, r1, t1, r2, t2])
+}
+
+fn frect() -> impl Strategy<Value = Rect<DIMS>> {
+    (fvec(), prop::collection::vec(0f64..3.0, DIMS)).prop_map(|(lo, ext)| {
+        let mut hi = lo;
+        for (h, e) in hi.iter_mut().zip(&ext) {
+            *h += e;
+        }
+        Rect { lo, hi }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Applying a single transformation's MBR to a point equals applying
+    /// the transformation — degenerate rectangles stay degenerate.
+    #[test]
+    fn single_member_mbr_is_the_transform(p in fvec(), m in 1usize..20) {
+        let fam = Family::moving_averages(1..=20, 64);
+        let mbr = TransformMbr::of(&fam, vec![m - 1]);
+        let rect = mbr.apply_to_point(&p);
+        let tp = fam.transforms()[m - 1].apply_point(&p);
+        for i in 0..DIMS {
+            prop_assert!((rect.lo[i] - tp[i]).abs() < 1e-9);
+            prop_assert!((rect.hi[i] - tp[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Eq. 12 is monotone: a bigger data rectangle yields a bigger
+    /// transformed rectangle (the property the index descent relies on).
+    #[test]
+    fn apply_to_rect_is_monotone(r in frect(), grow in prop::collection::vec(0f64..2.0, DIMS)) {
+        let fam = Family::moving_averages(2..=9, 64).with_inverted();
+        let mbr = TransformMbr::of_family(&fam);
+        let mut big = r;
+        for i in 0..DIMS {
+            big.lo[i] -= grow[i];
+            big.hi[i] += grow[i];
+        }
+        let small_t = mbr.apply_to_rect(&r);
+        let big_t = mbr.apply_to_rect(&big);
+        prop_assert!(big_t.contains_rect(&small_t), "{small_t:?} not within {big_t:?}");
+    }
+
+    /// Filter monotonicity: growing either rectangle can only turn a miss
+    /// into a hit, never the reverse — under every policy.
+    #[test]
+    fn filter_hit_is_monotone(
+        a in frect(),
+        b in frect(),
+        grow in prop::collection::vec(0f64..1.5, DIMS),
+        eps in 0.1f64..5.0,
+    ) {
+        for policy in [FilterPolicy::Paper, FilterPolicy::Safe, FilterPolicy::Adaptive] {
+            let filter = Filter::new(eps, policy);
+            if filter.hit(&a, &b) {
+                let mut bigger = a;
+                for i in 0..DIMS {
+                    bigger.lo[i] -= grow[i];
+                    bigger.hi[i] += grow[i];
+                }
+                prop_assert!(filter.hit(&bigger, &b), "{policy:?} lost a hit when a grew");
+            }
+        }
+    }
+
+    /// Adaptive admits a subset of Safe and a superset of nothing it
+    /// shouldn't: any pair of points whose *true* complex distance over the
+    /// two stored coefficients is within ε/√2 must hit under Adaptive.
+    #[test]
+    fn adaptive_is_sound_on_points(x in fvec(), q in fvec(), eps in 0.2f64..6.0) {
+        use tsfft::Complex64;
+        let per_coeff: f64 = [(2usize, 3usize), (4, 5)]
+            .iter()
+            .map(|&(md, ad)| {
+                (Complex64::from_polar(x[md], x[ad]) - Complex64::from_polar(q[md], q[ad]))
+                    .norm_sqr()
+            })
+            .sum();
+        // If the full distance could be ≤ ε then (symmetry) the two-coeff
+        // part is ≤ ε²/2.
+        if per_coeff.sqrt() <= eps / std::f64::consts::SQRT_2 {
+            let filter = Filter::new(eps, FilterPolicy::Adaptive);
+            prop_assert!(
+                filter.hit(&Rect::point(x), &Rect::point(q)),
+                "Adaptive dismissed a qualifying pair: coeff dist {} vs {}",
+                per_coeff.sqrt(),
+                eps / std::f64::consts::SQRT_2
+            );
+        }
+    }
+
+    /// Composition is associative on the feature action.
+    #[test]
+    fn composition_associative_on_features(p in fvec()) {
+        let a = Transform::moving_average(3, 64);
+        let b = Transform::circular_shift(2, 64);
+        let c = Transform::scaling(1.5, 64);
+        let left = a.compose(&b).compose(&c);
+        let right = a.compose(&b.compose(&c));
+        let lp = left.apply_point(&p);
+        let rp = right.apply_point(&p);
+        for i in 0..DIMS {
+            prop_assert!((lp[i] - rp[i]).abs() < 1e-9);
+        }
+    }
+
+    /// `apply_rect` of a degenerate rectangle equals `apply_point`, for
+    /// arbitrary (including negative-multiplier) transformations.
+    #[test]
+    fn apply_rect_point_consistency(p in fvec(), k in -4f64..4.0) {
+        prop_assume!(k.abs() > 1e-3);
+        let t = Transform::scaling(k, 64);
+        let r = t.apply_rect(&Rect::point(p));
+        let tp = t.apply_point(&p);
+        for i in 0..DIMS {
+            prop_assert!((r.lo[i] - tp[i]).abs() < 1e-9);
+            prop_assert!((r.hi[i] - tp[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Query specifications and the index-filter geometry.
+//!
+//! A range query carries a similarity threshold — either a Euclidean ε or a
+//! cross-correlation ρ converted through Eq. 9 — and a [`FilterPolicy`]
+//! deciding how search rectangles are built:
+//!
+//! * **`Paper`** — the paper's setup: a window of half-width `ε/√2` on every
+//!   DFT dimension (the √2 comes from the conjugate-symmetry bound, §2.1).
+//!   On *angle* dimensions this window is a heuristic: phase differences do
+//!   not Euclidean-bound the complex-domain distance when magnitudes are
+//!   small. We improve on the original by making the angle comparison
+//!   **circular** (wrap-aware), and the experiments verify empirically that
+//!   recall stays 100 % on the paper's workloads.
+//! * **`Safe`** — provably lossless: magnitude dimensions keep the `ε/√2`
+//!   window (a true lower bound via `|r_x − r_q| ≤ |X_f − Q_f|` and the
+//!   symmetry factor), angle dimensions are unconstrained. Property tests
+//!   assert `MT(Safe) ≡ ST(Safe) ≡ seqscan` exactly.
+//!
+//! Mean/std dimensions (0, 1) are never constrained by Query 1 — the
+//! distance is over *normal forms* — matching §5's setup where those
+//! dimensions serve other query types.
+
+use crate::feature::{FRect, FeatureVec, ANGLE_DIMS, DIMS, MAG_DIMS};
+use crate::tmbr::TransformMbr;
+use crate::transform::Transform;
+use tseries::distance_threshold_for_correlation;
+
+/// Which side(s) of the comparison a transformation applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Query 1 verbatim: `D(t(x), t(q)) < ε` — both sides transformed.
+    #[default]
+    Symmetric,
+    /// `D(t(x), q) < ε` — the data side only. Required for alignment
+    /// semantics (time shifts, Example 1.2) and hedging (inversion), where
+    /// symmetric application is an isometry and changes nothing; also the
+    /// literal reading of Algorithm 1's step 2 ("a search rectangle of
+    /// width ε around q").
+    DataOnly,
+}
+
+/// How index-filter rectangles treat the heuristic angle dimensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FilterPolicy {
+    /// The paper's ±ε/√2 window on all DFT dimensions (wrap-aware on
+    /// angles). Fast; guaranteed only on magnitude dimensions.
+    #[default]
+    Paper,
+    /// Angle dimensions unconstrained — provably no false dismissals.
+    Safe,
+    /// This library's extension: a *sound* angle filter. Per coefficient,
+    /// `|A−B|² = (r_A−r_B)² + 4·r_A·r_B·sin²(Δθ/2)`, so
+    /// `|A−B| ≥ 2·√(r_A·r_B)·|sin(Δθ/2)|`; with the magnitude lower bounds
+    /// taken from the rectangles themselves, an angular gap δ prunes
+    /// whenever `2·√(r_min·r'_min)·sin(δ/2) > ε/√2`. Never dismisses a
+    /// qualifying sequence (unlike `Paper`), prunes wherever magnitudes
+    /// are large (unlike `Safe`).
+    Adaptive,
+}
+
+/// The similarity threshold of a range query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Threshold {
+    /// Euclidean distance over transformed normal forms.
+    Euclidean(f64),
+    /// Cross-correlation over transformed normal forms; converted to a
+    /// Euclidean ε through Eq. 9 per sequence length.
+    Correlation(f64),
+}
+
+/// A range-query specification ("… within distance ε", Query 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RangeSpec {
+    /// The similarity threshold.
+    pub threshold: Threshold,
+    /// The filter policy.
+    pub policy: FilterPolicy,
+    /// Which side(s) the transformations apply to.
+    pub mode: QueryMode,
+}
+
+impl RangeSpec {
+    /// A Euclidean threshold with the default ([`FilterPolicy::Paper`])
+    /// policy.
+    pub fn euclidean(eps: f64) -> Self {
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "threshold must be a finite non-negative number"
+        );
+        Self {
+            threshold: Threshold::Euclidean(eps),
+            policy: FilterPolicy::default(),
+            mode: QueryMode::default(),
+        }
+    }
+
+    /// A correlation threshold (the experiments fix ρ = 0.96).
+    ///
+    /// ```
+    /// use simquery::query::RangeSpec;
+    /// // Eq. 9 at n = 128: ε² = 2(127 − 0.96·128) = 8.24.
+    /// let spec = RangeSpec::correlation(0.96);
+    /// assert!((spec.epsilon(128).powi(2) - 8.24).abs() < 1e-9);
+    /// ```
+    pub fn correlation(rho: f64) -> Self {
+        assert!(
+            (-1.0..=1.0).contains(&rho),
+            "correlation must lie in [−1, 1]"
+        );
+        Self {
+            threshold: Threshold::Correlation(rho),
+            policy: FilterPolicy::default(),
+            mode: QueryMode::default(),
+        }
+    }
+
+    /// Overrides the filter policy.
+    pub fn with_policy(mut self, policy: FilterPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the query mode.
+    pub fn with_mode(mut self, mode: QueryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Resolves the Euclidean ε for sequences of length `n`.
+    pub fn epsilon(&self, n: usize) -> f64 {
+        match self.threshold {
+            Threshold::Euclidean(e) => e,
+            Threshold::Correlation(rho) => distance_threshold_for_correlation(n, rho),
+        }
+    }
+}
+
+/// Per-dimension half-widths of the search window for threshold `eps`.
+pub fn expansion(eps: f64, policy: FilterPolicy) -> [f64; DIMS] {
+    let w = eps / std::f64::consts::SQRT_2; // conjugate-symmetry factor
+    let mut e = [f64::INFINITY; DIMS]; // dims 0,1 unconstrained
+    for &d in &MAG_DIMS {
+        e[d] = w;
+    }
+    for &d in &ANGLE_DIMS {
+        e[d] = match policy {
+            FilterPolicy::Paper => w,
+            // Adaptive handles angles in `Filter::hit`, not by window.
+            FilterPolicy::Safe | FilterPolicy::Adaptive => f64::INFINITY,
+        };
+    }
+    e
+}
+
+/// The complete index filter for one query: policy, threshold-derived
+/// windows, and the adaptive angle test.
+#[derive(Clone, Copy, Debug)]
+pub struct Filter {
+    expand: [f64; DIMS],
+    policy: FilterPolicy,
+    /// `ε/√2` — the per-coefficient bound.
+    w: f64,
+}
+
+impl Filter {
+    /// Builds the filter for threshold `eps`.
+    pub fn new(eps: f64, policy: FilterPolicy) -> Self {
+        Self {
+            expand: expansion(eps, policy),
+            policy,
+            w: eps / std::f64::consts::SQRT_2,
+        }
+    }
+
+    /// True when a (transformed) data rectangle `a` may contain a point
+    /// within ε of some point of the (transformed) query region `b`.
+    pub fn hit(&self, a: &FRect, b: &FRect) -> bool {
+        if !within(a, b, &self.expand) {
+            return false;
+        }
+        if self.policy != FilterPolicy::Adaptive {
+            return true;
+        }
+        // Adaptive angle test per retained coefficient.
+        for (&md, &ad) in MAG_DIMS.iter().zip(&ANGLE_DIMS) {
+            let delta = circular_gap(a.lo[ad], a.hi[ad], b.lo[ad], b.hi[ad]);
+            if delta <= 0.0 {
+                continue;
+            }
+            let r_a = a.lo[md].max(0.0);
+            let r_b = b.lo[md].max(0.0);
+            let chord = 2.0 * (r_a * r_b).sqrt() * (delta / 2.0).sin();
+            if chord > self.w {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Minimal angular distance between two intervals on the 2π circle
+/// (0 when they overlap), clamped to `[0, π]`.
+pub fn circular_gap(alo: f64, ahi: f64, blo: f64, bhi: f64) -> f64 {
+    const TAU: f64 = 2.0 * std::f64::consts::PI;
+    debug_assert!(alo <= ahi && blo <= bhi);
+    if !(alo.is_finite() && ahi.is_finite() && blo.is_finite() && bhi.is_finite()) {
+        return 0.0;
+    }
+    if (ahi - alo) + (bhi - blo) >= TAU {
+        return 0.0;
+    }
+    let k_min = ((alo - bhi) / TAU).floor() as i64 - 1;
+    let k_max = ((ahi - blo) / TAU).ceil() as i64 + 1;
+    let mut best = f64::INFINITY;
+    for k in k_min..=k_max {
+        let s = k as f64 * TAU;
+        // Gap between [alo, ahi] and the shifted [blo+s, bhi+s].
+        let gap = if alo > bhi + s {
+            alo - (bhi + s)
+        } else if blo + s > ahi {
+            (blo + s) - ahi
+        } else {
+            0.0
+        };
+        best = best.min(gap);
+    }
+    best.min(std::f64::consts::PI)
+}
+
+/// True when rectangle `a` comes within `expand` of rectangle `b` in every
+/// dimension — i.e. `a` intersects `b` grown by `expand`. Angle dimensions
+/// compare circularly (period 2π).
+pub fn within(a: &FRect, b: &FRect, expand: &[f64; DIMS]) -> bool {
+    for (i, &e) in expand.iter().enumerate() {
+        if e.is_infinite() {
+            continue;
+        }
+        let circular = ANGLE_DIMS.contains(&i);
+        if circular {
+            if !circular_overlap(a.lo[i], a.hi[i], b.lo[i] - e, b.hi[i] + e) {
+                return false;
+            }
+        } else if !(a.lo[i] <= b.hi[i] + e && b.lo[i] - e <= a.hi[i]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Interval overlap on the circle of circumference 2π.
+pub fn circular_overlap(alo: f64, ahi: f64, blo: f64, bhi: f64) -> bool {
+    const TAU: f64 = 2.0 * std::f64::consts::PI;
+    debug_assert!(alo <= ahi && blo <= bhi);
+    if !(alo.is_finite() && ahi.is_finite() && blo.is_finite() && bhi.is_finite()) {
+        return true;
+    }
+    if (ahi - alo) + (bhi - blo) >= TAU {
+        return true;
+    }
+    let k_min = ((alo - bhi) / TAU).floor() as i64;
+    let k_max = ((ahi - blo) / TAU).ceil() as i64;
+    (k_min..=k_max).any(|k| {
+        let s = k as f64 * TAU;
+        alo <= bhi + s && blo + s <= ahi
+    })
+}
+
+/// The MT-index query region: the MBR of `{r(q)}` for the transformation
+/// rectangle `r` under [`QueryMode::Symmetric`], or `q` itself under
+/// [`QueryMode::DataOnly`] (filters then test
+/// `within(transformed-data-rect, region, expansion)`).
+pub fn mt_query_region(mbr: &TransformMbr, q: &FeatureVec, mode: QueryMode) -> FRect {
+    match mode {
+        QueryMode::Symmetric => mbr.apply_to_point(q),
+        QueryMode::DataOnly => rstartree::Rect::point(*q),
+    }
+}
+
+/// The ST-index query region for a single transformation: the (degenerate)
+/// rectangle at `t(q)` — or at `q` for data-only queries.
+pub fn st_query_region(t: &Transform, q: &FeatureVec, mode: QueryMode) -> FRect {
+    match mode {
+        QueryMode::Symmetric => rstartree::Rect::point(t.apply_point(q)),
+        QueryMode::DataOnly => rstartree::Rect::point(*q),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstartree::Rect;
+
+    #[test]
+    fn threshold_resolution() {
+        let spec = RangeSpec::euclidean(2.5);
+        assert_eq!(spec.epsilon(128), 2.5);
+        let spec = RangeSpec::correlation(0.96);
+        assert!((spec.epsilon(128).powi(2) - 8.24).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation")]
+    fn bad_correlation_rejected() {
+        RangeSpec::correlation(1.5);
+    }
+
+    #[test]
+    fn expansion_layout() {
+        let e = expansion(2.0, FilterPolicy::Paper);
+        assert!(e[0].is_infinite() && e[1].is_infinite());
+        let w = 2.0 / std::f64::consts::SQRT_2;
+        assert_eq!(e[2], w);
+        assert_eq!(e[3], w);
+        let e = expansion(2.0, FilterPolicy::Safe);
+        assert_eq!(e[2], w);
+        assert!(e[3].is_infinite() && e[5].is_infinite());
+    }
+
+    #[test]
+    fn within_respects_expansion() {
+        let mut alo = [0.0; DIMS];
+        let mut ahi = [0.0; DIMS];
+        alo[2] = 5.0;
+        ahi[2] = 6.0;
+        let a = Rect { lo: alo, hi: ahi };
+        let b = Rect::point([0.0; DIMS]); // magnitude 0 at dim 2
+        let mut e = [f64::INFINITY; DIMS];
+        e[2] = 4.0;
+        assert!(!within(&a, &b, &e), "gap 5 > 4");
+        e[2] = 5.0;
+        assert!(within(&a, &b, &e), "gap 5 ≤ 5");
+    }
+
+    #[test]
+    fn circular_overlap_wraps() {
+        use std::f64::consts::PI;
+        // Intervals near +π and −π overlap through the wrap.
+        assert!(circular_overlap(PI - 0.1, PI, -PI, -PI + 0.1 - 0.05));
+        // Disjoint quarter-circle intervals do not.
+        assert!(!circular_overlap(0.0, 0.5, 2.0, 2.5));
+        // Wide intervals always overlap.
+        assert!(circular_overlap(-PI, PI, 100.0, 100.1));
+        // Offsets of 2π are identical angles.
+        assert!(circular_overlap(0.0, 0.1, 2.0 * PI - 0.05, 2.0 * PI + 0.05));
+    }
+
+    #[test]
+    fn within_is_circular_on_angle_dims() {
+        use std::f64::consts::PI;
+        let mut alo = [0.0; DIMS];
+        let mut ahi = [0.0; DIMS];
+        alo[3] = PI - 0.01;
+        ahi[3] = PI - 0.005;
+        let a = Rect { lo: alo, hi: ahi };
+        let mut p = [0.0; DIMS];
+        p[3] = -PI + 0.01;
+        let b = Rect::point(p);
+        let mut e = [f64::INFINITY; DIMS];
+        e[3] = 0.05;
+        assert!(within(&a, &b, &e), "angular gap ≈ 0.02 through the wrap");
+        e[3] = 0.001;
+        assert!(!within(&a, &b, &e));
+    }
+
+    #[test]
+    fn circular_gap_basics() {
+        use std::f64::consts::PI;
+        // Overlapping intervals: no gap.
+        assert_eq!(circular_gap(0.0, 1.0, 0.5, 2.0), 0.0);
+        // Plain gap.
+        assert!((circular_gap(0.0, 0.5, 1.0, 1.5) - 0.5).abs() < 1e-12);
+        // Through the wrap: [π−0.1, π−0.05] to [−π+0.05, −π+0.1] is
+        // 0.05 (to π) + 0.05 (past −π) = 0.1, not ~2π.
+        assert!((circular_gap(PI - 0.1, PI - 0.05, -PI + 0.05, -PI + 0.1) - 0.1).abs() < 1e-12);
+        // Clamped to π.
+        assert!(circular_gap(0.0, 0.0, PI, PI) <= PI + 1e-12);
+        // Infinite interval: no constraint.
+        assert_eq!(
+            circular_gap(f64::NEG_INFINITY, f64::INFINITY, 0.0, 0.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn adaptive_filter_prunes_high_magnitude_angle_gaps_only() {
+        let filter = Filter::new(1.0, FilterPolicy::Adaptive);
+        let _w = 1.0 / std::f64::consts::SQRT_2;
+        // Both coefficients at magnitude 10, angles 2 rad apart:
+        // chord ≈ 2·10·sin(1) ≈ 16.8 ≫ w → pruned.
+        let mut a = [0.0; DIMS];
+        a[2] = 10.0;
+        a[3] = 0.0;
+        a[4] = 10.0;
+        a[5] = 0.0;
+        let mut b = a;
+        b[3] = 2.0;
+        assert!(!filter.hit(&Rect::point(a), &Rect::point(b)));
+        // Same angles but tiny magnitudes: chord ≈ 2·0.01·sin(1) ≪ w → kept
+        // (this is exactly the case where the Paper policy would *wrongly*
+        // prune if the gap exceeded its window… here gap 2 > w ≈ 0.71).
+        let mut a2 = a;
+        a2[2] = 0.01;
+        a2[4] = 0.01;
+        let mut b2 = a2;
+        b2[3] = 2.0;
+        assert!(filter.hit(&Rect::point(a2), &Rect::point(b2)));
+        let paper = Filter::new(1.0, FilterPolicy::Paper);
+        assert!(
+            !paper.hit(&Rect::point(a2), &Rect::point(b2)),
+            "Paper policy prunes here"
+        );
+        // And the true distance: |0.01·(1 − e^{2j})| ≈ 0.017 < ε = 1 — the
+        // pair genuinely qualifies, so Paper's pruning was a false dismissal.
+        let d = (tsfft::Complex64::from_polar(0.01, 0.0) - tsfft::Complex64::from_polar(0.01, 2.0))
+            .abs();
+        assert!(d < 1.0);
+    }
+
+    #[test]
+    fn adaptive_never_prunes_what_safe_keeps_wrongly() {
+        // hit(Adaptive) ⊆ hit(Safe): anything Adaptive keeps, Safe keeps.
+        let safe = Filter::new(2.0, FilterPolicy::Safe);
+        let adaptive = Filter::new(2.0, FilterPolicy::Adaptive);
+        for i in 0..200 {
+            let f = i as f64;
+            let mut a = [0.0; DIMS];
+            a[2] = (f * 0.37) % 9.0;
+            a[3] = (f * 0.91) % 6.0 - 3.0;
+            a[4] = (f * 0.53) % 5.0;
+            a[5] = (f * 1.7) % 6.0 - 3.0;
+            let mut b = [0.0; DIMS];
+            b[2] = (f * 0.11) % 9.0;
+            b[3] = (f * 0.77) % 6.0 - 3.0;
+            b[4] = (f * 0.29) % 5.0;
+            b[5] = (f * 2.3) % 6.0 - 3.0;
+            let (ra, rb) = (Rect::point(a), Rect::point(b));
+            if adaptive.hit(&ra, &rb) {
+                assert!(safe.hit(&ra, &rb));
+            }
+        }
+    }
+
+    #[test]
+    fn st_region_is_transformed_point() {
+        let t = crate::transform::Transform::moving_average(5, 32);
+        let q: FeatureVec = [1.0, 2.0, 0.5, -0.3, 0.2, 1.0];
+        let r = st_query_region(&t, &q, QueryMode::Symmetric);
+        let tp = t.apply_point(&q);
+        assert_eq!(r, Rect::point(tp));
+        let r = st_query_region(&t, &q, QueryMode::DataOnly);
+        assert_eq!(r, Rect::point(q));
+    }
+}

@@ -1,0 +1,520 @@
+//! A pin-counted LRU buffer pool over a [`Disk`].
+//!
+//! The pool's **miss** count is the experiment-visible "number of disk
+//! accesses": a page served from the pool costs nothing, a miss reads the
+//! device (and possibly evicts the least-recently-used unpinned frame,
+//! writing it back if dirty).
+//!
+//! Concurrency design: one mutex guards the *metadata* (page table, pin
+//! counts, LRU clock); page *contents* live in per-frame `RwLock`s, so
+//! readers on different frames proceed in parallel and the caller's closure
+//! never runs under the pool-wide lock. The invariant making this sound:
+//! a frame's page lock is only ever held while the frame is pinned, and
+//! eviction skips pinned frames.
+//!
+//! Access is closure-based (`with_page` / `with_page_mut`) rather than
+//! guard-based: frames are pinned for exactly the closure's duration, which
+//! makes pin leaks impossible by construction.
+
+use crate::disk::Disk;
+use crate::page::{Page, PageId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Buffer pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Lookups served from the pool.
+    pub hits: u64,
+    /// Lookups that had to read the device.
+    pub misses: u64,
+    /// Dirty pages written back during eviction or flush.
+    pub writebacks: u64,
+}
+
+impl BufferStats {
+    /// Hit ratio in `[0, 1]`; 0 when there was no traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct FrameMeta {
+    pid: PageId,
+    dirty: bool,
+    pins: u32,
+    /// Logical clock of last use, for LRU victim selection.
+    last_used: u64,
+}
+
+struct PoolMeta {
+    frames: Vec<FrameMeta>,
+    map: HashMap<PageId, usize>,
+    clock: u64,
+    stats: BufferStats,
+}
+
+/// A fixed-capacity LRU buffer pool.
+pub struct BufferPool {
+    disk: Arc<Disk>,
+    meta: Mutex<PoolMeta>,
+    /// Page contents; the vector never grows, so `&pages[idx]` is stable.
+    pages: Vec<RwLock<Page>>,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames over `disk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(disk: Arc<Disk>, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let pages = (0..capacity).map(|_| RwLock::new(Page::zeroed())).collect();
+        Self {
+            disk,
+            meta: Mutex::new(PoolMeta {
+                frames: (0..capacity)
+                    .map(|_| FrameMeta {
+                        pid: PageId::INVALID,
+                        dirty: false,
+                        pins: 0,
+                        last_used: 0,
+                    })
+                    .collect(),
+                map: HashMap::new(),
+                clock: 0,
+                stats: BufferStats::default(),
+            }),
+            pages,
+        }
+    }
+
+    /// The device underneath.
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    /// Allocates a fresh page on the device (not yet cached).
+    pub fn alloc(&self) -> PageId {
+        self.disk.alloc()
+    }
+
+    /// Runs `f` over the page, fetching it on a miss. The frame stays pinned
+    /// only while `f` runs; concurrent readers of different pages (and of
+    /// the same page) proceed in parallel.
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> R {
+        let idx = self.pin(pid);
+        let result = {
+            let page = self.pages[idx].read();
+            f(&page)
+        };
+        self.unpin(idx, false);
+        result
+    }
+
+    /// Like [`Self::with_page`] but mutable; marks the frame dirty.
+    pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
+        let idx = self.pin(pid);
+        let result = {
+            let mut page = self.pages[idx].write();
+            f(&mut page)
+        };
+        self.unpin(idx, true);
+        result
+    }
+
+    /// Drops the page from the pool (writing back if dirty) and frees it on
+    /// the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is currently pinned.
+    pub fn free(&self, pid: PageId) {
+        let mut meta = self.meta.lock();
+        if let Some(idx) = meta.map.remove(&pid) {
+            assert_eq!(meta.frames[idx].pins, 0, "freeing pinned {pid}");
+            meta.frames[idx] = FrameMeta {
+                pid: PageId::INVALID,
+                dirty: false,
+                pins: 0,
+                last_used: 0,
+            };
+        }
+        drop(meta);
+        self.disk.free(pid);
+    }
+
+    /// Writes every dirty frame back to the device.
+    pub fn flush_all(&self) {
+        // Pin every dirty frame under the metadata lock, then write back
+        // without it (a dirty frame may be page-write-locked by an active
+        // user; pinning first keeps it resident while we wait our turn).
+        let mut pinned: Vec<(usize, PageId)> = Vec::new();
+        {
+            let mut meta = self.meta.lock();
+            meta.clock += 1;
+            let now = meta.clock;
+            for (idx, frame) in meta.frames.iter_mut().enumerate() {
+                if frame.pid.is_valid() && frame.dirty {
+                    frame.dirty = false;
+                    frame.pins += 1;
+                    frame.last_used = now;
+                    pinned.push((idx, frame.pid));
+                }
+            }
+            meta.stats.writebacks += pinned.len() as u64;
+        }
+        for &(idx, pid) in &pinned {
+            let page = self.pages[idx].read();
+            self.disk.write(pid, &page);
+        }
+        for &(idx, _) in &pinned {
+            self.unpin(idx, false);
+        }
+    }
+
+    /// Flushes and empties the pool; the next access of any page is a miss.
+    /// Experiments use this to measure queries cold, like the paper's
+    /// per-query access counts.
+    pub fn clear(&self) {
+        self.flush_all();
+        let mut meta = self.meta.lock();
+        assert!(
+            meta.frames.iter().all(|fr| fr.pins == 0),
+            "clear() while frames are pinned"
+        );
+        meta.map.clear();
+        for frame in meta.frames.iter_mut() {
+            *frame = FrameMeta {
+                pid: PageId::INVALID,
+                dirty: false,
+                pins: 0,
+                last_used: 0,
+            };
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BufferStats {
+        self.meta.lock().stats
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&self) {
+        self.meta.lock().stats = BufferStats::default();
+    }
+
+    fn pin(&self, pid: PageId) -> usize {
+        let mut meta = self.meta.lock();
+        meta.clock += 1;
+        let now = meta.clock;
+        if let Some(&idx) = meta.map.get(&pid) {
+            meta.stats.hits += 1;
+            let frame = &mut meta.frames[idx];
+            frame.pins += 1;
+            frame.last_used = now;
+            return idx;
+        }
+        meta.stats.misses += 1;
+
+        // Choose a frame: an unused one if any, else the LRU unpinned frame.
+        let idx = meta
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, fr)| fr.pins == 0)
+            .min_by_key(|(_, fr)| (fr.pid.is_valid(), fr.last_used))
+            .map(|(i, _)| i)
+            .expect("buffer pool exhausted: every frame is pinned");
+        let old = meta.frames[idx];
+        if old.pid.is_valid() {
+            meta.map.remove(&old.pid);
+            if old.dirty {
+                meta.stats.writebacks += 1;
+                // Unpinned frame ⇒ no one holds its page lock; this cannot
+                // block. Holding the metadata lock keeps eviction atomic.
+                let page = self.pages[idx].read();
+                self.disk.write(old.pid, &page);
+            }
+        }
+
+        // Mark the frame pinned *before* releasing the metadata lock so no
+        // concurrent pin() can evict it while we load the page contents.
+        meta.frames[idx] = FrameMeta {
+            pid,
+            dirty: false,
+            pins: 1,
+            last_used: now,
+        };
+        meta.map.insert(pid, idx);
+        // Load the contents while still under the metadata lock: a
+        // concurrent pin() of the same pid must not read stale bytes. The
+        // in-memory device makes this cheap.
+        let fresh = self.disk.read(pid);
+        *self.pages[idx].write() = fresh;
+        idx
+    }
+
+    fn unpin(&self, idx: usize, dirty: bool) {
+        let mut meta = self.meta.lock();
+        let frame = &mut meta.frames[idx];
+        debug_assert!(frame.pins > 0);
+        frame.pins -= 1;
+        frame.dirty |= dirty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(cap: usize, pages: usize) -> (Arc<Disk>, BufferPool, Vec<PageId>) {
+        let disk = Arc::new(Disk::new());
+        let ids: Vec<PageId> = (0..pages)
+            .map(|i| {
+                let pid = disk.alloc();
+                let mut p = Page::zeroed();
+                p.put_u64(0, i as u64);
+                disk.write(pid, &p);
+                pid
+            })
+            .collect();
+        disk.reset_stats();
+        let pool = BufferPool::new(Arc::clone(&disk), cap);
+        (disk, pool, ids)
+    }
+
+    #[test]
+    fn hits_after_first_miss() {
+        let (_disk, pool, ids) = setup(4, 2);
+        assert_eq!(pool.with_page(ids[1], |p| p.get_u64(0)), 1);
+        assert_eq!(pool.with_page(ids[1], |p| p.get_u64(0)), 1);
+        let s = pool.stats();
+        assert_eq!((s.misses, s.hits), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let (disk, pool, ids) = setup(2, 3);
+        pool.with_page(ids[0], |_| ());
+        pool.with_page(ids[1], |_| ());
+        pool.with_page(ids[2], |_| ()); // evicts ids[0]
+        disk.reset_stats();
+        pool.with_page(ids[1], |_| ()); // hit
+        assert_eq!(disk.stats().reads, 0);
+        pool.with_page(ids[0], |_| ()); // miss again
+        assert_eq!(disk.stats().reads, 1);
+    }
+
+    #[test]
+    fn dirty_pages_written_back_on_eviction() {
+        let (disk, pool, ids) = setup(1, 2);
+        pool.with_page_mut(ids[0], |p| p.put_u64(0, 777));
+        pool.with_page(ids[1], |_| ()); // forces eviction + writeback
+        assert_eq!(disk.read(ids[0]).get_u64(0), 777);
+        assert_eq!(pool.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_and_clear_round_trip() {
+        let (disk, pool, ids) = setup(4, 2);
+        pool.with_page_mut(ids[0], |p| p.put_u64(8, 5));
+        pool.flush_all();
+        assert_eq!(disk.read(ids[0]).get_u64(8), 5);
+        disk.reset_stats();
+        pool.clear();
+        pool.with_page(ids[0], |_| ());
+        assert_eq!(disk.stats().reads, 1, "post-clear access must be a miss");
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let (disk, pool, ids) = setup(4, 1);
+        pool.with_page_mut(ids[0], |p| p.put_u64(0, 9));
+        pool.flush_all();
+        pool.flush_all(); // nothing dirty left
+        assert_eq!(pool.stats().writebacks, 1);
+        assert_eq!(disk.read(ids[0]).get_u64(0), 9);
+    }
+
+    #[test]
+    fn miss_count_equals_device_reads() {
+        let (disk, pool, ids) = setup(2, 5);
+        for _round in 0..3 {
+            for &pid in &ids {
+                pool.with_page(pid, |p| p.get_u64(0));
+            }
+        }
+        assert_eq!(pool.stats().misses, disk.stats().reads);
+    }
+
+    #[test]
+    fn free_removes_from_pool_and_device() {
+        let (disk, pool, ids) = setup(4, 2);
+        pool.with_page_mut(ids[0], |p| p.put_u64(0, 1));
+        pool.free(ids[0]);
+        let replacement = disk.alloc();
+        assert_eq!(replacement, ids[0], "device should recycle the freed id");
+    }
+
+    #[test]
+    fn hit_ratio_reporting() {
+        let (_d, pool, ids) = setup(4, 1);
+        assert_eq!(pool.stats().hit_ratio(), 0.0);
+        pool.with_page(ids[0], |_| ());
+        pool.with_page(ids[0], |_| ());
+        assert!((pool.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_readers_share_frames() {
+        let (_d, pool, ids) = setup(8, 4);
+        let pool = Arc::new(pool);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let pool = Arc::clone(&pool);
+            let ids = ids.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut acc = 0u64;
+                for i in 0..200 {
+                    let pid = ids[(t + i) % ids.len()];
+                    acc += pool.with_page(pid, |p| p.get_u64(0));
+                }
+                acc
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All four pages fit: after warmup everything is a hit.
+        let s = pool.stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 800 - 4);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let (disk, pool, ids) = setup(4, 2);
+        let pool = Arc::new(pool);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let pool = Arc::clone(&pool);
+            let ids = ids.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let pid = ids[(t % 2) as usize];
+                    pool.with_page_mut(pid, |p| {
+                        let v = p.get_u64(8);
+                        p.put_u64(8, v + 1);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        pool.flush_all();
+        let total = disk.read(ids[0]).get_u64(8) + disk.read(ids[1]).get_u64(8);
+        assert_eq!(total, 2000, "every increment must survive");
+    }
+
+    #[test]
+    fn readers_of_different_pages_overlap() {
+        // Two threads each hold a long read of a different page; if the
+        // closure ran under a pool-wide lock this would take ≥ 2×50 ms.
+        let (_d, pool, ids) = setup(4, 2);
+        let pool = Arc::new(pool);
+        let start = std::time::Instant::now();
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let pool = Arc::clone(&pool);
+            let ids = ids.clone();
+            handles.push(std::thread::spawn(move || {
+                pool.with_page(ids[t], |_| {
+                    std::thread::sleep(std::time::Duration::from_millis(50))
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(90),
+            "closures must not serialise: {:?}",
+            start.elapsed()
+        );
+    }
+}
+
+#[cfg(test)]
+mod shadow_model {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Randomized ops against a shadow map: whatever sequence of writes,
+    /// reads, flushes and clears runs against the pool, reads must always
+    /// see the latest written value, and after a flush the device must too.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Write { page: usize, value: u64 },
+        Read { page: usize },
+        Flush,
+        Clear,
+    }
+
+    fn op_strategy(pages: usize) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..pages, any::<u64>()).prop_map(|(page, value)| Op::Write { page, value }),
+            (0..pages).prop_map(|page| Op::Read { page }),
+            Just(Op::Flush),
+            Just(Op::Clear),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn pool_is_a_transparent_cache(
+            cap in 1usize..6,
+            ops in prop::collection::vec(op_strategy(8), 1..120),
+        ) {
+            let disk = Arc::new(Disk::new());
+            let ids: Vec<PageId> = (0..8).map(|_| disk.alloc()).collect();
+            let pool = BufferPool::new(Arc::clone(&disk), cap);
+            let mut shadow = [0u64; 8];
+            for op in ops {
+                match op {
+                    Op::Write { page, value } => {
+                        pool.with_page_mut(ids[page], |p| p.put_u64(0, value));
+                        shadow[page] = value;
+                    }
+                    Op::Read { page } => {
+                        let got = pool.with_page(ids[page], |p| p.get_u64(0));
+                        prop_assert_eq!(got, shadow[page], "read through the pool");
+                    }
+                    Op::Flush => {
+                        pool.flush_all();
+                        for (i, want) in shadow.iter().enumerate() {
+                            prop_assert_eq!(disk.read(ids[i]).get_u64(0), *want);
+                        }
+                    }
+                    Op::Clear => pool.clear(),
+                }
+            }
+            // Final flush: the device reflects every write.
+            pool.flush_all();
+            for (i, want) in shadow.iter().enumerate() {
+                prop_assert_eq!(disk.read(ids[i]).get_u64(0), *want);
+            }
+        }
+    }
+}

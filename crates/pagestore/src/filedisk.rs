@@ -1,0 +1,180 @@
+//! Durable page files: the in-memory [`Disk`]'s contents saved to and
+//! restored from an on-disk image, so indexes survive process restarts.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! [magic "SIMSEQPG"][version: u32][page_count: u32][free_count: u32]
+//! [free list: free_count × u32]
+//! [allocation bitmap: ⌈page_count/8⌉ bytes]
+//! [pages: page_count × PAGE_SIZE, freed pages written as zeroes]
+//! ```
+//!
+//! The image is written atomically (temp file + rename).
+
+use crate::disk::Disk;
+use crate::page::{Page, PageId};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SIMSEQPG";
+const VERSION: u32 = 1;
+
+impl Disk {
+    /// Writes the whole device image to `path` (atomic replace).
+    pub fn save_to(&self, path: &Path) -> io::Result<()> {
+        let snapshot = self.snapshot();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            out.write_all(MAGIC)?;
+            out.write_all(&VERSION.to_le_bytes())?;
+            out.write_all(&(snapshot.pages.len() as u32).to_le_bytes())?;
+            out.write_all(&(snapshot.free.len() as u32).to_le_bytes())?;
+            for pid in &snapshot.free {
+                out.write_all(&pid.0.to_le_bytes())?;
+            }
+            let mut bitmap = vec![0u8; snapshot.pages.len().div_ceil(8)];
+            for (i, page) in snapshot.pages.iter().enumerate() {
+                if page.is_some() {
+                    bitmap[i / 8] |= 1 << (i % 8);
+                }
+            }
+            out.write_all(&bitmap)?;
+            let zero = Page::zeroed();
+            for page in &snapshot.pages {
+                out.write_all(page.as_ref().unwrap_or(&zero).bytes())?;
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Restores a device image previously written by [`Self::save_to`].
+    /// Access counters start at zero.
+    pub fn load_from(path: &Path) -> io::Result<Self> {
+        let mut input = io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad_data("not a simseq page file"));
+        }
+        let version = read_u32(&mut input)?;
+        if version != VERSION {
+            return Err(bad_data(format!("unsupported version {version}")));
+        }
+        let page_count = read_u32(&mut input)? as usize;
+        let free_count = read_u32(&mut input)? as usize;
+        if free_count > page_count {
+            return Err(bad_data("free list longer than page table"));
+        }
+        let mut free = Vec::with_capacity(free_count);
+        for _ in 0..free_count {
+            let pid = PageId(read_u32(&mut input)?);
+            if pid.0 as usize >= page_count {
+                return Err(bad_data("free-list entry out of range"));
+            }
+            free.push(pid);
+        }
+        let mut bitmap = vec![0u8; page_count.div_ceil(8)];
+        input.read_exact(&mut bitmap)?;
+
+        let mut pages: Vec<Option<Page>> = Vec::with_capacity(page_count);
+        for i in 0..page_count {
+            let mut page = Page::zeroed();
+            input.read_exact(page.bytes_mut())?;
+            let allocated = bitmap[i / 8] & (1 << (i % 8)) != 0;
+            pages.push(allocated.then_some(page));
+        }
+        // Cross-check: freed pages must be exactly the unallocated ones.
+        let freed: std::collections::HashSet<u32> = free.iter().map(|p| p.0).collect();
+        for (i, page) in pages.iter().enumerate() {
+            if page.is_none() != freed.contains(&(i as u32)) {
+                return Err(bad_data(format!("bitmap/free-list disagree on page {i}")));
+            }
+        }
+        Ok(Self::from_snapshot(pages, free))
+    }
+}
+
+fn read_u32(input: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    input.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pagestore_filedisk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let disk = Disk::new();
+        let a = disk.alloc();
+        let b = disk.alloc();
+        let c = disk.alloc();
+        let mut p = Page::zeroed();
+        p.put_u64(0, 0xDEAD_BEEF_CAFE);
+        p.put_f64(8, -1.5e300);
+        disk.write(a, &p);
+        p.put_u64(0, 42);
+        disk.write(c, &p);
+        disk.free(b);
+
+        let path = tmp("roundtrip.pg");
+        disk.save_to(&path).unwrap();
+        let back = Disk::load_from(&path).unwrap();
+
+        assert_eq!(back.read(a).get_u64(0), 0xDEAD_BEEF_CAFE);
+        assert_eq!(back.read(a).get_f64(8), -1.5e300);
+        assert_eq!(back.read(c).get_u64(0), 42);
+        // The freed slot is reusable and comes back zeroed.
+        let reused = back.alloc();
+        assert_eq!(reused, b);
+        assert_eq!(back.read(reused).get_u64(0), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn counters_start_fresh_after_load() {
+        let disk = Disk::new();
+        let a = disk.alloc();
+        disk.read(a);
+        let path = tmp("counters.pg");
+        disk.save_to(&path).unwrap();
+        let back = Disk::load_from(&path).unwrap();
+        assert_eq!(back.stats().reads, 0);
+        assert_eq!(back.stats().allocated, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage.pg");
+        std::fs::write(&path, b"definitely not a page file").unwrap();
+        assert!(Disk::load_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_disk_roundtrips() {
+        let disk = Disk::new();
+        let path = tmp("empty.pg");
+        disk.save_to(&path).unwrap();
+        let back = Disk::load_from(&path).unwrap();
+        assert_eq!(back.stats().allocated, 0);
+        let first = back.alloc();
+        assert_eq!(first, PageId(0));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # pagestore — paged storage substrate
+//!
+//! The ICDE '99 paper's cost unit is the **disk access** (Eq. 18–20 and the
+//! access counts of Figures 8–9), so the reproduction needs storage whose
+//! page I/O is observable. This crate provides:
+//!
+//! * [`Page`] / [`PageId`] — fixed 8 KiB pages with little-endian codec
+//!   helpers;
+//! * [`Disk`] — an in-memory simulated disk with atomic read/write counters
+//!   and a free list (the "device" under both the R*-tree and the sequence
+//!   relation);
+//! * [`BufferPool`] — a latch-protected LRU pool with pin counts; its *miss*
+//!   counter is the number of physical accesses the experiments report;
+//! * [`HeapFile`] — a fixed-size-record heap file used to store full
+//!   sequence records (retrieved in the post-processing step 5 of
+//!   Algorithm 1).
+//!
+//! All structures are thread-safe (`parking_lot` mutexes) so a parallel
+//! sequential-scan baseline can share them.
+
+mod buffer;
+mod disk;
+mod dynheap;
+mod filedisk;
+mod heap;
+mod page;
+mod stats;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use disk::{Disk, DiskStats};
+pub use dynheap::DynHeapFile;
+pub use heap::{HeapFile, Record, RecordId};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use stats::AccessStats;

@@ -1,0 +1,95 @@
+//! Combined access-statistics snapshot used in experiment reports.
+
+use crate::{BufferStats, DiskStats};
+use std::fmt;
+use std::ops::Sub;
+
+/// One snapshot of all storage counters; subtract two snapshots to get the
+/// traffic of the interval between them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Physical page reads.
+    pub disk_reads: u64,
+    /// Physical page writes.
+    pub disk_writes: u64,
+    /// Buffer pool hits.
+    pub pool_hits: u64,
+    /// Buffer pool misses.
+    pub pool_misses: u64,
+}
+
+impl AccessStats {
+    /// Combines device and pool counters.
+    pub fn capture(disk: &DiskStats, pool: &BufferStats) -> Self {
+        Self {
+            disk_reads: disk.reads,
+            disk_writes: disk.writes,
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+        }
+    }
+
+    /// Total physical accesses (the paper's cost unit).
+    pub fn disk_accesses(&self) -> u64 {
+        self.disk_reads + self.disk_writes
+    }
+}
+
+impl Sub for AccessStats {
+    type Output = AccessStats;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            disk_reads: self.disk_reads.saturating_sub(rhs.disk_reads),
+            disk_writes: self.disk_writes.saturating_sub(rhs.disk_writes),
+            pool_hits: self.pool_hits.saturating_sub(rhs.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(rhs.pool_misses),
+        }
+    }
+}
+
+impl fmt::Display for AccessStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} pool_hits={} pool_misses={}",
+            self.disk_reads, self.disk_writes, self.pool_hits, self.pool_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_and_diff() {
+        let before = AccessStats {
+            disk_reads: 10,
+            disk_writes: 2,
+            pool_hits: 5,
+            pool_misses: 10,
+        };
+        let after = AccessStats {
+            disk_reads: 25,
+            disk_writes: 2,
+            pool_hits: 9,
+            pool_misses: 25,
+        };
+        let delta = after - before;
+        assert_eq!(delta.disk_reads, 15);
+        assert_eq!(delta.disk_accesses(), 15);
+        assert_eq!(delta.pool_hits, 4);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = AccessStats {
+            disk_reads: 1,
+            disk_writes: 2,
+            pool_hits: 3,
+            pool_misses: 4,
+        };
+        assert_eq!(s.to_string(), "reads=1 writes=2 pool_hits=3 pool_misses=4");
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! # rstartree — the R*-tree of Beckmann, Kriegel, Schneider & Seeger
+//!
+//! The ICDE '99 paper runs its experiments "on top of Norbert Beckmann's
+//! Version 2 implementation of the R*-tree" (§5). This crate is a from-
+//! scratch Rust implementation of the published R*-tree algorithms
+//! (SIGMOD '90), instrumented the way the paper's evaluation needs:
+//!
+//! * **ChooseSubtree** — minimum *overlap* enlargement when the children are
+//!   leaves, minimum *area* enlargement above;
+//! * **Split** — choose the split axis by minimum margin sum, then the
+//!   distribution by minimum overlap (ties: minimum area);
+//! * **Forced reinsertion** — on the first overflow of each level per
+//!   insertion, the 30 % of entries farthest from the node centre are
+//!   reinserted instead of splitting;
+//! * **Deletion** with tree condensation (underfull nodes dissolved and
+//!   their entries reinserted at their original level);
+//! * **STR bulk loading** for building large indexes quickly;
+//! * **Query machinery** — predicate-driven descent ([`RStarTree::search`],
+//!   the hook the MT-index algorithm plugs its transformed-rectangle test
+//!   into), plain range queries, best-first nearest neighbour with
+//!   caller-supplied lower bounds (MINDIST-style, after Roussopoulos et
+//!   al.), and synchronized-descent spatial joins including duplicate-free
+//!   self joins;
+//! * **Pluggable node stores** — [`MemStore`] for pure in-memory use and
+//!   [`PagedStore`] which serialises every node onto one
+//!   [`pagestore::Disk`] page; both count node accesses, which is the
+//!   "number of disk accesses" of the paper's Figures 8–9.
+//!
+//! Dimensions are a compile-time constant (`const D: usize`); the paper's
+//! feature space is `D = 6` (mean, std, and two DFT coefficients in polar
+//! form).
+//!
+//! ```
+//! use rstartree::{MemStore, Params, RStarTree, Rect};
+//! let mut tree: RStarTree<2, MemStore<2>> =
+//!     RStarTree::with_params(MemStore::new(), Params::with_max(8));
+//! for i in 0..100u64 {
+//!     tree.insert(Rect::point([i as f64, (i * 7 % 13) as f64]), i);
+//! }
+//! let (hits, stats) = tree.range(&Rect::new([10.0, 0.0], [20.0, 20.0]));
+//! assert_eq!(hits.len(), 11);
+//! assert!(stats.nodes_accessed < 40, "the tree prunes");
+//! tree.validate();
+//! ```
+
+mod bulk;
+mod node;
+mod params;
+mod rect;
+mod split;
+mod store;
+mod tree;
+
+pub use bulk::bulk_load_str;
+pub use node::{Node, NodeId};
+pub use params::Params;
+pub use rect::Rect;
+pub use store::{MemStore, NodeStore, PagedStore, StoreStats};
+pub use tree::{JoinSide, LevelSummary, Neighbor, RStarTree, SearchStats};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,219 @@
+//! Tree nodes and their page serialisation.
+
+use crate::rect::Rect;
+use pagestore::{Page, PAGE_SIZE};
+
+/// Identifier of a node in a [`crate::NodeStore`]. For the paged store this
+/// is the page number; for the memory store it is a slot index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Sentinel meaning "no node".
+    pub const INVALID: NodeId = NodeId(u32::MAX);
+}
+
+/// One slot of a node: a rectangle plus either a child node id (branch
+/// levels) or an opaque data payload (leaf level).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry<const D: usize> {
+    /// The entry's bounding rectangle (a point for leaf data in this
+    /// library's typical use, but general rectangles are supported).
+    pub rect: Rect<D>,
+    /// Child [`NodeId`] (encoded as u64) on branch levels, data payload on
+    /// the leaf level.
+    pub payload: u64,
+}
+
+impl<const D: usize> Entry<D> {
+    /// Branch entry pointing at `child`.
+    pub fn branch(rect: Rect<D>, child: NodeId) -> Self {
+        Self {
+            rect,
+            payload: u64::from(child.0),
+        }
+    }
+
+    /// Leaf entry carrying `data`.
+    pub fn leaf(rect: Rect<D>, data: u64) -> Self {
+        Self {
+            rect,
+            payload: data,
+        }
+    }
+
+    /// The child id of a branch entry.
+    pub fn child(&self) -> NodeId {
+        NodeId(u32::try_from(self.payload).expect("branch payload is a NodeId"))
+    }
+}
+
+/// A tree node: `level == 0` is a leaf.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node<const D: usize> {
+    /// Distance from the leaf level (leaves are level 0).
+    pub level: u32,
+    /// The node's slots.
+    pub entries: Vec<Entry<D>>,
+}
+
+impl<const D: usize> Node<D> {
+    /// An empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Self {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// The MBR covering all entries.
+    pub fn mbr(&self) -> Rect<D> {
+        Rect::union_all(self.entries.iter().map(|e| &e.rect))
+    }
+
+    // --- page serialisation -------------------------------------------
+    //
+    // Layout: [level: u32][count: u32][entries...]
+    // entry:  D lo f64s, D hi f64s, payload u64  → (2·D + 1) · 8 bytes
+
+    /// Bytes one serialised entry occupies.
+    pub const ENTRY_BYTES: usize = (2 * D + 1) * 8;
+    const HEADER_BYTES: usize = 8;
+
+    /// The maximum number of entries a node of dimension `D` can hold on
+    /// one page — the tree's fanout `M`.
+    pub const fn page_capacity() -> usize {
+        (PAGE_SIZE - Self::HEADER_BYTES) / Self::ENTRY_BYTES
+    }
+
+    /// Serialises into a page.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node exceeds [`Self::page_capacity`].
+    pub fn write_page(&self, page: &mut Page) {
+        assert!(
+            self.entries.len() <= Self::page_capacity(),
+            "node with {} entries exceeds page capacity {}",
+            self.entries.len(),
+            Self::page_capacity()
+        );
+        page.put_u32(0, self.level);
+        page.put_u32(4, u32::try_from(self.entries.len()).expect("count fits"));
+        let mut off = Self::HEADER_BYTES;
+        for e in &self.entries {
+            for d in 0..D {
+                page.put_f64(off, e.rect.lo[d]);
+                off += 8;
+            }
+            for d in 0..D {
+                page.put_f64(off, e.rect.hi[d]);
+                off += 8;
+            }
+            page.put_u64(off, e.payload);
+            off += 8;
+        }
+    }
+
+    /// Deserialises from a page.
+    pub fn read_page(page: &Page) -> Self {
+        let level = page.get_u32(0);
+        let count = page.get_u32(4) as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut off = Self::HEADER_BYTES;
+        for _ in 0..count {
+            let mut lo = [0.0; D];
+            let mut hi = [0.0; D];
+            for slot in lo.iter_mut() {
+                *slot = page.get_f64(off);
+                off += 8;
+            }
+            for slot in hi.iter_mut() {
+                *slot = page.get_f64(off);
+                off += 8;
+            }
+            let payload = page.get_u64(off);
+            off += 8;
+            entries.push(Entry {
+                rect: Rect { lo, hi },
+                payload,
+            });
+        }
+        Self { level, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_sane_for_paper_dimension() {
+        // D = 6 → entry = 104 bytes → 78 entries per 8 KiB page.
+        assert_eq!(Node::<6>::page_capacity(), 78);
+        assert!(Node::<2>::page_capacity() > 200);
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        let mut node = Node::<3>::new(2);
+        for i in 0..10u64 {
+            let f = i as f64;
+            node.entries.push(Entry {
+                rect: Rect::new([f, -f, 0.5 * f], [f + 1.0, -f + 2.0, f]),
+                payload: i * 17,
+            });
+        }
+        let mut page = Page::zeroed();
+        node.write_page(&mut page);
+        let back = Node::<3>::read_page(&page);
+        assert_eq!(node, back);
+        assert!(!back.is_leaf());
+    }
+
+    #[test]
+    fn full_node_roundtrip() {
+        let cap = Node::<6>::page_capacity();
+        let mut node = Node::<6>::new(0);
+        for i in 0..cap as u64 {
+            let p = [i as f64; 6];
+            node.entries.push(Entry::leaf(Rect::point(p), i));
+        }
+        let mut page = Page::zeroed();
+        node.write_page(&mut page);
+        assert_eq!(Node::<6>::read_page(&page), node);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page capacity")]
+    fn over_capacity_panics() {
+        let cap = Node::<6>::page_capacity();
+        let mut node = Node::<6>::new(0);
+        for i in 0..=cap as u64 {
+            node.entries.push(Entry::leaf(Rect::point([0.0; 6]), i));
+        }
+        node.write_page(&mut Page::zeroed());
+    }
+
+    #[test]
+    fn entry_constructors() {
+        let r = Rect::point([1.0, 2.0]);
+        let b = Entry::branch(r, NodeId(5));
+        assert_eq!(b.child(), NodeId(5));
+        let l = Entry::<2>::leaf(r, 12345);
+        assert_eq!(l.payload, 12345);
+    }
+
+    #[test]
+    fn mbr_covers_entries() {
+        let mut node = Node::<2>::new(0);
+        node.entries.push(Entry::leaf(Rect::point([0.0, 5.0]), 0));
+        node.entries.push(Entry::leaf(Rect::point([3.0, -1.0]), 1));
+        assert_eq!(node.mbr(), Rect::new([0.0, -1.0], [3.0, 5.0]));
+    }
+}

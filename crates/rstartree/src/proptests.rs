@@ -1,0 +1,541 @@
+//! Deterministic and property-based tests of the whole tree: structural
+//! invariants under insert/delete mixes, recall equivalence against linear
+//! scans, nearest-neighbour exactness and join completeness.
+
+use crate::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+type Tree2 = RStarTree<2, MemStore<2>>;
+
+fn mem_tree(max: usize) -> Tree2 {
+    RStarTree::with_params(MemStore::new(), Params::with_max(max))
+}
+
+fn random_points(n: usize, seed: u64) -> Vec<(Rect<2>, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let p = [
+                rng.random_range(-1000.0..1000.0),
+                rng.random_range(-1000.0..1000.0),
+            ];
+            (Rect::point(p), i as u64)
+        })
+        .collect()
+}
+
+#[test]
+fn empty_tree_sane() {
+    let tree = mem_tree(8);
+    assert!(tree.is_empty());
+    assert_eq!(tree.height(), 1);
+    let (hits, stats) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9]));
+    assert!(hits.is_empty());
+    assert_eq!(stats.nodes_accessed, 1);
+    tree.validate();
+}
+
+#[test]
+fn insert_then_find_everything() {
+    let mut tree = mem_tree(8);
+    let items = random_points(500, 1);
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    assert_eq!(tree.len(), 500);
+    tree.validate();
+    let (hits, _) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9]));
+    assert_eq!(hits.len(), 500);
+}
+
+#[test]
+fn range_query_matches_linear_scan() {
+    let items = random_points(800, 2);
+    let mut tree = mem_tree(16);
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    for (qi, query) in [
+        Rect::new([-100.0, -100.0], [100.0, 100.0]),
+        Rect::new([500.0, -1000.0], [1000.0, 0.0]),
+        Rect::point([12345.0, 0.0]),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let (mut got, _) = tree.range(query);
+        got.sort_by_key(|(_, d)| *d);
+        let mut want: Vec<u64> = items
+            .iter()
+            .filter(|(r, _)| r.intersects(query))
+            .map(|(_, d)| *d)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(
+            got.iter().map(|(_, d)| *d).collect::<Vec<_>>(),
+            want,
+            "query {qi}"
+        );
+    }
+}
+
+#[test]
+fn delete_removes_and_preserves_invariants() {
+    let items = random_points(300, 3);
+    let mut tree = mem_tree(8);
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    // Delete every third item.
+    for (r, d) in items.iter().step_by(3) {
+        assert!(tree.delete(r, *d), "must find {d}");
+    }
+    tree.validate();
+    let survivors: Vec<u64> = items
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 != 0)
+        .map(|(_, (_, d))| *d)
+        .collect();
+    let (mut got, _) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9]));
+    got.sort_by_key(|(_, d)| *d);
+    assert_eq!(got.iter().map(|(_, d)| *d).collect::<Vec<_>>(), survivors);
+}
+
+#[test]
+fn delete_everything_leaves_empty_tree() {
+    let items = random_points(120, 4);
+    let mut tree = mem_tree(6);
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    for (r, d) in &items {
+        assert!(tree.delete(r, *d));
+    }
+    assert!(tree.is_empty());
+    tree.validate();
+    // The tree is reusable afterwards.
+    tree.insert(Rect::point([1.0, 1.0]), 77);
+    assert_eq!(tree.len(), 1);
+    tree.validate();
+}
+
+#[test]
+fn delete_missing_returns_false() {
+    let mut tree = mem_tree(8);
+    tree.insert(Rect::point([1.0, 2.0]), 1);
+    assert!(!tree.delete(&Rect::point([1.0, 2.0]), 2), "wrong payload");
+    assert!(!tree.delete(&Rect::point([9.0, 9.0]), 1), "wrong rect");
+    assert_eq!(tree.len(), 1);
+}
+
+#[test]
+fn duplicate_points_supported() {
+    let mut tree = mem_tree(8);
+    for d in 0..50 {
+        tree.insert(Rect::point([3.5, 2.25]), d);
+    }
+    tree.validate();
+    let (hits, _) = tree.range(&Rect::point([3.5, 2.25]));
+    assert_eq!(hits.len(), 50);
+    assert!(tree.delete(&Rect::point([3.5, 2.25]), 25));
+    let (hits, _) = tree.range(&Rect::point([3.5, 2.25]));
+    assert_eq!(hits.len(), 49);
+}
+
+#[test]
+fn nearest_matches_brute_force() {
+    let items = random_points(400, 5);
+    let mut tree = mem_tree(16);
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    let queries = [[0.0, 0.0], [999.0, -999.0], [-512.0, 400.0]];
+    for q in queries {
+        let (got, _) = tree.nearest_by(
+            5,
+            |rect| rect.min_dist_sq(&q),
+            |rect, _| Some(rect.min_dist_sq(&q)),
+        );
+        assert_eq!(got.len(), 5);
+        let mut brute: Vec<(f64, u64)> =
+            items.iter().map(|(r, d)| (r.min_dist_sq(&q), *d)).collect();
+        brute.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (i, n) in got.iter().enumerate() {
+            assert!(
+                (n.dist - brute[i].0).abs() < 1e-9,
+                "rank {i}: {} vs {}",
+                n.dist,
+                brute[i].0
+            );
+        }
+    }
+}
+
+#[test]
+fn nearest_leaf_score_filter_applies() {
+    let mut tree = mem_tree(8);
+    for (r, d) in random_points(100, 6) {
+        tree.insert(r, d);
+    }
+    let q = [0.0, 0.0];
+    // Disqualify even payloads.
+    let (got, _) = tree.nearest_by(
+        10,
+        |rect| rect.min_dist_sq(&q),
+        |rect, d| (d % 2 == 1).then(|| rect.min_dist_sq(&q)),
+    );
+    assert_eq!(got.len(), 10);
+    assert!(got.iter().all(|n| n.data % 2 == 1));
+}
+
+#[test]
+fn nearest_dfs_matches_best_first() {
+    let items = random_points(600, 31);
+    let mut tree = mem_tree(16);
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    for q in [[0.0, 0.0], [750.0, -320.0], [-999.0, 999.0]] {
+        for k in [1usize, 3, 10] {
+            let (bf, _) = tree.nearest_by(k, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)));
+            for use_mm in [false, true] {
+                let (dfs, _) = tree.nearest_dfs(k, &q, use_mm);
+                assert_eq!(bf.len(), dfs.len(), "k={k}");
+                for (a, b) in bf.iter().zip(&dfs) {
+                    assert!(
+                        (a.dist - b.dist).abs() < 1e-9,
+                        "k={k} mm={use_mm}: {} vs {}",
+                        a.dist,
+                        b.dist
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn nearest_dfs_prunes() {
+    let items = random_points(3000, 33);
+    let mut tree = mem_tree(16);
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    let total = tree.validate() as u64;
+    let (_, stats) = tree.nearest_dfs(1, &[10.0, 10.0], true);
+    assert!(
+        stats.nodes_accessed < total / 3,
+        "DFS NN should prune most of {total} nodes, visited {}",
+        stats.nodes_accessed
+    );
+}
+
+#[test]
+fn nearest_by_refine_matches_plain_nearest() {
+    let items = random_points(500, 21);
+    let mut tree = mem_tree(12);
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    let q = [37.0, -12.0];
+    // Exact distance is the point distance; the "cheap" leaf bound is a
+    // deliberately slack half of it, forcing deferred refinement to do the
+    // ordering work.
+    let (plain, _) = tree.nearest_by(7, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)));
+    let mut refined_count = 0;
+    let (refined, stats) = tree.nearest_by_refine(
+        7,
+        |r| 0.5 * r.min_dist_sq(&q),
+        |r, _| 0.5 * r.min_dist_sq(&q),
+        |r, _| {
+            refined_count += 1;
+            Some(r.min_dist_sq(&q))
+        },
+    );
+    assert_eq!(plain.len(), refined.len());
+    for (a, b) in plain.iter().zip(&refined) {
+        assert!((a.dist - b.dist).abs() < 1e-12, "{} vs {}", a.dist, b.dist);
+    }
+    assert_eq!(stats.candidates, refined_count);
+    assert!(
+        refined_count < 500,
+        "refinement should not touch every point: {refined_count}"
+    );
+}
+
+#[test]
+fn nearest_by_refine_filter_via_none() {
+    let items = random_points(200, 22);
+    let mut tree = mem_tree(8);
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    let q = [0.0, 0.0];
+    let (got, _) = tree.nearest_by_refine(
+        5,
+        |r| r.min_dist_sq(&q),
+        |r, _| r.min_dist_sq(&q),
+        |r, d| (d % 3 == 0).then(|| r.min_dist_sq(&q)),
+    );
+    assert_eq!(got.len(), 5);
+    assert!(got.iter().all(|n| n.data % 3 == 0));
+    // Matches brute force over the filtered subset.
+    let mut brute: Vec<f64> = items
+        .iter()
+        .filter(|(_, d)| d % 3 == 0)
+        .map(|(r, _)| r.min_dist_sq(&q))
+        .collect();
+    brute.sort_by(f64::total_cmp);
+    for (i, n) in got.iter().enumerate() {
+        assert!((n.dist - brute[i]).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn self_join_reports_each_pair_once() {
+    let items = random_points(150, 7);
+    let mut tree = mem_tree(8);
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    let thresh = 150.0;
+    let pred = |a: &Rect<2>, b: &Rect<2>| {
+        // Expand-by-threshold intersection — monotone under MBR union.
+        (0..2).all(|i| a.lo[i] - thresh <= b.hi[i] && b.lo[i] - thresh <= a.hi[i])
+    };
+    let mut pairs = Vec::new();
+    tree.self_join(pred, |_, d1, _, d2| {
+        pairs.push((d1.min(d2), d1.max(d2)));
+    });
+    let mut sorted = pairs.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(
+        sorted.len(),
+        pairs.len(),
+        "self-join produced duplicate pairs"
+    );
+
+    // Completeness + soundness against brute force.
+    let mut brute = Vec::new();
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            if pred(&items[i].0, &items[j].0) {
+                brute.push((items[i].1.min(items[j].1), items[i].1.max(items[j].1)));
+            }
+        }
+    }
+    brute.sort_unstable();
+    pairs.sort_unstable();
+    assert_eq!(pairs, brute);
+}
+
+#[test]
+fn join_two_trees_matches_nested_loop() {
+    let a_items = random_points(120, 8);
+    let b_items: Vec<(Rect<2>, u64)> = random_points(80, 9)
+        .into_iter()
+        .map(|(r, d)| (r, d + 1000))
+        .collect();
+    let mut a = mem_tree(8);
+    let mut b = mem_tree(12);
+    for (r, d) in &a_items {
+        a.insert(*r, *d);
+    }
+    for (r, d) in &b_items {
+        b.insert(*r, *d);
+    }
+    let thresh = 100.0;
+    let pred = |x: &Rect<2>, y: &Rect<2>| {
+        (0..2).all(|i| x.lo[i] - thresh <= y.hi[i] && y.lo[i] - thresh <= x.hi[i])
+    };
+    let mut got = Vec::new();
+    a.join_with(&b, pred, |_, d1, _, d2| got.push((d1, d2)));
+    got.sort_unstable();
+    let mut want = Vec::new();
+    for (ra, da) in &a_items {
+        for (rb, db) in &b_items {
+            if pred(ra, rb) {
+                want.push((*da, *db));
+            }
+        }
+    }
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn paged_store_tree_equals_mem_tree() {
+    use pagestore::Disk;
+    use std::sync::Arc;
+    let items = random_points(300, 10);
+    let mut mem = mem_tree(16);
+    let disk = Arc::new(Disk::new());
+    let mut paged: RStarTree<2, PagedStore<2>> =
+        RStarTree::with_params(PagedStore::new(disk), Params::with_max(16));
+    for (r, d) in &items {
+        mem.insert(*r, *d);
+        paged.insert(*r, *d);
+    }
+    paged.validate();
+    let query = Rect::new([-300.0, -300.0], [300.0, 300.0]);
+    let (mut g1, _) = mem.range(&query);
+    let (mut g2, _) = paged.range(&query);
+    g1.sort_by_key(|(_, d)| *d);
+    g2.sort_by_key(|(_, d)| *d);
+    assert_eq!(g1, g2);
+}
+
+#[test]
+fn paged_tree_survives_disk_image_roundtrip() {
+    use pagestore::Disk;
+    use std::sync::Arc;
+    let items = random_points(400, 55);
+    let disk = Arc::new(Disk::new());
+    let mut tree: RStarTree<2, PagedStore<2>> =
+        RStarTree::with_params(PagedStore::new(Arc::clone(&disk)), Params::with_max(16));
+    for (r, d) in &items {
+        tree.insert(*r, *d);
+    }
+    let (root, level, len) = (tree.root_id(), tree.root_level(), tree.len());
+    let params = *tree.params();
+
+    let path = std::env::temp_dir().join("rstartree_image_test.pg");
+    disk.save_to(&path).unwrap();
+    let reopened_disk = Arc::new(Disk::load_from(&path).unwrap());
+    let reopened: RStarTree<2, PagedStore<2>> =
+        RStarTree::open(PagedStore::new(reopened_disk), root, level, len, params);
+    reopened.validate();
+
+    let q = Rect::new([-400.0, -400.0], [400.0, 400.0]);
+    let (mut a, _) = tree.range(&q);
+    let (mut b, _) = reopened.range(&q);
+    a.sort_by_key(|(_, d)| *d);
+    b.sort_by_key(|(_, d)| *d);
+    assert_eq!(a, b);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn node_access_counting_via_store() {
+    let mut tree = mem_tree(8);
+    for (r, d) in random_points(200, 11) {
+        tree.insert(r, d);
+    }
+    tree.store().reset_stats();
+    let (_, stats) = tree.range(&Rect::new([-50.0, -50.0], [50.0, 50.0]));
+    assert_eq!(tree.store().stats().reads, stats.nodes_accessed);
+}
+
+#[test]
+fn search_prunes_subtrees() {
+    let mut tree = mem_tree(8);
+    for (r, d) in random_points(2000, 12) {
+        tree.insert(r, d);
+    }
+    let total_nodes = tree.validate() as u64;
+    let (_, stats) = tree.range(&Rect::new([0.0, 0.0], [10.0, 10.0]));
+    assert!(
+        stats.nodes_accessed < total_nodes / 4,
+        "tiny query should prune most of {total_nodes} nodes, accessed {}",
+        stats.nodes_accessed
+    );
+}
+
+#[test]
+fn forced_reinsert_occurs_with_default_params() {
+    // White-box-ish: a clustered insertion order triggers overflow and the
+    // first overflow at a level reinserts instead of splitting; observable
+    // as fewer nodes than a pure-split policy would produce. Just assert
+    // structure is valid and utilisation is decent.
+    let mut tree = mem_tree(10);
+    for i in 0..1000u64 {
+        let x = (i % 100) as f64;
+        let y = (i / 100) as f64;
+        tree.insert(Rect::point([x, y]), i);
+    }
+    let nodes = tree.validate();
+    // 1000 entries, fanout 10 → ≥ 100 leaves; decent packing keeps total
+    // well under the no-reinsert worst case.
+    assert!(nodes < 260, "too many nodes: {nodes}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn invariants_under_random_insert_delete(
+        ops in prop::collection::vec((0u8..4, -100i32..100, -100i32..100), 1..300),
+        max in 4usize..20,
+    ) {
+        let mut tree = mem_tree(max);
+        let mut shadow: Vec<(Rect<2>, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for (op, x, y) in ops {
+            let p = Rect::point([x as f64, y as f64]);
+            if op < 3 || shadow.is_empty() {
+                tree.insert(p, next_id);
+                shadow.push((p, next_id));
+                next_id += 1;
+            } else {
+                let victim = shadow.swap_remove((x.unsigned_abs() as usize) % shadow.len());
+                prop_assert!(tree.delete(&victim.0, victim.1));
+            }
+        }
+        tree.validate();
+        prop_assert_eq!(tree.len(), shadow.len());
+
+        // Full-recall check against the shadow copy.
+        let q = Rect::new([-50.0, -50.0], [50.0, 50.0]);
+        let (mut got, _) = tree.range(&q);
+        got.sort_by_key(|(_, d)| *d);
+        let mut want: Vec<u64> =
+            shadow.iter().filter(|(r, _)| r.intersects(&q)).map(|(_, d)| *d).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got.into_iter().map(|(_, d)| d).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn bulk_load_equals_insertion_results(
+        pts in prop::collection::vec((-1000f64..1000.0, -1000f64..1000.0), 1..400),
+        max in 6usize..24,
+    ) {
+        let items: Vec<(Rect<2>, u64)> =
+            pts.iter().enumerate().map(|(i, (x, y))| (Rect::point([*x, *y]), i as u64)).collect();
+        let bulk = bulk_load_str(MemStore::new(), Params::with_max(max), items.clone());
+        bulk.validate();
+        let mut incr = RStarTree::with_params(MemStore::new(), Params::with_max(max));
+        for (r, d) in &items {
+            incr.insert(*r, *d);
+        }
+        let q = Rect::new([-250.0, -250.0], [250.0, 250.0]);
+        let (mut a, _) = bulk.range(&q);
+        let (mut b, _) = incr.range(&q);
+        a.sort_by_key(|(_, d)| *d);
+        b.sort_by_key(|(_, d)| *d);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearest_one_is_global_minimum(
+        pts in prop::collection::vec((-100f64..100.0, -100f64..100.0), 1..200),
+        qx in -150f64..150.0,
+        qy in -150f64..150.0,
+    ) {
+        let mut tree = mem_tree(8);
+        for (i, (x, y)) in pts.iter().enumerate() {
+            tree.insert(Rect::point([*x, *y]), i as u64);
+        }
+        let q = [qx, qy];
+        let (got, _) =
+            tree.nearest_by(1, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)));
+        let best = pts
+            .iter()
+            .map(|(x, y)| (x - qx) * (x - qx) + (y - qy) * (y - qy))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got[0].dist - best).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1137 @@
+//! The R*-tree proper: insertion with forced reinsertion, deletion with
+//! condensation, and the query machinery (predicate search, best-first
+//! nearest neighbour, synchronized-descent joins).
+
+use crate::node::{Entry, Node, NodeId};
+use crate::params::Params;
+use crate::rect::Rect;
+use crate::split::rstar_split;
+use crate::store::NodeStore;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Counters produced by one tree traversal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes read during the traversal (all levels) — the paper's
+    /// `DA_all(q, r)`.
+    pub nodes_accessed: u64,
+    /// Leaf nodes read — the paper's `DA_leaf(q, r)`.
+    pub leaf_nodes_accessed: u64,
+    /// Entry rectangles tested against the predicate.
+    pub entries_tested: u64,
+    /// Leaf entries that satisfied the predicate (candidates).
+    pub candidates: u64,
+}
+
+impl SearchStats {
+    /// Merges counters from another traversal (ST-index sums per-
+    /// transformation traversals this way).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.nodes_accessed += other.nodes_accessed;
+        self.leaf_nodes_accessed += other.leaf_nodes_accessed;
+        self.entries_tested += other.entries_tested;
+        self.candidates += other.candidates;
+    }
+}
+
+/// Per-level structure summary produced by
+/// [`RStarTree::level_summaries`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelSummary<const D: usize> {
+    /// The level (0 = leaves).
+    pub level: u32,
+    /// Number of nodes at this level.
+    pub nodes: u64,
+    /// Mean node-MBR side length per dimension.
+    pub avg_extent: [f64; D],
+}
+
+/// One result of a nearest-neighbour query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor<const D: usize> {
+    /// Distance reported by the caller's leaf scorer.
+    pub dist: f64,
+    /// The stored rectangle.
+    pub rect: Rect<D>,
+    /// The stored payload.
+    pub data: u64,
+}
+
+/// Marker for which side of a join a tree is on (used by join statistics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The receiver of `join_with`.
+    Left,
+    /// The argument of `join_with`.
+    Right,
+}
+
+/// An R*-tree over `D`-dimensional rectangles with `u64` payloads.
+pub struct RStarTree<const D: usize, S: NodeStore<D>> {
+    store: S,
+    root: NodeId,
+    root_level: u32,
+    len: usize,
+    params: Params,
+}
+
+enum Outcome<const D: usize> {
+    /// Node absorbed the change; parent entry should be updated to this MBR.
+    Fit(Rect<D>),
+    /// Node split; parent must also add the sibling entry.
+    Split(Rect<D>, Entry<D>),
+}
+
+impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
+    /// Creates an empty tree with page-derived parameters.
+    pub fn new(store: S) -> Self {
+        Self::with_params(store, Params::for_dimension::<D>())
+    }
+
+    /// Creates an empty tree with explicit parameters.
+    pub fn with_params(store: S, params: Params) -> Self {
+        params.validate();
+        assert!(
+            params.max_entries <= Node::<D>::page_capacity(),
+            "fanout {} exceeds page capacity {}",
+            params.max_entries,
+            Node::<D>::page_capacity()
+        );
+        let root = store.alloc(&Node::new(0));
+        Self {
+            store,
+            root,
+            root_level: 0,
+            len: 0,
+            params,
+        }
+    }
+
+    /// (Internal to the crate) assembles a tree from pre-built parts; used
+    /// by bulk loading.
+    pub(crate) fn from_parts(
+        store: S,
+        root: NodeId,
+        root_level: u32,
+        len: usize,
+        params: Params,
+    ) -> Self {
+        Self {
+            store,
+            root,
+            root_level,
+            len,
+            params,
+        }
+    }
+
+    /// Re-attaches a tree whose nodes already live in `store` — the
+    /// persistence path: the caller supplies the root id, root level and
+    /// entry count it recorded when the tree was saved. Call
+    /// [`Self::validate`] afterwards to verify the structure if the
+    /// provenance of the image is in doubt.
+    pub fn open(store: S, root: NodeId, root_level: u32, len: usize, params: Params) -> Self {
+        params.validate();
+        Self::from_parts(store, root, root_level, len, params)
+    }
+
+    /// The root node's id (needed to reopen a persisted tree).
+    pub fn root_id(&self) -> NodeId {
+        self.root
+    }
+
+    /// The root's level (= height − 1).
+    pub fn root_level(&self) -> u32 {
+        self.root_level
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (a single leaf root has height 1).
+    pub fn height(&self) -> u32 {
+        self.root_level + 1
+    }
+
+    /// The node store (for access statistics).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The tree parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// MBR of the whole tree ([`Rect::empty`] when empty).
+    pub fn root_mbr(&self) -> Rect<D> {
+        self.store.read(self.root, &mut |n| n.mbr())
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion (R*-tree: ChooseSubtree + OverflowTreatment)
+    // ------------------------------------------------------------------
+
+    /// Inserts a rectangle with its payload.
+    pub fn insert(&mut self, rect: Rect<D>, data: u64) {
+        // One forced reinsert per level per top-level insertion (R*-tree
+        // OverflowTreatment); `true` means that level may still reinsert.
+        let mut may_reinsert = vec![true; (self.root_level + 2) as usize];
+        let mut pending: Vec<(Entry<D>, u32)> = vec![(Entry::leaf(rect, data), 0)];
+        while let Some((entry, level)) = pending.pop() {
+            if may_reinsert.len() <= self.root_level as usize + 1 {
+                may_reinsert.resize(self.root_level as usize + 2, true);
+            }
+            self.insert_from_root(entry, level, &mut may_reinsert, &mut pending);
+        }
+        self.len += 1;
+    }
+
+    fn insert_from_root(
+        &mut self,
+        entry: Entry<D>,
+        target_level: u32,
+        may_reinsert: &mut [bool],
+        pending: &mut Vec<(Entry<D>, u32)>,
+    ) {
+        debug_assert!(target_level <= self.root_level);
+        match self.insert_rec(self.root, entry, target_level, may_reinsert, pending) {
+            Outcome::Fit(_) => {}
+            Outcome::Split(root_mbr, sibling) => {
+                let new_root = Node {
+                    level: self.root_level + 1,
+                    entries: vec![Entry::branch(root_mbr, self.root), sibling],
+                };
+                self.root = self.store.alloc(&new_root);
+                self.root_level += 1;
+            }
+        }
+    }
+
+    fn insert_rec(
+        &mut self,
+        node_id: NodeId,
+        entry: Entry<D>,
+        target_level: u32,
+        may_reinsert: &mut [bool],
+        pending: &mut Vec<(Entry<D>, u32)>,
+    ) -> Outcome<D> {
+        let mut node = self.store.get(node_id);
+        if node.level == target_level {
+            node.entries.push(entry);
+            return self.resolve_overflow(node_id, node, may_reinsert, pending);
+        }
+
+        let child_idx = Self::choose_subtree(&node, &entry.rect);
+        let child_id = node.entries[child_idx].child();
+        match self.insert_rec(child_id, entry, target_level, may_reinsert, pending) {
+            Outcome::Fit(child_mbr) => {
+                node.entries[child_idx].rect = child_mbr;
+                let mbr = node.mbr();
+                self.store.write(node_id, &node);
+                Outcome::Fit(mbr)
+            }
+            Outcome::Split(child_mbr, sibling) => {
+                node.entries[child_idx].rect = child_mbr;
+                node.entries.push(sibling);
+                self.resolve_overflow(node_id, node, may_reinsert, pending)
+            }
+        }
+    }
+
+    /// R*-tree ChooseSubtree: minimum overlap enlargement when children are
+    /// leaves, minimum area enlargement otherwise (ties: smaller area).
+    fn choose_subtree(node: &Node<D>, rect: &Rect<D>) -> usize {
+        debug_assert!(!node.entries.is_empty(), "choose_subtree on empty node");
+        if node.level == 1 {
+            // Children are leaves: minimise overlap enlargement.
+            let mut best = 0;
+            let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            for (i, e) in node.entries.iter().enumerate() {
+                let enlarged = e.rect.union(rect);
+                let overlap_delta: f64 = node
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, other)| {
+                        enlarged.intersection_area(&other.rect)
+                            - e.rect.intersection_area(&other.rect)
+                    })
+                    .sum();
+                let key = (overlap_delta, e.rect.enlargement(rect), e.rect.area());
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        } else {
+            let mut best = 0;
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for (i, e) in node.entries.iter().enumerate() {
+                let key = (e.rect.enlargement(rect), e.rect.area());
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        }
+    }
+
+    /// OverflowTreatment: write through if the node fits, otherwise force-
+    /// reinsert (first time at this level) or split.
+    fn resolve_overflow(
+        &mut self,
+        node_id: NodeId,
+        mut node: Node<D>,
+        may_reinsert: &mut [bool],
+        pending: &mut Vec<(Entry<D>, u32)>,
+    ) -> Outcome<D> {
+        if node.entries.len() <= self.params.max_entries {
+            let mbr = node.mbr();
+            self.store.write(node_id, &node);
+            return Outcome::Fit(mbr);
+        }
+
+        let level = node.level as usize;
+        if node_id != self.root && may_reinsert[level] {
+            may_reinsert[level] = false;
+            // Forced reinsert: drop the `p` entries whose centres are
+            // farthest from the node centre and re-insert them later.
+            let center = node.mbr().center();
+            node.entries.sort_by(|a, b| {
+                let da = Rect::point(center).center_dist_sq(&a.rect);
+                let db = Rect::point(center).center_dist_sq(&b.rect);
+                da.total_cmp(&db)
+            });
+            let keep = node.entries.len() - self.params.reinsert_count;
+            let removed = node.entries.split_off(keep);
+            let mbr = node.mbr();
+            self.store.write(node_id, &node);
+            // "Close reinsert": nearest of the removed first. `pending` is a
+            // LIFO stack, so push farthest-first.
+            for entry in removed.into_iter().rev() {
+                pending.push((entry, node.level));
+            }
+            Outcome::Fit(mbr)
+        } else {
+            let level = node.level;
+            let (left, right) = rstar_split(std::mem::take(&mut node.entries), &self.params);
+            node.entries = left;
+            let mbr = node.mbr();
+            self.store.write(node_id, &node);
+            let sibling = Node {
+                level,
+                entries: right,
+            };
+            let sibling_mbr = sibling.mbr();
+            let sibling_id = self.store.alloc(&sibling);
+            Outcome::Split(mbr, Entry::branch(sibling_mbr, sibling_id))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion with condensation
+    // ------------------------------------------------------------------
+
+    /// Removes the entry with exactly this rectangle and payload. Returns
+    /// whether it was found.
+    pub fn delete(&mut self, rect: &Rect<D>, data: u64) -> bool {
+        let mut orphans: Vec<(Entry<D>, u32)> = Vec::new();
+        let Some(_mbr) = self.delete_rec(self.root, rect, data, &mut orphans) else {
+            return false;
+        };
+        self.len -= 1;
+
+        // A branch root emptied out entirely (everything moved to orphans
+        // or deleted): restart from an empty leaf.
+        let root_now = self.store.get(self.root);
+        if root_now.level > 0 && root_now.entries.is_empty() {
+            self.store.free(self.root);
+            self.root = self.store.alloc(&Node::new(0));
+            self.root_level = 0;
+        }
+
+        // Reinsert orphans, highest level first so branch entries find a
+        // tall enough tree; if the tree shrank below an orphan's level,
+        // dissolve that subtree into leaf entries.
+        orphans.sort_by_key(|(_, lvl)| Reverse(*lvl));
+        for (entry, level) in orphans {
+            if level == 0 {
+                self.reinsert_entry(entry, 0);
+            } else if level <= self.root_level {
+                self.reinsert_entry(entry, level);
+            } else {
+                let mut leaves = Vec::new();
+                self.dissolve(entry.child(), &mut leaves);
+                for leaf in leaves {
+                    self.reinsert_entry(leaf, 0);
+                }
+            }
+        }
+
+        // Shrink a root chain of single-child branch nodes.
+        loop {
+            let root_node = self.store.get(self.root);
+            if root_node.level > 0 && root_node.entries.len() == 1 {
+                let only = root_node.entries[0].child();
+                self.store.free(self.root);
+                self.root = only;
+                self.root_level -= 1;
+            } else {
+                break;
+            }
+        }
+        true
+    }
+
+    fn reinsert_entry(&mut self, entry: Entry<D>, level: u32) {
+        let mut may_reinsert = vec![true; (self.root_level + 2) as usize];
+        let mut pending = vec![(entry, level)];
+        while let Some((e, lvl)) = pending.pop() {
+            if may_reinsert.len() <= self.root_level as usize + 1 {
+                may_reinsert.resize(self.root_level as usize + 2, true);
+            }
+            self.insert_from_root(e, lvl, &mut may_reinsert, &mut pending);
+        }
+    }
+
+    /// Collects all leaf entries under `node_id`, freeing the nodes.
+    fn dissolve(&mut self, node_id: NodeId, out: &mut Vec<Entry<D>>) {
+        let node = self.store.get(node_id);
+        if node.is_leaf() {
+            out.extend(node.entries);
+        } else {
+            for e in &node.entries {
+                self.dissolve(e.child(), out);
+            }
+        }
+        self.store.free(node_id);
+    }
+
+    /// Returns the node's new MBR when the entry was found and removed
+    /// under `node_id`.
+    fn delete_rec(
+        &mut self,
+        node_id: NodeId,
+        rect: &Rect<D>,
+        data: u64,
+        orphans: &mut Vec<(Entry<D>, u32)>,
+    ) -> Option<Rect<D>> {
+        let mut node = self.store.get(node_id);
+        if node.is_leaf() {
+            let idx = node
+                .entries
+                .iter()
+                .position(|e| e.payload == data && e.rect == *rect)?;
+            node.entries.swap_remove(idx);
+            let mbr = node.mbr();
+            self.store.write(node_id, &node);
+            return Some(mbr);
+        }
+
+        for i in 0..node.entries.len() {
+            if !node.entries[i].rect.contains_rect(rect) {
+                continue;
+            }
+            let child_id = node.entries[i].child();
+            if let Some(child_mbr) = self.delete_rec(child_id, rect, data, orphans) {
+                let child = self.store.get(child_id);
+                if child.entries.len() < self.params.min_entries {
+                    // Condense: dissolve the underfull child, reinsert its
+                    // entries at their level later.
+                    let child_level = child.level;
+                    for e in child.entries {
+                        orphans.push((e, child_level));
+                    }
+                    self.store.free(child_id);
+                    node.entries.swap_remove(i);
+                } else {
+                    node.entries[i].rect = child_mbr;
+                }
+                let mbr = node.mbr();
+                self.store.write(node_id, &node);
+                return Some(mbr);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Predicate-driven descent — the hook the MT-index algorithm uses.
+    ///
+    /// `pred` is evaluated on **every entry rectangle** met during the
+    /// descent (branch and leaf alike); `true` on a branch entry descends
+    /// into it, `true` on a leaf entry reports the entry via `on_data`.
+    /// This mirrors steps 3–4 of Algorithm 1, where the transformation MBR
+    /// is applied to each index rectangle before the intersection test.
+    pub fn search(
+        &self,
+        mut pred: impl FnMut(&Rect<D>) -> bool,
+        mut on_data: impl FnMut(&Rect<D>, u64),
+    ) -> SearchStats {
+        let mut stats = SearchStats::default();
+        self.search_rec(self.root, &mut pred, &mut on_data, &mut stats);
+        stats
+    }
+
+    fn search_rec(
+        &self,
+        node_id: NodeId,
+        pred: &mut impl FnMut(&Rect<D>) -> bool,
+        on_data: &mut impl FnMut(&Rect<D>, u64),
+        stats: &mut SearchStats,
+    ) {
+        stats.nodes_accessed += 1;
+        // Collect matches inside the (locked) read, recurse outside it — the
+        // store's lock is not re-entrant.
+        let node = self.store.get(node_id);
+        stats.entries_tested += node.entries.len() as u64;
+        if node.is_leaf() {
+            stats.leaf_nodes_accessed += 1;
+            for e in &node.entries {
+                if pred(&e.rect) {
+                    stats.candidates += 1;
+                    on_data(&e.rect, e.payload);
+                }
+            }
+        } else {
+            for e in &node.entries {
+                if pred(&e.rect) {
+                    self.search_rec(e.child(), pred, on_data, stats);
+                }
+            }
+        }
+    }
+
+    /// All entries whose rectangle intersects `query`.
+    pub fn range(&self, query: &Rect<D>) -> (Vec<(Rect<D>, u64)>, SearchStats) {
+        let mut out = Vec::new();
+        let stats = self.search(|r| r.intersects(query), |r, d| out.push((*r, d)));
+        (out, stats)
+    }
+
+    /// Visits every stored entry.
+    pub fn for_each(&self, mut f: impl FnMut(&Rect<D>, u64)) {
+        self.search(|_| true, |r, d| f(r, d));
+    }
+
+    /// Best-first k-nearest-neighbour with caller-supplied scoring.
+    ///
+    /// `node_bound(rect)` must lower-bound `leaf_score` for everything
+    /// stored under `rect` (MINDIST is such a bound for plain Euclidean
+    /// queries; the MT engine passes a transformed MINDIST). `leaf_score`
+    /// returns the exact distance of a leaf entry, or `None` to disqualify
+    /// it. Results are the `k` smallest by exact score.
+    pub fn nearest_by(
+        &self,
+        k: usize,
+        mut node_bound: impl FnMut(&Rect<D>) -> f64,
+        mut leaf_score: impl FnMut(&Rect<D>, u64) -> Option<f64>,
+    ) -> (Vec<Neighbor<D>>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let mut heap: BinaryHeap<Reverse<HeapItem<D>>> = BinaryHeap::new();
+        let mut out = Vec::new();
+        if k == 0 {
+            return (out, stats);
+        }
+        heap.push(Reverse(HeapItem {
+            key: 0.0,
+            kind: ItemKind::Node(self.root),
+        }));
+        while let Some(Reverse(item)) = heap.pop() {
+            match item.kind {
+                ItemKind::Data(rect, data) => {
+                    out.push(Neighbor {
+                        dist: item.key,
+                        rect,
+                        data,
+                    });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                ItemKind::Node(id) => {
+                    stats.nodes_accessed += 1;
+                    self.store.read(id, &mut |node: &Node<D>| {
+                        if node.is_leaf() {
+                            stats.leaf_nodes_accessed += 1;
+                            for e in &node.entries {
+                                stats.entries_tested += 1;
+                                if let Some(d) = leaf_score(&e.rect, e.payload) {
+                                    stats.candidates += 1;
+                                    heap.push(Reverse(HeapItem {
+                                        key: d,
+                                        kind: ItemKind::Data(e.rect, e.payload),
+                                    }));
+                                }
+                            }
+                        } else {
+                            for e in &node.entries {
+                                stats.entries_tested += 1;
+                                heap.push(Reverse(HeapItem {
+                                    key: node_bound(&e.rect),
+                                    kind: ItemKind::Node(e.child()),
+                                }));
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        (out, stats)
+    }
+
+    /// Depth-first branch-and-bound k-nearest-neighbour — the original
+    /// algorithm of Roussopoulos, Kelley & Vincent (SIGMOD '95), which the
+    /// paper cites for its NN sketch ("use any kind of metric (such as
+    /// MINDIST or MINMAXDIST…) to prune the search"). Subtrees are visited
+    /// in MINDIST order and pruned against the current k-th best; when
+    /// `use_minmaxdist` is set, MINMAXDIST additionally seeds the pruning
+    /// bound before any leaf is reached (only sound for k = 1 — every
+    /// rectangle is guaranteed to contain an object at most MINMAXDIST
+    /// away, but only *one* such object).
+    ///
+    /// Exposed alongside [`Self::nearest_by`] so the two classic strategies
+    /// can be compared; both return exactly the k nearest by `point_dist`.
+    pub fn nearest_dfs(
+        &self,
+        k: usize,
+        query: &[f64; D],
+        use_minmaxdist: bool,
+    ) -> (Vec<Neighbor<D>>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let mut best: BinaryHeap<HeapItem<D>> = BinaryHeap::new(); // max-heap of current k best
+        if k > 0 {
+            let mut prune = f64::INFINITY;
+            self.nearest_dfs_rec(
+                self.root,
+                k,
+                query,
+                use_minmaxdist && k == 1,
+                &mut best,
+                &mut prune,
+                &mut stats,
+            );
+        }
+        let mut out: Vec<Neighbor<D>> = best
+            .into_sorted_vec()
+            .into_iter()
+            .map(|item| match item.kind {
+                ItemKind::Data(rect, data) => Neighbor {
+                    dist: item.key,
+                    rect,
+                    data,
+                },
+                ItemKind::Node(_) => unreachable!("only data items are kept"),
+            })
+            .collect();
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+        (out, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nearest_dfs_rec(
+        &self,
+        node_id: NodeId,
+        k: usize,
+        query: &[f64; D],
+        minmax: bool,
+        best: &mut BinaryHeap<HeapItem<D>>,
+        prune: &mut f64,
+        stats: &mut SearchStats,
+    ) {
+        stats.nodes_accessed += 1;
+        let node = self.store.get(node_id);
+        if node.is_leaf() {
+            stats.leaf_nodes_accessed += 1;
+            for e in &node.entries {
+                stats.entries_tested += 1;
+                let d = e.rect.min_dist_sq(query);
+                if best.len() < k {
+                    best.push(HeapItem {
+                        key: d,
+                        kind: ItemKind::Data(e.rect, e.payload),
+                    });
+                } else if d < best.peek().expect("k > 0").key {
+                    best.pop();
+                    best.push(HeapItem {
+                        key: d,
+                        kind: ItemKind::Data(e.rect, e.payload),
+                    });
+                }
+                if best.len() == k {
+                    *prune = prune.min(best.peek().expect("non-empty").key);
+                }
+            }
+            return;
+        }
+
+        // Order children by MINDIST; optionally tighten the bound with
+        // MINMAXDIST (k = 1 only).
+        let mut children: Vec<(f64, f64, NodeId)> = node
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    e.rect.min_dist_sq(query),
+                    e.rect.min_max_dist_sq(query),
+                    e.child(),
+                )
+            })
+            .collect();
+        children.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if minmax {
+            for &(_, mm, _) in &children {
+                *prune = prune.min(mm);
+            }
+        }
+        for (mind, _, child) in children {
+            stats.entries_tested += 1;
+            let bound = if best.len() == k {
+                prune.min(best.peek().expect("non-empty").key)
+            } else {
+                *prune
+            };
+            if mind > bound {
+                continue; // downward prune
+            }
+            self.nearest_dfs_rec(child, k, query, minmax, best, prune, stats);
+        }
+    }
+
+    /// Optimal multi-step k-NN (Seidl–Kriegel style): leaf entries are
+    /// enqueued with a *cheap* lower bound and only `refine`d to their exact
+    /// (expensive) distance when they surface at the top of the priority
+    /// queue. Guarantees the exact k results while refining as few entries
+    /// as the bounds allow — `stats.candidates` counts refinements.
+    ///
+    /// Requirements: `node_bound` lower-bounds `leaf_bound` for everything
+    /// under the rectangle, and `leaf_bound(r, d) ≤ refine(r, d)`.
+    pub fn nearest_by_refine(
+        &self,
+        k: usize,
+        mut node_bound: impl FnMut(&Rect<D>) -> f64,
+        mut leaf_bound: impl FnMut(&Rect<D>, u64) -> f64,
+        mut refine: impl FnMut(&Rect<D>, u64) -> Option<f64>,
+    ) -> (Vec<Neighbor<D>>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let mut heap: BinaryHeap<Reverse<RefineItem<D>>> = BinaryHeap::new();
+        let mut out = Vec::new();
+        if k == 0 {
+            return (out, stats);
+        }
+        heap.push(Reverse(RefineItem {
+            key: 0.0,
+            kind: RefineKind::Node(self.root),
+        }));
+        while let Some(Reverse(item)) = heap.pop() {
+            match item.kind {
+                RefineKind::Exact(rect, data) => {
+                    out.push(Neighbor {
+                        dist: item.key,
+                        rect,
+                        data,
+                    });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                RefineKind::Candidate(rect, data) => {
+                    stats.candidates += 1;
+                    if let Some(exact) = refine(&rect, data) {
+                        heap.push(Reverse(RefineItem {
+                            key: exact,
+                            kind: RefineKind::Exact(rect, data),
+                        }));
+                    }
+                }
+                RefineKind::Node(id) => {
+                    stats.nodes_accessed += 1;
+                    self.store.read(id, &mut |node: &Node<D>| {
+                        if node.is_leaf() {
+                            stats.leaf_nodes_accessed += 1;
+                            for e in &node.entries {
+                                stats.entries_tested += 1;
+                                heap.push(Reverse(RefineItem {
+                                    key: leaf_bound(&e.rect, e.payload),
+                                    kind: RefineKind::Candidate(e.rect, e.payload),
+                                }));
+                            }
+                        } else {
+                            for e in &node.entries {
+                                stats.entries_tested += 1;
+                                heap.push(Reverse(RefineItem {
+                                    key: node_bound(&e.rect),
+                                    kind: RefineKind::Node(e.child()),
+                                }));
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        (out, stats)
+    }
+
+    /// Synchronized-descent join against another tree. `pair_pred` must be
+    /// a symmetric filter that is *monotone*: true on a pair of data
+    /// rectangles implies true on every pair of ancestors (intersection
+    /// tests after MBR transformation have this property — Lemma 1).
+    pub fn join_with<S2: NodeStore<D>>(
+        &self,
+        other: &RStarTree<D, S2>,
+        mut pair_pred: impl FnMut(&Rect<D>, &Rect<D>) -> bool,
+        mut on_pair: impl FnMut(&Rect<D>, u64, &Rect<D>, u64),
+    ) -> SearchStats {
+        let mut stats = SearchStats::default();
+        self.join_rec(
+            other,
+            self.root,
+            other.root,
+            &mut pair_pred,
+            &mut on_pair,
+            &mut stats,
+        );
+        stats
+    }
+
+    fn join_rec<S2: NodeStore<D>>(
+        &self,
+        other: &RStarTree<D, S2>,
+        id1: NodeId,
+        id2: NodeId,
+        pred: &mut impl FnMut(&Rect<D>, &Rect<D>) -> bool,
+        on_pair: &mut impl FnMut(&Rect<D>, u64, &Rect<D>, u64),
+        stats: &mut SearchStats,
+    ) {
+        let n1 = self.store.get(id1);
+        let n2 = other.store.get(id2);
+        stats.nodes_accessed += 2;
+        match (n1.is_leaf(), n2.is_leaf()) {
+            (true, true) => {
+                stats.leaf_nodes_accessed += 2;
+                for e1 in &n1.entries {
+                    for e2 in &n2.entries {
+                        stats.entries_tested += 1;
+                        if pred(&e1.rect, &e2.rect) {
+                            on_pair(&e1.rect, e1.payload, &e2.rect, e2.payload);
+                        }
+                    }
+                }
+            }
+            (false, false) => {
+                for e1 in &n1.entries {
+                    for e2 in &n2.entries {
+                        stats.entries_tested += 1;
+                        if pred(&e1.rect, &e2.rect) {
+                            self.join_rec(other, e1.child(), e2.child(), pred, on_pair, stats);
+                        }
+                    }
+                }
+            }
+            (false, true) => {
+                let r2 = n2.mbr();
+                for e1 in &n1.entries {
+                    stats.entries_tested += 1;
+                    if pred(&e1.rect, &r2) {
+                        self.join_rec(other, e1.child(), id2, pred, on_pair, stats);
+                    }
+                }
+            }
+            (true, false) => {
+                let r1 = n1.mbr();
+                for e2 in &n2.entries {
+                    stats.entries_tested += 1;
+                    if pred(&r1, &e2.rect) {
+                        self.join_rec(other, id1, e2.child(), pred, on_pair, stats);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Duplicate-free self join: every unordered pair of distinct entries
+    /// satisfying `pair_pred` is reported exactly once.
+    pub fn self_join(
+        &self,
+        mut pair_pred: impl FnMut(&Rect<D>, &Rect<D>) -> bool,
+        mut on_pair: impl FnMut(&Rect<D>, u64, &Rect<D>, u64),
+    ) -> SearchStats {
+        let mut stats = SearchStats::default();
+        self.self_join_rec(
+            self.root,
+            self.root,
+            &mut pair_pred,
+            &mut on_pair,
+            &mut stats,
+        );
+        stats
+    }
+
+    fn self_join_rec(
+        &self,
+        id1: NodeId,
+        id2: NodeId,
+        pred: &mut impl FnMut(&Rect<D>, &Rect<D>) -> bool,
+        on_pair: &mut impl FnMut(&Rect<D>, u64, &Rect<D>, u64),
+        stats: &mut SearchStats,
+    ) {
+        if id1 == id2 {
+            let n = self.store.get(id1);
+            stats.nodes_accessed += 1;
+            if n.is_leaf() {
+                stats.leaf_nodes_accessed += 1;
+                for i in 0..n.entries.len() {
+                    for j in (i + 1)..n.entries.len() {
+                        stats.entries_tested += 1;
+                        let (a, b) = (&n.entries[i], &n.entries[j]);
+                        if pred(&a.rect, &b.rect) {
+                            on_pair(&a.rect, a.payload, &b.rect, b.payload);
+                        }
+                    }
+                }
+            } else {
+                for i in 0..n.entries.len() {
+                    for j in i..n.entries.len() {
+                        stats.entries_tested += 1;
+                        let (a, b) = (&n.entries[i], &n.entries[j]);
+                        if pred(&a.rect, &b.rect) {
+                            self.self_join_rec(a.child(), b.child(), pred, on_pair, stats);
+                        }
+                    }
+                }
+            }
+        } else {
+            let n1 = self.store.get(id1);
+            let n2 = self.store.get(id2);
+            stats.nodes_accessed += 2;
+            debug_assert_eq!(n1.level, n2.level, "self-join descends level-synchronously");
+            if n1.is_leaf() {
+                stats.leaf_nodes_accessed += 2;
+                for a in &n1.entries {
+                    for b in &n2.entries {
+                        stats.entries_tested += 1;
+                        if pred(&a.rect, &b.rect) {
+                            on_pair(&a.rect, a.payload, &b.rect, b.payload);
+                        }
+                    }
+                }
+            } else {
+                for a in &n1.entries {
+                    for b in &n2.entries {
+                        stats.entries_tested += 1;
+                        if pred(&a.rect, &b.rect) {
+                            self.self_join_rec(a.child(), b.child(), pred, on_pair, stats);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural summaries (cost estimation support)
+    // ------------------------------------------------------------------
+
+    /// Per-level structure summary: node counts and mean node-MBR extents,
+    /// the inputs of analytical R-tree cost models (Theodoridis & Sellis,
+    /// PODS '96 — the estimation techniques §4.3 of the ICDE '99 paper
+    /// discusses). One full tree walk.
+    pub fn level_summaries(&self) -> Vec<LevelSummary<D>> {
+        let mut acc: Vec<(u64, [f64; D])> = vec![(0, [0.0; D]); self.height() as usize];
+        self.summarize_rec(self.root, &mut acc);
+        acc.into_iter()
+            .enumerate()
+            .map(|(level, (nodes, extent_sum))| {
+                let mut avg_extent = [0.0; D];
+                if nodes > 0 {
+                    for (slot, total) in avg_extent.iter_mut().zip(&extent_sum) {
+                        *slot = total / nodes as f64;
+                    }
+                }
+                LevelSummary {
+                    level: level as u32,
+                    nodes,
+                    avg_extent,
+                }
+            })
+            .collect()
+    }
+
+    fn summarize_rec(&self, node_id: NodeId, acc: &mut Vec<(u64, [f64; D])>) {
+        let node = self.store.get(node_id);
+        let mbr = node.mbr();
+        let slot = &mut acc[node.level as usize];
+        slot.0 += 1;
+        if !mbr.is_empty() {
+            for (d, total) in slot.1.iter_mut().enumerate() {
+                *total += mbr.hi[d] - mbr.lo[d];
+            }
+        }
+        if !node.is_leaf() {
+            for e in &node.entries {
+                self.summarize_rec(e.child(), acc);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural validation (used heavily by tests)
+    // ------------------------------------------------------------------
+
+    /// Checks every structural invariant; panics with a description on the
+    /// first violation. Returns the number of nodes.
+    pub fn validate(&self) -> usize {
+        let mut node_count = 0;
+        let mut entry_count = 0;
+        self.validate_rec(
+            self.root,
+            self.root_level,
+            true,
+            &mut node_count,
+            &mut entry_count,
+        );
+        assert_eq!(
+            entry_count, self.len,
+            "len {} != counted entries {entry_count}",
+            self.len
+        );
+        node_count
+    }
+
+    fn validate_rec(
+        &self,
+        node_id: NodeId,
+        expected_level: u32,
+        is_root: bool,
+        node_count: &mut usize,
+        entry_count: &mut usize,
+    ) -> Rect<D> {
+        *node_count += 1;
+        let node = self.store.get(node_id);
+        assert_eq!(node.level, expected_level, "level mismatch at {node_id:?}");
+        assert!(
+            node.entries.len() <= self.params.max_entries,
+            "node {node_id:?} overflows: {}",
+            node.entries.len()
+        );
+        if !is_root && self.len > 0 {
+            assert!(
+                node.entries.len() >= self.params.min_entries,
+                "node {node_id:?} underflows: {} < {}",
+                node.entries.len(),
+                self.params.min_entries
+            );
+        }
+        if node.is_leaf() {
+            *entry_count += node.entries.len();
+        } else {
+            assert!(
+                !node.entries.is_empty() || is_root,
+                "empty branch node {node_id:?}"
+            );
+            for e in &node.entries {
+                let child_mbr = self.validate_rec(
+                    e.child(),
+                    expected_level - 1,
+                    false,
+                    node_count,
+                    entry_count,
+                );
+                assert_eq!(
+                    e.rect,
+                    child_mbr,
+                    "stale parent rect at {node_id:?} for child {:?}",
+                    e.child()
+                );
+            }
+        }
+        node.mbr()
+    }
+}
+
+struct RefineItem<const D: usize> {
+    key: f64,
+    kind: RefineKind<D>,
+}
+
+enum RefineKind<const D: usize> {
+    Node(NodeId),
+    Candidate(Rect<D>, u64),
+    Exact(Rect<D>, u64),
+}
+
+impl<const D: usize> PartialEq for RefineItem<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<const D: usize> Eq for RefineItem<D> {}
+impl<const D: usize> PartialOrd for RefineItem<D> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<const D: usize> Ord for RefineItem<D> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties: exact results surface before candidates, candidates before
+        // nodes — avoids needless refinement/expansion at equal keys.
+        self.key.total_cmp(&other.key).then_with(|| {
+            let rank = |k: &RefineKind<D>| match k {
+                RefineKind::Exact(..) => 0u8,
+                RefineKind::Candidate(..) => 1,
+                RefineKind::Node(_) => 2,
+            };
+            rank(&self.kind).cmp(&rank(&other.kind))
+        })
+    }
+}
+
+struct HeapItem<const D: usize> {
+    key: f64,
+    kind: ItemKind<D>,
+}
+
+enum ItemKind<const D: usize> {
+    Node(NodeId),
+    Data(Rect<D>, u64),
+}
+
+impl<const D: usize> PartialEq for HeapItem<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<const D: usize> Eq for HeapItem<D> {}
+impl<const D: usize> PartialOrd for HeapItem<D> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<const D: usize> Ord for HeapItem<D> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties between data and node items: pop Data first so equal-distance
+        // results surface before equal-bound subtrees are expanded.
+        self.key.total_cmp(&other.key).then_with(|| {
+            let rank = |k: &ItemKind<D>| match k {
+                ItemKind::Data(..) => 0u8,
+                ItemKind::Node(_) => 1,
+            };
+            rank(&self.kind).cmp(&rank(&other.kind))
+        })
+    }
+}

@@ -1,0 +1,172 @@
+//! Similarity measures and the Euclidean ↔ cross-correlation bridge (Eq. 9).
+
+use crate::series::TimeSeries;
+
+/// Squared Euclidean distance.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn euclidean_sq(x: &TimeSeries, y: &TimeSeries) -> f64 {
+    assert_eq!(x.len(), y.len(), "distance requires equal lengths");
+    x.values()
+        .iter()
+        .zip(y.values())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum()
+}
+
+/// Euclidean distance.
+pub fn euclidean(x: &TimeSeries, y: &TimeSeries) -> f64 {
+    euclidean_sq(x, y).sqrt()
+}
+
+/// City-block (L1) distance — mentioned in §1 as an alternative metric.
+pub fn city_block(x: &TimeSeries, y: &TimeSeries) -> f64 {
+    assert_eq!(x.len(), y.len(), "distance requires equal lengths");
+    x.values()
+        .iter()
+        .zip(y.values())
+        .map(|(a, b)| (a - b).abs())
+        .sum()
+}
+
+/// The cross-correlation of footnote 5:
+/// `ρ(x, y) = (μ_{x·y} − μ_x·μ_y) / (σ_x·σ_y)`,
+/// with `μ_{x·y} = Σ xᵢyᵢ / n` and σ the **sample** standard deviation —
+/// the same convention the normal form uses. With this pairing, Eq. 9 holds
+/// exactly for normal-form inputs:
+///
+/// ```text
+/// D²(x̂, ŷ) = 2·(n − 1 − n·ρ(x̂, ŷ))
+/// ```
+///
+/// Returns `None` for degenerate inputs (σ = 0).
+pub fn cross_correlation(x: &TimeSeries, y: &TimeSeries) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "correlation requires equal lengths");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let (sx, sy) = (x.std(), y.std());
+    if sx <= 0.0 || sy <= 0.0 {
+        return None;
+    }
+    let mean_xy = x
+        .values()
+        .iter()
+        .zip(y.values())
+        .map(|(a, b)| a * b)
+        .sum::<f64>()
+        / n as f64;
+    Some((mean_xy - x.mean() * y.mean()) / (sx * sy))
+}
+
+/// Converts a cross-correlation threshold into the equivalent Euclidean
+/// threshold for normal-form sequences of length `n` via Eq. 9:
+/// `ε = √(2·(n − 1 − n·ρ))`.
+///
+/// ```
+/// let eps = tseries::distance_threshold_for_correlation(128, 0.96);
+/// assert!((eps * eps - 8.24).abs() < 1e-9);
+/// ```
+///
+/// The paper's range-query experiments fix ρ = 0.96 and derive ε this way
+/// (§5). Returns 0 when the correlation bound is so tight that the formula
+/// goes negative (possible since ρ may exceed `(n−1)/n`).
+pub fn distance_threshold_for_correlation(n: usize, rho: f64) -> f64 {
+    let v = 2.0 * (n as f64 - 1.0 - n as f64 * rho);
+    v.max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec())
+    }
+
+    #[test]
+    fn euclidean_basics() {
+        let x = series(&[0.0, 3.0]);
+        let y = series(&[4.0, 0.0]);
+        assert!((euclidean(&x, &y) - 5.0).abs() < 1e-12);
+        assert!((city_block(&x, &y) - 7.0).abs() < 1e-12);
+        assert_eq!(euclidean_sq(&x, &x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_panic() {
+        euclidean(&series(&[1.0]), &series(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn correlation_of_self_near_one_after_normalization() {
+        let x = series(&[1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 1.0, 0.0]);
+        let nf = x.normal_form().unwrap();
+        let rho = cross_correlation(&nf.series, &nf.series).unwrap();
+        // Self-correlation with this convention is (n−1)/n, not exactly 1.
+        let n = x.len() as f64;
+        assert!((rho - (n - 1.0) / n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_is_shift_scale_invariant() {
+        let x = series(&[1.0, 4.0, 2.0, 7.0, 5.0, 5.0, 0.0, 3.0]);
+        let y = series(&[0.0, 2.0, 1.0, 9.0, 4.0, 4.0, 1.0, 2.0]);
+        let base = cross_correlation(&x, &y).unwrap();
+        let x2 = x.map(|v| 5.0 * v + 100.0);
+        let scaled = cross_correlation(&x2, &y).unwrap();
+        assert!((base - scaled).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_correlated_series_negative() {
+        let x = series(&(0..32).map(|t| t as f64).collect::<Vec<_>>());
+        let y = x.map(|v| -v);
+        assert!(cross_correlation(&x, &y).unwrap() < -0.9);
+    }
+
+    #[test]
+    fn degenerate_correlation_is_none() {
+        let x = series(&[1.0, 1.0, 1.0]);
+        let y = series(&[1.0, 2.0, 3.0]);
+        assert!(cross_correlation(&x, &y).is_none());
+        assert!(cross_correlation(&series(&[1.0]), &series(&[2.0])).is_none());
+    }
+
+    #[test]
+    fn eq9_bridge_holds_for_normal_forms() {
+        let x = series(
+            &(0..128)
+                .map(|t| (t as f64 * 0.21).sin() * 4.0 + t as f64 * 0.01)
+                .collect::<Vec<_>>(),
+        );
+        let y = series(
+            &(0..128)
+                .map(|t| (t as f64 * 0.21 + 0.4).sin() * 3.0)
+                .collect::<Vec<_>>(),
+        );
+        let nx = x.normal_form().unwrap().series;
+        let ny = y.normal_form().unwrap().series;
+        let d2 = euclidean_sq(&nx, &ny);
+        let rho = cross_correlation(&nx, &ny).unwrap();
+        let n = 128.0;
+        assert!(
+            (d2 - 2.0 * (n - 1.0 - n * rho)).abs() < 1e-8,
+            "Eq. 9 violated: D²={d2}, rhs={}",
+            2.0 * (n - 1.0 - n * rho)
+        );
+    }
+
+    #[test]
+    fn threshold_conversion_matches_paper_setup() {
+        // ρ = 0.96, n = 128 → ε² = 2(127 − 122.88) = 8.24.
+        let eps = distance_threshold_for_correlation(128, 0.96);
+        assert!((eps * eps - 8.24).abs() < 1e-9);
+        // Impossible ρ clamps to zero.
+        assert_eq!(distance_threshold_for_correlation(128, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Data generators.
+//!
+//! * [`random_walk`] — the paper's synthetic workload, verbatim:
+//!   `x_t = x_{t−1} + z_t` with `z_t ~ U[−500, 500]` (§5).
+//! * [`Market`] — a seeded synthetic stock market that stands in for the
+//!   unavailable `ftp.ai.mit.edu/pub/stocks/results` corpus. Closing prices
+//!   follow sector-correlated geometric random walks with occasional
+//!   one-day spikes; this gives the low-frequency-dominated spectra that
+//!   make the paper's DFT index selective, plus the spike-alignment
+//!   phenomena of Example 1.2.
+//! * [`spiky_pair`] — a deterministic PCG/PCL-like pair whose momenta align
+//!   under a 2-day shift (Example 1.2's shape).
+
+use crate::series::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's synthetic sequence: a uniform-step random walk.
+pub fn random_walk(rng: &mut StdRng, len: usize, step: f64) -> TimeSeries {
+    let mut x = 0.0;
+    (0..len)
+        .map(|_| {
+            x += rng.random_range(-step..=step);
+            x
+        })
+        .collect()
+}
+
+/// Tuning knobs for the synthetic market.
+#[derive(Clone, Debug)]
+pub struct MarketConfig {
+    /// Number of stocks.
+    pub stocks: usize,
+    /// Days per stock.
+    pub days: usize,
+    /// Number of sectors sharing a common factor.
+    pub sectors: usize,
+    /// Weight of the sector factor vs idiosyncratic noise, in `[0, 1]`.
+    pub sector_weight: f64,
+    /// Daily volatility of log-price moves.
+    pub volatility: f64,
+    /// Probability of a one-day spike on any given day.
+    pub spike_prob: f64,
+    /// Relative amplitude of *daily measurement noise* applied to the
+    /// price level (multiplicative, uniform in `±daily_noise`). Unlike the
+    /// volatility (which accumulates), this noise is white — it models
+    /// volume-like series (Example 1.1's COMPV/NYV) whose day-to-day
+    /// jitter hides a shared trend that a short moving average recovers.
+    pub daily_noise: f64,
+}
+
+impl Default for MarketConfig {
+    /// The shape of the paper's real corpus: 1068 stocks × 128 days.
+    fn default() -> Self {
+        Self {
+            stocks: 1068,
+            days: 128,
+            sectors: 12,
+            sector_weight: 0.5,
+            volatility: 0.02,
+            spike_prob: 0.01,
+            daily_noise: 0.0,
+        }
+    }
+}
+
+/// A deterministic synthetic stock market.
+pub struct Market {
+    config: MarketConfig,
+    seed: u64,
+}
+
+impl Market {
+    /// Creates a market with the given configuration and seed.
+    pub fn new(config: MarketConfig, seed: u64) -> Self {
+        Self { config, seed }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MarketConfig {
+        &self.config
+    }
+
+    /// Generates every stock's daily closing-price series.
+    pub fn closes(&self) -> Vec<TimeSeries> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Shared per-sector daily log-return factors.
+        let sector_factors: Vec<Vec<f64>> = (0..cfg.sectors.max(1))
+            .map(|_| (0..cfg.days).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+
+        (0..cfg.stocks)
+            .map(|s| {
+                let sector = &sector_factors[s % sector_factors.len()];
+                let base = rng.random_range(10.0_f64..200.0);
+                let drift = rng.random_range(-0.001..0.001);
+                let mut log_price = base.ln();
+                (0..cfg.days)
+                    .map(|d| {
+                        let common = sector[d] * cfg.sector_weight;
+                        let own = rng.random_range(-1.0_f64..1.0) * (1.0 - cfg.sector_weight);
+                        log_price += drift + cfg.volatility * (common + own);
+                        let mut price = log_price.exp();
+                        if rng.random_bool(cfg.spike_prob) {
+                            // One-day spike (news shock / recording glitch).
+                            price *= rng.random_range(1.1..1.5);
+                        }
+                        if cfg.daily_noise > 0.0 {
+                            price *= 1.0 + rng.random_range(-cfg.daily_noise..cfg.daily_noise);
+                        }
+                        price
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Synthetic names (`S0000`, `S0001`, …) for reporting.
+    pub fn names(&self) -> Vec<String> {
+        (0..self.config.stocks)
+            .map(|i| format!("S{i:04}"))
+            .collect()
+    }
+}
+
+/// A deterministic pair of series shaped like Example 1.2's PCG/PCL: both
+/// carry a one-day spike, offset by `offset` days; their momenta are far
+/// apart until one is shifted by `offset`.
+pub fn spiky_pair(len: usize, spike_at: usize, offset: usize) -> (TimeSeries, TimeSeries) {
+    assert!(
+        spike_at + offset + 1 < len,
+        "spike must fit inside both series"
+    );
+    let base = |t: usize| (t as f64 * 0.11).sin() * 1.5 + (t as f64 * 0.023).cos();
+    let mut a: Vec<f64> = (0..len).map(base).collect();
+    let mut b: Vec<f64> = (0..len).map(|t| base(t) * 0.9 + 0.2).collect();
+    a[spike_at] += 6.0;
+    b[spike_at + offset] += 6.0;
+    (TimeSeries::new(a), TimeSeries::new(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean;
+    use crate::ops::{momentum, shift_right};
+
+    #[test]
+    fn random_walk_is_reproducible_and_sized() {
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = random_walk(&mut r1, 128, 500.0);
+        let b = random_walk(&mut r2, 128, 500.0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 128);
+        // Steps bounded by ±500.
+        for w in a.values().windows(2) {
+            assert!((w[1] - w[0]).abs() <= 500.0);
+        }
+    }
+
+    #[test]
+    fn market_shape_and_determinism() {
+        let cfg = MarketConfig {
+            stocks: 20,
+            days: 64,
+            ..MarketConfig::default()
+        };
+        let m1 = Market::new(cfg.clone(), 7).closes();
+        let m2 = Market::new(cfg, 7).closes();
+        assert_eq!(m1.len(), 20);
+        assert!(m1.iter().all(|s| s.len() == 64));
+        assert_eq!(m1, m2);
+        // Prices stay positive.
+        assert!(m1.iter().all(|s| s.values().iter().all(|v| *v > 0.0)));
+    }
+
+    #[test]
+    fn market_sector_mates_correlate_more() {
+        let cfg = MarketConfig {
+            stocks: 24,
+            days: 128,
+            sectors: 2,
+            sector_weight: 0.9,
+            spike_prob: 0.0,
+            ..MarketConfig::default()
+        };
+        let closes = Market::new(cfg, 42).closes();
+        // Stocks 0 and 2 share a sector; 0 and 1 do not. Sector structure
+        // lives in the daily *returns* (price levels also accumulate the
+        // per-stock drift), so compare momentum correlations.
+        let rho = |a: &TimeSeries, b: &TimeSeries| {
+            crate::distance::cross_correlation(&momentum(a, 1), &momentum(b, 1)).unwrap()
+        };
+        let same = rho(&closes[0], &closes[2]);
+        let diff = rho(&closes[0], &closes[1]);
+        assert!(
+            same > diff,
+            "sector mates should correlate more: same={same:.3} diff={diff:.3}"
+        );
+    }
+
+    #[test]
+    fn default_config_matches_paper_corpus_shape() {
+        let cfg = MarketConfig::default();
+        assert_eq!((cfg.stocks, cfg.days), (1068, 128));
+    }
+
+    #[test]
+    fn spiky_pair_momenta_align_under_shift() {
+        // The Example 1.2 phenomenon: shifting the momentum brings the
+        // spikes into alignment and slashes the distance.
+        let (a, b) = spiky_pair(128, 60, 2);
+        let ma = momentum(&a, 1);
+        let mb = momentum(&b, 1);
+        let before = euclidean(&ma, &mb);
+        let after = euclidean(&shift_right(&ma, 2), &mb);
+        assert!(
+            after < before / 2.0,
+            "shift must at least halve the distance: before={before:.2} after={after:.2}"
+        );
+    }
+
+    #[test]
+    fn daily_noise_is_smoothable() {
+        // With heavy daily noise over a shared trend, normalized closes of
+        // sector mates are far apart raw but close after smoothing —
+        // the Example 1.1 phenomenon.
+        let cfg = MarketConfig {
+            stocks: 4,
+            days: 128,
+            sectors: 1,
+            sector_weight: 1.0,
+            volatility: 0.03,
+            spike_prob: 0.0,
+            daily_noise: 0.10,
+        };
+        let closes = Market::new(cfg, 8).closes();
+        let a = closes[0].normal_form().unwrap().series;
+        let b = closes[1].normal_form().unwrap().series;
+        let raw = euclidean(&a, &b);
+        let smoothed = euclidean(
+            &crate::ops::moving_average_circular(&a, 9),
+            &crate::ops::moving_average_circular(&b, 9),
+        );
+        assert!(
+            smoothed < raw / 2.0,
+            "9-day MA should slash the distance: raw={raw:.2} smoothed={smoothed:.2}"
+        );
+    }
+
+    #[test]
+    fn names_align_with_stocks() {
+        let m = Market::new(
+            MarketConfig {
+                stocks: 3,
+                days: 8,
+                ..Default::default()
+            },
+            0,
+        );
+        assert_eq!(m.names(), vec!["S0000", "S0001", "S0002"]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the paper's analytic claims about sequences.
+
+use crate::*;
+use proptest::prelude::*;
+
+fn seq(max_len: usize) -> impl Strategy<Value = TimeSeries> {
+    prop::collection::vec(-1e3f64..1e3, 4..=max_len).prop_map(TimeSeries::new)
+}
+
+/// Two equal-length series (avoids assume-based rejection storms).
+fn seq_pair(max_len: usize) -> impl Strategy<Value = (TimeSeries, TimeSeries)> {
+    (4usize..=max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-1e3f64..1e3, n).prop_map(TimeSeries::new),
+            prop::collection::vec(-1e3f64..1e3, n).prop_map(TimeSeries::new),
+        )
+    })
+}
+
+/// Three equal-length series.
+fn seq_triple(max_len: usize) -> impl Strategy<Value = (TimeSeries, TimeSeries, TimeSeries)> {
+    (4usize..=max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-1e3f64..1e3, n).prop_map(TimeSeries::new),
+            prop::collection::vec(-1e3f64..1e3, n).prop_map(TimeSeries::new),
+            prop::collection::vec(-1e3f64..1e3, n).prop_map(TimeSeries::new),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn normal_form_properties(ts in seq(128)) {
+        if let Some(nf) = ts.normal_form() {
+            prop_assert!(nf.series.mean().abs() < 1e-9);
+            prop_assert!((nf.series.std() - 1.0).abs() < 1e-9);
+            let back = nf.denormalize();
+            for (a, b) in ts.values().iter().zip(back.values()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn eq9_bridge_for_random_pairs((x, y) in seq_pair(64)) {
+        let (Some(nx), Some(ny)) = (x.normal_form(), y.normal_form()) else {
+            return Ok(());
+        };
+        let d2 = euclidean_sq(&nx.series, &ny.series);
+        let Some(rho) = cross_correlation(&nx.series, &ny.series) else {
+            return Ok(());
+        };
+        let n = x.len() as f64;
+        let rhs = 2.0 * (n - 1.0 - n * rho);
+        prop_assert!((d2 - rhs).abs() < 1e-6 * (1.0 + d2), "D²={d2} rhs={rhs}");
+    }
+
+    #[test]
+    fn normal_form_minimizes_shift_distance(x in seq(48), shift in -100f64..100.0) {
+        // §3.2 property 1: subtracting the mean minimises the distance over
+        // scalar shifts — any other shift can only increase it.
+        let Some(nx) = x.normal_form() else { return Ok(()); };
+        let centered = x.map(|v| v - x.mean());
+        let shifted = x.map(|v| v - (x.mean() + shift));
+        let zero = TimeSeries::new(vec![0.0; x.len()]);
+        prop_assert!(
+            euclidean_sq(&centered, &zero) <= euclidean_sq(&shifted, &zero) + 1e-9
+        );
+        let _ = nx;
+    }
+
+    #[test]
+    fn lemma2_scaling_preserves_order((x, y) in seq_pair(32), a in 0.1f64..10.0, b in 0.1f64..10.0) {
+        // Lemma 2: for scale factors a < b, D(a·x, a·y) ≤ D(b·x, b·y).
+        let (small, large) = if a < b { (a, b) } else { (b, a) };
+        let d_small = euclidean(&scale(&x, small), &scale(&y, small));
+        let d_large = euclidean(&scale(&x, large), &scale(&y, large));
+        prop_assert!(d_small <= d_large + 1e-9);
+        // And the distance scales exactly linearly.
+        let d1 = euclidean(&x, &y);
+        prop_assert!((d_small - small * d1).abs() < 1e-6 * (1.0 + d_small));
+    }
+
+    #[test]
+    fn circular_mv_commutes_with_shift(x in seq(64), m in 1usize..8) {
+        // Both are circular convolutions, so they commute.
+        prop_assume!(m <= x.len());
+        let n = x.len();
+        let rot = |s: &TimeSeries, k: usize| -> TimeSeries {
+            (0..n).map(|i| s[(i + n - k) % n]).collect()
+        };
+        let a = moving_average_circular(&rot(&x, 3 % n), m);
+        let b = rot(&moving_average_circular(&x, m), 3 % n);
+        for (u, v) in a.values().iter().zip(b.values()) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn momentum_of_constant_is_zero(c in -100f64..100.0, n in 4usize..64) {
+        let x = TimeSeries::new(vec![c; n]);
+        prop_assert!(momentum(&x, 1).values().iter().all(|v| v.abs() < 1e-12));
+        prop_assert!(momentum_circular(&x, 1).values().iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn mv_reduces_variance(x in seq(96), m in 2usize..12) {
+        // Smoothing never increases energy around the mean (variance).
+        prop_assume!(m <= x.len());
+        let smoothed = moving_average_circular(&x, m);
+        prop_assert!(smoothed.variance() <= x.variance() + 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality((x, y, z) in seq_triple(32)) {
+        let (dxy, dyz, dxz) = (euclidean(&x, &y), euclidean(&y, &z), euclidean(&x, &z));
+        prop_assert!(dxz <= dxy + dyz + 1e-9);
+    }
+
+    #[test]
+    fn correlation_bounds((x, y) in seq_pair(48)) {
+        if let Some(rho) = cross_correlation(&x, &y) {
+            // With sample-std denominators, |ρ| ≤ (n−1)/n < 1.
+            let n = x.len() as f64;
+            prop_assert!(rho.abs() <= (n - 1.0) / n + 1e-9, "rho = {rho}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Bluestein's chirp-z algorithm: O(n log n) DFT for *any* length.
+//!
+//! Rewrites `t·f = (t² + f² − (f−t)²)/2` so the DFT becomes a circular
+//! convolution of chirp-modulated sequences, which we evaluate with the
+//! radix-2 engine at a padded power-of-two length `m ≥ 2n−1`.
+//!
+//! Time sequences in the paper's experiments are length-128 (a power of
+//! two), but the library accepts arbitrary lengths — e.g. the 127-point
+//! momentum of a 128-point series, or odd-length moving-average masks —
+//! and those route through here.
+
+use crate::fft::{is_power_of_two, radix2_in_place, Direction};
+use crate::Complex64;
+
+/// Forward unitary DFT of arbitrary length via the chirp-z transform.
+pub fn bluestein_fft(x: &[Complex64]) -> Vec<Complex64> {
+    bluestein_fft_dir(x, Direction::Forward)
+}
+
+pub(crate) fn bluestein_fft_dir(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = x.len();
+    if n <= 1 {
+        return x.to_vec();
+    }
+
+    // Chirp a_t = e^{sign·jπ t²/n}. Computing t² mod 2n keeps the phase
+    // argument bounded, avoiding precision loss for long inputs.
+    let sign = dir.sign();
+    let base = sign * std::f64::consts::PI / n as f64;
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|t| Complex64::cis(base * ((t * t) % (2 * n)) as f64))
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    debug_assert!(is_power_of_two(m));
+
+    // A = x ⊙ chirp, zero-padded to m.
+    let mut a = vec![Complex64::ZERO; m];
+    for (t, (&xt, &ct)) in x.iter().zip(&chirp).enumerate() {
+        a[t] = xt * ct;
+    }
+
+    // B = conj(chirp) wrapped circularly so B[m−t] = B[t].
+    let mut b = vec![Complex64::ZERO; m];
+    b[0] = chirp[0].conj();
+    for t in 1..n {
+        let c = chirp[t].conj();
+        b[t] = c;
+        b[m - t] = c;
+    }
+
+    // Circular convolution via the convolution theorem (Eq. 5).
+    radix2_in_place(&mut a, Direction::Forward);
+    radix2_in_place(&mut b, Direction::Forward);
+    for (av, bv) in a.iter_mut().zip(&b) {
+        *av *= *bv;
+    }
+    radix2_in_place(&mut a, Direction::Inverse);
+
+    // The unnormalised radix-2 forward/backward pair multiplies by m;
+    // fold that and the unitary 1/√n factor into one scale.
+    let scale = 1.0 / (m as f64) / (n as f64).sqrt();
+    (0..n).map(|f| a[f] * chirp[f] * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dft_naive, idft_naive, ifft};
+
+    #[test]
+    fn matches_naive_for_many_lengths() {
+        for n in 2..=40 {
+            let x: Vec<Complex64> = (0..n)
+                .map(|t| Complex64::new((t as f64 * 1.3).sin() + 0.2, (t as f64 * 0.9).cos()))
+                .collect();
+            let fast = bluestein_fft(&x);
+            let slow = dft_naive(&x);
+            for (f, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!((*a - *b).abs() < 1e-9, "n={n} bin={f}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_prime_lengths() {
+        for &n in &[97usize, 101, 127, 131] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|t| Complex64::from_real(((t * t) % 17) as f64 - 8.0))
+                .collect();
+            let fast = bluestein_fft(&x);
+            let slow = dft_naive(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_direction_matches_naive_inverse() {
+        let n = 11;
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::new(t as f64, -(t as f64) * 0.5))
+            .collect();
+        let fast = bluestein_fft_dir(&x, Direction::Inverse);
+        let slow = idft_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_public_api() {
+        let n = 55;
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::from_real((t % 7) as f64))
+            .collect();
+        let back = ifft(&bluestein_fft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The textbook O(n²) DFT — Eq. 1 of the paper, verbatim.
+//!
+//! This is the oracle implementation: slow, obviously correct, and used by
+//! property tests to validate the fast paths ([`crate::fft`],
+//! [`crate::bluestein_fft`]).
+
+use crate::Complex64;
+
+/// Computes the DFT by direct evaluation of Eq. 1:
+///
+/// ```text
+/// X_f = (1/√n) · Σ_{t=0}^{n−1} x_t · e^{−j2πtf/n}
+/// ```
+///
+/// Accepts any length, including 0 and 1.
+pub fn dft_naive(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let step = -2.0 * std::f64::consts::PI / n as f64;
+    (0..n)
+        .map(|f| {
+            let acc: Complex64 = x
+                .iter()
+                .enumerate()
+                // `(t·f) mod n` keeps the phase argument small for long
+                // inputs, which matters for accuracy when n·f is large.
+                .map(|(t, &xt)| xt * Complex64::cis(step * ((t * f) % n) as f64))
+                .sum();
+            acc.scale(scale)
+        })
+        .collect()
+}
+
+/// Inverse of [`dft_naive`]; also unitary (`1/√n` factor).
+pub fn idft_naive(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let step = 2.0 * std::f64::consts::PI / n as f64;
+    (0..n)
+        .map(|t| {
+            let acc: Complex64 = x
+                .iter()
+                .enumerate()
+                .map(|(f, &xf)| xf * Complex64::cis(step * ((t * f) % n) as f64))
+                .sum();
+            acc.scale(scale)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reals(v: &[f64]) -> Vec<Complex64> {
+        v.iter().copied().map(Complex64::from_real).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(dft_naive(&[]).is_empty());
+        let x = reals(&[3.5]);
+        let y = dft_naive(&x);
+        assert_eq!(y.len(), 1);
+        assert!((y[0] - x[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_signal_concentrates_at_dc() {
+        let x = reals(&[2.0; 8]);
+        let y = dft_naive(&x);
+        // DC bin = (1/√8)·Σx = 16/√8 = 2√8
+        assert!((y[0].re - 2.0 * 8f64.sqrt()).abs() < 1e-12);
+        for (f, v) in y.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-12, "bin {f} should be zero, was {v}");
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 16;
+        let k = 3;
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| {
+                Complex64::from_real(
+                    (2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64).cos(),
+                )
+            })
+            .collect();
+        let y = dft_naive(&x);
+        // cos splits evenly into bins k and n−k, each of magnitude (n/2)/√n.
+        let expect = n as f64 / 2.0 / (n as f64).sqrt();
+        assert!((y[k].abs() - expect).abs() < 1e-9);
+        assert!((y[n - k].abs() - expect).abs() < 1e-9);
+        for (f, v) in y.iter().enumerate() {
+            if f != k && f != n - k {
+                assert!(v.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x = reals(&[1.0, -2.0, 3.0, 0.5, -0.25, 7.0, 2.0]);
+        let back = idft_naive(&dft_naive(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn impulse_is_flat() {
+        let mut x = reals(&[0.0; 9]);
+        x[0] = Complex64::from_real(1.0);
+        let y = dft_naive(&x);
+        for v in &y {
+            assert!((v.abs() - 1.0 / 3.0).abs() < 1e-12); // 1/√9
+        }
+    }
+}

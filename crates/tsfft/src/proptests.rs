@@ -1,0 +1,126 @@
+//! Property-based tests over the whole transform stack.
+//!
+//! These pin the DFT properties the paper's algorithms rely on (§2.2):
+//! linearity (Eq. 4), convolution–multiplication (Eq. 5), conjugate symmetry
+//! (Eq. 6), Parseval (Eq. 7) and distance preservation (Eq. 8), for *all*
+//! lengths — not just the power-of-two fast path.
+
+use crate::*;
+use proptest::prelude::*;
+
+fn real_seq(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3f64, 1..=max_len)
+}
+
+fn complex_seq(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec((-1e3f64..1e3f64, -1e3f64..1e3f64), 1..=max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(re, im)| Complex64::new(re, im))
+            .collect()
+    })
+}
+
+/// Relative-ish tolerance: absolute floor plus a term scaling with magnitude.
+fn close(a: Complex64, b: Complex64, scale: f64) -> bool {
+    (a - b).abs() <= 1e-7 + 1e-10 * scale
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_matches_naive_dft(x in complex_seq(64)) {
+        let fast = fft(&x);
+        let slow = dft_naive(&x);
+        let scale = x.iter().map(|c| c.abs()).sum::<f64>();
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!(close(*a, *b, scale), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_is_identity(x in complex_seq(128)) {
+        let back = ifft(&fft(&x));
+        let scale = x.iter().map(|c| c.abs()).sum::<f64>();
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!(close(*a, *b, scale));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved(x in real_seq(128)) {
+        let d = RealDft::forward(&x);
+        let et = energy(&x);
+        prop_assert!((et - d.energy()).abs() <= 1e-6 + 1e-9 * et);
+    }
+
+    #[test]
+    fn conjugate_symmetry_for_real_input(x in real_seq(96)) {
+        let d = RealDft::forward(&x);
+        prop_assert!(d.is_conjugate_symmetric(1e-6));
+    }
+
+    #[test]
+    fn distance_preserved_between_domains(
+        x in real_seq(64),
+        noise in prop::collection::vec(-10f64..10f64, 64),
+    ) {
+        let y: Vec<f64> = x.iter().zip(&noise).map(|(a, b)| a + b).collect();
+        let dx = RealDft::forward(&x);
+        let dy = RealDft::forward(&y);
+        let dt: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+        prop_assert!((dt - dx.distance_sq(&dy)).abs() <= 1e-6 + 1e-9 * dt);
+    }
+
+    #[test]
+    fn symmetry_lower_bound_never_exceeds_distance(
+        x in real_seq(64),
+        noise in prop::collection::vec(-10f64..10f64, 64),
+    ) {
+        let y: Vec<f64> = x.iter().zip(&noise).map(|(a, b)| a + b).collect();
+        let dx = RealDft::forward(&x);
+        let dy = RealDft::forward(&y);
+        let full = dx.distance_sq(&dy);
+        let kmax = (x.len() - 1) / 2;
+        for k in 1..=kmax.min(4) {
+            prop_assert!(dx.distance_lower_bound_sq(&dy, k) <= full + 1e-6 + 1e-9 * full);
+        }
+    }
+
+    #[test]
+    fn linearity(x in complex_seq(48), a in -5f64..5.0, b in -5f64..5.0) {
+        let y: Vec<Complex64> = x.iter().rev().copied().collect();
+        let combo: Vec<Complex64> =
+            x.iter().zip(&y).map(|(xi, yi)| xi.scale(a) + yi.scale(b)).collect();
+        let lhs = fft(&combo);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let scale = x.iter().map(|c| c.abs()).sum::<f64>() * (a.abs() + b.abs() + 1.0);
+        for (i, l) in lhs.iter().enumerate() {
+            let r = fx[i].scale(a) + fy[i].scale(b);
+            prop_assert!(close(*l, r, scale));
+        }
+    }
+
+    #[test]
+    fn convolution_theorem(x in real_seq(32)) {
+        // conv(x, y) computed via FFT must match the O(n²) definition.
+        let n = x.len();
+        let y: Vec<f64> = x.iter().map(|v| v * 0.5 - 1.0).collect();
+        let via_fft = convolve_circular(&x, &y);
+        let scale = energy(&x).sqrt() * energy(&y).sqrt() + 1.0;
+        for i in 0..n {
+            let direct: f64 = (0..n).map(|k| x[k] * y[(i + n - k) % n]).sum();
+            prop_assert!((via_fft[i] - direct).abs() <= 1e-6 + 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn polar_roundtrip_through_spectrum(x in real_seq(64)) {
+        let s = Spectrum::of(&x);
+        let back = Spectrum::from_interleaved_polar(&s.to_interleaved_polar());
+        for (a, b) in s.0.iter().zip(&back.0) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Frequency-domain utilities: circular convolution (Eq. 3 + Eq. 5) and the
+//! interleaved polar encoding of §3.1.1.
+//!
+//! §3.1.1 of the paper maps a complex spectrum `X` to a real vector `X'`
+//! with `X_i = X'_{2i} · e^{j·X'_{2i+1}}` — magnitudes at even slots, phase
+//! angles at odd slots. Under that encoding, multiplying spectra becomes a
+//! *linear* operation (multiply magnitudes, add angles), which is what lets
+//! convolution-style operators (moving average, momentum, shift) be
+//! expressed as `(a, b)` transformation pairs.
+
+use crate::{fft, ifft, Complex64};
+
+/// Circular convolution via the convolution theorem:
+/// `conv(x, y)_i = Σ_k x_k · y_{(i−k) mod n}` (Eq. 3).
+///
+/// Note the unitary DFT convention: `DFT(conv(x,y)) = √n · X ⊙ Y`, so we
+/// rescale accordingly.
+///
+/// # Panics
+///
+/// Panics when the inputs have different lengths.
+pub fn convolve_circular(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "circular convolution needs equal lengths");
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cx: Vec<Complex64> = x.iter().copied().map(Complex64::from_real).collect();
+    let cy: Vec<Complex64> = y.iter().copied().map(Complex64::from_real).collect();
+    let fx = fft(&cx);
+    let fy = fft(&cy);
+    let scale = (n as f64).sqrt();
+    let prod: Vec<Complex64> = fx
+        .iter()
+        .zip(&fy)
+        .map(|(a, b)| (*a * *b).scale(scale))
+        .collect();
+    ifft(&prod).into_iter().map(|c| c.re).collect()
+}
+
+/// Element-wise `X ⊙ conj(Y)` — the cross-spectrum, whose inverse transform
+/// is the circular cross-correlation sequence.
+pub fn cross_spectrum(x: &[Complex64], y: &[Complex64]) -> Vec<Complex64> {
+    assert_eq!(x.len(), y.len(), "cross spectrum needs equal lengths");
+    x.iter().zip(y).map(|(a, b)| *a * b.conj()).collect()
+}
+
+/// A complex spectrum together with polar-encoding helpers.
+#[derive(Clone, Debug, Default)]
+pub struct Spectrum(pub Vec<Complex64>);
+
+impl Spectrum {
+    /// Forward-transforms a real sequence.
+    pub fn of(x: &[f64]) -> Self {
+        Self(fft(&x
+            .iter()
+            .copied()
+            .map(Complex64::from_real)
+            .collect::<Vec<_>>()))
+    }
+
+    /// Number of coefficients.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Interleaved polar encoding `[r₀, θ₀, r₁, θ₁, …]` (§3.1.1's `X'`).
+    pub fn to_interleaved_polar(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.0.len() * 2);
+        for c in &self.0 {
+            let (r, th) = c.to_polar();
+            out.push(r);
+            out.push(th);
+        }
+        out
+    }
+
+    /// Rebuilds a spectrum from the interleaved polar encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len()` is odd.
+    pub fn from_interleaved_polar(v: &[f64]) -> Self {
+        assert!(
+            v.len().is_multiple_of(2),
+            "interleaved polar vector must have even length"
+        );
+        Self(
+            v.chunks_exact(2)
+                .map(|p| Complex64::from_polar(p[0], p[1]))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convolution_matches_direct_sum() {
+        let x = [1.0, 2.0, 3.0, 4.0, 0.0, -1.0];
+        let y = [0.5, 0.0, -0.25, 0.0, 0.0, 1.0];
+        let n = x.len();
+        let via_fft = convolve_circular(&x, &y);
+        for i in 0..n {
+            let direct: f64 = (0..n).map(|k| x[k] * y[(i + n - k) % n]).sum();
+            assert!(
+                (via_fft[i] - direct).abs() < 1e-9,
+                "i={i}: {} vs {direct}",
+                via_fft[i]
+            );
+        }
+    }
+
+    #[test]
+    fn convolving_with_delta_is_identity() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let mut delta = [0.0; 5];
+        delta[0] = 1.0;
+        let out = convolve_circular(&x, &delta);
+        for (a, b) in x.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn shifted_delta_rotates() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let mut d1 = [0.0; 5];
+        d1[1] = 1.0;
+        let out = convolve_circular(&x, &d1);
+        // conv with δ₁ rotates right by one
+        assert!((out[0] - 5.0).abs() < 1e-10);
+        assert!((out[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn polar_interleave_roundtrip() {
+        let s = Spectrum::of(&[1.0, -2.0, 0.5, 4.0, 4.0, -3.0, 2.0, 2.0]);
+        let v = s.to_interleaved_polar();
+        assert_eq!(v.len(), 16);
+        let back = Spectrum::from_interleaved_polar(&v);
+        for (a, b) in s.0.iter().zip(&back.0) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cross_spectrum_of_self_is_power() {
+        let s = Spectrum::of(&[1.0, 2.0, 3.0, 4.0]);
+        let cs = cross_spectrum(&s.0, &s.0);
+        for (c, orig) in cs.iter().zip(&s.0) {
+            assert!((c.re - orig.norm_sqr()).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Query 2 as a portfolio tool: find pairs of stocks that move together
+//! (candidates for pairs trading) and pairs that move *oppositely* (hedges
+//! — "approximately the opposite way, for hedging", §1) in one spatial
+//! self-join, by adding the inversion to the transformation set.
+//!
+//! ```sh
+//! cargo run --release --example hedging_join
+//! ```
+
+use simquery::engine::join;
+use simquery::prelude::*;
+use simquery::transform::Transform;
+use tseries::{Market, MarketConfig};
+
+fn main() {
+    let n = 128;
+    let cfg = MarketConfig {
+        stocks: 250,
+        days: n,
+        sectors: 5,
+        sector_weight: 0.85,
+        spike_prob: 0.0,
+        ..MarketConfig::default()
+    };
+    let market = Market::new(cfg, 4242);
+    let corpus = Corpus::from_parts(market.names(), market.closes());
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty corpus");
+
+    // Smoothing windows 5..=12. Co-movement: D(mv(x), mv(y)) small.
+    // Hedging needs ASYMMETRY — D(invert(mv(x)), mv(y)) small — so the
+    // hedge query is a *paired-family* join: left = invert∘mv, right = mv.
+    // (Inverting both sides would be an isometry and find nothing new.)
+    let base = Family::moving_averages(5..=12, n);
+    let inv = Transform::inversion(n);
+    let inverted = Family::new(
+        "inv∘mv",
+        base.transforms().iter().map(|t| inv.compose(t)).collect(),
+    );
+
+    let spec = RangeSpec::correlation(0.95);
+    index.reset_counters();
+    let co = join::mt_join(&index, &base, &spec).expect("valid join");
+    let hedge = join::mt_join_paired(&index, &inverted, &base, &spec).expect("valid join");
+
+    let dedupe = |matches: &[simquery::report::JoinMatch]| {
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+        for m in matches {
+            let (a, b) = (m.seq_a.min(m.seq_b), m.seq_a.max(m.seq_b));
+            match pairs.iter_mut().find(|(x, y, _)| *x == a && *y == b) {
+                Some(entry) => entry.2 = entry.2.min(m.dist),
+                None => pairs.push((a, b, m.dist)),
+            }
+        }
+        pairs.sort_by(|x, y| x.2.total_cmp(&y.2));
+        pairs
+    };
+    let together = dedupe(&co.matches);
+    let hedges = dedupe(&hedge.matches);
+
+    println!("co-movement join cost: {}", co.metrics);
+    println!("hedge join cost:       {}", hedge.metrics);
+    println!("\ntop co-moving pairs (pairs-trading candidates):");
+    for (a, b, d) in together.iter().take(8) {
+        println!(
+            "  {} ~ {}   D = {d:.3}",
+            corpus.names()[*a],
+            corpus.names()[*b]
+        );
+    }
+    println!("\ntop opposite-moving pairs (hedging candidates):");
+    for (a, b, d) in hedges.iter().take(8) {
+        println!(
+            "  {} ⇄ {}   D = {d:.3}",
+            corpus.names()[*a],
+            corpus.names()[*b]
+        );
+    }
+    println!(
+        "\n{} co-moving pairs, {} hedge pairs among {} stocks",
+        together.len(),
+        hedges.len(),
+        corpus.len()
+    );
+}

@@ -1,0 +1,48 @@
+//! Nearest-neighbour queries under multiple transformations (§4.1's NN
+//! sketch): "which stocks are closest to this one, allowing any smoothing
+//! window?" — best-first R*-tree descent with a transformed MINDIST bound
+//! and deferred exact refinement.
+//!
+//! ```sh
+//! cargo run --release --example nearest_neighbors
+//! ```
+
+use simquery::engine::knn;
+use simquery::prelude::*;
+
+fn main() {
+    let n = 128;
+    let corpus = Corpus::generate(CorpusKind::StockCloses, 800, n, 11);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty corpus");
+
+    // Distance: min over smoothing windows 2..=20 of D(mv(x̂), mv(q̂)).
+    let family = Family::moving_averages(2..=20, n);
+    let query = corpus.series()[123].clone();
+
+    index.reset_counters();
+    let (neighbors, metrics) = knn::knn(&index, &query, &family, 8).expect("valid query");
+
+    println!(
+        "8 nearest stocks to {} (best smoothing window each):",
+        corpus.names()[123]
+    );
+    for m in &neighbors {
+        println!(
+            "  {}  D = {:8.4}  via {}",
+            corpus.names()[m.seq],
+            m.dist,
+            family.transforms()[m.transform].label()
+        );
+    }
+    println!(
+        "\nonly {} of {} sequences were fetched and scored exactly ({} comparisons); {}",
+        metrics.candidates,
+        corpus.len(),
+        metrics.comparisons,
+        metrics
+    );
+    assert_eq!(
+        neighbors[0].seq, 123,
+        "a sequence's nearest neighbour is itself"
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: index a corpus, run Query 1 with all three algorithms,
+//! compare their answers and costs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use simquery::engine::{mtindex, seqscan, stindex};
+use simquery::prelude::*;
+
+fn main() {
+    // 1. Data: 2000 synthetic random walks of length 128, exactly the
+    //    paper's synthetic workload (x_t = x_{t−1} + U[−500, 500]).
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 2000, 128, 7);
+
+    // 2. Index: normal form → DFT → 6-d feature point in an R*-tree,
+    //    full records in a paged relation.
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty corpus");
+    println!(
+        "indexed {} sequences of length {} (R*-tree height {})",
+        index.len(),
+        index.seq_len(),
+        index.height()
+    );
+
+    // 3. Query 1: "find every sequence s and moving average m ∈ 10..=25
+    //    with D(mv_m(s), mv_m(q)) < ε", ε from correlation 0.96 via Eq. 9.
+    let family = Family::moving_averages(10..=25, 128);
+    let spec = RangeSpec::correlation(0.96);
+    let query = corpus.series()[42].clone();
+
+    for (name, run) in [
+        (
+            "sequential-scan",
+            seqscan::range_query as fn(_, _, _, _) -> _,
+        ),
+        ("ST-index", stindex::range_query),
+        ("MT-index", mtindex::range_query),
+    ] {
+        index.reset_counters(); // measure the query cold, like the paper
+        let result = run(&index, &query, &family, &spec).expect("valid query");
+        println!(
+            "{name:16} {:3} matches over {:2} sequences | {}",
+            result.matches.len(),
+            result.matched_sequences().len(),
+            result.metrics
+        );
+    }
+
+    // 4. The matches themselves (from MT-index).
+    let result = mtindex::range_query(&index, &query, &family, &spec).expect("valid query");
+    let mut best: Vec<_> = result.matches.clone();
+    best.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+    println!("\nclosest (sequence, transformation) pairs:");
+    for m in best.iter().take(8) {
+        println!(
+            "  seq {:4} under {:6}  D = {:.3}",
+            m.seq,
+            family.transforms()[m.transform].label(),
+            m.dist
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! §3.3 end-to-end: queries over *sequences* of transformations rewrite to
+//! queries over composed sets (Eq. 10–11) and run through the same MT
+//! machinery, with identical answers to the two-step evaluation.
+
+use simquery::engine::{mtindex, seqscan};
+use simquery::feature::SeqFeatures;
+use simquery::prelude::*;
+use simquery::query::FilterPolicy;
+use simquery::transform::Transform;
+
+#[test]
+fn composed_family_size_is_the_product() {
+    // "s-day shift for s = 0..10 followed by m-day moving average for
+    //  m = 1..40" — the paper's own example of Eq. 11.
+    let shifts = Family::circular_shifts(0..=10, 128);
+    let mas = Family::moving_averages(1..=40, 128);
+    let composed = mas.compose(&shifts);
+    assert_eq!(composed.len(), 11 * 40);
+}
+
+#[test]
+fn composed_query_equals_two_step_evaluation() {
+    let n = 128;
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 120, n, 77);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let q = &corpus.series()[3];
+
+    let shifts = Family::circular_shifts(0..=3, n);
+    let mas = Family::moving_averages(8..=12, n);
+    let composed = mas.compose(&shifts);
+    let spec = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+
+    // One MT query over the composed 20-member family…
+    let got = mtindex::range_query(&index, q, &composed, &spec).unwrap();
+
+    // …versus brute force: apply t₁ then t₂ explicitly per pair.
+    let eps = spec.epsilon(n);
+    let qf = SeqFeatures::extract(q).unwrap();
+    let mut want: Vec<(usize, usize)> = Vec::new();
+    for (seq, ts) in corpus.series().iter().enumerate() {
+        let Some(xf) = SeqFeatures::extract(ts) else {
+            continue;
+        };
+        let mut k = 0;
+        for t2 in mas.transforms() {
+            for t1 in shifts.transforms() {
+                let tx = t2.apply_spectrum(&t1.apply_spectrum(&xf.spectrum));
+                let tq = t2.apply_spectrum(&t1.apply_spectrum(&qf.spectrum));
+                let d: f64 = tx
+                    .iter()
+                    .zip(&tq)
+                    .map(|(a, b)| (*a - *b).norm_sqr())
+                    .sum::<f64>()
+                    .sqrt();
+                if d < eps {
+                    want.push((seq, k));
+                }
+                k += 1;
+            }
+        }
+    }
+    want.sort_unstable();
+    assert_eq!(got.sorted_pairs(), want);
+    assert!(!want.is_empty(), "expected at least the self-match");
+}
+
+#[test]
+fn composition_is_associative_on_spectra() {
+    let n = 64;
+    let a = Transform::moving_average(5, n);
+    let b = Transform::circular_shift(2, n);
+    let c = Transform::scaling(2.0, n);
+    let left = a.compose(&b).compose(&c); // (a∘b)∘c
+    let right = a.compose(&b.compose(&c)); // a∘(b∘c)
+    let ts: TimeSeries = (0..n)
+        .map(|t| (t as f64 * 0.4).sin() * 2.0 + 0.1 * t as f64)
+        .collect();
+    let f = SeqFeatures::extract(&ts).unwrap();
+    let l = left.apply_spectrum(&f.spectrum);
+    let r = right.apply_spectrum(&f.spectrum);
+    for (x, y) in l.iter().zip(&r) {
+        assert!((*x - *y).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn identity_is_composition_neutral() {
+    let n = 64;
+    let id = Transform::identity(n);
+    let t = Transform::moving_average(7, n);
+    let ts: TimeSeries = (0..n).map(|t| ((t * t) % 23) as f64).collect();
+    let f = SeqFeatures::extract(&ts).unwrap();
+    for composed in [t.compose(&id), id.compose(&t)] {
+        let a = composed.apply_spectrum(&f.spectrum);
+        let b = t.apply_spectrum(&f.spectrum);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn rewriting_beats_running_the_steps_separately() {
+    // The practical payoff of §3.3: a composed family needs ONE index
+    // traversal under MT, while evaluating the outer family per inner
+    // member costs |T₁| traversals.
+    let n = 128;
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 400, n, 88);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let q = &corpus.series()[0];
+    let shifts = Family::circular_shifts(0..=5, n);
+    let mas = Family::moving_averages(8..=15, n);
+    let composed = mas.compose(&shifts);
+    let spec = RangeSpec::correlation(0.96);
+
+    index.reset_counters();
+    let one = mtindex::range_query(&index, q, &composed, &spec).unwrap();
+
+    // Two-step: for each shift, an MT query over the MA family applied to
+    // the shifted query — |T₁| index traversals.
+    let mut two_step_nodes = 0;
+    for _t1 in shifts.transforms() {
+        let r = mtindex::range_query(&index, q, &mas, &spec).unwrap();
+        two_step_nodes += r.metrics.node_accesses;
+    }
+    assert!(
+        one.metrics.node_accesses < two_step_nodes,
+        "composed: {} vs stepwise: {two_step_nodes}",
+        one.metrics.node_accesses
+    );
+
+    // Cross-check the composed answer against a sequential scan.
+    let safe = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+    let scan = seqscan::range_query(&index, q, &composed, &safe).unwrap();
+    let mt_safe = mtindex::range_query(&index, q, &composed, &safe).unwrap();
+    assert_eq!(scan.sorted_pairs(), mt_safe.sorted_pairs());
+}

@@ -1,0 +1,106 @@
+//! Eq. 9 end-to-end: a correlation-threshold query and the equivalent
+//! Euclidean-threshold query return the same answers, and the reported
+//! distances translate back to correlations above the threshold.
+
+use simquery::engine::mtindex;
+use simquery::prelude::*;
+use simquery::query::FilterPolicy;
+use tseries::{cross_correlation, distance_threshold_for_correlation, moving_average_circular};
+
+#[test]
+fn correlation_and_euclidean_specs_are_interchangeable() {
+    let n = 128;
+    let corpus = Corpus::generate(CorpusKind::StockCloses, 150, n, 3);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let family = Family::moving_averages(5..=20, n);
+    let q = &corpus.series()[31];
+
+    let rho = 0.96;
+    let eps = distance_threshold_for_correlation(n, rho);
+    let by_rho = mtindex::range_query(
+        &index,
+        q,
+        &family,
+        &RangeSpec::correlation(rho).with_policy(FilterPolicy::Safe),
+    )
+    .unwrap();
+    let by_eps = mtindex::range_query(
+        &index,
+        q,
+        &family,
+        &RangeSpec::euclidean(eps).with_policy(FilterPolicy::Safe),
+    )
+    .unwrap();
+    assert_eq!(by_rho.sorted_pairs(), by_eps.sorted_pairs());
+    assert!(!by_rho.matches.is_empty(), "self-match at least");
+}
+
+#[test]
+fn reported_distances_translate_to_correlations() {
+    // For *normal-form-preserving* checks, verify the bridge directly on
+    // the matched, transformed sequences: recompute both quantities in the
+    // time domain and confirm D² = 2(n−1−nρ) holds for the renormalized
+    // pair (the transformed sequences have mean 0 but std ≠ 1, so apply
+    // Eq. 9 after renormalizing — the scale-invariance of ρ).
+    let n = 128usize;
+    let corpus = Corpus::generate(CorpusKind::StockCloses, 100, n, 5);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let family = Family::moving_averages(5..=10, n);
+    let spec = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+    let q = &corpus.series()[7];
+    let result = mtindex::range_query(&index, q, &family, &spec).unwrap();
+
+    let qn = q.normal_form().unwrap().series;
+    let mut checked = 0;
+    for m in result.matches.iter().take(25) {
+        let x = corpus.series()[m.seq].normal_form().unwrap().series;
+        let window = m.transform + 5; // family starts at mv5
+        let tx = moving_average_circular(&x, window);
+        let tq = moving_average_circular(&qn, window);
+        // The engine's reported distance equals the time-domain distance.
+        let d = tseries::euclidean(&tx, &tq);
+        assert!(
+            (d - m.dist).abs() < 1e-6,
+            "distance mismatch: {d} vs {}",
+            m.dist
+        );
+        // Re-normalize and verify Eq. 9 connects distance and correlation.
+        let (rnx, rnq) = (
+            tx.normal_form().unwrap().series,
+            tq.normal_form().unwrap().series,
+        );
+        let d2 = tseries::euclidean_sq(&rnx, &rnq);
+        let rho = cross_correlation(&rnx, &rnq).unwrap();
+        let rhs = 2.0 * (n as f64 - 1.0 - n as f64 * rho);
+        assert!(
+            (d2 - rhs).abs() < 1e-6 * (1.0 + d2),
+            "Eq. 9 broke: {d2} vs {rhs}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "nothing to check");
+}
+
+#[test]
+fn threshold_zero_only_finds_exact_duplicates() {
+    // (ε = 1e-7: the twin's normal form equals the original's analytically;
+    // numerically the FFT leaves ~1e-9 of residue.)
+    let n = 64;
+    let mut series: Vec<TimeSeries> = Corpus::generate(CorpusKind::SyntheticWalks, 20, n, 9)
+        .series()
+        .to_vec();
+    // A scaled copy of sequence 0: identical normal form.
+    let dup = series[0].map(|v| v * 3.0 + 10.0);
+    series.push(dup);
+    let names = (0..21).map(|i| format!("s{i}")).collect();
+    let corpus = Corpus::from_parts(names, series);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let family = Family::moving_averages(1..=1, n); // identity
+    let spec = RangeSpec::euclidean(1e-7).with_policy(FilterPolicy::Safe);
+    let r = mtindex::range_query(&index, &corpus.series()[0], &family, &spec).unwrap();
+    assert_eq!(
+        r.matched_sequences(),
+        vec![0, 20],
+        "itself and its scaled twin"
+    );
+}

@@ -1,0 +1,162 @@
+//! Integration tests for the beyond-the-paper extensions working together:
+//! expression rewriting (§3.3) feeding the cost-based optimizer (§4.3),
+//! persisted indexes answering queries identically after reopen, the
+//! parallel scan agreeing with every engine, and subsequence matching
+//! honouring the same filter-policy guarantees.
+
+use simquery::cost::CostModel;
+use simquery::engine::{mtindex, seqscan};
+use simquery::prelude::*;
+use simquery::subseq::sorted_subseq;
+use simquery::transform::Transform;
+
+const N: usize = 128;
+
+fn build(n: usize, seed: u64) -> (Corpus, SeqIndex) {
+    let corpus = Corpus::generate(CorpusKind::StockCloses, n, N, seed);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
+    (corpus, index)
+}
+
+#[test]
+fn expression_to_optimizer_to_query_pipeline() {
+    // "any shift up to 3, then any of mv 6..17, or plain momentum" —
+    // rewrite (Eq. 10/11), let the §4.3 optimizer choose rectangles,
+    // run MT with them, and confirm against a scan.
+    let (corpus, index) = build(200, 31);
+    let expr = SimilarityExpr::any(Family::circular_shifts(0..=3, N))
+        .then(SimilarityExpr::any(Family::moving_averages(6..=17, N)))
+        .or(SimilarityExpr::one(Transform::momentum(1, N)));
+    let family = expr.rewrite();
+    assert_eq!(family.len(), 4 * 12 + 1);
+
+    let spec = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+    let samples = vec![corpus.series()[10].clone(), corpus.series()[150].clone()];
+    let (mbrs, report) =
+        simquery::partition::optimize(&index, &family, &spec, &samples, &CostModel::default())
+            .expect("optimize");
+    assert!(!report.is_empty());
+
+    let q = &corpus.series()[77];
+    let (mt, _) =
+        mtindex::range_query_with_mbrs(&index, q, &family, &spec, &mbrs, None).expect("mt");
+    let scan = seqscan::range_query(&index, q, &family, &spec).expect("scan");
+    assert_eq!(mt.sorted_pairs(), scan.sorted_pairs());
+    assert!(
+        !mt.matches.is_empty(),
+        "momentum identity-ish matches expected"
+    );
+}
+
+#[test]
+fn persisted_index_equals_live_index_across_engines_and_policies() {
+    let (corpus, index) = build(180, 37);
+    let dir = std::env::temp_dir().join("simseq_ext_persist");
+    std::fs::create_dir_all(&dir).ok();
+    index.save(&dir).expect("save");
+    let reopened = SeqIndex::open(&dir, 64).expect("open");
+
+    let family = Family::moving_averages(5..=16, N).with_inverted();
+    for policy in [
+        FilterPolicy::Safe,
+        FilterPolicy::Adaptive,
+        FilterPolicy::Paper,
+    ] {
+        let spec = RangeSpec::correlation(0.96).with_policy(policy);
+        for qi in [0usize, 90, 179] {
+            let q = &corpus.series()[qi];
+            let live = mtindex::range_query(&index, q, &family, &spec).unwrap();
+            let disk = mtindex::range_query(&reopened, q, &family, &spec).unwrap();
+            assert_eq!(
+                live.sorted_pairs(),
+                disk.sorted_pairs(),
+                "{policy:?}, query {qi}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parallel_scan_agrees_with_mt_under_every_mode() {
+    let (corpus, index) = build(150, 41);
+    let family = Family::circular_shifts(0..=6, N);
+    for mode in [QueryMode::Symmetric, QueryMode::DataOnly] {
+        let spec = RangeSpec::correlation(0.94)
+            .with_policy(FilterPolicy::Safe)
+            .with_mode(mode);
+        let q = &corpus.series()[42];
+        let par = seqscan::range_query_parallel(&index, q, &family, &spec, 4).unwrap();
+        let mt = mtindex::range_query(&index, q, &family, &spec).unwrap();
+        let st = simquery::engine::stindex::range_query(&index, q, &family, &spec).unwrap();
+        assert_eq!(par.sorted_pairs(), mt.sorted_pairs(), "{mode:?}");
+        assert_eq!(par.sorted_pairs(), st.sorted_pairs(), "ST {mode:?}");
+    }
+    // DataOnly with shifts finds asymmetric matches Symmetric cannot: a
+    // copy rotated LEFT by 5 re-aligns onto the query under shift-right 5.
+    let shifted: TimeSeries = {
+        let base = corpus.series()[42].values();
+        (0..N).map(|t| base[(t + 5) % N]).collect()
+    };
+    let mut series = corpus.series().to_vec();
+    series.push(shifted);
+    let names = (0..series.len()).map(|i| format!("s{i}")).collect();
+    let corpus2 = Corpus::from_parts(names, series);
+    let index2 = SeqIndex::build(&corpus2, IndexConfig::default()).unwrap();
+    let spec = RangeSpec::euclidean(1e-6)
+        .with_policy(FilterPolicy::Safe)
+        .with_mode(QueryMode::DataOnly);
+    let family = Family::circular_shifts(0..=6, N);
+    let r = mtindex::range_query(&index2, &corpus2.series()[42], &family, &spec).unwrap();
+    assert!(
+        r.matches.iter().any(|m| m.seq == 150 && m.transform == 5),
+        "rotated copy must match at shift 5: {:?}",
+        r.sorted_pairs()
+    );
+}
+
+#[test]
+fn subsequence_matching_with_composed_families() {
+    // Compose a shift with a smoothing window and search for a pattern's
+    // occurrences across long sequences — index ≡ scan.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let window = 32;
+    let mut rng = StdRng::seed_from_u64(47);
+    let seqs: Vec<TimeSeries> = (0..10)
+        .map(|_| tseries::random_walk(&mut rng, 256, 8.0))
+        .collect();
+    let index = SubseqIndex::build(seqs.clone(), window, 6).expect("indexable");
+    let family =
+        Family::circular_shifts(0..=2, window).compose(&Family::moving_averages(1..=3, window));
+    let spec = RangeSpec::correlation(0.9).with_policy(FilterPolicy::Adaptive);
+    let pattern: TimeSeries = seqs[2].values()[64..96].to_vec().into();
+    let (got, _) = index.query(&pattern, &family, &spec).unwrap();
+    let (want, _) = index.query_scan(&pattern, &family, &spec).unwrap();
+    assert_eq!(sorted_subseq(&got), sorted_subseq(&want));
+    assert!(got.iter().any(|m| m.seq == 2 && m.offset == 64));
+}
+
+#[test]
+fn new_transform_families_keep_engine_equivalence() {
+    // EMA / WMA / band-pass / reversal as one family through the engines.
+    let (corpus, index) = build(120, 53);
+    let family = Family::new(
+        "extended",
+        vec![
+            Transform::exponential_moving_average(0.3, N),
+            Transform::exponential_moving_average(0.7, N),
+            Transform::weighted_moving_average(&[3.0, 2.0, 1.0], N),
+            Transform::band_pass(1, 8, N),
+            Transform::time_reverse(N),
+            Transform::moving_average(5, N),
+        ],
+    );
+    let spec = RangeSpec::correlation(0.9).with_policy(FilterPolicy::Safe);
+    for qi in [5usize, 60] {
+        let q = &corpus.series()[qi];
+        let scan = seqscan::range_query(&index, q, &family, &spec).unwrap();
+        let mt = mtindex::range_query(&index, q, &family, &spec).unwrap();
+        assert_eq!(scan.sorted_pairs(), mt.sorted_pairs(), "query {qi}");
+    }
+}

@@ -1,0 +1,125 @@
+//! §4.4 end-to-end: ordered families make every engine cheaper without
+//! changing answers; the Appendix lemmas hold on the exact sequences from
+//! the paper.
+
+use simquery::engine::{mtindex, seqscan, stindex};
+use simquery::ordering::{member_distances, OrderedFamily};
+use simquery::prelude::*;
+use simquery::query::FilterPolicy;
+use tseries::{euclidean, moving_average_circular, moving_average_sliding};
+
+fn setup() -> (Corpus, SeqIndex) {
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 200, 128, 41);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    (corpus, index)
+}
+
+#[test]
+fn ordered_engines_agree_with_general_engines() {
+    let (corpus, index) = setup();
+    let factors: Vec<f64> = (1..=100).map(|k| 1.0 + k as f64 * 0.05).collect();
+    let ordered = OrderedFamily::scalings(&factors, 128);
+    let spec = RangeSpec::euclidean(12.0).with_policy(FilterPolicy::Safe);
+    let q = &corpus.series()[55];
+
+    let scan = seqscan::range_query(&index, q, ordered.family(), &spec).unwrap();
+    let scan_o = seqscan::range_query_ordered(&index, q, &ordered, &spec).unwrap();
+    let st_o = stindex::range_query_ordered(&index, q, &ordered, &spec).unwrap();
+    let mt_o = mtindex::range_query_ordered(&index, q, &ordered, &spec).unwrap();
+
+    assert_eq!(scan.sorted_pairs(), scan_o.sorted_pairs());
+    assert_eq!(scan.sorted_pairs(), st_o.sorted_pairs());
+    assert_eq!(scan.sorted_pairs(), mt_o.sorted_pairs());
+
+    // §4.4's accounting: |S|·log|T| for the scan.
+    assert!(
+        scan_o.metrics.comparisons <= (200.0 * (100f64).log2().ceil() + 200.0) as u64,
+        "scan comparisons: {}",
+        scan_o.metrics.comparisons
+    );
+    assert!(scan_o.metrics.comparisons * 5 < scan.metrics.comparisons);
+    // Ordered ST needs one traversal instead of |T|.
+    let st = stindex::range_query(&index, q, ordered.family(), &spec).unwrap();
+    assert!(st_o.metrics.node_accesses * 20 <= st.metrics.node_accesses);
+}
+
+#[test]
+fn lemma2_scale_family_is_ordered_on_corpus_pairs() {
+    let (corpus, _) = setup();
+    let factors: Vec<f64> = (1..=12).map(|k| k as f64).collect();
+    let ordered = OrderedFamily::scalings(&factors, 128);
+    let samples: Vec<_> = (0..10)
+        .map(|i| {
+            let a = simquery::feature::SeqFeatures::extract(&corpus.series()[i]).unwrap();
+            let b = simquery::feature::SeqFeatures::extract(&corpus.series()[i + 50]).unwrap();
+            (a, b)
+        })
+        .collect();
+    assert_eq!(
+        ordered.check_on(&samples),
+        None,
+        "Lemma 2 ordering violated"
+    );
+}
+
+#[test]
+fn lemma3_circular_moving_averages_not_ordered() {
+    // The Appendix's exact counterexample sequences.
+    let s1 = TimeSeries::new(vec![10.0, 12.0, 10.0, 12.0]);
+    let s2 = TimeSeries::new(vec![10.0, 11.0, 12.0, 11.0]);
+    let s3 = TimeSeries::new(vec![11.0, 11.0, 11.0, 11.0]);
+    let d = |a: &TimeSeries, b: &TimeSeries, m: usize| {
+        euclidean(
+            &moving_average_circular(a, m),
+            &moving_average_circular(b, m),
+        )
+    };
+    // Case 1 (mv2 ⪯ mv3) fails on (s2, s3):
+    assert!(d(&s2, &s3, 2) > d(&s2, &s3, 3));
+    assert!((d(&s2, &s3, 2) - 1.0).abs() < 1e-12);
+    // Case 2 (mv3 ⪯ mv2) fails on (s1, s3):
+    assert!(d(&s1, &s3, 3) > d(&s1, &s3, 2));
+    assert_eq!(d(&s1, &s3, 2), 0.0);
+}
+
+#[test]
+fn lemma4_sliding_moving_averages_not_ordered() {
+    let s1 = TimeSeries::new(vec![10.0, 12.0, 10.0, 12.0]);
+    let s2 = TimeSeries::new(vec![10.0, 11.0, 12.0, 11.0]);
+    let s3 = TimeSeries::new(vec![11.0, 11.0, 11.0, 11.0]);
+    let d = |a: &TimeSeries, b: &TimeSeries, m: usize| {
+        euclidean(&moving_average_sliding(a, m), &moving_average_sliding(b, m))
+    };
+    assert!(d(&s2, &s3, 2) > d(&s2, &s3, 3), "case 1 counterexample");
+    assert!(d(&s1, &s3, 3) > d(&s1, &s3, 2), "case 2 counterexample");
+}
+
+#[test]
+fn footnote2_mv_similarity_does_not_always_extend_to_longer_windows() {
+    // §1's footnote: similarity w.r.t. the n-day MA does NOT in general
+    // imply similarity w.r.t. the (n+1)-day MA — the Appendix
+    // counterexample demonstrates it.
+    let s1 = TimeSeries::new(vec![10.0, 12.0, 10.0, 12.0]);
+    let s3 = TimeSeries::new(vec![11.0, 11.0, 11.0, 11.0]);
+    let d2 = euclidean(
+        &moving_average_circular(&s1, 2),
+        &moving_average_circular(&s3, 2),
+    );
+    let d3 = euclidean(
+        &moving_average_circular(&s1, 3),
+        &moving_average_circular(&s3, 3),
+    );
+    let eps = 0.5;
+    assert!(d2 < eps, "similar under mv2");
+    assert!(d3 > eps, "no longer similar under mv3");
+}
+
+#[test]
+fn member_distances_monotone_for_scalings_only() {
+    let (corpus, _) = setup();
+    let x = simquery::feature::SeqFeatures::extract(&corpus.series()[0]).unwrap();
+    let q = simquery::feature::SeqFeatures::extract(&corpus.series()[9]).unwrap();
+    let scalings = Family::scalings(&[1.0, 2.0, 4.0, 8.0], 128);
+    let d = member_distances(&scalings, &x, &q);
+    assert!(d.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{d:?}");
+}

@@ -1,0 +1,204 @@
+//! Cross-engine recall guarantees — the heart of the reproduction's
+//! correctness story.
+//!
+//! Under `FilterPolicy::Safe`, Lemma 1 plus the symmetry bound make every
+//! index filter lossless, so **all three algorithms must return identical
+//! result sets** on any input. Under `FilterPolicy::Paper` (the original's
+//! setup) the angle windows are heuristic; on the paper's workloads recall
+//! must still be 100 %.
+
+use proptest::prelude::*;
+use simquery::engine::{join, mtindex, seqscan, stindex};
+use simquery::partition::PartitionStrategy;
+use simquery::prelude::*;
+use simquery::query::FilterPolicy;
+
+fn build(kind: CorpusKind, n: usize, seed: u64) -> (Corpus, SeqIndex) {
+    let corpus = Corpus::generate(kind, n, 128, seed);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
+    (corpus, index)
+}
+
+#[test]
+fn safe_policy_equivalence_on_synthetic_walks() {
+    let (corpus, index) = build(CorpusKind::SyntheticWalks, 300, 11);
+    let family = Family::moving_averages(10..=25, 128);
+    let spec = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+    for qi in [0usize, 101, 299] {
+        let q = &corpus.series()[qi];
+        let scan = seqscan::range_query(&index, q, &family, &spec).unwrap();
+        let st = stindex::range_query(&index, q, &family, &spec).unwrap();
+        let mt = mtindex::range_query(&index, q, &family, &spec).unwrap();
+        assert_eq!(scan.sorted_pairs(), st.sorted_pairs(), "ST, query {qi}");
+        assert_eq!(scan.sorted_pairs(), mt.sorted_pairs(), "MT, query {qi}");
+    }
+}
+
+#[test]
+fn safe_policy_equivalence_on_stock_corpus_with_inverted_family() {
+    let (corpus, index) = build(CorpusKind::StockCloses, 200, 13);
+    // Two clusters (Fig. 9's family) stress the MBR machinery hardest.
+    let family = Family::moving_averages(6..=17, 128).with_inverted();
+    let spec = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+    for qi in [3usize, 77] {
+        let q = &corpus.series()[qi];
+        let scan = seqscan::range_query(&index, q, &family, &spec).unwrap();
+        let mt = mtindex::range_query(&index, q, &family, &spec).unwrap();
+        assert_eq!(scan.sorted_pairs(), mt.sorted_pairs(), "query {qi}");
+    }
+}
+
+#[test]
+fn paper_policy_full_recall_on_paper_workloads() {
+    // The original's ±ε/√2 angle windows: heuristic, but on the paper's
+    // own workload shapes (random walks + MA families + ρ = 0.96) recall
+    // stays complete. This guards the benchmarks' validity.
+    let (corpus, index) = build(CorpusKind::SyntheticWalks, 400, 17);
+    let family = Family::moving_averages(10..=25, 128);
+    let safe = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+    let paper = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Paper);
+    for qi in (0..400).step_by(37) {
+        let q = &corpus.series()[qi];
+        let want = mtindex::range_query(&index, q, &family, &safe).unwrap();
+        let got = mtindex::range_query(&index, q, &family, &paper).unwrap();
+        assert_eq!(
+            want.sorted_pairs(),
+            got.sorted_pairs(),
+            "Paper policy lost matches on query {qi}"
+        );
+        let st = stindex::range_query(&index, q, &family, &paper).unwrap();
+        assert_eq!(
+            want.sorted_pairs(),
+            st.sorted_pairs(),
+            "ST/Paper, query {qi}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_policy_is_lossless_everywhere() {
+    // The Adaptive policy's chord-bound angle filter must be exactly as
+    // complete as Safe — including on the inverted-family workload that
+    // provokes the Paper policy's false dismissals.
+    let (corpus, index) = build(CorpusKind::StockCloses, 300, 5);
+    let family = Family::moving_averages(6..=29, 128).with_inverted();
+    let safe = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+    let adaptive =
+        RangeSpec::correlation(0.96).with_policy(simquery::query::FilterPolicy::Adaptive);
+    for strategy in [
+        PartitionStrategy::Single,
+        PartitionStrategy::KMeans { k: 2 },
+        PartitionStrategy::EqualWidth { per_mbr: 6 },
+    ] {
+        for qi in [50usize, 137] {
+            let q = &corpus.series()[qi];
+            let (want, _) =
+                mtindex::range_query_partitioned(&index, q, &family, &safe, &strategy).unwrap();
+            let (got, _) =
+                mtindex::range_query_partitioned(&index, q, &family, &adaptive, &strategy).unwrap();
+            assert_eq!(
+                want.sorted_pairs(),
+                got.sorted_pairs(),
+                "Adaptive lost matches: {strategy:?}, query {qi}"
+            );
+            // And it never admits more candidates than Safe.
+            assert!(got.metrics.candidates <= want.metrics.candidates);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Adaptive ≡ scan on random corpora/families/thresholds.
+    #[test]
+    fn adaptive_equals_scan_randomized(
+        seed in 0u64..1000,
+        n in 30usize..100,
+        lo in 1usize..16,
+        width in 0usize..12,
+        rho in 0.85f64..0.995,
+        inverted in proptest::bool::ANY,
+    ) {
+        let corpus = Corpus::generate(CorpusKind::SyntheticWalks, n, 64, seed);
+        let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
+        let base = Family::moving_averages(lo..=(lo + width), 64);
+        let family = if inverted { base.with_inverted() } else { base };
+        let spec = RangeSpec::correlation(rho)
+            .with_policy(simquery::query::FilterPolicy::Adaptive);
+        let q = &corpus.series()[seed as usize % n];
+        let scan = seqscan::range_query(&index, q, &family, &spec).unwrap();
+        let mt = mtindex::range_query(&index, q, &family, &spec).unwrap();
+        prop_assert_eq!(scan.sorted_pairs(), mt.sorted_pairs());
+    }
+}
+
+#[test]
+fn every_partitioning_gives_the_same_answers() {
+    let (corpus, index) = build(CorpusKind::StockCloses, 150, 19);
+    let family = Family::moving_averages(6..=29, 128);
+    let spec = RangeSpec::correlation(0.96).with_policy(FilterPolicy::Safe);
+    let q = &corpus.series()[10];
+    let baseline = seqscan::range_query(&index, q, &family, &spec).unwrap();
+    for strategy in [
+        PartitionStrategy::Single,
+        PartitionStrategy::EqualWidth { per_mbr: 1 }, // degenerates to ST
+        PartitionStrategy::EqualWidth { per_mbr: 6 },
+        PartitionStrategy::EqualWidth { per_mbr: 8 },
+        PartitionStrategy::KMeans { k: 3 },
+        PartitionStrategy::Agglomerative { k: 4 },
+    ] {
+        let (got, _) =
+            mtindex::range_query_partitioned(&index, q, &family, &spec, &strategy).unwrap();
+        assert_eq!(baseline.sorted_pairs(), got.sorted_pairs(), "{strategy:?}");
+    }
+}
+
+#[test]
+fn join_engines_agree_and_match_query1_semantics() {
+    let corpus = Corpus::generate(CorpusKind::StockCloses, 80, 128, 23);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let family = Family::moving_averages(5..=14, 128);
+    let spec = RangeSpec::correlation(0.92).with_policy(FilterPolicy::Safe);
+    let scan = join::scan_join(&index, &family, &spec).unwrap();
+    let st = join::st_join(&index, &family, &spec).unwrap();
+    let mt = join::mt_join(&index, &family, &spec).unwrap();
+    assert_eq!(scan.sorted_triples(), st.sorted_triples());
+    assert_eq!(scan.sorted_triples(), mt.sorted_triples());
+
+    // Join results must agree with pairwise range queries: pair (a, b)
+    // joins under t iff b matches a's range query under t.
+    let eps = spec.epsilon(128);
+    let range_spec = RangeSpec::euclidean(eps).with_policy(FilterPolicy::Safe);
+    for &(a, b, t) in scan.sorted_triples().iter().take(20) {
+        let r = mtindex::range_query(&index, &corpus.series()[a], &family, &range_spec).unwrap();
+        assert!(
+            r.matches.iter().any(|m| m.seq == b && m.transform == t),
+            "join pair ({a}, {b}, t{t}) missing from range query"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random corpora, random thresholds, random MA windows: Safe-policy
+    /// MT-index ≡ sequential scan, always.
+    #[test]
+    fn mt_equals_scan_randomized(
+        seed in 0u64..1000,
+        n in 30usize..120,
+        lo in 1usize..20,
+        width in 0usize..15,
+        rho in 0.85f64..0.995,
+    ) {
+        let corpus = Corpus::generate(CorpusKind::SyntheticWalks, n, 64, seed);
+        let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
+        let family = Family::moving_averages(lo..=(lo + width), 64);
+        let spec = RangeSpec::correlation(rho).with_policy(FilterPolicy::Safe);
+        let q = &corpus.series()[seed as usize % n];
+        let scan = seqscan::range_query(&index, q, &family, &spec).unwrap();
+        let mt = mtindex::range_query(&index, q, &family, &spec).unwrap();
+        prop_assert_eq!(scan.sorted_pairs(), mt.sorted_pairs());
+    }
+}

@@ -1,0 +1,94 @@
+//! Randomized end-to-end stress: a live index under interleaved inserts,
+//! deletes, persistence round-trips and queries, continuously checked
+//! against a shadow corpus queried by brute force.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simquery::engine::{mtindex, seqscan};
+use simquery::feature::SeqFeatures;
+use simquery::prelude::*;
+use tseries::random_walk;
+
+const N: usize = 64;
+
+/// Brute-force ground truth over the shadow corpus (live rows only).
+fn brute(
+    shadow: &[(usize, TimeSeries)],
+    q: &TimeSeries,
+    family: &Family,
+    eps: f64,
+) -> Vec<(usize, usize)> {
+    let qf = SeqFeatures::extract(q).expect("query non-degenerate");
+    let mut out = Vec::new();
+    for (ordinal, ts) in shadow {
+        let Some(xf) = SeqFeatures::extract(ts) else {
+            continue;
+        };
+        for (ti, t) in family.transforms().iter().enumerate() {
+            if t.transformed_distance(&xf, &qf) < eps {
+                out.push((*ordinal, ti));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn randomized_lifecycle_keeps_engines_truthful() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let initial = Corpus::generate(CorpusKind::SyntheticWalks, 60, N, 99);
+    let mut index = SeqIndex::build(&initial, IndexConfig::default()).expect("non-empty");
+    // Shadow: (ordinal, series) for every LIVE row.
+    let mut shadow: Vec<(usize, TimeSeries)> =
+        initial.series().iter().cloned().enumerate().collect();
+
+    let family = Family::moving_averages(2..=7, N);
+    let spec = RangeSpec::correlation(0.92).with_policy(FilterPolicy::Safe);
+    let eps = spec.epsilon(N);
+
+    let persist_dir = std::env::temp_dir().join("simseq_stress_persist");
+    let mut checked_queries = 0;
+
+    for step in 0..120 {
+        match rng.random_range(0..10) {
+            // 40 %: insert a fresh series.
+            0..=3 => {
+                let ts = random_walk(&mut rng, N, 200.0);
+                let ordinal = index.insert_series(&ts).expect("length matches");
+                shadow.push((ordinal, ts));
+            }
+            // 20 %: delete a random live series.
+            4..=5 => {
+                if !shadow.is_empty() {
+                    let pick = rng.random_range(0..shadow.len());
+                    let (ordinal, _) = shadow.swap_remove(pick);
+                    assert!(index.delete_series(ordinal), "step {step}: delete {ordinal}");
+                }
+            }
+            // 10 %: persistence round-trip.
+            6 => {
+                std::fs::create_dir_all(&persist_dir).unwrap();
+                index.save(&persist_dir).expect("save");
+                index = SeqIndex::open(&persist_dir, 64).expect("open");
+                index.validate();
+            }
+            // 30 %: query and cross-check all engines vs brute force.
+            _ => {
+                if shadow.is_empty() {
+                    continue;
+                }
+                let q = shadow[rng.random_range(0..shadow.len())].1.clone();
+                let mt = mtindex::range_query(&index, &q, &family, &spec).expect("mt");
+                let scan = seqscan::range_query(&index, &q, &family, &spec).expect("scan");
+                let want = brute(&shadow, &q, &family, eps);
+                assert_eq!(mt.sorted_pairs(), want, "step {step}: MT diverged");
+                assert_eq!(scan.sorted_pairs(), want, "step {step}: scan diverged");
+                checked_queries += 1;
+            }
+        }
+    }
+    index.validate();
+    assert!(checked_queries >= 10, "workload should have exercised queries");
+    std::fs::remove_dir_all(&persist_dir).ok();
+}
