@@ -1,15 +1,38 @@
-//! Criterion benches of the three query algorithms at the headline
-//! configurations of Figures 5–7: one representative point per figure so
-//! `cargo bench` tracks regressions in each curve.
+//! Benches of the three query algorithms at the headline configurations of
+//! Figures 5–7: one representative point per figure so `cargo bench` tracks
+//! regressions in each curve.
+//!
+//! Plain `harness = false` timing loops (std only — no external benchmark
+//! framework): each case is warmed once, then timed for a fixed number of
+//! samples; the median, min and max per-iteration wall times are printed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simquery::engine::{join, mtindex, seqscan, stindex};
 use simquery::prelude::*;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 const N: usize = 128;
+const SAMPLES: usize = 10;
 
-fn fig5_point(c: &mut Criterion) {
+fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+    black_box(f()); // warm-up
+    let mut times: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    println!(
+        "{group}/{name:<10} median {:>12.3?}  min {:>12.3?}  max {:>12.3?}",
+        times[times.len() / 2],
+        times[0],
+        times[times.len() - 1],
+    );
+}
+
+fn fig5_point() {
     // Fig. 5 at 2000 synthetic sequences, |T| = 16.
     let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 2000, N, 50);
     let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
@@ -17,30 +40,20 @@ fn fig5_point(c: &mut Criterion) {
     let spec = RangeSpec::correlation(0.96);
     let query = corpus.series()[123].clone();
 
-    let mut group = c.benchmark_group("fig5_range_query_2000seqs_16T");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("seqscan"), |b| {
-        b.iter(|| {
+    let group = "fig5_range_query_2000seqs_16T";
+    for (name, run) in [
+        ("seqscan", seqscan::range_query as fn(_, _, _, _) -> _),
+        ("stindex", stindex::range_query),
+        ("mtindex", mtindex::range_query),
+    ] {
+        bench(group, name, || {
             index.reset_counters();
-            black_box(seqscan::range_query(&index, &query, &family, &spec).unwrap())
-        })
-    });
-    group.bench_function(BenchmarkId::from_parameter("stindex"), |b| {
-        b.iter(|| {
-            index.reset_counters();
-            black_box(stindex::range_query(&index, &query, &family, &spec).unwrap())
-        })
-    });
-    group.bench_function(BenchmarkId::from_parameter("mtindex"), |b| {
-        b.iter(|| {
-            index.reset_counters();
-            black_box(mtindex::range_query(&index, &query, &family, &spec).unwrap())
-        })
-    });
-    group.finish();
+            run(&index, &query, &family, &spec).unwrap()
+        });
+    }
 }
 
-fn fig6_point(c: &mut Criterion) {
+fn fig6_point() {
     // Fig. 6 at |T| = 30 on the 1068-stock corpus.
     let corpus = Corpus::generate(CorpusKind::StockCloses, 1068, N, 60);
     let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
@@ -48,54 +61,40 @@ fn fig6_point(c: &mut Criterion) {
     let spec = RangeSpec::correlation(0.96);
     let query = corpus.series()[500].clone();
 
-    let mut group = c.benchmark_group("fig6_range_query_1068stocks_30T");
-    group.sample_size(10);
+    let group = "fig6_range_query_1068stocks_30T";
     for (name, run) in [
         ("seqscan", seqscan::range_query as fn(_, _, _, _) -> _),
         ("stindex", stindex::range_query),
         ("mtindex", mtindex::range_query),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                index.reset_counters();
-                black_box(run(&index, &query, &family, &spec).unwrap())
-            })
+        bench(group, name, || {
+            index.reset_counters();
+            run(&index, &query, &family, &spec).unwrap()
         });
     }
-    group.finish();
 }
 
-fn fig7_point(c: &mut Criterion) {
+fn fig7_point() {
     // Fig. 7's join at |T| = 10 on a smaller corpus (joins are quadratic).
     let corpus = Corpus::generate(CorpusKind::StockCloses, 300, N, 70);
     let index = SeqIndex::build(&corpus, IndexConfig::default()).expect("non-empty");
     let family = Family::moving_averages(5..=14, N);
     let spec = RangeSpec::correlation(0.99);
 
-    let mut group = c.benchmark_group("fig7_self_join_300stocks_10T");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("scan_join"), |b| {
-        b.iter(|| {
+    let group = "fig7_self_join_300stocks_10T";
+    for (name, run) in [
+        ("scan_join", join::scan_join as fn(_, _, _) -> _),
+        ("st_join", join::st_join),
+        ("mt_join", join::mt_join),
+    ] {
+        bench(group, name, || {
             index.reset_counters();
-            black_box(join::scan_join(&index, &family, &spec).unwrap())
-        })
-    });
-    group.bench_function(BenchmarkId::from_parameter("st_join"), |b| {
-        b.iter(|| {
-            index.reset_counters();
-            black_box(join::st_join(&index, &family, &spec).unwrap())
-        })
-    });
-    group.bench_function(BenchmarkId::from_parameter("mt_join"), |b| {
-        b.iter(|| {
-            index.reset_counters();
-            black_box(join::mt_join(&index, &family, &spec).unwrap())
-        })
-    });
-    group.finish();
+            run(&index, &family, &spec).unwrap()
+        });
+    }
 }
 
-fn filter_policies(c: &mut Criterion) {
+fn filter_policies() {
     // Pruning power vs cost of the three angle-dimension policies on the
     // ± (two-cluster) family, where they differ most.
     use simquery::query::FilterPolicy;
@@ -104,23 +103,23 @@ fn filter_policies(c: &mut Criterion) {
     let family = Family::moving_averages(6..=29, N).with_inverted();
     let query = corpus.series()[321].clone();
 
-    let mut group = c.benchmark_group("filter_policies_inverted_family");
-    group.sample_size(10);
+    let group = "filter_policies_inverted_family";
     for (name, policy) in [
         ("paper", FilterPolicy::Paper),
         ("safe", FilterPolicy::Safe),
         ("adaptive", FilterPolicy::Adaptive),
     ] {
         let spec = RangeSpec::correlation(0.96).with_policy(policy);
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                index.reset_counters();
-                black_box(mtindex::range_query(&index, &query, &family, &spec).unwrap())
-            })
+        bench(group, name, || {
+            index.reset_counters();
+            mtindex::range_query(&index, &query, &family, &spec).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, fig5_point, fig6_point, fig7_point, filter_policies);
-criterion_main!(benches);
+fn main() {
+    fig5_point();
+    fig6_point();
+    fig7_point();
+    filter_policies();
+}

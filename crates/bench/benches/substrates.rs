@@ -1,45 +1,62 @@
-//! Criterion micro-benches of the substrates: FFT, R*-tree operations,
-//! transformation application and the Eq. 12 rectangle algebra. These pin
-//! the constants behind the engine-level curves.
+//! Micro-benches of the substrates: FFT, R*-tree operations, transformation
+//! application and the Eq. 12 rectangle algebra. These pin the constants
+//! behind the engine-level curves.
+//!
+//! Plain `harness = false` timing loops (std only): each case is warmed
+//! once, then timed for a fixed number of samples; the median, min and max
+//! per-iteration wall times are printed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rstartree::{MemStore, Params, RStarTree, Rect};
 use simquery::feature::SeqFeatures;
 use simquery::prelude::*;
 use simquery::tmbr::TransformMbr;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
+use tseries::rng::SeededRng;
 use tsfft::{fft, Complex64};
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft");
+fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
+    black_box(f()); // warm-up
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    println!(
+        "{name:<28} median {:>12.3?}  min {:>12.3?}  max {:>12.3?}",
+        times[times.len() / 2],
+        times[0],
+        times[times.len() - 1],
+    );
+}
+
+fn bench_fft() {
     for &n in &[128usize, 127, 1024] {
         let x: Vec<Complex64> = (0..n)
             .map(|t| Complex64::new((t as f64 * 0.1).sin(), 0.0))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
-            b.iter(|| black_box(fft(x)))
-        });
+        bench(&format!("fft/{n}"), 100, || fft(&x));
     }
-    group.finish();
 }
 
-fn bench_feature_extraction(c: &mut Criterion) {
+fn bench_feature_extraction() {
     let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 1, 128, 7);
     let ts = corpus.series()[0].clone();
-    c.bench_function("feature_extract_128", |b| {
-        b.iter(|| black_box(SeqFeatures::extract(&ts).unwrap()))
+    bench("feature_extract_128", 100, || {
+        SeqFeatures::extract(&ts).unwrap()
     });
 }
 
-fn bench_transform_apply(c: &mut Criterion) {
+fn bench_transform_apply() {
     let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 2, 128, 8);
     let x = SeqFeatures::extract(&corpus.series()[0]).unwrap();
     let q = SeqFeatures::extract(&corpus.series()[1]).unwrap();
     let t = simquery::transform::Transform::moving_average(9, 128);
-    c.bench_function("transformed_distance_128", |b| {
-        b.iter(|| black_box(t.transformed_distance(&x, &q)))
+    bench("transformed_distance_128", 100, || {
+        t.transformed_distance(&x, &q)
     });
     let family = Family::moving_averages(5..=34, 128);
     let mbr = TransformMbr::of_family(&family);
@@ -47,13 +64,11 @@ fn bench_transform_apply(c: &mut Criterion) {
         [0.0, 0.5, 0.1, -1.0, 0.05, -2.0],
         [10.0, 3.0, 4.0, 1.0, 2.0, 2.0],
     );
-    c.bench_function("eq12_apply_to_rect", |b| {
-        b.iter(|| black_box(mbr.apply_to_rect(&rect)))
-    });
+    bench("eq12_apply_to_rect", 100, || mbr.apply_to_rect(&rect));
 }
 
-fn bench_rtree(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(11);
+fn bench_rtree() {
+    let mut rng = SeededRng::seed_from_u64(11);
     let points: Vec<(Rect<6>, u64)> = (0..5000)
         .map(|i| {
             let mut p = [0.0; 6];
@@ -64,61 +79,45 @@ fn bench_rtree(c: &mut Criterion) {
         })
         .collect();
 
-    c.bench_function("rtree_insert_5000x6d", |b| {
-        b.iter(|| {
-            let mut tree: RStarTree<6, MemStore<6>> =
-                RStarTree::with_params(MemStore::new(), Params::with_max(32));
-            for (r, d) in &points {
-                tree.insert(*r, *d);
-            }
-            black_box(tree.len())
-        })
+    bench("rtree_insert_5000x6d", 10, || {
+        let mut tree: RStarTree<6, MemStore<6>> =
+            RStarTree::with_params(MemStore::new(), Params::with_max(32));
+        for (r, d) in &points {
+            tree.insert(*r, *d);
+        }
+        tree.len()
     });
 
     let tree = rstartree::bulk_load_str(MemStore::new(), Params::with_max(32), points.clone());
     let query = Rect::new([-20.0; 6], [20.0; 6]);
-    c.bench_function("rtree_range_query_5000x6d", |b| {
-        b.iter(|| black_box(tree.range(&query).0.len()))
+    bench("rtree_range_query_5000x6d", 100, || {
+        tree.range(&query).0.len()
     });
-    c.bench_function("rtree_bulk_load_5000x6d", |b| {
-        b.iter(|| {
-            let t = rstartree::bulk_load_str(MemStore::new(), Params::with_max(32), points.clone());
-            black_box(t.len())
-        })
+    bench("rtree_bulk_load_5000x6d", 10, || {
+        rstartree::bulk_load_str(MemStore::new(), Params::with_max(32), points.clone()).len()
     });
 }
 
-fn bench_index_build(c: &mut Criterion) {
+fn bench_index_build() {
     let corpus = Corpus::generate(CorpusKind::StockCloses, 1068, 128, 9);
-    let mut group = c.benchmark_group("index_build_1068x128");
-    group.sample_size(10);
-    group.bench_function("bulk", |b| {
-        b.iter(|| {
-            black_box(
-                SeqIndex::build(&corpus, IndexConfig::default())
-                    .unwrap()
-                    .len(),
-            )
-        })
+    bench("index_build_1068x128/bulk", 10, || {
+        SeqIndex::build(&corpus, IndexConfig::default())
+            .unwrap()
+            .len()
     });
-    group.bench_function("insert", |b| {
-        b.iter(|| {
-            let cfg = IndexConfig {
-                bulk: false,
-                ..Default::default()
-            };
-            black_box(SeqIndex::build(&corpus, cfg).unwrap().len())
-        })
+    bench("index_build_1068x128/insert", 10, || {
+        let cfg = IndexConfig {
+            bulk: false,
+            ..Default::default()
+        };
+        SeqIndex::build(&corpus, cfg).unwrap().len()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fft,
-    bench_feature_extraction,
-    bench_transform_apply,
-    bench_rtree,
-    bench_index_build
-);
-criterion_main!(benches);
+fn main() {
+    bench_fft();
+    bench_feature_extraction();
+    bench_transform_apply();
+    bench_rtree();
+    bench_index_build();
+}

@@ -9,12 +9,11 @@
 //! `cargo run -p bench --release --bin nn_ablation`
 
 use bench::table::{f2, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rstartree::{bulk_load_str, MemStore, Params, RStarTree, Rect};
+use tseries::rng::SeededRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(512);
+    let mut rng = SeededRng::seed_from_u64(512);
     let n = 100_000;
     let items: Vec<(Rect<2>, u64)> = (0..n)
         .map(|i| {

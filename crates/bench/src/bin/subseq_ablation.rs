@@ -6,15 +6,14 @@
 //! `cargo run -p bench --release --bin subseq_ablation`
 
 use bench::table::{f2, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use simquery::prelude::*;
 use tseries::random_walk;
+use tseries::rng::SeededRng;
 
 fn main() {
     let window = 32;
     let queries = bench::query_count().min(30);
-    let mut rng = StdRng::seed_from_u64(909);
+    let mut rng = SeededRng::seed_from_u64(909);
     let seqs: Vec<TimeSeries> = (0..60).map(|_| random_walk(&mut rng, 1000, 6.0)).collect();
     let family = Family::moving_averages(1..=4, window);
     let spec = RangeSpec::correlation(0.92).with_policy(FilterPolicy::Adaptive);

@@ -417,9 +417,9 @@ fn mbr_sweep(
         // Average metrics + the cost function over random queries.
         let mut avg = Averages::default();
         let mut cost_sum = 0.0;
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let mut rng = tseries::rng::SeededRng::seed_from_u64(3);
         for _ in 0..queries {
-            let qi = rand::Rng::random_range(&mut rng, 0..corpus.len());
+            let qi = rng.random_range(0..corpus.len());
             let query = &corpus.series()[qi];
             index.reset_counters();
             let start = std::time::Instant::now();
@@ -527,9 +527,9 @@ pub fn fig9() -> Vec<Table> {
         let mut wall = 0.0;
         let mut accesses = 0.0;
         let mut cost = 0.0;
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+        let mut rng = tseries::rng::SeededRng::seed_from_u64(4);
         for _ in 0..queries {
-            let qi = rand::Rng::random_range(&mut rng, 0..corpus.len());
+            let qi = rng.random_range(0..corpus.len());
             index.reset_counters();
             let start = std::time::Instant::now();
             let (res, trav) = mtindex::range_query_with_mbrs(

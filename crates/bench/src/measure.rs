@@ -3,11 +3,10 @@
 //! chose a random query sequence from the data set … averaged the
 //! execution times").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simquery::prelude::*;
 use simquery::report::{JoinResult, QueryError};
 use std::time::Instant;
+use tseries::rng::SeededRng;
 use tseries::TimeSeries;
 
 /// Averages accumulated over a batch of queries.
@@ -55,7 +54,7 @@ pub fn average_range_queries(
     mut engine: impl FnMut(&SeqIndex, &TimeSeries) -> Result<QueryResult, QueryError>,
 ) -> Averages {
     assert!(queries > 0, "need at least one query");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut acc = Averages::default();
     let mut ran = 0usize;
     while ran < queries {

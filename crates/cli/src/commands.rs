@@ -22,9 +22,18 @@ USAGE:
                [--engine mt|st|scan] [--limit N]
   simseq nn    --index DIR/ (--query-index I | --query-csv FILE --row I)
                --k K [--ma LO..HI]
+  simseq serve --index DIR/ [--addr HOST:PORT] [--workers N] [--queue N]
+               [--max-conns N] [--pool-pages N]
+  simseq load  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
+               [--ma LO..HI] [--rho R] [--engine mt|st|scan]
+               [--verify-index DIR/]
 
 Thresholds: --rho is a cross-correlation in [-1, 1], converted through
 Eq. 9; --eps is a Euclidean distance over transformed normal forms.
+
+`serve` runs the simserved line protocol (see crates/serve/PROTOCOL.md)
+over the given index; `load` replays a seeded closed-loop workload
+against a running server and prints a latency/throughput table.
 ";
 
 type CliResult = Result<(), CliError>;
@@ -182,6 +191,78 @@ pub fn nn(args: &Args) -> CliResult {
         );
     }
     eprintln!("{metrics}");
+    Ok(())
+}
+
+/// `simseq serve` — serve a persisted index over TCP (blocks forever).
+pub fn serve(args: &Args) -> CliResult {
+    let dir = PathBuf::from(args.req("index")?);
+    let pool_pages: usize = args.parse_or("pool-pages", 256)?;
+    let shared = SharedIndex::open(&dir, pool_pages)
+        .map_err(|e| err(format!("opening index {}: {e}", dir.display())))?;
+    let defaults = simserve::server::ServerConfig::default();
+    let cfg = simserve::server::ServerConfig {
+        addr: args.opt("addr").unwrap_or(&defaults.addr).to_string(),
+        workers: args.parse_or("workers", defaults.workers)?,
+        queue_depth: args.parse_or("queue", defaults.queue_depth)?,
+        max_conns: args.parse_or("max-conns", defaults.max_conns)?,
+    };
+    {
+        let index = shared.read();
+        eprintln!(
+            "serving {} sequences of length {} ({} workers, queue {}, max {} conns)",
+            index.len(),
+            index.seq_len(),
+            cfg.workers,
+            cfg.queue_depth,
+            cfg.max_conns
+        );
+    }
+    let handle =
+        simserve::server::serve(shared, &cfg).map_err(|e| err(format!("starting server: {e}")))?;
+    println!("listening on {}", handle.addr);
+    handle.join();
+    Ok(())
+}
+
+/// `simseq load` — closed-loop load generation against a running server.
+pub fn load(args: &Args) -> CliResult {
+    let defaults = simserve::load::LoadConfig::default();
+    let engine = match args.opt("engine").unwrap_or("mt") {
+        "mt" => simserve::protocol::EngineKind::Mt,
+        "st" => simserve::protocol::EngineKind::St,
+        "scan" => simserve::protocol::EngineKind::Scan,
+        other => return Err(err(format!("--engine must be mt|st|scan, got `{other}`"))),
+    };
+    let verify = match args.opt("verify-index") {
+        None => None,
+        Some(dir) => {
+            let pool_pages: usize = args.parse_or("pool-pages", 256)?;
+            Some(
+                SharedIndex::open(Path::new(dir), pool_pages)
+                    .map_err(|e| err(format!("opening verify index {dir}: {e}")))?,
+            )
+        }
+    };
+    let cfg = simserve::load::LoadConfig {
+        addr: args.req("addr")?.to_string(),
+        conns: args.parse_or("conns", defaults.conns)?,
+        ops_per_conn: args.parse_or("ops", defaults.ops_per_conn)?,
+        seed: args.parse_or("seed", defaults.seed)?,
+        ma: args.range("ma")?.unwrap_or(defaults.ma),
+        rho: args.parse_or("rho", defaults.rho)?,
+        engine,
+        verify,
+    };
+    let report = simserve::load::run(&cfg).map_err(|e| err(format!("load run failed: {e}")))?;
+    print!("{}", report.render());
+    if report.total_errors() > 0 || report.total_parity_failures() > 0 {
+        return Err(err(format!(
+            "{} errors, {} parity failures",
+            report.total_errors(),
+            report.total_parity_failures()
+        )));
+    }
     Ok(())
 }
 

@@ -7,6 +7,8 @@
 //! simseq query --index idx/ --query-index 42 --ma 5..34 --rho 0.96
 //! simseq join  --index idx/ --ma 5..14 --rho 0.99
 //! simseq nn    --index idx/ --query-index 42 --k 5 --ma 2..20
+//! simseq serve --index idx/ --addr 127.0.0.1:7878
+//! simseq load  --addr 127.0.0.1:7878 --conns 8 --ops 100
 //! ```
 
 mod args;
@@ -27,6 +29,8 @@ fn main() {
         "query" => commands::query(&args),
         "join" => commands::join(&args),
         "nn" => commands::nn(&args),
+        "serve" => commands::serve(&args),
+        "load" => commands::load(&args),
         other => Err(args::err(format!(
             "unknown subcommand `{other}`; try `simseq help`"
         ))),

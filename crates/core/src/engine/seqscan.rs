@@ -40,7 +40,7 @@ pub fn range_query_ordered(
 }
 
 /// A multi-threaded sequential scan: the relation is partitioned into
-/// `threads` disjoint ordinal ranges scanned concurrently (crossbeam scoped
+/// `threads` disjoint ordinal ranges scanned concurrently (std scoped
 /// threads). Identical results to [`range_query`]; a modern baseline the
 /// 1999 evaluation lacked, included so the index algorithms are compared
 /// against the strongest scan available.
@@ -61,12 +61,12 @@ pub fn range_query_parallel(
     let before = index.counters();
     let n = index.len();
     let chunk = n.div_ceil(threads);
-    let results: Vec<(Vec<crate::report::Match>, u64)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(Vec<crate::report::Match>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(n));
                 let (q, members) = (&q, &members);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut matches = Vec::new();
                     let mut comparisons = 0;
                     index.scan_range(lo, hi, |ordinal, ts| {
@@ -94,8 +94,7 @@ pub fn range_query_parallel(
             .into_iter()
             .map(|h| h.join().expect("scan worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut matches = Vec::new();
     let mut comparisons = 0;

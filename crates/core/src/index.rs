@@ -883,7 +883,7 @@ mod persistence_tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod open_robustness {
     use super::*;
     use proptest::prelude::*;

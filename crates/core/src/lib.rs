@@ -55,11 +55,12 @@ pub mod ordering;
 pub mod partition;
 pub mod query;
 pub mod report;
+pub mod shared;
 pub mod subseq;
 pub mod tmbr;
 pub mod transform;
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;
 
 /// Everything a typical user needs.
@@ -73,6 +74,7 @@ pub mod prelude {
     pub use crate::partition::PartitionStrategy;
     pub use crate::query::{FilterPolicy, QueryMode, RangeSpec};
     pub use crate::report::{EngineMetrics, Match, QueryResult};
+    pub use crate::shared::SharedIndex;
     pub use crate::subseq::SubseqIndex;
     pub use crate::tmbr::TransformMbr;
     pub use crate::transform::{Family, Transform};

@@ -1,0 +1,138 @@
+//! A thread-safe handle to a [`SeqIndex`] for concurrent serving.
+//!
+//! The read path of every query engine takes `&SeqIndex` and is already
+//! interior-mutable where it must be (access counters are atomics, the
+//! buffer pool and node stores lock internally), so any number of queries
+//! may run concurrently under a shared read guard. Structural mutation —
+//! [`SeqIndex::insert_series`] / [`SeqIndex::delete_series`] — takes
+//! `&mut SeqIndex` and therefore the exclusive write guard.
+//!
+//! [`SharedIndex`] packages that discipline: a cheap cloneable
+//! `Arc<RwLock<SeqIndex>>` whose lock recovers from poisoning (see
+//! [`pagestore::sync`]), so a panicking query thread cannot wedge a
+//! server.
+
+use crate::index::SeqIndex;
+use pagestore::sync::RwLock;
+use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
+
+// The whole point of SharedIndex is crossing threads; fail the build, not
+// a runtime, if an index component ever stops being thread-safe.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SeqIndex>();
+    assert_send_sync::<SharedIndex>();
+};
+
+/// A cloneable, thread-safe handle to one [`SeqIndex`].
+#[derive(Clone)]
+pub struct SharedIndex {
+    inner: Arc<RwLock<SeqIndex>>,
+}
+
+impl std::fmt::Debug for SharedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedIndex").finish_non_exhaustive()
+    }
+}
+
+impl SharedIndex {
+    /// Wraps an index for shared use.
+    pub fn new(index: SeqIndex) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(index)),
+        }
+    }
+
+    /// Opens a persisted index directory (see [`SeqIndex::open`]) for
+    /// shared use.
+    pub fn open(dir: &std::path::Path, heap_pool_pages: usize) -> std::io::Result<Self> {
+        Ok(Self::new(SeqIndex::open(dir, heap_pool_pages)?))
+    }
+
+    /// Acquires a shared read guard: queries, scans, counter reads.
+    /// Any number of readers proceed concurrently.
+    pub fn read(&self) -> RwLockReadGuard<'_, SeqIndex> {
+        self.inner.read()
+    }
+
+    /// Acquires the exclusive write guard: inserts and deletes.
+    pub fn write(&self) -> RwLockWriteGuard<'_, SeqIndex> {
+        self.inner.write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{mtindex, seqscan};
+    use crate::index::IndexConfig;
+    use crate::query::RangeSpec;
+    use crate::transform::Family;
+    use tseries::{Corpus, CorpusKind};
+
+    fn shared(n: usize) -> (Corpus, SharedIndex) {
+        let c = Corpus::generate(CorpusKind::SyntheticWalks, n, 64, 3);
+        let idx = SeqIndex::build(&c, IndexConfig::default()).unwrap();
+        (c, SharedIndex::new(idx))
+    }
+
+    #[test]
+    fn concurrent_readers_agree_with_single_thread() {
+        let (c, shared) = shared(120);
+        let family = Family::moving_averages(4..=11, 64);
+        let spec = RangeSpec::correlation(0.95);
+        let want = {
+            let idx = shared.read();
+            mtindex::range_query(&idx, &c.series()[5], &family, &spec)
+                .unwrap()
+                .sorted_pairs()
+        };
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (shared, c, family, spec, want) = (&shared, &c, &family, &spec, &want);
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let idx = shared.read();
+                        let got = mtindex::range_query(&idx, &c.series()[5], family, spec)
+                            .unwrap()
+                            .sorted_pairs();
+                        assert_eq!(&got, want);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn writer_excludes_readers_but_not_correctness() {
+        let (c, shared) = shared(60);
+        let extra = Corpus::generate(CorpusKind::SyntheticWalks, 8, 64, 99);
+        let family = Family::moving_averages(2..=6, 64);
+        // Safe policy: scan ≡ mt is guaranteed on arbitrary workloads
+        // (Paper's angle windows are heuristic and may falsely dismiss).
+        let spec = RangeSpec::correlation(0.9).with_policy(crate::query::FilterPolicy::Safe);
+        std::thread::scope(|s| {
+            // One writer inserting, many readers querying throughout.
+            let w = &shared;
+            s.spawn(move || {
+                for ts in extra.series() {
+                    w.write().insert_series(ts).unwrap();
+                }
+            });
+            for t in 0..4 {
+                let (shared, c, family, spec) = (&shared, &c, &family, &spec);
+                s.spawn(move || {
+                    for i in 0..10 {
+                        let idx = shared.read();
+                        let q = &c.series()[(t * 10 + i) % 60];
+                        let a = seqscan::range_query(&idx, q, family, spec).unwrap();
+                        let b = mtindex::range_query(&idx, q, family, spec).unwrap();
+                        assert_eq!(a.sorted_pairs(), b.sorted_pairs());
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.read().len(), 68);
+    }
+}

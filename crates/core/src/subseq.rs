@@ -255,12 +255,11 @@ pub fn sorted_subseq(matches: &[SubseqMatch]) -> Vec<(usize, usize, usize)> {
 mod tests {
     use super::*;
     use crate::query::FilterPolicy;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use tseries::random_walk;
+    use tseries::rng::SeededRng;
 
     fn long_sequences(count: usize, len: usize, seed: u64) -> Vec<TimeSeries> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::seed_from_u64(seed);
         (0..count)
             .map(|_| random_walk(&mut rng, len, 10.0))
             .collect()

@@ -18,7 +18,7 @@
 
 use crate::disk::Disk;
 use crate::page::{Page, PageId};
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -454,7 +454,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod shadow_model {
     use super::*;
     use proptest::prelude::*;

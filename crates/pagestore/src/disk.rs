@@ -7,7 +7,7 @@
 //! to normalise Figures 8–9).
 
 use crate::page::{Page, PageId};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters of physical page traffic.

@@ -3,7 +3,7 @@
 
 use crate::buffer::BufferPool;
 use crate::page::{PageId, PAGE_SIZE};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::Arc;
 
 use crate::heap::RecordId;
@@ -269,7 +269,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod range_proptests {
     use super::*;
     use crate::disk::Disk;

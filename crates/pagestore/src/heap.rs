@@ -7,7 +7,7 @@
 
 use crate::buffer::BufferPool;
 use crate::page::{PageId, PAGE_SIZE};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::marker::PhantomData;
 use std::sync::Arc;
 

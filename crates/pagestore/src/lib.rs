@@ -16,8 +16,8 @@
 //!   sequence records (retrieved in the post-processing step 5 of
 //!   Algorithm 1).
 //!
-//! All structures are thread-safe (`parking_lot` mutexes) so a parallel
-//! sequential-scan baseline can share them.
+//! All structures are thread-safe ([`sync`] wrappers over `std::sync`
+//! locks) so parallel scans and the query server can share them.
 
 mod buffer;
 mod disk;
@@ -26,6 +26,7 @@ mod filedisk;
 mod heap;
 mod page;
 mod stats;
+pub mod sync;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use disk::{Disk, DiskStats};

@@ -1,25 +1,51 @@
-//! Deterministic and property-based tests of the whole tree: structural
-//! invariants under insert/delete mixes, recall equivalence against linear
-//! scans, nearest-neighbour exactness and join completeness.
+//! Deterministic and property-style tests of the whole tree: structural
+//! invariants under seeded random insert/delete mixes, recall equivalence
+//! against linear scans, nearest-neighbour exactness and join completeness.
 
 use crate::*;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 type Tree2 = RStarTree<2, MemStore<2>>;
+
+/// A tiny SplitMix64 generator keeping this crate dependency-free; the
+/// randomized tests below run a fixed number of seeded cases instead of
+/// using an external property-testing framework.
+struct MiniRng(u64);
+
+impl MiniRng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64))
+    }
+}
 
 fn mem_tree(max: usize) -> Tree2 {
     RStarTree::with_params(MemStore::new(), Params::with_max(max))
 }
 
 fn random_points(n: usize, seed: u64) -> Vec<(Rect<2>, u64)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = MiniRng::new(seed);
     (0..n)
         .map(|i| {
             let p = [
-                rng.random_range(-1000.0..1000.0),
-                rng.random_range(-1000.0..1000.0),
+                rng.range_f64(-1000.0, 1000.0),
+                rng.range_f64(-1000.0, 1000.0),
             ];
             (Rect::point(p), i as u64)
         })
@@ -463,18 +489,19 @@ fn forced_reinsert_occurs_with_default_params() {
     assert!(nodes < 260, "too many nodes: {nodes}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn invariants_under_random_insert_delete(
-        ops in prop::collection::vec((0u8..4, -100i32..100, -100i32..100), 1..300),
-        max in 4usize..20,
-    ) {
+#[test]
+fn invariants_under_random_insert_delete() {
+    let mut rng = MiniRng::new(0xA11C_E501);
+    for case in 0..24 {
+        let max = 4 + rng.below(16) as usize;
+        let n_ops = 1 + rng.below(299) as usize;
         let mut tree = mem_tree(max);
         let mut shadow: Vec<(Rect<2>, u64)> = Vec::new();
         let mut next_id = 0u64;
-        for (op, x, y) in ops {
+        for _ in 0..n_ops {
+            let op = rng.below(4) as u8;
+            let x = rng.below(200) as i32 - 100;
+            let y = rng.below(200) as i32 - 100;
             let p = Rect::point([x as f64, y as f64]);
             if op < 3 || shadow.is_empty() {
                 tree.insert(p, next_id);
@@ -482,29 +509,43 @@ proptest! {
                 next_id += 1;
             } else {
                 let victim = shadow.swap_remove((x.unsigned_abs() as usize) % shadow.len());
-                prop_assert!(tree.delete(&victim.0, victim.1));
+                assert!(tree.delete(&victim.0, victim.1), "case {case}");
             }
         }
         tree.validate();
-        prop_assert_eq!(tree.len(), shadow.len());
+        assert_eq!(tree.len(), shadow.len(), "case {case}");
 
         // Full-recall check against the shadow copy.
         let q = Rect::new([-50.0, -50.0], [50.0, 50.0]);
         let (mut got, _) = tree.range(&q);
         got.sort_by_key(|(_, d)| *d);
-        let mut want: Vec<u64> =
-            shadow.iter().filter(|(r, _)| r.intersects(&q)).map(|(_, d)| *d).collect();
+        let mut want: Vec<u64> = shadow
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|(_, d)| *d)
+            .collect();
         want.sort_unstable();
-        prop_assert_eq!(got.into_iter().map(|(_, d)| d).collect::<Vec<_>>(), want);
+        assert_eq!(
+            got.into_iter().map(|(_, d)| d).collect::<Vec<_>>(),
+            want,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn bulk_load_equals_insertion_results(
-        pts in prop::collection::vec((-1000f64..1000.0, -1000f64..1000.0), 1..400),
-        max in 6usize..24,
-    ) {
-        let items: Vec<(Rect<2>, u64)> =
-            pts.iter().enumerate().map(|(i, (x, y))| (Rect::point([*x, *y]), i as u64)).collect();
+#[test]
+fn bulk_load_equals_insertion_results() {
+    let mut rng = MiniRng::new(0xB01D_FACE);
+    for case in 0..24 {
+        let n = 1 + rng.below(399) as usize;
+        let max = 6 + rng.below(18) as usize;
+        let items: Vec<(Rect<2>, u64)> = (0..n)
+            .map(|i| {
+                let x = rng.range_f64(-1000.0, 1000.0);
+                let y = rng.range_f64(-1000.0, 1000.0);
+                (Rect::point([x, y]), i as u64)
+            })
+            .collect();
         let bulk = bulk_load_str(MemStore::new(), Params::with_max(max), items.clone());
         bulk.validate();
         let mut incr = RStarTree::with_params(MemStore::new(), Params::with_max(max));
@@ -516,26 +557,29 @@ proptest! {
         let (mut b, _) = incr.range(&q);
         a.sort_by_key(|(_, d)| *d);
         b.sort_by_key(|(_, d)| *d);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn nearest_one_is_global_minimum(
-        pts in prop::collection::vec((-100f64..100.0, -100f64..100.0), 1..200),
-        qx in -150f64..150.0,
-        qy in -150f64..150.0,
-    ) {
+#[test]
+fn nearest_one_is_global_minimum() {
+    let mut rng = MiniRng::new(0x0CEA_4F10);
+    for case in 0..24 {
+        let n = 1 + rng.below(199) as usize;
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.range_f64(-100.0, 100.0), rng.range_f64(-100.0, 100.0)))
+            .collect();
+        let (qx, qy) = (rng.range_f64(-150.0, 150.0), rng.range_f64(-150.0, 150.0));
         let mut tree = mem_tree(8);
         for (i, (x, y)) in pts.iter().enumerate() {
             tree.insert(Rect::point([*x, *y]), i as u64);
         }
         let q = [qx, qy];
-        let (got, _) =
-            tree.nearest_by(1, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)));
+        let (got, _) = tree.nearest_by(1, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)));
         let best = pts
             .iter()
             .map(|(x, y)| (x - qx) * (x - qx) + (y - qy) * (y - qy))
             .fold(f64::INFINITY, f64::min);
-        prop_assert!((got[0].dist - best).abs() < 1e-9);
+        assert!((got[0].dist - best).abs() < 1e-9, "case {case}");
     }
 }

@@ -7,8 +7,8 @@
 //! use the counters as the paper's "number of disk accesses".
 
 use crate::node::{Node, NodeId};
+use pagestore::sync::Mutex;
 use pagestore::{BufferPool, Disk, PageId};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

@@ -1,0 +1,75 @@
+//! `simserved` — serve a persisted similarity index over TCP.
+//!
+//! ```sh
+//! simserved --index idx/ [--addr 127.0.0.1:7878] [--workers N]
+//!           [--queue 64] [--max-conns 64] [--pool-pages 256]
+//! ```
+
+use simquery::shared::SharedIndex;
+use simserve::opts::Opts;
+use simserve::server::{serve, ServerConfig};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+simserved — serve a persisted similarity index over TCP
+
+USAGE:
+  simserved --index DIR/ [--addr HOST:PORT] [--workers N]
+            [--queue N] [--max-conns N] [--pool-pages N]
+
+The protocol is documented in crates/serve/PROTOCOL.md. Build an index
+with `simseq gen` + `simseq build` first.
+";
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        eprint!("{USAGE}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("help") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let opts = Opts::parse(&argv).map_err(|e| e.to_string())?;
+    let dir = PathBuf::from(opts.req("index").map_err(|e| e.to_string())?);
+    let pool_pages: usize = opts
+        .parse_or("pool-pages", 256)
+        .map_err(|e| e.to_string())?;
+    let defaults = ServerConfig::default();
+    let cfg = ServerConfig {
+        addr: opts
+            .get("addr")
+            .unwrap_or(defaults.addr.as_str())
+            .to_string(),
+        workers: opts
+            .parse_or("workers", defaults.workers)
+            .map_err(|e| e.to_string())?,
+        queue_depth: opts
+            .parse_or("queue", defaults.queue_depth)
+            .map_err(|e| e.to_string())?,
+        max_conns: opts
+            .parse_or("max-conns", defaults.max_conns)
+            .map_err(|e| e.to_string())?,
+    };
+    let shared = SharedIndex::open(&dir, pool_pages)
+        .map_err(|e| format!("opening index {}: {e}", dir.display()))?;
+    {
+        let index = shared.read();
+        eprintln!(
+            "serving {} sequences of length {} ({} workers, queue {})",
+            index.len(),
+            index.seq_len(),
+            cfg.workers,
+            cfg.queue_depth
+        );
+    }
+    let handle = serve(shared, &cfg).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+    println!("listening on {}", handle.addr);
+    handle.join();
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! A typed blocking client for the `simserved` protocol.
+
+use crate::protocol::{QueryParams, Request, Response, StatsReport, WireMatch, WirePair};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a `simserved` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its full response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        writeln!(self.writer, "{}", request.to_line())?;
+        self.writer.flush()?;
+        Response::read_from(&mut self.reader)
+    }
+
+    /// Sends a raw line verbatim (testing malformed input) and reads the
+    /// response.
+    pub fn call_raw(&mut self, line: &str) -> io::Result<Response> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        Response::read_from(&mut self.reader)
+    }
+
+    /// `QUERY` — returns `(total, matches)` or the error frame.
+    pub fn query(
+        &mut self,
+        params: QueryParams,
+    ) -> io::Result<Result<(usize, Vec<WireMatch>), Response>> {
+        match self.call(&Request::Query(params))? {
+            Response::Matches { n, matches, .. } => Ok(Ok((n, matches))),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `KNN`.
+    pub fn knn(
+        &mut self,
+        ord: usize,
+        k: usize,
+        ma: (usize, usize),
+    ) -> io::Result<Result<Vec<WireMatch>, Response>> {
+        match self.call(&Request::Knn { ord, k, ma })? {
+            Response::Matches { matches, .. } => Ok(Ok(matches)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `JOIN` — an empty result legitimately parses as `Matches { n: 0 }`.
+    pub fn join(
+        &mut self,
+        ma: (usize, usize),
+        threshold: crate::protocol::WireThreshold,
+    ) -> io::Result<Result<(usize, Vec<WirePair>), Response>> {
+        let req = Request::Join {
+            ma,
+            threshold,
+            engine: Default::default(),
+            limit: 0,
+        };
+        match self.call(&req)? {
+            Response::Pairs { n, pairs, .. } => Ok(Ok((n, pairs))),
+            Response::Matches { n: 0, .. } => Ok(Ok((0, Vec::new()))),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `INSERT` — the assigned ordinal.
+    pub fn insert(&mut self, values: Vec<f64>) -> io::Result<Result<usize, Response>> {
+        match self.call(&Request::Insert { values })? {
+            Response::Inserted { ord } => Ok(Ok(ord)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `DELETE` — whether the ordinal was live.
+    pub fn delete(&mut self, ord: usize) -> io::Result<Result<bool, Response>> {
+        match self.call(&Request::Delete { ord })? {
+            Response::Deleted { existed } => Ok(Ok(existed)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `INFO` as key/value pairs.
+    pub fn info(&mut self) -> io::Result<Result<Vec<(String, String)>, Response>> {
+        match self.call(&Request::Info)? {
+            Response::Info(pairs) => Ok(Ok(pairs)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `STATS`.
+    pub fn stats(&mut self, reset: bool) -> io::Result<Result<StatsReport, Response>> {
+        match self.call(&Request::Stats { reset })? {
+            Response::Stats(s) => Ok(Ok(s)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `QUIT` — consumes the client.
+    pub fn quit(mut self) -> io::Result<()> {
+        self.call(&Request::Quit)?;
+        Ok(())
+    }
+}

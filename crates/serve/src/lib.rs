@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # simserve — serving similarity queries over TCP
+//!
+//! Turns a persisted [`simquery::index::SeqIndex`] into a network service.
+//! Everything is `std`-only (`std::net`, `std::thread`, `std::sync`):
+//!
+//! * [`protocol`] — the line-oriented request/response protocol (one typed
+//!   parser/serializer shared by server and client; see `PROTOCOL.md`);
+//! * [`server`] — the `simserved` core: an acceptor, per-connection I/O
+//!   threads, and a worker pool consuming a **bounded** request queue —
+//!   when the queue is full the request is rejected with `ERR code=BUSY`
+//!   instead of piling up (explicit admission control);
+//! * [`metrics`] — per-operation counters and log₂-bucketed latency
+//!   histograms (p50/p95/p99), plus index access-counter deltas, reported
+//!   by the `STATS` request;
+//! * [`client`] — a typed blocking client;
+//! * [`load`] — the `simload` closed-loop load generator: N concurrent
+//!   connections replaying seeded workloads, with optional result-parity
+//!   verification against a directly-opened copy of the index.
+//!
+//! The index is shared across workers through
+//! [`simquery::shared::SharedIndex`]: queries run under a read guard (the
+//! engines' access counters are atomics, so concurrent queries stay
+//! consistent), `INSERT`/`DELETE` take the write guard.
+
+pub mod client;
+pub mod load;
+pub mod metrics;
+pub mod opts;
+pub mod pool;
+pub mod protocol;
+pub mod server;

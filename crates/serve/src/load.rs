@@ -1,0 +1,328 @@
+//! The `simload` closed-loop load generator.
+//!
+//! N connections each replay a seeded workload of `QUERY` requests
+//! (closed loop: the next request goes out only after the previous
+//! response is fully read), measuring client-side latency into the same
+//! log₂ histograms the server uses. With `verify`, every server response
+//! is compared — as a sorted `(seq, transform)` set — against a direct
+//! single-threaded engine call on a locally opened copy of the index, so
+//! a run doubles as an end-to-end result-parity check.
+
+use crate::client::Client;
+use crate::metrics::Histogram;
+use crate::protocol::{EngineKind, QueryParams, Response, WireThreshold};
+use simquery::engine::{mtindex, seqscan, stindex};
+use simquery::prelude::*;
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tseries::rng::SeededRng;
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Requests per connection.
+    pub ops_per_conn: usize,
+    /// Workload seed; connection `i` uses `seed + i`.
+    pub seed: u64,
+    /// Moving-average window range of every query.
+    pub ma: (usize, usize),
+    /// Correlation threshold of every query.
+    pub rho: f64,
+    /// Engine the server should use.
+    pub engine: EngineKind,
+    /// When set, verify result parity against this index (opened
+    /// directly, queried single-threaded with the same engine).
+    pub verify: Option<SharedIndex>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            conns: 8,
+            ops_per_conn: 50,
+            seed: 1,
+            ma: (5, 20),
+            rho: 0.96,
+            engine: EngineKind::Mt,
+            verify: None,
+        }
+    }
+}
+
+/// Per-connection outcome.
+#[derive(Debug)]
+pub struct ConnReport {
+    /// Completed requests.
+    pub ops: u64,
+    /// `ERR` responses (any code but BUSY).
+    pub errors: u64,
+    /// BUSY rejections.
+    pub busy: u64,
+    /// Matches summed over responses.
+    pub matches: u64,
+    /// Responses compared against the local engine.
+    pub verified: u64,
+    /// Responses whose result set differed from the local engine.
+    pub parity_failures: u64,
+    /// Client-side latency histogram.
+    pub hist: Histogram,
+    /// Total wall time of this connection's loop.
+    pub wall: Duration,
+}
+
+/// Aggregated outcome of one load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// One entry per connection.
+    pub conns: Vec<ConnReport>,
+    /// Wall time of the whole run (slowest connection).
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Completed requests over all connections.
+    pub fn total_ops(&self) -> u64 {
+        self.conns.iter().map(|c| c.ops).sum()
+    }
+
+    /// Error responses over all connections.
+    pub fn total_errors(&self) -> u64 {
+        self.conns.iter().map(|c| c.errors).sum()
+    }
+
+    /// BUSY rejections over all connections.
+    pub fn total_busy(&self) -> u64 {
+        self.conns.iter().map(|c| c.busy).sum()
+    }
+
+    /// Parity failures over all connections (0 = 100 % parity).
+    pub fn total_parity_failures(&self) -> u64 {
+        self.conns.iter().map(|c| c.parity_failures).sum()
+    }
+
+    /// Aggregate throughput, requests per second.
+    pub fn throughput(&self) -> f64 {
+        self.total_ops() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Renders the per-connection + total table (the shape of
+    /// `crates/bench`'s result tables).
+    pub fn render(&self) -> String {
+        let header = [
+            "conn", "ops", "err", "busy", "matches", "p50_us", "p95_us", "p99_us", "max_us",
+            "req/s",
+        ];
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (i, c) in self.conns.iter().enumerate() {
+            rows.push(vec![
+                i.to_string(),
+                c.ops.to_string(),
+                c.errors.to_string(),
+                c.busy.to_string(),
+                c.matches.to_string(),
+                c.hist.quantile_us(0.50).to_string(),
+                c.hist.quantile_us(0.95).to_string(),
+                c.hist.quantile_us(0.99).to_string(),
+                c.hist.max_us().to_string(),
+                format!("{:.1}", c.ops as f64 / c.wall.as_secs_f64().max(1e-9)),
+            ]);
+        }
+        rows.push(vec![
+            "TOTAL".into(),
+            self.total_ops().to_string(),
+            self.total_errors().to_string(),
+            self.total_busy().to_string(),
+            self.conns
+                .iter()
+                .map(|c| c.matches)
+                .sum::<u64>()
+                .to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            self.conns
+                .iter()
+                .map(|c| c.hist.max_us())
+                .max()
+                .unwrap_or(0)
+                .to_string(),
+            format!("{:.1}", self.throughput()),
+        ]);
+
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## simload: {} conns x {} ops, closed loop\n",
+            self.conns.len(),
+            self.conns.first().map(|c| c.ops).unwrap_or(0)
+        ));
+        let head: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+        out.push_str(&line(&head));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        let verified: u64 = self.conns.iter().map(|c| c.verified).sum();
+        if self.total_parity_failures() > 0 {
+            out.push_str(&format!(
+                "PARITY FAILURES: {} of {verified} verified responses\n",
+                self.total_parity_failures()
+            ));
+        } else if verified > 0 {
+            out.push_str(&format!(
+                "parity: 100% ({verified} responses matched the local single-threaded engine)\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the load; blocks until every connection finishes.
+pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let verify = cfg.verify.clone().map(Arc::new);
+    let start = Instant::now();
+    let mut conns = Vec::with_capacity(cfg.conns);
+    std::thread::scope(|s| -> io::Result<()> {
+        let handles: Vec<_> = (0..cfg.conns)
+            .map(|i| {
+                let verify = verify.clone();
+                s.spawn(move || run_conn(cfg, i, verify))
+            })
+            .collect();
+        for h in handles {
+            conns.push(h.join().expect("load connection panicked")?);
+        }
+        Ok(())
+    })?;
+    Ok(LoadReport {
+        conns,
+        wall: start.elapsed(),
+    })
+}
+
+fn run_conn(
+    cfg: &LoadConfig,
+    conn_id: usize,
+    verify: Option<Arc<SharedIndex>>,
+) -> io::Result<ConnReport> {
+    let mut client = Client::connect(&cfg.addr)?;
+    let mut rng = SeededRng::seed_from_u64(cfg.seed + conn_id as u64);
+    let mut report = ConnReport {
+        ops: 0,
+        errors: 0,
+        busy: 0,
+        matches: 0,
+        verified: 0,
+        parity_failures: 0,
+        hist: Histogram::default(),
+        wall: Duration::ZERO,
+    };
+    // Ordinals must land inside the served corpus: take its size from the
+    // verify copy when present, otherwise ask the server (retrying while
+    // admission control sheds the warm-up INFO under a saturated queue).
+    let n = match &verify {
+        Some(v) => v.read().len(),
+        None => corpus_size(&mut client)?,
+    };
+    if n == 0 {
+        return Err(io::Error::other("server reports an empty corpus"));
+    }
+    let start = Instant::now();
+    for _ in 0..cfg.ops_per_conn {
+        let ord = rng.random_range(0usize..n);
+        let params = QueryParams {
+            ord,
+            ma: cfg.ma,
+            threshold: WireThreshold::Rho(cfg.rho),
+            engine: cfg.engine,
+            limit: 0,
+        };
+        let t0 = Instant::now();
+        let response = client.call(&crate::protocol::Request::Query(params))?;
+        report.hist.record(t0.elapsed());
+        report.ops += 1;
+        match &response {
+            Response::Matches { n, matches, .. } => {
+                report.matches += *n as u64;
+                if let Some(local) = &verify {
+                    let mut got: Vec<(usize, usize)> =
+                        matches.iter().map(|m| (m.seq, m.transform)).collect();
+                    got.sort_unstable();
+                    report.verified += 1;
+                    if got != local_pairs(local, ord, cfg) {
+                        report.parity_failures += 1;
+                    }
+                }
+            }
+            Response::Err {
+                code: crate::protocol::ErrCode::Busy,
+                ..
+            } => report.busy += 1,
+            _ => report.errors += 1,
+        }
+    }
+    report.wall = start.elapsed();
+    client.quit()?;
+    Ok(report)
+}
+
+/// Asks the server how many sequences it serves, retrying on BUSY.
+fn corpus_size(client: &mut Client) -> io::Result<usize> {
+    for _ in 0..1000 {
+        match client.info()? {
+            Ok(pairs) => {
+                return pairs
+                    .iter()
+                    .find(|(k, _)| k == "sequences")
+                    .and_then(|(_, v)| v.parse().ok())
+                    .ok_or_else(|| io::Error::other("INFO did not report the corpus size"));
+            }
+            Err(Response::Err {
+                code: crate::protocol::ErrCode::Busy,
+                ..
+            }) => std::thread::sleep(Duration::from_millis(1)),
+            Err(other) => {
+                return Err(io::Error::other(format!("INFO failed: {other:?}")));
+            }
+        }
+    }
+    Err(io::Error::other(
+        "INFO kept getting BUSY; server overloaded",
+    ))
+}
+
+/// The expected result set, computed locally and single-threaded.
+fn local_pairs(shared: &SharedIndex, ord: usize, cfg: &LoadConfig) -> Vec<(usize, usize)> {
+    let index = shared.read();
+    let family = Family::moving_averages(cfg.ma.0..=cfg.ma.1, index.seq_len());
+    let spec = WireThreshold::Rho(cfg.rho).to_spec();
+    let q = index.fetch_series(ord);
+    let result = match cfg.engine {
+        EngineKind::Mt => mtindex::range_query(&index, &q, &family, &spec),
+        EngineKind::St => stindex::range_query(&index, &q, &family, &spec),
+        EngineKind::Scan => seqscan::range_query(&index, &q, &family, &spec),
+    };
+    result.map(|r| r.sorted_pairs()).unwrap_or_default()
+}

@@ -1,0 +1,225 @@
+//! Server observability: per-operation counters and latency histograms.
+//!
+//! Latencies are recorded in microseconds into log₂ buckets (bucket `i`
+//! holds `[2^i, 2^{i+1})` µs), so a histogram is 64 atomic counters —
+//! cheap enough to update on every request from every worker without a
+//! lock, and precise enough for the p50/p95/p99 the `STATS` request
+//! reports (percentiles are bucket upper bounds, i.e. ≤ 2× the true
+//! value).
+
+use crate::protocol::{OpStatLine, StatsReport};
+use simquery::index::AccessCounters;
+use simquery::shared::SharedIndex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A lock-free log₂-bucketed histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one latency.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros()).saturating_sub(1) as usize; // floor(log2), 0 for 0–1 µs
+        self.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket the
+    /// quantile sample falls in; 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i = 2^{i+1} − 1.
+                return (2u64 << i) - 1;
+            }
+        }
+        self.max_us()
+    }
+
+    /// Largest recorded value.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.max_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The operations the registry tracks, in reporting order.
+pub const OPS: [&str; 7] = ["query", "knn", "join", "insert", "delete", "info", "stats"];
+
+/// Index of an op name in [`OPS`] (`stats` catches anything unknown).
+pub fn op_index(op: &str) -> usize {
+    OPS.iter().position(|o| *o == op).unwrap_or(OPS.len() - 1)
+}
+
+#[derive(Default)]
+struct OpStats {
+    count: AtomicU64,
+    errors: AtomicU64,
+    hist: Histogram,
+}
+
+/// The server-wide metrics registry shared by all workers.
+#[derive(Default)]
+pub struct Registry {
+    ops: [OpStats; OPS.len()],
+    busy_rejected: AtomicU64,
+    connections: AtomicU64,
+    /// Index counters at the previous STATS call — the delta baseline.
+    baseline: Mutex<Option<AccessCounters>>,
+}
+
+impl Registry {
+    /// Records one completed operation.
+    pub fn record(&self, op: usize, latency: Duration, is_err: bool) {
+        let s = &self.ops[op];
+        s.count.fetch_add(1, Ordering::Relaxed);
+        if is_err {
+            s.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        s.hist.record(latency);
+    }
+
+    /// Counts a request rejected by admission control.
+    pub fn record_busy(&self) {
+        self.busy_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests rejected so far.
+    pub fn busy_rejected(&self) -> u64 {
+        self.busy_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Builds the `STATS` payload; with `reset`, zeroes op counters and
+    /// histograms afterwards. Index counters come from `index` (totals
+    /// since server start, plus the delta since the previous call).
+    pub fn report(&self, index: &SharedIndex, reset: bool) -> StatsReport {
+        let now = index.read().counters();
+        let mut baseline = self.baseline.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = baseline.unwrap_or(AccessCounters {
+            node_reads: 0,
+            record_page_reads: 0,
+            record_fetches: 0,
+        });
+        *baseline = Some(now);
+        drop(baseline);
+
+        let ops = OPS
+            .iter()
+            .zip(&self.ops)
+            .filter(|(_, s)| s.count.load(Ordering::Relaxed) > 0)
+            .map(|(name, s)| OpStatLine {
+                op: name.to_string(),
+                count: s.count.load(Ordering::Relaxed),
+                errors: s.errors.load(Ordering::Relaxed),
+                p50_us: s.hist.quantile_us(0.50),
+                p95_us: s.hist.quantile_us(0.95),
+                p99_us: s.hist.quantile_us(0.99),
+                max_us: s.hist.max_us(),
+            })
+            .collect();
+        let report = StatsReport {
+            ops,
+            busy_rejected: self.busy_rejected.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            counters_total: (now.node_reads, now.record_page_reads, now.record_fetches),
+            counters_delta: (
+                now.node_reads - prev.node_reads,
+                now.record_page_reads - prev.record_page_reads,
+                now.record_fetches - prev.record_fetches,
+            ),
+        };
+        if reset {
+            for s in &self.ops {
+                s.count.store(0, Ordering::Relaxed);
+                s.errors.store(0, Ordering::Relaxed);
+                s.hist.reset();
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        for us in [1u64, 2, 3, 100, 100, 100, 100, 5000, 80_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max_us(), 80_000);
+        let p50 = h.quantile_us(0.50);
+        let p95 = h.quantile_us(0.95);
+        let p99 = h.quantile_us(0.99);
+        // 5th of 9 samples is one of the 100 µs records → bucket [64, 128).
+        assert_eq!(p50, 127);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 >= 80_000, "p99 covers the max bucket");
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds_within_2x() {
+        let h = Histogram::default();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.5);
+        assert!((500..=1024).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn op_indices_cover_all_ops() {
+        for (i, op) in OPS.iter().enumerate() {
+            assert_eq!(op_index(op), i);
+        }
+        assert_eq!(op_index("nonsense"), OPS.len() - 1);
+    }
+}

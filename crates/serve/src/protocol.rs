@@ -1,0 +1,983 @@
+//! The wire protocol: line-oriented, UTF-8, human-readable.
+//!
+//! A **request** is one line: a verb followed by space-separated
+//! `key=value` tokens (`QUERY ord=42 ma=5..34 rho=0.96`). A **response**
+//! is one or more lines — a status line (`OK …` or `ERR …`), optional body
+//! lines, and a terminating `END` line. The full grammar lives in
+//! `crates/serve/PROTOCOL.md`; this module is the single typed
+//! parser/serializer used by both `simserved` and the client, so the two
+//! sides cannot drift apart.
+
+use simquery::prelude::*;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Which query engine executes a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// MT-index (Algorithm 1) — the default.
+    #[default]
+    Mt,
+    /// ST-index: one traversal per transformation.
+    St,
+    /// Sequential scan.
+    Scan,
+}
+
+impl EngineKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Mt => "mt",
+            Self::St => "st",
+            Self::Scan => "scan",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ProtoError> {
+        match s {
+            "mt" => Ok(Self::Mt),
+            "st" => Ok(Self::St),
+            "scan" => Ok(Self::Scan),
+            other => Err(ProtoError::bad(format!("unknown engine `{other}`"))),
+        }
+    }
+}
+
+/// The similarity threshold carried by a request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WireThreshold {
+    /// Cross-correlation ρ (Eq. 9).
+    Rho(f64),
+    /// Euclidean ε over transformed normal forms.
+    Eps(f64),
+}
+
+impl Default for WireThreshold {
+    fn default() -> Self {
+        Self::Rho(0.96) // the paper's headline setting
+    }
+}
+
+impl WireThreshold {
+    /// Converts to an engine [`RangeSpec`] (Adaptive policy by default —
+    /// lossless and pruning; see `simquery::query`).
+    pub fn to_spec(self) -> RangeSpec {
+        match self {
+            Self::Rho(r) => RangeSpec::correlation(r),
+            Self::Eps(e) => RangeSpec::euclidean(e),
+        }
+        .with_policy(FilterPolicy::Adaptive)
+    }
+}
+
+/// Parameters of a `QUERY` request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryParams {
+    /// Ordinal of the query sequence in the served corpus.
+    pub ord: usize,
+    /// Moving-average window range `lo..=hi` defining the family.
+    pub ma: (usize, usize),
+    /// Similarity threshold.
+    pub threshold: WireThreshold,
+    /// Engine choice.
+    pub engine: EngineKind,
+    /// Maximum number of `MATCH` lines returned (0 = unlimited).
+    pub limit: usize,
+}
+
+impl Default for QueryParams {
+    fn default() -> Self {
+        Self {
+            ord: 0,
+            ma: (1, 8),
+            threshold: WireThreshold::default(),
+            engine: EngineKind::default(),
+            limit: 0,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Query 1 — range query by stored ordinal.
+    Query(QueryParams),
+    /// k nearest neighbours of a stored ordinal.
+    Knn {
+        /// Query ordinal.
+        ord: usize,
+        /// Number of neighbours.
+        k: usize,
+        /// Moving-average window range.
+        ma: (usize, usize),
+    },
+    /// Query 2 — the self join.
+    Join {
+        /// Moving-average window range.
+        ma: (usize, usize),
+        /// Similarity threshold.
+        threshold: WireThreshold,
+        /// Engine choice.
+        engine: EngineKind,
+        /// Maximum number of `PAIR` lines returned (0 = unlimited).
+        limit: usize,
+    },
+    /// Appends a sequence to the served relation (and index).
+    Insert {
+        /// The raw values.
+        values: Vec<f64>,
+    },
+    /// Tombstones a stored sequence.
+    Delete {
+        /// Ordinal to delete.
+        ord: usize,
+    },
+    /// Describes the served index.
+    Info,
+    /// Server metrics; `reset` zeroes the op counters/histograms after
+    /// reporting.
+    Stats {
+        /// Reset after reporting.
+        reset: bool,
+    },
+    /// Ends the connection.
+    Quit,
+}
+
+impl Request {
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Self::Query(p) => {
+                let mut s = format!(
+                    "QUERY ord={} ma={}..{} {} engine={}",
+                    p.ord,
+                    p.ma.0,
+                    p.ma.1,
+                    threshold_token(&p.threshold),
+                    p.engine.as_str()
+                );
+                if p.limit != 0 {
+                    s.push_str(&format!(" limit={}", p.limit));
+                }
+                s
+            }
+            Self::Knn { ord, k, ma } => format!("KNN ord={ord} k={k} ma={}..{}", ma.0, ma.1),
+            Self::Join {
+                ma,
+                threshold,
+                engine,
+                limit,
+            } => {
+                let mut s = format!(
+                    "JOIN ma={}..{} {} engine={}",
+                    ma.0,
+                    ma.1,
+                    threshold_token(threshold),
+                    engine.as_str()
+                );
+                if *limit != 0 {
+                    s.push_str(&format!(" limit={limit}"));
+                }
+                s
+            }
+            Self::Insert { values } => {
+                let data: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
+                format!("INSERT data={}", data.join(","))
+            }
+            Self::Delete { ord } => format!("DELETE ord={ord}"),
+            Self::Info => "INFO".into(),
+            Self::Stats { reset } => {
+                if *reset {
+                    "STATS reset=yes".into()
+                } else {
+                    "STATS".into()
+                }
+            }
+            Self::Quit => "QUIT".into(),
+        }
+    }
+
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Self, ProtoError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let mut tokens = line.split_whitespace();
+        let verb = tokens
+            .next()
+            .ok_or_else(|| ProtoError::bad("empty request"))?;
+        let kv = KvTokens::collect(tokens)?;
+        match verb {
+            "QUERY" => Ok(Self::Query(QueryParams {
+                ord: kv.req_parse("ord")?,
+                ma: kv.range_or("ma", (1, 8))?,
+                threshold: kv.threshold()?,
+                engine: kv.engine()?,
+                limit: kv.parse_or("limit", 0)?,
+            })),
+            "KNN" => Ok(Self::Knn {
+                ord: kv.req_parse("ord")?,
+                k: kv.req_parse("k")?,
+                ma: kv.range_or("ma", (1, 8))?,
+            }),
+            "JOIN" => Ok(Self::Join {
+                ma: kv.range_or("ma", (1, 8))?,
+                threshold: kv.threshold()?,
+                engine: kv.engine()?,
+                limit: kv.parse_or("limit", 0)?,
+            }),
+            "INSERT" => {
+                let data = kv.req("data")?;
+                let values: Result<Vec<f64>, _> = data.split(',').map(str::parse).collect();
+                let values =
+                    values.map_err(|_| ProtoError::bad("data= must be comma-separated floats"))?;
+                if values.is_empty() {
+                    return Err(ProtoError::bad("data= must be non-empty"));
+                }
+                Ok(Self::Insert { values })
+            }
+            "DELETE" => Ok(Self::Delete {
+                ord: kv.req_parse("ord")?,
+            }),
+            "INFO" => Ok(Self::Info),
+            "STATS" => Ok(Self::Stats {
+                reset: kv.get("reset") == Some("yes"),
+            }),
+            "QUIT" => Ok(Self::Quit),
+            other => Err(ProtoError::bad(format!("unknown verb `{other}`"))),
+        }
+    }
+}
+
+fn threshold_token(t: &WireThreshold) -> String {
+    match t {
+        WireThreshold::Rho(r) => format!("rho={r}"),
+        WireThreshold::Eps(e) => format!("eps={e}"),
+    }
+}
+
+/// Machine-readable error classes carried on `ERR` lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The bounded request queue is full — retry later (admission control).
+    Busy,
+    /// The request line failed to parse.
+    BadRequest,
+    /// An ordinal was out of range.
+    Range,
+    /// The query engine rejected the request (see message).
+    Query,
+    /// Internal server failure.
+    Server,
+}
+
+impl ErrCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Busy => "BUSY",
+            Self::BadRequest => "BADREQ",
+            Self::Range => "RANGE",
+            Self::Query => "QUERY",
+            Self::Server => "SERVER",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ProtoError> {
+        match s {
+            "BUSY" => Ok(Self::Busy),
+            "BADREQ" => Ok(Self::BadRequest),
+            "RANGE" => Ok(Self::Range),
+            "QUERY" => Ok(Self::Query),
+            "SERVER" => Ok(Self::Server),
+            other => Err(ProtoError::bad(format!("unknown error code `{other}`"))),
+        }
+    }
+}
+
+/// One `MATCH` line of a query/KNN response.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireMatch {
+    /// Matching sequence ordinal.
+    pub seq: usize,
+    /// Qualifying transformation index.
+    pub transform: usize,
+    /// Exact transformed distance.
+    pub dist: f64,
+}
+
+/// One `PAIR` line of a join response.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WirePair {
+    /// First ordinal (`< b`).
+    pub a: usize,
+    /// Second ordinal.
+    pub b: usize,
+    /// Qualifying transformation index.
+    pub transform: usize,
+    /// Exact transformed distance.
+    pub dist: f64,
+}
+
+/// The `METRICS` footer of query/join responses.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WireMetrics {
+    /// Index node accesses.
+    pub nodes: u64,
+    /// Logical record fetches.
+    pub fetches: u64,
+    /// Distance computations.
+    pub cmps: u64,
+    /// Candidates that reached verification.
+    pub cands: u64,
+    /// Server-side wall time, microseconds.
+    pub wall_us: u64,
+}
+
+impl From<&EngineMetrics> for WireMetrics {
+    fn from(m: &EngineMetrics) -> Self {
+        Self {
+            nodes: m.node_accesses,
+            fetches: m.record_fetches,
+            cmps: m.comparisons,
+            cands: m.candidates,
+            wall_us: m.wall.as_micros() as u64,
+        }
+    }
+}
+
+/// Per-operation line of a `STATS` response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpStatLine {
+    /// Operation name (`query`, `knn`, …).
+    pub op: String,
+    /// Completed requests.
+    pub count: u64,
+    /// Requests that returned `ERR`.
+    pub errors: u64,
+    /// Latency percentiles in microseconds (upper bucket bounds).
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Maximum observed.
+    pub max_us: u64,
+}
+
+/// The full `STATS` payload.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsReport {
+    /// One line per operation with non-zero traffic.
+    pub ops: Vec<OpStatLine>,
+    /// Requests rejected by admission control since start.
+    pub busy_rejected: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Index access counters, total since server start:
+    /// `(node_reads, record_page_reads, record_fetches)`.
+    pub counters_total: (u64, u64, u64),
+    /// Same counters, delta since the previous `STATS` call.
+    pub counters_delta: (u64, u64, u64),
+}
+
+/// A parsed response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Query/KNN result.
+    Matches {
+        /// Total matches server-side (body may be truncated by `limit`).
+        n: usize,
+        /// The (possibly truncated) match list.
+        matches: Vec<WireMatch>,
+        /// Cost counters of the execution.
+        metrics: WireMetrics,
+    },
+    /// Join result.
+    Pairs {
+        /// Total qualifying pairs server-side.
+        n: usize,
+        /// The (possibly truncated) pair list.
+        pairs: Vec<WirePair>,
+        /// Cost counters of the execution.
+        metrics: WireMetrics,
+    },
+    /// `INSERT` acknowledgement.
+    Inserted {
+        /// Ordinal assigned to the new sequence.
+        ord: usize,
+    },
+    /// `DELETE` acknowledgement.
+    Deleted {
+        /// Whether the ordinal existed (and was live).
+        existed: bool,
+    },
+    /// `INFO` payload: ordered key/value pairs.
+    Info(Vec<(String, String)>),
+    /// `STATS` payload.
+    Stats(StatsReport),
+    /// Plain acknowledgement (`QUIT`).
+    Ok,
+    /// An error frame.
+    Err {
+        /// Machine-readable class.
+        code: ErrCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+impl Response {
+    /// Writes the full response (status line, body, `END`) to `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        match self {
+            Self::Matches {
+                n,
+                matches,
+                metrics,
+            } => {
+                writeln!(w, "OK n={n}")?;
+                for m in matches {
+                    writeln!(w, "MATCH seq={} t={} dist={}", m.seq, m.transform, m.dist)?;
+                }
+                write_metrics(w, metrics)?;
+            }
+            Self::Pairs { n, pairs, metrics } => {
+                writeln!(w, "OK n={n}")?;
+                for p in pairs {
+                    writeln!(
+                        w,
+                        "PAIR a={} b={} t={} dist={}",
+                        p.a, p.b, p.transform, p.dist
+                    )?;
+                }
+                write_metrics(w, metrics)?;
+            }
+            Self::Inserted { ord } => writeln!(w, "OK ord={ord}")?,
+            Self::Deleted { existed } => writeln!(w, "OK deleted={existed}")?,
+            Self::Info(pairs) => {
+                writeln!(w, "OK")?;
+                for (k, v) in pairs {
+                    writeln!(w, "INFO {k}={v}")?;
+                }
+            }
+            Self::Stats(s) => {
+                writeln!(w, "OK")?;
+                for o in &s.ops {
+                    writeln!(
+                        w,
+                        "STAT op={} count={} err={} p50_us={} p95_us={} p99_us={} max_us={}",
+                        o.op, o.count, o.errors, o.p50_us, o.p95_us, o.p99_us, o.max_us
+                    )?;
+                }
+                writeln!(
+                    w,
+                    "COUNTERS node_reads={} record_page_reads={} record_fetches={} \
+                     d_node_reads={} d_record_page_reads={} d_record_fetches={}",
+                    s.counters_total.0,
+                    s.counters_total.1,
+                    s.counters_total.2,
+                    s.counters_delta.0,
+                    s.counters_delta.1,
+                    s.counters_delta.2
+                )?;
+                writeln!(
+                    w,
+                    "SERVER busy_rejected={} connections={}",
+                    s.busy_rejected, s.connections
+                )?;
+            }
+            Self::Ok => writeln!(w, "OK")?,
+            Self::Err { code, msg } => writeln!(w, "ERR code={} msg={}", code.as_str(), msg)?,
+        }
+        writeln!(w, "END")
+    }
+
+    /// Reads one full response (through its `END` line) from `r`.
+    pub fn read_from(r: &mut impl BufRead) -> io::Result<Self> {
+        let status = read_line(r)?;
+        let mut body = Vec::new();
+        loop {
+            let line = read_line(r)?;
+            if line == "END" {
+                break;
+            }
+            body.push(line);
+        }
+        Self::assemble(&status, &body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    fn assemble(status: &str, body: &[String]) -> Result<Self, ProtoError> {
+        let mut tokens = status.split_whitespace();
+        match tokens.next() {
+            Some("ERR") => {
+                // msg= is the final token and may contain spaces.
+                let rest = status.strip_prefix("ERR").unwrap_or("").trim_start();
+                let mut parts = rest.splitn(2, " msg=");
+                let code_tok = parts.next().unwrap_or("");
+                let msg = parts.next().unwrap_or("").to_string();
+                let code = code_tok
+                    .strip_prefix("code=")
+                    .ok_or_else(|| ProtoError::bad("ERR without code="))?;
+                Ok(Self::Err {
+                    code: ErrCode::parse(code)?,
+                    msg,
+                })
+            }
+            Some("OK") => {
+                let kv = KvTokens::collect(tokens)?;
+                if let Some(n) = kv.get("n") {
+                    let n: usize = n.parse().map_err(|_| ProtoError::bad("bad n="))?;
+                    Self::assemble_result(n, body)
+                } else if let Some(ord) = kv.get("ord") {
+                    Ok(Self::Inserted {
+                        ord: ord.parse().map_err(|_| ProtoError::bad("bad ord="))?,
+                    })
+                } else if let Some(d) = kv.get("deleted") {
+                    Ok(Self::Deleted {
+                        existed: d == "true",
+                    })
+                } else if body
+                    .iter()
+                    .any(|l| l.starts_with("STAT ") || l.starts_with("COUNTERS "))
+                {
+                    Self::assemble_stats(body)
+                } else if body.iter().any(|l| l.starts_with("INFO ")) {
+                    let mut pairs = Vec::new();
+                    for line in body {
+                        let rest = line
+                            .strip_prefix("INFO ")
+                            .ok_or_else(|| ProtoError::bad("mixed INFO body"))?;
+                        let (k, v) = rest
+                            .split_once('=')
+                            .ok_or_else(|| ProtoError::bad("INFO line without ="))?;
+                        pairs.push((k.to_string(), v.to_string()));
+                    }
+                    Ok(Self::Info(pairs))
+                } else {
+                    Ok(Self::Ok)
+                }
+            }
+            _ => Err(ProtoError::bad(format!("bad status line `{status}`"))),
+        }
+    }
+
+    fn assemble_result(n: usize, body: &[String]) -> Result<Self, ProtoError> {
+        let mut matches = Vec::new();
+        let mut pairs = Vec::new();
+        let mut metrics = WireMetrics::default();
+        for line in body {
+            let mut tokens = line.split_whitespace();
+            match tokens.next() {
+                Some("MATCH") => {
+                    let kv = KvTokens::collect(tokens)?;
+                    matches.push(WireMatch {
+                        seq: kv.req_parse("seq")?,
+                        transform: kv.req_parse("t")?,
+                        dist: kv.req_parse("dist")?,
+                    });
+                }
+                Some("PAIR") => {
+                    let kv = KvTokens::collect(tokens)?;
+                    pairs.push(WirePair {
+                        a: kv.req_parse("a")?,
+                        b: kv.req_parse("b")?,
+                        transform: kv.req_parse("t")?,
+                        dist: kv.req_parse("dist")?,
+                    });
+                }
+                Some("METRICS") => {
+                    let kv = KvTokens::collect(tokens)?;
+                    metrics = WireMetrics {
+                        nodes: kv.req_parse("nodes")?,
+                        fetches: kv.req_parse("fetches")?,
+                        cmps: kv.req_parse("cmps")?,
+                        cands: kv.req_parse("cands")?,
+                        wall_us: kv.req_parse("wall_us")?,
+                    };
+                }
+                other => {
+                    return Err(ProtoError::bad(format!("unexpected body line {other:?}")));
+                }
+            }
+        }
+        if pairs.is_empty() {
+            Ok(Self::Matches {
+                n,
+                matches,
+                metrics,
+            })
+        } else {
+            Ok(Self::Pairs { n, pairs, metrics })
+        }
+    }
+
+    fn assemble_stats(body: &[String]) -> Result<Self, ProtoError> {
+        let mut report = StatsReport::default();
+        for line in body {
+            let mut tokens = line.split_whitespace();
+            match tokens.next() {
+                Some("STAT") => {
+                    let kv = KvTokens::collect(tokens)?;
+                    report.ops.push(OpStatLine {
+                        op: kv.req("op")?.to_string(),
+                        count: kv.req_parse("count")?,
+                        errors: kv.req_parse("err")?,
+                        p50_us: kv.req_parse("p50_us")?,
+                        p95_us: kv.req_parse("p95_us")?,
+                        p99_us: kv.req_parse("p99_us")?,
+                        max_us: kv.req_parse("max_us")?,
+                    });
+                }
+                Some("COUNTERS") => {
+                    let kv = KvTokens::collect(tokens)?;
+                    report.counters_total = (
+                        kv.req_parse("node_reads")?,
+                        kv.req_parse("record_page_reads")?,
+                        kv.req_parse("record_fetches")?,
+                    );
+                    report.counters_delta = (
+                        kv.req_parse("d_node_reads")?,
+                        kv.req_parse("d_record_page_reads")?,
+                        kv.req_parse("d_record_fetches")?,
+                    );
+                }
+                Some("SERVER") => {
+                    let kv = KvTokens::collect(tokens)?;
+                    report.busy_rejected = kv.req_parse("busy_rejected")?;
+                    report.connections = kv.req_parse("connections")?;
+                }
+                other => {
+                    return Err(ProtoError::bad(format!("unexpected stats line {other:?}")));
+                }
+            }
+        }
+        Ok(Self::Stats(report))
+    }
+}
+
+fn write_metrics(w: &mut impl Write, m: &WireMetrics) -> io::Result<()> {
+    writeln!(
+        w,
+        "METRICS nodes={} fetches={} cmps={} cands={} wall_us={}",
+        m.nodes, m.fetches, m.cmps, m.cands, m.wall_us
+    )
+}
+
+fn read_line(r: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    while line.ends_with(['\n', '\r']) {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// A protocol-level failure (bad verb, missing key, malformed value).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError(String);
+
+impl ProtoError {
+    fn bad(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Collected `key=value` tokens of one line.
+struct KvTokens<'a>(Vec<(&'a str, &'a str)>);
+
+impl<'a> KvTokens<'a> {
+    fn collect(tokens: impl Iterator<Item = &'a str>) -> Result<Self, ProtoError> {
+        let mut kv = Vec::new();
+        for t in tokens {
+            let (k, v) = t
+                .split_once('=')
+                .ok_or_else(|| ProtoError::bad(format!("token `{t}` is not key=value")))?;
+            kv.push((k, v));
+        }
+        Ok(Self(kv))
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.0.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn req(&self, key: &str) -> Result<&'a str, ProtoError> {
+        self.get(key)
+            .ok_or_else(|| ProtoError::bad(format!("missing {key}=")))
+    }
+
+    fn req_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, ProtoError> {
+        self.req(key)?
+            .parse()
+            .map_err(|_| ProtoError::bad(format!("bad value for {key}=")))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ProtoError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ProtoError::bad(format!("bad value for {key}="))),
+        }
+    }
+
+    /// Parses `key=lo..hi` (inclusive endpoints).
+    fn range_or(&self, key: &str, default: (usize, usize)) -> Result<(usize, usize), ProtoError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => {
+                let (lo, hi) = raw
+                    .split_once("..")
+                    .ok_or_else(|| ProtoError::bad(format!("{key}= must be lo..hi")))?;
+                let lo: usize = lo
+                    .parse()
+                    .map_err(|_| ProtoError::bad(format!("bad lower bound in {key}=")))?;
+                let hi: usize = hi
+                    .parse()
+                    .map_err(|_| ProtoError::bad(format!("bad upper bound in {key}=")))?;
+                if lo == 0 || hi < lo {
+                    return Err(ProtoError::bad(format!("{key}= needs 1 ≤ lo ≤ hi")));
+                }
+                Ok((lo, hi))
+            }
+        }
+    }
+
+    fn threshold(&self) -> Result<WireThreshold, ProtoError> {
+        match (self.get("rho"), self.get("eps")) {
+            (Some(_), Some(_)) => Err(ProtoError::bad("give rho= or eps=, not both")),
+            (Some(r), None) => {
+                let rho: f64 = r.parse().map_err(|_| ProtoError::bad("bad rho="))?;
+                // Reject here, not in the worker: RangeSpec::correlation
+                // asserts this range and a panicking job must never reach
+                // the pool.
+                if !(-1.0..=1.0).contains(&rho) {
+                    return Err(ProtoError::bad("rho= must lie in [-1, 1]"));
+                }
+                Ok(WireThreshold::Rho(rho))
+            }
+            (None, Some(e)) => {
+                let eps: f64 = e.parse().map_err(|_| ProtoError::bad("bad eps="))?;
+                if !eps.is_finite() || eps < 0.0 {
+                    return Err(ProtoError::bad("eps= must be a non-negative number"));
+                }
+                Ok(WireThreshold::Eps(eps))
+            }
+            (None, None) => Ok(WireThreshold::default()),
+        }
+    }
+
+    fn engine(&self) -> Result<EngineKind, ProtoError> {
+        match self.get("engine") {
+            None => Ok(EngineKind::default()),
+            Some(s) => EngineKind::parse(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip_request(req: Request) {
+        let line = req.to_line();
+        assert_eq!(Request::parse(&line).unwrap(), req, "line: {line}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Query(QueryParams {
+            ord: 42,
+            ma: (5, 34),
+            threshold: WireThreshold::Rho(0.96),
+            engine: EngineKind::Mt,
+            limit: 10,
+        }));
+        round_trip_request(Request::Query(QueryParams {
+            ord: 0,
+            ma: (1, 1),
+            threshold: WireThreshold::Eps(2.5),
+            engine: EngineKind::Scan,
+            limit: 0,
+        }));
+        round_trip_request(Request::Knn {
+            ord: 7,
+            k: 5,
+            ma: (2, 20),
+        });
+        round_trip_request(Request::Join {
+            ma: (5, 14),
+            threshold: WireThreshold::Rho(0.99),
+            engine: EngineKind::St,
+            limit: 3,
+        });
+        round_trip_request(Request::Insert {
+            values: vec![1.0, -2.5, 3.25],
+        });
+        round_trip_request(Request::Delete { ord: 9 });
+        round_trip_request(Request::Info);
+        round_trip_request(Request::Stats { reset: true });
+        round_trip_request(Request::Stats { reset: false });
+        round_trip_request(Request::Quit);
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let r = Request::parse("QUERY ord=3").unwrap();
+        assert_eq!(
+            r,
+            Request::Query(QueryParams {
+                ord: 3,
+                ..QueryParams::default()
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for bad in [
+            "",
+            "FROB ord=1",
+            "QUERY",                      // missing ord
+            "QUERY ord=x",                // bad number
+            "QUERY ord=1 ma=5",           // not a range
+            "QUERY ord=1 ma=0..4",        // lo must be ≥ 1
+            "QUERY ord=1 ma=9..4",        // hi < lo
+            "QUERY ord=1 rho=a",          // bad float
+            "QUERY ord=1 rho=0.9 eps=1",  // both thresholds
+            "QUERY ord=1 engine=quantum", // unknown engine
+            "QUERY ord=1 junk",           // token without =
+            "KNN ord=1",                  // missing k
+            "INSERT",                     // missing data
+            "INSERT data=1,x,3",          // bad float in data
+            "INSERT data=",               // empty data
+            "DELETE",                     // missing ord
+            "QUERY ord=1 rho=2",          // rho outside [-1, 1]
+            "QUERY ord=1 rho=-1.5",       // rho outside [-1, 1]
+            "JOIN rho=1.01",              // rho validated on JOIN too
+            "QUERY ord=1 eps=-3",         // negative eps
+            "QUERY ord=1 eps=nan",        // non-finite eps
+        ] {
+            assert!(Request::parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    fn round_trip_response(resp: Response) {
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let got = Response::read_from(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Matches {
+            n: 2,
+            matches: vec![
+                WireMatch {
+                    seq: 1,
+                    transform: 3,
+                    dist: 0.5,
+                },
+                WireMatch {
+                    seq: 9,
+                    transform: 0,
+                    dist: 1.25,
+                },
+            ],
+            metrics: WireMetrics {
+                nodes: 10,
+                fetches: 20,
+                cmps: 30,
+                cands: 5,
+                wall_us: 123,
+            },
+        });
+        round_trip_response(Response::Pairs {
+            n: 1,
+            pairs: vec![WirePair {
+                a: 0,
+                b: 4,
+                transform: 2,
+                dist: 2.5,
+            }],
+            metrics: WireMetrics::default(),
+        });
+        round_trip_response(Response::Inserted { ord: 100 });
+        round_trip_response(Response::Deleted { existed: true });
+        round_trip_response(Response::Deleted { existed: false });
+        round_trip_response(Response::Info(vec![
+            ("sequences".into(), "100".into()),
+            ("seq_len".into(), "128".into()),
+        ]));
+        round_trip_response(Response::Stats(StatsReport {
+            ops: vec![OpStatLine {
+                op: "query".into(),
+                count: 50,
+                errors: 1,
+                p50_us: 128,
+                p95_us: 512,
+                p99_us: 1024,
+                max_us: 4096,
+            }],
+            busy_rejected: 3,
+            connections: 8,
+            counters_total: (100, 200, 300),
+            counters_delta: (10, 20, 30),
+        }));
+        round_trip_response(Response::Ok);
+    }
+
+    #[test]
+    fn error_frames_round_trip_with_spaces_in_message() {
+        for (code, msg) in [
+            (ErrCode::Busy, "request queue full (depth 64)"),
+            (ErrCode::BadRequest, "token `junk` is not key=value"),
+            (ErrCode::Range, "ordinal 9 out of range"),
+            (ErrCode::Query, "family built for length 32, index holds 64"),
+            (ErrCode::Server, ""),
+        ] {
+            round_trip_response(Response::Err {
+                code,
+                msg: msg.into(),
+            });
+        }
+    }
+
+    #[test]
+    fn truncated_response_is_an_error() {
+        let input = b"OK n=1\nMATCH seq=1 t=0 dist=0.5\n".to_vec(); // no END
+        let err = Response::read_from(&mut Cursor::new(input)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn empty_matches_response_stays_matches() {
+        // No body lines and n=0 must parse as Matches, not Ok.
+        let mut buf = Vec::new();
+        Response::Matches {
+            n: 0,
+            matches: vec![],
+            metrics: WireMetrics::default(),
+        }
+        .write_to(&mut buf)
+        .unwrap();
+        let got = Response::read_from(&mut Cursor::new(buf)).unwrap();
+        assert!(matches!(got, Response::Matches { n: 0, .. }));
+    }
+}

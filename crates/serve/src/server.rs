@@ -1,0 +1,395 @@
+//! The `simserved` core: acceptor, connection handlers, request execution.
+//!
+//! Threading model:
+//!
+//! * one **acceptor** thread blocks on [`TcpListener::accept`];
+//! * each accepted connection gets a lightweight **handler** thread that
+//!   reads request lines, parses them, and *submits* execution to the
+//!   worker pool (capped at [`ServerConfig::max_conns`] concurrent
+//!   connections — beyond that the connection is greeted with
+//!   `ERR code=BUSY` and closed);
+//! * a fixed pool of **workers** executes requests against the shared
+//!   index and sends the response back to the handler over a one-shot
+//!   channel. The pool's queue is bounded: a full queue rejects the
+//!   request with `ERR code=BUSY` *before* any index work happens.
+//!
+//! Queries take the index's read lock (concurrent), `INSERT`/`DELETE`
+//! take the write lock (exclusive).
+
+use crate::metrics::{op_index, Registry};
+use crate::pool::{PushError, WorkerPool};
+use crate::protocol::{
+    EngineKind, ErrCode, QueryParams, Request, Response, WireMatch, WireMetrics, WirePair,
+};
+use simquery::engine::{join, knn, mtindex, seqscan, stindex};
+use simquery::prelude::*;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded request-queue depth (admission control threshold).
+    pub queue_depth: usize,
+    /// Maximum concurrent connections.
+    pub max_conns: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_depth: 64,
+            max_conns: 64,
+        }
+    }
+}
+
+/// A running server; dropping it does NOT stop the threads — call
+/// [`ServerHandle::shutdown`] (tests) or [`ServerHandle::join`] (daemon).
+pub struct ServerHandle {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    /// Shared metrics, exposed for in-process inspection.
+    pub metrics: Arc<Registry>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown and joins the acceptor (connection handlers and
+    /// workers drain and exit as their queues close).
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+    }
+
+    /// Blocks until the acceptor exits (i.e. forever, for a daemon).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+    }
+}
+
+/// Starts serving `shared` per `cfg`. Returns once the listener is bound.
+pub fn serve(shared: SharedIndex, cfg: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = Arc::new(Registry::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let pool = Arc::new(WorkerPool::new(cfg.workers, cfg.queue_depth));
+    let live_conns = Arc::new(AtomicUsize::new(0));
+    let max_conns = cfg.max_conns;
+
+    let acceptor = {
+        let (metrics, stop) = (Arc::clone(&metrics), Arc::clone(&stop));
+        std::thread::Builder::new()
+            .name("simserve-acceptor".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if live_conns.load(Ordering::SeqCst) >= max_conns {
+                        metrics.record_busy();
+                        let mut w = BufWriter::new(&stream);
+                        let _ = Response::Err {
+                            code: ErrCode::Busy,
+                            msg: format!("connection limit {max_conns} reached"),
+                        }
+                        .write_to(&mut w);
+                        let _ = w.flush();
+                        continue;
+                    }
+                    metrics.record_connection();
+                    live_conns.fetch_add(1, Ordering::SeqCst);
+                    let shared = shared.clone();
+                    let metrics = Arc::clone(&metrics);
+                    let pool = Arc::clone(&pool);
+                    let live_conns = Arc::clone(&live_conns);
+                    let _ = std::thread::Builder::new()
+                        .name("simserve-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &shared, &metrics, &pool);
+                            live_conns.fetch_sub(1, Ordering::SeqCst);
+                        });
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        acceptor,
+        metrics,
+    })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: &SharedIndex,
+    metrics: &Arc<Registry>,
+    pool: &Arc<WorkerPool>,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                Response::Err {
+                    code: ErrCode::BadRequest,
+                    msg: e.to_string(),
+                }
+                .write_to(&mut writer)?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        if matches!(request, Request::Quit) {
+            Response::Ok.write_to(&mut writer)?;
+            writer.flush()?;
+            return Ok(());
+        }
+
+        // Hand execution to the worker pool; a full queue is an immediate
+        // BUSY error — the admission-control contract.
+        let (tx, rx) = mpsc::channel::<Response>();
+        let job = {
+            let shared = shared.clone();
+            let metrics = Arc::clone(&metrics);
+            Box::new(move || {
+                let op = op_index(request.op_name());
+                let start = Instant::now();
+                let response = execute(&shared, &metrics, request);
+                let is_err = matches!(response, Response::Err { .. });
+                metrics.record(op, start.elapsed(), is_err);
+                let _ = tx.send(response);
+            })
+        };
+        let response = match pool.submit(job) {
+            Ok(()) => rx.recv().unwrap_or(Response::Err {
+                code: ErrCode::Server,
+                msg: "worker dropped the request".into(),
+            }),
+            Err(PushError::Full) => {
+                metrics.record_busy();
+                Response::Err {
+                    code: ErrCode::Busy,
+                    msg: format!("request queue full (depth {})", pool.queue_depth()),
+                }
+            }
+            Err(PushError::Closed) => Response::Err {
+                code: ErrCode::Server,
+                msg: "server shutting down".into(),
+            },
+        };
+        response.write_to(&mut writer)?;
+        writer.flush()?;
+    }
+}
+
+impl Request {
+    /// Metric label of this request.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Self::Query(_) => "query",
+            Self::Knn { .. } => "knn",
+            Self::Join { .. } => "join",
+            Self::Insert { .. } => "insert",
+            Self::Delete { .. } => "delete",
+            Self::Info => "info",
+            Self::Stats { .. } => "stats",
+            Self::Quit => "info",
+        }
+    }
+}
+
+/// Executes one request against the shared index. `Stats` reads the
+/// metrics registry; everything else touches only the index.
+fn execute(shared: &SharedIndex, metrics: &Registry, request: Request) -> Response {
+    match request {
+        Request::Query(p) => run_query(shared, p),
+        Request::Knn { ord, k, ma } => run_knn(shared, ord, k, ma),
+        Request::Join {
+            ma,
+            threshold,
+            engine,
+            limit,
+        } => run_join(shared, ma, threshold.to_spec(), engine, limit),
+        Request::Insert { values } => {
+            let ts = TimeSeries::new(values);
+            let mut index = shared.write();
+            match index.insert_series(&ts) {
+                Ok(ord) => Response::Inserted { ord },
+                Err(e) => err(ErrCode::Query, e.to_string()),
+            }
+        }
+        Request::Delete { ord } => {
+            let mut index = shared.write();
+            Response::Deleted {
+                existed: index.delete_series(ord),
+            }
+        }
+        Request::Info => {
+            let index = shared.read();
+            Response::Info(vec![
+                ("sequences".into(), index.len().to_string()),
+                ("seq_len".into(), index.seq_len().to_string()),
+                ("tree_height".into(), index.height().to_string()),
+                ("leaf_capacity".into(), index.leaf_capacity().to_string()),
+                ("skipped".into(), index.skipped().len().to_string()),
+                ("deleted".into(), index.deleted_count().to_string()),
+            ])
+        }
+        Request::Stats { reset } => Response::Stats(metrics.report(shared, reset)),
+        Request::Quit => Response::Ok, // handled on the connection thread
+    }
+}
+
+fn err(code: ErrCode, msg: impl Into<String>) -> Response {
+    Response::Err {
+        code,
+        msg: msg.into(),
+    }
+}
+
+fn family_for(ma: (usize, usize), seq_len: usize) -> Result<Family, Response> {
+    if ma.1 > seq_len {
+        return Err(err(
+            ErrCode::Query,
+            format!("ma window {} exceeds sequence length {seq_len}", ma.1),
+        ));
+    }
+    Ok(Family::moving_averages(ma.0..=ma.1, seq_len))
+}
+
+fn run_query(shared: &SharedIndex, p: QueryParams) -> Response {
+    let index = shared.read();
+    if p.ord >= index.len() {
+        return err(
+            ErrCode::Range,
+            format!("ordinal {} out of range (0..{})", p.ord, index.len()),
+        );
+    }
+    let family = match family_for(p.ma, index.seq_len()) {
+        Ok(f) => f,
+        Err(e) => return e,
+    };
+    let spec = p.threshold.to_spec();
+    let q = index.fetch_series(p.ord);
+    let result = match p.engine {
+        EngineKind::Mt => mtindex::range_query(&index, &q, &family, &spec),
+        EngineKind::St => stindex::range_query(&index, &q, &family, &spec),
+        EngineKind::Scan => seqscan::range_query(&index, &q, &family, &spec),
+    };
+    match result {
+        Ok(r) => {
+            let n = r.matches.len();
+            let take = if p.limit == 0 { n } else { p.limit.min(n) };
+            Response::Matches {
+                n,
+                matches: r.matches[..take]
+                    .iter()
+                    .map(|m| WireMatch {
+                        seq: m.seq,
+                        transform: m.transform,
+                        dist: m.dist,
+                    })
+                    .collect(),
+                metrics: WireMetrics::from(&r.metrics),
+            }
+        }
+        Err(e) => err(ErrCode::Query, e.to_string()),
+    }
+}
+
+fn run_knn(shared: &SharedIndex, ord: usize, k: usize, ma: (usize, usize)) -> Response {
+    let index = shared.read();
+    if ord >= index.len() {
+        return err(
+            ErrCode::Range,
+            format!("ordinal {ord} out of range (0..{})", index.len()),
+        );
+    }
+    let family = match family_for(ma, index.seq_len()) {
+        Ok(f) => f,
+        Err(e) => return e,
+    };
+    let q = index.fetch_series(ord);
+    match knn::knn(&index, &q, &family, k) {
+        Ok((matches, m)) => Response::Matches {
+            n: matches.len(),
+            matches: matches
+                .iter()
+                .map(|m| WireMatch {
+                    seq: m.seq,
+                    transform: m.transform,
+                    dist: m.dist,
+                })
+                .collect(),
+            metrics: WireMetrics::from(&m),
+        },
+        Err(e) => err(ErrCode::Query, e.to_string()),
+    }
+}
+
+fn run_join(
+    shared: &SharedIndex,
+    ma: (usize, usize),
+    spec: RangeSpec,
+    engine: EngineKind,
+    limit: usize,
+) -> Response {
+    let index = shared.read();
+    let family = match family_for(ma, index.seq_len()) {
+        Ok(f) => f,
+        Err(e) => return e,
+    };
+    let result = match engine {
+        EngineKind::Mt => join::mt_join(&index, &family, &spec),
+        EngineKind::St => join::st_join(&index, &family, &spec),
+        EngineKind::Scan => join::scan_join(&index, &family, &spec),
+    };
+    match result {
+        Ok(r) => {
+            let n = r.matches.len();
+            let take = if limit == 0 { n } else { limit.min(n) };
+            Response::Pairs {
+                n,
+                pairs: r.matches[..take]
+                    .iter()
+                    .map(|m| WirePair {
+                        a: m.seq_a,
+                        b: m.seq_b,
+                        transform: m.transform,
+                        dist: m.dist,
+                    })
+                    .collect(),
+                metrics: WireMetrics::from(&r.metrics),
+            }
+        }
+        Err(e) => err(ErrCode::Query, e.to_string()),
+    }
+}

@@ -1,0 +1,332 @@
+//! End-to-end tests over a loopback TCP connection: a real `simserved`
+//! server instance, a real [`Client`], every protocol verb, error frames,
+//! malformed input, and admission control.
+
+use simquery::engine::mtindex;
+use simquery::prelude::*;
+use simserve::client::Client;
+use simserve::protocol::{EngineKind, ErrCode, QueryParams, Response, WireThreshold};
+use simserve::server::{serve, ServerConfig, ServerHandle};
+use std::io::BufReader;
+use std::net::TcpStream;
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(), // pick a free port
+        workers: 2,
+        queue_depth: 16,
+        max_conns: 16,
+    }
+}
+
+fn start(n: usize, seed: u64) -> (SharedIndex, ServerHandle) {
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, n, 64, seed);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let shared = SharedIndex::new(index);
+    let handle = serve(shared.clone(), &test_config()).unwrap();
+    (shared, handle)
+}
+
+#[test]
+fn query_over_wire_matches_direct_engine() {
+    let (shared, handle) = start(80, 7);
+    let mut client = Client::connect(handle.addr).unwrap();
+    for ord in [0usize, 13, 79] {
+        let params = QueryParams {
+            ord,
+            ma: (4, 12),
+            threshold: WireThreshold::Rho(0.95),
+            engine: EngineKind::Mt,
+            limit: 0,
+        };
+        let (n, matches) = client.query(params.clone()).unwrap().unwrap();
+        assert_eq!(n, matches.len(), "no truncation with limit=0");
+        let mut got: Vec<(usize, usize)> = matches.iter().map(|m| (m.seq, m.transform)).collect();
+        got.sort_unstable();
+
+        let index = shared.read();
+        let family = Family::moving_averages(4..=12, index.seq_len());
+        let spec = WireThreshold::Rho(0.95).to_spec();
+        let q = index.fetch_series(ord);
+        let want = mtindex::range_query(&index, &q, &family, &spec)
+            .unwrap()
+            .sorted_pairs();
+        assert_eq!(got, want, "ord {ord}");
+    }
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn limit_truncates_but_reports_full_count() {
+    let (_shared, handle) = start(80, 7);
+    let mut client = Client::connect(handle.addr).unwrap();
+    let full = QueryParams {
+        ord: 0,
+        ma: (4, 12),
+        threshold: WireThreshold::Rho(0.9),
+        engine: EngineKind::Mt,
+        limit: 0,
+    };
+    let (n_full, matches_full) = client.query(full.clone()).unwrap().unwrap();
+    assert!(n_full >= 2, "self-match across windows expected");
+    let limited = QueryParams { limit: 1, ..full };
+    let (n, matches) = client.query(limited).unwrap().unwrap();
+    assert_eq!(n, n_full, "total count survives truncation");
+    assert_eq!(matches.len(), 1);
+    assert_eq!(matches[0].seq, matches_full[0].seq);
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn knn_and_join_round_trip() {
+    let (_shared, handle) = start(40, 11);
+    let mut client = Client::connect(handle.addr).unwrap();
+
+    let neighbors = client.knn(3, 5, (4, 10)).unwrap().unwrap();
+    assert_eq!(neighbors.len(), 5);
+    // Nearest neighbor of a series in the corpus is itself at distance ~0.
+    assert_eq!(neighbors[0].seq, 3);
+    assert!(neighbors[0].dist < 1e-9);
+    assert!(neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
+
+    let (n, pairs) = client
+        .join((4, 10), WireThreshold::Rho(0.97))
+        .unwrap()
+        .unwrap();
+    assert_eq!(n, pairs.len());
+    for p in &pairs {
+        assert_ne!(p.a, p.b, "join excludes self-pairs");
+    }
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn insert_delete_info_lifecycle() {
+    let (shared, handle) = start(30, 13);
+    let mut client = Client::connect(handle.addr).unwrap();
+
+    let info = client.info().unwrap().unwrap();
+    let get = |k: &str| -> String {
+        info.iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("INFO missing key {k}"))
+    };
+    assert_eq!(get("sequences"), "30");
+    assert_eq!(get("seq_len"), "64");
+
+    // Insert a copy of series 0; it must land at the next ordinal and be
+    // visible to both the server and the directly-held handle.
+    let values = shared.read().fetch_series(0).values().to_vec();
+    let ord = client.insert(values).unwrap().unwrap();
+    assert_eq!(ord, 30);
+    assert_eq!(shared.read().len(), 31);
+
+    // The duplicate is an exact match of the original. (ρ must stay below
+    // Eq. 9's ceiling (n−1)/n ≈ 0.984 at n = 64, else ε = 0.)
+    let (_, matches) = client
+        .query(QueryParams {
+            ord,
+            ma: (2, 6),
+            threshold: WireThreshold::Rho(0.97),
+            engine: EngineKind::Mt,
+            limit: 0,
+        })
+        .unwrap()
+        .unwrap();
+    let seqs: Vec<usize> = matches.iter().map(|m| m.seq).collect();
+    assert!(seqs.contains(&0) && seqs.contains(&30), "got {seqs:?}");
+
+    assert!(client.delete(ord).unwrap().unwrap(), "ordinal was live");
+    assert!(!client.delete(ord).unwrap().unwrap(), "double delete");
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn error_frames_for_bad_input() {
+    let (_shared, handle) = start(20, 17);
+    let mut client = Client::connect(handle.addr).unwrap();
+
+    // Out-of-range ordinal → RANGE, connection stays usable.
+    let response = client
+        .query(QueryParams {
+            ord: 999,
+            ma: (4, 10),
+            threshold: WireThreshold::Rho(0.95),
+            engine: EngineKind::Mt,
+            limit: 0,
+        })
+        .unwrap()
+        .unwrap_err();
+    assert!(
+        matches!(
+            &response,
+            Response::Err {
+                code: ErrCode::Range,
+                ..
+            }
+        ),
+        "{response:?}"
+    );
+
+    // MA window wider than the sequences → QUERY error.
+    let response = client
+        .query(QueryParams {
+            ord: 0,
+            ma: (4, 1000),
+            threshold: WireThreshold::Rho(0.95),
+            engine: EngineKind::Mt,
+            limit: 0,
+        })
+        .unwrap()
+        .unwrap_err();
+    assert!(
+        matches!(
+            &response,
+            Response::Err {
+                code: ErrCode::Query,
+                ..
+            }
+        ),
+        "{response:?}"
+    );
+
+    // Malformed lines → BADREQ, and the connection keeps working.
+    for bad in [
+        "FROB ord=1",
+        "QUERY ord=notanumber",
+        "QUERY rho=0.9", // missing ord
+        "KNN ord=0 k=zero",
+        "INSERT values=1;2;x",
+        "QUERY ord=1 engine=warp",
+        // Out-of-range thresholds must be rejected at parse time: a
+        // worker executing RangeSpec::correlation(2.0) would panic.
+        "QUERY ord=1 rho=2",
+        "JOIN rho=-1.5",
+        "QUERY ord=1 eps=-3",
+    ] {
+        let response = client.call_raw(bad).unwrap();
+        assert!(
+            matches!(
+                &response,
+                Response::Err {
+                    code: ErrCode::BadRequest,
+                    ..
+                }
+            ),
+            "{bad:?} → {response:?}"
+        );
+    }
+    let info = client.info().unwrap();
+    assert!(info.is_ok(), "connection survives malformed input");
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn zero_depth_queue_rejects_with_busy() {
+    // queue_depth 0 means admission control rejects every request before
+    // it reaches a worker: the client must see ERR code=BUSY, not a hang.
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 10, 64, 19);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let cfg = ServerConfig {
+        queue_depth: 0,
+        ..test_config()
+    };
+    let handle = serve(SharedIndex::new(index), &cfg).unwrap();
+    let mut client = Client::connect(handle.addr).unwrap();
+    let response = client.call(&simserve::protocol::Request::Info).unwrap();
+    assert!(
+        matches!(
+            &response,
+            Response::Err {
+                code: ErrCode::Busy,
+                ..
+            }
+        ),
+        "{response:?}"
+    );
+    assert!(handle.metrics.busy_rejected() >= 1);
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_with_busy() {
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 10, 64, 23);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let cfg = ServerConfig {
+        max_conns: 1,
+        ..test_config()
+    };
+    let handle = serve(SharedIndex::new(index), &cfg).unwrap();
+    let mut first = Client::connect(handle.addr).unwrap();
+    assert!(first.info().unwrap().is_ok(), "first connection serves");
+
+    // The second connection is greeted with an ERR BUSY frame and closed.
+    let stream = TcpStream::connect(handle.addr).unwrap();
+    let mut reader = BufReader::new(stream);
+    let greeting = Response::read_from(&mut reader).unwrap();
+    assert!(
+        matches!(
+            &greeting,
+            Response::Err {
+                code: ErrCode::Busy,
+                ..
+            }
+        ),
+        "{greeting:?}"
+    );
+
+    first.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn stats_report_counts_and_latencies() {
+    let (_shared, handle) = start(60, 29);
+    let mut client = Client::connect(handle.addr).unwrap();
+    for ord in 0..10 {
+        client
+            .query(QueryParams {
+                ord,
+                ma: (4, 10),
+                threshold: WireThreshold::Rho(0.96),
+                engine: EngineKind::Mt,
+                limit: 0,
+            })
+            .unwrap()
+            .unwrap();
+    }
+    client.info().unwrap().unwrap();
+
+    let stats = client.stats(true).unwrap().unwrap();
+    let query_line = stats
+        .ops
+        .iter()
+        .find(|o| o.op == "query")
+        .expect("query op present");
+    assert_eq!(query_line.count, 10);
+    assert_eq!(query_line.errors, 0);
+    assert!(query_line.p50_us > 0, "{query_line:?}");
+    assert!(query_line.p50_us <= query_line.p95_us);
+    assert!(query_line.p95_us <= query_line.p99_us);
+    assert!(stats.ops.iter().any(|o| o.op == "info"));
+    // Ten MT queries touched the tree: counters moved since server start.
+    assert!(stats.counters_total.0 > 0, "node reads recorded");
+    assert!(stats.counters_delta.0 > 0, "delta vs baseline");
+
+    // reset=true zeroed the op stats; only the STATS calls themselves and
+    // later ops accumulate from here.
+    let stats2 = client.stats(false).unwrap().unwrap();
+    assert!(
+        !stats2.ops.iter().any(|o| o.op == "query"),
+        "query stats were reset: {stats2:?}"
+    );
+    client.quit().unwrap();
+    handle.shutdown();
+}

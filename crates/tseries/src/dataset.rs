@@ -2,9 +2,8 @@
 //! holding the original stock data.
 
 use crate::gen::{random_walk, Market, MarketConfig};
+use crate::rng::SeededRng;
 use crate::series::TimeSeries;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
@@ -30,7 +29,7 @@ impl Corpus {
     pub fn generate(kind: CorpusKind, count: usize, len: usize, seed: u64) -> Self {
         match kind {
             CorpusKind::SyntheticWalks => {
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = SeededRng::seed_from_u64(seed);
                 let series = (0..count)
                     .map(|_| random_walk(&mut rng, len, 500.0))
                     .collect();

@@ -17,6 +17,7 @@ mod dataset;
 mod distance;
 mod gen;
 mod ops;
+pub mod rng;
 mod series;
 
 pub use dataset::{Corpus, CorpusKind};
@@ -30,5 +31,8 @@ pub use ops::{
 };
 pub use series::{NormalForm, TimeSeries};
 
-#[cfg(test)]
+// Property tests require the external `proptest` crate; the workspace
+// builds offline by default, so they sit behind a non-default feature
+// (see DESIGN.md "Offline builds").
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

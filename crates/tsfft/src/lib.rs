@@ -43,5 +43,5 @@ pub use real::{energy, energy_complex, RealDft};
 pub use rfft::rfft;
 pub use spectrum::{convolve_circular, cross_spectrum, Spectrum};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

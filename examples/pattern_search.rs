@@ -7,17 +7,16 @@
 //! cargo run --release --example pattern_search
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use simquery::prelude::*;
 use simquery::subseq::sorted_subseq;
 use tseries::random_walk;
+use tseries::rng::SeededRng;
 
 fn main() {
     let window = 32;
 
     // 40 "years" of daily data (length 750 each), random-walk shaped.
-    let mut rng = StdRng::seed_from_u64(2026);
+    let mut rng = SeededRng::seed_from_u64(2026);
     let mut seqs: Vec<TimeSeries> = (0..40).map(|_| random_walk(&mut rng, 750, 5.0)).collect();
 
     // Plant a known pattern (a double-dip) into three of them at known

@@ -8,15 +8,14 @@
 //! cargo run --release --example weather_seasons
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simquery::engine::mtindex;
 use simquery::prelude::*;
+use tseries::rng::SeededRng;
 
 const DAYS: usize = 128; // ~weekly samples over 2.5 years, say; one "year" per row
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = SeededRng::seed_from_u64(77);
 
     // 25 "stations": seasonal sine + station-specific amplitude, mean,
     // phase lag (hemisphere/longitude) and weather noise.

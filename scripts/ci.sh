@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: release build, the whole test
+# suite, and formatting. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test =="
+cargo test -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "ci: all green"

@@ -1,0 +1,123 @@
+//! Concurrency equivalence: N threads firing the same seeded query
+//! workload against one shared index must produce byte-identical result
+//! sets to a single-threaded run — for both the MT-index and the
+//! sequential-scan engines.
+//!
+//! This is the correctness contract behind `simserved`: the read path of
+//! [`SeqIndex`] (tree search, buffer pool, access counters) is interior-
+//! mutable and shared by every worker, so any cross-thread interference
+//! would show up here as a result-set mismatch.
+
+use simquery::engine::{mtindex, seqscan};
+use simquery::prelude::*;
+use simquery::query::FilterPolicy;
+use tseries::rng::SeededRng;
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 12;
+
+/// One seeded workload: `(query ordinal, ma window range, rho)` tuples.
+/// Every thread regenerates the identical list from the same seed.
+fn workload(seed: u64, corpus_len: usize) -> Vec<(usize, (usize, usize), f64)> {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    (0..OPS_PER_THREAD)
+        .map(|_| {
+            let ord = rng.random_range(0usize..corpus_len);
+            let lo = rng.random_range(2usize..10);
+            let hi = lo + rng.random_range(2usize..12);
+            let rho = rng.random_range(0.88f64..0.97);
+            (ord, (lo, hi), rho)
+        })
+        .collect()
+}
+
+fn run_workload<F>(index: &SeqIndex, seed: u64, engine: F) -> Vec<Vec<(usize, usize)>>
+where
+    F: Fn(&SeqIndex, &TimeSeries, &Family, &RangeSpec) -> Vec<(usize, usize)>,
+{
+    workload(seed, index.len())
+        .into_iter()
+        .map(|(ord, (lo, hi), rho)| {
+            let family = Family::moving_averages(lo..=hi, index.seq_len());
+            // Safe policy: provably lossless, so every engine and every
+            // interleaving must agree exactly.
+            let spec = RangeSpec::correlation(rho).with_policy(FilterPolicy::Safe);
+            let q = index.fetch_series(ord);
+            engine(index, &q, &family, &spec)
+        })
+        .collect()
+}
+
+fn mt_pairs(index: &SeqIndex, q: &TimeSeries, f: &Family, s: &RangeSpec) -> Vec<(usize, usize)> {
+    mtindex::range_query(index, q, f, s).unwrap().sorted_pairs()
+}
+
+fn scan_pairs(index: &SeqIndex, q: &TimeSeries, f: &Family, s: &RangeSpec) -> Vec<(usize, usize)> {
+    seqscan::range_query(index, q, f, s).unwrap().sorted_pairs()
+}
+
+fn check_engine(
+    name: &str,
+    engine: fn(&SeqIndex, &TimeSeries, &Family, &RangeSpec) -> Vec<(usize, usize)>,
+) {
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 90, 64, 47);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let shared = SharedIndex::new(index);
+
+    // Ground truth, computed before any concurrency exists.
+    let want: Vec<Vec<Vec<(usize, usize)>>> = (0..THREADS)
+        .map(|t| run_workload(&shared.read(), 1000 + t as u64, engine))
+        .collect();
+
+    std::thread::scope(|s| {
+        for (t, want) in want.iter().enumerate() {
+            let shared = &shared;
+            s.spawn(move || {
+                let index = shared.read();
+                let got = run_workload(&index, 1000 + t as u64, engine);
+                assert_eq!(&got, want, "{name}: thread {t} diverged");
+            });
+        }
+    });
+}
+
+#[test]
+fn mt_engine_is_deterministic_under_concurrency() {
+    check_engine("mtindex", mt_pairs);
+}
+
+#[test]
+fn seqscan_engine_is_deterministic_under_concurrency() {
+    check_engine("seqscan", scan_pairs);
+}
+
+#[test]
+fn mixed_engines_agree_across_threads() {
+    // Half the threads run MT, half run the scan, all on the same shared
+    // index at once; per-op result sets must be pairwise identical.
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 70, 64, 53);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let shared = SharedIndex::new(index);
+
+    let results: Vec<Vec<Vec<(usize, usize)>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let shared = &shared;
+                s.spawn(move || {
+                    let index = shared.read();
+                    // Same seed for everyone — results must match across
+                    // threads AND engines.
+                    if t % 2 == 0 {
+                        run_workload(&index, 7, mt_pairs)
+                    } else {
+                        run_workload(&index, 7, scan_pairs)
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (t, r) in results.iter().enumerate().skip(1) {
+        assert_eq!(r, &results[0], "thread {t} disagrees with thread 0");
+    }
+}

@@ -119,10 +119,9 @@ fn parallel_scan_agrees_with_mt_under_every_mode() {
 fn subsequence_matching_with_composed_families() {
     // Compose a shift with a smoothing window and search for a pattern's
     // occurrences across long sequences — index ≡ scan.
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tseries::rng::SeededRng;
     let window = 32;
-    let mut rng = StdRng::seed_from_u64(47);
+    let mut rng = SeededRng::seed_from_u64(47);
     let seqs: Vec<TimeSeries> = (0..10)
         .map(|_| tseries::random_walk(&mut rng, 256, 8.0))
         .collect();

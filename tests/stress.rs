@@ -2,12 +2,11 @@
 //! deletes, persistence round-trips and queries, continuously checked
 //! against a shadow corpus queried by brute force.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simquery::engine::{mtindex, seqscan};
 use simquery::feature::SeqFeatures;
 use simquery::prelude::*;
 use tseries::random_walk;
+use tseries::rng::SeededRng;
 
 const N: usize = 64;
 
@@ -36,7 +35,7 @@ fn brute(
 
 #[test]
 fn randomized_lifecycle_keeps_engines_truthful() {
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut rng = SeededRng::seed_from_u64(0xC0FFEE);
     let initial = Corpus::generate(CorpusKind::SyntheticWalks, 60, N, 99);
     let mut index = SeqIndex::build(&initial, IndexConfig::default()).expect("non-empty");
     // Shadow: (ordinal, series) for every LIVE row.
@@ -63,7 +62,10 @@ fn randomized_lifecycle_keeps_engines_truthful() {
                 if !shadow.is_empty() {
                     let pick = rng.random_range(0..shadow.len());
                     let (ordinal, _) = shadow.swap_remove(pick);
-                    assert!(index.delete_series(ordinal), "step {step}: delete {ordinal}");
+                    assert!(
+                        index.delete_series(ordinal),
+                        "step {step}: delete {ordinal}"
+                    );
                 }
             }
             // 10 %: persistence round-trip.
@@ -89,6 +91,9 @@ fn randomized_lifecycle_keeps_engines_truthful() {
         }
     }
     index.validate();
-    assert!(checked_queries >= 10, "workload should have exercised queries");
+    assert!(
+        checked_queries >= 10,
+        "workload should have exercised queries"
+    );
     std::fs::remove_dir_all(&persist_dir).ok();
 }
