@@ -53,12 +53,14 @@ fn main() {
         let mut dfs_ms = 0.0;
         for q in &queries {
             let start = std::time::Instant::now();
-            let (bf, s1) = tree.nearest_by(k, |r| r.min_dist_sq(q), |r, _| Some(r.min_dist_sq(q)));
+            let (bf, s1) = tree
+                .nearest_by(k, |r| r.min_dist_sq(q), |r, _| Some(r.min_dist_sq(q)))
+                .unwrap();
             bf_ms += start.elapsed().as_secs_f64() * 1e3;
             let start = std::time::Instant::now();
-            let (dfs, s2) = tree.nearest_dfs(k, q, false);
+            let (dfs, s2) = tree.nearest_dfs(k, q, false).unwrap();
             dfs_ms += start.elapsed().as_secs_f64() * 1e3;
-            let (mm, s3) = tree.nearest_dfs(k, q, true);
+            let (mm, s3) = tree.nearest_dfs(k, q, true).unwrap();
             bf_nodes += s1.nodes_accessed as f64;
             dfs_nodes += s2.nodes_accessed as f64;
             mm_nodes += s3.nodes_accessed as f64;

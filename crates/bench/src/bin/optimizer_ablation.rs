@@ -59,7 +59,7 @@ fn main() {
             let mut wall = 0.0;
             for qi in 0..queries {
                 let q = &corpus.series()[(qi * 13) % corpus.len()];
-                index.reset_counters();
+                index.reset_counters().unwrap();
                 let start = std::time::Instant::now();
                 let _ = mtindex::range_query_with_mbrs(&index, q, &family, &spec, mbrs, None)
                     .expect("query");

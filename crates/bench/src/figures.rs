@@ -421,7 +421,7 @@ fn mbr_sweep(
         for _ in 0..queries {
             let qi = rng.random_range(0..corpus.len());
             let query = &corpus.series()[qi];
-            index.reset_counters();
+            index.reset_counters().unwrap();
             let start = std::time::Instant::now();
             let (res, trav) =
                 mtindex::range_query_with_mbrs(index, query, family, &spec, &mbrs, None)
@@ -530,7 +530,7 @@ pub fn fig9() -> Vec<Table> {
         let mut rng = tseries::rng::SeededRng::seed_from_u64(4);
         for _ in 0..queries {
             let qi = rng.random_range(0..corpus.len());
-            index.reset_counters();
+            index.reset_counters().unwrap();
             let start = std::time::Instant::now();
             let (res, trav) = mtindex::range_query_with_mbrs(
                 &index,

@@ -60,7 +60,7 @@ pub fn average_range_queries(
     while ran < queries {
         let qi = rng.random_range(0..corpus.len());
         let query = &corpus.series()[qi];
-        index.reset_counters();
+        index.reset_counters().unwrap();
         let start = Instant::now();
         let result = match engine(index, query) {
             Ok(r) => r,
@@ -86,7 +86,7 @@ pub fn measure_join(
     index: &SeqIndex,
     run: impl FnOnce(&SeqIndex) -> Result<JoinResult, QueryError>,
 ) -> (Averages, usize) {
-    index.reset_counters();
+    index.reset_counters().unwrap();
     let start = Instant::now();
     let result = run(index).expect("join failed");
     let wall = start.elapsed();

@@ -296,7 +296,9 @@ fn query_series(args: &Args, index: &SeqIndex) -> Result<TimeSeries, CliError> {
                 index.len()
             )));
         }
-        return Ok(index.fetch_series(ordinal));
+        return index
+            .fetch_series(ordinal)
+            .map_err(|e| err(format!("fetching ordinal {ordinal}: {e}")));
     }
     let csv = Path::new(args.req("query-csv")?);
     let row: usize = args.req_parse("row")?;

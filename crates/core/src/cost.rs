@@ -173,11 +173,11 @@ mod analytic_tests {
     #[test]
     fn estimate_tracks_measured_accesses_on_uniform_data() {
         let tree = uniform_tree(10_000);
-        let summaries = tree.level_summaries();
+        let summaries = tree.level_summaries().unwrap();
         let extent = [1000.0, 1000.0];
         for width in [50.0, 150.0, 400.0] {
             let q = Rect::new([300.0, 300.0], [300.0 + width, 300.0 + width]);
-            let (_, stats) = tree.range(&q);
+            let (_, stats) = tree.range(&q).unwrap();
             let est = analytic_disk_accesses(&summaries, &extent, &[width, width]);
             let measured = stats.nodes_accessed as f64;
             assert!(
@@ -190,7 +190,7 @@ mod analytic_tests {
     #[test]
     fn estimate_grows_with_window() {
         let tree = uniform_tree(5_000);
-        let summaries = tree.level_summaries();
+        let summaries = tree.level_summaries().unwrap();
         let extent = [1000.0, 500.0];
         let small = analytic_disk_accesses(&summaries, &extent, &[10.0, 10.0]);
         let large = analytic_disk_accesses(&summaries, &extent, &[300.0, 300.0]);
@@ -210,7 +210,7 @@ mod analytic_tests {
         // because the *real* per-rectangle windows are smaller AND land in
         // sparser regions. Here we check the first half mechanically.
         let tree = uniform_tree(5_000);
-        let summaries = tree.level_summaries();
+        let summaries = tree.level_summaries().unwrap();
         let extent = [1000.0, 500.0];
         let q = [120.0, 120.0];
         let one = analytic_disk_accesses(&summaries, &extent, &q);

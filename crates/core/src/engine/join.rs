@@ -39,7 +39,7 @@ pub fn scan_join(
         if let Some(f) = SeqFeatures::extract(&ts) {
             feats.push((ordinal, f));
         }
-    });
+    })?;
 
     let mut metrics = EngineMetrics::default();
     let mut matches = Vec::new();
@@ -90,14 +90,14 @@ pub fn st_join(
         let stats = index.self_join(
             |r1, r2| filter.hit(&t.apply_rect(r1), &t.apply_rect(r2)),
             |_, d1, _, d2| pairs.push((d1 as usize, d2 as usize)),
-        );
+        )?;
         metrics.node_accesses += stats.nodes_accessed;
         metrics.leaf_accesses += stats.leaf_nodes_accessed;
         metrics.candidates += pairs.len() as u64;
         for (sa, sb) in pairs {
             let d = {
-                let fa = cache.get(sa);
-                let fb = cache.get(sb);
+                let fa = cache.get(sa)?;
+                let fb = cache.get(sb)?;
                 t.transformed_distance(&fa, &fb)
             };
             metrics.comparisons += 1;
@@ -151,13 +151,13 @@ pub fn mt_join_with_mbrs(
         let stats = index.self_join(
             |r1, r2| filter.hit(&mbr.apply_to_rect(r1), &mbr.apply_to_rect(r2)),
             |_, d1, _, d2| pairs.push((d1 as usize, d2 as usize)),
-        );
+        )?;
         metrics.node_accesses += stats.nodes_accessed;
         metrics.leaf_accesses += stats.leaf_nodes_accessed;
         metrics.candidates += pairs.len() as u64;
         for (sa, sb) in pairs {
-            let fa = cache.get(sa);
-            let fb = cache.get(sb);
+            let fa = cache.get(sa)?;
+            let fb = cache.get(sb)?;
             for &ti in &mbr.members {
                 let d = family.transforms()[ti].transformed_distance(&fa, &fb);
                 metrics.comparisons += 1;
@@ -227,14 +227,14 @@ pub fn mt_join_paired(
                 || filter.hit(&lmbr.apply_to_rect(r2), &rmbr.apply_to_rect(r1))
         },
         |_, d1, _, d2| pairs.push((d1 as usize, d2 as usize)),
-    );
+    )?;
     metrics.node_accesses = stats.nodes_accessed;
     metrics.leaf_accesses = stats.leaf_nodes_accessed;
     metrics.candidates = pairs.len() as u64;
 
     for (sa, sb) in pairs {
-        let fa = cache.get(sa);
-        let fb = cache.get(sb);
+        let fa = cache.get(sa)?;
+        let fb = cache.get(sb)?;
         for ti in 0..left.len() {
             let lt = &left.transforms()[ti];
             let rt = &right.transforms()[ti];
@@ -282,7 +282,7 @@ pub fn scan_join_paired(
         if let Some(f) = SeqFeatures::extract(&ts) {
             feats.push((ordinal, f));
         }
-    });
+    })?;
     let mut metrics = EngineMetrics::default();
     let mut matches = Vec::new();
     for i in 0..feats.len() {
@@ -388,8 +388,8 @@ mod tests {
         assert_eq!(mt.sorted_triples(), scan.sorted_triples());
         // Every reported pair is genuinely anti-correlated after smoothing.
         for m in mt.matches.iter().take(10) {
-            let a = idx.fetch(m.seq_a);
-            let b = idx.fetch(m.seq_b);
+            let a = idx.fetch(m.seq_a).unwrap();
+            let b = idx.fetch(m.seq_b).unwrap();
             // Symmetric smoothing distance should be LARGE (they move
             // oppositely), while the paired (inverted) distance is small.
             let t = &base.transforms()[m.transform];

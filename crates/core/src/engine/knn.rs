@@ -33,6 +33,9 @@ pub fn knn(
     let before = index.counters();
     let mut comparisons = 0u64;
     let mut best_transform: Vec<(usize, usize, f64)> = Vec::new();
+    // The refine closure cannot return a Result; the first fetch failure is
+    // parked here and re-raised after the traversal returns.
+    let mut fetch_err: Option<pagestore::PageError> = None;
 
     // Optimal multi-step search: leaf entries carry the cheap feature-space
     // bound; the expensive fetch-and-verify runs only when an entry reaches
@@ -43,7 +46,13 @@ pub fn knn(
         |rect, _| mindist_bound(&mbr.apply_to_rect(rect), &qregion),
         |_, data| {
             let seq = data as usize;
-            let x = index.fetch(seq);
+            let x = match index.fetch(seq) {
+                Ok(x) => x,
+                Err(e) => {
+                    fetch_err.get_or_insert(e);
+                    return None;
+                }
+            };
             // Exact score: the best member transformation.
             let (mut best_t, mut best_d) = (0usize, f64::INFINITY);
             for (ti, t) in family.transforms().iter().enumerate() {
@@ -57,7 +66,10 @@ pub fn knn(
             best_transform.push((seq, best_t, best_d));
             Some(best_d)
         },
-    );
+    )?;
+    if let Some(e) = fetch_err {
+        return Err(e.into());
+    }
 
     let after = index.counters();
     let matches: Vec<Match> = neighbors

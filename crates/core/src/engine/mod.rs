@@ -68,13 +68,14 @@ impl<'a> CandidateCache<'a> {
         }
     }
 
-    pub fn get(&mut self, seq: usize) -> std::rc::Rc<SeqFeatures> {
+    pub fn get(&mut self, seq: usize) -> Result<std::rc::Rc<SeqFeatures>, pagestore::PageError> {
         self.touches += 1;
-        std::rc::Rc::clone(
-            self.cache
-                .entry(seq)
-                .or_insert_with(|| std::rc::Rc::new(self.index.fetch(seq))),
-        )
+        if let Some(f) = self.cache.get(&seq) {
+            return Ok(std::rc::Rc::clone(f));
+        }
+        let f = std::rc::Rc::new(self.index.fetch(seq)?);
+        self.cache.insert(seq, std::rc::Rc::clone(&f));
+        Ok(f)
     }
 }
 

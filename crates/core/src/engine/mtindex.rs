@@ -126,7 +126,7 @@ pub fn range_query_features(
         let stats = index.search(
             |rect| filter.hit(&mbr.apply_to_rect(rect), &region),
             |_, data| candidates.push(data as usize),
-        );
+        )?;
         metrics.node_accesses += stats.nodes_accessed;
         metrics.leaf_accesses += stats.leaf_nodes_accessed;
         metrics.candidates += candidates.len() as u64;
@@ -143,7 +143,7 @@ pub fn range_query_features(
             None => VerifyMode::Exhaustive,
         };
         for seq in candidates {
-            let x = cache.get(seq);
+            let x = cache.get(seq)?;
             verify_candidate(
                 family,
                 &mbr.members,
@@ -188,7 +188,7 @@ pub fn probe(
         let stats = index.search(
             |rect| filter.hit(&mbr.apply_to_rect(rect), &region),
             |_, _| candidates += 1,
-        );
+        )?;
         out.push(RectTraversal {
             da_all: stats.nodes_accessed,
             da_leaf: stats.leaf_nodes_accessed,

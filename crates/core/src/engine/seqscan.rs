@@ -61,7 +61,8 @@ pub fn range_query_parallel(
     let before = index.counters();
     let n = index.len();
     let chunk = n.div_ceil(threads);
-    let results: Vec<(Vec<crate::report::Match>, u64)> = std::thread::scope(|scope| {
+    type WorkerResult = Result<(Vec<crate::report::Match>, u64), pagestore::PageError>;
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(n));
@@ -85,8 +86,8 @@ pub fn range_query_parallel(
                             &mut comparisons,
                             &mut matches,
                         );
-                    });
-                    (matches, comparisons)
+                    })?;
+                    Ok((matches, comparisons))
                 })
             })
             .collect();
@@ -98,7 +99,10 @@ pub fn range_query_parallel(
 
     let mut matches = Vec::new();
     let mut comparisons = 0;
-    for (m, c) in results {
+    // Workers stop at their first failed page; the query reports the first
+    // failure rather than a partial result.
+    for worker in results {
+        let (m, c) = worker?;
         matches.extend(m);
         comparisons += c;
     }
@@ -151,7 +155,7 @@ fn run(
             &mut comparisons,
             &mut matches,
         );
-    });
+    })?;
     let after = index.counters();
 
     Ok(QueryResult {
@@ -194,7 +198,7 @@ mod tests {
     #[test]
     fn record_pages_counted() {
         let (c, idx) = setup(100);
-        idx.reset_counters();
+        idx.reset_counters().unwrap();
         let family = Family::moving_averages(5..=6, 64);
         let r = range_query(&idx, &c.series()[0], &family, &RangeSpec::correlation(0.96)).unwrap();
         // 100 sequences × 512 bytes = 6.4 per 8 KiB page → 7 pages.

@@ -37,12 +37,12 @@ pub fn range_query(
         let stats = index.search(
             |rect| filter.hit(&t.apply_rect(rect), &region),
             |_, data| candidates.push(data as usize),
-        );
+        )?;
         metrics.node_accesses += stats.nodes_accessed;
         metrics.leaf_accesses += stats.leaf_nodes_accessed;
         metrics.candidates += candidates.len() as u64;
         for seq in candidates {
-            let x = cache.get(seq);
+            let x = cache.get(seq)?;
             let d = pair_distance(t, &x, &q, spec.mode);
             metrics.comparisons += 1;
             if d < eps {
@@ -89,13 +89,13 @@ pub fn range_query_ordered(
     let stats = index.search(
         |rect| filter.hit(&t0.apply_rect(rect), &region),
         |_, data| candidates.push(data as usize),
-    );
+    )?;
     metrics.node_accesses = stats.nodes_accessed;
     metrics.leaf_accesses = stats.leaf_nodes_accessed;
     metrics.candidates = candidates.len() as u64;
 
     for seq in candidates {
-        let x = index.fetch(seq);
+        let x = index.fetch(seq)?;
         if let Some(max_rank) = ordered.max_qualifying(&x, &q, eps, &mut metrics.comparisons) {
             for ti in 0..=max_rank {
                 let d = family.transforms()[ti].transformed_distance(&x, &q);

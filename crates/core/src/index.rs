@@ -8,7 +8,7 @@
 
 use crate::feature::{FRect, SeqFeatures, DIMS};
 use crate::report::QueryError;
-use pagestore::{BufferPool, Disk, DynHeapFile};
+use pagestore::{BufferPool, Disk, DynHeapFile, PageDevice, PageError};
 use rstartree::{
     bulk_load_str, MemStore, Neighbor, NodeStore, PagedStore, Params, RStarTree, SearchStats,
 };
@@ -74,6 +74,11 @@ pub struct SeqIndex {
     tree: TreeImpl,
     heap: DynHeapFile,
     heap_pool: Arc<BufferPool>,
+    // Concrete disk handles, kept only when the index owns plain in-memory
+    // disks (the `build`/`open` paths) — `save` needs `Disk::save_to`.
+    // Indexes built over injected devices (`build_on`) cannot be saved.
+    tree_disk: Option<Arc<Disk>>,
+    heap_disk: Option<Arc<Disk>>,
     rids: Vec<pagestore::RecordId>,
     seq_len: usize,
     len: usize,
@@ -90,15 +95,41 @@ impl SeqIndex {
     ///
     /// Returns `None` for an empty corpus or zero-length sequences.
     pub fn build(corpus: &Corpus, config: IndexConfig) -> Option<Self> {
+        let tree_disk = Arc::new(Disk::new());
+        let heap_disk = Arc::new(Disk::new());
+        let mut index = Self::build_on(
+            corpus,
+            config,
+            Arc::clone(&tree_disk) as Arc<dyn PageDevice>,
+            Arc::clone(&heap_disk) as Arc<dyn PageDevice>,
+        )
+        .expect("building on a healthy in-memory disk cannot fail")?;
+        index.tree_disk = Some(tree_disk);
+        index.heap_disk = Some(heap_disk);
+        Some(index)
+    }
+
+    /// Builds the index over a corpus with caller-supplied page devices —
+    /// e.g. a [`pagestore::FaultyDisk`] for fault-injection testing. The
+    /// caller keeps its device handles to arm fault plans later; an index
+    /// built this way cannot be [`Self::save`]d.
+    ///
+    /// Returns `Ok(None)` for an empty corpus or zero-length sequences, and
+    /// `Err` when a device access fails during construction.
+    pub fn build_on(
+        corpus: &Corpus,
+        config: IndexConfig,
+        tree_device: Arc<dyn PageDevice>,
+        heap_device: Arc<dyn PageDevice>,
+    ) -> Result<Option<Self>, PageError> {
         let seq_len = corpus.series_len();
         if corpus.is_empty() || seq_len == 0 {
-            return None;
+            return Ok(None);
         }
 
         // Record heap: one page stream for the full sequences.
-        let heap_disk = Arc::new(Disk::new());
-        let heap_pool = Arc::new(BufferPool::new(
-            Arc::clone(&heap_disk),
+        let heap_pool = Arc::new(BufferPool::new_dyn(
+            heap_device,
             config.heap_pool_pages.max(1),
         ));
         let heap = DynHeapFile::create(Arc::clone(&heap_pool), seq_len * 8);
@@ -109,7 +140,7 @@ impl SeqIndex {
         let mut buf = vec![0u8; seq_len * 8];
         for (ordinal, ts) in corpus.series().iter().enumerate() {
             encode_record(ts, &mut buf);
-            rids.push(heap.insert(&buf));
+            rids.push(heap.insert(&buf)?);
             match SeqFeatures::extract(ts) {
                 Some(f) => items.push((rstartree::Rect::point(f.point), ordinal as u64)),
                 None => skipped.push(ordinal),
@@ -125,18 +156,20 @@ impl SeqIndex {
         let tree = match config.store {
             StoreKind::Mem => {
                 let store = MemStore::new();
-                TreeImpl::Mem(build_tree(store, params, items, config.bulk))
+                TreeImpl::Mem(build_tree(store, params, items, config.bulk)?)
             }
             StoreKind::Paged => {
-                let store = PagedStore::new(Arc::new(Disk::new()));
-                TreeImpl::Paged(build_tree(store, params, items, config.bulk))
+                let store = PagedStore::new_dyn(tree_device);
+                TreeImpl::Paged(build_tree(store, params, items, config.bulk)?)
             }
         };
 
-        Some(Self {
+        Ok(Some(Self {
             tree,
             heap,
             heap_pool,
+            tree_disk: None,
+            heap_disk: None,
             rids,
             seq_len,
             len: corpus.len(),
@@ -144,7 +177,7 @@ impl SeqIndex {
             deleted: vec![false; corpus.len()],
             leaf_capacity,
             fetches: std::sync::atomic::AtomicU64::new(0),
-        })
+        }))
     }
 
     /// Appends a new sequence to the live index, returning its ordinal.
@@ -160,14 +193,14 @@ impl SeqIndex {
         let ordinal = self.len;
         let mut buf = vec![0u8; self.seq_len * 8];
         encode_record(ts, &mut buf);
-        self.rids.push(self.heap.insert(&buf));
+        self.rids.push(self.heap.insert(&buf)?);
         self.deleted.push(false);
         match SeqFeatures::extract(ts) {
             Some(f) => {
                 let rect = rstartree::Rect::point(f.point);
                 match &mut self.tree {
-                    TreeImpl::Mem(t) => t.insert(rect, ordinal as u64),
-                    TreeImpl::Paged(t) => t.insert(rect, ordinal as u64),
+                    TreeImpl::Mem(t) => t.insert(rect, ordinal as u64)?,
+                    TreeImpl::Paged(t) => t.insert(rect, ordinal as u64)?,
                 }
             }
             None => self.skipped.push(ordinal),
@@ -178,25 +211,25 @@ impl SeqIndex {
 
     /// Removes a sequence from the live index. The record stays in the heap
     /// (append-only) but the index entry is deleted and scans skip the
-    /// tombstone. Returns false when the ordinal is out of range or already
-    /// deleted.
-    pub fn delete_series(&mut self, ordinal: usize) -> bool {
+    /// tombstone. Returns `Ok(false)` when the ordinal is out of range or
+    /// already deleted.
+    pub fn delete_series(&mut self, ordinal: usize) -> Result<bool, QueryError> {
         if ordinal >= self.len || self.deleted[ordinal] {
-            return false;
+            return Ok(false);
         }
         // Recompute the stored feature point to locate the tree entry.
         if !self.skipped.contains(&ordinal) {
-            let ts = self.fetch_series(ordinal);
+            let ts = self.fetch_series(ordinal)?;
             let f = SeqFeatures::extract(&ts).expect("indexed entries are non-degenerate");
             let rect = rstartree::Rect::point(f.point);
             let removed = match &mut self.tree {
-                TreeImpl::Mem(t) => t.delete(&rect, ordinal as u64),
-                TreeImpl::Paged(t) => t.delete(&rect, ordinal as u64),
+                TreeImpl::Mem(t) => t.delete(&rect, ordinal as u64)?,
+                TreeImpl::Paged(t) => t.delete(&rect, ordinal as u64)?,
             };
             debug_assert!(removed, "tree entry for live ordinal {ordinal} must exist");
         }
         self.deleted[ordinal] = true;
-        true
+        Ok(true)
     }
 
     /// Ordinals currently tombstoned by [`Self::delete_series`].
@@ -256,33 +289,39 @@ impl SeqIndex {
     ///
     /// Panics when the record decodes to a degenerate sequence — only
     /// indexed ordinals should be fetched.
-    pub fn fetch(&self, ordinal: usize) -> SeqFeatures {
-        let ts = self.fetch_series(ordinal);
-        SeqFeatures::extract(&ts).unwrap_or_else(|| panic!("fetched degenerate sequence {ordinal}"))
+    pub fn fetch(&self, ordinal: usize) -> Result<SeqFeatures, PageError> {
+        let ts = self.fetch_series(ordinal)?;
+        Ok(SeqFeatures::extract(&ts)
+            .unwrap_or_else(|| panic!("fetched degenerate sequence {ordinal}")))
     }
 
     /// Fetches a sequence's raw samples (a counted page access).
-    pub fn fetch_series(&self, ordinal: usize) -> TimeSeries {
+    pub fn fetch_series(&self, ordinal: usize) -> Result<TimeSeries, PageError> {
         self.fetches
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let bytes = self.heap.get(self.rids[ordinal]);
-        decode_record(&bytes)
+        let bytes = self.heap.get(self.rids[ordinal])?;
+        Ok(decode_record(&bytes))
     }
 
     /// Scans the whole relation (the sequential-scan baseline); one page
-    /// access per heap page.
-    pub fn scan(&self, f: impl FnMut(usize, TimeSeries)) {
-        self.scan_range(0, self.len, f);
+    /// access per heap page. Stops at the first failed page.
+    pub fn scan(&self, f: impl FnMut(usize, TimeSeries)) -> Result<(), PageError> {
+        self.scan_range(0, self.len, f)
     }
 
     /// Scans ordinals `[start, end)`; disjoint ranges can run on separate
-    /// threads (the parallel scan baseline).
-    pub fn scan_range(&self, start: usize, end: usize, mut f: impl FnMut(usize, TimeSeries)) {
+    /// threads (the parallel scan baseline). Stops at the first failed page.
+    pub fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        mut f: impl FnMut(usize, TimeSeries),
+    ) -> Result<(), PageError> {
         self.heap.scan_range(start, end, |ordinal, _rid, bytes| {
             if !self.deleted[ordinal] {
                 f(ordinal, decode_record(bytes));
             }
-        });
+        })
     }
 
     /// Predicate-driven index search (see [`RStarTree::search`]).
@@ -290,7 +329,7 @@ impl SeqIndex {
         &self,
         pred: impl FnMut(&FRect) -> bool,
         on_data: impl FnMut(&FRect, u64),
-    ) -> SearchStats {
+    ) -> Result<SearchStats, PageError> {
         match &self.tree {
             TreeImpl::Mem(t) => t.search(pred, on_data),
             TreeImpl::Paged(t) => t.search(pred, on_data),
@@ -302,7 +341,7 @@ impl SeqIndex {
         &self,
         pred: impl FnMut(&FRect, &FRect) -> bool,
         on_pair: impl FnMut(&FRect, u64, &FRect, u64),
-    ) -> SearchStats {
+    ) -> Result<SearchStats, PageError> {
         match &self.tree {
             TreeImpl::Mem(t) => t.self_join(pred, on_pair),
             TreeImpl::Paged(t) => t.self_join(pred, on_pair),
@@ -310,12 +349,13 @@ impl SeqIndex {
     }
 
     /// Best-first nearest-neighbour search (see [`RStarTree::nearest_by`]).
+    #[allow(clippy::type_complexity)]
     pub fn nearest_by(
         &self,
         k: usize,
         node_bound: impl FnMut(&FRect) -> f64,
         leaf_score: impl FnMut(&FRect, u64) -> Option<f64>,
-    ) -> (Vec<Neighbor<DIMS>>, SearchStats) {
+    ) -> Result<(Vec<Neighbor<DIMS>>, SearchStats), PageError> {
         match &self.tree {
             TreeImpl::Mem(t) => t.nearest_by(k, node_bound, leaf_score),
             TreeImpl::Paged(t) => t.nearest_by(k, node_bound, leaf_score),
@@ -323,13 +363,14 @@ impl SeqIndex {
     }
 
     /// Optimal multi-step k-NN (see [`RStarTree::nearest_by_refine`]).
+    #[allow(clippy::type_complexity)]
     pub fn nearest_by_refine(
         &self,
         k: usize,
         node_bound: impl FnMut(&FRect) -> f64,
         leaf_bound: impl FnMut(&FRect, u64) -> f64,
         refine: impl FnMut(&FRect, u64) -> Option<f64>,
-    ) -> (Vec<Neighbor<DIMS>>, SearchStats) {
+    ) -> Result<(Vec<Neighbor<DIMS>>, SearchStats), PageError> {
         match &self.tree {
             TreeImpl::Mem(t) => t.nearest_by_refine(k, node_bound, leaf_bound, refine),
             TreeImpl::Paged(t) => t.nearest_by_refine(k, node_bound, leaf_bound, refine),
@@ -337,16 +378,18 @@ impl SeqIndex {
     }
 
     /// Zeroes all access counters and empties the record pool, so the next
-    /// query is measured cold (the paper's per-query accounting).
-    pub fn reset_counters(&self) {
+    /// query is measured cold (the paper's per-query accounting). Fails when
+    /// flushing a dirty record page back to a faulted device fails.
+    pub fn reset_counters(&self) -> Result<(), PageError> {
         match &self.tree {
             TreeImpl::Mem(t) => t.store().reset_stats(),
             TreeImpl::Paged(t) => t.store().reset_stats(),
         }
-        self.heap_pool.clear();
+        self.heap_pool.clear()?;
         self.heap_pool.reset_stats();
-        self.heap_pool.disk().reset_stats();
+        self.heap_pool.device().reset_stats();
         self.fetches.store(0, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
     }
 
     /// Snapshot of the access counters.
@@ -362,11 +405,21 @@ impl SeqIndex {
         }
     }
 
-    /// Structural self-check (test support).
-    pub fn validate(&self) -> usize {
+    /// Structural self-check (test support). `Err` means a device failure
+    /// prevented the check, not an invariant violation (those panic).
+    pub fn validate(&self) -> Result<usize, PageError> {
         match &self.tree {
             TreeImpl::Mem(t) => t.validate(),
             TreeImpl::Paged(t) => t.validate(),
+        }
+    }
+
+    /// True when a mutation aborted mid-way on a device error, leaving the
+    /// tree structurally suspect (see [`RStarTree::is_poisoned`]).
+    pub fn tree_poisoned(&self) -> bool {
+        match &self.tree {
+            TreeImpl::Mem(t) => t.is_poisoned(),
+            TreeImpl::Paged(t) => t.is_poisoned(),
         }
     }
 }
@@ -376,15 +429,15 @@ fn build_tree<S: rstartree::NodeStore<DIMS>>(
     params: Params,
     items: Vec<(FRect, u64)>,
     bulk: bool,
-) -> RStarTree<DIMS, S> {
+) -> Result<RStarTree<DIMS, S>, PageError> {
     if bulk {
-        bulk_load_str(store, params, items)
+        Ok(bulk_load_str(store, params, items))
     } else {
         let mut tree = RStarTree::with_params(store, params);
         for (rect, data) in items {
-            tree.insert(rect, data);
+            tree.insert(rect, data)?;
         }
-        tree
+        Ok(tree)
     }
 }
 
@@ -418,9 +471,9 @@ mod tests {
         assert_eq!(idx.len(), 50);
         assert_eq!(idx.seq_len(), 64);
         assert!(idx.skipped().is_empty());
-        idx.validate();
+        idx.validate().unwrap();
         for i in [0usize, 17, 49] {
-            let back = idx.fetch_series(i);
+            let back = idx.fetch_series(i).unwrap();
             for (a, b) in back.values().iter().zip(c.series()[i].values()) {
                 assert!((a - b).abs() < 1e-12);
             }
@@ -442,26 +495,26 @@ mod tests {
         let idx = SeqIndex::build(&c, IndexConfig::default()).unwrap();
         assert_eq!(idx.skipped(), &[5]);
         // The record is still fetchable.
-        assert_eq!(idx.fetch_series(5).values()[0], 3.0);
+        assert_eq!(idx.fetch_series(5).unwrap().values()[0], 3.0);
         // And the index only holds 5 points.
         let mut count = 0;
-        idx.search(|_| true, |_, _| count += 1);
+        idx.search(|_| true, |_, _| count += 1).unwrap();
         assert_eq!(count, 5);
     }
 
     #[test]
     fn counters_reset_and_track() {
         let idx = SeqIndex::build(&corpus(200), IndexConfig::default()).unwrap();
-        idx.reset_counters();
+        idx.reset_counters().unwrap();
         assert_eq!(idx.counters(), AccessCounters::default());
-        let stats = idx.search(|_| true, |_, _| {});
+        let stats = idx.search(|_| true, |_, _| {}).unwrap();
         let counters = idx.counters();
         assert_eq!(counters.node_reads, stats.nodes_accessed);
-        let _ = idx.fetch(0);
+        let _ = idx.fetch(0).unwrap();
         assert!(idx.counters().record_page_reads >= 1);
-        idx.reset_counters();
+        idx.reset_counters().unwrap();
         // Pool was cleared: refetching costs again.
-        let _ = idx.fetch(0);
+        let _ = idx.fetch(0).unwrap();
         assert_eq!(idx.counters().record_page_reads, 1);
     }
 
@@ -479,8 +532,8 @@ mod tests {
         let b = SeqIndex::build(&c, IndexConfig::default()).unwrap();
         let mut got_a = Vec::new();
         let mut got_b = Vec::new();
-        a.search(|_| true, |_, d| got_a.push(d));
-        b.search(|_| true, |_, d| got_b.push(d));
+        a.search(|_| true, |_, d| got_a.push(d)).unwrap();
+        b.search(|_| true, |_, d| got_b.push(d)).unwrap();
         got_a.sort_unstable();
         got_b.sort_unstable();
         assert_eq!(got_a, got_b);
@@ -498,11 +551,11 @@ mod tests {
             },
         )
         .unwrap();
-        incr.validate();
+        incr.validate().unwrap();
         let mut a = Vec::new();
         let mut b = Vec::new();
-        bulk.search(|_| true, |_, d| a.push(d));
-        incr.search(|_| true, |_, d| b.push(d));
+        bulk.search(|_| true, |_, d| a.push(d)).unwrap();
+        incr.search(|_| true, |_, d| b.push(d)).unwrap();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
@@ -542,10 +595,15 @@ impl SeqIndex {
                 "only StoreKind::Paged indexes can be saved",
             ));
         };
+        let (Some(tree_disk), Some(heap_disk)) = (&self.tree_disk, &self.heap_disk) else {
+            return Err(std::io::Error::other(
+                "indexes built on custom devices cannot be saved",
+            ));
+        };
         std::fs::create_dir_all(dir)?;
-        self.heap_pool.flush_all();
-        tree.store().disk().save_to(&dir.join("tree.pg"))?;
-        self.heap_pool.disk().save_to(&dir.join("records.pg"))?;
+        self.heap_pool.flush_all().map_err(std::io::Error::other)?;
+        tree_disk.save_to(&dir.join("tree.pg"))?;
+        heap_disk.save_to(&dir.join("records.pg"))?;
 
         let mut meta = String::new();
         use std::fmt::Write as _;
@@ -680,11 +738,14 @@ impl SeqIndex {
 
         let tree_disk = Arc::new(Disk::load_from(&dir.join("tree.pg"))?);
         let heap_disk = Arc::new(Disk::load_from(&dir.join("records.pg"))?);
-        let heap_pool = Arc::new(BufferPool::new(heap_disk, heap_pool_pages.max(1)));
+        let heap_pool = Arc::new(BufferPool::new(
+            Arc::clone(&heap_disk),
+            heap_pool_pages.max(1),
+        ));
         let heap = DynHeapFile::reopen(Arc::clone(&heap_pool), seq_len * 8, len, heap_pages);
         let rids = (0..len).map(|i| heap.rid_of(i)).collect();
         let tree = RStarTree::open(
-            PagedStore::new(tree_disk),
+            PagedStore::new(Arc::clone(&tree_disk)),
             rstartree::NodeId(tree_root),
             tree_root_level,
             tree_len,
@@ -695,6 +756,8 @@ impl SeqIndex {
             tree: TreeImpl::Paged(tree),
             heap,
             heap_pool,
+            tree_disk: Some(tree_disk),
+            heap_disk: Some(heap_disk),
             rids,
             seq_len,
             len,
@@ -723,7 +786,7 @@ mod maintenance_tests {
             index.insert_series(ts).unwrap();
         }
         assert_eq!(index.len(), 120);
-        index.validate();
+        index.validate().unwrap();
 
         let fresh = SeqIndex::build(&full, IndexConfig::default()).unwrap();
         let family = Family::moving_averages(3..=8, 64);
@@ -741,11 +804,14 @@ mod maintenance_tests {
         let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 90, 64, 67);
         let mut index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
         for victim in [5usize, 30, 31, 89] {
-            assert!(index.delete_series(victim));
-            assert!(!index.delete_series(victim), "double delete returns false");
+            assert!(index.delete_series(victim).unwrap());
+            assert!(
+                !index.delete_series(victim).unwrap(),
+                "double delete returns false"
+            );
         }
         assert_eq!(index.deleted_count(), 4);
-        index.validate();
+        index.validate().unwrap();
 
         let family = Family::moving_averages(2..=6, 64);
         let spec = RangeSpec::correlation(0.9).with_policy(FilterPolicy::Safe);
@@ -765,8 +831,8 @@ mod maintenance_tests {
     fn deleted_set_survives_persistence() {
         let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 40, 64, 71);
         let mut index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
-        index.delete_series(7);
-        index.delete_series(12);
+        index.delete_series(7).unwrap();
+        index.delete_series(12).unwrap();
         let dir = std::env::temp_dir()
             .join("simquery_index_persistence")
             .join("tombstones");
@@ -829,15 +895,15 @@ mod persistence_tests {
         let dir = tmpdir("roundtrip");
         index.save(&dir).unwrap();
         let reopened = SeqIndex::open(&dir, 64).unwrap();
-        reopened.validate();
+        reopened.validate().unwrap();
         assert_eq!(reopened.len(), 150);
         assert_eq!(reopened.seq_len(), 128);
         let got = mtindex::range_query(&reopened, q, &family, &spec).unwrap();
         assert_eq!(want.sorted_pairs(), got.sorted_pairs());
         // Records survive bit-exactly.
         for i in [0usize, 77, 149] {
-            let a = index.fetch_series(i);
-            let b = reopened.fetch_series(i);
+            let a = index.fetch_series(i).unwrap();
+            let b = reopened.fetch_series(i).unwrap();
             assert_eq!(a.values(), b.values());
         }
         std::fs::remove_dir_all(&dir).ok();

@@ -146,6 +146,9 @@ pub enum QueryError {
         /// Length of the indexed sequences.
         indexed: usize,
     },
+    /// A page access failed while executing the query. The query produced
+    /// no partial result — engines abort cleanly on the first device error.
+    Io(pagestore::PageError),
 }
 
 impl fmt::Display for QueryError {
@@ -161,11 +164,25 @@ impl fmt::Display for QueryError {
                     "family built for length {family}, index holds length {indexed}"
                 )
             }
+            Self::Io(e) => write!(f, "page access failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for QueryError {}
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pagestore::PageError> for QueryError {
+    fn from(e: pagestore::PageError) -> Self {
+        Self::Io(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -148,7 +148,7 @@ impl SubseqIndex {
         let stats = self.tree.search(
             |rect| filter.hit(&mbr.apply_to_rect(rect), &region),
             |_, trail_id| candidates.push(trail_id as usize),
-        );
+        )?;
 
         let mut metrics = EngineMetrics {
             node_accesses: stats.nodes_accessed,

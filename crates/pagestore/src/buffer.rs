@@ -1,9 +1,18 @@
-//! A pin-counted LRU buffer pool over a [`Disk`].
+//! A pin-counted LRU buffer pool over a [`PageDevice`].
 //!
 //! The pool's **miss** count is the experiment-visible "number of disk
 //! accesses": a page served from the pool costs nothing, a miss reads the
 //! device (and possibly evicts the least-recently-used unpinned frame,
 //! writing it back if dirty).
+//!
+//! The device underneath may fail (see [`crate::FaultyDisk`]), so every
+//! access returns `Result<_, PageError>`. *Transient* device errors are
+//! retried here — up to [`TRANSIENT_RETRIES`] attempts with doubling
+//! backoff — so a fault that recovers within the retry budget is invisible
+//! to callers (except in the `transient_retries` counter). Persistent
+//! errors propagate; the pool is left consistent: a failed page load frees
+//! the frame, a failed writeback keeps the frame dirty and resident so no
+//! update is lost.
 //!
 //! Concurrency design: one mutex guards the *metadata* (page table, pin
 //! counts, LRU clock); page *contents* live in per-frame `RwLock`s, so
@@ -16,11 +25,18 @@
 //! guard-based: frames are pinned for exactly the closure's duration, which
 //! makes pin leaks impossible by construction.
 
-use crate::disk::Disk;
+use crate::disk::PageDevice;
+use crate::error::PageError;
 use crate::page::{Page, PageId};
 use crate::sync::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Max retry attempts for a transient device error (per access).
+pub const TRANSIENT_RETRIES: u32 = 4;
+/// Initial retry backoff; doubles per attempt (10 → 20 → 40 → 80 µs).
+const BACKOFF_START_US: u64 = 10;
 
 /// Buffer pool counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,6 +47,8 @@ pub struct BufferStats {
     pub misses: u64,
     /// Dirty pages written back during eviction or flush.
     pub writebacks: u64,
+    /// Device accesses retried after a transient fault.
+    pub transient_retries: u64,
 }
 
 impl BufferStats {
@@ -54,6 +72,13 @@ struct FrameMeta {
     last_used: u64,
 }
 
+const EMPTY_FRAME: FrameMeta = FrameMeta {
+    pid: PageId::INVALID,
+    dirty: false,
+    pins: 0,
+    last_used: 0,
+};
+
 struct PoolMeta {
     frames: Vec<FrameMeta>,
     map: HashMap<PageId, usize>,
@@ -63,76 +88,81 @@ struct PoolMeta {
 
 /// A fixed-capacity LRU buffer pool.
 pub struct BufferPool {
-    disk: Arc<Disk>,
+    device: Arc<dyn PageDevice>,
     meta: Mutex<PoolMeta>,
     /// Page contents; the vector never grows, so `&pages[idx]` is stable.
     pages: Vec<RwLock<Page>>,
+    transient_retries: AtomicU64,
 }
 
 impl BufferPool {
-    /// Creates a pool of `capacity` frames over `disk`.
+    /// Creates a pool of `capacity` frames over `device` (a plain
+    /// [`crate::Disk`], a [`crate::FaultyDisk`], or any other device).
     ///
     /// # Panics
     ///
     /// Panics when `capacity` is zero.
-    pub fn new(disk: Arc<Disk>, capacity: usize) -> Self {
+    pub fn new<D: PageDevice + 'static>(device: Arc<D>, capacity: usize) -> Self {
+        Self::new_dyn(device, capacity)
+    }
+
+    /// Like [`Self::new`] for an already type-erased device handle.
+    pub fn new_dyn(device: Arc<dyn PageDevice>, capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let pages = (0..capacity).map(|_| RwLock::new(Page::zeroed())).collect();
         Self {
-            disk,
+            device,
             meta: Mutex::new(PoolMeta {
-                frames: (0..capacity)
-                    .map(|_| FrameMeta {
-                        pid: PageId::INVALID,
-                        dirty: false,
-                        pins: 0,
-                        last_used: 0,
-                    })
-                    .collect(),
+                frames: (0..capacity).map(|_| EMPTY_FRAME).collect(),
                 map: HashMap::new(),
                 clock: 0,
                 stats: BufferStats::default(),
             }),
             pages,
+            transient_retries: AtomicU64::new(0),
         }
     }
 
     /// The device underneath.
-    pub fn disk(&self) -> &Arc<Disk> {
-        &self.disk
+    pub fn device(&self) -> &Arc<dyn PageDevice> {
+        &self.device
     }
 
     /// Allocates a fresh page on the device (not yet cached).
     pub fn alloc(&self) -> PageId {
-        self.disk.alloc()
+        self.device.alloc()
     }
 
     /// Runs `f` over the page, fetching it on a miss. The frame stays pinned
     /// only while `f` runs; concurrent readers of different pages (and of
     /// the same page) proceed in parallel.
-    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> R {
-        let idx = self.pin(pid);
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R, PageError> {
+        let idx = self.pin(pid)?;
         let result = {
             let page = self.pages[idx].read();
             f(&page)
         };
         self.unpin(idx, false);
-        result
+        Ok(result)
     }
 
     /// Like [`Self::with_page`] but mutable; marks the frame dirty.
-    pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
-        let idx = self.pin(pid);
+    pub fn with_page_mut<R>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R, PageError> {
+        let idx = self.pin(pid)?;
         let result = {
             let mut page = self.pages[idx].write();
             f(&mut page)
         };
         self.unpin(idx, true);
-        result
+        Ok(result)
     }
 
-    /// Drops the page from the pool (writing back if dirty) and frees it on
-    /// the device.
+    /// Drops the page from the pool (discarding any cached dirty copy —
+    /// the page is being destroyed) and frees it on the device.
     ///
     /// # Panics
     ///
@@ -141,19 +171,16 @@ impl BufferPool {
         let mut meta = self.meta.lock();
         if let Some(idx) = meta.map.remove(&pid) {
             assert_eq!(meta.frames[idx].pins, 0, "freeing pinned {pid}");
-            meta.frames[idx] = FrameMeta {
-                pid: PageId::INVALID,
-                dirty: false,
-                pins: 0,
-                last_used: 0,
-            };
+            meta.frames[idx] = EMPTY_FRAME;
         }
         drop(meta);
-        self.disk.free(pid);
+        self.device.free(pid);
     }
 
-    /// Writes every dirty frame back to the device.
-    pub fn flush_all(&self) {
+    /// Writes every dirty frame back to the device. On writeback failure
+    /// the frame stays dirty (no update is lost); the first error is
+    /// returned after every dirty frame has been attempted.
+    pub fn flush_all(&self) -> Result<(), PageError> {
         // Pin every dirty frame under the metadata lock, then write back
         // without it (a dirty frame may be page-write-locked by an active
         // user; pinning first keeps it resident while we wait our turn).
@@ -170,22 +197,42 @@ impl BufferPool {
                     pinned.push((idx, frame.pid));
                 }
             }
-            meta.stats.writebacks += pinned.len() as u64;
         }
-        for &(idx, pid) in &pinned {
-            let page = self.pages[idx].read();
-            self.disk.write(pid, &page);
+        let mut first_err = None;
+        let mut failed = vec![false; pinned.len()];
+        for (k, &(idx, pid)) in pinned.iter().enumerate() {
+            let res = {
+                let page = self.pages[idx].read();
+                self.write_retry(pid, &page)
+            };
+            if let Err(e) = res {
+                failed[k] = true;
+                first_err.get_or_insert(e);
+            }
         }
-        for &(idx, _) in &pinned {
-            self.unpin(idx, false);
+        let mut meta = self.meta.lock();
+        for (k, &(idx, _)) in pinned.iter().enumerate() {
+            let frame = &mut meta.frames[idx];
+            debug_assert!(frame.pins > 0);
+            frame.pins -= 1;
+            if failed[k] {
+                frame.dirty = true;
+            } else {
+                meta.stats.writebacks += 1;
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
     /// Flushes and empties the pool; the next access of any page is a miss.
     /// Experiments use this to measure queries cold, like the paper's
-    /// per-query access counts.
-    pub fn clear(&self) {
-        self.flush_all();
+    /// per-query access counts. Fails (without emptying) when a dirty
+    /// frame cannot be written back.
+    pub fn clear(&self) -> Result<(), PageError> {
+        self.flush_all()?;
         let mut meta = self.meta.lock();
         assert!(
             meta.frames.iter().all(|fr| fr.pins == 0),
@@ -193,26 +240,63 @@ impl BufferPool {
         );
         meta.map.clear();
         for frame in meta.frames.iter_mut() {
-            *frame = FrameMeta {
-                pid: PageId::INVALID,
-                dirty: false,
-                pins: 0,
-                last_used: 0,
-            };
+            *frame = EMPTY_FRAME;
         }
+        Ok(())
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> BufferStats {
-        self.meta.lock().stats
+        let mut s = self.meta.lock().stats;
+        s.transient_retries = self.transient_retries.load(Ordering::Relaxed);
+        s
     }
 
     /// Zeroes the counters.
     pub fn reset_stats(&self) {
         self.meta.lock().stats = BufferStats::default();
+        self.transient_retries.store(0, Ordering::Relaxed);
     }
 
-    fn pin(&self, pid: PageId) -> usize {
+    /// Reads `pid` from the device, retrying transient faults with bounded
+    /// doubling backoff.
+    fn read_retry(&self, pid: PageId) -> Result<Page, PageError> {
+        let mut delay = BACKOFF_START_US;
+        let mut attempts = 0;
+        loop {
+            match self.device.read(pid) {
+                Ok(p) => return Ok(p),
+                Err(e) if e.transient && attempts < TRANSIENT_RETRIES => {
+                    attempts += 1;
+                    self.transient_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(delay));
+                    delay *= 2;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes `pid` to the device, retrying transient faults with bounded
+    /// doubling backoff.
+    fn write_retry(&self, pid: PageId, page: &Page) -> Result<(), PageError> {
+        let mut delay = BACKOFF_START_US;
+        let mut attempts = 0;
+        loop {
+            match self.device.write(pid, page) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.transient && attempts < TRANSIENT_RETRIES => {
+                    attempts += 1;
+                    self.transient_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(delay));
+                    delay *= 2;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn pin(&self, pid: PageId) -> Result<usize, PageError> {
         let mut meta = self.meta.lock();
         meta.clock += 1;
         let now = meta.clock;
@@ -221,33 +305,57 @@ impl BufferPool {
             let frame = &mut meta.frames[idx];
             frame.pins += 1;
             frame.last_used = now;
-            return idx;
+            return Ok(idx);
         }
         meta.stats.misses += 1;
 
-        // Choose a frame: an unused one if any, else the LRU unpinned frame.
-        let idx = meta
-            .frames
-            .iter()
-            .enumerate()
-            .filter(|(_, fr)| fr.pins == 0)
-            .min_by_key(|(_, fr)| (fr.pid.is_valid(), fr.last_used))
-            .map(|(i, _)| i)
-            .expect("buffer pool exhausted: every frame is pinned");
-        let old = meta.frames[idx];
-        if old.pid.is_valid() {
-            meta.map.remove(&old.pid);
-            if old.dirty {
-                meta.stats.writebacks += 1;
+        // Candidate victims: unpinned frames, empties first, then LRU. A
+        // dirty victim whose writeback fails is skipped (it stays dirty
+        // and resident — no update lost) and the next candidate is tried.
+        let mut candidates: Vec<usize> = (0..meta.frames.len())
+            .filter(|&i| meta.frames[i].pins == 0)
+            .collect();
+        candidates.sort_by_key(|&i| (meta.frames[i].pid.is_valid(), meta.frames[i].last_used));
+        assert!(
+            !candidates.is_empty(),
+            "buffer pool exhausted: every frame is pinned"
+        );
+        let mut chosen = None;
+        let mut last_err = None;
+        for idx in candidates {
+            let old = meta.frames[idx];
+            if old.pid.is_valid() && old.dirty {
                 // Unpinned frame ⇒ no one holds its page lock; this cannot
                 // block. Holding the metadata lock keeps eviction atomic.
-                let page = self.pages[idx].read();
-                self.disk.write(old.pid, &page);
+                let res = {
+                    let page = self.pages[idx].read();
+                    self.write_retry(old.pid, &page)
+                };
+                match res {
+                    Ok(()) => {
+                        meta.stats.writebacks += 1;
+                        meta.map.remove(&old.pid);
+                        chosen = Some(idx);
+                        break;
+                    }
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
             }
+            if old.pid.is_valid() {
+                meta.map.remove(&old.pid);
+            }
+            chosen = Some(idx);
+            break;
         }
+        let Some(idx) = chosen else {
+            return Err(last_err.expect("no victim chosen without a writeback error"));
+        };
 
-        // Mark the frame pinned *before* releasing the metadata lock so no
-        // concurrent pin() can evict it while we load the page contents.
+        // Mark the frame pinned *before* loading so no concurrent pin()
+        // can evict it while we fill the page contents.
         meta.frames[idx] = FrameMeta {
             pid,
             dirty: false,
@@ -258,9 +366,18 @@ impl BufferPool {
         // Load the contents while still under the metadata lock: a
         // concurrent pin() of the same pid must not read stale bytes. The
         // in-memory device makes this cheap.
-        let fresh = self.disk.read(pid);
-        *self.pages[idx].write() = fresh;
-        idx
+        match self.read_retry(pid) {
+            Ok(fresh) => {
+                *self.pages[idx].write() = fresh;
+                Ok(idx)
+            }
+            Err(e) => {
+                // Undo: release the frame so the pool stays consistent.
+                meta.map.remove(&pid);
+                meta.frames[idx] = EMPTY_FRAME;
+                Err(e)
+            }
+        }
     }
 
     fn unpin(&self, idx: usize, dirty: bool) {
@@ -275,6 +392,8 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::disk::Disk;
+    use crate::fault::{FaultPlan, FaultyDisk};
 
     fn setup(cap: usize, pages: usize) -> (Arc<Disk>, BufferPool, Vec<PageId>) {
         let disk = Arc::new(Disk::new());
@@ -295,8 +414,8 @@ mod tests {
     #[test]
     fn hits_after_first_miss() {
         let (_disk, pool, ids) = setup(4, 2);
-        assert_eq!(pool.with_page(ids[1], |p| p.get_u64(0)), 1);
-        assert_eq!(pool.with_page(ids[1], |p| p.get_u64(0)), 1);
+        assert_eq!(pool.with_page(ids[1], |p| p.get_u64(0)).unwrap(), 1);
+        assert_eq!(pool.with_page(ids[1], |p| p.get_u64(0)).unwrap(), 1);
         let s = pool.stats();
         assert_eq!((s.misses, s.hits), (1, 1));
     }
@@ -304,21 +423,21 @@ mod tests {
     #[test]
     fn lru_evicts_oldest() {
         let (disk, pool, ids) = setup(2, 3);
-        pool.with_page(ids[0], |_| ());
-        pool.with_page(ids[1], |_| ());
-        pool.with_page(ids[2], |_| ()); // evicts ids[0]
+        pool.with_page(ids[0], |_| ()).unwrap();
+        pool.with_page(ids[1], |_| ()).unwrap();
+        pool.with_page(ids[2], |_| ()).unwrap(); // evicts ids[0]
         disk.reset_stats();
-        pool.with_page(ids[1], |_| ()); // hit
+        pool.with_page(ids[1], |_| ()).unwrap(); // hit
         assert_eq!(disk.stats().reads, 0);
-        pool.with_page(ids[0], |_| ()); // miss again
+        pool.with_page(ids[0], |_| ()).unwrap(); // miss again
         assert_eq!(disk.stats().reads, 1);
     }
 
     #[test]
     fn dirty_pages_written_back_on_eviction() {
         let (disk, pool, ids) = setup(1, 2);
-        pool.with_page_mut(ids[0], |p| p.put_u64(0, 777));
-        pool.with_page(ids[1], |_| ()); // forces eviction + writeback
+        pool.with_page_mut(ids[0], |p| p.put_u64(0, 777)).unwrap();
+        pool.with_page(ids[1], |_| ()).unwrap(); // forces eviction + writeback
         assert_eq!(disk.read(ids[0]).get_u64(0), 777);
         assert_eq!(pool.stats().writebacks, 1);
     }
@@ -326,21 +445,21 @@ mod tests {
     #[test]
     fn flush_and_clear_round_trip() {
         let (disk, pool, ids) = setup(4, 2);
-        pool.with_page_mut(ids[0], |p| p.put_u64(8, 5));
-        pool.flush_all();
+        pool.with_page_mut(ids[0], |p| p.put_u64(8, 5)).unwrap();
+        pool.flush_all().unwrap();
         assert_eq!(disk.read(ids[0]).get_u64(8), 5);
         disk.reset_stats();
-        pool.clear();
-        pool.with_page(ids[0], |_| ());
+        pool.clear().unwrap();
+        pool.with_page(ids[0], |_| ()).unwrap();
         assert_eq!(disk.stats().reads, 1, "post-clear access must be a miss");
     }
 
     #[test]
     fn flush_is_idempotent() {
         let (disk, pool, ids) = setup(4, 1);
-        pool.with_page_mut(ids[0], |p| p.put_u64(0, 9));
-        pool.flush_all();
-        pool.flush_all(); // nothing dirty left
+        pool.with_page_mut(ids[0], |p| p.put_u64(0, 9)).unwrap();
+        pool.flush_all().unwrap();
+        pool.flush_all().unwrap(); // nothing dirty left
         assert_eq!(pool.stats().writebacks, 1);
         assert_eq!(disk.read(ids[0]).get_u64(0), 9);
     }
@@ -350,7 +469,7 @@ mod tests {
         let (disk, pool, ids) = setup(2, 5);
         for _round in 0..3 {
             for &pid in &ids {
-                pool.with_page(pid, |p| p.get_u64(0));
+                pool.with_page(pid, |p| p.get_u64(0)).unwrap();
             }
         }
         assert_eq!(pool.stats().misses, disk.stats().reads);
@@ -359,7 +478,7 @@ mod tests {
     #[test]
     fn free_removes_from_pool_and_device() {
         let (disk, pool, ids) = setup(4, 2);
-        pool.with_page_mut(ids[0], |p| p.put_u64(0, 1));
+        pool.with_page_mut(ids[0], |p| p.put_u64(0, 1)).unwrap();
         pool.free(ids[0]);
         let replacement = disk.alloc();
         assert_eq!(replacement, ids[0], "device should recycle the freed id");
@@ -369,8 +488,8 @@ mod tests {
     fn hit_ratio_reporting() {
         let (_d, pool, ids) = setup(4, 1);
         assert_eq!(pool.stats().hit_ratio(), 0.0);
-        pool.with_page(ids[0], |_| ());
-        pool.with_page(ids[0], |_| ());
+        pool.with_page(ids[0], |_| ()).unwrap();
+        pool.with_page(ids[0], |_| ()).unwrap();
         assert!((pool.stats().hit_ratio() - 0.5).abs() < 1e-12);
     }
 
@@ -386,7 +505,7 @@ mod tests {
                 let mut acc = 0u64;
                 for i in 0..200 {
                     let pid = ids[(t + i) % ids.len()];
-                    acc += pool.with_page(pid, |p| p.get_u64(0));
+                    acc += pool.with_page(pid, |p| p.get_u64(0)).unwrap();
                 }
                 acc
             }));
@@ -414,14 +533,15 @@ mod tests {
                     pool.with_page_mut(pid, |p| {
                         let v = p.get_u64(8);
                         p.put_u64(8, v + 1);
-                    });
+                    })
+                    .unwrap();
                 }
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        pool.flush_all();
+        pool.flush_all().unwrap();
         let total = disk.read(ids[0]).get_u64(8) + disk.read(ids[1]).get_u64(8);
         assert_eq!(total, 2000, "every increment must survive");
     }
@@ -440,7 +560,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 pool.with_page(ids[t], |_| {
                     std::thread::sleep(std::time::Duration::from_millis(50))
-                });
+                })
+                .unwrap();
             }));
         }
         for h in handles {
@@ -452,11 +573,80 @@ mod tests {
             start.elapsed()
         );
     }
+
+    fn faulty_setup(cap: usize, pages: usize) -> (Arc<FaultyDisk>, BufferPool, Vec<PageId>) {
+        let disk = Arc::new(Disk::new());
+        let ids: Vec<PageId> = (0..pages)
+            .map(|i| {
+                let pid = disk.alloc();
+                let mut p = Page::zeroed();
+                p.put_u64(0, i as u64);
+                disk.write(pid, &p);
+                pid
+            })
+            .collect();
+        let faulty = Arc::new(FaultyDisk::new(disk));
+        let pool = BufferPool::new(Arc::clone(&faulty), cap);
+        (faulty, pool, ids)
+    }
+
+    #[test]
+    fn transient_read_fault_is_retried_away() {
+        let (faulty, pool, ids) = faulty_setup(2, 1);
+        faulty.arm(FaultPlan::new().transient_at(1, 2));
+        // The miss hits a transient fault twice; bounded retry absorbs it.
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u64(0)).unwrap(), 0);
+        assert_eq!(pool.stats().transient_retries, 2);
+        assert_eq!(faulty.injected().transient_errors, 2);
+    }
+
+    #[test]
+    fn persistent_read_fault_propagates_and_pool_recovers() {
+        let (faulty, pool, ids) = faulty_setup(2, 2);
+        faulty.arm(FaultPlan::new().read_error_at(1));
+        let err = pool.with_page(ids[0], |p| p.get_u64(0)).unwrap_err();
+        assert_eq!(err, PageError::read_io(ids[0]));
+        // The failed load released its frame; the next access succeeds.
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u64(0)).unwrap(), 0);
+        assert_eq!(pool.with_page(ids[1], |p| p.get_u64(0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn failed_writeback_keeps_update_and_skips_victim() {
+        let (faulty, pool, ids) = faulty_setup(2, 3);
+        // Warm two frames, dirty the first.
+        pool.with_page_mut(ids[0], |p| p.put_u64(0, 111)).unwrap();
+        pool.with_page(ids[1], |_| ()).unwrap();
+        // First write attempt fails persistently: eviction must skip the
+        // dirty frame (keeping the update) and evict the clean one.
+        faulty.arm(FaultPlan::new().write_error_at(1));
+        pool.with_page(ids[2], |_| ()).unwrap();
+        faulty.disarm();
+        // The update must still be visible through the pool and must reach
+        // the device on flush.
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u64(0)).unwrap(), 111);
+        pool.flush_all().unwrap();
+        assert_eq!(faulty.inner().read(ids[0]).get_u64(0), 111);
+    }
+
+    #[test]
+    fn failed_flush_keeps_frames_dirty_for_retry() {
+        let (faulty, pool, ids) = faulty_setup(4, 1);
+        pool.with_page_mut(ids[0], |p| p.put_u64(0, 55)).unwrap();
+        faulty.arm(FaultPlan::new().write_error_at(1));
+        assert!(pool.flush_all().is_err());
+        faulty.disarm();
+        // The frame stayed dirty; a later flush lands the update.
+        pool.flush_all().unwrap();
+        assert_eq!(faulty.inner().read(ids[0]).get_u64(0), 55);
+        assert_eq!(pool.stats().writebacks, 1, "only the success is counted");
+    }
 }
 
 #[cfg(all(test, feature = "proptests"))]
 mod shadow_model {
     use super::*;
+    use crate::disk::Disk;
     use proptest::prelude::*;
 
     /// Randomized ops against a shadow map: whatever sequence of writes,
@@ -494,24 +684,24 @@ mod shadow_model {
             for op in ops {
                 match op {
                     Op::Write { page, value } => {
-                        pool.with_page_mut(ids[page], |p| p.put_u64(0, value));
+                        pool.with_page_mut(ids[page], |p| p.put_u64(0, value)).unwrap();
                         shadow[page] = value;
                     }
                     Op::Read { page } => {
-                        let got = pool.with_page(ids[page], |p| p.get_u64(0));
+                        let got = pool.with_page(ids[page], |p| p.get_u64(0)).unwrap();
                         prop_assert_eq!(got, shadow[page], "read through the pool");
                     }
                     Op::Flush => {
-                        pool.flush_all();
+                        pool.flush_all().unwrap();
                         for (i, want) in shadow.iter().enumerate() {
                             prop_assert_eq!(disk.read(ids[i]).get_u64(0), *want);
                         }
                     }
-                    Op::Clear => pool.clear(),
+                    Op::Clear => pool.clear().unwrap(),
                 }
             }
             // Final flush: the device reflects every write.
-            pool.flush_all();
+            pool.flush_all().unwrap();
             for (i, want) in shadow.iter().enumerate() {
                 prop_assert_eq!(disk.read(ids[i]).get_u64(0), *want);
             }

@@ -6,6 +6,7 @@
 //! *counts* drive the cost model of Eq. 18–20, which the paper itself uses
 //! to normalise Figures 8–9).
 
+use crate::error::PageError;
 use crate::page::{Page, PageId};
 use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +20,55 @@ pub struct DiskStats {
     pub writes: u64,
     /// Pages currently allocated.
     pub allocated: u64,
+}
+
+/// A page device the buffer pool can sit on: the plain in-memory [`Disk`]
+/// or a fault-injecting wrapper ([`crate::FaultyDisk`]).
+///
+/// `read`/`write` are fallible — a device is allowed to fail an access —
+/// while `alloc`/`free` are not (allocation is a metadata operation in this
+/// model, and the fault layer targets page I/O). Accessing a page that was
+/// never allocated is a caller bug on every device and still panics.
+pub trait PageDevice: Send + Sync {
+    /// Allocates a zeroed page.
+    fn alloc(&self) -> PageId;
+    /// Returns a page to the free list.
+    fn free(&self, pid: PageId);
+    /// Reads a page, counting one disk access.
+    fn read(&self, pid: PageId) -> Result<Page, PageError>;
+    /// Writes a page, counting one disk access.
+    fn write(&self, pid: PageId, page: &Page) -> Result<(), PageError>;
+    /// Snapshot of the access counters.
+    fn stats(&self) -> DiskStats;
+    /// Zeroes the access counters.
+    fn reset_stats(&self);
+}
+
+impl PageDevice for Disk {
+    fn alloc(&self) -> PageId {
+        Disk::alloc(self)
+    }
+
+    fn free(&self, pid: PageId) {
+        Disk::free(self, pid)
+    }
+
+    fn read(&self, pid: PageId) -> Result<Page, PageError> {
+        Ok(Disk::read(self, pid))
+    }
+
+    fn write(&self, pid: PageId, page: &Page) -> Result<(), PageError> {
+        Disk::write(self, pid, page);
+        Ok(())
+    }
+
+    fn stats(&self) -> DiskStats {
+        Disk::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        Disk::reset_stats(self)
+    }
 }
 
 /// A thread-safe in-memory page device with a free list.

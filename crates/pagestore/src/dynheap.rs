@@ -2,6 +2,7 @@
 //! compile time — sequence records whose length depends on the corpus.
 
 use crate::buffer::BufferPool;
+use crate::error::PageError;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::sync::Mutex;
 use std::sync::Arc;
@@ -114,7 +115,7 @@ impl DynHeapFile {
     /// # Panics
     ///
     /// Panics when `bytes.len() != record_size`.
-    pub fn insert(&self, bytes: &[u8]) -> RecordId {
+    pub fn insert(&self, bytes: &[u8]) -> Result<RecordId, PageError> {
         assert_eq!(bytes.len(), self.record_size, "record size mismatch");
         let mut st = self.state.lock();
         let slot_in_page = st.len % self.per_page;
@@ -132,12 +133,12 @@ impl DynHeapFile {
             p.put_bytes(off, bytes);
             let count = p.get_u16(0);
             p.put_u16(0, count.max(slot + 1));
-        });
-        RecordId { page: pid, slot }
+        })?;
+        Ok(RecordId { page: pid, slot })
     }
 
     /// Reads the record at `rid` into a fresh buffer.
-    pub fn get(&self, rid: RecordId) -> Vec<u8> {
+    pub fn get(&self, rid: RecordId) -> Result<Vec<u8>, PageError> {
         self.pool.with_page(rid.page, |p| {
             let count = p.get_u16(0);
             assert!(
@@ -165,22 +166,29 @@ impl DynHeapFile {
     }
 
     /// Visits every record in insertion order; one page access per page.
-    pub fn scan(&self, mut f: impl FnMut(RecordId, &[u8])) {
+    /// Stops at the first failed page.
+    pub fn scan(&self, mut f: impl FnMut(RecordId, &[u8])) -> Result<(), PageError> {
         let len = self.len();
-        self.scan_range(0, len, |_, rid, bytes| f(rid, bytes));
+        self.scan_range(0, len, |_, rid, bytes| f(rid, bytes))
     }
 
     /// Visits records with ordinals in `[start, end)` in order, passing the
     /// ordinal along; one page access per touched page. Partitioning a scan
-    /// into disjoint ranges lets callers parallelise it.
-    pub fn scan_range(&self, start: usize, end: usize, mut f: impl FnMut(usize, RecordId, &[u8])) {
+    /// into disjoint ranges lets callers parallelise it. Stops at the first
+    /// failed page.
+    pub fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        mut f: impl FnMut(usize, RecordId, &[u8]),
+    ) -> Result<(), PageError> {
         let (pages, len) = {
             let st = self.state.lock();
             (st.pages.clone(), st.len)
         };
         let end = end.min(len);
         if start >= end {
-            return;
+            return Ok(());
         }
         let first_page = start / self.per_page;
         let last_page = (end - 1) / self.per_page;
@@ -207,8 +215,9 @@ impl DynHeapFile {
                         p.get_bytes(off, self.record_size),
                     );
                 }
-            });
+            })?;
         }
+        Ok(())
     }
 }
 
@@ -230,10 +239,12 @@ mod tests {
     #[test]
     fn insert_get_scan_roundtrip() {
         let (_d, h) = heap(100);
-        let rids: Vec<RecordId> = (0..250u8).map(|i| h.insert(&record(i, 100))).collect();
+        let rids: Vec<RecordId> = (0..250u8)
+            .map(|i| h.insert(&record(i, 100)).unwrap())
+            .collect();
         assert_eq!(h.len(), 250);
         for (i, rid) in rids.iter().enumerate() {
-            assert_eq!(h.get(*rid), record(i as u8, 100));
+            assert_eq!(h.get(*rid).unwrap(), record(i as u8, 100));
             assert_eq!(h.rid_of(i), *rid);
         }
         let mut seen = 0;
@@ -241,7 +252,8 @@ mod tests {
             assert_eq!(rid, rids[seen]);
             assert_eq!(bytes, record(seen as u8, 100));
             seen += 1;
-        });
+        })
+        .unwrap();
         assert_eq!(seen, 250);
     }
 
@@ -250,7 +262,7 @@ mod tests {
         let (_d, h) = heap(1024);
         assert_eq!(h.per_page(), (PAGE_SIZE - 8) / 1024);
         for i in 0..h.per_page() + 1 {
-            h.insert(&record(i as u8, 1024));
+            h.insert(&record(i as u8, 1024)).unwrap();
         }
         assert_eq!(h.page_count(), 2);
     }
@@ -259,7 +271,7 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn wrong_size_rejected() {
         let (_d, h) = heap(16);
-        h.insert(&[0u8; 15]);
+        let _ = h.insert(&[0u8; 15]);
     }
 
     #[test]
@@ -291,12 +303,12 @@ mod range_proptests {
             let heap = DynHeapFile::create(pool, 48);
             for i in 0..count {
                 let rec: Vec<u8> = (0..48).map(|k| (i + k) as u8).collect();
-                heap.insert(&rec);
+                heap.insert(&rec).unwrap();
             }
             let mut via_range = Vec::new();
             heap.scan_range(start, end, |ordinal, _, bytes| {
                 via_range.push((ordinal, bytes.to_vec()));
-            });
+            }).unwrap();
             let mut via_full = Vec::new();
             let mut ordinal = 0;
             heap.scan(|_, bytes| {
@@ -304,7 +316,7 @@ mod range_proptests {
                     via_full.push((ordinal, bytes.to_vec()));
                 }
                 ordinal += 1;
-            });
+            }).unwrap();
             prop_assert_eq!(via_range, via_full);
         }
     }

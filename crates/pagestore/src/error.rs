@@ -1,0 +1,135 @@
+//! Typed page-access errors.
+//!
+//! Every fallible page operation in the workspace reports a [`PageError`]:
+//! which page, which operation, what went wrong, and whether a retry can be
+//! expected to succeed. The error is `Copy` so it threads cheaply through
+//! the R*-tree recursion and the query engines.
+
+use crate::page::PageId;
+use std::fmt;
+
+/// The operation that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageOp {
+    /// A page read.
+    Read,
+    /// A page write.
+    Write,
+}
+
+impl fmt::Display for PageOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageOp::Read => write!(f, "read"),
+            PageOp::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// What went wrong with a page access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageErrorKind {
+    /// The device reported an I/O failure.
+    Io,
+    /// The page's contents failed validation — e.g. a torn write was
+    /// detected on the subsequent read (the device model checksums pages,
+    /// so corruption surfaces as a typed error, never as garbage data).
+    Corrupt,
+}
+
+impl fmt::Display for PageErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageErrorKind::Io => write!(f, "i/o error"),
+            PageErrorKind::Corrupt => write!(f, "corrupt page"),
+        }
+    }
+}
+
+/// A failed page access: the page, the operation, the failure kind, and
+/// whether the fault is transient (a bounded retry may succeed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageError {
+    /// The page being accessed.
+    pub pid: PageId,
+    /// The operation that failed.
+    pub op: PageOp,
+    /// The failure kind.
+    pub kind: PageErrorKind,
+    /// Transient faults may succeed when retried; persistent ones won't.
+    pub transient: bool,
+}
+
+impl PageError {
+    /// A persistent read I/O error on `pid`.
+    pub fn read_io(pid: PageId) -> Self {
+        Self {
+            pid,
+            op: PageOp::Read,
+            kind: PageErrorKind::Io,
+            transient: false,
+        }
+    }
+
+    /// A persistent write I/O error on `pid`.
+    pub fn write_io(pid: PageId) -> Self {
+        Self {
+            pid,
+            op: PageOp::Write,
+            kind: PageErrorKind::Io,
+            transient: false,
+        }
+    }
+
+    /// A corruption error detected while reading `pid` (torn write).
+    pub fn corrupt(pid: PageId) -> Self {
+        Self {
+            pid,
+            op: PageOp::Read,
+            kind: PageErrorKind::Corrupt,
+            transient: false,
+        }
+    }
+
+    /// Marks the error transient.
+    pub fn transient(mut self) -> Self {
+        self.transient = true;
+        self
+    }
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} failed: {}{}",
+            self.op,
+            self.pid,
+            self.kind,
+            if self.transient { " (transient)" } else { "" }
+        )
+    }
+}
+
+impl std::error::Error for PageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_page_op_and_kind() {
+        let e = PageError::read_io(PageId(7));
+        assert_eq!(e.to_string(), "read of P7 failed: i/o error");
+        let e = PageError::write_io(PageId(3)).transient();
+        assert_eq!(e.to_string(), "write of P3 failed: i/o error (transient)");
+        let e = PageError::corrupt(PageId(0));
+        assert_eq!(e.to_string(), "read of P0 failed: corrupt page");
+    }
+
+    #[test]
+    fn transient_flag_round_trips() {
+        assert!(!PageError::read_io(PageId(1)).transient);
+        assert!(PageError::read_io(PageId(1)).transient().transient);
+    }
+}

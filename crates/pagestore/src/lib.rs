@@ -14,7 +14,10 @@
 //!   counter is the number of physical accesses the experiments report;
 //! * [`HeapFile`] — a fixed-size-record heap file used to store full
 //!   sequence records (retrieved in the post-processing step 5 of
-//!   Algorithm 1).
+//!   Algorithm 1);
+//! * [`FaultyDisk`] / [`FaultPlan`] — deterministic, seeded fault
+//!   injection over the [`PageDevice`] trait, with typed [`PageError`]s
+//!   that every layer above propagates instead of panicking.
 //!
 //! All structures are thread-safe ([`sync`] wrappers over `std::sync`
 //! locks) so parallel scans and the query server can share them.
@@ -22,15 +25,19 @@
 mod buffer;
 mod disk;
 mod dynheap;
+mod error;
+mod fault;
 mod filedisk;
 mod heap;
 mod page;
 mod stats;
 pub mod sync;
 
-pub use buffer::{BufferPool, BufferStats};
-pub use disk::{Disk, DiskStats};
+pub use buffer::{BufferPool, BufferStats, TRANSIENT_RETRIES};
+pub use disk::{Disk, DiskStats, PageDevice};
 pub use dynheap::DynHeapFile;
+pub use error::{PageError, PageErrorKind, PageOp};
+pub use fault::{FaultCounters, FaultKind, FaultPlan, FaultSpec, FaultyDisk, PlanParams, Trigger};
 pub use heap::{HeapFile, Record, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use stats::AccessStats;

@@ -32,7 +32,9 @@ pub fn bulk_load_str<const D: usize, S: NodeStore<D>>(
     loop {
         let nodes = tile_level(&mut entries, params.max_entries, level);
         if nodes.len() == 1 {
-            let root = store.alloc(&nodes.into_iter().next().expect("one node"));
+            let root = store
+                .alloc(&nodes.into_iter().next().expect("one node"))
+                .expect("bulk-load allocation must succeed on a healthy device");
             // The single node keeps its level so the tree height is right.
             let root_level = level;
             return RStarTree::from_parts(store, root, root_level, len, params);
@@ -42,7 +44,10 @@ pub fn bulk_load_str<const D: usize, S: NodeStore<D>>(
             .into_iter()
             .map(|node| {
                 let mbr = node.mbr();
-                Entry::branch(mbr, store.alloc(&node))
+                let id = store
+                    .alloc(&node)
+                    .expect("bulk-load allocation must succeed on a healthy device");
+                Entry::branch(mbr, id)
             })
             .collect();
         level += 1;
@@ -115,9 +120,9 @@ mod tests {
         for n in [0usize, 1, 5, 16, 100, 1234] {
             let tree = bulk_load_str(MemStore::<2>::new(), Params::with_max(16), points(n));
             assert_eq!(tree.len(), n);
-            tree.validate();
+            tree.validate().unwrap();
             let mut seen = Vec::new();
-            tree.for_each(|_, d| seen.push(d));
+            tree.for_each(|_, d| seen.push(d)).unwrap();
             seen.sort_unstable();
             assert_eq!(seen, (0..n as u64).collect::<Vec<_>>());
         }
@@ -128,7 +133,7 @@ mod tests {
         let items = points(500);
         let tree = bulk_load_str(MemStore::<2>::new(), Params::with_max(16), items.clone());
         let query = Rect::new([100.0, 200.0], [600.0, 800.0]);
-        let (mut got, _) = tree.range(&query);
+        let (mut got, _) = tree.range(&query).unwrap();
         got.sort_by_key(|(_, d)| *d);
         let mut expect: Vec<u64> = items
             .iter()
@@ -143,7 +148,7 @@ mod tests {
     fn bulk_load_packs_tightly() {
         let tree = bulk_load_str(MemStore::<2>::new(), Params::with_max(10), points(1000));
         // 1000 points at fanout 10 → exactly 100 leaves + 10 branches + root.
-        let nodes = tree.validate();
+        let nodes = tree.validate().unwrap();
         assert_eq!(nodes, 111);
         assert_eq!(tree.height(), 3);
     }
@@ -151,12 +156,12 @@ mod tests {
     #[test]
     fn bulk_loaded_tree_accepts_inserts_and_deletes() {
         let mut tree = bulk_load_str(MemStore::<2>::new(), Params::with_max(8), points(200));
-        tree.insert(Rect::point([5000.0, 5000.0]), 9999);
+        tree.insert(Rect::point([5000.0, 5000.0]), 9999).unwrap();
         assert_eq!(tree.len(), 201);
-        tree.validate();
+        tree.validate().unwrap();
         let victim = points(200)[17];
-        assert!(tree.delete(&victim.0, victim.1));
+        assert!(tree.delete(&victim.0, victim.1).unwrap());
         assert_eq!(tree.len(), 200);
-        tree.validate();
+        tree.validate().unwrap();
     }
 }

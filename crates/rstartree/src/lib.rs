@@ -36,13 +36,18 @@
 //! let mut tree: RStarTree<2, MemStore<2>> =
 //!     RStarTree::with_params(MemStore::new(), Params::with_max(8));
 //! for i in 0..100u64 {
-//!     tree.insert(Rect::point([i as f64, (i * 7 % 13) as f64]), i);
+//!     tree.insert(Rect::point([i as f64, (i * 7 % 13) as f64]), i).unwrap();
 //! }
-//! let (hits, stats) = tree.range(&Rect::new([10.0, 0.0], [20.0, 20.0]));
+//! let (hits, stats) = tree.range(&Rect::new([10.0, 0.0], [20.0, 20.0])).unwrap();
 //! assert_eq!(hits.len(), 11);
 //! assert!(stats.nodes_accessed < 40, "the tree prunes");
-//! tree.validate();
+//! tree.validate().unwrap();
 //! ```
+//!
+//! Tree accessors return `Result<_, pagestore::PageError>`: over a plain
+//! in-memory store they never fail, but a [`PagedStore`] over a
+//! [`pagestore::FaultyDisk`] surfaces injected device errors instead of
+//! panicking — the fault-injection test harness relies on this.
 
 mod bulk;
 mod node;

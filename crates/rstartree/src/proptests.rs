@@ -57,10 +57,10 @@ fn empty_tree_sane() {
     let tree = mem_tree(8);
     assert!(tree.is_empty());
     assert_eq!(tree.height(), 1);
-    let (hits, stats) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9]));
+    let (hits, stats) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9])).unwrap();
     assert!(hits.is_empty());
     assert_eq!(stats.nodes_accessed, 1);
-    tree.validate();
+    tree.validate().unwrap();
 }
 
 #[test]
@@ -68,11 +68,11 @@ fn insert_then_find_everything() {
     let mut tree = mem_tree(8);
     let items = random_points(500, 1);
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
     assert_eq!(tree.len(), 500);
-    tree.validate();
-    let (hits, _) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9]));
+    tree.validate().unwrap();
+    let (hits, _) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9])).unwrap();
     assert_eq!(hits.len(), 500);
 }
 
@@ -81,7 +81,7 @@ fn range_query_matches_linear_scan() {
     let items = random_points(800, 2);
     let mut tree = mem_tree(16);
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
     for (qi, query) in [
         Rect::new([-100.0, -100.0], [100.0, 100.0]),
@@ -91,7 +91,7 @@ fn range_query_matches_linear_scan() {
     .iter()
     .enumerate()
     {
-        let (mut got, _) = tree.range(query);
+        let (mut got, _) = tree.range(query).unwrap();
         got.sort_by_key(|(_, d)| *d);
         let mut want: Vec<u64> = items
             .iter()
@@ -112,20 +112,20 @@ fn delete_removes_and_preserves_invariants() {
     let items = random_points(300, 3);
     let mut tree = mem_tree(8);
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
     // Delete every third item.
     for (r, d) in items.iter().step_by(3) {
-        assert!(tree.delete(r, *d), "must find {d}");
+        assert!(tree.delete(r, *d).unwrap(), "must find {d}");
     }
-    tree.validate();
+    tree.validate().unwrap();
     let survivors: Vec<u64> = items
         .iter()
         .enumerate()
         .filter(|(i, _)| i % 3 != 0)
         .map(|(_, (_, d))| *d)
         .collect();
-    let (mut got, _) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9]));
+    let (mut got, _) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9])).unwrap();
     got.sort_by_key(|(_, d)| *d);
     assert_eq!(got.iter().map(|(_, d)| *d).collect::<Vec<_>>(), survivors);
 }
@@ -135,25 +135,31 @@ fn delete_everything_leaves_empty_tree() {
     let items = random_points(120, 4);
     let mut tree = mem_tree(6);
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
     for (r, d) in &items {
-        assert!(tree.delete(r, *d));
+        assert!(tree.delete(r, *d).unwrap());
     }
     assert!(tree.is_empty());
-    tree.validate();
+    tree.validate().unwrap();
     // The tree is reusable afterwards.
-    tree.insert(Rect::point([1.0, 1.0]), 77);
+    tree.insert(Rect::point([1.0, 1.0]), 77).unwrap();
     assert_eq!(tree.len(), 1);
-    tree.validate();
+    tree.validate().unwrap();
 }
 
 #[test]
 fn delete_missing_returns_false() {
     let mut tree = mem_tree(8);
-    tree.insert(Rect::point([1.0, 2.0]), 1);
-    assert!(!tree.delete(&Rect::point([1.0, 2.0]), 2), "wrong payload");
-    assert!(!tree.delete(&Rect::point([9.0, 9.0]), 1), "wrong rect");
+    tree.insert(Rect::point([1.0, 2.0]), 1).unwrap();
+    assert!(
+        !tree.delete(&Rect::point([1.0, 2.0]), 2).unwrap(),
+        "wrong payload"
+    );
+    assert!(
+        !tree.delete(&Rect::point([9.0, 9.0]), 1).unwrap(),
+        "wrong rect"
+    );
     assert_eq!(tree.len(), 1);
 }
 
@@ -161,13 +167,13 @@ fn delete_missing_returns_false() {
 fn duplicate_points_supported() {
     let mut tree = mem_tree(8);
     for d in 0..50 {
-        tree.insert(Rect::point([3.5, 2.25]), d);
+        tree.insert(Rect::point([3.5, 2.25]), d).unwrap();
     }
-    tree.validate();
-    let (hits, _) = tree.range(&Rect::point([3.5, 2.25]));
+    tree.validate().unwrap();
+    let (hits, _) = tree.range(&Rect::point([3.5, 2.25])).unwrap();
     assert_eq!(hits.len(), 50);
-    assert!(tree.delete(&Rect::point([3.5, 2.25]), 25));
-    let (hits, _) = tree.range(&Rect::point([3.5, 2.25]));
+    assert!(tree.delete(&Rect::point([3.5, 2.25]), 25).unwrap());
+    let (hits, _) = tree.range(&Rect::point([3.5, 2.25])).unwrap();
     assert_eq!(hits.len(), 49);
 }
 
@@ -176,15 +182,17 @@ fn nearest_matches_brute_force() {
     let items = random_points(400, 5);
     let mut tree = mem_tree(16);
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
     let queries = [[0.0, 0.0], [999.0, -999.0], [-512.0, 400.0]];
     for q in queries {
-        let (got, _) = tree.nearest_by(
-            5,
-            |rect| rect.min_dist_sq(&q),
-            |rect, _| Some(rect.min_dist_sq(&q)),
-        );
+        let (got, _) = tree
+            .nearest_by(
+                5,
+                |rect| rect.min_dist_sq(&q),
+                |rect, _| Some(rect.min_dist_sq(&q)),
+            )
+            .unwrap();
         assert_eq!(got.len(), 5);
         let mut brute: Vec<(f64, u64)> =
             items.iter().map(|(r, d)| (r.min_dist_sq(&q), *d)).collect();
@@ -204,15 +212,17 @@ fn nearest_matches_brute_force() {
 fn nearest_leaf_score_filter_applies() {
     let mut tree = mem_tree(8);
     for (r, d) in random_points(100, 6) {
-        tree.insert(r, d);
+        tree.insert(r, d).unwrap();
     }
     let q = [0.0, 0.0];
     // Disqualify even payloads.
-    let (got, _) = tree.nearest_by(
-        10,
-        |rect| rect.min_dist_sq(&q),
-        |rect, d| (d % 2 == 1).then(|| rect.min_dist_sq(&q)),
-    );
+    let (got, _) = tree
+        .nearest_by(
+            10,
+            |rect| rect.min_dist_sq(&q),
+            |rect, d| (d % 2 == 1).then(|| rect.min_dist_sq(&q)),
+        )
+        .unwrap();
     assert_eq!(got.len(), 10);
     assert!(got.iter().all(|n| n.data % 2 == 1));
 }
@@ -222,13 +232,15 @@ fn nearest_dfs_matches_best_first() {
     let items = random_points(600, 31);
     let mut tree = mem_tree(16);
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
     for q in [[0.0, 0.0], [750.0, -320.0], [-999.0, 999.0]] {
         for k in [1usize, 3, 10] {
-            let (bf, _) = tree.nearest_by(k, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)));
+            let (bf, _) = tree
+                .nearest_by(k, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)))
+                .unwrap();
             for use_mm in [false, true] {
-                let (dfs, _) = tree.nearest_dfs(k, &q, use_mm);
+                let (dfs, _) = tree.nearest_dfs(k, &q, use_mm).unwrap();
                 assert_eq!(bf.len(), dfs.len(), "k={k}");
                 for (a, b) in bf.iter().zip(&dfs) {
                     assert!(
@@ -248,10 +260,10 @@ fn nearest_dfs_prunes() {
     let items = random_points(3000, 33);
     let mut tree = mem_tree(16);
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
-    let total = tree.validate() as u64;
-    let (_, stats) = tree.nearest_dfs(1, &[10.0, 10.0], true);
+    let total = tree.validate().unwrap() as u64;
+    let (_, stats) = tree.nearest_dfs(1, &[10.0, 10.0], true).unwrap();
     assert!(
         stats.nodes_accessed < total / 3,
         "DFS NN should prune most of {total} nodes, visited {}",
@@ -264,23 +276,27 @@ fn nearest_by_refine_matches_plain_nearest() {
     let items = random_points(500, 21);
     let mut tree = mem_tree(12);
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
     let q = [37.0, -12.0];
     // Exact distance is the point distance; the "cheap" leaf bound is a
     // deliberately slack half of it, forcing deferred refinement to do the
     // ordering work.
-    let (plain, _) = tree.nearest_by(7, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)));
+    let (plain, _) = tree
+        .nearest_by(7, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)))
+        .unwrap();
     let mut refined_count = 0;
-    let (refined, stats) = tree.nearest_by_refine(
-        7,
-        |r| 0.5 * r.min_dist_sq(&q),
-        |r, _| 0.5 * r.min_dist_sq(&q),
-        |r, _| {
-            refined_count += 1;
-            Some(r.min_dist_sq(&q))
-        },
-    );
+    let (refined, stats) = tree
+        .nearest_by_refine(
+            7,
+            |r| 0.5 * r.min_dist_sq(&q),
+            |r, _| 0.5 * r.min_dist_sq(&q),
+            |r, _| {
+                refined_count += 1;
+                Some(r.min_dist_sq(&q))
+            },
+        )
+        .unwrap();
     assert_eq!(plain.len(), refined.len());
     for (a, b) in plain.iter().zip(&refined) {
         assert!((a.dist - b.dist).abs() < 1e-12, "{} vs {}", a.dist, b.dist);
@@ -297,15 +313,17 @@ fn nearest_by_refine_filter_via_none() {
     let items = random_points(200, 22);
     let mut tree = mem_tree(8);
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
     let q = [0.0, 0.0];
-    let (got, _) = tree.nearest_by_refine(
-        5,
-        |r| r.min_dist_sq(&q),
-        |r, _| r.min_dist_sq(&q),
-        |r, d| (d % 3 == 0).then(|| r.min_dist_sq(&q)),
-    );
+    let (got, _) = tree
+        .nearest_by_refine(
+            5,
+            |r| r.min_dist_sq(&q),
+            |r, _| r.min_dist_sq(&q),
+            |r, d| (d % 3 == 0).then(|| r.min_dist_sq(&q)),
+        )
+        .unwrap();
     assert_eq!(got.len(), 5);
     assert!(got.iter().all(|n| n.data % 3 == 0));
     // Matches brute force over the filtered subset.
@@ -325,7 +343,7 @@ fn self_join_reports_each_pair_once() {
     let items = random_points(150, 7);
     let mut tree = mem_tree(8);
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
     let thresh = 150.0;
     let pred = |a: &Rect<2>, b: &Rect<2>| {
@@ -335,7 +353,8 @@ fn self_join_reports_each_pair_once() {
     let mut pairs = Vec::new();
     tree.self_join(pred, |_, d1, _, d2| {
         pairs.push((d1.min(d2), d1.max(d2)));
-    });
+    })
+    .unwrap();
     let mut sorted = pairs.clone();
     sorted.sort_unstable();
     sorted.dedup();
@@ -369,17 +388,18 @@ fn join_two_trees_matches_nested_loop() {
     let mut a = mem_tree(8);
     let mut b = mem_tree(12);
     for (r, d) in &a_items {
-        a.insert(*r, *d);
+        a.insert(*r, *d).unwrap();
     }
     for (r, d) in &b_items {
-        b.insert(*r, *d);
+        b.insert(*r, *d).unwrap();
     }
     let thresh = 100.0;
     let pred = |x: &Rect<2>, y: &Rect<2>| {
         (0..2).all(|i| x.lo[i] - thresh <= y.hi[i] && y.lo[i] - thresh <= x.hi[i])
     };
     let mut got = Vec::new();
-    a.join_with(&b, pred, |_, d1, _, d2| got.push((d1, d2)));
+    a.join_with(&b, pred, |_, d1, _, d2| got.push((d1, d2)))
+        .unwrap();
     got.sort_unstable();
     let mut want = Vec::new();
     for (ra, da) in &a_items {
@@ -403,13 +423,13 @@ fn paged_store_tree_equals_mem_tree() {
     let mut paged: RStarTree<2, PagedStore<2>> =
         RStarTree::with_params(PagedStore::new(disk), Params::with_max(16));
     for (r, d) in &items {
-        mem.insert(*r, *d);
-        paged.insert(*r, *d);
+        mem.insert(*r, *d).unwrap();
+        paged.insert(*r, *d).unwrap();
     }
-    paged.validate();
+    paged.validate().unwrap();
     let query = Rect::new([-300.0, -300.0], [300.0, 300.0]);
-    let (mut g1, _) = mem.range(&query);
-    let (mut g2, _) = paged.range(&query);
+    let (mut g1, _) = mem.range(&query).unwrap();
+    let (mut g2, _) = paged.range(&query).unwrap();
     g1.sort_by_key(|(_, d)| *d);
     g2.sort_by_key(|(_, d)| *d);
     assert_eq!(g1, g2);
@@ -424,7 +444,7 @@ fn paged_tree_survives_disk_image_roundtrip() {
     let mut tree: RStarTree<2, PagedStore<2>> =
         RStarTree::with_params(PagedStore::new(Arc::clone(&disk)), Params::with_max(16));
     for (r, d) in &items {
-        tree.insert(*r, *d);
+        tree.insert(*r, *d).unwrap();
     }
     let (root, level, len) = (tree.root_id(), tree.root_level(), tree.len());
     let params = *tree.params();
@@ -434,11 +454,11 @@ fn paged_tree_survives_disk_image_roundtrip() {
     let reopened_disk = Arc::new(Disk::load_from(&path).unwrap());
     let reopened: RStarTree<2, PagedStore<2>> =
         RStarTree::open(PagedStore::new(reopened_disk), root, level, len, params);
-    reopened.validate();
+    reopened.validate().unwrap();
 
     let q = Rect::new([-400.0, -400.0], [400.0, 400.0]);
-    let (mut a, _) = tree.range(&q);
-    let (mut b, _) = reopened.range(&q);
+    let (mut a, _) = tree.range(&q).unwrap();
+    let (mut b, _) = reopened.range(&q).unwrap();
     a.sort_by_key(|(_, d)| *d);
     b.sort_by_key(|(_, d)| *d);
     assert_eq!(a, b);
@@ -449,10 +469,12 @@ fn paged_tree_survives_disk_image_roundtrip() {
 fn node_access_counting_via_store() {
     let mut tree = mem_tree(8);
     for (r, d) in random_points(200, 11) {
-        tree.insert(r, d);
+        tree.insert(r, d).unwrap();
     }
     tree.store().reset_stats();
-    let (_, stats) = tree.range(&Rect::new([-50.0, -50.0], [50.0, 50.0]));
+    let (_, stats) = tree
+        .range(&Rect::new([-50.0, -50.0], [50.0, 50.0]))
+        .unwrap();
     assert_eq!(tree.store().stats().reads, stats.nodes_accessed);
 }
 
@@ -460,10 +482,10 @@ fn node_access_counting_via_store() {
 fn search_prunes_subtrees() {
     let mut tree = mem_tree(8);
     for (r, d) in random_points(2000, 12) {
-        tree.insert(r, d);
+        tree.insert(r, d).unwrap();
     }
-    let total_nodes = tree.validate() as u64;
-    let (_, stats) = tree.range(&Rect::new([0.0, 0.0], [10.0, 10.0]));
+    let total_nodes = tree.validate().unwrap() as u64;
+    let (_, stats) = tree.range(&Rect::new([0.0, 0.0], [10.0, 10.0])).unwrap();
     assert!(
         stats.nodes_accessed < total_nodes / 4,
         "tiny query should prune most of {total_nodes} nodes, accessed {}",
@@ -481,9 +503,9 @@ fn forced_reinsert_occurs_with_default_params() {
     for i in 0..1000u64 {
         let x = (i % 100) as f64;
         let y = (i / 100) as f64;
-        tree.insert(Rect::point([x, y]), i);
+        tree.insert(Rect::point([x, y]), i).unwrap();
     }
-    let nodes = tree.validate();
+    let nodes = tree.validate().unwrap();
     // 1000 entries, fanout 10 → ≥ 100 leaves; decent packing keeps total
     // well under the no-reinsert worst case.
     assert!(nodes < 260, "too many nodes: {nodes}");
@@ -504,20 +526,20 @@ fn invariants_under_random_insert_delete() {
             let y = rng.below(200) as i32 - 100;
             let p = Rect::point([x as f64, y as f64]);
             if op < 3 || shadow.is_empty() {
-                tree.insert(p, next_id);
+                tree.insert(p, next_id).unwrap();
                 shadow.push((p, next_id));
                 next_id += 1;
             } else {
                 let victim = shadow.swap_remove((x.unsigned_abs() as usize) % shadow.len());
-                assert!(tree.delete(&victim.0, victim.1), "case {case}");
+                assert!(tree.delete(&victim.0, victim.1).unwrap(), "case {case}");
             }
         }
-        tree.validate();
+        tree.validate().unwrap();
         assert_eq!(tree.len(), shadow.len(), "case {case}");
 
         // Full-recall check against the shadow copy.
         let q = Rect::new([-50.0, -50.0], [50.0, 50.0]);
-        let (mut got, _) = tree.range(&q);
+        let (mut got, _) = tree.range(&q).unwrap();
         got.sort_by_key(|(_, d)| *d);
         let mut want: Vec<u64> = shadow
             .iter()
@@ -547,14 +569,14 @@ fn bulk_load_equals_insertion_results() {
             })
             .collect();
         let bulk = bulk_load_str(MemStore::new(), Params::with_max(max), items.clone());
-        bulk.validate();
+        bulk.validate().unwrap();
         let mut incr = RStarTree::with_params(MemStore::new(), Params::with_max(max));
         for (r, d) in &items {
-            incr.insert(*r, *d);
+            incr.insert(*r, *d).unwrap();
         }
         let q = Rect::new([-250.0, -250.0], [250.0, 250.0]);
-        let (mut a, _) = bulk.range(&q);
-        let (mut b, _) = incr.range(&q);
+        let (mut a, _) = bulk.range(&q).unwrap();
+        let (mut b, _) = incr.range(&q).unwrap();
         a.sort_by_key(|(_, d)| *d);
         b.sort_by_key(|(_, d)| *d);
         assert_eq!(a, b, "case {case}");
@@ -572,14 +594,138 @@ fn nearest_one_is_global_minimum() {
         let (qx, qy) = (rng.range_f64(-150.0, 150.0), rng.range_f64(-150.0, 150.0));
         let mut tree = mem_tree(8);
         for (i, (x, y)) in pts.iter().enumerate() {
-            tree.insert(Rect::point([*x, *y]), i as u64);
+            tree.insert(Rect::point([*x, *y]), i as u64).unwrap();
         }
         let q = [qx, qy];
-        let (got, _) = tree.nearest_by(1, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)));
+        let (got, _) = tree
+            .nearest_by(1, |r| r.min_dist_sq(&q), |r, _| Some(r.min_dist_sq(&q)))
+            .unwrap();
         let best = pts
             .iter()
             .map(|(x, y)| (x - qx) * (x - qx) + (y - qy) * (y - qy))
             .fold(f64::INFINITY, f64::min);
         assert!((got[0].dist - best).abs() < 1e-9, "case {case}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-tolerance satellites: forced-reinsert exercise and containment
+// invariants under mixed insert/delete workloads.
+// ---------------------------------------------------------------------
+
+/// Walks the whole tree checking that every parent entry rectangle
+/// *contains* its entire subtree (a weaker cousin of `validate`'s exact-MBR
+/// check, asserted explicitly because containment is what query soundness
+/// rests on).
+fn assert_containment(tree: &Tree2) {
+    fn rec(tree: &Tree2, id: NodeId, bound: Option<&Rect<2>>) {
+        let node = tree.store().get(id).unwrap();
+        for e in &node.entries {
+            if let Some(b) = bound {
+                assert!(
+                    b.contains_rect(&e.rect),
+                    "entry rect {:?} escapes parent bound {:?}",
+                    e.rect,
+                    b
+                );
+            }
+            if !node.is_leaf() {
+                rec(tree, e.child(), Some(&e.rect));
+            }
+        }
+    }
+    rec(tree, tree.root_id(), None);
+}
+
+/// Forced reinsertion must actually run (not just split) and leave both the
+/// exact-MBR invariants and containment intact, with full recall.
+#[test]
+fn forced_reinsert_preserves_invariants_and_recall() {
+    for seed in [11u64, 47, 901] {
+        let mut rng = MiniRng::new(seed);
+        // Small fanout with a large reinsert fraction maximises the number
+        // of forced-reinsert events; clustered input makes overflow common.
+        let params = Params {
+            max_entries: 8,
+            min_entries: 3,
+            reinsert_count: 3,
+        };
+        let mut tree: Tree2 = RStarTree::with_params(MemStore::new(), params);
+        let mut items = Vec::new();
+        for i in 0..600u64 {
+            // Clustered around a handful of centres so one subtree keeps
+            // overflowing and the reinsert path fires repeatedly.
+            let cx = (rng.below(5) as f64) * 400.0;
+            let cy = (rng.below(5) as f64) * 400.0;
+            let p = Rect::point([
+                cx + rng.range_f64(-20.0, 20.0),
+                cy + rng.range_f64(-20.0, 20.0),
+            ]);
+            tree.insert(p, i).unwrap();
+            items.push((p, i));
+            if i % 97 == 0 {
+                assert_containment(&tree);
+            }
+        }
+        let nodes = tree.validate().unwrap();
+        assert_containment(&tree);
+        // Reinsertion should pack better than the pure-split worst case.
+        assert!(nodes < 220, "seed {seed}: too many nodes: {nodes}");
+        let (hits, _) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9])).unwrap();
+        assert_eq!(hits.len(), 600, "seed {seed}");
+        // Point recall for a sample of items.
+        for (r, d) in items.iter().step_by(37) {
+            let (got, _) = tree.range(r).unwrap();
+            assert!(got.iter().any(|(_, gd)| gd == d), "seed {seed}: lost {d}");
+        }
+    }
+}
+
+/// Mixed insert/delete workloads (with deletes aggressive enough to force
+/// condensation and orphan reinsertion) keep MBR containment and exact
+/// parent rectangles at every step.
+#[test]
+fn mbr_containment_under_mixed_insert_delete() {
+    let mut rng = MiniRng::new(0xC0FF_EE00);
+    for case in 0..12 {
+        let max = 4 + rng.below(10) as usize;
+        let mut tree = mem_tree(max);
+        let mut live: Vec<(Rect<2>, u64)> = Vec::new();
+        let mut next = 0u64;
+        for step in 0..400 {
+            // Waves: mostly-insert phases then mostly-delete phases, so the
+            // tree grows tall and then condenses hard.
+            let deleting = (step / 50) % 2 == 1;
+            let del = deleting && !live.is_empty() && rng.below(10) < 7;
+            if del {
+                let k = rng.below(live.len() as u64) as usize;
+                let victim = live.swap_remove(k);
+                assert!(
+                    tree.delete(&victim.0, victim.1).unwrap(),
+                    "case {case}: victim {} vanished",
+                    victim.1
+                );
+            } else {
+                let p = Rect::point([rng.range_f64(-500.0, 500.0), rng.range_f64(-500.0, 500.0)]);
+                tree.insert(p, next).unwrap();
+                live.push((p, next));
+                next += 1;
+            }
+            if step % 23 == 0 {
+                assert_containment(&tree);
+            }
+        }
+        tree.validate().unwrap();
+        assert_containment(&tree);
+        assert_eq!(tree.len(), live.len(), "case {case}");
+        let (mut got, _) = tree.range(&Rect::new([-1e9, -1e9], [1e9, 1e9])).unwrap();
+        got.sort_by_key(|(_, d)| *d);
+        let mut want: Vec<u64> = live.iter().map(|(_, d)| *d).collect();
+        want.sort_unstable();
+        assert_eq!(
+            got.into_iter().map(|(_, d)| d).collect::<Vec<_>>(),
+            want,
+            "case {case}"
+        );
     }
 }

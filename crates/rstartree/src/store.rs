@@ -8,7 +8,7 @@
 
 use crate::node::{Node, NodeId};
 use pagestore::sync::Mutex;
-use pagestore::{BufferPool, Disk, PageId};
+use pagestore::{BufferPool, PageDevice, PageError, PageId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,15 +22,19 @@ pub struct StoreStats {
 }
 
 /// Storage abstraction for tree nodes.
+///
+/// Accessors return [`PageError`] when the backing device fails (only
+/// possible for paged stores over a faulty device); passing an id that was
+/// never allocated or already freed is a caller bug and still panics.
 pub trait NodeStore<const D: usize> {
     /// Allocates a slot for a node and stores it.
-    fn alloc(&self, node: &Node<D>) -> NodeId;
+    fn alloc(&self, node: &Node<D>) -> Result<NodeId, PageError>;
 
     /// Runs `f` over the stored node, counting one read.
-    fn read<R>(&self, id: NodeId, f: &mut dyn FnMut(&Node<D>) -> R) -> R;
+    fn read<R>(&self, id: NodeId, f: &mut dyn FnMut(&Node<D>) -> R) -> Result<R, PageError>;
 
     /// Replaces a stored node, counting one write.
-    fn write(&self, id: NodeId, node: &Node<D>);
+    fn write(&self, id: NodeId, node: &Node<D>) -> Result<(), PageError>;
 
     /// Frees a node's slot.
     fn free(&self, id: NodeId);
@@ -42,7 +46,7 @@ pub trait NodeStore<const D: usize> {
     fn reset_stats(&self);
 
     /// Convenience: clone the node out.
-    fn get(&self, id: NodeId) -> Node<D> {
+    fn get(&self, id: NodeId) -> Result<Node<D>, PageError> {
         self.read(id, &mut |n| n.clone())
     }
 }
@@ -87,20 +91,20 @@ impl<const D: usize> MemStore<D> {
 }
 
 impl<const D: usize> NodeStore<D> for MemStore<D> {
-    fn alloc(&self, node: &Node<D>) -> NodeId {
+    fn alloc(&self, node: &Node<D>) -> Result<NodeId, PageError> {
         self.writes.fetch_add(1, Ordering::Relaxed);
         let mut slots = self.slots.lock();
-        if let Some(id) = slots.free.pop() {
+        Ok(if let Some(id) = slots.free.pop() {
             slots.nodes[id.0 as usize] = Some(node.clone());
             id
         } else {
             let id = NodeId(u32::try_from(slots.nodes.len()).expect("store full"));
             slots.nodes.push(Some(node.clone()));
             id
-        }
+        })
     }
 
-    fn read<R>(&self, id: NodeId, f: &mut dyn FnMut(&Node<D>) -> R) -> R {
+    fn read<R>(&self, id: NodeId, f: &mut dyn FnMut(&Node<D>) -> R) -> Result<R, PageError> {
         self.reads.fetch_add(1, Ordering::Relaxed);
         let slots = self.slots.lock();
         let node = slots
@@ -108,10 +112,10 @@ impl<const D: usize> NodeStore<D> for MemStore<D> {
             .get(id.0 as usize)
             .and_then(Option::as_ref)
             .unwrap_or_else(|| panic!("read of unallocated node {id:?}"));
-        f(node)
+        Ok(f(node))
     }
 
-    fn write(&self, id: NodeId, node: &Node<D>) {
+    fn write(&self, id: NodeId, node: &Node<D>) -> Result<(), PageError> {
         self.writes.fetch_add(1, Ordering::Relaxed);
         let mut slots = self.slots.lock();
         let slot = slots
@@ -120,6 +124,7 @@ impl<const D: usize> NodeStore<D> for MemStore<D> {
             .expect("write to unallocated node");
         assert!(slot.is_some(), "write to freed node {id:?}");
         *slot = Some(node.clone());
+        Ok(())
     }
 
     fn free(&self, id: NodeId) {
@@ -152,54 +157,67 @@ impl<const D: usize> NodeStore<D> for MemStore<D> {
 /// the "cold" configuration the paper's per-query access counts correspond
 /// to.
 pub struct PagedStore<const D: usize> {
-    disk: Arc<Disk>,
+    device: Arc<dyn PageDevice>,
     pool: Option<Arc<BufferPool>>,
 }
 
 impl<const D: usize> PagedStore<D> {
-    /// Unbuffered store: every node read is a disk read.
-    pub fn new(disk: Arc<Disk>) -> Self {
-        Self { disk, pool: None }
+    /// Unbuffered store: every node read is a device read.
+    pub fn new<Dev: PageDevice + 'static>(device: Arc<Dev>) -> Self {
+        Self::new_dyn(device)
+    }
+
+    /// Unbuffered store over an already-erased device handle.
+    pub fn new_dyn(device: Arc<dyn PageDevice>) -> Self {
+        Self { device, pool: None }
     }
 
     /// Buffered store: node reads go through `pool`.
     pub fn with_pool(pool: Arc<BufferPool>) -> Self {
         Self {
-            disk: Arc::clone(pool.disk()),
+            device: Arc::clone(pool.device()),
             pool: Some(pool),
         }
     }
 
     /// The device underneath.
-    pub fn disk(&self) -> &Arc<Disk> {
-        &self.disk
+    pub fn device(&self) -> &Arc<dyn PageDevice> {
+        &self.device
+    }
+
+    /// The attached buffer pool, when any.
+    pub fn pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
     }
 }
 
 impl<const D: usize> NodeStore<D> for PagedStore<D> {
-    fn alloc(&self, node: &Node<D>) -> NodeId {
-        let pid = self.disk.alloc();
+    fn alloc(&self, node: &Node<D>) -> Result<NodeId, PageError> {
+        let pid = self.device.alloc();
         let id = NodeId(pid.0);
-        self.write(id, node);
-        id
+        self.write(id, node)?;
+        Ok(id)
     }
 
-    fn read<R>(&self, id: NodeId, f: &mut dyn FnMut(&Node<D>) -> R) -> R {
+    fn read<R>(&self, id: NodeId, f: &mut dyn FnMut(&Node<D>) -> R) -> Result<R, PageError> {
         let pid = PageId(id.0);
         match &self.pool {
             Some(pool) => pool.with_page(pid, |p| f(&Node::read_page(p))),
-            None => self.disk.with_page(pid, |p| f(&Node::read_page(p))),
+            None => {
+                let page = self.device.read(pid)?;
+                Ok(f(&Node::read_page(&page)))
+            }
         }
     }
 
-    fn write(&self, id: NodeId, node: &Node<D>) {
+    fn write(&self, id: NodeId, node: &Node<D>) -> Result<(), PageError> {
         let pid = PageId(id.0);
         match &self.pool {
             Some(pool) => pool.with_page_mut(pid, |p| node.write_page(p)),
             None => {
                 let mut page = pagestore::Page::zeroed();
                 node.write_page(&mut page);
-                self.disk.write(pid, &page);
+                self.device.write(pid, &page)
             }
         }
     }
@@ -208,7 +226,7 @@ impl<const D: usize> NodeStore<D> for PagedStore<D> {
         let pid = PageId(id.0);
         match &self.pool {
             Some(pool) => pool.free(pid),
-            None => self.disk.free(pid),
+            None => self.device.free(pid),
         }
     }
 
@@ -223,7 +241,7 @@ impl<const D: usize> NodeStore<D> for PagedStore<D> {
                 }
             }
             None => {
-                let s = self.disk.stats();
+                let s = self.device.stats();
                 StoreStats {
                     reads: s.reads,
                     writes: s.writes,
@@ -235,7 +253,7 @@ impl<const D: usize> NodeStore<D> for PagedStore<D> {
     fn reset_stats(&self) {
         match &self.pool {
             Some(pool) => pool.reset_stats(),
-            None => self.disk.reset_stats(),
+            None => self.device.reset_stats(),
         }
     }
 }
@@ -245,6 +263,7 @@ mod tests {
     use super::*;
     use crate::node::Entry;
     use crate::rect::Rect;
+    use pagestore::Disk;
 
     fn sample_node(level: u32, n: u64) -> Node<2> {
         let mut node = Node::new(level);
@@ -256,18 +275,18 @@ mod tests {
     }
 
     fn exercise<S: NodeStore<2>>(store: &S) {
-        let a = store.alloc(&sample_node(0, 5));
-        let b = store.alloc(&sample_node(1, 3));
+        let a = store.alloc(&sample_node(0, 5)).unwrap();
+        let b = store.alloc(&sample_node(1, 3)).unwrap();
         assert_ne!(a, b);
-        assert_eq!(store.get(a).entries.len(), 5);
-        assert_eq!(store.get(b).level, 1);
+        assert_eq!(store.get(a).unwrap().entries.len(), 5);
+        assert_eq!(store.get(b).unwrap().level, 1);
 
-        store.write(a, &sample_node(0, 7));
-        assert_eq!(store.get(a).entries.len(), 7);
+        store.write(a, &sample_node(0, 7)).unwrap();
+        assert_eq!(store.get(a).unwrap().entries.len(), 7);
 
         store.free(b);
-        let c = store.alloc(&sample_node(2, 1));
-        assert_eq!(store.get(c).level, 2);
+        let c = store.alloc(&sample_node(2, 1)).unwrap();
+        assert_eq!(store.get(c).unwrap().level, 2);
     }
 
     #[test]
@@ -292,7 +311,7 @@ mod tests {
         let disk = Arc::new(Disk::new());
         let pool = Arc::new(BufferPool::new(disk, 8));
         let store = PagedStore::<2>::with_pool(pool);
-        let a = store.alloc(&sample_node(0, 4));
+        let a = store.alloc(&sample_node(0, 4)).unwrap();
         store.reset_stats();
         // The alloc left the page cached; repeated reads are hits.
         for _ in 0..5 {
@@ -308,7 +327,7 @@ mod tests {
     #[test]
     fn mem_store_double_free_panics() {
         let store = MemStore::<2>::new();
-        let a = store.alloc(&sample_node(0, 1));
+        let a = store.alloc(&sample_node(0, 1)).unwrap();
         store.free(a);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.free(a)));
         assert!(r.is_err());

@@ -7,6 +7,7 @@ use crate::params::Params;
 use crate::rect::Rect;
 use crate::split::rstar_split;
 use crate::store::NodeStore;
+use pagestore::PageError;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -74,6 +75,7 @@ pub struct RStarTree<const D: usize, S: NodeStore<D>> {
     root_level: u32,
     len: usize,
     params: Params,
+    poisoned: bool,
 }
 
 enum Outcome<const D: usize> {
@@ -98,13 +100,16 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
             params.max_entries,
             Node::<D>::page_capacity()
         );
-        let root = store.alloc(&Node::new(0));
+        let root = store
+            .alloc(&Node::new(0))
+            .expect("root allocation must succeed on a healthy device");
         Self {
             store,
             root,
             root_level: 0,
             len: 0,
             params,
+            poisoned: false,
         }
     }
 
@@ -123,6 +128,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
             root_level,
             len,
             params,
+            poisoned: false,
         }
     }
 
@@ -171,8 +177,16 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         &self.params
     }
 
+    /// True once an [`Self::insert`] or [`Self::delete`] failed midway with
+    /// a device error: the structure may have lost entries or hold stale
+    /// parent rectangles. Queries on a poisoned tree still never panic and
+    /// never fabricate entries, but results reflect the damaged structure.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     /// MBR of the whole tree ([`Rect::empty`] when empty).
-    pub fn root_mbr(&self) -> Rect<D> {
+    pub fn root_mbr(&self) -> Result<Rect<D>, PageError> {
         self.store.read(self.root, &mut |n| n.mbr())
     }
 
@@ -181,7 +195,11 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
     // ------------------------------------------------------------------
 
     /// Inserts a rectangle with its payload.
-    pub fn insert(&mut self, rect: Rect<D>, data: u64) {
+    ///
+    /// On a device error the tree is marked [poisoned](Self::is_poisoned):
+    /// a failure after the first node write may leave stale parent
+    /// rectangles or drop entries queued for forced reinsertion.
+    pub fn insert(&mut self, rect: Rect<D>, data: u64) -> Result<(), PageError> {
         // One forced reinsert per level per top-level insertion (R*-tree
         // OverflowTreatment); `true` means that level may still reinsert.
         let mut may_reinsert = vec![true; (self.root_level + 2) as usize];
@@ -190,9 +208,13 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
             if may_reinsert.len() <= self.root_level as usize + 1 {
                 may_reinsert.resize(self.root_level as usize + 2, true);
             }
-            self.insert_from_root(entry, level, &mut may_reinsert, &mut pending);
+            if let Err(e) = self.insert_from_root(entry, level, &mut may_reinsert, &mut pending) {
+                self.poisoned = true;
+                return Err(e);
+            }
         }
         self.len += 1;
+        Ok(())
     }
 
     fn insert_from_root(
@@ -201,19 +223,20 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         target_level: u32,
         may_reinsert: &mut [bool],
         pending: &mut Vec<(Entry<D>, u32)>,
-    ) {
+    ) -> Result<(), PageError> {
         debug_assert!(target_level <= self.root_level);
-        match self.insert_rec(self.root, entry, target_level, may_reinsert, pending) {
+        match self.insert_rec(self.root, entry, target_level, may_reinsert, pending)? {
             Outcome::Fit(_) => {}
             Outcome::Split(root_mbr, sibling) => {
                 let new_root = Node {
                     level: self.root_level + 1,
                     entries: vec![Entry::branch(root_mbr, self.root), sibling],
                 };
-                self.root = self.store.alloc(&new_root);
+                self.root = self.store.alloc(&new_root)?;
                 self.root_level += 1;
             }
         }
+        Ok(())
     }
 
     fn insert_rec(
@@ -223,8 +246,8 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         target_level: u32,
         may_reinsert: &mut [bool],
         pending: &mut Vec<(Entry<D>, u32)>,
-    ) -> Outcome<D> {
-        let mut node = self.store.get(node_id);
+    ) -> Result<Outcome<D>, PageError> {
+        let mut node = self.store.get(node_id)?;
         if node.level == target_level {
             node.entries.push(entry);
             return self.resolve_overflow(node_id, node, may_reinsert, pending);
@@ -232,12 +255,12 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
 
         let child_idx = Self::choose_subtree(&node, &entry.rect);
         let child_id = node.entries[child_idx].child();
-        match self.insert_rec(child_id, entry, target_level, may_reinsert, pending) {
+        match self.insert_rec(child_id, entry, target_level, may_reinsert, pending)? {
             Outcome::Fit(child_mbr) => {
                 node.entries[child_idx].rect = child_mbr;
                 let mbr = node.mbr();
-                self.store.write(node_id, &node);
-                Outcome::Fit(mbr)
+                self.store.write(node_id, &node)?;
+                Ok(Outcome::Fit(mbr))
             }
             Outcome::Split(child_mbr, sibling) => {
                 node.entries[child_idx].rect = child_mbr;
@@ -296,11 +319,11 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         mut node: Node<D>,
         may_reinsert: &mut [bool],
         pending: &mut Vec<(Entry<D>, u32)>,
-    ) -> Outcome<D> {
+    ) -> Result<Outcome<D>, PageError> {
         if node.entries.len() <= self.params.max_entries {
             let mbr = node.mbr();
-            self.store.write(node_id, &node);
-            return Outcome::Fit(mbr);
+            self.store.write(node_id, &node)?;
+            return Ok(Outcome::Fit(mbr));
         }
 
         let level = node.level as usize;
@@ -317,26 +340,26 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
             let keep = node.entries.len() - self.params.reinsert_count;
             let removed = node.entries.split_off(keep);
             let mbr = node.mbr();
-            self.store.write(node_id, &node);
+            self.store.write(node_id, &node)?;
             // "Close reinsert": nearest of the removed first. `pending` is a
             // LIFO stack, so push farthest-first.
             for entry in removed.into_iter().rev() {
                 pending.push((entry, node.level));
             }
-            Outcome::Fit(mbr)
+            Ok(Outcome::Fit(mbr))
         } else {
             let level = node.level;
             let (left, right) = rstar_split(std::mem::take(&mut node.entries), &self.params);
             node.entries = left;
             let mbr = node.mbr();
-            self.store.write(node_id, &node);
+            self.store.write(node_id, &node)?;
             let sibling = Node {
                 level,
                 entries: right,
             };
             let sibling_mbr = sibling.mbr();
-            let sibling_id = self.store.alloc(&sibling);
-            Outcome::Split(mbr, Entry::branch(sibling_mbr, sibling_id))
+            let sibling_id = self.store.alloc(&sibling)?;
+            Ok(Outcome::Split(mbr, Entry::branch(sibling_mbr, sibling_id)))
         }
     }
 
@@ -346,19 +369,37 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
 
     /// Removes the entry with exactly this rectangle and payload. Returns
     /// whether it was found.
-    pub fn delete(&mut self, rect: &Rect<D>, data: u64) -> bool {
+    ///
+    /// On a device error the tree is marked [poisoned](Self::is_poisoned):
+    /// condensation orphans that were not reinserted yet are lost.
+    pub fn delete(&mut self, rect: &Rect<D>, data: u64) -> Result<bool, PageError> {
         let mut orphans: Vec<(Entry<D>, u32)> = Vec::new();
-        let Some(_mbr) = self.delete_rec(self.root, rect, data, &mut orphans) else {
-            return false;
+        let found = match self.delete_rec(self.root, rect, data, &mut orphans) {
+            Ok(found) => found,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
+            }
         };
+        if found.is_none() {
+            return Ok(false);
+        }
         self.len -= 1;
+        if let Err(e) = self.delete_condense(orphans) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        Ok(true)
+    }
 
+    /// Post-removal cleanup: root reset, orphan reinsertion, root shrink.
+    fn delete_condense(&mut self, mut orphans: Vec<(Entry<D>, u32)>) -> Result<(), PageError> {
         // A branch root emptied out entirely (everything moved to orphans
         // or deleted): restart from an empty leaf.
-        let root_now = self.store.get(self.root);
+        let root_now = self.store.get(self.root)?;
         if root_now.level > 0 && root_now.entries.is_empty() {
             self.store.free(self.root);
-            self.root = self.store.alloc(&Node::new(0));
+            self.root = self.store.alloc(&Node::new(0))?;
             self.root_level = 0;
         }
 
@@ -368,21 +409,21 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         orphans.sort_by_key(|(_, lvl)| Reverse(*lvl));
         for (entry, level) in orphans {
             if level == 0 {
-                self.reinsert_entry(entry, 0);
+                self.reinsert_entry(entry, 0)?;
             } else if level <= self.root_level {
-                self.reinsert_entry(entry, level);
+                self.reinsert_entry(entry, level)?;
             } else {
                 let mut leaves = Vec::new();
-                self.dissolve(entry.child(), &mut leaves);
+                self.dissolve(entry.child(), &mut leaves)?;
                 for leaf in leaves {
-                    self.reinsert_entry(leaf, 0);
+                    self.reinsert_entry(leaf, 0)?;
                 }
             }
         }
 
         // Shrink a root chain of single-child branch nodes.
         loop {
-            let root_node = self.store.get(self.root);
+            let root_node = self.store.get(self.root)?;
             if root_node.level > 0 && root_node.entries.len() == 1 {
                 let only = root_node.entries[0].child();
                 self.store.free(self.root);
@@ -392,31 +433,33 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                 break;
             }
         }
-        true
+        Ok(())
     }
 
-    fn reinsert_entry(&mut self, entry: Entry<D>, level: u32) {
+    fn reinsert_entry(&mut self, entry: Entry<D>, level: u32) -> Result<(), PageError> {
         let mut may_reinsert = vec![true; (self.root_level + 2) as usize];
         let mut pending = vec![(entry, level)];
         while let Some((e, lvl)) = pending.pop() {
             if may_reinsert.len() <= self.root_level as usize + 1 {
                 may_reinsert.resize(self.root_level as usize + 2, true);
             }
-            self.insert_from_root(e, lvl, &mut may_reinsert, &mut pending);
+            self.insert_from_root(e, lvl, &mut may_reinsert, &mut pending)?;
         }
+        Ok(())
     }
 
     /// Collects all leaf entries under `node_id`, freeing the nodes.
-    fn dissolve(&mut self, node_id: NodeId, out: &mut Vec<Entry<D>>) {
-        let node = self.store.get(node_id);
+    fn dissolve(&mut self, node_id: NodeId, out: &mut Vec<Entry<D>>) -> Result<(), PageError> {
+        let node = self.store.get(node_id)?;
         if node.is_leaf() {
             out.extend(node.entries);
         } else {
             for e in &node.entries {
-                self.dissolve(e.child(), out);
+                self.dissolve(e.child(), out)?;
             }
         }
         self.store.free(node_id);
+        Ok(())
     }
 
     /// Returns the node's new MBR when the entry was found and removed
@@ -427,17 +470,20 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         rect: &Rect<D>,
         data: u64,
         orphans: &mut Vec<(Entry<D>, u32)>,
-    ) -> Option<Rect<D>> {
-        let mut node = self.store.get(node_id);
+    ) -> Result<Option<Rect<D>>, PageError> {
+        let mut node = self.store.get(node_id)?;
         if node.is_leaf() {
-            let idx = node
+            let Some(idx) = node
                 .entries
                 .iter()
-                .position(|e| e.payload == data && e.rect == *rect)?;
+                .position(|e| e.payload == data && e.rect == *rect)
+            else {
+                return Ok(None);
+            };
             node.entries.swap_remove(idx);
             let mbr = node.mbr();
-            self.store.write(node_id, &node);
-            return Some(mbr);
+            self.store.write(node_id, &node)?;
+            return Ok(Some(mbr));
         }
 
         for i in 0..node.entries.len() {
@@ -445,8 +491,8 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                 continue;
             }
             let child_id = node.entries[i].child();
-            if let Some(child_mbr) = self.delete_rec(child_id, rect, data, orphans) {
-                let child = self.store.get(child_id);
+            if let Some(child_mbr) = self.delete_rec(child_id, rect, data, orphans)? {
+                let child = self.store.get(child_id)?;
                 if child.entries.len() < self.params.min_entries {
                     // Condense: dissolve the underfull child, reinsert its
                     // entries at their level later.
@@ -460,11 +506,11 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                     node.entries[i].rect = child_mbr;
                 }
                 let mbr = node.mbr();
-                self.store.write(node_id, &node);
-                return Some(mbr);
+                self.store.write(node_id, &node)?;
+                return Ok(Some(mbr));
             }
         }
-        None
+        Ok(None)
     }
 
     // ------------------------------------------------------------------
@@ -482,10 +528,10 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         &self,
         mut pred: impl FnMut(&Rect<D>) -> bool,
         mut on_data: impl FnMut(&Rect<D>, u64),
-    ) -> SearchStats {
+    ) -> Result<SearchStats, PageError> {
         let mut stats = SearchStats::default();
-        self.search_rec(self.root, &mut pred, &mut on_data, &mut stats);
-        stats
+        self.search_rec(self.root, &mut pred, &mut on_data, &mut stats)?;
+        Ok(stats)
     }
 
     fn search_rec(
@@ -494,11 +540,11 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         pred: &mut impl FnMut(&Rect<D>) -> bool,
         on_data: &mut impl FnMut(&Rect<D>, u64),
         stats: &mut SearchStats,
-    ) {
+    ) -> Result<(), PageError> {
         stats.nodes_accessed += 1;
         // Collect matches inside the (locked) read, recurse outside it — the
         // store's lock is not re-entrant.
-        let node = self.store.get(node_id);
+        let node = self.store.get(node_id)?;
         stats.entries_tested += node.entries.len() as u64;
         if node.is_leaf() {
             stats.leaf_nodes_accessed += 1;
@@ -511,22 +557,24 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         } else {
             for e in &node.entries {
                 if pred(&e.rect) {
-                    self.search_rec(e.child(), pred, on_data, stats);
+                    self.search_rec(e.child(), pred, on_data, stats)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// All entries whose rectangle intersects `query`.
-    pub fn range(&self, query: &Rect<D>) -> (Vec<(Rect<D>, u64)>, SearchStats) {
+    #[allow(clippy::type_complexity)]
+    pub fn range(&self, query: &Rect<D>) -> Result<(Vec<(Rect<D>, u64)>, SearchStats), PageError> {
         let mut out = Vec::new();
-        let stats = self.search(|r| r.intersects(query), |r, d| out.push((*r, d)));
-        (out, stats)
+        let stats = self.search(|r| r.intersects(query), |r, d| out.push((*r, d)))?;
+        Ok((out, stats))
     }
 
     /// Visits every stored entry.
-    pub fn for_each(&self, mut f: impl FnMut(&Rect<D>, u64)) {
-        self.search(|_| true, |r, d| f(r, d));
+    pub fn for_each(&self, mut f: impl FnMut(&Rect<D>, u64)) -> Result<(), PageError> {
+        self.search(|_| true, |r, d| f(r, d)).map(|_| ())
     }
 
     /// Best-first k-nearest-neighbour with caller-supplied scoring.
@@ -541,12 +589,12 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         k: usize,
         mut node_bound: impl FnMut(&Rect<D>) -> f64,
         mut leaf_score: impl FnMut(&Rect<D>, u64) -> Option<f64>,
-    ) -> (Vec<Neighbor<D>>, SearchStats) {
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats), PageError> {
         let mut stats = SearchStats::default();
         let mut heap: BinaryHeap<Reverse<HeapItem<D>>> = BinaryHeap::new();
         let mut out = Vec::new();
         if k == 0 {
-            return (out, stats);
+            return Ok((out, stats));
         }
         heap.push(Reverse(HeapItem {
             key: 0.0,
@@ -588,11 +636,11 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                                 }));
                             }
                         }
-                    });
+                    })?;
                 }
             }
         }
-        (out, stats)
+        Ok((out, stats))
     }
 
     /// Depth-first branch-and-bound k-nearest-neighbour — the original
@@ -612,7 +660,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         k: usize,
         query: &[f64; D],
         use_minmaxdist: bool,
-    ) -> (Vec<Neighbor<D>>, SearchStats) {
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats), PageError> {
         let mut stats = SearchStats::default();
         let mut best: BinaryHeap<HeapItem<D>> = BinaryHeap::new(); // max-heap of current k best
         if k > 0 {
@@ -625,7 +673,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                 &mut best,
                 &mut prune,
                 &mut stats,
-            );
+            )?;
         }
         let mut out: Vec<Neighbor<D>> = best
             .into_sorted_vec()
@@ -640,7 +688,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
             })
             .collect();
         out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
-        (out, stats)
+        Ok((out, stats))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -653,9 +701,9 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         best: &mut BinaryHeap<HeapItem<D>>,
         prune: &mut f64,
         stats: &mut SearchStats,
-    ) {
+    ) -> Result<(), PageError> {
         stats.nodes_accessed += 1;
-        let node = self.store.get(node_id);
+        let node = self.store.get(node_id)?;
         if node.is_leaf() {
             stats.leaf_nodes_accessed += 1;
             for e in &node.entries {
@@ -677,7 +725,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                     *prune = prune.min(best.peek().expect("non-empty").key);
                 }
             }
-            return;
+            return Ok(());
         }
 
         // Order children by MINDIST; optionally tighten the bound with
@@ -709,8 +757,9 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
             if mind > bound {
                 continue; // downward prune
             }
-            self.nearest_dfs_rec(child, k, query, minmax, best, prune, stats);
+            self.nearest_dfs_rec(child, k, query, minmax, best, prune, stats)?;
         }
+        Ok(())
     }
 
     /// Optimal multi-step k-NN (Seidl–Kriegel style): leaf entries are
@@ -727,12 +776,12 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         mut node_bound: impl FnMut(&Rect<D>) -> f64,
         mut leaf_bound: impl FnMut(&Rect<D>, u64) -> f64,
         mut refine: impl FnMut(&Rect<D>, u64) -> Option<f64>,
-    ) -> (Vec<Neighbor<D>>, SearchStats) {
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats), PageError> {
         let mut stats = SearchStats::default();
         let mut heap: BinaryHeap<Reverse<RefineItem<D>>> = BinaryHeap::new();
         let mut out = Vec::new();
         if k == 0 {
-            return (out, stats);
+            return Ok((out, stats));
         }
         heap.push(Reverse(RefineItem {
             key: 0.0,
@@ -780,11 +829,11 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                                 }));
                             }
                         }
-                    });
+                    })?;
                 }
             }
         }
-        (out, stats)
+        Ok((out, stats))
     }
 
     /// Synchronized-descent join against another tree. `pair_pred` must be
@@ -796,7 +845,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         other: &RStarTree<D, S2>,
         mut pair_pred: impl FnMut(&Rect<D>, &Rect<D>) -> bool,
         mut on_pair: impl FnMut(&Rect<D>, u64, &Rect<D>, u64),
-    ) -> SearchStats {
+    ) -> Result<SearchStats, PageError> {
         let mut stats = SearchStats::default();
         self.join_rec(
             other,
@@ -805,8 +854,8 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
             &mut pair_pred,
             &mut on_pair,
             &mut stats,
-        );
-        stats
+        )?;
+        Ok(stats)
     }
 
     fn join_rec<S2: NodeStore<D>>(
@@ -817,9 +866,9 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         pred: &mut impl FnMut(&Rect<D>, &Rect<D>) -> bool,
         on_pair: &mut impl FnMut(&Rect<D>, u64, &Rect<D>, u64),
         stats: &mut SearchStats,
-    ) {
-        let n1 = self.store.get(id1);
-        let n2 = other.store.get(id2);
+    ) -> Result<(), PageError> {
+        let n1 = self.store.get(id1)?;
+        let n2 = other.store.get(id2)?;
         stats.nodes_accessed += 2;
         match (n1.is_leaf(), n2.is_leaf()) {
             (true, true) => {
@@ -838,7 +887,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                     for e2 in &n2.entries {
                         stats.entries_tested += 1;
                         if pred(&e1.rect, &e2.rect) {
-                            self.join_rec(other, e1.child(), e2.child(), pred, on_pair, stats);
+                            self.join_rec(other, e1.child(), e2.child(), pred, on_pair, stats)?;
                         }
                     }
                 }
@@ -848,7 +897,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                 for e1 in &n1.entries {
                     stats.entries_tested += 1;
                     if pred(&e1.rect, &r2) {
-                        self.join_rec(other, e1.child(), id2, pred, on_pair, stats);
+                        self.join_rec(other, e1.child(), id2, pred, on_pair, stats)?;
                     }
                 }
             }
@@ -857,11 +906,12 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                 for e2 in &n2.entries {
                     stats.entries_tested += 1;
                     if pred(&r1, &e2.rect) {
-                        self.join_rec(other, id1, e2.child(), pred, on_pair, stats);
+                        self.join_rec(other, id1, e2.child(), pred, on_pair, stats)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Duplicate-free self join: every unordered pair of distinct entries
@@ -870,7 +920,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         &self,
         mut pair_pred: impl FnMut(&Rect<D>, &Rect<D>) -> bool,
         mut on_pair: impl FnMut(&Rect<D>, u64, &Rect<D>, u64),
-    ) -> SearchStats {
+    ) -> Result<SearchStats, PageError> {
         let mut stats = SearchStats::default();
         self.self_join_rec(
             self.root,
@@ -878,8 +928,8 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
             &mut pair_pred,
             &mut on_pair,
             &mut stats,
-        );
-        stats
+        )?;
+        Ok(stats)
     }
 
     fn self_join_rec(
@@ -889,9 +939,9 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         pred: &mut impl FnMut(&Rect<D>, &Rect<D>) -> bool,
         on_pair: &mut impl FnMut(&Rect<D>, u64, &Rect<D>, u64),
         stats: &mut SearchStats,
-    ) {
+    ) -> Result<(), PageError> {
         if id1 == id2 {
-            let n = self.store.get(id1);
+            let n = self.store.get(id1)?;
             stats.nodes_accessed += 1;
             if n.is_leaf() {
                 stats.leaf_nodes_accessed += 1;
@@ -910,14 +960,14 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                         stats.entries_tested += 1;
                         let (a, b) = (&n.entries[i], &n.entries[j]);
                         if pred(&a.rect, &b.rect) {
-                            self.self_join_rec(a.child(), b.child(), pred, on_pair, stats);
+                            self.self_join_rec(a.child(), b.child(), pred, on_pair, stats)?;
                         }
                     }
                 }
             }
         } else {
-            let n1 = self.store.get(id1);
-            let n2 = self.store.get(id2);
+            let n1 = self.store.get(id1)?;
+            let n2 = self.store.get(id2)?;
             stats.nodes_accessed += 2;
             debug_assert_eq!(n1.level, n2.level, "self-join descends level-synchronously");
             if n1.is_leaf() {
@@ -935,12 +985,13 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                     for b in &n2.entries {
                         stats.entries_tested += 1;
                         if pred(&a.rect, &b.rect) {
-                            self.self_join_rec(a.child(), b.child(), pred, on_pair, stats);
+                            self.self_join_rec(a.child(), b.child(), pred, on_pair, stats)?;
                         }
                     }
                 }
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -951,10 +1002,11 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
     /// the inputs of analytical R-tree cost models (Theodoridis & Sellis,
     /// PODS '96 — the estimation techniques §4.3 of the ICDE '99 paper
     /// discusses). One full tree walk.
-    pub fn level_summaries(&self) -> Vec<LevelSummary<D>> {
+    pub fn level_summaries(&self) -> Result<Vec<LevelSummary<D>>, PageError> {
         let mut acc: Vec<(u64, [f64; D])> = vec![(0, [0.0; D]); self.height() as usize];
-        self.summarize_rec(self.root, &mut acc);
-        acc.into_iter()
+        self.summarize_rec(self.root, &mut acc)?;
+        Ok(acc
+            .into_iter()
             .enumerate()
             .map(|(level, (nodes, extent_sum))| {
                 let mut avg_extent = [0.0; D];
@@ -969,11 +1021,15 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                     avg_extent,
                 }
             })
-            .collect()
+            .collect())
     }
 
-    fn summarize_rec(&self, node_id: NodeId, acc: &mut Vec<(u64, [f64; D])>) {
-        let node = self.store.get(node_id);
+    fn summarize_rec(
+        &self,
+        node_id: NodeId,
+        acc: &mut Vec<(u64, [f64; D])>,
+    ) -> Result<(), PageError> {
+        let node = self.store.get(node_id)?;
         let mbr = node.mbr();
         let slot = &mut acc[node.level as usize];
         slot.0 += 1;
@@ -984,9 +1040,10 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         }
         if !node.is_leaf() {
             for e in &node.entries {
-                self.summarize_rec(e.child(), acc);
+                self.summarize_rec(e.child(), acc)?;
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -994,8 +1051,9 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
     // ------------------------------------------------------------------
 
     /// Checks every structural invariant; panics with a description on the
-    /// first violation. Returns the number of nodes.
-    pub fn validate(&self) -> usize {
+    /// first violation, returns `Err` when a node cannot be read at all
+    /// (possible only over a faulty device). Returns the number of nodes.
+    pub fn validate(&self) -> Result<usize, PageError> {
         let mut node_count = 0;
         let mut entry_count = 0;
         self.validate_rec(
@@ -1004,13 +1062,13 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
             true,
             &mut node_count,
             &mut entry_count,
-        );
+        )?;
         assert_eq!(
             entry_count, self.len,
             "len {} != counted entries {entry_count}",
             self.len
         );
-        node_count
+        Ok(node_count)
     }
 
     fn validate_rec(
@@ -1020,9 +1078,9 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
         is_root: bool,
         node_count: &mut usize,
         entry_count: &mut usize,
-    ) -> Rect<D> {
+    ) -> Result<Rect<D>, PageError> {
         *node_count += 1;
-        let node = self.store.get(node_id);
+        let node = self.store.get(node_id)?;
         assert_eq!(node.level, expected_level, "level mismatch at {node_id:?}");
         assert!(
             node.entries.len() <= self.params.max_entries,
@@ -1051,7 +1109,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                     false,
                     node_count,
                     entry_count,
-                );
+                )?;
                 assert_eq!(
                     e.rect,
                     child_mbr,
@@ -1060,7 +1118,7 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
                 );
             }
         }
-        node.mbr()
+        Ok(node.mbr())
     }
 }
 

@@ -318,7 +318,9 @@ fn local_pairs(shared: &SharedIndex, ord: usize, cfg: &LoadConfig) -> Vec<(usize
     let index = shared.read();
     let family = Family::moving_averages(cfg.ma.0..=cfg.ma.1, index.seq_len());
     let spec = WireThreshold::Rho(cfg.rho).to_spec();
-    let q = index.fetch_series(ord);
+    let q = index
+        .fetch_series(ord)
+        .expect("load generator runs on a healthy in-memory index");
     let result = match cfg.engine {
         EngineKind::Mt => mtindex::range_query(&index, &q, &family, &spec),
         EngineKind::St => stindex::range_query(&index, &q, &family, &spec),

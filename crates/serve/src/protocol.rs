@@ -266,6 +266,10 @@ pub enum ErrCode {
     Range,
     /// The query engine rejected the request (see message).
     Query,
+    /// A page access failed while executing the request (fault injection
+    /// or a genuinely bad device). The index itself stays serviceable —
+    /// later requests on the same connection may succeed.
+    Io,
     /// Internal server failure.
     Server,
 }
@@ -277,6 +281,7 @@ impl ErrCode {
             Self::BadRequest => "BADREQ",
             Self::Range => "RANGE",
             Self::Query => "QUERY",
+            Self::Io => "IO",
             Self::Server => "SERVER",
         }
     }
@@ -287,6 +292,7 @@ impl ErrCode {
             "BADREQ" => Ok(Self::BadRequest),
             "RANGE" => Ok(Self::Range),
             "QUERY" => Ok(Self::Query),
+            "IO" => Ok(Self::Io),
             "SERVER" => Ok(Self::Server),
             other => Err(ProtoError::bad(format!("unknown error code `{other}`"))),
         }
@@ -950,6 +956,10 @@ mod tests {
             (ErrCode::BadRequest, "token `junk` is not key=value"),
             (ErrCode::Range, "ordinal 9 out of range"),
             (ErrCode::Query, "family built for length 32, index holds 64"),
+            (
+                ErrCode::Io,
+                "page access failed: read of P7 failed: i/o error",
+            ),
             (ErrCode::Server, ""),
         ] {
             round_trip_response(Response::Err {

@@ -23,6 +23,7 @@ use crate::protocol::{
 };
 use simquery::engine::{join, knn, mtindex, seqscan, stindex};
 use simquery::prelude::*;
+use simquery::report::QueryError;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -243,13 +244,14 @@ fn execute(shared: &SharedIndex, metrics: &Registry, request: Request) -> Respon
             let mut index = shared.write();
             match index.insert_series(&ts) {
                 Ok(ord) => Response::Inserted { ord },
-                Err(e) => err(ErrCode::Query, e.to_string()),
+                Err(e) => query_err(e),
             }
         }
         Request::Delete { ord } => {
             let mut index = shared.write();
-            Response::Deleted {
-                existed: index.delete_series(ord),
+            match index.delete_series(ord) {
+                Ok(existed) => Response::Deleted { existed },
+                Err(e) => query_err(e),
             }
         }
         Request::Info => {
@@ -275,6 +277,21 @@ fn err(code: ErrCode, msg: impl Into<String>) -> Response {
     }
 }
 
+/// Engine errors carrying a device failure become `ERR IO`; everything
+/// else stays `ERR QUERY`.
+fn query_err(e: QueryError) -> Response {
+    let code = match e {
+        QueryError::Io(_) => ErrCode::Io,
+        _ => ErrCode::Query,
+    };
+    err(code, e.to_string())
+}
+
+/// A raw page failure (e.g. fetching the query ordinal's record).
+fn io_err(e: pagestore::PageError) -> Response {
+    err(ErrCode::Io, QueryError::from(e).to_string())
+}
+
 fn family_for(ma: (usize, usize), seq_len: usize) -> Result<Family, Response> {
     if ma.1 > seq_len {
         return Err(err(
@@ -298,7 +315,10 @@ fn run_query(shared: &SharedIndex, p: QueryParams) -> Response {
         Err(e) => return e,
     };
     let spec = p.threshold.to_spec();
-    let q = index.fetch_series(p.ord);
+    let q = match index.fetch_series(p.ord) {
+        Ok(q) => q,
+        Err(e) => return io_err(e),
+    };
     let result = match p.engine {
         EngineKind::Mt => mtindex::range_query(&index, &q, &family, &spec),
         EngineKind::St => stindex::range_query(&index, &q, &family, &spec),
@@ -321,7 +341,7 @@ fn run_query(shared: &SharedIndex, p: QueryParams) -> Response {
                 metrics: WireMetrics::from(&r.metrics),
             }
         }
-        Err(e) => err(ErrCode::Query, e.to_string()),
+        Err(e) => query_err(e),
     }
 }
 
@@ -337,7 +357,10 @@ fn run_knn(shared: &SharedIndex, ord: usize, k: usize, ma: (usize, usize)) -> Re
         Ok(f) => f,
         Err(e) => return e,
     };
-    let q = index.fetch_series(ord);
+    let q = match index.fetch_series(ord) {
+        Ok(q) => q,
+        Err(e) => return io_err(e),
+    };
     match knn::knn(&index, &q, &family, k) {
         Ok((matches, m)) => Response::Matches {
             n: matches.len(),
@@ -351,7 +374,7 @@ fn run_knn(shared: &SharedIndex, ord: usize, k: usize, ma: (usize, usize)) -> Re
                 .collect(),
             metrics: WireMetrics::from(&m),
         },
-        Err(e) => err(ErrCode::Query, e.to_string()),
+        Err(e) => query_err(e),
     }
 }
 
@@ -390,6 +413,6 @@ fn run_join(
                 metrics: WireMetrics::from(&r.metrics),
             }
         }
-        Err(e) => err(ErrCode::Query, e.to_string()),
+        Err(e) => query_err(e),
     }
 }

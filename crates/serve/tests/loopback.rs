@@ -47,7 +47,7 @@ fn query_over_wire_matches_direct_engine() {
         let index = shared.read();
         let family = Family::moving_averages(4..=12, index.seq_len());
         let spec = WireThreshold::Rho(0.95).to_spec();
-        let q = index.fetch_series(ord);
+        let q = index.fetch_series(ord).unwrap();
         let want = mtindex::range_query(&index, &q, &family, &spec)
             .unwrap()
             .sorted_pairs();
@@ -120,7 +120,7 @@ fn insert_delete_info_lifecycle() {
 
     // Insert a copy of series 0; it must land at the next ordinal and be
     // visible to both the server and the directly-held handle.
-    let values = shared.read().fetch_series(0).values().to_vec();
+    let values = shared.read().fetch_series(0).unwrap().values().to_vec();
     let ord = client.insert(values).unwrap().unwrap();
     assert_eq!(ord, 30);
     assert_eq!(shared.read().len(), 31);

@@ -1,0 +1,440 @@
+//! Seeded chaos suite: deterministic fault schedules injected under every
+//! query engine, asserting the graceful-degradation contract end to end.
+//!
+//! The invariant, checked for hundreds of generated schedules:
+//!
+//! > Under an armed fault plan, every query either returns **exactly** the
+//! > fault-free result or a clean typed error (`QueryError::Io`) — never a
+//! > wrong answer, never a panic. Once the plan is disarmed, the same
+//! > queries return the fault-free result again.
+//!
+//! Everything is seeded: a failing seed is printed in the panic message
+//! and replays bit-for-bit (`FaultPlan::generate(seed, ..)` plus the
+//! workload RNG derive from it alone). Mutation storms additionally check
+//! the R*-tree's structural invariants after faulted insert/delete
+//! workloads, honouring the tree's poisoned flag for mid-operation
+//! failures.
+//!
+//! Note on `disarm()` vs `heal()`: the harness only ever disarms. Healing
+//! clears torn-page marks, which *unmasks the stale pre-tear contents as
+//! valid data* — exactly the silent corruption the chaos invariant exists
+//! to rule out. Recovery checks therefore run against a disarmed device
+//! whose tears (if any) still surface as typed `Corrupt` errors.
+
+use pagestore::{Disk, FaultPlan, FaultyDisk, PageDevice, PlanParams};
+use simquery::engine::{join, knn, mtindex, seqscan, stindex};
+use simquery::feature::SeqFeatures;
+use simquery::prelude::*;
+use simquery::report::QueryError;
+use std::sync::Arc;
+use tseries::random_walk;
+use tseries::rng::SeededRng;
+
+const SEQ_LEN: usize = 64;
+
+/// An index built on fault-injecting devices, with the device handles the
+/// harness needs to arm and disarm plans.
+struct FaultedIndex {
+    index: SeqIndex,
+    tree: Arc<FaultyDisk>,
+    heap: Arc<FaultyDisk>,
+}
+
+impl FaultedIndex {
+    /// Builds fault-free (devices unarmed); `heap_pool_pages` is kept small
+    /// so queries keep reaching the device instead of living in the cache.
+    fn build(corpus: &Corpus, heap_pool_pages: usize) -> Self {
+        let tree = Arc::new(FaultyDisk::new(Arc::new(Disk::new())));
+        let heap = Arc::new(FaultyDisk::new(Arc::new(Disk::new())));
+        let config = IndexConfig {
+            heap_pool_pages,
+            ..IndexConfig::default()
+        };
+        let index = SeqIndex::build_on(
+            corpus,
+            config,
+            Arc::clone(&tree) as Arc<dyn PageDevice>,
+            Arc::clone(&heap) as Arc<dyn PageDevice>,
+        )
+        .expect("unarmed faulty devices are healthy")
+        .expect("corpus is non-empty");
+        Self { index, tree, heap }
+    }
+
+    fn arm(&self, seed: u64, params: &PlanParams) {
+        // Independent schedules per device, both derived from the seed.
+        self.tree.arm(FaultPlan::generate(seed, params));
+        self.heap
+            .arm(FaultPlan::generate(seed ^ 0x9E37_79B9_7F4A_7C15, params));
+    }
+
+    fn disarm(&self) {
+        self.tree.disarm();
+        self.heap.disarm();
+    }
+
+    fn injected_total(&self) -> u64 {
+        self.tree.injected_total() + self.heap.injected_total()
+    }
+}
+
+/// kNN results as comparable tuples (`dist` bit-exact: the engine is
+/// deterministic, so a successful faulted run must reproduce it).
+fn knn_key(matches: &[Match]) -> Vec<(usize, usize, u64)> {
+    matches
+        .iter()
+        .map(|m| (m.seq, m.transform, m.dist.to_bits()))
+        .collect()
+}
+
+/// Asserts the chaos invariant on one range-query outcome.
+fn check_range(
+    seed: u64,
+    what: &str,
+    got: Result<QueryResult, QueryError>,
+    want: &[(usize, usize)],
+    oks: &mut u64,
+    errs: &mut u64,
+) {
+    match got {
+        Ok(r) => {
+            assert_eq!(
+                r.sorted_pairs(),
+                want,
+                "seed {seed}: {what} returned a WRONG ANSWER under faults"
+            );
+            *oks += 1;
+        }
+        Err(QueryError::Io(_)) => *errs += 1,
+        Err(e) => panic!("seed {seed}: {what} returned a non-IO error under faults: {e}"),
+    }
+}
+
+/// 300 generated schedules against every read path: the MT-index, the
+/// ST-index, sequential and parallel scans, kNN, and the MT self-join.
+#[test]
+fn seeded_fault_schedules_never_corrupt_query_results() {
+    const SEEDS: u64 = 300;
+
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 96, SEQ_LEN, 0xFA17);
+    // Four pool frames (one per scan worker plus slack, fewer than the
+    // heap's pages): fetches keep reaching the device instead of the cache.
+    let fi = FaultedIndex::build(&corpus, 4);
+    let family = Family::moving_averages(3..=8, SEQ_LEN);
+    let spec = RangeSpec::correlation(0.92).with_policy(FilterPolicy::Safe);
+    let query_ords = [0usize, 17, 41];
+
+    // Fault-free baselines, computed on the same (disarmed) index.
+    let mut base_pairs = Vec::new();
+    let mut base_knn = Vec::new();
+    for &ord in &query_ords {
+        let q = fi.index.fetch_series(ord).unwrap();
+        base_pairs.push(
+            mtindex::range_query(&fi.index, &q, &family, &spec)
+                .unwrap()
+                .sorted_pairs(),
+        );
+        let (nn, _) = knn::knn(&fi.index, &q, &family, 5).unwrap();
+        base_knn.push(knn_key(&nn));
+    }
+    let base_join = join::mt_join(&fi.index, &family, &spec)
+        .unwrap()
+        .sorted_triples();
+
+    let params = PlanParams {
+        horizon: 400,
+        max_page: 64,
+        faults: 6,
+    };
+    let (mut oks, mut errs) = (0u64, 0u64);
+
+    for seed in 0..SEEDS {
+        fi.arm(seed, &params);
+
+        for (qi, &ord) in query_ords.iter().enumerate() {
+            // The query series itself comes off the (possibly faulty) heap.
+            let q = match fi.index.fetch_series(ord) {
+                Ok(q) => q,
+                Err(_) => {
+                    errs += 1;
+                    continue;
+                }
+            };
+            let want = &base_pairs[qi];
+            check_range(
+                seed,
+                "mtindex",
+                mtindex::range_query(&fi.index, &q, &family, &spec),
+                want,
+                &mut oks,
+                &mut errs,
+            );
+            check_range(
+                seed,
+                "stindex",
+                stindex::range_query(&fi.index, &q, &family, &spec),
+                want,
+                &mut oks,
+                &mut errs,
+            );
+            check_range(
+                seed,
+                "seqscan",
+                seqscan::range_query(&fi.index, &q, &family, &spec),
+                want,
+                &mut oks,
+                &mut errs,
+            );
+            check_range(
+                seed,
+                "seqscan(parallel)",
+                seqscan::range_query_parallel(&fi.index, &q, &family, &spec, 3),
+                want,
+                &mut oks,
+                &mut errs,
+            );
+            match knn::knn(&fi.index, &q, &family, 5) {
+                Ok((nn, _)) => {
+                    assert_eq!(
+                        knn_key(&nn),
+                        base_knn[qi],
+                        "seed {seed}: knn returned a WRONG ANSWER under faults"
+                    );
+                    oks += 1;
+                }
+                Err(QueryError::Io(_)) => errs += 1,
+                Err(e) => panic!("seed {seed}: knn returned a non-IO error: {e}"),
+            }
+        }
+        match join::mt_join(&fi.index, &family, &spec) {
+            Ok(r) => {
+                assert_eq!(
+                    r.sorted_triples(),
+                    base_join,
+                    "seed {seed}: mt_join returned a WRONG ANSWER under faults"
+                );
+                oks += 1;
+            }
+            Err(QueryError::Io(_)) => errs += 1,
+            Err(e) => panic!("seed {seed}: mt_join returned a non-IO error: {e}"),
+        }
+
+        // Recovery: with the plan disarmed the device is healthy again (the
+        // read-only workload wrote nothing, so no pages can be torn) and
+        // every engine must reproduce the baseline exactly.
+        fi.disarm();
+        assert!(
+            fi.tree.torn_pages().is_empty() && fi.heap.torn_pages().is_empty(),
+            "seed {seed}: a read-only workload tore pages"
+        );
+        for (qi, &ord) in query_ords.iter().enumerate() {
+            let q = fi.index.fetch_series(ord).unwrap();
+            let got = mtindex::range_query(&fi.index, &q, &family, &spec)
+                .unwrap()
+                .sorted_pairs();
+            assert_eq!(got, base_pairs[qi], "seed {seed}: no recovery after disarm");
+        }
+    }
+
+    // Guard against a vacuous pass: the schedules must actually have fired,
+    // and both sides of the either/or must occur across the campaign.
+    assert!(
+        fi.injected_total() > 500,
+        "only {} faults fired across {SEEDS} schedules",
+        fi.injected_total()
+    );
+    assert!(errs > 50, "only {errs} queries failed — plans too gentle");
+    assert!(oks > 500, "only {oks} queries succeeded — plans too harsh");
+}
+
+/// Transient faults within the buffer pool's retry budget are absorbed
+/// completely: the query succeeds with the exact fault-free answer.
+#[test]
+fn transient_heap_faults_are_retried_to_success() {
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 96, SEQ_LEN, 0xFA17);
+    let fi = FaultedIndex::build(&corpus, 4);
+    let family = Family::moving_averages(3..=8, SEQ_LEN);
+    let spec = RangeSpec::correlation(0.92).with_policy(FilterPolicy::Safe);
+    let q = fi.index.fetch_series(7).unwrap();
+    let want = seqscan::range_query(&fi.index, &q, &family, &spec)
+        .unwrap()
+        .sorted_pairs();
+
+    // Recover-after budgets (≤ 3) sit inside the pool's retry budget, so
+    // the sequential scan — which reads every heap page — must succeed.
+    let plan = FaultPlan::new()
+        .transient_at(2, 3)
+        .transient_at(9, 2)
+        .transient_at(17, 1)
+        .transient_at(31, 3);
+    fi.heap.arm(plan);
+    let got = seqscan::range_query(&fi.index, &q, &family, &spec)
+        .expect("transient faults inside the retry budget must be invisible")
+        .sorted_pairs();
+    assert_eq!(got, want);
+    assert!(
+        fi.heap.injected().transient_errors > 0,
+        "the plan never fired — the scan stayed in cache"
+    );
+    fi.heap.disarm();
+}
+
+/// Brute-force ground truth over the shadow corpus (live rows only), as in
+/// `tests/stress.rs`.
+fn brute(
+    shadow: &[(usize, TimeSeries)],
+    q: &TimeSeries,
+    family: &Family,
+    eps: f64,
+) -> Vec<(usize, usize)> {
+    let qf = SeqFeatures::extract(q).expect("query non-degenerate");
+    let mut out = Vec::new();
+    for (ordinal, ts) in shadow {
+        let Some(xf) = SeqFeatures::extract(ts) else {
+            continue;
+        };
+        for (ti, t) in family.transforms().iter().enumerate() {
+            if t.transformed_distance(&xf, &qf) < eps {
+                out.push((*ordinal, ti));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// 60 seeded insert/delete storms under fire. While no mutation has
+/// failed, interleaved queries must still be exact-or-error against a
+/// shadow corpus; once one fails the index may legitimately diverge from
+/// the shadow, but it must never panic and the R*-tree must either stay
+/// structurally valid or be flagged poisoned.
+#[test]
+fn mutation_storms_leave_tree_structurally_sound() {
+    const SEEDS: u64 = 60;
+    const OPS: usize = 40;
+
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 24, SEQ_LEN, 0xBEEF);
+    let family = Family::moving_averages(3..=8, SEQ_LEN);
+    let spec = RangeSpec::correlation(0.92).with_policy(FilterPolicy::Safe);
+    let eps = spec.epsilon(SEQ_LEN);
+
+    let (mut clean_runs, mut tainted_runs) = (0u64, 0u64);
+
+    for seed in 0..SEEDS {
+        let mut fi = FaultedIndex::build(&corpus, 2);
+        let mut shadow: Vec<(usize, TimeSeries)> =
+            corpus.series().iter().cloned().enumerate().collect();
+        let mut rng = SeededRng::seed_from_u64(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+        let params = PlanParams {
+            horizon: 3000,
+            max_page: 96,
+            faults: 3,
+        };
+        fi.arm(seed, &params);
+
+        // Once any mutation has failed the index may differ from the
+        // shadow (the failed op is allowed to be partially applied), so
+        // result equivalence stops being checkable — but nothing may
+        // panic, and errors must stay typed.
+        let mut tainted = false;
+
+        for op in 0..OPS {
+            match rng.random_range(0u32..10) {
+                0..=4 => {
+                    let ts = random_walk(&mut rng, SEQ_LEN, 200.0);
+                    match fi.index.insert_series(&ts) {
+                        Ok(ordinal) => shadow.push((ordinal, ts)),
+                        Err(QueryError::Io(_)) => tainted = true,
+                        Err(e) => panic!("seed {seed} op {op}: insert: non-IO error {e}"),
+                    }
+                }
+                5..=7 => {
+                    if shadow.is_empty() {
+                        continue;
+                    }
+                    let pick = rng.random_range(0..shadow.len());
+                    let ordinal = shadow[pick].0;
+                    match fi.index.delete_series(ordinal) {
+                        Ok(existed) => {
+                            if !tainted {
+                                assert!(existed, "seed {seed} op {op}: live row vanished");
+                            }
+                            shadow.swap_remove(pick);
+                        }
+                        Err(QueryError::Io(_)) => tainted = true,
+                        Err(e) => panic!("seed {seed} op {op}: delete: non-IO error {e}"),
+                    }
+                }
+                _ => {
+                    if shadow.is_empty() {
+                        continue;
+                    }
+                    let q = shadow[rng.random_range(0..shadow.len())].1.clone();
+                    let got = mtindex::range_query(&fi.index, &q, &family, &spec);
+                    match got {
+                        Ok(r) if !tainted => {
+                            let want = brute(&shadow, &q, &family, eps);
+                            assert_eq!(
+                                r.sorted_pairs(),
+                                want,
+                                "seed {seed} op {op}: WRONG ANSWER mid-storm"
+                            );
+                        }
+                        Ok(_) => {}
+                        Err(QueryError::Io(_)) => {}
+                        Err(e) => panic!("seed {seed} op {op}: query: non-IO error {e}"),
+                    }
+                }
+            }
+        }
+
+        fi.disarm();
+        let torn = !fi.tree.torn_pages().is_empty() || !fi.heap.torn_pages().is_empty();
+        if fi.index.tree_poisoned() {
+            // A mid-operation failure may leave the tree transiently
+            // inconsistent; the flag is the contract. Queries must still
+            // answer or error cleanly — exercised above — and validation
+            // is not required to hold.
+            tainted_runs += 1;
+        } else if !tainted && !torn {
+            // Every op succeeded on an un-torn device: the tree must be
+            // structurally perfect and both engines must agree with the
+            // shadow corpus exactly.
+            fi.index
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: validate on healthy device: {e}"));
+            let q = shadow[0].1.clone();
+            let want = brute(&shadow, &q, &family, eps);
+            let mt = mtindex::range_query(&fi.index, &q, &family, &spec).unwrap();
+            let scan = seqscan::range_query(&fi.index, &q, &family, &spec).unwrap();
+            assert_eq!(
+                mt.sorted_pairs(),
+                want,
+                "seed {seed}: MT diverged post-storm"
+            );
+            assert_eq!(
+                scan.sorted_pairs(),
+                want,
+                "seed {seed}: scan diverged post-storm"
+            );
+            clean_runs += 1;
+        } else {
+            // Device damage (torn pages) or a failed op without tree
+            // poisoning: structural validation must still not panic — it
+            // either passes or reports a typed device error.
+            if let Err(e) = fi.index.validate() {
+                let _ = e; // typed error is an acceptable outcome
+            }
+            tainted_runs += 1;
+        }
+    }
+
+    assert!(
+        clean_runs > 0,
+        "no storm survived cleanly — fault plans too harsh to test equivalence"
+    );
+    assert!(
+        tainted_runs > 0,
+        "no storm ever faulted — fault plans too gentle to test degradation"
+    );
+}

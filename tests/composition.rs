@@ -113,7 +113,7 @@ fn rewriting_beats_running_the_steps_separately() {
     let composed = mas.compose(&shifts);
     let spec = RangeSpec::correlation(0.96);
 
-    index.reset_counters();
+    index.reset_counters().unwrap();
     let one = mtindex::range_query(&index, q, &composed, &spec).unwrap();
 
     // Two-step: for each shift, an MT query over the MA family applied to

@@ -42,7 +42,7 @@ where
             // Safe policy: provably lossless, so every engine and every
             // interleaving must agree exactly.
             let spec = RangeSpec::correlation(rho).with_policy(FilterPolicy::Safe);
-            let q = index.fetch_series(ord);
+            let q = index.fetch_series(ord).unwrap();
             engine(index, &q, &family, &spec)
         })
         .collect()

@@ -1,12 +1,54 @@
-//! Small-scale versions of every figure's experiment, asserting the
-//! *shapes* the paper reports (full-scale regeneration lives in the bench
-//! crate).
+//! Small-scale versions of every figure's experiment (full-scale
+//! regeneration lives in the bench crate), checked two ways:
+//!
+//! 1. *Shape* assertions — the qualitative claims the paper makes
+//!    (MT below ST below scan, MT flat in |T|, …) stay true.
+//! 2. *Golden* assertions — each experiment renders a deterministic
+//!    summary that must match the committed file under `tests/golden/`.
+//!    Every seed, corpus and engine in these tests is deterministic, so
+//!    any drift in the numbers is a behaviour change, not noise.
+//!
+//! To bless new numbers after an intentional change:
+//!
+//! ```text
+//! SIMSEQ_REGEN_GOLDEN=1 cargo test --test figures_smoke
+//! git diff tests/golden/   # review what moved, then commit
+//! ```
 
 use simquery::cost::CostModel;
 use simquery::engine::{join, mtindex, seqscan, stindex};
 use simquery::partition::PartitionStrategy;
 use simquery::prelude::*;
 use simquery::tmbr::TransformMbr;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core (the tests are registered there);
+    // the golden files live beside the tests at the repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Compares `actual` against the committed golden summary, or rewrites the
+/// file when `SIMSEQ_REGEN_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("SIMSEQ_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); run with SIMSEQ_REGEN_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        actual, want,
+        "{name}: summary diverged from the committed golden file; if the \
+         change is intentional, regenerate with SIMSEQ_REGEN_GOLDEN=1 and \
+         commit the diff"
+    );
+}
 
 /// Fig. 5's claim at one corpus size: MT beats ST beats scan on work done.
 #[test]
@@ -28,6 +70,24 @@ fn fig5_shape_mt_below_st_below_scan() {
     assert!(mt.metrics.comparisons < scan.metrics.comparisons);
     // Node accesses: MT traverses once, ST sixteen times.
     assert!(mt.metrics.node_accesses < st.metrics.node_accesses / 4);
+
+    assert_golden(
+        "fig5",
+        &format!(
+            "fig5 synthetic_walks n=1000 len=128 ma=10..25 rho=0.96\n\
+             scan comparisons={} matches={}\n\
+             st   comparisons={} node_accesses={} matches={}\n\
+             mt   comparisons={} node_accesses={} matches={}\n",
+            scan.metrics.comparisons,
+            scan.matches.len(),
+            st.metrics.comparisons,
+            st.metrics.node_accesses,
+            st.matches.len(),
+            mt.metrics.comparisons,
+            mt.metrics.node_accesses,
+            mt.matches.len(),
+        ),
+    );
 }
 
 /// Fig. 6's claim: as |T| grows, MT's node accesses stay nearly flat while
@@ -51,6 +111,21 @@ fn fig6_shape_mt_flat_in_family_size() {
     assert!(st_large.metrics.node_accesses >= 4 * st_small.metrics.node_accesses);
     assert!(mt_large.metrics.node_accesses <= 3 * mt_small.metrics.node_accesses);
     assert!(mt_large.metrics.node_accesses < st_large.metrics.node_accesses / 3);
+
+    assert_golden(
+        "fig6",
+        &format!(
+            "fig6 stock_closes n=300 len=128 rho=0.96\n\
+             st |T|=5  node_accesses={}\n\
+             st |T|=30 node_accesses={}\n\
+             mt |T|=5  node_accesses={}\n\
+             mt |T|=30 node_accesses={}\n",
+            st_small.metrics.node_accesses,
+            st_large.metrics.node_accesses,
+            mt_small.metrics.node_accesses,
+            mt_large.metrics.node_accesses,
+        ),
+    );
 }
 
 /// Fig. 7's claim on the join: MT under ST under scan (comparisons), with
@@ -70,6 +145,24 @@ fn fig7_shape_join_ordering() {
     assert!(mt.metrics.node_accesses < st.metrics.node_accesses);
     // All agree on the answer (they must — same predicate).
     assert_eq!(st.sorted_triples(), mt.sorted_triples());
+
+    assert_golden(
+        "fig7",
+        &format!(
+            "fig7 stock_closes n=120 len=128 ma=5..16 rho=0.96\n\
+             scan comparisons={} pairs={}\n\
+             st   comparisons={} node_accesses={} pairs={}\n\
+             mt   comparisons={} node_accesses={} pairs={}\n",
+            scan.metrics.comparisons,
+            scan.matches.len(),
+            st.metrics.comparisons,
+            st.metrics.node_accesses,
+            st.matches.len(),
+            mt.metrics.comparisons,
+            mt.metrics.node_accesses,
+            mt.matches.len(),
+        ),
+    );
 }
 
 /// Fig. 8's claims: disk accesses grow with the number of rectangles,
@@ -87,6 +180,7 @@ fn fig8_shape_accesses_monotone_cost_u_shaped() {
 
     let mut accesses = Vec::new();
     let mut costs = Vec::new();
+    let mut summary = String::from("fig8 stock_closes n=400 len=128 ma=6..29 rho=0.96\n");
     for per_mbr in [24usize, 12, 8, 6, 4, 2, 1] {
         let (res, trav) = mtindex::range_query_partitioned(
             &index,
@@ -96,8 +190,13 @@ fn fig8_shape_accesses_monotone_cost_u_shaped() {
             &PartitionStrategy::EqualWidth { per_mbr },
         )
         .unwrap();
+        let cost = model.cost(&trav, index.leaf_capacity());
+        summary.push_str(&format!(
+            "per_mbr={per_mbr:<2} node_accesses={} cost={cost:.4}\n",
+            res.metrics.node_accesses
+        ));
         accesses.push(res.metrics.node_accesses);
-        costs.push(model.cost(&trav, index.leaf_capacity()));
+        costs.push(cost);
     }
     // More rectangles (smaller per_mbr) ⇒ at least as many node accesses,
     // modulo small non-monotonic wiggles; compare the extremes.
@@ -108,6 +207,8 @@ fn fig8_shape_accesses_monotone_cost_u_shaped() {
     let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = costs.iter().cloned().fold(0.0, f64::max);
     assert!(min > 0.0 && max > min);
+
+    assert_golden("fig8", &summary);
 }
 
 /// Fig. 9's claim: packing the two clusters (±MA) into one rectangle blows
@@ -159,6 +260,21 @@ fn fig9_shape_two_clusters_hurt_one_rectangle() {
         trav_one[0].candidates
     );
     assert_eq!(res_one.sorted_pairs(), res_two.sorted_pairs());
+
+    assert_golden(
+        "fig9",
+        &format!(
+            "fig9 stock_closes n=300 len=128 ma=±6..29 rho=0.96 policy=safe\n\
+             one_rect extent={:.6} candidates={} matches={}\n\
+             kmeans2  worst_extent={:.6} worst_candidates={} matches={}\n",
+            one.extent(),
+            trav_one[0].candidates,
+            res_one.matches.len(),
+            worst_cluster,
+            worst_tight,
+            res_two.matches.len(),
+        ),
+    );
 }
 
 /// Fig. 3's numbers: the mv(1..40) family's mult/add decomposition at the
@@ -171,4 +287,14 @@ fn fig3_mbr_envelope() {
     // ~[−1, 0] for the second coefficient (our dims 2 and 3).
     assert!(mbr.mult_lo[2] > 0.5 && mbr.mult_hi[2] <= 1.0 + 1e-12);
     assert!(mbr.add_lo[3] > -1.2 && mbr.add_hi[3] <= 1e-12);
+
+    assert_golden(
+        "fig3",
+        &format!(
+            "fig3 mv(1..40) len=128 second coefficient envelope\n\
+             mult dim2 lo={:.6} hi={:.6}\n\
+             add  dim3 lo={:.6} hi={:.6}\n",
+            mbr.mult_lo[2], mbr.mult_hi[2], mbr.add_lo[3], mbr.add_hi[3],
+        ),
+    );
 }

@@ -63,7 +63,7 @@ fn randomized_lifecycle_keeps_engines_truthful() {
                     let pick = rng.random_range(0..shadow.len());
                     let (ordinal, _) = shadow.swap_remove(pick);
                     assert!(
-                        index.delete_series(ordinal),
+                        index.delete_series(ordinal).unwrap(),
                         "step {step}: delete {ordinal}"
                     );
                 }
@@ -73,7 +73,7 @@ fn randomized_lifecycle_keeps_engines_truthful() {
                 std::fs::create_dir_all(&persist_dir).unwrap();
                 index.save(&persist_dir).expect("save");
                 index = SeqIndex::open(&persist_dir, 64).expect("open");
-                index.validate();
+                index.validate().unwrap();
             }
             // 30 %: query and cross-check all engines vs brute force.
             _ => {
@@ -90,7 +90,7 @@ fn randomized_lifecycle_keeps_engines_truthful() {
             }
         }
     }
-    index.validate();
+    index.validate().unwrap();
     assert!(
         checked_queries >= 10,
         "workload should have exercised queries"
