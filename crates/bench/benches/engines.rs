@@ -47,7 +47,7 @@ fn fig5_point() {
         ("mtindex", mtindex::range_query),
     ] {
         bench(group, name, || {
-            index.reset_counters();
+            index.reset_counters().expect("reset counters");
             run(&index, &query, &family, &spec).unwrap()
         });
     }
@@ -68,7 +68,7 @@ fn fig6_point() {
         ("mtindex", mtindex::range_query),
     ] {
         bench(group, name, || {
-            index.reset_counters();
+            index.reset_counters().expect("reset counters");
             run(&index, &query, &family, &spec).unwrap()
         });
     }
@@ -88,7 +88,7 @@ fn fig7_point() {
         ("mt_join", join::mt_join),
     ] {
         bench(group, name, || {
-            index.reset_counters();
+            index.reset_counters().expect("reset counters");
             run(&index, &family, &spec).unwrap()
         });
     }
@@ -111,7 +111,7 @@ fn filter_policies() {
     ] {
         let spec = RangeSpec::correlation(0.96).with_policy(policy);
         bench(group, name, || {
-            index.reset_counters();
+            index.reset_counters().expect("reset counters");
             mtindex::range_query(&index, &query, &family, &spec).unwrap()
         });
     }

@@ -83,7 +83,7 @@ fn bench_rtree() {
         let mut tree: RStarTree<6, MemStore<6>> =
             RStarTree::with_params(MemStore::new(), Params::with_max(32));
         for (r, d) in &points {
-            tree.insert(*r, *d);
+            tree.insert(*r, *d).expect("insert");
         }
         tree.len()
     });
@@ -91,7 +91,7 @@ fn bench_rtree() {
     let tree = rstartree::bulk_load_str(MemStore::new(), Params::with_max(32), points.clone());
     let query = Rect::new([-20.0; 6], [20.0; 6]);
     bench("rtree_range_query_5000x6d", 100, || {
-        tree.range(&query).0.len()
+        tree.range(&query).unwrap().0.len()
     });
     bench("rtree_bulk_load_5000x6d", 10, || {
         rstartree::bulk_load_str(MemStore::new(), Params::with_max(32), points.clone()).len()

@@ -3,6 +3,7 @@
 use crate::args::{err, Args, CliError};
 use simquery::engine::{join as join_engine, knn, mtindex, seqscan, stindex};
 use simquery::prelude::*;
+use simshard::{gather, ShardConfig, ShardedIndex};
 use std::path::{Path, PathBuf};
 
 /// Help text.
@@ -27,6 +28,15 @@ USAGE:
   simseq load  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
                [--ma LO..HI] [--rho R] [--engine mt|st|scan]
                [--verify-index DIR/]
+  simseq shard build --data FILE.csv --out DIR/ --shards N
+               [--partitioner hash|round-robin|range]
+  simseq shard info  --index DIR/
+  simseq shard query --index DIR/ (--query-index I | --query-csv FILE --row I)
+               [--ma LO..HI] [--rho R | --eps E] [--engine mt|st|scan]
+               [--policy adaptive|safe] [--mode symmetric|data-only]
+               [--limit N]
+  simseq shard nn    --index DIR/ (--query-index I | --query-csv FILE --row I)
+               --k K [--ma LO..HI]
 
 Thresholds: --rho is a cross-correlation in [-1, 1], converted through
 Eq. 9; --eps is a Euclidean distance over transformed normal forms.
@@ -34,6 +44,11 @@ Eq. 9; --eps is a Euclidean distance over transformed normal forms.
 `serve` runs the simserved line protocol (see crates/serve/PROTOCOL.md)
 over the given index; `load` replays a seeded closed-loop workload
 against a running server and prints a latency/throughput table.
+
+`shard build` partitions the corpus across N independent indexes (serve
+the directory with `simserved --index DIR/` to get per-shard STATS);
+`shard query`/`shard nn` scatter-gather across the shards and return
+exactly the single-index answer.
 ";
 
 type CliResult = Result<(), CliError>;
@@ -107,7 +122,9 @@ pub fn query(args: &Args) -> CliResult {
     let q = query_series(args, &index)?;
 
     let engine = args.opt("engine").unwrap_or("mt");
-    index.reset_counters();
+    index
+        .reset_counters()
+        .map_err(|e| err(format!("resetting counters: {e}")))?;
     let result = match engine {
         "mt" => mtindex::range_query(&index, &q, &family, &spec),
         "st" => stindex::range_query(&index, &q, &family, &spec),
@@ -145,7 +162,9 @@ pub fn join(args: &Args) -> CliResult {
     let family = family_from(args, index.seq_len())?;
     let spec = spec_from(args)?;
     let engine = args.opt("engine").unwrap_or("mt");
-    index.reset_counters();
+    index
+        .reset_counters()
+        .map_err(|e| err(format!("resetting counters: {e}")))?;
     let result = match engine {
         "mt" => join_engine::mt_join(&index, &family, &spec),
         "st" => join_engine::st_join(&index, &family, &spec),
@@ -180,7 +199,9 @@ pub fn nn(args: &Args) -> CliResult {
     let family = family_from(args, index.seq_len())?;
     let k: usize = args.req_parse("k")?;
     let q = query_series(args, &index)?;
-    index.reset_counters();
+    index
+        .reset_counters()
+        .map_err(|e| err(format!("resetting counters: {e}")))?;
     let (matches, metrics) = knn::knn(&index, &q, &family, k).map_err(|e| err(e.to_string()))?;
     for m in &matches {
         println!(
@@ -266,7 +287,177 @@ pub fn load(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// `simseq shard …` — nested subcommands over a sharded index.
+pub fn shard(argv: &[String]) -> CliResult {
+    let args = Args::parse(argv)?;
+    match args.sub() {
+        "build" => shard_build(&args),
+        "info" => shard_info(&args),
+        "query" => shard_query(&args),
+        "nn" => shard_nn(&args),
+        other => Err(err(format!(
+            "unknown shard subcommand `{other}`; try `simseq help`"
+        ))),
+    }
+}
+
+/// `simseq shard build` — partition a CSV corpus across N shards.
+fn shard_build(args: &Args) -> CliResult {
+    let data = PathBuf::from(args.req("data")?);
+    let out = PathBuf::from(args.req("out")?);
+    // The same shardcfg parse that backs `simserved --shards`.
+    let cfg = ShardConfig::parse(args.req("shards")?, args.opt("partitioner")).map_err(err)?;
+    let corpus =
+        Corpus::load_csv(&data).map_err(|e| err(format!("reading {}: {e}", data.display())))?;
+    let sharded = ShardedIndex::build(&corpus, cfg, IndexConfig::default())
+        .map_err(|e| err(e.to_string()))?;
+    sharded
+        .save(&out)
+        .map_err(|e| err(format!("saving sharded index: {e}")))?;
+    std::fs::write(out.join("names.txt"), corpus.names().join("\n"))
+        .map_err(|e| err(format!("saving names: {e}")))?;
+    println!(
+        "indexed {} sequences of length {} across {} shards ({}) into {}",
+        sharded.len(),
+        sharded.seq_len(),
+        sharded.shard_count(),
+        sharded.partitioner_kind(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `simseq shard info` — describe a persisted sharded index.
+fn shard_info(args: &Args) -> CliResult {
+    let (sharded, names) = open_sharded(args)?;
+    println!("sequences:   {}", sharded.len());
+    println!("length:      {}", sharded.seq_len());
+    println!("shards:      {}", sharded.shard_count());
+    println!("partitioner: {}", sharded.partitioner_kind());
+    println!("deleted:     {}", sharded.deleted_count());
+    let loads = sharded.shard_loads();
+    for (i, (load, handle)) in loads.iter().zip(sharded.shards()).enumerate() {
+        let index = handle.read();
+        println!("shard {i}:     {load} seqs, tree height {}", index.height());
+    }
+    if let Some(first) = names.first() {
+        println!("first name:  {first}");
+    }
+    Ok(())
+}
+
+/// `simseq shard query` — Query 1, scatter-gathered across the shards.
+fn shard_query(args: &Args) -> CliResult {
+    let (sharded, names) = open_sharded(args)?;
+    let family = family_from(args, sharded.seq_len())?;
+    let spec = shard_spec_from(args)?;
+    let q = shard_query_series(args, &sharded)?;
+    let engine = match args.opt("engine").unwrap_or("mt") {
+        "mt" => gather::Engine::Mt,
+        "st" => gather::Engine::St,
+        "scan" => gather::Engine::Scan,
+        other => return Err(err(format!("--engine must be mt|st|scan, got `{other}`"))),
+    };
+    sharded
+        .reset_counters()
+        .map_err(|e| err(format!("resetting counters: {e}")))?;
+    let (result, per_shard) = gather::range_query_detailed(&sharded, engine, &q, &family, &spec)
+        .map_err(|e| err(e.to_string()))?;
+
+    let limit: usize = args.parse_or("limit", 20)?;
+    let mut matches = result.matches.clone();
+    matches.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+    for m in matches.iter().take(limit) {
+        println!(
+            "{:24} via {:12} D = {:.4}",
+            display_name(&names, m.seq),
+            family.transforms()[m.transform].label(),
+            m.dist
+        );
+    }
+    if matches.len() > limit {
+        println!("… and {} more (raise --limit)", matches.len() - limit);
+    }
+    eprintln!(
+        "{} matches over {} sequences | {}",
+        result.matches.len(),
+        result.matched_sequences().len(),
+        result.metrics
+    );
+    for (i, m) in per_shard.iter().enumerate() {
+        eprintln!("  shard {i}: {m}");
+    }
+    Ok(())
+}
+
+/// `simseq shard nn` — exact global kNN with bound propagation.
+fn shard_nn(args: &Args) -> CliResult {
+    let (sharded, names) = open_sharded(args)?;
+    let family = family_from(args, sharded.seq_len())?;
+    let k: usize = args.req_parse("k")?;
+    let q = shard_query_series(args, &sharded)?;
+    sharded
+        .reset_counters()
+        .map_err(|e| err(format!("resetting counters: {e}")))?;
+    let (matches, metrics, per_shard) =
+        gather::knn_detailed(&sharded, &q, &family, k).map_err(|e| err(e.to_string()))?;
+    for m in &matches {
+        println!(
+            "{:24} via {:12} D = {:.4}",
+            display_name(&names, m.seq),
+            family.transforms()[m.transform].label(),
+            m.dist
+        );
+    }
+    eprintln!("{metrics}");
+    for (i, m) in per_shard.iter().enumerate() {
+        eprintln!("  shard {i}: {m}");
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
+
+fn open_sharded(args: &Args) -> Result<(ShardedIndex, Vec<String>), CliError> {
+    let dir = PathBuf::from(args.req("index")?);
+    let sharded = ShardedIndex::open(&dir, 256)
+        .map_err(|e| err(format!("opening sharded index {}: {e}", dir.display())))?;
+    let names = std::fs::read_to_string(dir.join("names.txt"))
+        .map(|s| s.lines().map(String::from).collect())
+        .unwrap_or_default();
+    Ok((sharded, names))
+}
+
+/// Like [`spec_from`], but the `paper` filter policy is rejected: its
+/// false dismissals depend on tree layout, so the answer would vary with
+/// the shard count.
+fn shard_spec_from(args: &Args) -> Result<RangeSpec, CliError> {
+    if args.opt("policy") == Some("paper") {
+        return Err(err(
+            "--policy paper is tree-layout-dependent and may differ across \
+             shard counts; use adaptive|safe",
+        ));
+    }
+    spec_from(args)
+}
+
+fn shard_query_series(args: &Args, sharded: &ShardedIndex) -> Result<TimeSeries, CliError> {
+    if let Some(raw) = args.opt("query-index") {
+        let ordinal: usize = raw
+            .parse()
+            .map_err(|_| err(format!("--query-index: bad ordinal `{raw}`")))?;
+        if ordinal >= sharded.len() {
+            return Err(err(format!(
+                "--query-index {ordinal} out of range (0..{})",
+                sharded.len()
+            )));
+        }
+        return sharded
+            .fetch_series(ordinal)
+            .map_err(|e| err(format!("fetching ordinal {ordinal}: {e}")));
+    }
+    csv_query_series(args)
+}
 
 fn open_index(args: &Args) -> Result<(SeqIndex, Vec<String>), CliError> {
     let dir = PathBuf::from(args.req("index")?);
@@ -300,6 +491,10 @@ fn query_series(args: &Args, index: &SeqIndex) -> Result<TimeSeries, CliError> {
             .fetch_series(ordinal)
             .map_err(|e| err(format!("fetching ordinal {ordinal}: {e}")));
     }
+    csv_query_series(args)
+}
+
+fn csv_query_series(args: &Args) -> Result<TimeSeries, CliError> {
     let csv = Path::new(args.req("query-csv")?);
     let row: usize = args.req_parse("row")?;
     let corpus =

@@ -9,6 +9,8 @@
 //! simseq nn    --index idx/ --query-index 42 --k 5 --ma 2..20
 //! simseq serve --index idx/ --addr 127.0.0.1:7878
 //! simseq load  --addr 127.0.0.1:7878 --conns 8 --ops 100
+//! simseq shard build --data data.csv --out sidx/ --shards 4
+//! simseq shard query --index sidx/ --query-index 42 --ma 5..34 --rho 0.96
 //! ```
 
 mod args;
@@ -20,6 +22,14 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("help") || argv.is_empty() {
         print!("{}", commands::USAGE);
+        return;
+    }
+    // `shard` prefixes a nested subcommand: `simseq shard build --…`.
+    if argv.first().map(String::as_str) == Some("shard") {
+        if let Err(e) = commands::shard(&argv[1..]) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
         return;
     }
     let result = Args::parse(&argv).and_then(|args| match args.sub() {

@@ -24,6 +24,21 @@ pub fn knn(
     family: &Family,
     k: usize,
 ) -> Result<(Vec<Match>, EngineMetrics), QueryError> {
+    knn_bounded(index, query, family, k, f64::INFINITY)
+}
+
+/// [`knn`] seeded with an external pruning bound: only sequences at
+/// distance ≤ `init_bound` are considered (ties at the bound are kept so
+/// a caller merging several indexes can break them deterministically).
+/// The sharded gather executor passes the running global k-th distance
+/// here to prune later per-shard searches; `init_bound = ∞` is plain kNN.
+pub fn knn_bounded(
+    index: &SeqIndex,
+    query: &TimeSeries,
+    family: &Family,
+    k: usize,
+    init_bound: f64,
+) -> Result<(Vec<Match>, EngineMetrics), QueryError> {
     let start = Instant::now();
     check_family(family, index.seq_len())?;
     let q = index.prepare_query(query)?;
@@ -40,8 +55,9 @@ pub fn knn(
     // Optimal multi-step search: leaf entries carry the cheap feature-space
     // bound; the expensive fetch-and-verify runs only when an entry reaches
     // the head of the queue.
-    let (neighbors, stats) = index.nearest_by_refine(
+    let (neighbors, stats) = index.nearest_by_refine_bounded(
         k,
+        init_bound,
         |rect| mindist_bound(&mbr.apply_to_rect(rect), &qregion),
         |rect, _| mindist_bound(&mbr.apply_to_rect(rect), &qregion),
         |_, data| {

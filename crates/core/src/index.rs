@@ -237,6 +237,17 @@ impl SeqIndex {
         self.deleted.iter().filter(|d| **d).count()
     }
 
+    /// The tombstoned ordinals themselves, ascending. Lets a repartitioner
+    /// ([`crate::shared`] consumers, `simshard`) replay deletions when
+    /// rebuilding a corpus from the heap.
+    pub fn deleted_ordinals(&self) -> Vec<usize> {
+        self.deleted
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.then_some(i))
+            .collect()
+    }
+
     /// Number of sequences in the relation (indexed or not).
     pub fn len(&self) -> usize {
         self.len
@@ -374,6 +385,29 @@ impl SeqIndex {
         match &self.tree {
             TreeImpl::Mem(t) => t.nearest_by_refine(k, node_bound, leaf_bound, refine),
             TreeImpl::Paged(t) => t.nearest_by_refine(k, node_bound, leaf_bound, refine),
+        }
+    }
+
+    /// [`Self::nearest_by_refine`] seeded with an external pruning bound
+    /// (see [`RStarTree::nearest_by_refine_bounded`]). Used by the sharded
+    /// gather executor to propagate the running global k-th distance into
+    /// later per-shard searches.
+    #[allow(clippy::type_complexity)]
+    pub fn nearest_by_refine_bounded(
+        &self,
+        k: usize,
+        bound: f64,
+        node_bound: impl FnMut(&FRect) -> f64,
+        leaf_bound: impl FnMut(&FRect, u64) -> f64,
+        refine: impl FnMut(&FRect, u64) -> Option<f64>,
+    ) -> Result<(Vec<Neighbor<DIMS>>, SearchStats), PageError> {
+        match &self.tree {
+            TreeImpl::Mem(t) => {
+                t.nearest_by_refine_bounded(k, bound, node_bound, leaf_bound, refine)
+            }
+            TreeImpl::Paged(t) => {
+                t.nearest_by_refine_bounded(k, bound, node_bound, leaf_bound, refine)
+            }
         }
     }
 

@@ -11,6 +11,27 @@
 //! `Arc<RwLock<SeqIndex>>` whose lock recovers from poisoning (see
 //! [`pagestore::sync`]), so a panicking query thread cannot wedge a
 //! server.
+//!
+//! # Write-guard starvation discipline
+//!
+//! The write guard is exclusive for the *entire* mutation: while one
+//! `insert_series` runs (feature extraction, heap append, R*-tree insert
+//! with possible forced reinserts and splits), every reader of the same
+//! handle blocks. That is inherent to the single-lock design, so two rules
+//! keep the stall bounded:
+//!
+//! 1. **Never hold the write guard across anything but the mutation
+//!    itself.** Callers must prepare inputs (parse, validate, materialise
+//!    the [`tseries::TimeSeries`]) *before* taking the guard and must drop
+//!    it before serialising the response. Holding it across I/O to a
+//!    client would convert one slow connection into a server-wide stall.
+//! 2. **Shard to bound the blast radius.** A mutation can only starve
+//!    readers of *its own* lock. The `simshard` crate partitions a corpus
+//!    across N independent `SharedIndex` handles precisely so that an
+//!    insert write-locks one shard while the other N−1 keep serving reads
+//!    concurrently — a property its `reads_proceed_during_insert`
+//!    regression test asserts by querying shard B while shard A's write
+//!    guard is deliberately held.
 
 use crate::index::SeqIndex;
 use pagestore::sync::RwLock;

@@ -773,6 +773,26 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
     pub fn nearest_by_refine(
         &self,
         k: usize,
+        node_bound: impl FnMut(&Rect<D>) -> f64,
+        leaf_bound: impl FnMut(&Rect<D>, u64) -> f64,
+        refine: impl FnMut(&Rect<D>, u64) -> Option<f64>,
+    ) -> Result<(Vec<Neighbor<D>>, SearchStats), PageError> {
+        self.nearest_by_refine_bounded(k, f64::INFINITY, node_bound, leaf_bound, refine)
+    }
+
+    /// [`Self::nearest_by_refine`] seeded with an external pruning bound:
+    /// only entries with exact distance `≤ bound` are returned, and any
+    /// subtree or candidate whose lower bound exceeds `bound` is never
+    /// expanded or refined. A scatter-gather caller searching many trees
+    /// passes the running global k-th distance here so later trees prune
+    /// against what earlier trees already found; `bound = ∞` recovers the
+    /// plain behaviour exactly. The `≤` (rather than `<`) keeps entries
+    /// tied with the bound, so a deterministic cross-tree tie-break stays
+    /// possible.
+    pub fn nearest_by_refine_bounded(
+        &self,
+        k: usize,
+        bound: f64,
         mut node_bound: impl FnMut(&Rect<D>) -> f64,
         mut leaf_bound: impl FnMut(&Rect<D>, u64) -> f64,
         mut refine: impl FnMut(&Rect<D>, u64) -> Option<f64>,
@@ -788,6 +808,11 @@ impl<const D: usize, S: NodeStore<D>> RStarTree<D, S> {
             kind: RefineKind::Node(self.root),
         }));
         while let Some(Reverse(item)) = heap.pop() {
+            // The heap is min-ordered: once the head's lower bound exceeds
+            // the external bound, nothing better can ever surface.
+            if item.key > bound {
+                break;
+            }
             match item.kind {
                 RefineKind::Exact(rect, data) => {
                     out.push(Neighbor {

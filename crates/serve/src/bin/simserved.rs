@@ -3,11 +3,19 @@
 //! ```sh
 //! simserved --index idx/ [--addr 127.0.0.1:7878] [--workers N]
 //!           [--queue 64] [--max-conns 64] [--pool-pages 256]
+//!           [--shards N] [--partitioner hash|round-robin|range]
 //! ```
+//!
+//! With `--shards N > 1` the opened index is repartitioned across N
+//! independent shards: an insert write-locks one shard while the others
+//! keep serving reads, queries scatter-gather, and `STATS` gains a
+//! per-shard breakdown. A directory written by `simseq shard build` (it
+//! contains `sharding.txt`) is served sharded as-is.
 
 use simquery::shared::SharedIndex;
 use simserve::opts::Opts;
-use simserve::server::{serve, ServerConfig};
+use simserve::server::{serve, Backend, ServerConfig};
+use simshard::{ShardConfig, ShardedIndex};
 use std::path::PathBuf;
 
 const USAGE: &str = "\
@@ -16,9 +24,13 @@ simserved — serve a persisted similarity index over TCP
 USAGE:
   simserved --index DIR/ [--addr HOST:PORT] [--workers N]
             [--queue N] [--max-conns N] [--pool-pages N]
+            [--shards N] [--partitioner hash|round-robin|range]
 
 The protocol is documented in crates/serve/PROTOCOL.md. Build an index
-with `simseq gen` + `simseq build` first.
+with `simseq gen` + `simseq build` first (or a sharded one with
+`simseq shard build`). `--shards N` repartitions a single-index
+directory across N shards at startup; JOIN requires an unsharded
+backend.
 ";
 
 fn main() {
@@ -27,6 +39,18 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(1);
     }
+}
+
+fn announce(sharded: &ShardedIndex, cfg: &ServerConfig) {
+    eprintln!(
+        "serving {} sequences of length {} across {} shards ({}, {} workers, queue {})",
+        sharded.len(),
+        sharded.seq_len(),
+        sharded.shard_count(),
+        sharded.partitioner_kind(),
+        cfg.workers,
+        cfg.queue_depth
+    );
 }
 
 fn run() -> Result<(), String> {
@@ -56,19 +80,44 @@ fn run() -> Result<(), String> {
             .parse_or("max-conns", defaults.max_conns)
             .map_err(|e| e.to_string())?,
     };
-    let shared = SharedIndex::open(&dir, pool_pages)
-        .map_err(|e| format!("opening index {}: {e}", dir.display()))?;
-    {
-        let index = shared.read();
-        eprintln!(
-            "serving {} sequences of length {} ({} workers, queue {})",
-            index.len(),
-            index.seq_len(),
-            cfg.workers,
-            cfg.queue_depth
-        );
-    }
-    let handle = serve(shared, &cfg).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+
+    // One shardcfg parse covers both flags (shared with `simseq shard`).
+    let shard_cfg = ShardConfig::parse(opts.get("shards").unwrap_or("1"), opts.get("partitioner"))?;
+
+    let backend = if dir.join("sharding.txt").is_file() {
+        // A `simseq shard build` directory is already partitioned.
+        let sharded = ShardedIndex::open(&dir, pool_pages)
+            .map_err(|e| format!("opening sharded index {}: {e}", dir.display()))?;
+        announce(&sharded, &cfg);
+        Backend::from(sharded)
+    } else {
+        let shared = SharedIndex::open(&dir, pool_pages)
+            .map_err(|e| format!("opening index {}: {e}", dir.display()))?;
+        if shard_cfg.shards > 1 {
+            let index_cfg = simquery::index::IndexConfig {
+                heap_pool_pages: pool_pages,
+                ..Default::default()
+            };
+            let sharded = ShardedIndex::from_index(&shared.read(), shard_cfg, index_cfg)
+                .map_err(|e| format!("sharding {}: {e}", dir.display()))?;
+            announce(&sharded, &cfg);
+            Backend::from(sharded)
+        } else {
+            {
+                let index = shared.read();
+                eprintln!(
+                    "serving {} sequences of length {} ({} workers, queue {})",
+                    index.len(),
+                    index.seq_len(),
+                    cfg.workers,
+                    cfg.queue_depth
+                );
+            }
+            Backend::from(shared)
+        }
+    };
+
+    let handle = serve(backend, &cfg).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
     println!("listening on {}", handle.addr);
     handle.join();
     Ok(())

@@ -7,9 +7,8 @@
 //! reports (percentiles are bucket upper bounds, i.e. ≤ 2× the true
 //! value).
 
-use crate::protocol::{OpStatLine, StatsReport};
+use crate::protocol::{OpStatLine, ShardStatLine, StatsReport};
 use simquery::index::AccessCounters;
-use simquery::shared::SharedIndex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -134,10 +133,16 @@ impl Registry {
     }
 
     /// Builds the `STATS` payload; with `reset`, zeroes op counters and
-    /// histograms afterwards. Index counters come from `index` (totals
-    /// since server start, plus the delta since the previous call).
-    pub fn report(&self, index: &SharedIndex, reset: bool) -> StatsReport {
-        let now = index.read().counters();
+    /// histograms afterwards. `now` is the backend's aggregate access
+    /// counters (totals since server start; the delta baseline is kept
+    /// here), and `shards` is the per-shard breakdown — empty for a
+    /// single-index backend.
+    pub fn report(
+        &self,
+        now: AccessCounters,
+        shards: Vec<ShardStatLine>,
+        reset: bool,
+    ) -> StatsReport {
         let mut baseline = self.baseline.lock().unwrap_or_else(|e| e.into_inner());
         let prev = baseline.unwrap_or(AccessCounters {
             node_reads: 0,
@@ -171,6 +176,7 @@ impl Registry {
                 now.record_page_reads - prev.record_page_reads,
                 now.record_fetches - prev.record_fetches,
             ),
+            shards,
         };
         if reset {
             for s in &self.ops {

@@ -369,6 +369,21 @@ pub struct OpStatLine {
     pub max_us: u64,
 }
 
+/// Per-shard line of a `STATS` response (sharded backends only).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStatLine {
+    /// Shard id, `0..shards`.
+    pub id: usize,
+    /// Sequences currently mapped to the shard.
+    pub seqs: u64,
+    /// Tree node reads on this shard since server start.
+    pub node_reads: u64,
+    /// Record-heap page reads (pool misses) on this shard.
+    pub record_page_reads: u64,
+    /// Logical record fetches on this shard.
+    pub record_fetches: u64,
+}
+
 /// The full `STATS` payload.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatsReport {
@@ -383,6 +398,8 @@ pub struct StatsReport {
     pub counters_total: (u64, u64, u64),
     /// Same counters, delta since the previous `STATS` call.
     pub counters_delta: (u64, u64, u64),
+    /// Per-shard breakdown; empty on a single-index backend.
+    pub shards: Vec<ShardStatLine>,
 }
 
 /// A parsed response.
@@ -485,6 +502,14 @@ impl Response {
                     s.counters_delta.1,
                     s.counters_delta.2
                 )?;
+                for sh in &s.shards {
+                    writeln!(
+                        w,
+                        "SHARD id={} seqs={} node_reads={} record_page_reads={} \
+                         record_fetches={}",
+                        sh.id, sh.seqs, sh.node_reads, sh.record_page_reads, sh.record_fetches
+                    )?;
+                }
                 writeln!(
                     w,
                     "SERVER busy_rejected={} connections={}",
@@ -646,6 +671,16 @@ impl Response {
                         kv.req_parse("d_record_page_reads")?,
                         kv.req_parse("d_record_fetches")?,
                     );
+                }
+                Some("SHARD") => {
+                    let kv = KvTokens::collect(tokens)?;
+                    report.shards.push(ShardStatLine {
+                        id: kv.req_parse("id")?,
+                        seqs: kv.req_parse("seqs")?,
+                        node_reads: kv.req_parse("node_reads")?,
+                        record_page_reads: kv.req_parse("record_page_reads")?,
+                        record_fetches: kv.req_parse("record_fetches")?,
+                    });
                 }
                 Some("SERVER") => {
                     let kv = KvTokens::collect(tokens)?;
@@ -945,6 +980,22 @@ mod tests {
             connections: 8,
             counters_total: (100, 200, 300),
             counters_delta: (10, 20, 30),
+            shards: vec![
+                ShardStatLine {
+                    id: 0,
+                    seqs: 60,
+                    node_reads: 70,
+                    record_page_reads: 80,
+                    record_fetches: 90,
+                },
+                ShardStatLine {
+                    id: 1,
+                    seqs: 40,
+                    node_reads: 30,
+                    record_page_reads: 120,
+                    record_fetches: 210,
+                },
+            ],
         }));
         round_trip_response(Response::Ok);
     }

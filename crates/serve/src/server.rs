@@ -24,6 +24,7 @@ use crate::protocol::{
 use simquery::engine::{join, knn, mtindex, seqscan, stindex};
 use simquery::prelude::*;
 use simquery::report::QueryError;
+use simshard::{gather, ShardedIndex};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -57,6 +58,36 @@ impl Default for ServerConfig {
     }
 }
 
+/// The index a server executes against: a single [`SharedIndex`] (one
+/// lock), or a [`ShardedIndex`] (per-shard locks, scatter-gather
+/// execution, per-shard `STATS` breakdown). `JOIN` is only available on a
+/// single backend — its cross-shard pairs would defeat the partitioning.
+#[derive(Clone)]
+pub enum Backend {
+    /// One index behind one lock.
+    Single(SharedIndex),
+    /// N shards queried by scatter-gather.
+    Sharded(Arc<ShardedIndex>),
+}
+
+impl From<SharedIndex> for Backend {
+    fn from(shared: SharedIndex) -> Self {
+        Self::Single(shared)
+    }
+}
+
+impl From<ShardedIndex> for Backend {
+    fn from(sharded: ShardedIndex) -> Self {
+        Self::Sharded(Arc::new(sharded))
+    }
+}
+
+impl From<Arc<ShardedIndex>> for Backend {
+    fn from(sharded: Arc<ShardedIndex>) -> Self {
+        Self::Sharded(sharded)
+    }
+}
+
 /// A running server; dropping it does NOT stop the threads — call
 /// [`ServerHandle::shutdown`] (tests) or [`ServerHandle::join`] (daemon).
 pub struct ServerHandle {
@@ -84,8 +115,10 @@ impl ServerHandle {
     }
 }
 
-/// Starts serving `shared` per `cfg`. Returns once the listener is bound.
-pub fn serve(shared: SharedIndex, cfg: &ServerConfig) -> io::Result<ServerHandle> {
+/// Starts serving `backend` per `cfg` (a bare [`SharedIndex`] converts
+/// into a single-index backend). Returns once the listener is bound.
+pub fn serve(backend: impl Into<Backend>, cfg: &ServerConfig) -> io::Result<ServerHandle> {
+    let backend = backend.into();
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let metrics = Arc::new(Registry::default());
@@ -117,14 +150,14 @@ pub fn serve(shared: SharedIndex, cfg: &ServerConfig) -> io::Result<ServerHandle
                     }
                     metrics.record_connection();
                     live_conns.fetch_add(1, Ordering::SeqCst);
-                    let shared = shared.clone();
+                    let backend = backend.clone();
                     let metrics = Arc::clone(&metrics);
                     let pool = Arc::clone(&pool);
                     let live_conns = Arc::clone(&live_conns);
                     let _ = std::thread::Builder::new()
                         .name("simserve-conn".into())
                         .spawn(move || {
-                            let _ = handle_connection(stream, &shared, &metrics, &pool);
+                            let _ = handle_connection(stream, &backend, &metrics, &pool);
                             live_conns.fetch_sub(1, Ordering::SeqCst);
                         });
                 }
@@ -141,7 +174,7 @@ pub fn serve(shared: SharedIndex, cfg: &ServerConfig) -> io::Result<ServerHandle
 
 fn handle_connection(
     stream: TcpStream,
-    shared: &SharedIndex,
+    backend: &Backend,
     metrics: &Arc<Registry>,
     pool: &Arc<WorkerPool>,
 ) -> io::Result<()> {
@@ -178,12 +211,12 @@ fn handle_connection(
         // BUSY error — the admission-control contract.
         let (tx, rx) = mpsc::channel::<Response>();
         let job = {
-            let shared = shared.clone();
-            let metrics = Arc::clone(&metrics);
+            let backend = backend.clone();
+            let metrics = Arc::clone(metrics);
             Box::new(move || {
                 let op = op_index(request.op_name());
                 let start = Instant::now();
-                let response = execute(&shared, &metrics, request);
+                let response = execute(&backend, &metrics, request);
                 let is_err = matches!(response, Response::Err { .. });
                 metrics.record(op, start.elapsed(), is_err);
                 let _ = tx.send(response);
@@ -227,45 +260,116 @@ impl Request {
     }
 }
 
-/// Executes one request against the shared index. `Stats` reads the
-/// metrics registry; everything else touches only the index.
-fn execute(shared: &SharedIndex, metrics: &Registry, request: Request) -> Response {
+/// Executes one request against the backend. `Stats` reads the metrics
+/// registry; everything else touches only the index (or its shards).
+fn execute(backend: &Backend, metrics: &Registry, request: Request) -> Response {
     match request {
-        Request::Query(p) => run_query(shared, p),
-        Request::Knn { ord, k, ma } => run_knn(shared, ord, k, ma),
+        Request::Query(p) => match backend {
+            Backend::Single(shared) => run_query(shared, p),
+            Backend::Sharded(sharded) => run_query_sharded(sharded, p),
+        },
+        Request::Knn { ord, k, ma } => match backend {
+            Backend::Single(shared) => run_knn(shared, ord, k, ma),
+            Backend::Sharded(sharded) => run_knn_sharded(sharded, ord, k, ma),
+        },
         Request::Join {
             ma,
             threshold,
             engine,
             limit,
-        } => run_join(shared, ma, threshold.to_spec(), engine, limit),
+        } => match backend {
+            Backend::Single(shared) => run_join(shared, ma, threshold.to_spec(), engine, limit),
+            Backend::Sharded(_) => err(
+                ErrCode::Query,
+                "JOIN is not supported on a sharded backend (pairs cross shards); \
+                 serve the index unsharded to join",
+            ),
+        },
         Request::Insert { values } => {
             let ts = TimeSeries::new(values);
-            let mut index = shared.write();
-            match index.insert_series(&ts) {
+            let outcome = match backend {
+                Backend::Single(shared) => shared.write().insert_series(&ts),
+                Backend::Sharded(sharded) => sharded.insert_series(&ts),
+            };
+            match outcome {
                 Ok(ord) => Response::Inserted { ord },
                 Err(e) => query_err(e),
             }
         }
         Request::Delete { ord } => {
-            let mut index = shared.write();
-            match index.delete_series(ord) {
+            let outcome = match backend {
+                Backend::Single(shared) => shared.write().delete_series(ord),
+                Backend::Sharded(sharded) => sharded.delete_series(ord),
+            };
+            match outcome {
                 Ok(existed) => Response::Deleted { existed },
                 Err(e) => query_err(e),
             }
         }
-        Request::Info => {
-            let index = shared.read();
-            Response::Info(vec![
-                ("sequences".into(), index.len().to_string()),
-                ("seq_len".into(), index.seq_len().to_string()),
-                ("tree_height".into(), index.height().to_string()),
-                ("leaf_capacity".into(), index.leaf_capacity().to_string()),
-                ("skipped".into(), index.skipped().len().to_string()),
-                ("deleted".into(), index.deleted_count().to_string()),
-            ])
+        Request::Info => match backend {
+            Backend::Single(shared) => {
+                let index = shared.read();
+                Response::Info(vec![
+                    ("sequences".into(), index.len().to_string()),
+                    ("seq_len".into(), index.seq_len().to_string()),
+                    ("tree_height".into(), index.height().to_string()),
+                    ("leaf_capacity".into(), index.leaf_capacity().to_string()),
+                    ("skipped".into(), index.skipped().len().to_string()),
+                    ("deleted".into(), index.deleted_count().to_string()),
+                ])
+            }
+            Backend::Sharded(sharded) => {
+                let loads = sharded.shard_loads();
+                Response::Info(vec![
+                    ("sequences".into(), sharded.len().to_string()),
+                    ("seq_len".into(), sharded.seq_len().to_string()),
+                    ("shards".into(), sharded.shard_count().to_string()),
+                    ("partitioner".into(), sharded.partitioner_kind().to_string()),
+                    ("deleted".into(), sharded.deleted_count().to_string()),
+                    (
+                        "shard_loads".into(),
+                        loads
+                            .iter()
+                            .map(|l| l.to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    ),
+                ])
+            }
+        },
+        Request::Stats { reset } => {
+            let (counters, shards) = match backend {
+                Backend::Single(shared) => (shared.read().counters(), Vec::new()),
+                Backend::Sharded(sharded) => {
+                    let loads = sharded.shard_loads();
+                    let per = sharded.per_shard_counters();
+                    let lines = per
+                        .iter()
+                        .enumerate()
+                        .map(|(id, c)| crate::protocol::ShardStatLine {
+                            id,
+                            seqs: loads.get(id).copied().unwrap_or(0) as u64,
+                            node_reads: c.node_reads,
+                            record_page_reads: c.record_page_reads,
+                            record_fetches: c.record_fetches,
+                        })
+                        .collect();
+                    // Totals from the same snapshot, so the COUNTERS line
+                    // always equals the sum of the SHARD lines.
+                    let total =
+                        per.iter()
+                            .fold(simquery::index::AccessCounters::default(), |acc, c| {
+                                simquery::index::AccessCounters {
+                                    node_reads: acc.node_reads + c.node_reads,
+                                    record_page_reads: acc.record_page_reads + c.record_page_reads,
+                                    record_fetches: acc.record_fetches + c.record_fetches,
+                                }
+                            });
+                    (total, lines)
+                }
+            };
+            Response::Stats(metrics.report(counters, shards, reset))
         }
-        Request::Stats { reset } => Response::Stats(metrics.report(shared, reset)),
         Request::Quit => Response::Ok, // handled on the connection thread
     }
 }
@@ -362,6 +466,80 @@ fn run_knn(shared: &SharedIndex, ord: usize, k: usize, ma: (usize, usize)) -> Re
         Err(e) => return io_err(e),
     };
     match knn::knn(&index, &q, &family, k) {
+        Ok((matches, m)) => Response::Matches {
+            n: matches.len(),
+            matches: matches
+                .iter()
+                .map(|m| WireMatch {
+                    seq: m.seq,
+                    transform: m.transform,
+                    dist: m.dist,
+                })
+                .collect(),
+            metrics: WireMetrics::from(&m),
+        },
+        Err(e) => query_err(e),
+    }
+}
+
+fn run_query_sharded(sharded: &ShardedIndex, p: QueryParams) -> Response {
+    if p.ord >= sharded.len() {
+        return err(
+            ErrCode::Range,
+            format!("ordinal {} out of range (0..{})", p.ord, sharded.len()),
+        );
+    }
+    let family = match family_for(p.ma, sharded.seq_len()) {
+        Ok(f) => f,
+        Err(e) => return e,
+    };
+    let spec = p.threshold.to_spec();
+    let q = match sharded.fetch_series(p.ord) {
+        Ok(q) => q,
+        Err(e) => return query_err(e),
+    };
+    let engine = match p.engine {
+        EngineKind::Mt => gather::Engine::Mt,
+        EngineKind::St => gather::Engine::St,
+        EngineKind::Scan => gather::Engine::Scan,
+    };
+    match gather::range_query(sharded, engine, &q, &family, &spec) {
+        Ok(r) => {
+            let n = r.matches.len();
+            let take = if p.limit == 0 { n } else { p.limit.min(n) };
+            Response::Matches {
+                n,
+                matches: r.matches[..take]
+                    .iter()
+                    .map(|m| WireMatch {
+                        seq: m.seq,
+                        transform: m.transform,
+                        dist: m.dist,
+                    })
+                    .collect(),
+                metrics: WireMetrics::from(&r.metrics),
+            }
+        }
+        Err(e) => query_err(e),
+    }
+}
+
+fn run_knn_sharded(sharded: &ShardedIndex, ord: usize, k: usize, ma: (usize, usize)) -> Response {
+    if ord >= sharded.len() {
+        return err(
+            ErrCode::Range,
+            format!("ordinal {ord} out of range (0..{})", sharded.len()),
+        );
+    }
+    let family = match family_for(ma, sharded.seq_len()) {
+        Ok(f) => f,
+        Err(e) => return e,
+    };
+    let q = match sharded.fetch_series(ord) {
+        Ok(q) => q,
+        Err(e) => return query_err(e),
+    };
+    match gather::knn(sharded, &q, &family, k) {
         Ok((matches, m)) => Response::Matches {
             n: matches.len(),
             matches: matches

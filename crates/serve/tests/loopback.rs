@@ -39,7 +39,7 @@ fn query_over_wire_matches_direct_engine() {
             engine: EngineKind::Mt,
             limit: 0,
         };
-        let (n, matches) = client.query(params.clone()).unwrap().unwrap();
+        let (n, matches) = client.query(params).unwrap().unwrap();
         assert_eq!(n, matches.len(), "no truncation with limit=0");
         let mut got: Vec<(usize, usize)> = matches.iter().map(|m| (m.seq, m.transform)).collect();
         got.sort_unstable();
@@ -68,7 +68,7 @@ fn limit_truncates_but_reports_full_count() {
         engine: EngineKind::Mt,
         limit: 0,
     };
-    let (n_full, matches_full) = client.query(full.clone()).unwrap().unwrap();
+    let (n_full, matches_full) = client.query(full).unwrap().unwrap();
     assert!(n_full >= 2, "self-match across windows expected");
     let limited = QueryParams { limit: 1, ..full };
     let (n, matches) = client.query(limited).unwrap().unwrap();

@@ -1,0 +1,253 @@
+//! Scatter-gather query execution over a [`ShardedIndex`].
+//!
+//! Range queries (MT-index, ST-index, sequential scan) scatter to every
+//! shard on scoped threads; each shard runs the ordinary single-index
+//! engine under its own read guard, and the gather step translates local
+//! ordinals to global ones and merges the result sets. Because each shard
+//! indexes a disjoint subset of the corpus and every engine is exact over
+//! its shard, the union is exactly the single-index answer.
+//!
+//! # Exact global kNN by bound propagation
+//!
+//! kNN cannot union per-shard answers naively — shard A's 5th-nearest may
+//! be globally irrelevant while shard B holds all true top-k. Instead the
+//! gather runs shards *sequentially*, threading the running global k-th
+//! distance `τ` into each next shard as the initial pruning bound of
+//! [`simquery::engine::knn::knn_bounded`]: a shard search abandons any
+//! subtree (and skips any candidate refinement) whose lower bound exceeds
+//! `τ`. The first shard runs unbounded (`τ = ∞`); each later shard can
+//! only shrink `τ`. Bound comparisons keep ties (`≤ τ` survives), so
+//! equal-distance candidates from later shards still surface and the
+//! deterministic (distance, global-ordinal) tie-break decides the final
+//! top-k. Any error from any shard aborts the query with a typed
+//! [`QueryError`] — a partial merge is never returned.
+
+use crate::index::ShardedIndex;
+use simquery::engine::{knn as knn_engine, mtindex, seqscan, stindex};
+use simquery::query::RangeSpec;
+use simquery::report::{EngineMetrics, Match, QueryError, QueryResult};
+use simquery::transform::Family;
+use std::time::Instant;
+use tseries::TimeSeries;
+
+/// Which single-index engine each shard runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// MT-index: one traversal, transformed MBRs applied per node.
+    Mt,
+    /// ST-index: one traversal per transformation.
+    St,
+    /// Sequential scan of the shard's heap.
+    Scan,
+}
+
+fn run_engine(
+    index: &simquery::index::SeqIndex,
+    engine: Engine,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+) -> Result<QueryResult, QueryError> {
+    match engine {
+        Engine::Mt => mtindex::range_query(index, query, family, spec),
+        Engine::St => stindex::range_query(index, query, family, spec),
+        Engine::Scan => seqscan::range_query(index, query, family, spec),
+    }
+}
+
+/// Sums per-shard metrics; wall clock is the caller's end-to-end time,
+/// not the sum (shards run concurrently).
+fn merge_metrics(parts: &[EngineMetrics], wall: std::time::Duration) -> EngineMetrics {
+    let mut total = EngineMetrics {
+        wall,
+        ..EngineMetrics::default()
+    };
+    for m in parts {
+        total.node_accesses += m.node_accesses;
+        total.leaf_accesses += m.leaf_accesses;
+        total.record_page_accesses += m.record_page_accesses;
+        total.record_fetches += m.record_fetches;
+        total.comparisons += m.comparisons;
+        total.candidates += m.candidates;
+    }
+    total
+}
+
+/// Scatters a range query to every shard and merges the exact union,
+/// also returning each shard's own metrics (the per-fragment accounting).
+pub fn range_query_detailed(
+    sharded: &ShardedIndex,
+    engine: Engine,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+) -> Result<(QueryResult, Vec<EngineMetrics>), QueryError> {
+    let start = Instant::now();
+    let map = sharded.map_snapshot();
+    let shards = sharded.shards();
+
+    let mut outcomes: Vec<Option<Result<QueryResult, QueryError>>> = Vec::new();
+    outcomes.resize_with(shards.len(), || None);
+    // Scatter threads only pay off when cores exist to run them; on a
+    // single hardware thread (or a single shard) the same loop runs
+    // inline, saving one thread spawn per shard per query.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if cores <= 1 || shards.len() == 1 {
+        for (shard, slot) in outcomes.iter_mut().enumerate() {
+            let index = shards[shard].read();
+            *slot = Some(run_engine(&index, engine, query, family, spec));
+        }
+    } else {
+        std::thread::scope(|s| {
+            for (shard, slot) in outcomes.iter_mut().enumerate() {
+                let handle = &shards[shard];
+                s.spawn(move || {
+                    let index = handle.read();
+                    *slot = Some(run_engine(&index, engine, query, family, spec));
+                });
+            }
+        });
+    }
+
+    let mut matches: Vec<Match> = Vec::new();
+    let mut per_shard = Vec::with_capacity(shards.len());
+    for (shard, outcome) in outcomes.into_iter().enumerate() {
+        // The first failing shard (by id, for determinism) aborts the query.
+        let result = outcome.expect("scatter thread completed")?;
+        per_shard.push(result.metrics);
+        matches.extend(result.matches.iter().map(|m| Match {
+            seq: map.global_of(shard, m.seq),
+            ..*m
+        }));
+    }
+    matches.sort_by_key(|m| (m.seq, m.transform));
+
+    let merged = QueryResult {
+        matches,
+        metrics: merge_metrics(&per_shard, start.elapsed()),
+    };
+    Ok((merged, per_shard))
+}
+
+/// [`range_query_detailed`] without the per-shard breakdown.
+pub fn range_query(
+    sharded: &ShardedIndex,
+    engine: Engine,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+) -> Result<QueryResult, QueryError> {
+    range_query_detailed(sharded, engine, query, family, spec).map(|(r, _)| r)
+}
+
+/// Exact global kNN with bound propagation (see the module docs), also
+/// returning each shard's metrics. Matches are sorted by
+/// (distance, global ordinal) — the deterministic tie-break.
+pub fn knn_detailed(
+    sharded: &ShardedIndex,
+    query: &TimeSeries,
+    family: &Family,
+    k: usize,
+) -> Result<(Vec<Match>, EngineMetrics, Vec<EngineMetrics>), QueryError> {
+    let start = Instant::now();
+    let map = sharded.map_snapshot();
+    let shards = sharded.shards();
+
+    let mut top: Vec<Match> = Vec::new();
+    let mut per_shard = Vec::with_capacity(shards.len());
+    let mut tau = f64::INFINITY;
+    for (shard, handle) in shards.iter().enumerate() {
+        let index = handle.read();
+        let (found, metrics) = knn_engine::knn_bounded(&index, query, family, k, tau)?;
+        per_shard.push(metrics);
+        top.extend(found.iter().map(|m| Match {
+            seq: map.global_of(shard, m.seq),
+            ..*m
+        }));
+        top.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.seq.cmp(&b.seq)));
+        top.truncate(k);
+        if top.len() == k {
+            tau = top[k - 1].dist;
+        }
+    }
+
+    let total = merge_metrics(&per_shard, start.elapsed());
+    Ok((top, total, per_shard))
+}
+
+/// [`knn_detailed`] without the per-shard breakdown.
+pub fn knn(
+    sharded: &ShardedIndex,
+    query: &TimeSeries,
+    family: &Family,
+    k: usize,
+) -> Result<(Vec<Match>, EngineMetrics), QueryError> {
+    knn_detailed(sharded, query, family, k).map(|(m, t, _)| (m, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::ShardConfig;
+    use simquery::index::IndexConfig;
+    use tseries::{Corpus, CorpusKind};
+
+    fn fixtures(n: usize, shards: usize) -> (Corpus, ShardedIndex) {
+        let c = Corpus::generate(CorpusKind::SyntheticWalks, n, 64, 23);
+        let s = ShardedIndex::build(
+            &c,
+            ShardConfig::new(shards).unwrap(),
+            IndexConfig::default(),
+        )
+        .unwrap();
+        (c, s)
+    }
+
+    #[test]
+    fn range_matches_report_global_ordinals() {
+        let (c, s) = fixtures(90, 4);
+        let family = Family::moving_averages(2..=6, 64);
+        let spec = RangeSpec::correlation(0.9);
+        let (result, per_shard) =
+            range_query_detailed(&s, Engine::Mt, &c.series()[7], &family, &spec).unwrap();
+        assert_eq!(per_shard.len(), 4);
+        // Ordinal 7 matches itself under the identity-like mv2 window.
+        assert!(result.matched_sequences().contains(&7));
+        for m in &result.matches {
+            assert!(m.seq < 90, "global ordinal out of range: {}", m.seq);
+        }
+        let summed: u64 = per_shard.iter().map(|m| m.node_accesses).sum();
+        assert_eq!(result.metrics.node_accesses, summed);
+    }
+
+    #[test]
+    fn knn_finds_self_first() {
+        let (c, s) = fixtures(60, 3);
+        let family = Family::moving_averages(1..=4, 64);
+        let (top, _, per_shard) = knn_detailed(&s, &c.series()[31], &family, 3).unwrap();
+        assert_eq!(top[0].seq, 31);
+        assert!(top[0].dist < 1e-9);
+        assert_eq!(per_shard.len(), 3);
+        for w in top.windows(2) {
+            assert!(
+                w[0].dist < w[1].dist || (w[0].dist == w[1].dist && w[0].seq < w[1].seq),
+                "merge must be (dist, ordinal)-sorted"
+            );
+        }
+    }
+
+    #[test]
+    fn later_shards_are_pruned_by_the_bound() {
+        let (c, s) = fixtures(400, 4);
+        let family = Family::moving_averages(3..=5, 64);
+        let (_, _, per_shard) = knn_detailed(&s, &c.series()[0], &family, 2).unwrap();
+        let first = per_shard[0].candidates;
+        let later: u64 = per_shard[1..].iter().map(|m| m.candidates).sum();
+        // The unbounded first shard refines more candidates than the three
+        // bounded later shards combined on a 400-walk corpus.
+        assert!(
+            later < first * 3,
+            "bound propagation should prune: first={first} later={later}"
+        );
+    }
+}

@@ -1,0 +1,504 @@
+//! [`ShardedIndex`]: N independent [`SeqIndex`] shards behind per-shard
+//! [`SharedIndex`] locks, with a stable global-ordinal ↔ (shard, local)
+//! mapping.
+//!
+//! # Locking
+//!
+//! Each shard has its own `RwLock`, so a mutation write-locks exactly one
+//! shard while the other N−1 keep serving reads (the starvation discipline
+//! documented in [`simquery::shared`]). Global-ordinal assignment is
+//! serialised by a dedicated insert gate — never by locking every shard —
+//! and the global map takes its own brief write lock only *after* the
+//! shard-local insert has succeeded, so concurrent readers translate
+//! ordinals against a map that always describes fully-inserted sequences.
+
+use crate::cfg::{PartitionerKind, ShardConfig};
+use crate::partition::{Partitioner, ShardMap};
+use pagestore::sync::{Mutex, RwLock};
+use pagestore::{PageDevice, PageError};
+use simquery::index::{AccessCounters, IndexConfig, SeqIndex};
+use simquery::report::QueryError;
+use simquery::shared::SharedIndex;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use tseries::{Corpus, TimeSeries};
+
+/// Errors raised while building or opening a sharded index.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The corpus is empty or has zero-length sequences.
+    EmptyCorpus,
+    /// The partitioner assigned no sequences to this shard — with fewer
+    /// sequences than shards (or a pathological hash on a tiny corpus) the
+    /// split is meaningless; lower the shard count.
+    EmptyShard(usize),
+    /// Invalid configuration (shard count out of bounds, bad partitioner).
+    Config(String),
+    /// A page device failed during construction.
+    Page(PageError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyCorpus => write!(f, "cannot shard an empty corpus"),
+            Self::EmptyShard(s) => {
+                write!(f, "shard {s} received no sequences; lower the shard count")
+            }
+            Self::Config(msg) => write!(f, "bad shard configuration: {msg}"),
+            Self::Page(e) => write!(f, "page access failed building shard: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Page(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PageError> for ShardError {
+    fn from(e: PageError) -> Self {
+        Self::Page(e)
+    }
+}
+
+/// A corpus partitioned across N independent [`SeqIndex`] shards.
+pub struct ShardedIndex {
+    shards: Vec<SharedIndex>,
+    map: RwLock<ShardMap>,
+    insert_gate: Mutex<()>,
+    partitioner: Partitioner,
+    kind: PartitionerKind,
+    seq_len: usize,
+}
+
+impl fmt::Debug for ShardedIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("shards", &self.shards.len())
+            .field("partitioner", &self.kind)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedIndex {
+    /// Partitions `corpus` and builds one index per shard on plain
+    /// in-memory disks. Every shard must receive at least one sequence.
+    pub fn build(
+        corpus: &Corpus,
+        cfg: ShardConfig,
+        index_cfg: IndexConfig,
+    ) -> Result<Self, ShardError> {
+        Self::build_with(corpus, cfg, |_, sub| Ok(SeqIndex::build(sub, index_cfg)))
+    }
+
+    /// [`Self::build`] with caller-supplied page devices per shard — e.g.
+    /// a [`pagestore::FaultyDisk`] on one shard for fault-injection tests.
+    /// The factory receives the shard id and returns its
+    /// `(tree, heap)` devices.
+    pub fn build_on(
+        corpus: &Corpus,
+        cfg: ShardConfig,
+        index_cfg: IndexConfig,
+        mut devices: impl FnMut(usize) -> (Arc<dyn PageDevice>, Arc<dyn PageDevice>),
+    ) -> Result<Self, ShardError> {
+        Self::build_with(corpus, cfg, |shard, sub| {
+            let (tree, heap) = devices(shard);
+            SeqIndex::build_on(sub, index_cfg, tree, heap)
+        })
+    }
+
+    fn build_with(
+        corpus: &Corpus,
+        cfg: ShardConfig,
+        mut build: impl FnMut(usize, &Corpus) -> Result<Option<SeqIndex>, PageError>,
+    ) -> Result<Self, ShardError> {
+        let cfg = cfg.validated().map_err(ShardError::Config)?;
+        if corpus.is_empty() || corpus.series_len() == 0 {
+            return Err(ShardError::EmptyCorpus);
+        }
+        let partitioner = Partitioner::new(cfg.partitioner, cfg.shards);
+        let assignment = partitioner.assign_bulk(corpus.len());
+        let map = ShardMap::from_assignment(cfg.shards, &assignment);
+
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let globals = map.globals_of(shard);
+            if globals.is_empty() {
+                return Err(ShardError::EmptyShard(shard));
+            }
+            let names = globals.iter().map(|&g| corpus.names()[g].clone()).collect();
+            let series = globals
+                .iter()
+                .map(|&g| corpus.series()[g].clone())
+                .collect();
+            let sub = Corpus::from_parts(names, series);
+            let index = build(shard, &sub)?.ok_or(ShardError::EmptyShard(shard))?;
+            shards.push(SharedIndex::new(index));
+        }
+
+        Ok(Self {
+            shards,
+            map: RwLock::new(map),
+            insert_gate: Mutex::new(()),
+            partitioner,
+            kind: cfg.partitioner,
+            seq_len: corpus.series_len(),
+        })
+    }
+
+    /// Repartitions an existing single index: fetches every record from
+    /// its heap (tombstoned ordinals included — the heap is append-only),
+    /// rebuilds N shards, and replays the tombstones. Global ordinals are
+    /// preserved, so results match the source index exactly.
+    pub fn from_index(
+        index: &SeqIndex,
+        cfg: ShardConfig,
+        index_cfg: IndexConfig,
+    ) -> Result<Self, ShardError> {
+        let mut names = Vec::with_capacity(index.len());
+        let mut series = Vec::with_capacity(index.len());
+        for g in 0..index.len() {
+            names.push(format!("s{g}"));
+            series.push(index.fetch_series(g)?);
+        }
+        let sharded = Self::build(&Corpus::from_parts(names, series), cfg, index_cfg)?;
+        for g in index.deleted_ordinals() {
+            sharded.delete_series(g).map_err(|e| match e {
+                QueryError::Io(p) => ShardError::Page(p),
+                other => ShardError::Config(other.to_string()),
+            })?;
+        }
+        Ok(sharded)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard handles, for scatter execution and serving.
+    pub fn shards(&self) -> &[SharedIndex] {
+        &self.shards
+    }
+
+    /// The partitioner in effect.
+    pub fn partitioner_kind(&self) -> PartitionerKind {
+        self.kind
+    }
+
+    /// Length of every sequence.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Total sequences across all shards (tombstoned included).
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when no sequences are mapped (never — `build` rejects that).
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Tombstoned sequences across all shards.
+    pub fn deleted_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().deleted_count()).sum()
+    }
+
+    /// Sequences per shard.
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.map.read().loads()
+    }
+
+    /// Snapshot of the global map (brief read lock; the copy stays valid
+    /// because mapped ordinals never move).
+    pub fn map_snapshot(&self) -> ShardMap {
+        self.map.read().clone()
+    }
+
+    /// `(shard, local)` of a global ordinal.
+    pub fn locate(&self, global: usize) -> Option<(usize, usize)> {
+        self.map.read().locate(global)
+    }
+
+    /// Appends a sequence, returning its global ordinal.
+    ///
+    /// Only the receiving shard is write-locked; reads on the other N−1
+    /// shards proceed throughout (see the module docs on locking).
+    pub fn insert_series(&self, ts: &TimeSeries) -> Result<usize, QueryError> {
+        let _gate = self.insert_gate.lock();
+        let (global, shard) = {
+            let map = self.map.read();
+            let g = map.len();
+            (g, self.partitioner.assign_insert(g, &map.loads()))
+        };
+        let local = self.shards[shard].write().insert_series(ts)?;
+        let mut map = self.map.write();
+        let (g, l) = map.push(shard);
+        debug_assert_eq!((g, l), (global, local), "gate must serialise ordinals");
+        Ok(global)
+    }
+
+    /// Tombstones a global ordinal. `Ok(false)` when out of range or
+    /// already deleted. Write-locks only the owning shard.
+    pub fn delete_series(&self, global: usize) -> Result<bool, QueryError> {
+        let Some((shard, local)) = self.locate(global) else {
+            return Ok(false);
+        };
+        self.shards[shard].write().delete_series(local)
+    }
+
+    /// Fetches a sequence's raw samples by global ordinal (a counted
+    /// access on its shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `global` was never mapped — callers gate on
+    /// [`Self::len`] or [`Self::locate`] first, as with
+    /// [`SeqIndex::fetch_series`]'s own out-of-range behaviour.
+    pub fn fetch_series(&self, global: usize) -> Result<TimeSeries, QueryError> {
+        let (shard, local) = self.locate(global).expect("unmapped global ordinal");
+        Ok(self.shards[shard].read().fetch_series(local)?)
+    }
+
+    /// Access counters of each shard, in shard order — the per-fragment
+    /// accounting the paper's cost model sums over.
+    pub fn per_shard_counters(&self) -> Vec<AccessCounters> {
+        self.shards.iter().map(|s| s.read().counters()).collect()
+    }
+
+    /// Aggregate access counters across all shards.
+    pub fn counters(&self) -> AccessCounters {
+        self.per_shard_counters()
+            .into_iter()
+            .fold(AccessCounters::default(), |acc, c| AccessCounters {
+                node_reads: acc.node_reads + c.node_reads,
+                record_page_reads: acc.record_page_reads + c.record_page_reads,
+                record_fetches: acc.record_fetches + c.record_fetches,
+            })
+    }
+
+    /// Zeroes every shard's counters and record pool (cold per-query
+    /// accounting, as [`SeqIndex::reset_counters`]).
+    pub fn reset_counters(&self) -> Result<(), PageError> {
+        for s in &self.shards {
+            s.read().reset_counters()?;
+        }
+        Ok(())
+    }
+
+    /// Persists all shards under `dir`: `shard-N/` subdirectories (see
+    /// [`SeqIndex::save`]) plus a `sharding.txt` manifest recording the
+    /// partitioner and the global assignment order.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (i, s) in self.shards.iter().enumerate() {
+            s.read().save(&dir.join(format!("shard-{i}")))?;
+        }
+        let map = self.map.read();
+        let mut meta = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(meta, "simshard v1");
+        let _ = writeln!(meta, "shards {}", self.shards.len());
+        let _ = writeln!(meta, "partitioner {}", self.kind);
+        let _ = writeln!(meta, "seq_len {}", self.seq_len);
+        let _ = writeln!(
+            meta,
+            "assignment {}",
+            map.assignment()
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        std::fs::write(dir.join("sharding.txt"), meta)
+    }
+
+    /// Reopens a directory written by [`Self::save`]. `heap_pool_pages`
+    /// sizes each shard's record buffer pool.
+    pub fn open(dir: &Path, heap_pool_pages: usize) -> std::io::Result<Self> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let meta = std::fs::read_to_string(dir.join("sharding.txt"))?;
+        let mut lines = meta.lines();
+        if lines.next() != Some("simshard v1") {
+            return Err(bad("not a simshard directory".into()));
+        }
+        let mut shards_n = 0usize;
+        let mut kind = PartitionerKind::Hash;
+        let mut seq_len = 0usize;
+        let mut assignment = Vec::new();
+        for line in lines {
+            match line.split_once(' ') {
+                Some(("shards", v)) => {
+                    shards_n = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| bad(format!("bad shards: {e}")))?;
+                }
+                Some(("partitioner", v)) => {
+                    kind = v.trim().parse().map_err(bad)?;
+                }
+                Some(("seq_len", v)) => {
+                    seq_len = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| bad(format!("bad seq_len: {e}")))?;
+                }
+                Some(("assignment", v)) if !v.trim().is_empty() => {
+                    assignment = v
+                        .trim()
+                        .split(',')
+                        .map(|s| s.parse::<usize>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| bad(format!("bad assignment entry: {e}")))?;
+                }
+                _ => {}
+            }
+        }
+        if shards_n == 0 || shards_n > crate::cfg::MAX_SHARDS {
+            return Err(bad(format!("shard count {shards_n} out of range")));
+        }
+        if assignment.iter().any(|&s| s >= shards_n) {
+            return Err(bad("assignment references a missing shard".into()));
+        }
+        let mut shards = Vec::with_capacity(shards_n);
+        for i in 0..shards_n {
+            shards.push(SharedIndex::open(
+                &dir.join(format!("shard-{i}")),
+                heap_pool_pages,
+            )?);
+        }
+        let map = ShardMap::from_assignment(shards_n, &assignment);
+        for (i, s) in shards.iter().enumerate() {
+            if s.read().len() != map.globals_of(i).len() {
+                return Err(bad(format!(
+                    "shard {i} holds {} sequences but the manifest maps {}",
+                    s.read().len(),
+                    map.globals_of(i).len()
+                )));
+            }
+        }
+        Ok(Self {
+            shards,
+            map: RwLock::new(map),
+            insert_gate: Mutex::new(()),
+            partitioner: Partitioner::new(kind, shards_n),
+            kind,
+            seq_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tseries::CorpusKind;
+
+    fn corpus(n: usize) -> Corpus {
+        Corpus::generate(CorpusKind::SyntheticWalks, n, 64, 11)
+    }
+
+    fn sharded(n: usize, shards: usize) -> ShardedIndex {
+        ShardedIndex::build(
+            &corpus(n),
+            ShardConfig::new(shards).unwrap(),
+            IndexConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_partitions_everything() {
+        let s = sharded(100, 4);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.shard_loads().iter().sum::<usize>(), 100);
+        for g in 0..100 {
+            let (shard, local) = s.locate(g).unwrap();
+            assert_eq!(s.map_snapshot().global_of(shard, local), g);
+        }
+    }
+
+    #[test]
+    fn too_many_shards_for_corpus_is_typed() {
+        let c = corpus(3);
+        let err = ShardedIndex::build(&c, ShardConfig::new(8).unwrap(), IndexConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ShardError::EmptyShard(_)), "{err}");
+    }
+
+    #[test]
+    fn insert_and_delete_roundtrip() {
+        let s = sharded(40, 4);
+        let extra = corpus(200); // different globals, same seed family
+        let g = s.insert_series(&extra.series()[150]).unwrap();
+        assert_eq!(g, 40);
+        assert_eq!(s.len(), 41);
+        let got = s.fetch_series(g).unwrap();
+        assert_eq!(got.values(), extra.series()[150].values());
+        assert!(s.delete_series(g).unwrap());
+        assert!(!s.delete_series(g).unwrap(), "double delete reports false");
+        assert_eq!(s.deleted_count(), 1);
+        assert!(!s.delete_series(10_000).unwrap());
+    }
+
+    #[test]
+    fn counters_aggregate_across_shards() {
+        let s = sharded(60, 3);
+        s.reset_counters().unwrap();
+        for g in [0usize, 20, 40] {
+            let _ = s.fetch_series(g).unwrap();
+        }
+        let total = s.counters();
+        assert_eq!(total.record_fetches, 3);
+        let per: u64 = s
+            .per_shard_counters()
+            .iter()
+            .map(|c| c.record_fetches)
+            .sum();
+        assert_eq!(per, total.record_fetches);
+    }
+
+    #[test]
+    fn save_open_preserves_mapping() {
+        let dir = std::env::temp_dir()
+            .join("simshard-tests")
+            .join(format!("save-open-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = sharded(50, 4);
+        s.delete_series(7).unwrap();
+        s.save(&dir).unwrap();
+        let reopened = ShardedIndex::open(&dir, 16).unwrap();
+        assert_eq!(reopened.len(), 50);
+        assert_eq!(reopened.shard_count(), 4);
+        assert_eq!(reopened.deleted_count(), 1);
+        for g in 0..50 {
+            assert_eq!(reopened.locate(g), s.locate(g));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_index_replays_tombstones() {
+        let c = corpus(30);
+        let mut single = SeqIndex::build(&c, IndexConfig::default()).unwrap();
+        single.delete_series(4).unwrap();
+        single.delete_series(17).unwrap();
+        let s = ShardedIndex::from_index(
+            &single,
+            ShardConfig::new(3).unwrap(),
+            IndexConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(s.len(), 30);
+        assert_eq!(s.deleted_count(), 2);
+    }
+}

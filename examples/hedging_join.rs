@@ -38,7 +38,7 @@ fn main() {
     );
 
     let spec = RangeSpec::correlation(0.95);
-    index.reset_counters();
+    index.reset_counters().expect("reset counters");
     let co = join::mt_join(&index, &base, &spec).expect("valid join");
     let hedge = join::mt_join_paired(&index, &inverted, &base, &spec).expect("valid join");
 

@@ -81,7 +81,7 @@ fn main() {
     // D(shift_s(mom(x̂)), mom(p̂cl)) — alignment semantics.
     let spec = RangeSpec::euclidean(6.0).with_mode(QueryMode::DataOnly);
     let mbrs = vec![simquery::tmbr::TransformMbr::of_family(&family)];
-    index.reset_counters();
+    index.reset_counters().expect("reset counters");
     let (result, _) = mtindex::range_query_features(&index, &fy_mom, &family, &spec, &mbrs, None)
         .expect("valid query");
     println!(

@@ -19,7 +19,7 @@ fn main() {
     let family = Family::moving_averages(2..=20, n);
     let query = corpus.series()[123].clone();
 
-    index.reset_counters();
+    index.reset_counters().expect("reset counters");
     let (neighbors, metrics) = knn::knn(&index, &query, &family, 8).expect("valid query");
 
     println!(

@@ -37,7 +37,7 @@ fn main() {
         ("ST-index", stindex::range_query),
         ("MT-index", mtindex::range_query),
     ] {
-        index.reset_counters(); // measure the query cold, like the paper
+        index.reset_counters().expect("reset counters"); // measure the query cold, like the paper
         let result = run(&index, &query, &family, &spec).expect("valid query");
         println!(
             "{name:16} {:3} matches over {:2} sequences | {}",

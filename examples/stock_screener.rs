@@ -72,7 +72,7 @@ fn main() {
         "\nscreening {} stocks against stock 0 (MA windows 1..=40):",
         corpus.len()
     );
-    index.reset_counters();
+    index.reset_counters().expect("reset counters");
     let result = mtindex::range_query(&index, a, &family, &spec).expect("valid query");
 
     // For each matching stock report its *shortest* qualifying window —

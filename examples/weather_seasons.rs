@@ -59,7 +59,7 @@ fn main() {
     let spec = RangeSpec::correlation(0.9)
         .with_policy(FilterPolicy::Adaptive)
         .with_mode(QueryMode::DataOnly);
-    index.reset_counters();
+    index.reset_counters().expect("reset counters");
     let result = mtindex::range_query(&index, &corpus.series()[query_station], &family, &spec)
         .expect("valid query");
 

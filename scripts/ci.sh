@@ -49,6 +49,9 @@ all)
     echo "== cargo test =="
     cargo test -q --offline
 
+    echo "== cargo clippy =="
+    cargo clippy --offline --all-targets -- -D warnings
+
     echo "== cargo fmt --check =="
     cargo fmt --all --check
 

@@ -56,10 +56,9 @@ fn scan_pairs(index: &SeqIndex, q: &TimeSeries, f: &Family, s: &RangeSpec) -> Ve
     seqscan::range_query(index, q, f, s).unwrap().sorted_pairs()
 }
 
-fn check_engine(
-    name: &str,
-    engine: fn(&SeqIndex, &TimeSeries, &Family, &RangeSpec) -> Vec<(usize, usize)>,
-) {
+type EngineFn = fn(&SeqIndex, &TimeSeries, &Family, &RangeSpec) -> Vec<(usize, usize)>;
+
+fn check_engine(name: &str, engine: EngineFn) {
     let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 90, 64, 47);
     let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
     let shared = SharedIndex::new(index);
