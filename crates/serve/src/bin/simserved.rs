@@ -10,7 +10,9 @@
 //! independent shards: an insert write-locks one shard while the others
 //! keep serving reads, queries scatter-gather, and `STATS` gains a
 //! per-shard breakdown. A directory written by `simseq shard build` (it
-//! contains `sharding.txt`) is served sharded as-is.
+//! contains `sharding.txt`) is served sharded as-is; passing `--shards`
+//! or `--partitioner` against one is an error unless the values match
+//! its manifest.
 
 use simquery::shared::SharedIndex;
 use simserve::opts::Opts;
@@ -85,9 +87,29 @@ fn run() -> Result<(), String> {
     let shard_cfg = ShardConfig::parse(opts.get("shards").unwrap_or("1"), opts.get("partitioner"))?;
 
     let backend = if dir.join("sharding.txt").is_file() {
-        // A `simseq shard build` directory is already partitioned.
+        // A `simseq shard build` directory is already partitioned; explicit
+        // flags must agree with its manifest, not be silently ignored.
         let sharded = ShardedIndex::open(&dir, pool_pages)
             .map_err(|e| format!("opening sharded index {}: {e}", dir.display()))?;
+        if opts.get("shards").is_some() && shard_cfg.shards != sharded.shard_count() {
+            return Err(format!(
+                "--shards {} conflicts with {}, which was built with {} shards; \
+                 drop the flag or rebuild with `simseq shard build`",
+                shard_cfg.shards,
+                dir.join("sharding.txt").display(),
+                sharded.shard_count()
+            ));
+        }
+        if opts.get("partitioner").is_some() && shard_cfg.partitioner != sharded.partitioner_kind()
+        {
+            return Err(format!(
+                "--partitioner {} conflicts with {}, which was built with '{}'; \
+                 drop the flag or rebuild with `simseq shard build`",
+                shard_cfg.partitioner,
+                dir.join("sharding.txt").display(),
+                sharded.partitioner_kind()
+            ));
+        }
         announce(&sharded, &cfg);
         Backend::from(sharded)
     } else {

@@ -21,8 +21,8 @@ pub enum PartitionerKind {
     /// `global % shards` — deterministic striping, useful when ordinals
     /// arrive in an order worth interleaving exactly.
     RoundRobin,
-    /// Contiguous chunks at build time; live inserts go to the currently
-    /// least-loaded shard (ties to the lowest shard id).
+    /// Contiguous chunks at build time; live inserts go to the shard with
+    /// the fewest live (non-tombstoned) sequences, ties to the lowest id.
     Range,
 }
 

@@ -7,6 +7,17 @@
 //! indexes a disjoint subset of the corpus and every engine is exact over
 //! its shard, the union is exactly the single-index answer.
 //!
+//! # Linearization against concurrent inserts
+//!
+//! A query linearizes at the moment it snapshots the global map
+//! ([`ShardedIndex::map_snapshot`]). A concurrent `insert_series`
+//! publishes to the shard index before the map, so a shard read acquired
+//! after the insert can surface a local ordinal the snapshot has never
+//! heard of. The gather translates through the snapshot defensively and
+//! drops such matches: a sequence mapped after the query's linearization
+//! point is not part of the queried corpus, so excluding it is the exact
+//! answer, not an approximation.
+//!
 //! # Exact global kNN by bound propagation
 //!
 //! kNN cannot union per-shard answers naively — shard A's 5th-nearest may
@@ -88,22 +99,27 @@ pub fn range_query_detailed(
 
     let mut outcomes: Vec<Option<Result<QueryResult, QueryError>>> = Vec::new();
     outcomes.resize_with(shards.len(), || None);
-    // Scatter threads only pay off when cores exist to run them; on a
-    // single hardware thread (or a single shard) the same loop runs
-    // inline, saving one thread spawn per shard per query.
+    // Scatter threads only pay off when cores exist to run them; fan-out
+    // is capped at the hardware thread count so a 64-shard index on an
+    // 8-core box spawns 8 threads per query, each draining a contiguous
+    // chunk of shards, rather than 64. On a single hardware thread (or a
+    // single shard) the same loop runs inline with no spawn at all.
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    if cores <= 1 || shards.len() == 1 {
+    let threads = cores.min(shards.len());
+    if threads <= 1 {
         for (shard, slot) in outcomes.iter_mut().enumerate() {
             let index = shards[shard].read();
             *slot = Some(run_engine(&index, engine, query, family, spec));
         }
     } else {
+        let chunk = shards.len().div_ceil(threads);
         std::thread::scope(|s| {
-            for (shard, slot) in outcomes.iter_mut().enumerate() {
-                let handle = &shards[shard];
+            for (t, slots) in outcomes.chunks_mut(chunk).enumerate() {
                 s.spawn(move || {
-                    let index = handle.read();
-                    *slot = Some(run_engine(&index, engine, query, family, spec));
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        let index = shards[t * chunk + i].read();
+                        *slot = Some(run_engine(&index, engine, query, family, spec));
+                    }
                 });
             }
         });
@@ -115,10 +131,15 @@ pub fn range_query_detailed(
         // The first failing shard (by id, for determinism) aborts the query.
         let result = outcome.expect("scatter thread completed")?;
         per_shard.push(result.metrics);
-        matches.extend(result.matches.iter().map(|m| Match {
-            seq: map.global_of(shard, m.seq),
-            ..*m
-        }));
+        // Translate through the snapshot; locals mapped after the query's
+        // linearization point are dropped (see the module docs).
+        let globals = map.globals_of(shard);
+        matches.extend(
+            result
+                .matches
+                .iter()
+                .filter_map(|m| globals.get(m.seq).map(|&g| Match { seq: g, ..*m })),
+        );
     }
     matches.sort_by_key(|m| (m.seq, m.transform));
 
@@ -160,10 +181,14 @@ pub fn knn_detailed(
         let index = handle.read();
         let (found, metrics) = knn_engine::knn_bounded(&index, query, family, k, tau)?;
         per_shard.push(metrics);
-        top.extend(found.iter().map(|m| Match {
-            seq: map.global_of(shard, m.seq),
-            ..*m
-        }));
+        // As in the range gather: snapshot translation drops sequences
+        // inserted after this query linearized.
+        let globals = map.globals_of(shard);
+        top.extend(
+            found
+                .iter()
+                .filter_map(|m| globals.get(m.seq).map(|&g| Match { seq: g, ..*m })),
+        );
         top.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.seq.cmp(&b.seq)));
         top.truncate(k);
         if top.len() == k {
@@ -234,6 +259,35 @@ mod tests {
                 "merge must be (dist, ordinal)-sorted"
             );
         }
+    }
+
+    #[test]
+    fn concurrent_inserts_never_panic_the_gather() {
+        // Regression: a query whose map snapshot predates an insert but
+        // whose shard read postdates it used to panic translating the
+        // not-yet-mapped local ordinal; now such matches are dropped.
+        let (c, s) = fixtures(64, 4);
+        let family = Family::moving_averages(2..=4, 64);
+        let spec = RangeSpec::correlation(0.8);
+        std::thread::scope(|scope| {
+            let sref = &s;
+            let extra = Corpus::generate(CorpusKind::SyntheticWalks, 64, 64, 99);
+            scope.spawn(move || {
+                for ts in extra.series() {
+                    sref.insert_series(ts).unwrap();
+                }
+            });
+            for _ in 0..20 {
+                let (result, _) =
+                    range_query_detailed(sref, Engine::Scan, &c.series()[3], &family, &spec)
+                        .unwrap();
+                for m in &result.matches {
+                    assert!(m.seq < sref.len(), "translated past the live corpus");
+                }
+                let (top, _, _) = knn_detailed(sref, &c.series()[3], &family, 3).unwrap();
+                assert_eq!(top[0].seq, 3);
+            }
+        });
     }
 
     #[test]

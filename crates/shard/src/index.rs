@@ -11,6 +11,9 @@
 //! and the global map takes its own brief write lock only *after* the
 //! shard-local insert has succeeded, so concurrent readers translate
 //! ordinals against a map that always describes fully-inserted sequences.
+//! The converse — a shard read observing a local ordinal the reader's map
+//! snapshot predates — is handled by the gather's defensive snapshot
+//! translation (see [`crate::gather`]'s linearization docs).
 
 use crate::cfg::{PartitionerKind, ShardConfig};
 use crate::partition::{Partitioner, ShardMap};
@@ -238,7 +241,15 @@ impl ShardedIndex {
         let (global, shard) = {
             let map = self.map.read();
             let g = map.len();
-            (g, self.partitioner.assign_insert(g, &map.loads()))
+            let mut loads = map.loads();
+            // Least-loaded placement (the Range policy) counts *live*
+            // sequences: a shard full of tombstones has capacity, not load.
+            if self.kind == PartitionerKind::Range {
+                for (s, load) in loads.iter_mut().enumerate() {
+                    *load = load.saturating_sub(self.shards[s].read().deleted_count());
+                }
+            }
+            (g, self.partitioner.assign_insert(g, &loads))
         };
         let local = self.shards[shard].write().insert_series(ts)?;
         let mut map = self.map.write();
@@ -386,6 +397,14 @@ impl ShardedIndex {
                 )));
             }
         }
+        // A missing or corrupt seq_len line must not silently poison every
+        // future family validation; the shards know the true length.
+        let disk_len = shards[0].read().seq_len();
+        if seq_len != disk_len {
+            return Err(bad(format!(
+                "manifest seq_len {seq_len} does not match the on-disk sequence length {disk_len}"
+            )));
+        }
         Ok(Self {
             shards,
             map: RwLock::new(map),
@@ -451,6 +470,33 @@ mod tests {
     }
 
     #[test]
+    fn range_inserts_refill_tombstoned_shards() {
+        let s = ShardedIndex::build(
+            &corpus(40),
+            ShardConfig {
+                shards: 4,
+                partitioner: PartitionerKind::Range,
+            },
+            IndexConfig::default(),
+        )
+        .unwrap();
+        // Range chunks put globals 30..40 on shard 3; tombstone them all.
+        for g in 30..40 {
+            assert_eq!(s.locate(g).unwrap().0, 3);
+            assert!(s.delete_series(g).unwrap());
+        }
+        // Mapped loads are still equal, but shard 3 has no live sequences,
+        // so the least-*live*-loaded placement picks it.
+        let extra = corpus(41);
+        let g = s.insert_series(&extra.series()[40]).unwrap();
+        assert_eq!(
+            s.locate(g).unwrap().0,
+            3,
+            "insert should refill the tombstoned shard"
+        );
+    }
+
+    #[test]
     fn counters_aggregate_across_shards() {
         let s = sharded(60, 3);
         s.reset_counters().unwrap();
@@ -483,6 +529,28 @@ mod tests {
         for g in 0..50 {
             assert_eq!(reopened.locate(g), s.locate(g));
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_rejects_manifest_seq_len_mismatch() {
+        let dir = std::env::temp_dir()
+            .join("simshard-tests")
+            .join(format!("seq-len-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        sharded(20, 2).save(&dir).unwrap();
+        let manifest = dir.join("sharding.txt");
+        // Drop the seq_len line: the implicit 0 must not silently make
+        // every query fail family validation against intact shard data.
+        let stripped: String = std::fs::read_to_string(&manifest)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.starts_with("seq_len"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&manifest, stripped).unwrap();
+        let err = ShardedIndex::open(&dir, 16).unwrap_err();
+        assert!(err.to_string().contains("seq_len"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -50,6 +50,9 @@ impl Partitioner {
     /// Shard for one live-inserted ordinal, given current per-shard loads.
     /// `Range` cannot extend its build-time chunks without relocation, so
     /// live inserts go to the least-loaded shard (ties to the lowest id).
+    /// Callers should pass *live* counts (mapped minus tombstoned, as
+    /// [`crate::index::ShardedIndex::insert_series`] does) — a shard full
+    /// of deleted sequences has capacity, not load.
     pub fn assign_insert(&self, global: usize, loads: &[usize]) -> usize {
         match self.kind {
             PartitionerKind::Range => {
@@ -154,7 +157,9 @@ impl ShardMap {
         &self.to_global[shard]
     }
 
-    /// Sequences currently mapped to each shard.
+    /// Sequences currently mapped to each shard, tombstoned included —
+    /// the map never forgets an assignment. Subtract per-shard deleted
+    /// counts to get live loads.
     pub fn loads(&self) -> Vec<usize> {
         self.to_global.iter().map(Vec::len).collect()
     }
