@@ -28,6 +28,7 @@ USAGE:
   simseq load  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
                [--ma LO..HI] [--rho R] [--engine mt|st|scan]
                [--verify-index DIR/]
+  simseq recover --index DIR/ --wal DIR/ [--pool-pages N]
   simseq shard build --data FILE.csv --out DIR/ --shards N
                [--partitioner hash|round-robin|range]
   simseq shard info  --index DIR/
@@ -44,6 +45,11 @@ Eq. 9; --eps is a Euclidean distance over transformed normal forms.
 `serve` runs the simserved line protocol (see crates/serve/PROTOCOL.md)
 over the given index; `load` replays a seeded closed-loop workload
 against a running server and prints a latency/throughput table.
+
+`recover` replays a write-ahead log (written by `simserved --wal`) on
+top of the index snapshot, reports what it salvaged, and checkpoints so
+the directory opens clean afterwards. It detects sharded directories by
+their `sharding.txt`.
 
 `shard build` partitions the corpus across N independent indexes (serve
 the directory with `simserved --index DIR/` to get per-shard STATS);
@@ -260,7 +266,9 @@ pub fn load(args: &Args) -> CliResult {
         Some(dir) => {
             let pool_pages: usize = args.parse_or("pool-pages", 256)?;
             Some(
-                SharedIndex::open(Path::new(dir), pool_pages)
+                // Read-only: the oracle may be the directory the server
+                // under test is serving (and holding the LOCK on).
+                SharedIndex::open_read_only(Path::new(dir), pool_pages)
                     .map_err(|e| err(format!("opening verify index {dir}: {e}")))?,
             )
         }
@@ -283,6 +291,54 @@ pub fn load(args: &Args) -> CliResult {
             report.total_errors(),
             report.total_parity_failures()
         )));
+    }
+    Ok(())
+}
+
+/// `simseq recover` — replay a WAL onto its snapshot and checkpoint.
+pub fn recover(args: &Args) -> CliResult {
+    let dir = PathBuf::from(args.req("index")?);
+    let wal = PathBuf::from(args.req("wal")?);
+    let pool_pages: usize = args.parse_or("pool-pages", 256)?;
+    let policy = simwal::FsyncPolicy::Always;
+    let oops = |e: &dyn std::fmt::Display| err(format!("recovering {}: {e}", dir.display()));
+    if dir.join("sharding.txt").is_file() {
+        let (sharded, rec) =
+            ShardedIndex::open_durable(&dir, &wal, pool_pages, policy).map_err(|e| oops(&e))?;
+        println!("shards:      {}", sharded.shard_count());
+        println!("wal epoch:   {}", rec.epoch);
+        println!("replayed:    {} frames", rec.replayed);
+        println!(
+            "dropped:     {} frames (past the first unsynced gap)",
+            rec.dropped
+        );
+        println!(
+            "stale:       {} frames (already in the snapshot)",
+            rec.stale_frames
+        );
+        println!("torn bytes:  {} truncated", rec.truncated_bytes);
+        let epoch = sharded.checkpoint().map_err(|e| oops(&e))?;
+        println!(
+            "checkpointed {} sequences at epoch {}",
+            sharded.len(),
+            epoch.expect("durable index checkpoints")
+        );
+    } else {
+        let (shared, rep) =
+            SharedIndex::open_durable(&dir, &wal, pool_pages, policy).map_err(|e| oops(&e))?;
+        println!("wal epoch:   {}", rep.epoch);
+        println!("replayed:    {} frames", rep.frames);
+        println!(
+            "stale:       {} frames (already in the snapshot)",
+            rep.stale_frames
+        );
+        println!("torn bytes:  {} truncated", rep.truncated_bytes);
+        let epoch = shared.checkpoint().map_err(|e| oops(&e))?;
+        println!(
+            "checkpointed {} sequences at epoch {}",
+            shared.read().len(),
+            epoch.expect("durable index checkpoints")
+        );
     }
     Ok(())
 }
@@ -418,9 +474,12 @@ fn shard_nn(args: &Args) -> CliResult {
 
 // ---------------------------------------------------------------------
 
+// Every `shard info`/`shard query`/`shard nn` invocation is read-only, so
+// skip the directory LOCK and coexist with a live simserved on the same
+// files.
 fn open_sharded(args: &Args) -> Result<(ShardedIndex, Vec<String>), CliError> {
     let dir = PathBuf::from(args.req("index")?);
-    let sharded = ShardedIndex::open(&dir, 256)
+    let sharded = ShardedIndex::open_read_only(&dir, 256)
         .map_err(|e| err(format!("opening sharded index {}: {e}", dir.display())))?;
     let names = std::fs::read_to_string(dir.join("names.txt"))
         .map(|s| s.lines().map(String::from).collect())
@@ -459,9 +518,11 @@ fn shard_query_series(args: &Args, sharded: &ShardedIndex) -> Result<TimeSeries,
     csv_query_series(args)
 }
 
+// `info`/`query`/`join`/`nn` are read-only, so skip the directory LOCK
+// and coexist with a live simserved on the same files.
 fn open_index(args: &Args) -> Result<(SeqIndex, Vec<String>), CliError> {
     let dir = PathBuf::from(args.req("index")?);
-    let index = SeqIndex::open(&dir, 256)
+    let index = SeqIndex::open_read_only(&dir, 256)
         .map_err(|e| err(format!("opening index {}: {e}", dir.display())))?;
     let names = std::fs::read_to_string(dir.join("names.txt"))
         .map(|s| s.lines().map(String::from).collect())

@@ -86,6 +86,15 @@ pub struct SeqIndex {
     deleted: Vec<bool>,
     leaf_capacity: usize,
     fetches: std::sync::atomic::AtomicU64,
+    // Checkpoint epoch recorded in the snapshot this index was opened
+    // from (1 for fresh builds); `Wal::open` reconciles its log against
+    // this value. Advanced by `save_with_epoch` on disk, not in memory —
+    // the durability layer owns the live epoch.
+    wal_epoch: u64,
+    // Advisory lock on the directory the index was opened from, held for
+    // the index's lifetime so a second process cannot replay or
+    // checkpoint the same files concurrently. `None` for built indexes.
+    _dir_lock: Option<simwal::DirLock>,
 }
 
 impl SeqIndex {
@@ -177,6 +186,8 @@ impl SeqIndex {
             deleted: vec![false; corpus.len()],
             leaf_capacity,
             fetches: std::sync::atomic::AtomicU64::new(0),
+            wal_epoch: 1,
+            _dir_lock: None,
         }))
     }
 
@@ -619,11 +630,71 @@ mod tests {
 // Persistence: save a built index to a directory, reopen it later.
 // ---------------------------------------------------------------------
 
+/// Device-wrapping hook for [`SeqIndex::open_with`]: receives the plain
+/// tree and heap disks loaded from the directory and returns the devices
+/// the index should actually run on — e.g. each wrapped in a
+/// [`pagestore::FaultyDisk`] so recovery paths can be fault-injected.
+pub type DeviceWrap =
+    Box<dyn FnOnce(Arc<Disk>, Arc<Disk>) -> (Arc<dyn PageDevice>, Arc<dyn PageDevice>)>;
+
+/// Maps a lock/WAL error onto `std::io::Error` for the `io::Result` open
+/// paths. `Locked` keeps its typed payload as the error source (kind
+/// `WouldBlock`), so callers can both match on the kind and downcast.
+pub fn wal_to_io(e: simwal::WalError) -> std::io::Error {
+    match e {
+        simwal::WalError::Io(io) => io,
+        e @ simwal::WalError::Locked { .. } => {
+            std::io::Error::new(std::io::ErrorKind::WouldBlock, e)
+        }
+        e => std::io::Error::other(e),
+    }
+}
+
+/// The `gen` counter and snapshot file names recorded in `dir/meta.txt`,
+/// for picking the next generation's names and cleaning up the previous
+/// one. `(0, [])` when the directory holds no snapshot yet; legacy images
+/// without a `files` line used the fixed names.
+fn meta_pointer(dir: &std::path::Path) -> (u64, Vec<String>) {
+    let Ok(meta) = std::fs::read_to_string(dir.join("meta.txt")) else {
+        return (0, Vec::new());
+    };
+    let mut gen = 0u64;
+    let mut files = vec!["tree.pg".to_string(), "records.pg".to_string()];
+    for line in meta.lines() {
+        if let Some(v) = line.strip_prefix("gen ") {
+            gen = v.trim().parse().unwrap_or(0);
+        } else if let Some(v) = line.strip_prefix("files ") {
+            files = v.split_whitespace().map(str::to_string).collect();
+        }
+    }
+    (gen, files)
+}
+
 impl SeqIndex {
-    /// Persists the index to `dir` (created if needed): the tree's page
-    /// image, the record heap's page image, and a small metadata file.
-    /// Only paged indexes can be saved.
+    /// Checkpoint epoch recorded in the snapshot this index was opened
+    /// from (1 for fresh builds). [`simwal::Wal::open`] reconciles a
+    /// paired log against this value.
+    pub fn wal_epoch(&self) -> u64 {
+        self.wal_epoch
+    }
+
+    /// Persists the index to `dir` (created if needed), keeping the
+    /// epoch the index was opened with. See [`Self::save_with_epoch`].
     pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        self.save_with_epoch(dir, self.wal_epoch)
+    }
+
+    /// Persists the index to `dir`, stamping the snapshot with
+    /// `wal_epoch`: the tree's page image, the record heap's page image,
+    /// and a small metadata file. Only paged indexes can be saved.
+    ///
+    /// The save is crash-atomic. Page images go to *fresh*
+    /// generation-numbered file names (`tree-<gen>.pg`), then `meta.txt` —
+    /// the only pointer to them — is replaced via temp-file + `rename`.
+    /// A crash at any step leaves the previous `meta.txt` naming the
+    /// previous, untouched images; the orphaned half-written generation
+    /// is deleted by the next successful save over the directory.
+    pub fn save_with_epoch(&self, dir: &std::path::Path, wal_epoch: u64) -> std::io::Result<()> {
         let TreeImpl::Paged(tree) = &self.tree else {
             return Err(std::io::Error::other(
                 "only StoreKind::Paged indexes can be saved",
@@ -636,13 +707,20 @@ impl SeqIndex {
         };
         std::fs::create_dir_all(dir)?;
         self.heap_pool.flush_all().map_err(std::io::Error::other)?;
-        tree_disk.save_to(&dir.join("tree.pg"))?;
-        heap_disk.save_to(&dir.join("records.pg"))?;
+        let (old_gen, old_files) = meta_pointer(dir);
+        let gen = old_gen + 1;
+        let tree_file = format!("tree-{gen}.pg");
+        let records_file = format!("records-{gen}.pg");
+        tree_disk.save_to(&dir.join(&tree_file))?;
+        heap_disk.save_to(&dir.join(&records_file))?;
 
         let mut meta = String::new();
         use std::fmt::Write as _;
         let params = tree.params();
         let _ = writeln!(meta, "simseq-index v1");
+        let _ = writeln!(meta, "gen {gen}");
+        let _ = writeln!(meta, "files {tree_file} {records_file}");
+        let _ = writeln!(meta, "wal_epoch {wal_epoch}");
         let _ = writeln!(meta, "seq_len {}", self.seq_len);
         let _ = writeln!(meta, "len {}", self.len);
         let _ = writeln!(meta, "tree_root {}", tree.root_id().0);
@@ -683,12 +761,62 @@ impl SeqIndex {
                 .collect::<Vec<_>>()
                 .join(",")
         );
-        std::fs::write(dir.join("meta.txt"), meta)
+        simwal::atomic_write(&dir.join("meta.txt"), meta.as_bytes())?;
+        // The old generation is no longer referenced; reclaim it.
+        for old in old_files {
+            if old != tree_file && old != records_file {
+                let _ = std::fs::remove_file(dir.join(old));
+            }
+        }
+        Ok(())
     }
 
     /// Reopens an index saved by [`Self::save`]. `heap_pool_pages` sizes
     /// the record buffer pool, as in [`IndexConfig`].
+    ///
+    /// Takes the directory's advisory `LOCK` for the lifetime of the
+    /// returned index; a second open while the first is live fails with
+    /// kind [`std::io::ErrorKind::WouldBlock`] wrapping a typed
+    /// [`simwal::WalError::Locked`].
     pub fn open(dir: &std::path::Path, heap_pool_pages: usize) -> std::io::Result<Self> {
+        Self::open_impl(dir, heap_pool_pages, None, true)
+    }
+
+    /// [`Self::open`] without taking the directory `LOCK`, for read-only
+    /// consumers (verification oracles, live inspection) that must coexist
+    /// with a serving process. Safe because snapshots are only ever
+    /// replaced whole via temp-file + `rename`: this open keeps reading
+    /// the image it mapped even if a checkpoint publishes a newer one.
+    /// Nothing stops the caller from mutating — doing so would race the
+    /// lock holder, so don't.
+    pub fn open_read_only(dir: &std::path::Path, heap_pool_pages: usize) -> std::io::Result<Self> {
+        Self::open_impl(dir, heap_pool_pages, None, false)
+    }
+
+    /// [`Self::open`] with caller-wrapped page devices — e.g. a
+    /// [`pagestore::FaultyDisk`] armed over the loaded disks, so
+    /// post-reopen reads and WAL replay can be fault-injected. An index
+    /// opened this way cannot be [`Self::save`]d (the concrete disk
+    /// handles are surrendered to the wrapper).
+    pub fn open_with(
+        dir: &std::path::Path,
+        heap_pool_pages: usize,
+        wrap: DeviceWrap,
+    ) -> std::io::Result<Self> {
+        Self::open_impl(dir, heap_pool_pages, Some(wrap), true)
+    }
+
+    fn open_impl(
+        dir: &std::path::Path,
+        heap_pool_pages: usize,
+        wrap: Option<DeviceWrap>,
+        take_lock: bool,
+    ) -> std::io::Result<Self> {
+        let lock = if take_lock {
+            Some(simwal::DirLock::acquire(dir).map_err(wal_to_io)?)
+        } else {
+            None
+        };
         let meta = std::fs::read_to_string(dir.join("meta.txt"))?;
         let mut fields = std::collections::HashMap::new();
         let mut lines = meta.lines();
@@ -769,17 +897,56 @@ impl SeqIndex {
             .into_iter()
             .map(pagestore::PageId)
             .collect();
+        // Generation-stamped snapshot names; legacy images used the
+        // fixed pair.
+        let file_names: Vec<&str> = fields
+            .get("files")
+            .map(|v| v.split_whitespace().collect())
+            .unwrap_or_else(|| vec!["tree.pg", "records.pg"]);
+        let [tree_file, records_file] = file_names[..] else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bad files line",
+            ));
+        };
+        let wal_epoch = match fields.get("wal_epoch") {
+            Some(v) => v.trim().parse().map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad wal_epoch: {e}"),
+                )
+            })?,
+            None => 1,
+        };
 
-        let tree_disk = Arc::new(Disk::load_from(&dir.join("tree.pg"))?);
-        let heap_disk = Arc::new(Disk::load_from(&dir.join("records.pg"))?);
-        let heap_pool = Arc::new(BufferPool::new(
-            Arc::clone(&heap_disk),
-            heap_pool_pages.max(1),
-        ));
+        let tree_disk = Arc::new(Disk::load_from(&dir.join(tree_file))?);
+        let heap_disk = Arc::new(Disk::load_from(&dir.join(records_file))?);
+        // Plain opens keep the concrete handles (so `save` works); a
+        // device-wrapping open surrenders them to the wrapper.
+        let (tree_store, heap_pool, tree_handle, heap_handle) = match wrap {
+            None => (
+                PagedStore::new(Arc::clone(&tree_disk)),
+                Arc::new(BufferPool::new(
+                    Arc::clone(&heap_disk),
+                    heap_pool_pages.max(1),
+                )),
+                Some(tree_disk),
+                Some(heap_disk),
+            ),
+            Some(wrap) => {
+                let (tree_dev, heap_dev) = wrap(tree_disk, heap_disk);
+                (
+                    PagedStore::new_dyn(tree_dev),
+                    Arc::new(BufferPool::new_dyn(heap_dev, heap_pool_pages.max(1))),
+                    None,
+                    None,
+                )
+            }
+        };
         let heap = DynHeapFile::reopen(Arc::clone(&heap_pool), seq_len * 8, len, heap_pages);
         let rids = (0..len).map(|i| heap.rid_of(i)).collect();
         let tree = RStarTree::open(
-            PagedStore::new(Arc::clone(&tree_disk)),
+            tree_store,
             rstartree::NodeId(tree_root),
             tree_root_level,
             tree_len,
@@ -790,8 +957,8 @@ impl SeqIndex {
             tree: TreeImpl::Paged(tree),
             heap,
             heap_pool,
-            tree_disk: Some(tree_disk),
-            heap_disk: Some(heap_disk),
+            tree_disk: tree_handle,
+            heap_disk: heap_handle,
             rids,
             seq_len,
             len,
@@ -799,6 +966,8 @@ impl SeqIndex {
             deleted,
             leaf_capacity: params.max_entries,
             fetches: std::sync::atomic::AtomicU64::new(0),
+            wal_epoch,
+            _dir_lock: lock,
         })
     }
 }

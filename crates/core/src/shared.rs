@@ -33,9 +33,14 @@
 //!    regression test asserts by querying shard B while shard A's write
 //!    guard is deliberately held.
 
-use crate::index::SeqIndex;
+use crate::index::{DeviceWrap, SeqIndex};
+use crate::report::QueryError;
 use pagestore::sync::RwLock;
+use simwal::{FsyncPolicy, ReplayReport, Wal, WalError, WalOp, WalStats};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
+use tseries::TimeSeries;
 
 // The whole point of SharedIndex is crossing threads; fail the build, not
 // a runtime, if an index component ever stops being thread-safe.
@@ -45,10 +50,71 @@ const _: fn() = || {
     assert_send_sync::<SharedIndex>();
 };
 
+/// Errors from the durable (logged) mutation and recovery paths: either
+/// the underlying index operation failed, or the durability machinery
+/// itself did. Both stay fully typed so servers can map them to protocol
+/// error codes and tests can assert *which* failure fired.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The index mutation/replay failed (device fault, bad input).
+    Query(QueryError),
+    /// The write-ahead log failed (append, fsync, epoch install).
+    Wal(WalError),
+    /// A snapshot load/save failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Query(e) => write!(f, "{e}"),
+            Self::Wal(e) => write!(f, "{e}"),
+            Self::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Query(e) => Some(e),
+            Self::Wal(e) => Some(e),
+            Self::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<QueryError> for DurableError {
+    fn from(e: QueryError) -> Self {
+        Self::Query(e)
+    }
+}
+
+impl From<WalError> for DurableError {
+    fn from(e: WalError) -> Self {
+        Self::Wal(e)
+    }
+}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// The durability attachment of a [`SharedIndex`]: its WAL, the snapshot
+/// directory checkpoints go to, and the LSN allocator.
+struct Durability {
+    wal: Wal,
+    index_dir: PathBuf,
+    next_lsn: AtomicU64,
+}
+
 /// A cloneable, thread-safe handle to one [`SeqIndex`].
 #[derive(Clone)]
 pub struct SharedIndex {
     inner: Arc<RwLock<SeqIndex>>,
+    durable: Option<Arc<Durability>>,
 }
 
 impl std::fmt::Debug for SharedIndex {
@@ -62,6 +128,7 @@ impl SharedIndex {
     pub fn new(index: SeqIndex) -> Self {
         Self {
             inner: Arc::new(RwLock::new(index)),
+            durable: None,
         }
     }
 
@@ -71,6 +138,190 @@ impl SharedIndex {
         Ok(Self::new(SeqIndex::open(dir, heap_pool_pages)?))
     }
 
+    /// Opens a persisted index directory without taking its `LOCK` (see
+    /// [`SeqIndex::open_read_only`]), so a verification oracle can read
+    /// the same directory a live server is serving.
+    pub fn open_read_only(dir: &std::path::Path, heap_pool_pages: usize) -> std::io::Result<Self> {
+        Ok(Self::new(SeqIndex::open_read_only(dir, heap_pool_pages)?))
+    }
+
+    /// Opens a persisted index *with a write-ahead log*: loads the
+    /// snapshot in `index_dir`, opens (or creates) the WAL in `wal_dir`
+    /// reconciled against the snapshot's epoch, and replays the log tail
+    /// on top of the snapshot. After this returns, every mutation made
+    /// through [`Self::insert_series`]/[`Self::delete_series`] is logged
+    /// before it is acknowledged, and the recovered state is always an
+    /// exact prefix of the acknowledged mutation schedule.
+    pub fn open_durable(
+        index_dir: &Path,
+        wal_dir: &Path,
+        heap_pool_pages: usize,
+        policy: FsyncPolicy,
+    ) -> Result<(Self, ReplayReport), DurableError> {
+        Self::open_durable_impl(index_dir, wal_dir, heap_pool_pages, policy, None)
+    }
+
+    /// [`Self::open_durable`] with caller-wrapped page devices (see
+    /// [`SeqIndex::open_with`]), so WAL replay itself runs against an
+    /// armed [`pagestore::FaultyDisk`]. Replay faults surface as typed
+    /// [`DurableError::Query`] — never a panic, never a partial ack.
+    /// Checkpointing is unavailable on such an index, so gap-dropped
+    /// frames stay in the log for the next (unfaulted) open.
+    pub fn open_durable_with(
+        index_dir: &Path,
+        wal_dir: &Path,
+        heap_pool_pages: usize,
+        policy: FsyncPolicy,
+        wrap: DeviceWrap,
+    ) -> Result<(Self, ReplayReport), DurableError> {
+        Self::open_durable_impl(index_dir, wal_dir, heap_pool_pages, policy, Some(wrap))
+    }
+
+    fn open_durable_impl(
+        index_dir: &Path,
+        wal_dir: &Path,
+        heap_pool_pages: usize,
+        policy: FsyncPolicy,
+        wrap: Option<DeviceWrap>,
+    ) -> Result<(Self, ReplayReport), DurableError> {
+        let faulted = wrap.is_some();
+        let mut index = match wrap {
+            None => SeqIndex::open(index_dir, heap_pool_pages)?,
+            Some(wrap) => SeqIndex::open_with(index_dir, heap_pool_pages, wrap)?,
+        };
+        let (wal, ops, mut report) = Wal::open(wal_dir, policy, index.wal_epoch())?;
+        let mut max_lsn = 0u64;
+        let mut applied = 0usize;
+        for op in &ops {
+            match op {
+                WalOp::Insert { global, values, .. } => {
+                    let g = *global as usize;
+                    if g > index.len() {
+                        // A frame for an ordinal beyond the recovered
+                        // prefix (should be impossible for a single
+                        // index, whose log is written in ack order).
+                        break;
+                    }
+                    if g == index.len() {
+                        index.insert_series(&TimeSeries::new(values.clone()))?;
+                    }
+                    // g < len: the snapshot already absorbed this frame
+                    // (a crash interrupted the checkpoint after the
+                    // snapshot install); nothing to redo.
+                }
+                WalOp::Delete { global, .. } => {
+                    let g = *global as usize;
+                    if g >= index.len() {
+                        break;
+                    }
+                    index.delete_series(g)?; // Ok(false) if already gone
+                }
+            }
+            max_lsn = max_lsn.max(op.lsn());
+            applied += 1;
+        }
+        let dropped = applied < ops.len();
+        report.frames = applied;
+        let shared = Self {
+            inner: Arc::new(RwLock::new(index)),
+            durable: Some(Arc::new(Durability {
+                wal,
+                index_dir: index_dir.to_path_buf(),
+                next_lsn: AtomicU64::new(max_lsn + 1),
+            })),
+        };
+        if dropped && !faulted {
+            // Frames past the recovered prefix would otherwise replay on
+            // the next open; fold the prefix into a snapshot and reset.
+            shared.checkpoint()?;
+        }
+        Ok((shared, report))
+    }
+
+    /// Whether this handle logs mutations to a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// WAL counter snapshot, when durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durable.as_ref().map(|d| d.wal.stats())
+    }
+
+    /// Current checkpoint epoch, when durable.
+    pub fn wal_epoch(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.wal.epoch())
+    }
+
+    /// Inserts a sequence through the logged-mutation path: the mutation
+    /// is applied under the write guard, then (still under the guard, so
+    /// log order is apply order) appended to the WAL — the op only
+    /// reaches the caller as acknowledged once it is in the log. Without
+    /// a WAL this is plain `write().insert_series`.
+    pub fn insert_series(&self, ts: &TimeSeries) -> Result<usize, DurableError> {
+        let mut guard = self.inner.write();
+        let ordinal = guard.insert_series(ts)?;
+        if let Some(d) = &self.durable {
+            let lsn = d.next_lsn.fetch_add(1, Ordering::Relaxed);
+            d.wal.append(&WalOp::Insert {
+                lsn,
+                global: ordinal as u64,
+                local: ordinal as u64,
+                values: ts.values().to_vec(),
+            })?;
+        }
+        Ok(ordinal)
+    }
+
+    /// Tombstones a sequence through the logged-mutation path (see
+    /// [`Self::insert_series`]); no-op deletes are not logged.
+    pub fn delete_series(&self, ordinal: usize) -> Result<bool, DurableError> {
+        let mut guard = self.inner.write();
+        let deleted = guard.delete_series(ordinal)?;
+        if deleted {
+            if let Some(d) = &self.durable {
+                let lsn = d.next_lsn.fetch_add(1, Ordering::Relaxed);
+                d.wal.append(&WalOp::Delete {
+                    lsn,
+                    global: ordinal as u64,
+                    local: ordinal as u64,
+                })?;
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// Forces every appended frame to stable storage (the `SYNC` op).
+    /// `Ok(false)` when the handle has no WAL.
+    pub fn sync_wal(&self) -> Result<bool, DurableError> {
+        match &self.durable {
+            Some(d) => {
+                d.wal.sync()?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Checkpoints a durable index: under the exclusive write guard,
+    /// syncs the log, writes an atomic snapshot stamped with the next
+    /// epoch, then installs that epoch in the WAL (manifest bump + log
+    /// reset). Returns the new epoch, or `None` for a non-durable
+    /// handle. A crash at any point leaves a recoverable state — see the
+    /// crash matrix in DESIGN.md §5.
+    pub fn checkpoint(&self) -> Result<Option<u64>, DurableError> {
+        let Some(d) = &self.durable else {
+            return Ok(None);
+        };
+        let guard = self.inner.write();
+        d.wal.sync()?;
+        let new_epoch = d.wal.epoch() + 1;
+        guard.save_with_epoch(&d.index_dir, new_epoch)?;
+        d.wal.install_epoch(new_epoch)?;
+        drop(guard);
+        Ok(Some(new_epoch))
+    }
+
     /// Acquires a shared read guard: queries, scans, counter reads.
     /// Any number of readers proceed concurrently.
     pub fn read(&self) -> RwLockReadGuard<'_, SeqIndex> {
@@ -78,6 +329,10 @@ impl SharedIndex {
     }
 
     /// Acquires the exclusive write guard: inserts and deletes.
+    ///
+    /// Mutating *directly* through this guard bypasses the WAL; durable
+    /// handles must mutate via [`Self::insert_series`] /
+    /// [`Self::delete_series`] instead.
     pub fn write(&self) -> RwLockWriteGuard<'_, SeqIndex> {
         self.inner.write()
     }

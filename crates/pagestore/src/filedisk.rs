@@ -46,8 +46,17 @@ impl Disk {
                 out.write_all(page.as_ref().unwrap_or(&zero).bytes())?;
             }
             out.flush()?;
+            // Reach stable storage before the rename publishes the file:
+            // the checkpoint protocol treats a renamed image as durable.
+            out.get_ref().sync_all()?;
         }
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            if let Ok(d) = std::fs::File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Restores a device image previously written by [`Self::save_to`].

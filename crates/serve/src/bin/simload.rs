@@ -58,7 +58,9 @@ fn run_cli() -> Result<(), String> {
                 .parse_or("pool-pages", 256)
                 .map_err(|e| e.to_string())?;
             Some(
-                SharedIndex::open(&PathBuf::from(dir), pool)
+                // Read-only: the oracle may be the very directory the
+                // server under test is serving (and holding the LOCK on).
+                SharedIndex::open_read_only(&PathBuf::from(dir), pool)
                     .map_err(|e| format!("opening verify index {dir}: {e}"))?,
             )
         }

@@ -4,6 +4,7 @@
 //! simserved --index idx/ [--addr 127.0.0.1:7878] [--workers N]
 //!           [--queue 64] [--max-conns 64] [--pool-pages 256]
 //!           [--shards N] [--partitioner hash|round-robin|range]
+//!           [--wal DIR/] [--fsync always|never|N]
 //! ```
 //!
 //! With `--shards N > 1` the opened index is repartitioned across N
@@ -13,11 +14,18 @@
 //! contains `sharding.txt`) is served sharded as-is; passing `--shards`
 //! or `--partitioner` against one is an error unless the values match
 //! its manifest.
+//!
+//! With `--wal DIR/` every `INSERT`/`DELETE` is appended to a write-ahead
+//! log before it is acknowledged; on startup the log tail is replayed on
+//! top of the snapshot, so a crash loses at most the unsynced suffix.
+//! `--fsync` trades durability for throughput: `always` syncs every
+//! append, `N` every N appends, `never` leaves syncing to the OS.
 
 use simquery::shared::SharedIndex;
 use simserve::opts::Opts;
 use simserve::server::{serve, Backend, ServerConfig};
 use simshard::{ShardConfig, ShardedIndex};
+use simwal::FsyncPolicy;
 use std::path::PathBuf;
 
 const USAGE: &str = "\
@@ -27,12 +35,14 @@ USAGE:
   simserved --index DIR/ [--addr HOST:PORT] [--workers N]
             [--queue N] [--max-conns N] [--pool-pages N]
             [--shards N] [--partitioner hash|round-robin|range]
+            [--wal DIR/] [--fsync always|never|N]
 
 The protocol is documented in crates/serve/PROTOCOL.md. Build an index
 with `simseq gen` + `simseq build` first (or a sharded one with
 `simseq shard build`). `--shards N` repartitions a single-index
 directory across N shards at startup; JOIN requires an unsharded
-backend.
+backend. `--wal DIR/` makes INSERT/DELETE durable (write-ahead logged,
+replayed on restart; see SYNC and CHECKPOINT in the protocol).
 ";
 
 fn main() {
@@ -86,11 +96,32 @@ fn run() -> Result<(), String> {
     // One shardcfg parse covers both flags (shared with `simseq shard`).
     let shard_cfg = ShardConfig::parse(opts.get("shards").unwrap_or("1"), opts.get("partitioner"))?;
 
+    let wal_dir = opts.get("wal").map(PathBuf::from);
+    let policy = match opts.get("fsync") {
+        None => FsyncPolicy::Always,
+        Some(raw) => FsyncPolicy::parse(raw)
+            .ok_or_else(|| format!("--fsync must be always|never|N, got `{raw}`"))?,
+    };
+    if wal_dir.is_none() && opts.get("fsync").is_some() {
+        return Err("--fsync requires --wal".into());
+    }
+
     let backend = if dir.join("sharding.txt").is_file() {
         // A `simseq shard build` directory is already partitioned; explicit
         // flags must agree with its manifest, not be silently ignored.
-        let sharded = ShardedIndex::open(&dir, pool_pages)
-            .map_err(|e| format!("opening sharded index {}: {e}", dir.display()))?;
+        let sharded = match &wal_dir {
+            None => ShardedIndex::open(&dir, pool_pages)
+                .map_err(|e| format!("opening sharded index {}: {e}", dir.display()))?,
+            Some(wal) => {
+                let (sharded, rec) = ShardedIndex::open_durable(&dir, wal, pool_pages, policy)
+                    .map_err(|e| format!("opening sharded index {}: {e}", dir.display()))?;
+                eprintln!(
+                    "wal: epoch {}, replayed {} frames ({} dropped, {} stale, {} torn bytes)",
+                    rec.epoch, rec.replayed, rec.dropped, rec.stale_frames, rec.truncated_bytes
+                );
+                sharded
+            }
+        };
         if opts.get("shards").is_some() && shard_cfg.shards != sharded.shard_count() {
             return Err(format!(
                 "--shards {} conflicts with {}, which was built with {} shards; \
@@ -112,31 +143,49 @@ fn run() -> Result<(), String> {
         }
         announce(&sharded, &cfg);
         Backend::from(sharded)
-    } else {
+    } else if shard_cfg.shards > 1 {
+        if wal_dir.is_some() {
+            return Err(
+                "--wal cannot be combined with --shards repartitioning; build a sharded \
+                 directory first (`simseq shard build`) and serve that with --wal"
+                    .into(),
+            );
+        }
         let shared = SharedIndex::open(&dir, pool_pages)
             .map_err(|e| format!("opening index {}: {e}", dir.display()))?;
-        if shard_cfg.shards > 1 {
-            let index_cfg = simquery::index::IndexConfig {
-                heap_pool_pages: pool_pages,
-                ..Default::default()
-            };
-            let sharded = ShardedIndex::from_index(&shared.read(), shard_cfg, index_cfg)
-                .map_err(|e| format!("sharding {}: {e}", dir.display()))?;
-            announce(&sharded, &cfg);
-            Backend::from(sharded)
-        } else {
-            {
-                let index = shared.read();
+        let index_cfg = simquery::index::IndexConfig {
+            heap_pool_pages: pool_pages,
+            ..Default::default()
+        };
+        let sharded = ShardedIndex::from_index(&shared.read(), shard_cfg, index_cfg)
+            .map_err(|e| format!("sharding {}: {e}", dir.display()))?;
+        announce(&sharded, &cfg);
+        Backend::from(sharded)
+    } else {
+        let shared = match &wal_dir {
+            None => SharedIndex::open(&dir, pool_pages)
+                .map_err(|e| format!("opening index {}: {e}", dir.display()))?,
+            Some(wal) => {
+                let (shared, rep) = SharedIndex::open_durable(&dir, wal, pool_pages, policy)
+                    .map_err(|e| format!("opening index {}: {e}", dir.display()))?;
                 eprintln!(
-                    "serving {} sequences of length {} ({} workers, queue {})",
-                    index.len(),
-                    index.seq_len(),
-                    cfg.workers,
-                    cfg.queue_depth
+                    "wal: epoch {}, replayed {} frames ({} stale, {} torn bytes)",
+                    rep.epoch, rep.frames, rep.stale_frames, rep.truncated_bytes
                 );
+                shared
             }
-            Backend::from(shared)
+        };
+        {
+            let index = shared.read();
+            eprintln!(
+                "serving {} sequences of length {} ({} workers, queue {})",
+                index.len(),
+                index.seq_len(),
+                cfg.workers,
+                cfg.queue_depth
+            );
         }
+        Backend::from(shared)
     };
 
     let handle = serve(backend, &cfg).map_err(|e| format!("binding {}: {e}", cfg.addr))?;

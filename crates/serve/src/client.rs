@@ -95,6 +95,22 @@ impl Client {
         }
     }
 
+    /// `SYNC` — forces the server's WAL(s) to stable storage.
+    pub fn sync(&mut self) -> io::Result<Result<(), Response>> {
+        match self.call(&Request::Sync)? {
+            Response::Ok => Ok(Ok(())),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `CHECKPOINT` — the new epoch.
+    pub fn checkpoint(&mut self) -> io::Result<Result<u64, Response>> {
+        match self.call(&Request::Checkpoint)? {
+            Response::Checkpointed { epoch } => Ok(Ok(epoch)),
+            other => Ok(Err(other)),
+        }
+    }
+
     /// `INFO` as key/value pairs.
     pub fn info(&mut self) -> io::Result<Result<Vec<(String, String)>, Response>> {
         match self.call(&Request::Info)? {
@@ -106,7 +122,7 @@ impl Client {
     /// `STATS`.
     pub fn stats(&mut self, reset: bool) -> io::Result<Result<StatsReport, Response>> {
         match self.call(&Request::Stats { reset })? {
-            Response::Stats(s) => Ok(Ok(s)),
+            Response::Stats(s) => Ok(Ok(*s)),
             other => Ok(Err(other)),
         }
     }

@@ -271,8 +271,15 @@ fn run_conn(
                         matches.iter().map(|m| (m.seq, m.transform)).collect();
                     got.sort_unstable();
                     report.verified += 1;
-                    if got != local_pairs(local, ord, cfg) {
+                    let want = local_pairs(local, ord, cfg);
+                    if got != want {
                         report.parity_failures += 1;
+                        eprintln!(
+                            "parity failure: conn {conn_id} ord {ord}: \
+                             server returned {} pairs, local engine {}",
+                            got.len(),
+                            want.len()
+                        );
                     }
                 }
             }
@@ -280,7 +287,10 @@ fn run_conn(
                 code: crate::protocol::ErrCode::Busy,
                 ..
             } => report.busy += 1,
-            _ => report.errors += 1,
+            other => {
+                report.errors += 1;
+                eprintln!("error response: conn {conn_id} ord {ord}: {other:?}");
+            }
         }
     }
     report.wall = start.elapsed();

@@ -7,7 +7,7 @@
 //! reports (percentiles are bucket upper bounds, i.e. ≤ 2× the true
 //! value).
 
-use crate::protocol::{OpStatLine, ShardStatLine, StatsReport};
+use crate::protocol::{OpStatLine, ShardStatLine, StatsReport, WalStatLine};
 use simquery::index::AccessCounters;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -82,7 +82,17 @@ impl Histogram {
 }
 
 /// The operations the registry tracks, in reporting order.
-pub const OPS: [&str; 7] = ["query", "knn", "join", "insert", "delete", "info", "stats"];
+pub const OPS: [&str; 9] = [
+    "query",
+    "knn",
+    "join",
+    "insert",
+    "delete",
+    "sync",
+    "checkpoint",
+    "info",
+    "stats",
+];
 
 /// Index of an op name in [`OPS`] (`stats` catches anything unknown).
 pub fn op_index(op: &str) -> usize {
@@ -141,6 +151,7 @@ impl Registry {
         &self,
         now: AccessCounters,
         shards: Vec<ShardStatLine>,
+        wal: Option<WalStatLine>,
         reset: bool,
     ) -> StatsReport {
         let mut baseline = self.baseline.lock().unwrap_or_else(|e| e.into_inner());
@@ -177,6 +188,7 @@ impl Registry {
                 now.record_fetches - prev.record_fetches,
             ),
             shards,
+            wal,
         };
         if reset {
             for s in &self.ops {

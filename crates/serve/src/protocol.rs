@@ -132,6 +132,10 @@ pub enum Request {
         /// Ordinal to delete.
         ord: usize,
     },
+    /// Forces the write-ahead log(s) to stable storage.
+    Sync,
+    /// Checkpoints the index: snapshot, epoch bump, log truncation.
+    Checkpoint,
     /// Describes the served index.
     Info,
     /// Server metrics; `reset` zeroes the op counters/histograms after
@@ -186,6 +190,8 @@ impl Request {
                 format!("INSERT data={}", data.join(","))
             }
             Self::Delete { ord } => format!("DELETE ord={ord}"),
+            Self::Sync => "SYNC".into(),
+            Self::Checkpoint => "CHECKPOINT".into(),
             Self::Info => "INFO".into(),
             Self::Stats { reset } => {
                 if *reset {
@@ -238,6 +244,8 @@ impl Request {
             "DELETE" => Ok(Self::Delete {
                 ord: kv.req_parse("ord")?,
             }),
+            "SYNC" => Ok(Self::Sync),
+            "CHECKPOINT" => Ok(Self::Checkpoint),
             "INFO" => Ok(Self::Info),
             "STATS" => Ok(Self::Stats {
                 reset: kv.get("reset") == Some("yes"),
@@ -384,6 +392,19 @@ pub struct ShardStatLine {
     pub record_fetches: u64,
 }
 
+/// Write-ahead-log counters of a `STATS` response (durable servers only).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStatLine {
+    /// Frames appended since server start.
+    pub appends: u64,
+    /// `fsync` calls issued by the log(s).
+    pub fsyncs: u64,
+    /// Frames replayed when the server opened the index.
+    pub replayed: u64,
+    /// Current checkpoint epoch.
+    pub epoch: u64,
+}
+
 /// The full `STATS` payload.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatsReport {
@@ -400,6 +421,8 @@ pub struct StatsReport {
     pub counters_delta: (u64, u64, u64),
     /// Per-shard breakdown; empty on a single-index backend.
     pub shards: Vec<ShardStatLine>,
+    /// WAL counters; `None` when the server runs without durability.
+    pub wal: Option<WalStatLine>,
 }
 
 /// A parsed response.
@@ -435,9 +458,14 @@ pub enum Response {
     },
     /// `INFO` payload: ordered key/value pairs.
     Info(Vec<(String, String)>),
-    /// `STATS` payload.
-    Stats(StatsReport),
-    /// Plain acknowledgement (`QUIT`).
+    /// `STATS` payload (boxed: the report dwarfs every other variant).
+    Stats(Box<StatsReport>),
+    /// `CHECKPOINT` acknowledgement carrying the new epoch.
+    Checkpointed {
+        /// Epoch installed by the checkpoint.
+        epoch: u64,
+    },
+    /// Plain acknowledgement (`QUIT`, `SYNC`).
     Ok,
     /// An error frame.
     Err {
@@ -510,12 +538,20 @@ impl Response {
                         sh.id, sh.seqs, sh.node_reads, sh.record_page_reads, sh.record_fetches
                     )?;
                 }
+                if let Some(wal) = &s.wal {
+                    writeln!(
+                        w,
+                        "WAL appends={} fsyncs={} replayed={} epoch={}",
+                        wal.appends, wal.fsyncs, wal.replayed, wal.epoch
+                    )?;
+                }
                 writeln!(
                     w,
                     "SERVER busy_rejected={} connections={}",
                     s.busy_rejected, s.connections
                 )?;
             }
+            Self::Checkpointed { epoch } => writeln!(w, "OK epoch={epoch}")?,
             Self::Ok => writeln!(w, "OK")?,
             Self::Err { code, msg } => writeln!(w, "ERR code={} msg={}", code.as_str(), msg)?,
         }
@@ -566,6 +602,10 @@ impl Response {
                 } else if let Some(d) = kv.get("deleted") {
                     Ok(Self::Deleted {
                         existed: d == "true",
+                    })
+                } else if let Some(e) = kv.get("epoch") {
+                    Ok(Self::Checkpointed {
+                        epoch: e.parse().map_err(|_| ProtoError::bad("bad epoch="))?,
                     })
                 } else if body
                     .iter()
@@ -682,6 +722,15 @@ impl Response {
                         record_fetches: kv.req_parse("record_fetches")?,
                     });
                 }
+                Some("WAL") => {
+                    let kv = KvTokens::collect(tokens)?;
+                    report.wal = Some(WalStatLine {
+                        appends: kv.req_parse("appends")?,
+                        fsyncs: kv.req_parse("fsyncs")?,
+                        replayed: kv.req_parse("replayed")?,
+                        epoch: kv.req_parse("epoch")?,
+                    });
+                }
                 Some("SERVER") => {
                     let kv = KvTokens::collect(tokens)?;
                     report.busy_rejected = kv.req_parse("busy_rejected")?;
@@ -692,7 +741,7 @@ impl Response {
                 }
             }
         }
-        Ok(Self::Stats(report))
+        Ok(Self::Stats(Box::new(report)))
     }
 }
 
@@ -871,6 +920,8 @@ mod tests {
             values: vec![1.0, -2.5, 3.25],
         });
         round_trip_request(Request::Delete { ord: 9 });
+        round_trip_request(Request::Sync);
+        round_trip_request(Request::Checkpoint);
         round_trip_request(Request::Info);
         round_trip_request(Request::Stats { reset: true });
         round_trip_request(Request::Stats { reset: false });
@@ -966,7 +1017,7 @@ mod tests {
             ("sequences".into(), "100".into()),
             ("seq_len".into(), "128".into()),
         ]));
-        round_trip_response(Response::Stats(StatsReport {
+        round_trip_response(Response::Stats(Box::new(StatsReport {
             ops: vec![OpStatLine {
                 op: "query".into(),
                 count: 50,
@@ -996,7 +1047,14 @@ mod tests {
                     record_fetches: 210,
                 },
             ],
-        }));
+            wal: Some(WalStatLine {
+                appends: 12,
+                fsyncs: 4,
+                replayed: 7,
+                epoch: 3,
+            }),
+        })));
+        round_trip_response(Response::Checkpointed { epoch: 5 });
         round_trip_response(Response::Ok);
     }
 

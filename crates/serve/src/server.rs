@@ -24,7 +24,8 @@ use crate::protocol::{
 use simquery::engine::{join, knn, mtindex, seqscan, stindex};
 use simquery::prelude::*;
 use simquery::report::QueryError;
-use simshard::{gather, ShardedIndex};
+use simquery::shared::DurableError;
+use simshard::{gather, ShardError, ShardedIndex};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -253,6 +254,8 @@ impl Request {
             Self::Join { .. } => "join",
             Self::Insert { .. } => "insert",
             Self::Delete { .. } => "delete",
+            Self::Sync => "sync",
+            Self::Checkpoint => "checkpoint",
             Self::Info => "info",
             Self::Stats { .. } => "stats",
             Self::Quit => "info",
@@ -287,40 +290,69 @@ fn execute(backend: &Backend, metrics: &Registry, request: Request) -> Response 
         },
         Request::Insert { values } => {
             let ts = TimeSeries::new(values);
+            // The WAL-aware mutation paths: logged-then-acked when the
+            // backend is durable, plain apply otherwise.
             let outcome = match backend {
-                Backend::Single(shared) => shared.write().insert_series(&ts),
+                Backend::Single(shared) => shared.insert_series(&ts),
                 Backend::Sharded(sharded) => sharded.insert_series(&ts),
             };
             match outcome {
                 Ok(ord) => Response::Inserted { ord },
-                Err(e) => query_err(e),
+                Err(e) => durable_err(e),
             }
         }
         Request::Delete { ord } => {
             let outcome = match backend {
-                Backend::Single(shared) => shared.write().delete_series(ord),
+                Backend::Single(shared) => shared.delete_series(ord),
                 Backend::Sharded(sharded) => sharded.delete_series(ord),
             };
             match outcome {
                 Ok(existed) => Response::Deleted { existed },
-                Err(e) => query_err(e),
+                Err(e) => durable_err(e),
+            }
+        }
+        Request::Sync => {
+            let outcome = match backend {
+                Backend::Single(shared) => shared.sync_wal().map_err(durable_err),
+                Backend::Sharded(sharded) => sharded.sync_wal().map_err(shard_err),
+            };
+            match outcome {
+                Ok(true) => Response::Ok,
+                Ok(false) => not_durable(),
+                Err(resp) => resp,
+            }
+        }
+        Request::Checkpoint => {
+            let outcome = match backend {
+                Backend::Single(shared) => shared.checkpoint().map_err(durable_err),
+                Backend::Sharded(sharded) => sharded.checkpoint().map_err(shard_err),
+            };
+            match outcome {
+                Ok(Some(epoch)) => Response::Checkpointed { epoch },
+                Ok(None) => not_durable(),
+                Err(resp) => resp,
             }
         }
         Request::Info => match backend {
             Backend::Single(shared) => {
                 let index = shared.read();
-                Response::Info(vec![
+                let mut info = vec![
                     ("sequences".into(), index.len().to_string()),
                     ("seq_len".into(), index.seq_len().to_string()),
                     ("tree_height".into(), index.height().to_string()),
                     ("leaf_capacity".into(), index.leaf_capacity().to_string()),
                     ("skipped".into(), index.skipped().len().to_string()),
                     ("deleted".into(), index.deleted_count().to_string()),
-                ])
+                    ("durable".into(), shared.is_durable().to_string()),
+                ];
+                if let Some(epoch) = shared.wal_epoch() {
+                    info.push(("wal_epoch".into(), epoch.to_string()));
+                }
+                Response::Info(info)
             }
             Backend::Sharded(sharded) => {
                 let loads = sharded.shard_loads();
-                Response::Info(vec![
+                let mut info = vec![
                     ("sequences".into(), sharded.len().to_string()),
                     ("seq_len".into(), sharded.seq_len().to_string()),
                     ("shards".into(), sharded.shard_count().to_string()),
@@ -334,7 +366,12 @@ fn execute(backend: &Backend, metrics: &Registry, request: Request) -> Response 
                             .collect::<Vec<_>>()
                             .join(","),
                     ),
-                ])
+                    ("durable".into(), sharded.is_durable().to_string()),
+                ];
+                if sharded.is_durable() {
+                    info.push(("wal_epoch".into(), sharded.epoch().to_string()));
+                }
+                Response::Info(info)
             }
         },
         Request::Stats { reset } => {
@@ -368,7 +405,19 @@ fn execute(backend: &Backend, metrics: &Registry, request: Request) -> Response 
                     (total, lines)
                 }
             };
-            Response::Stats(metrics.report(counters, shards, reset))
+            let wal = match backend {
+                Backend::Single(shared) => shared.wal_stats().map(|s| (s, shared.wal_epoch())),
+                Backend::Sharded(sharded) => {
+                    sharded.wal_stats().map(|s| (s, Some(sharded.epoch())))
+                }
+            }
+            .map(|(s, epoch)| crate::protocol::WalStatLine {
+                appends: s.appends,
+                fsyncs: s.fsyncs,
+                replayed: s.replayed,
+                epoch: epoch.unwrap_or(0),
+            });
+            Response::Stats(Box::new(metrics.report(counters, shards, wal, reset)))
         }
         Request::Quit => Response::Ok, // handled on the connection thread
     }
@@ -394,6 +443,32 @@ fn query_err(e: QueryError) -> Response {
 /// A raw page failure (e.g. fetching the query ordinal's record).
 fn io_err(e: pagestore::PageError) -> Response {
     err(ErrCode::Io, QueryError::from(e).to_string())
+}
+
+/// Durable-mutation errors: engine rejections keep their `QUERY`/`IO`
+/// split; WAL and snapshot failures are `IO`.
+fn durable_err(e: DurableError) -> Response {
+    match e {
+        DurableError::Query(q) => query_err(q),
+        e @ (DurableError::Wal(_) | DurableError::Io(_)) => err(ErrCode::Io, e.to_string()),
+    }
+}
+
+fn shard_err(e: ShardError) -> Response {
+    match e {
+        ShardError::Page(_) | ShardError::Wal(_) | ShardError::Io(_) => {
+            err(ErrCode::Io, e.to_string())
+        }
+        e => err(ErrCode::Query, e.to_string()),
+    }
+}
+
+/// `SYNC`/`CHECKPOINT` against a server started without `--wal`.
+fn not_durable() -> Response {
+    err(
+        ErrCode::Query,
+        "server runs without durability (start simserved with --wal DIR)",
+    )
 }
 
 fn family_for(ma: (usize, usize), seq_len: usize) -> Result<Family, Response> {

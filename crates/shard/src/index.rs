@@ -19,15 +19,18 @@ use crate::cfg::{PartitionerKind, ShardConfig};
 use crate::partition::{Partitioner, ShardMap};
 use pagestore::sync::{Mutex, RwLock};
 use pagestore::{PageDevice, PageError};
-use simquery::index::{AccessCounters, IndexConfig, SeqIndex};
+use simquery::index::{AccessCounters, DeviceWrap, IndexConfig, SeqIndex};
 use simquery::report::QueryError;
-use simquery::shared::SharedIndex;
+use simquery::shared::{DurableError, SharedIndex};
+use simwal::{DirLock, FsyncPolicy, Wal, WalError, WalOp, WalStats};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tseries::{Corpus, TimeSeries};
 
-/// Errors raised while building or opening a sharded index.
+/// Errors raised while building, opening, or durably mutating a sharded
+/// index.
 #[derive(Debug)]
 pub enum ShardError {
     /// The corpus is empty or has zero-length sequences.
@@ -40,6 +43,10 @@ pub enum ShardError {
     Config(String),
     /// A page device failed during construction.
     Page(PageError),
+    /// The write-ahead log failed (lock, append, epoch reconciliation).
+    Wal(WalError),
+    /// A snapshot load/save failed.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for ShardError {
@@ -51,6 +58,8 @@ impl fmt::Display for ShardError {
             }
             Self::Config(msg) => write!(f, "bad shard configuration: {msg}"),
             Self::Page(e) => write!(f, "page access failed building shard: {e}"),
+            Self::Wal(e) => write!(f, "{e}"),
+            Self::Io(e) => write!(f, "snapshot i/o failed: {e}"),
         }
     }
 }
@@ -59,6 +68,8 @@ impl std::error::Error for ShardError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Page(e) => Some(e),
+            Self::Wal(e) => Some(e),
+            Self::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -70,6 +81,55 @@ impl From<PageError> for ShardError {
     }
 }
 
+impl From<WalError> for ShardError {
+    fn from(e: WalError) -> Self {
+        Self::Wal(e)
+    }
+}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<QueryError> for ShardError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::Io(p) => Self::Page(p),
+            other => Self::Config(other.to_string()),
+        }
+    }
+}
+
+impl From<DurableError> for ShardError {
+    fn from(e: DurableError) -> Self {
+        match e {
+            DurableError::Query(q) => q.into(),
+            DurableError::Wal(w) => Self::Wal(w),
+            DurableError::Io(io) => Self::Io(io),
+        }
+    }
+}
+
+/// What sharded recovery did: aggregate of the per-shard WAL reports plus
+/// the cross-shard merge outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// Checkpoint epoch the index recovered at.
+    pub epoch: u64,
+    /// Frames replayed onto the snapshots, across all shards.
+    pub replayed: usize,
+    /// Frames dropped at an LSN gap (an unsynced sibling-shard tail) —
+    /// everything after the first missing LSN is discarded to keep the
+    /// recovered state an exact prefix of the mutation schedule.
+    pub dropped: usize,
+    /// Torn-tail bytes truncated, summed over the shard logs.
+    pub truncated_bytes: u64,
+    /// Frames discarded because a log's epoch predated its snapshot.
+    pub stale_frames: usize,
+}
+
 /// A corpus partitioned across N independent [`SeqIndex`] shards.
 pub struct ShardedIndex {
     shards: Vec<SharedIndex>,
@@ -78,6 +138,20 @@ pub struct ShardedIndex {
     partitioner: Partitioner,
     kind: PartitionerKind,
     seq_len: usize,
+    // Checkpoint epoch of `sharding.txt` (1 for fresh builds); the
+    // authority every per-shard WAL is reconciled against.
+    epoch: AtomicU64,
+    // Next log sequence number. Globally monotone across shards; the
+    // manifest records it at checkpoint so recovery knows where the
+    // contiguous post-checkpoint LSN run must start.
+    next_lsn: AtomicU64,
+    // One WAL per shard when opened durably; frames are appended under
+    // the owning shard's write guard, after the mutation has applied.
+    wals: Option<Vec<Arc<Wal>>>,
+    // Where checkpoints go (the directory the index was opened from).
+    durable_dir: Option<PathBuf>,
+    // Advisory lock on the index directory, held while open.
+    _dir_lock: Option<DirLock>,
 }
 
 impl fmt::Debug for ShardedIndex {
@@ -153,6 +227,11 @@ impl ShardedIndex {
             partitioner,
             kind: cfg.partitioner,
             seq_len: corpus.series_len(),
+            epoch: AtomicU64::new(1),
+            next_lsn: AtomicU64::new(1),
+            wals: None,
+            durable_dir: None,
+            _dir_lock: None,
         })
     }
 
@@ -173,10 +252,7 @@ impl ShardedIndex {
         }
         let sharded = Self::build(&Corpus::from_parts(names, series), cfg, index_cfg)?;
         for g in index.deleted_ordinals() {
-            sharded.delete_series(g).map_err(|e| match e {
-                QueryError::Io(p) => ShardError::Page(p),
-                other => ShardError::Config(other.to_string()),
-            })?;
+            sharded.delete_series(g)?;
         }
         Ok(sharded)
     }
@@ -232,11 +308,14 @@ impl ShardedIndex {
         self.map.read().locate(global)
     }
 
-    /// Appends a sequence, returning its global ordinal.
+    /// Appends a sequence, returning its global ordinal. On a durable
+    /// index the mutation is applied, then logged to the owning shard's
+    /// WAL *before* this returns (still under the shard's write guard, so
+    /// log order is apply order).
     ///
     /// Only the receiving shard is write-locked; reads on the other N−1
     /// shards proceed throughout (see the module docs on locking).
-    pub fn insert_series(&self, ts: &TimeSeries) -> Result<usize, QueryError> {
+    pub fn insert_series(&self, ts: &TimeSeries) -> Result<usize, DurableError> {
         let _gate = self.insert_gate.lock();
         let (global, shard) = {
             let map = self.map.read();
@@ -251,7 +330,20 @@ impl ShardedIndex {
             }
             (g, self.partitioner.assign_insert(g, &loads))
         };
-        let local = self.shards[shard].write().insert_series(ts)?;
+        let mut guard = self.shards[shard].write();
+        let local = guard.insert_series(ts).map_err(DurableError::Query)?;
+        if let Some(wals) = &self.wals {
+            let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
+            wals[shard]
+                .append(&WalOp::Insert {
+                    lsn,
+                    global: global as u64,
+                    local: local as u64,
+                    values: ts.values().to_vec(),
+                })
+                .map_err(DurableError::Wal)?;
+        }
+        drop(guard);
         let mut map = self.map.write();
         let (g, l) = map.push(shard);
         debug_assert_eq!((g, l), (global, local), "gate must serialise ordinals");
@@ -259,12 +351,27 @@ impl ShardedIndex {
     }
 
     /// Tombstones a global ordinal. `Ok(false)` when out of range or
-    /// already deleted. Write-locks only the owning shard.
-    pub fn delete_series(&self, global: usize) -> Result<bool, QueryError> {
+    /// already deleted. Write-locks only the owning shard; on a durable
+    /// index an effective delete is logged before this returns.
+    pub fn delete_series(&self, global: usize) -> Result<bool, DurableError> {
         let Some((shard, local)) = self.locate(global) else {
             return Ok(false);
         };
-        self.shards[shard].write().delete_series(local)
+        let mut guard = self.shards[shard].write();
+        let deleted = guard.delete_series(local).map_err(DurableError::Query)?;
+        if deleted {
+            if let Some(wals) = &self.wals {
+                let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
+                wals[shard]
+                    .append(&WalOp::Delete {
+                        lsn,
+                        global: global as u64,
+                        local: local as u64,
+                    })
+                    .map_err(DurableError::Wal)?;
+            }
+        }
+        Ok(deleted)
     }
 
     /// Fetches a sequence's raw samples by global ordinal (a counted
@@ -308,12 +415,22 @@ impl ShardedIndex {
 
     /// Persists all shards under `dir`: `shard-N/` subdirectories (see
     /// [`SeqIndex::save`]) plus a `sharding.txt` manifest recording the
-    /// partitioner and the global assignment order.
+    /// partitioner, the global assignment order, and the checkpoint
+    /// epoch. The manifest — the only pointer to the shard snapshots — is
+    /// replaced atomically (temp file + `rename`), and each shard's save
+    /// is itself crash-atomic, so an interrupted save never destroys the
+    /// previous good state.
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let epoch = self.epoch.load(Ordering::Relaxed);
         std::fs::create_dir_all(dir)?;
         for (i, s) in self.shards.iter().enumerate() {
-            s.read().save(&dir.join(format!("shard-{i}")))?;
+            s.read()
+                .save_with_epoch(&dir.join(format!("shard-{i}")), epoch)?;
         }
+        self.write_manifest(dir, epoch)
+    }
+
+    fn write_manifest(&self, dir: &Path, epoch: u64) -> std::io::Result<()> {
         let map = self.map.read();
         let mut meta = String::new();
         use std::fmt::Write as _;
@@ -321,6 +438,8 @@ impl ShardedIndex {
         let _ = writeln!(meta, "shards {}", self.shards.len());
         let _ = writeln!(meta, "partitioner {}", self.kind);
         let _ = writeln!(meta, "seq_len {}", self.seq_len);
+        let _ = writeln!(meta, "epoch {epoch}");
+        let _ = writeln!(meta, "next_lsn {}", self.next_lsn.load(Ordering::Relaxed));
         let _ = writeln!(
             meta,
             "assignment {}",
@@ -330,64 +449,59 @@ impl ShardedIndex {
                 .collect::<Vec<_>>()
                 .join(",")
         );
-        std::fs::write(dir.join("sharding.txt"), meta)
+        simwal::atomic_write(&dir.join("sharding.txt"), meta.as_bytes())
     }
 
     /// Reopens a directory written by [`Self::save`]. `heap_pool_pages`
-    /// sizes each shard's record buffer pool.
+    /// sizes each shard's record buffer pool. Takes the directory's
+    /// advisory `LOCK` (kind `WouldBlock` when another process holds it).
     pub fn open(dir: &Path, heap_pool_pages: usize) -> std::io::Result<Self> {
+        Self::open_impl(dir, heap_pool_pages, |_| None, true)
+    }
+
+    /// [`Self::open`] without taking the root or per-shard `LOCK`s (see
+    /// [`SeqIndex::open_read_only`]), for read-only consumers that must
+    /// coexist with a serving process.
+    pub fn open_read_only(dir: &Path, heap_pool_pages: usize) -> std::io::Result<Self> {
+        Self::open_impl(dir, heap_pool_pages, |_| None, false)
+    }
+
+    /// [`Self::open`] with caller-wrapped page devices per shard (see
+    /// [`SeqIndex::open_with`]): the hook receives each shard id and may
+    /// return a device wrapper — e.g. arming a [`pagestore::FaultyDisk`]
+    /// on one shard's heap — or `None` for a plain open of that shard.
+    pub fn open_with(
+        dir: &Path,
+        heap_pool_pages: usize,
+        wrap: impl FnMut(usize) -> Option<DeviceWrap>,
+    ) -> std::io::Result<Self> {
+        Self::open_impl(dir, heap_pool_pages, wrap, true)
+    }
+
+    fn open_impl(
+        dir: &Path,
+        heap_pool_pages: usize,
+        mut wrap: impl FnMut(usize) -> Option<DeviceWrap>,
+        take_lock: bool,
+    ) -> std::io::Result<Self> {
+        let lock = if take_lock {
+            Some(DirLock::acquire(dir).map_err(simquery::index::wal_to_io)?)
+        } else {
+            None
+        };
+        let m = read_shard_manifest(dir)?;
         let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
-        let meta = std::fs::read_to_string(dir.join("sharding.txt"))?;
-        let mut lines = meta.lines();
-        if lines.next() != Some("simshard v1") {
-            return Err(bad("not a simshard directory".into()));
+        let mut shards = Vec::with_capacity(m.shards);
+        for i in 0..m.shards {
+            let shard_dir = dir.join(format!("shard-{i}"));
+            let index = match (wrap(i), take_lock) {
+                (None, true) => SeqIndex::open(&shard_dir, heap_pool_pages)?,
+                (None, false) => SeqIndex::open_read_only(&shard_dir, heap_pool_pages)?,
+                (Some(w), _) => SeqIndex::open_with(&shard_dir, heap_pool_pages, w)?,
+            };
+            shards.push(SharedIndex::new(index));
         }
-        let mut shards_n = 0usize;
-        let mut kind = PartitionerKind::Hash;
-        let mut seq_len = 0usize;
-        let mut assignment = Vec::new();
-        for line in lines {
-            match line.split_once(' ') {
-                Some(("shards", v)) => {
-                    shards_n = v
-                        .trim()
-                        .parse()
-                        .map_err(|e| bad(format!("bad shards: {e}")))?;
-                }
-                Some(("partitioner", v)) => {
-                    kind = v.trim().parse().map_err(bad)?;
-                }
-                Some(("seq_len", v)) => {
-                    seq_len = v
-                        .trim()
-                        .parse()
-                        .map_err(|e| bad(format!("bad seq_len: {e}")))?;
-                }
-                Some(("assignment", v)) if !v.trim().is_empty() => {
-                    assignment = v
-                        .trim()
-                        .split(',')
-                        .map(|s| s.parse::<usize>())
-                        .collect::<Result<_, _>>()
-                        .map_err(|e| bad(format!("bad assignment entry: {e}")))?;
-                }
-                _ => {}
-            }
-        }
-        if shards_n == 0 || shards_n > crate::cfg::MAX_SHARDS {
-            return Err(bad(format!("shard count {shards_n} out of range")));
-        }
-        if assignment.iter().any(|&s| s >= shards_n) {
-            return Err(bad("assignment references a missing shard".into()));
-        }
-        let mut shards = Vec::with_capacity(shards_n);
-        for i in 0..shards_n {
-            shards.push(SharedIndex::open(
-                &dir.join(format!("shard-{i}")),
-                heap_pool_pages,
-            )?);
-        }
-        let map = ShardMap::from_assignment(shards_n, &assignment);
+        let map = ShardMap::from_assignment(m.shards, &m.assignment);
         for (i, s) in shards.iter().enumerate() {
             if s.read().len() != map.globals_of(i).len() {
                 return Err(bad(format!(
@@ -400,20 +514,356 @@ impl ShardedIndex {
         // A missing or corrupt seq_len line must not silently poison every
         // future family validation; the shards know the true length.
         let disk_len = shards[0].read().seq_len();
-        if seq_len != disk_len {
+        if m.seq_len != disk_len {
             return Err(bad(format!(
-                "manifest seq_len {seq_len} does not match the on-disk sequence length {disk_len}"
+                "manifest seq_len {} does not match the on-disk sequence length {disk_len}",
+                m.seq_len
             )));
         }
         Ok(Self {
             shards,
             map: RwLock::new(map),
             insert_gate: Mutex::new(()),
-            partitioner: Partitioner::new(kind, shards_n),
-            kind,
-            seq_len,
+            partitioner: Partitioner::new(m.kind, m.shards),
+            kind: m.kind,
+            seq_len: m.seq_len,
+            epoch: AtomicU64::new(m.epoch),
+            next_lsn: AtomicU64::new(m.next_lsn),
+            wals: None,
+            durable_dir: None,
+            _dir_lock: lock,
         })
     }
+
+    /// Opens a persisted sharded index *with one write-ahead log per
+    /// shard* under `wal_root` (`wal_root/shard-N/`), each reconciled
+    /// against the `sharding.txt` epoch, and replays the merged log tails
+    /// on top of the shard snapshots.
+    ///
+    /// Frames from all shards are merged by LSN and replayed in that
+    /// order; replay stops at the first missing LSN (a tail some shard
+    /// never fsynced), so the recovered index is an exact prefix of the
+    /// acknowledged mutation schedule. Replay is idempotent against
+    /// half-checkpoint states: a frame whose effects a shard snapshot
+    /// already holds re-extends the global map without re-applying.
+    /// When frames were dropped at a gap the index is checkpointed
+    /// immediately, folding the recovered prefix into a fresh epoch.
+    pub fn open_durable(
+        dir: &Path,
+        wal_root: &Path,
+        heap_pool_pages: usize,
+        policy: FsyncPolicy,
+    ) -> Result<(Self, ShardRecovery), ShardError> {
+        Self::open_durable_impl(dir, wal_root, heap_pool_pages, policy, |_| None, false)
+    }
+
+    /// [`Self::open_durable`] with caller-wrapped page devices per shard,
+    /// so WAL replay itself runs against armed [`pagestore::FaultyDisk`]s.
+    /// Replay faults surface as typed errors ([`ShardError::Page`]) —
+    /// never a panic. No auto-checkpoint happens on such an index (its
+    /// devices are surrendered to the wrappers), so gap-dropped frames
+    /// stay in the logs for the next unfaulted open.
+    pub fn open_durable_with(
+        dir: &Path,
+        wal_root: &Path,
+        heap_pool_pages: usize,
+        policy: FsyncPolicy,
+        wrap: impl FnMut(usize) -> Option<DeviceWrap>,
+    ) -> Result<(Self, ShardRecovery), ShardError> {
+        Self::open_durable_impl(dir, wal_root, heap_pool_pages, policy, wrap, true)
+    }
+
+    fn open_durable_impl(
+        dir: &Path,
+        wal_root: &Path,
+        heap_pool_pages: usize,
+        policy: FsyncPolicy,
+        mut wrap: impl FnMut(usize) -> Option<DeviceWrap>,
+        faulted: bool,
+    ) -> Result<(Self, ShardRecovery), ShardError> {
+        let lock = DirLock::acquire(dir)?;
+        let m = read_shard_manifest(dir)?;
+        let bad = |msg: String| ShardError::Config(msg);
+
+        // Shard snapshots. During recovery a shard may legitimately hold
+        // *more* sequences than the manifest maps (its snapshot comes
+        // from a checkpoint the crash interrupted before the manifest
+        // bump); the surplus must be covered by replayed frames, checked
+        // after replay. Fewer is unrecoverable.
+        let mut indexes = Vec::with_capacity(m.shards);
+        for i in 0..m.shards {
+            let shard_dir = dir.join(format!("shard-{i}"));
+            let index = match wrap(i) {
+                None => SeqIndex::open(&shard_dir, heap_pool_pages)?,
+                Some(w) => SeqIndex::open_with(&shard_dir, heap_pool_pages, w)?,
+            };
+            indexes.push(index);
+        }
+        let mut map = ShardMap::from_assignment(m.shards, &m.assignment);
+        for (i, idx) in indexes.iter().enumerate() {
+            if idx.len() < map.globals_of(i).len() {
+                return Err(bad(format!(
+                    "shard {i} holds {} sequences but the manifest maps {}",
+                    idx.len(),
+                    map.globals_of(i).len()
+                )));
+            }
+        }
+
+        // Per-shard logs, all reconciled against the manifest's epoch —
+        // the authority; a shard snapshot stamped epoch+1 is a
+        // half-finished checkpoint whose WAL still holds the frames.
+        let mut recovery = ShardRecovery {
+            epoch: m.epoch,
+            ..Default::default()
+        };
+        let mut wals = Vec::with_capacity(m.shards);
+        let mut merged: Vec<(usize, WalOp)> = Vec::new();
+        for i in 0..m.shards {
+            let (wal, ops, report) =
+                Wal::open(&wal_root.join(format!("shard-{i}")), policy, m.epoch)?;
+            recovery.truncated_bytes += report.truncated_bytes;
+            recovery.stale_frames += report.stale_frames;
+            merged.extend(ops.into_iter().map(|op| (i, op)));
+            wals.push(Arc::new(wal));
+        }
+        merged.sort_by_key(|(_, op)| op.lsn());
+
+        // Replay in global LSN order, stopping at the first gap.
+        let mut expected = m.next_lsn;
+        let mut replayed = 0usize;
+        'replay: for (shard, op) in &merged {
+            if op.lsn() < expected {
+                // Absorbed by a newer snapshot of this very directory.
+                recovery.stale_frames += 1;
+                continue;
+            }
+            if op.lsn() > expected {
+                break; // gap: the prefix ends here
+            }
+            let s = *shard;
+            match op {
+                WalOp::Insert {
+                    global,
+                    local,
+                    values,
+                    ..
+                } => {
+                    let (g, l) = (*global as usize, *local as usize);
+                    if g > map.len() || l > indexes[s].len() {
+                        break 'replay;
+                    }
+                    if l == indexes[s].len() {
+                        indexes[s]
+                            .insert_series(&TimeSeries::new(values.clone()))
+                            .map_err(ShardError::from)?;
+                    }
+                    if g == map.len() {
+                        let (pg, pl) = map.push(s);
+                        if (pg, pl) != (g, l) {
+                            return Err(bad(format!(
+                                "wal frame for global {g} (shard {s}, local {l}) does not \
+                                 extend the manifest mapping (next is {pg}/{pl})"
+                            )));
+                        }
+                    } else if map.locate(g) != Some((s, l)) {
+                        return Err(bad(format!(
+                            "wal frame for global {g} contradicts the manifest mapping"
+                        )));
+                    }
+                }
+                WalOp::Delete { global, local, .. } => {
+                    let (g, l) = (*global as usize, *local as usize);
+                    if g >= map.len() {
+                        break 'replay;
+                    }
+                    // Idempotent: Ok(false) when the snapshot already
+                    // carries the tombstone.
+                    indexes[s].delete_series(l).map_err(ShardError::from)?;
+                }
+            }
+            expected += 1;
+            replayed += 1;
+        }
+        recovery.replayed = replayed;
+        recovery.dropped = merged.iter().filter(|(_, op)| op.lsn() >= expected).count();
+
+        // After replay every surplus snapshot sequence must be mapped.
+        for (i, idx) in indexes.iter().enumerate() {
+            if idx.len() != map.globals_of(i).len() {
+                return Err(bad(format!(
+                    "shard {i} holds {} sequences but manifest+wal map {} — \
+                     the log does not belong to this index",
+                    idx.len(),
+                    map.globals_of(i).len()
+                )));
+            }
+        }
+
+        let sharded = Self {
+            shards: indexes.into_iter().map(SharedIndex::new).collect(),
+            map: RwLock::new(map),
+            insert_gate: Mutex::new(()),
+            partitioner: Partitioner::new(m.kind, m.shards),
+            kind: m.kind,
+            seq_len: m.seq_len,
+            epoch: AtomicU64::new(m.epoch),
+            next_lsn: AtomicU64::new(expected),
+            wals: Some(wals),
+            durable_dir: Some(dir.to_path_buf()),
+            _dir_lock: Some(lock),
+        };
+        if recovery.dropped > 0 && !faulted {
+            // Dropped frames would collide with the LSNs of future
+            // appends; fold the recovered prefix into a fresh epoch,
+            // which resets every shard log.
+            sharded.checkpoint()?;
+        }
+        Ok((sharded, recovery))
+    }
+
+    /// Whether this index logs mutations to per-shard WALs.
+    pub fn is_durable(&self) -> bool {
+        self.wals.is_some()
+    }
+
+    /// Current checkpoint epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate WAL counters across shards, when durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        let wals = self.wals.as_ref()?;
+        Some(wals.iter().fold(WalStats::default(), |acc, w| {
+            let s = w.stats();
+            WalStats {
+                appends: acc.appends + s.appends,
+                fsyncs: acc.fsyncs + s.fsyncs,
+                replayed: acc.replayed + s.replayed,
+                truncated_bytes: acc.truncated_bytes + s.truncated_bytes,
+            }
+        }))
+    }
+
+    /// Forces every shard log to stable storage (the `SYNC` op).
+    /// `Ok(false)` when the index has no WALs.
+    pub fn sync_wal(&self) -> Result<bool, ShardError> {
+        let Some(wals) = &self.wals else {
+            return Ok(false);
+        };
+        for w in wals {
+            w.sync()?;
+        }
+        Ok(true)
+    }
+
+    /// Checkpoints a durable index: quiesces all mutations (insert gate +
+    /// every shard's write guard), syncs the logs, saves every shard
+    /// atomically stamped with the next epoch, commits the epoch in
+    /// `sharding.txt` (the atomic commit point), then resets every shard
+    /// log. Returns the new epoch, or `None` for a non-durable index.
+    ///
+    /// A crash before the manifest commit leaves epoch-N snapshots-plus-
+    /// logs (replayed idempotently); a crash after it leaves stale
+    /// epoch-N logs under an epoch-N+1 manifest (discarded at open).
+    pub fn checkpoint(&self) -> Result<Option<u64>, ShardError> {
+        let (Some(wals), Some(dir)) = (&self.wals, &self.durable_dir) else {
+            return Ok(None);
+        };
+        let _gate = self.insert_gate.lock();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
+        for w in wals {
+            w.sync()?;
+        }
+        let new_epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        std::fs::create_dir_all(dir)?;
+        for (i, g) in guards.iter().enumerate() {
+            g.save_with_epoch(&dir.join(format!("shard-{i}")), new_epoch)?;
+        }
+        self.write_manifest(dir, new_epoch)?;
+        for w in wals {
+            w.install_epoch(new_epoch)?;
+        }
+        self.epoch.store(new_epoch, Ordering::Relaxed);
+        Ok(Some(new_epoch))
+    }
+}
+
+/// Parsed `sharding.txt`.
+struct ShardManifest {
+    shards: usize,
+    kind: PartitionerKind,
+    seq_len: usize,
+    assignment: Vec<usize>,
+    epoch: u64,
+    next_lsn: u64,
+}
+
+fn read_shard_manifest(dir: &Path) -> std::io::Result<ShardManifest> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let meta = std::fs::read_to_string(dir.join("sharding.txt"))?;
+    let mut lines = meta.lines();
+    if lines.next() != Some("simshard v1") {
+        return Err(bad("not a simshard directory".into()));
+    }
+    let mut m = ShardManifest {
+        shards: 0,
+        kind: PartitionerKind::Hash,
+        seq_len: 0,
+        assignment: Vec::new(),
+        // Pre-durability manifests carry neither line; they are at the
+        // initial epoch with no LSNs ever allocated.
+        epoch: 1,
+        next_lsn: 1,
+    };
+    for line in lines {
+        match line.split_once(' ') {
+            Some(("shards", v)) => {
+                m.shards = v
+                    .trim()
+                    .parse()
+                    .map_err(|e| bad(format!("bad shards: {e}")))?;
+            }
+            Some(("partitioner", v)) => {
+                m.kind = v.trim().parse().map_err(bad)?;
+            }
+            Some(("seq_len", v)) => {
+                m.seq_len = v
+                    .trim()
+                    .parse()
+                    .map_err(|e| bad(format!("bad seq_len: {e}")))?;
+            }
+            Some(("epoch", v)) => {
+                m.epoch = v
+                    .trim()
+                    .parse()
+                    .map_err(|e| bad(format!("bad epoch: {e}")))?;
+            }
+            Some(("next_lsn", v)) => {
+                m.next_lsn = v
+                    .trim()
+                    .parse()
+                    .map_err(|e| bad(format!("bad next_lsn: {e}")))?;
+            }
+            Some(("assignment", v)) if !v.trim().is_empty() => {
+                m.assignment = v
+                    .trim()
+                    .split(',')
+                    .map(|s| s.parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| bad(format!("bad assignment entry: {e}")))?;
+            }
+            _ => {}
+        }
+    }
+    if m.shards == 0 || m.shards > crate::cfg::MAX_SHARDS {
+        return Err(bad(format!("shard count {} out of range", m.shards)));
+    }
+    if m.assignment.iter().any(|&s| s >= m.shards) {
+        return Err(bad("assignment references a missing shard".into()));
+    }
+    Ok(m)
 }
 
 #[cfg(test)]

@@ -1,0 +1,251 @@
+//! Logical WAL operations and their wire encoding.
+//!
+//! Each frame is `[len u32 LE][crc32 u32 LE][payload]`; the CRC covers the
+//! payload only. Payloads:
+//!
+//! ```text
+//! insert: [tag=1][lsn u64][global u64][local u64][count u32][count × f64]
+//! delete: [tag=2][lsn u64][global u64][local u64]
+//! ```
+//!
+//! Every frame carries an **LSN** — a log sequence number that is globally
+//! monotone across all shards of one index (allocated from a single
+//! counter under the mutation guard). Single-index logs replay in file
+//! order; sharded recovery merges all per-shard logs by LSN and stops at
+//! the first gap, which restores exactly the acknowledged prefix of the
+//! mutation schedule. `global`/`local` are the global ordinal and the
+//! shard-local ordinal of the affected sequence (equal for single-index
+//! deployments, where the shard is the index).
+
+use crate::crc32::crc32;
+
+/// Hard ceiling on one frame's payload (16 MiB ≈ a two-million-point
+/// series). A length prefix above this is treated as a torn tail, not an
+/// allocation request — it bounds what a corrupt length byte can make
+/// [`decode_frames`] try to read.
+pub const MAX_PAYLOAD: u32 = 16 << 20;
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+/// One logged mutation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalOp {
+    /// A sequence was appended to the index.
+    Insert {
+        /// Globally monotone log sequence number.
+        lsn: u64,
+        /// Global ordinal the insert was acknowledged with.
+        global: u64,
+        /// Ordinal inside the owning shard (== `global` when unsharded).
+        local: u64,
+        /// The raw series values, so replay can re-run the insert.
+        values: Vec<f64>,
+    },
+    /// A sequence was tombstoned.
+    Delete {
+        /// Globally monotone log sequence number.
+        lsn: u64,
+        /// Global ordinal that was deleted.
+        global: u64,
+        /// Ordinal inside the owning shard (== `global` when unsharded).
+        local: u64,
+    },
+}
+
+impl WalOp {
+    /// The frame's log sequence number.
+    pub fn lsn(&self) -> u64 {
+        match self {
+            Self::Insert { lsn, .. } | Self::Delete { lsn, .. } => *lsn,
+        }
+    }
+}
+
+/// Encodes `op` as a complete frame (length prefix + CRC + payload).
+pub fn encode_frame(op: &WalOp) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match op {
+        WalOp::Insert {
+            lsn,
+            global,
+            local,
+            values,
+        } => {
+            payload.push(TAG_INSERT);
+            payload.extend_from_slice(&lsn.to_le_bytes());
+            payload.extend_from_slice(&global.to_le_bytes());
+            payload.extend_from_slice(&local.to_le_bytes());
+            payload.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            for v in values {
+                payload.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        WalOp::Delete { lsn, global, local } => {
+            payload.push(TAG_DELETE);
+            payload.extend_from_slice(&lsn.to_le_bytes());
+            payload.extend_from_slice(&global.to_le_bytes());
+            payload.extend_from_slice(&local.to_le_bytes());
+        }
+    }
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn read_u64(payload: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(
+        payload.get(at..at + 8)?.try_into().ok()?,
+    ))
+}
+
+/// Decodes one payload (past the length/CRC header). `None` means the
+/// payload is malformed — callers treat that exactly like a CRC failure.
+fn decode_payload(payload: &[u8]) -> Option<WalOp> {
+    let tag = *payload.first()?;
+    let lsn = read_u64(payload, 1)?;
+    let global = read_u64(payload, 9)?;
+    let local = read_u64(payload, 17)?;
+    match tag {
+        TAG_INSERT => {
+            let count = u32::from_le_bytes(payload.get(25..29)?.try_into().ok()?) as usize;
+            let bytes = payload.get(29..)?;
+            if bytes.len() != count * 8 {
+                return None;
+            }
+            let values = bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+                .collect();
+            Some(WalOp::Insert {
+                lsn,
+                global,
+                local,
+                values,
+            })
+        }
+        TAG_DELETE if payload.len() == 25 => Some(WalOp::Delete { lsn, global, local }),
+        _ => None,
+    }
+}
+
+/// Walks a buffer of concatenated frames, returning every intact frame and
+/// the byte offset where the intact prefix ends. Anything after that
+/// offset — a short header, a length overrunning the buffer, a CRC
+/// mismatch, an undecodable payload — is the torn tail a crash mid-append
+/// leaves behind; the caller truncates the file there.
+pub fn decode_frames(buf: &[u8]) -> (Vec<WalOp>, usize) {
+    let mut ops = Vec::new();
+    let mut at = 0usize;
+    while buf.len() - at >= 8 {
+        let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            break;
+        }
+        let (start, end) = (at + 8, at + 8 + len as usize);
+        if end > buf.len() {
+            break;
+        }
+        let payload = &buf[start..end];
+        if crc32(payload) != crc {
+            break;
+        }
+        match decode_payload(payload) {
+            Some(op) => ops.push(op),
+            None => break,
+        }
+        at = end;
+    }
+    (ops, at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Insert {
+                lsn: 1,
+                global: 7,
+                local: 3,
+                values: vec![0.25, -1.5, f64::MIN_POSITIVE, 1e300],
+            },
+            WalOp::Delete {
+                lsn: 2,
+                global: 4,
+                local: 1,
+            },
+            WalOp::Insert {
+                lsn: 3,
+                global: 8,
+                local: 4,
+                values: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        for op in &ops {
+            buf.extend_from_slice(&encode_frame(op));
+        }
+        let (back, consumed) = decode_frames(&buf);
+        assert_eq!(back, ops);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn every_cut_is_a_prefix() {
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for op in &ops {
+            buf.extend_from_slice(&encode_frame(op));
+            boundaries.push(buf.len());
+        }
+        for cut in 0..=buf.len() {
+            let (back, consumed) = decode_frames(&buf[..cut]);
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(back.len(), whole, "cut at {cut}");
+            assert_eq!(back.as_slice(), &ops[..whole], "cut at {cut}");
+            assert_eq!(consumed, boundaries[whole], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_stops_decode() {
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        for op in &ops {
+            buf.extend_from_slice(&encode_frame(op));
+        }
+        let first = encode_frame(&ops[0]).len();
+        // Flip a payload byte of the second frame: frame 1 survives,
+        // frames 2..N are dropped.
+        buf[first + 12] ^= 0x40;
+        let (back, consumed) = decode_frames(&buf);
+        assert_eq!(back.as_slice(), &ops[..1]);
+        assert_eq!(consumed, first);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_a_torn_tail() {
+        let mut buf = encode_frame(&WalOp::Delete {
+            lsn: 9,
+            global: 0,
+            local: 0,
+        });
+        let keep = buf.len();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]);
+        let (back, consumed) = decode_frames(&buf);
+        assert_eq!(back.len(), 1);
+        assert_eq!(consumed, keep);
+    }
+}

@@ -1,0 +1,542 @@
+//! The write-ahead log proper: an epoch-stamped append-only frame file
+//! plus the `MANIFEST` that records which checkpoint epoch the log
+//! belongs to. See the crate docs for the recovery/checkpoint protocol.
+
+use crate::frame::{decode_frames, encode_frame, WalOp};
+use crate::lock::DirLock;
+use crate::{atomic_write, sync_dir, WalError};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Name of the frame file inside a WAL directory.
+pub const LOG_FILE: &str = "wal.log";
+/// Name of the epoch manifest inside a WAL directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+const MAGIC: &[u8; 8] = b"SIMWALOG";
+/// Length of the log-file header (magic + epoch).
+pub const HEADER_LEN: u64 = 16;
+
+/// When appended frames are forced to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Every append fsyncs before returning — no acknowledged mutation is
+    /// ever lost, at one `fdatasync` per mutation.
+    Always,
+    /// Fsync once every `n` appends. A crash loses at most the last
+    /// `n - 1` acknowledged mutations (still recovering to an exact
+    /// prefix — the window bounds *how much* tail, never correctness).
+    EveryN(u32),
+    /// Never fsync from the append path; durability rides on the OS page
+    /// cache and explicit [`Wal::sync`] / checkpoint calls.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never`, or a decimal `n` (meaning `EveryN(n)`;
+    /// `0` and `1` both mean `Always`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(Self::Always),
+            "never" => Some(Self::Never),
+            _ => match s.parse::<u32>() {
+                Ok(0) | Ok(1) => Some(Self::Always),
+                Ok(n) => Some(Self::EveryN(n)),
+                Err(_) => None,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Always => write!(f, "always"),
+            Self::EveryN(n) => write!(f, "every{n}"),
+            Self::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// What [`Wal::open`] did to bring the log to a clean state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Epoch the log is now at.
+    pub epoch: u64,
+    /// Intact frames handed back for replay.
+    pub frames: usize,
+    /// Bytes of torn tail truncated from the end of the log.
+    pub truncated_bytes: u64,
+    /// Frames discarded because the log's epoch predated the snapshot —
+    /// their effects are already inside the checkpoint that superseded
+    /// them.
+    pub stale_frames: usize,
+}
+
+/// Monotone counters for the `STATS` surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Frames appended since open.
+    pub appends: u64,
+    /// Fsyncs issued (append-path, explicit, and epoch installs).
+    pub fsyncs: u64,
+    /// Frames replayed at open.
+    pub replayed: u64,
+    /// Torn-tail bytes truncated at open.
+    pub truncated_bytes: u64,
+}
+
+struct Inner {
+    file: File,
+    epoch: u64,
+    since_sync: u32,
+}
+
+/// An open write-ahead log: exclusive owner of its directory (advisory
+/// lock held for the struct's lifetime), safe to share behind an `Arc`
+/// and append from any thread.
+pub struct Wal {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    inner: Mutex<Inner>,
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    replayed: u64,
+    truncated: u64,
+    _lock: DirLock,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+fn header_bytes(epoch: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..].copy_from_slice(&epoch.to_le_bytes());
+    h
+}
+
+fn write_manifest(dir: &Path, epoch: u64) -> Result<(), WalError> {
+    atomic_write(
+        &dir.join(MANIFEST_FILE),
+        format!("simwal v1\nepoch {epoch}\n").as_bytes(),
+    )?;
+    Ok(())
+}
+
+fn read_manifest(dir: &Path) -> Result<Option<u64>, WalError> {
+    let text = match fs::read_to_string(dir.join(MANIFEST_FILE)) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some("simwal v1") {
+        return Err(WalError::Corrupt(
+            "manifest header is not `simwal v1`".into(),
+        ));
+    }
+    match lines.next().and_then(|l| l.strip_prefix("epoch ")) {
+        Some(n) => n
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| WalError::Corrupt("manifest epoch is not a number".into())),
+        None => Err(WalError::Corrupt("manifest has no epoch line".into())),
+    }
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL in `dir`, reconciling it against the
+    /// paired snapshot's `snapshot_epoch`, and returns the log handle plus
+    /// every intact frame of the current epoch for the caller to replay.
+    ///
+    /// Reconciliation, in order:
+    /// - manifest epoch **ahead of** the snapshot → [`WalError::EpochMismatch`]
+    ///   (this log belongs to some other index);
+    /// - manifest epoch **behind** the snapshot → the crash hit between
+    ///   snapshot install and manifest bump; the manifest is re-bumped and
+    ///   the old-epoch log discarded (the snapshot already contains it);
+    /// - log header epoch behind the manifest → same discard;
+    /// - otherwise the frame body is scanned, the torn tail (if any)
+    ///   physically truncated, and the intact frames returned.
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+        snapshot_epoch: u64,
+    ) -> Result<(Self, Vec<WalOp>, ReplayReport), WalError> {
+        let lock = DirLock::acquire(dir)?;
+        let manifest = read_manifest(dir)?;
+        let epoch = match manifest {
+            Some(m) if m > snapshot_epoch => {
+                return Err(WalError::EpochMismatch {
+                    wal: m,
+                    snapshot: snapshot_epoch,
+                })
+            }
+            Some(m) if m == snapshot_epoch => m,
+            _ => {
+                // Missing or behind: (re)install the snapshot's epoch.
+                write_manifest(dir, snapshot_epoch)?;
+                snapshot_epoch
+            }
+        };
+
+        let log_path = dir.join(LOG_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&log_path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+
+        let mut report = ReplayReport {
+            epoch,
+            ..Default::default()
+        };
+        let mut ops = Vec::new();
+        let fresh = |file: &mut File| -> Result<(), WalError> {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header_bytes(epoch))?;
+            file.sync_all()?;
+            Ok(())
+        };
+        if buf.len() >= 8 && &buf[..8] != MAGIC {
+            return Err(WalError::Corrupt(format!(
+                "{} does not start with the SIMWALOG magic",
+                log_path.display()
+            )));
+        }
+        if buf.len() < HEADER_LEN as usize {
+            // Brand-new log, or a crash tore the very first header write.
+            fresh(&mut file)?;
+        } else {
+            let log_epoch = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+            if log_epoch > epoch {
+                return Err(WalError::EpochMismatch {
+                    wal: log_epoch,
+                    snapshot: epoch,
+                });
+            }
+            let (frames, consumed) = decode_frames(&buf[HEADER_LEN as usize..]);
+            if log_epoch < epoch {
+                // Every frame predates the checkpoint that defined
+                // `epoch`; the snapshot already holds their effects.
+                report.stale_frames = frames.len();
+                fresh(&mut file)?;
+            } else {
+                let keep = HEADER_LEN + consumed as u64;
+                let total = buf.len() as u64;
+                if keep < total {
+                    report.truncated_bytes = total - keep;
+                    file.set_len(keep)?;
+                    file.sync_all()?;
+                }
+                report.frames = frames.len();
+                ops = frames;
+            }
+        }
+        file.seek(SeekFrom::End(0))?;
+        sync_dir(dir)?;
+
+        let wal = Self {
+            dir: dir.to_path_buf(),
+            policy,
+            inner: Mutex::new(Inner {
+                file,
+                epoch,
+                since_sync: 0,
+            }),
+            appends: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            replayed: report.frames as u64,
+            truncated: report.truncated_bytes,
+            _lock: lock,
+        };
+        Ok((wal, ops, report))
+    }
+
+    /// Appends one frame, fsyncing according to the policy. The caller
+    /// must have already *applied* the mutation — an op reaches the log
+    /// only after it is true of the in-memory index, so replay order is
+    /// apply order.
+    pub fn append(&self, op: &WalOp) -> Result<(), WalError> {
+        let frame = encode_frame(op);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.file.write_all(&frame)?;
+        inner.since_sync += 1;
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => inner.since_sync >= n,
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            inner.file.sync_data()?;
+            inner.since_sync = 0;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage, regardless of
+    /// policy (the `SYNC` protocol op).
+    pub fn sync(&self) -> Result<(), WalError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.file.sync_data()?;
+        inner.since_sync = 0;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Completes a checkpoint: records `new_epoch` in the manifest, then
+    /// resets the log to an empty file headed by `new_epoch`. The caller
+    /// must have already installed a snapshot stamped with `new_epoch` —
+    /// a crash before this call leaves the old manifest and a log the new
+    /// snapshot supersedes, which [`Wal::open`] discards; a crash between
+    /// the manifest bump and the log reset leaves a stale-epoch log,
+    /// discarded the same way.
+    pub fn install_epoch(&self, new_epoch: u64) -> Result<(), WalError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            new_epoch > inner.epoch,
+            "epoch must advance: {} -> {new_epoch}",
+            inner.epoch
+        );
+        write_manifest(&self.dir, new_epoch)?;
+        inner.file.set_len(0)?;
+        inner.file.seek(SeekFrom::Start(0))?;
+        inner.file.write_all(&header_bytes(new_epoch))?;
+        inner.file.sync_all()?;
+        inner.epoch = new_epoch;
+        inner.since_sync = 0;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The epoch the log is currently at.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).epoch
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The fsync policy the log was opened with.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Counter snapshot for the stats surface.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            replayed: self.replayed,
+            truncated_bytes: self.truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("simwal-log-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ins(lsn: u64) -> WalOp {
+        WalOp::Insert {
+            lsn,
+            global: lsn,
+            local: lsn,
+            values: vec![lsn as f64, -1.0],
+        }
+    }
+
+    #[test]
+    fn append_reopen_replays() {
+        let dir = tmp("roundtrip");
+        let ops: Vec<WalOp> = (0..5).map(ins).collect();
+        {
+            let (wal, replay, report) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            assert!(replay.is_empty());
+            assert_eq!(
+                report,
+                ReplayReport {
+                    epoch: 1,
+                    ..Default::default()
+                }
+            );
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+            assert_eq!(wal.stats().appends, 5);
+            assert_eq!(wal.stats().fsyncs, 5);
+        }
+        let (wal, replay, report) = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        assert_eq!(replay, ops);
+        assert_eq!(report.frames, 5);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(wal.stats().replayed, 5);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp("torn");
+        {
+            let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            wal.append(&ins(0)).unwrap();
+            wal.append(&ins(1)).unwrap();
+        }
+        // Simulate a crash mid-append: chop 3 bytes off the last frame.
+        let log = dir.join(LOG_FILE);
+        let len = fs::metadata(&log).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&log)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let (_wal, replay, report) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(replay, vec![ins(0)]);
+        assert_eq!(report.frames, 1);
+        assert!(report.truncated_bytes > 0);
+        // The truncation is physical: a third open sees a clean log.
+        drop(_wal);
+        let (_wal, replay, report) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(report.truncated_bytes, 0);
+        drop(_wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_epoch_log_is_discarded() {
+        let dir = tmp("stale");
+        {
+            let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            wal.append(&ins(0)).unwrap();
+        }
+        // The snapshot has since checkpointed to epoch 2; the epoch-1
+        // frames are inside it.
+        let (wal, replay, report) = Wal::open(&dir, FsyncPolicy::Always, 2).unwrap();
+        assert!(replay.is_empty());
+        assert_eq!(report.stale_frames, 1);
+        assert_eq!(wal.epoch(), 2);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_from_the_future_is_rejected() {
+        let dir = tmp("future");
+        {
+            let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Always, 5).unwrap();
+            wal.append(&ins(0)).unwrap();
+        }
+        match Wal::open(&dir, FsyncPolicy::Always, 3) {
+            Err(WalError::EpochMismatch {
+                wal: 5,
+                snapshot: 3,
+            }) => {}
+            other => panic!("expected EpochMismatch, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn install_epoch_resets_log() {
+        let dir = tmp("install");
+        {
+            let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            wal.append(&ins(0)).unwrap();
+            wal.install_epoch(2).unwrap();
+            assert_eq!(wal.epoch(), 2);
+            wal.append(&ins(7)).unwrap();
+        }
+        let (wal, replay, report) = Wal::open(&dir, FsyncPolicy::Always, 2).unwrap();
+        assert_eq!(replay, vec![ins(7)]);
+        assert_eq!(report.epoch, 2);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_manifest_bump() {
+        // The snapshot reached epoch 2 but the manifest still says 1 and
+        // the log still holds epoch-1 frames: open must re-bump the
+        // manifest and discard the absorbed frames.
+        let dir = tmp("halfckpt");
+        {
+            let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            wal.append(&ins(0)).unwrap();
+            wal.append(&ins(1)).unwrap();
+        }
+        let (wal, replay, report) = Wal::open(&dir, FsyncPolicy::Always, 2).unwrap();
+        assert!(replay.is_empty());
+        assert_eq!(report.stale_frames, 2);
+        assert_eq!(report.epoch, 2);
+        drop(wal);
+        // And the manifest was persisted at 2.
+        let (_wal, replay, _) = Wal::open(&dir, FsyncPolicy::Always, 2).unwrap();
+        assert!(replay.is_empty());
+        drop(_wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_n_batches_fsyncs() {
+        let dir = tmp("everyn");
+        let (wal, _, _) = Wal::open(&dir, FsyncPolicy::EveryN(3), 1).unwrap();
+        for i in 0..7 {
+            wal.append(&ins(i)).unwrap();
+        }
+        assert_eq!(wal.stats().appends, 7);
+        assert_eq!(wal.stats().fsyncs, 2); // after frames 3 and 6
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().fsyncs, 3);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_open_is_locked_out() {
+        let dir = tmp("locked");
+        let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        match Wal::open(&dir, FsyncPolicy::Never, 1) {
+            Err(WalError::Locked { .. }) => {}
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_parse() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("1"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("64"), Some(FsyncPolicy::EveryN(64)));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+}

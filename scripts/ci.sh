@@ -3,8 +3,9 @@
 # suite, and formatting. Run from anywhere inside the repo.
 #
 # Stages:
-#   scripts/ci.sh          # tier-1: build + tests + fmt (the default)
-#   scripts/ci.sh chaos    # tier-2: seeded fault-injection suites only
+#   scripts/ci.sh           # tier-1: build + tests + fmt (the default)
+#   scripts/ci.sh chaos     # tier-2: seeded fault-injection suites only
+#   scripts/ci.sh recovery  # tier-2: crash-point WAL recovery suites only
 #
 # The chaos stage replays the fixed seed ranges baked into tests/chaos.rs
 # and crates/serve/tests/chaos_loopback.rs. Every violation panics with
@@ -38,9 +39,34 @@ run_chaos() {
     echo "ci: chaos green"
 }
 
+run_recovery() {
+    echo "== recovery: crash-point WAL suite (every byte offset) =="
+    local log
+    log="$(mktemp)"
+    trap 'rm -f "$log"' RETURN
+    if ! cargo test --offline -p simshard --test recovery -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "recovery: FAILED — offending case(s):"
+        grep -oE "(seed [0-9]+|cut [0-9]+|shard [0-9]+)[^\"]*" "$log" | sort -u | sed 's/^/  /' || true
+        echo "replay: cargo test -p simshard --test recovery -- --nocapture"
+        return 1
+    fi
+    echo "== recovery: durable simserved restart loopback =="
+    if ! cargo test --offline -p simserve --test recovery_loopback -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "recovery: FAILED — see output above"
+        echo "replay: cargo test -p simserve --test recovery_loopback -- --nocapture"
+        return 1
+    fi
+    echo "ci: recovery green"
+}
+
 case "$stage" in
 chaos)
     run_chaos
+    ;;
+recovery)
+    run_recovery
     ;;
 all)
     echo "== cargo build --release =="
@@ -58,7 +84,7 @@ all)
     echo "ci: all green"
     ;;
 *)
-    echo "usage: scripts/ci.sh [chaos]" >&2
+    echo "usage: scripts/ci.sh [chaos|recovery]" >&2
     exit 2
     ;;
 esac

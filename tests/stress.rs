@@ -72,6 +72,10 @@ fn randomized_lifecycle_keeps_engines_truthful() {
             6 => {
                 std::fs::create_dir_all(&persist_dir).unwrap();
                 index.save(&persist_dir).expect("save");
+                // Release the directory's advisory LOCK before reopening
+                // (a reassignment would evaluate `open` first and
+                // self-conflict).
+                drop(index);
                 index = SeqIndex::open(&persist_dir, 64).expect("open");
                 index.validate().unwrap();
             }
