@@ -38,7 +38,7 @@ use crate::report::QueryError;
 use pagestore::sync::RwLock;
 use simwal::{FsyncPolicy, ReplayReport, Wal, WalError, WalOp, WalStats};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
 use tseries::TimeSeries;
 
@@ -62,6 +62,12 @@ pub enum DurableError {
     Wal(WalError),
     /// A snapshot load/save failed.
     Io(std::io::Error),
+    /// An earlier WAL append failed *after* its mutation had applied in
+    /// memory, so the log no longer covers the live state; every further
+    /// mutation (and checkpoint) is refused, because acknowledging one
+    /// would make it unrecoverable. Reopen the index to resume from the
+    /// acknowledged prefix.
+    Poisoned,
 }
 
 impl std::fmt::Display for DurableError {
@@ -70,6 +76,11 @@ impl std::fmt::Display for DurableError {
             Self::Query(e) => write!(f, "{e}"),
             Self::Wal(e) => write!(f, "{e}"),
             Self::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            Self::Poisoned => write!(
+                f,
+                "index poisoned by an earlier wal append failure; \
+                 mutations are rejected until the index is reopened"
+            ),
         }
     }
 }
@@ -80,6 +91,7 @@ impl std::error::Error for DurableError {
             Self::Query(e) => Some(e),
             Self::Wal(e) => Some(e),
             Self::Io(e) => Some(e),
+            Self::Poisoned => None,
         }
     }
 }
@@ -108,6 +120,10 @@ struct Durability {
     wal: Wal,
     index_dir: PathBuf,
     next_lsn: AtomicU64,
+    /// Set when a WAL append failed after its mutation applied: the log
+    /// has a hole the live state depends on, so no later mutation may be
+    /// acknowledged (replay would surface it without its predecessor).
+    poisoned: AtomicBool,
 }
 
 /// A cloneable, thread-safe handle to one [`SeqIndex`].
@@ -228,6 +244,7 @@ impl SharedIndex {
                 wal,
                 index_dir: index_dir.to_path_buf(),
                 next_lsn: AtomicU64::new(max_lsn + 1),
+                poisoned: AtomicBool::new(false),
             })),
         };
         if dropped && !faulted {
@@ -260,15 +277,23 @@ impl SharedIndex {
     /// a WAL this is plain `write().insert_series`.
     pub fn insert_series(&self, ts: &TimeSeries) -> Result<usize, DurableError> {
         let mut guard = self.inner.write();
+        self.check_poisoned()?;
         let ordinal = guard.insert_series(ts)?;
         if let Some(d) = &self.durable {
             let lsn = d.next_lsn.fetch_add(1, Ordering::Relaxed);
-            d.wal.append(&WalOp::Insert {
+            let logged = d.wal.append(&WalOp::Insert {
                 lsn,
                 global: ordinal as u64,
                 local: ordinal as u64,
                 values: ts.values().to_vec(),
-            })?;
+            });
+            if let Err(e) = logged {
+                // The insert is applied in memory but absent from the
+                // log; a later logged mutation would replay on a state
+                // missing this one. Refuse all further mutations.
+                d.poisoned.store(true, Ordering::Release);
+                return Err(e.into());
+            }
         }
         Ok(ordinal)
     }
@@ -277,18 +302,39 @@ impl SharedIndex {
     /// [`Self::insert_series`]); no-op deletes are not logged.
     pub fn delete_series(&self, ordinal: usize) -> Result<bool, DurableError> {
         let mut guard = self.inner.write();
+        self.check_poisoned()?;
         let deleted = guard.delete_series(ordinal)?;
         if deleted {
             if let Some(d) = &self.durable {
                 let lsn = d.next_lsn.fetch_add(1, Ordering::Relaxed);
-                d.wal.append(&WalOp::Delete {
+                let logged = d.wal.append(&WalOp::Delete {
                     lsn,
                     global: ordinal as u64,
                     local: ordinal as u64,
-                })?;
+                });
+                if let Err(e) = logged {
+                    d.poisoned.store(true, Ordering::Release);
+                    return Err(e.into());
+                }
             }
         }
         Ok(deleted)
+    }
+
+    /// Whether an earlier WAL append failure poisoned this handle (see
+    /// [`DurableError::Poisoned`]). Queries still serve; mutations and
+    /// checkpoints are rejected until the index is reopened.
+    pub fn is_poisoned(&self) -> bool {
+        self.durable
+            .as_ref()
+            .is_some_and(|d| d.poisoned.load(Ordering::Acquire))
+    }
+
+    fn check_poisoned(&self) -> Result<(), DurableError> {
+        if self.is_poisoned() {
+            return Err(DurableError::Poisoned);
+        }
+        Ok(())
     }
 
     /// Forces every appended frame to stable storage (the `SYNC` op).
@@ -314,6 +360,10 @@ impl SharedIndex {
             return Ok(None);
         };
         let guard = self.inner.write();
+        // A poisoned handle holds an applied-but-unlogged mutation that
+        // was never acknowledged; folding it into a snapshot would make
+        // the recovered state more than the acknowledged prefix.
+        self.check_poisoned()?;
         d.wal.sync()?;
         let new_epoch = d.wal.epoch() + 1;
         guard.save_with_epoch(&d.index_dir, new_epoch)?;
@@ -378,6 +428,65 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn wal_append_failure_poisons_the_handle() {
+        let root = std::env::temp_dir()
+            .join("simquery-shared-tests")
+            .join(format!("poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let c = Corpus::generate(CorpusKind::SyntheticWalks, 10, 64, 7);
+        SeqIndex::build(&c, IndexConfig::default())
+            .unwrap()
+            .save(&root.join("idx"))
+            .unwrap();
+        let extra = Corpus::generate(CorpusKind::SyntheticWalks, 3, 64, 8);
+        let (shared, _) = SharedIndex::open_durable(
+            &root.join("idx"),
+            &root.join("wal"),
+            16,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        shared.insert_series(&extra.series()[0]).unwrap();
+        shared.durable.as_ref().unwrap().wal.arm_append_fault();
+        let err = shared.insert_series(&extra.series()[1]).unwrap_err();
+        assert!(matches!(err, DurableError::Wal(_)), "{err}");
+        assert!(shared.is_poisoned());
+        assert_eq!(
+            shared.read().len(),
+            12,
+            "the failed insert stays applied in memory"
+        );
+        // Applied-but-unlogged: acknowledging anything after it would be
+        // unrecoverable, so mutations and checkpoints are refused …
+        assert!(matches!(
+            shared.insert_series(&extra.series()[2]).unwrap_err(),
+            DurableError::Poisoned
+        ));
+        assert!(matches!(
+            shared.delete_series(0).unwrap_err(),
+            DurableError::Poisoned
+        ));
+        assert!(matches!(
+            shared.checkpoint().unwrap_err(),
+            DurableError::Poisoned
+        ));
+        drop(shared);
+        // … and a reopen recovers exactly the acknowledged prefix.
+        let (shared, rep) = SharedIndex::open_durable(
+            &root.join("idx"),
+            &root.join("wal"),
+            16,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        assert_eq!(rep.frames, 1, "only the acknowledged insert replays");
+        assert_eq!(shared.read().len(), 11);
+        shared.insert_series(&extra.series()[2]).unwrap();
+        drop(shared);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -450,13 +450,15 @@ fn io_err(e: pagestore::PageError) -> Response {
 fn durable_err(e: DurableError) -> Response {
     match e {
         DurableError::Query(q) => query_err(q),
-        e @ (DurableError::Wal(_) | DurableError::Io(_)) => err(ErrCode::Io, e.to_string()),
+        e @ (DurableError::Wal(_) | DurableError::Io(_) | DurableError::Poisoned) => {
+            err(ErrCode::Io, e.to_string())
+        }
     }
 }
 
 fn shard_err(e: ShardError) -> Response {
     match e {
-        ShardError::Page(_) | ShardError::Wal(_) | ShardError::Io(_) => {
+        ShardError::Page(_) | ShardError::Wal(_) | ShardError::Io(_) | ShardError::Poisoned => {
             err(ErrCode::Io, e.to_string())
         }
         e => err(ErrCode::Query, e.to_string()),

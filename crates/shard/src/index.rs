@@ -14,6 +14,13 @@
 //! The converse — a shard read observing a local ordinal the reader's map
 //! snapshot predates — is handled by the gather's defensive snapshot
 //! translation (see [`crate::gather`]'s linearization docs).
+//!
+//! On a *durable* index the gate serves a second role: it serialises LSN
+//! allocation with the append+fsync of every mutation — deletes included —
+//! so that when a mutation is acknowledged, every lower LSN is already
+//! durable. Without that, a crash could leave an LSN gap below an
+//! acknowledged frame, and recovery (which stops at the first gap) would
+//! drop the acknowledged mutation.
 
 use crate::cfg::{PartitionerKind, ShardConfig};
 use crate::partition::{Partitioner, ShardMap};
@@ -25,7 +32,7 @@ use simquery::shared::{DurableError, SharedIndex};
 use simwal::{DirLock, FsyncPolicy, Wal, WalError, WalOp, WalStats};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use tseries::{Corpus, TimeSeries};
 
@@ -47,6 +54,10 @@ pub enum ShardError {
     Wal(WalError),
     /// A snapshot load/save failed.
     Io(std::io::Error),
+    /// An earlier WAL append failed after its mutation applied; further
+    /// mutations and checkpoints are refused (see
+    /// [`DurableError::Poisoned`]). Reopen the index to recover.
+    Poisoned,
 }
 
 impl fmt::Display for ShardError {
@@ -60,6 +71,7 @@ impl fmt::Display for ShardError {
             Self::Page(e) => write!(f, "page access failed building shard: {e}"),
             Self::Wal(e) => write!(f, "{e}"),
             Self::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            Self::Poisoned => write!(f, "{}", DurableError::Poisoned),
         }
     }
 }
@@ -108,6 +120,7 @@ impl From<DurableError> for ShardError {
             DurableError::Query(q) => q.into(),
             DurableError::Wal(w) => Self::Wal(w),
             DurableError::Io(io) => Self::Io(io),
+            DurableError::Poisoned => Self::Poisoned,
         }
     }
 }
@@ -150,6 +163,11 @@ pub struct ShardedIndex {
     wals: Option<Vec<Arc<Wal>>>,
     // Where checkpoints go (the directory the index was opened from).
     durable_dir: Option<PathBuf>,
+    // Set when a WAL append failed after its shard mutation applied: the
+    // LSN run has a hole, so acknowledging any later mutation would make
+    // it unrecoverable (recovery stops at the gap). Mutations and
+    // checkpoints are refused until the index is reopened.
+    poisoned: AtomicBool,
     // Advisory lock on the index directory, held while open.
     _dir_lock: Option<DirLock>,
 }
@@ -231,6 +249,7 @@ impl ShardedIndex {
             next_lsn: AtomicU64::new(1),
             wals: None,
             durable_dir: None,
+            poisoned: AtomicBool::new(false),
             _dir_lock: None,
         })
     }
@@ -317,6 +336,9 @@ impl ShardedIndex {
     /// shards proceed throughout (see the module docs on locking).
     pub fn insert_series(&self, ts: &TimeSeries) -> Result<usize, DurableError> {
         let _gate = self.insert_gate.lock();
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(DurableError::Poisoned);
+        }
         let (global, shard) = {
             let map = self.map.read();
             let g = map.len();
@@ -334,14 +356,26 @@ impl ShardedIndex {
         let local = guard.insert_series(ts).map_err(DurableError::Query)?;
         if let Some(wals) = &self.wals {
             let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
-            wals[shard]
-                .append(&WalOp::Insert {
-                    lsn,
-                    global: global as u64,
-                    local: local as u64,
-                    values: ts.values().to_vec(),
-                })
-                .map_err(DurableError::Wal)?;
+            let logged = wals[shard].append(&WalOp::Insert {
+                lsn,
+                global: global as u64,
+                local: local as u64,
+                values: ts.values().to_vec(),
+            });
+            if let Err(e) = logged {
+                // The insert is applied in the shard but missing from the
+                // log, and its LSN is burnt. Record the mapping anyway so
+                // the shard and the global map never diverge (reads,
+                // save() and the manifest stay coherent), and poison the
+                // index: acknowledging any later LSN would lose it at the
+                // gap during recovery.
+                drop(guard);
+                self.poisoned.store(true, Ordering::Release);
+                let mut map = self.map.write();
+                let (g, l) = map.push(shard);
+                debug_assert_eq!((g, l), (global, local), "gate must serialise ordinals");
+                return Err(DurableError::Wal(e));
+            }
         }
         drop(guard);
         let mut map = self.map.write();
@@ -353,7 +387,18 @@ impl ShardedIndex {
     /// Tombstones a global ordinal. `Ok(false)` when out of range or
     /// already deleted. Write-locks only the owning shard; on a durable
     /// index an effective delete is logged before this returns.
+    ///
+    /// On a durable index the delete also holds the insert gate: LSN
+    /// allocation and append+fsync must be serialised *across shards* for
+    /// every mutation kind, or a delete's LSN n+1 could be durable and
+    /// acknowledged while an insert's LSN n on a sibling shard is not —
+    /// after a crash, recovery stops at the gap and drops the
+    /// acknowledged delete, violating the `FsyncPolicy::Always` contract.
     pub fn delete_series(&self, global: usize) -> Result<bool, DurableError> {
+        let _gate = self.wals.is_some().then(|| self.insert_gate.lock());
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(DurableError::Poisoned);
+        }
         let Some((shard, local)) = self.locate(global) else {
             return Ok(false);
         };
@@ -362,13 +407,19 @@ impl ShardedIndex {
         if deleted {
             if let Some(wals) = &self.wals {
                 let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
-                wals[shard]
-                    .append(&WalOp::Delete {
-                        lsn,
-                        global: global as u64,
-                        local: local as u64,
-                    })
-                    .map_err(DurableError::Wal)?;
+                let logged = wals[shard].append(&WalOp::Delete {
+                    lsn,
+                    global: global as u64,
+                    local: local as u64,
+                });
+                if let Err(e) = logged {
+                    // Applied-but-unlogged, LSN burnt: same hole as a
+                    // failed insert append (the map needs no repair —
+                    // deletes are tombstones).
+                    drop(guard);
+                    self.poisoned.store(true, Ordering::Release);
+                    return Err(DurableError::Wal(e));
+                }
             }
         }
         Ok(deleted)
@@ -420,12 +471,19 @@ impl ShardedIndex {
     /// replaced atomically (temp file + `rename`), and each shard's save
     /// is itself crash-atomic, so an interrupted save never destroys the
     /// previous good state.
+    ///
+    /// Mutations are quiesced for the duration (insert gate + every
+    /// shard's read guard, taken up front): a concurrent insert landing
+    /// between one shard's save and the manifest write would otherwise
+    /// persist a snapshot whose assignment/`next_lsn` disagree with the
+    /// shard contents — a state [`Self::open`] rejects.
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let _gate = self.insert_gate.lock();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let epoch = self.epoch.load(Ordering::Relaxed);
         std::fs::create_dir_all(dir)?;
-        for (i, s) in self.shards.iter().enumerate() {
-            s.read()
-                .save_with_epoch(&dir.join(format!("shard-{i}")), epoch)?;
+        for (i, g) in guards.iter().enumerate() {
+            g.save_with_epoch(&dir.join(format!("shard-{i}")), epoch)?;
         }
         self.write_manifest(dir, epoch)
     }
@@ -531,6 +589,7 @@ impl ShardedIndex {
             next_lsn: AtomicU64::new(m.next_lsn),
             wals: None,
             durable_dir: None,
+            poisoned: AtomicBool::new(false),
             _dir_lock: lock,
         })
     }
@@ -711,6 +770,7 @@ impl ShardedIndex {
             next_lsn: AtomicU64::new(expected),
             wals: Some(wals),
             durable_dir: Some(dir.to_path_buf()),
+            poisoned: AtomicBool::new(false),
             _dir_lock: Some(lock),
         };
         if recovery.dropped > 0 && !faulted {
@@ -725,6 +785,13 @@ impl ShardedIndex {
     /// Whether this index logs mutations to per-shard WALs.
     pub fn is_durable(&self) -> bool {
         self.wals.is_some()
+    }
+
+    /// Whether an earlier WAL append failure poisoned this index (see
+    /// [`ShardError::Poisoned`]). Queries still serve; mutations and
+    /// checkpoints are rejected until the index is reopened.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// Current checkpoint epoch.
@@ -772,6 +839,12 @@ impl ShardedIndex {
             return Ok(None);
         };
         let _gate = self.insert_gate.lock();
+        // A poisoned index holds an applied-but-unlogged mutation that
+        // was never acknowledged; folding it into a snapshot would make
+        // the recovered state more than the acknowledged prefix.
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(ShardError::Poisoned);
+        }
         let guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
         for w in wals {
             w.sync()?;
@@ -1002,6 +1075,85 @@ mod tests {
         let err = ShardedIndex::open(&dir, 16).unwrap_err();
         assert!(err.to_string().contains("seq_len"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_append_failure_poisons_but_keeps_map_consistent() {
+        let root = std::env::temp_dir()
+            .join("simshard-tests")
+            .join(format!("poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let idx_dir = root.join("idx");
+        let wal_dir = root.join("wal");
+        sharded(20, 2).save(&idx_dir).unwrap();
+        let (s, _) =
+            ShardedIndex::open_durable(&idx_dir, &wal_dir, 16, FsyncPolicy::Always).unwrap();
+        let extra = corpus(30);
+        s.insert_series(&extra.series()[20]).unwrap();
+        for w in s.wals.as_ref().unwrap() {
+            w.arm_append_fault();
+        }
+        let err = s.insert_series(&extra.series()[21]).unwrap_err();
+        assert!(matches!(err, DurableError::Wal(_)), "{err}");
+        assert!(s.is_poisoned());
+        // The failed insert stays applied *and mapped*, so every shard
+        // still agrees with the global map …
+        assert_eq!(s.len(), 22);
+        let snapshot = s.map_snapshot();
+        for (i, sh) in s.shards().iter().enumerate() {
+            assert_eq!(sh.read().len(), snapshot.globals_of(i).len());
+        }
+        // … and every further mutation/checkpoint is refused, so no LSN
+        // above the hole can ever be acknowledged.
+        assert!(matches!(
+            s.insert_series(&extra.series()[22]).unwrap_err(),
+            DurableError::Poisoned
+        ));
+        assert!(matches!(
+            s.delete_series(0).unwrap_err(),
+            DurableError::Poisoned
+        ));
+        assert!(matches!(s.checkpoint().unwrap_err(), ShardError::Poisoned));
+        drop(s);
+        // A reopen recovers exactly the acknowledged prefix and resumes.
+        let (s, rep) =
+            ShardedIndex::open_durable(&idx_dir, &wal_dir, 16, FsyncPolicy::Always).unwrap();
+        assert_eq!(rep.replayed, 1, "only the acknowledged insert replays");
+        assert_eq!(
+            rep.dropped, 0,
+            "the torn frame was rewound, not left behind"
+        );
+        assert_eq!(s.len(), 21);
+        s.insert_series(&extra.series()[21]).unwrap();
+        drop(s);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn save_quiesces_concurrent_inserts() {
+        let root = std::env::temp_dir()
+            .join("simshard-tests")
+            .join(format!("save-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let s = sharded(24, 4);
+        let extra = corpus(64);
+        std::thread::scope(|scope| {
+            let (s, extra) = (&s, &extra);
+            scope.spawn(move || {
+                for i in 24..64 {
+                    s.insert_series(&extra.series()[i]).unwrap();
+                }
+            });
+            for round in 0..8 {
+                let dir = root.join(format!("snap-{round}"));
+                s.save(&dir).unwrap();
+                // Every snapshot must be internally consistent: open
+                // rejects a manifest that disagrees with shard contents,
+                // which an insert racing the shard saves would produce.
+                ShardedIndex::open(&dir, 16).unwrap();
+            }
+        });
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -73,6 +73,16 @@ pub enum WalError {
         /// Epoch the paired snapshot expects.
         snapshot: u64,
     },
+    /// An earlier append or fsync failed in a way that left the log tail
+    /// in an unknown state (the rewind to the last good frame itself
+    /// failed, or an fsync error made the page cache untrustworthy).
+    /// Every further append is refused: acknowledging a mutation after
+    /// the torn region would be acked-but-unrecoverable, because replay
+    /// truncates at the first bad frame.
+    Poisoned {
+        /// Directory of the poisoned log.
+        dir: PathBuf,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -87,6 +97,12 @@ impl fmt::Display for WalError {
                 f,
                 "wal epoch {wal} is ahead of snapshot epoch {snapshot}: \
                  log and index directories do not belong together"
+            ),
+            Self::Poisoned { dir } => write!(
+                f,
+                "wal at {} is poisoned by an earlier append/fsync failure; \
+                 reopen to recover the acknowledged prefix",
+                dir.display()
             ),
         }
     }

@@ -8,7 +8,7 @@ use crate::{atomic_write, sync_dir, WalError};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Name of the frame file inside a WAL directory.
@@ -93,6 +93,15 @@ struct Inner {
     file: File,
     epoch: u64,
     since_sync: u32,
+    /// File length after the last fully-written frame (or the header).
+    /// A failed append rewinds here so its torn bytes can never sit in
+    /// front of later frames — replay truncates at the first bad frame,
+    /// which would silently discard every acknowledged successor.
+    good_len: u64,
+    /// Set when the tail state became unknowable (a rewind failed, or an
+    /// fsync error made the page cache untrustworthy). All further
+    /// appends/syncs fail with [`WalError::Poisoned`].
+    poisoned: bool,
 }
 
 /// An open write-ahead log: exclusive owner of its directory (advisory
@@ -106,6 +115,8 @@ pub struct Wal {
     fsyncs: AtomicU64,
     replayed: u64,
     truncated: u64,
+    // One-shot injected append fault (see `arm_append_fault`).
+    fail_next_append: AtomicBool,
     _lock: DirLock,
 }
 
@@ -248,7 +259,7 @@ impl Wal {
                 ops = frames;
             }
         }
-        file.seek(SeekFrom::End(0))?;
+        let good_len = file.seek(SeekFrom::End(0))?;
         sync_dir(dir)?;
 
         let wal = Self {
@@ -258,11 +269,14 @@ impl Wal {
                 file,
                 epoch,
                 since_sync: 0,
+                good_len,
+                poisoned: false,
             }),
             appends: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
             replayed: report.frames as u64,
             truncated: report.truncated_bytes,
+            fail_next_append: AtomicBool::new(false),
             _lock: lock,
         };
         Ok((wal, ops, report))
@@ -275,7 +289,31 @@ impl Wal {
     pub fn append(&self, op: &WalOp) -> Result<(), WalError> {
         let frame = encode_frame(op);
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.file.write_all(&frame)?;
+        if inner.poisoned {
+            return Err(WalError::Poisoned {
+                dir: self.dir.clone(),
+            });
+        }
+        let wrote = if self.fail_next_append.swap(false, Ordering::Relaxed) {
+            // Injected torn write: half the frame reaches the file, then
+            // the device "fails" — what a full disk mid-append does.
+            let _ = inner.file.write_all(&frame[..frame.len() / 2]);
+            Err(std::io::Error::other("injected wal append fault"))
+        } else {
+            inner.file.write_all(&frame)
+        };
+        if let Err(e) = wrote {
+            // The file may now end in a torn prefix of this frame. Rewind
+            // to the last good frame so the failed (never-acknowledged)
+            // append cannot sit in front of frames appended later; if the
+            // rewind itself fails, poison the log so later mutations fail
+            // instead of being acked-but-unrecoverable.
+            let good = inner.good_len;
+            let rewound =
+                inner.file.set_len(good).is_ok() && inner.file.seek(SeekFrom::Start(good)).is_ok();
+            inner.poisoned = !rewound;
+            return Err(e.into());
+        }
         inner.since_sync += 1;
         let due = match self.policy {
             FsyncPolicy::Always => true,
@@ -283,10 +321,16 @@ impl Wal {
             FsyncPolicy::Never => false,
         };
         if due {
-            inner.file.sync_data()?;
+            if let Err(e) = inner.file.sync_data() {
+                // After a failed fsync the kernel may have dropped the
+                // dirty tail; nothing past good_len can be trusted.
+                inner.poisoned = true;
+                return Err(e.into());
+            }
             inner.since_sync = 0;
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
+        inner.good_len += frame.len() as u64;
         self.appends.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -295,10 +339,37 @@ impl Wal {
     /// policy (the `SYNC` protocol op).
     pub fn sync(&self) -> Result<(), WalError> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.file.sync_data()?;
+        if inner.poisoned {
+            return Err(WalError::Poisoned {
+                dir: self.dir.clone(),
+            });
+        }
+        if let Err(e) = inner.file.sync_data() {
+            inner.poisoned = true;
+            return Err(e.into());
+        }
         inner.since_sync = 0;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Whether an earlier append/fsync failure left the log unusable (see
+    /// [`WalError::Poisoned`]). A poisoned log still holds every frame
+    /// appended before the failure; reopening replays that prefix.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .poisoned
+    }
+
+    /// Arms a one-shot deterministic append fault (the `simwal` analogue
+    /// of [`pagestore`'s `FaultyDisk::arm`]): the next [`Self::append`]
+    /// writes only half its frame and then fails with an injected
+    /// `Io` error, simulating a crash/full-disk mid-append. Used by the
+    /// crash-consistency suites to exercise the rewind/poison path.
+    pub fn arm_append_fault(&self) {
+        self.fail_next_append.store(true, Ordering::Relaxed);
     }
 
     /// Completes a checkpoint: records `new_epoch` in the manifest, then
@@ -315,13 +386,29 @@ impl Wal {
             "epoch must advance: {} -> {new_epoch}",
             inner.epoch
         );
+        if inner.poisoned {
+            return Err(WalError::Poisoned {
+                dir: self.dir.clone(),
+            });
+        }
+        // A manifest failure leaves the log file untouched (atomic_write
+        // either installs the new manifest or leaves the old), so the old
+        // epoch simply stays in force. A failure during the reset leaves
+        // the file in an unknown half-reset state: poison.
         write_manifest(&self.dir, new_epoch)?;
-        inner.file.set_len(0)?;
-        inner.file.seek(SeekFrom::Start(0))?;
-        inner.file.write_all(&header_bytes(new_epoch))?;
-        inner.file.sync_all()?;
+        let reset = (|| {
+            inner.file.set_len(0)?;
+            inner.file.seek(SeekFrom::Start(0))?;
+            inner.file.write_all(&header_bytes(new_epoch))?;
+            inner.file.sync_all()
+        })();
+        if let Err(e) = reset {
+            inner.poisoned = true;
+            return Err(e.into());
+        }
         inner.epoch = new_epoch;
         inner.since_sync = 0;
+        inner.good_len = HEADER_LEN;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -425,6 +512,29 @@ mod tests {
         drop(_wal);
         let (_wal, replay, report) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
         assert_eq!(replay.len(), 1);
+        assert_eq!(report.truncated_bytes, 0);
+        drop(_wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_rewinds_so_later_frames_survive_replay() {
+        let dir = tmp("rewind");
+        {
+            let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            wal.append(&ins(0)).unwrap();
+            wal.arm_append_fault();
+            assert!(wal.append(&ins(1)).is_err(), "armed append must fail");
+            // The torn half-frame was rewound, so the log stays usable
+            // and the next append lands directly after frame 0 …
+            assert!(!wal.is_poisoned());
+            wal.append(&ins(2)).unwrap();
+        }
+        // … and replay sees both acknowledged frames, with no torn bytes
+        // in between (without the rewind, frame 2 would sit behind the
+        // torn region and be silently discarded here).
+        let (_wal, replay, report) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(replay, vec![ins(0), ins(2)]);
         assert_eq!(report.truncated_bytes, 0);
         drop(_wal);
         let _ = fs::remove_dir_all(&dir);

@@ -463,7 +463,12 @@ fn faulted_replay_is_typed_error_or_exact_result() {
                     oks += 1;
                 }
             }
-            Err(DurableError::Query(_) | DurableError::Wal(_) | DurableError::Io(_)) => errs += 1,
+            Err(
+                DurableError::Query(_)
+                | DurableError::Wal(_)
+                | DurableError::Io(_)
+                | DurableError::Poisoned,
+            ) => errs += 1,
         }
         std::fs::remove_dir_all(&case).unwrap();
     }
