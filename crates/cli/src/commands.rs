@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::{err, Args, CliError};
-use simquery::engine::{join as join_engine, knn, mtindex, seqscan, stindex};
+use simquery::plan;
 use simquery::prelude::*;
 use simshard::{gather, ShardConfig, ShardedIndex};
 use std::path::{Path, PathBuf};
@@ -16,17 +16,17 @@ USAGE:
   simseq info  --index DIR/
   simseq query --index DIR/ (--query-index I | --query-csv FILE --row I)
                [--ma LO..HI] [--shift LO..HI] [--inverted yes]
-               [--rho R | --eps E] [--engine mt|st|scan]
+               [--rho R | --eps E] [--engine auto|mt|st|scan]
                [--policy adaptive|safe|paper] [--mode symmetric|data-only]
                [--limit N]
   simseq join  --index DIR/ [--ma LO..HI] (--rho R | --eps E)
-               [--engine mt|st|scan] [--limit N]
+               [--engine auto|mt|st|scan] [--limit N]
   simseq nn    --index DIR/ (--query-index I | --query-csv FILE --row I)
                --k K [--ma LO..HI]
   simseq serve --index DIR/ [--addr HOST:PORT] [--workers N] [--queue N]
-               [--max-conns N] [--pool-pages N]
+               [--max-conns N] [--pool-pages N] [--result-cache N]
   simseq load  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
-               [--ma LO..HI] [--rho R] [--engine mt|st|scan]
+               [--ma LO..HI] [--rho R] [--engine auto|mt|st|scan]
                [--verify-index DIR/]
   simseq recover --index DIR/ --wal DIR/ [--pool-pages N]
   simseq shard build --data FILE.csv --out DIR/ --shards N
@@ -127,17 +127,16 @@ pub fn query(args: &Args) -> CliResult {
     let spec = spec_from(args)?;
     let q = query_series(args, &index)?;
 
-    let engine = args.opt("engine").unwrap_or("mt");
+    let engine = engine_pref_from(args)?;
     index
         .reset_counters()
         .map_err(|e| err(format!("resetting counters: {e}")))?;
-    let result = match engine {
-        "mt" => mtindex::range_query(&index, &q, &family, &spec),
-        "st" => stindex::range_query(&index, &q, &family, &spec),
-        "scan" => seqscan::range_query(&index, &q, &family, &spec),
-        other => return Err(err(format!("--engine must be mt|st|scan, got `{other}`"))),
-    }
-    .map_err(|e| err(e.to_string()))?;
+    let lq = LogicalQuery::range(family.clone(), spec).with_engine(engine);
+    let stats = StatsRegistry::new();
+    let (chosen, out) = plan::run(&index, &stats, &lq, Some(&q)).map_err(|e| err(e.to_string()))?;
+    let PlanOutput::Range(result) = out else {
+        return Err(err("range plan produced a non-range result"));
+    };
 
     let limit: usize = args.parse_or("limit", 20)?;
     let mut matches = result.matches.clone();
@@ -159,6 +158,7 @@ pub fn query(args: &Args) -> CliResult {
         result.matched_sequences().len(),
         result.metrics
     );
+    eprintln!("{}", plan_line(&chosen));
     Ok(())
 }
 
@@ -167,17 +167,16 @@ pub fn join(args: &Args) -> CliResult {
     let (index, names) = open_index(args)?;
     let family = family_from(args, index.seq_len())?;
     let spec = spec_from(args)?;
-    let engine = args.opt("engine").unwrap_or("mt");
+    let engine = engine_pref_from(args)?;
     index
         .reset_counters()
         .map_err(|e| err(format!("resetting counters: {e}")))?;
-    let result = match engine {
-        "mt" => join_engine::mt_join(&index, &family, &spec),
-        "st" => join_engine::st_join(&index, &family, &spec),
-        "scan" => join_engine::scan_join(&index, &family, &spec),
-        other => return Err(err(format!("--engine must be mt|st|scan, got `{other}`"))),
-    }
-    .map_err(|e| err(e.to_string()))?;
+    let lq = LogicalQuery::join(family.clone(), spec).with_engine(engine);
+    let stats = StatsRegistry::new();
+    let (chosen, out) = plan::run(&index, &stats, &lq, None).map_err(|e| err(e.to_string()))?;
+    let PlanOutput::Join(result) = out else {
+        return Err(err("join plan produced a non-join result"));
+    };
 
     let limit: usize = args.parse_or("limit", 20)?;
     let mut matches = result.matches.clone();
@@ -196,6 +195,7 @@ pub fn join(args: &Args) -> CliResult {
         result.matches.len(),
         result.metrics
     );
+    eprintln!("{}", plan_line(&chosen));
     Ok(())
 }
 
@@ -208,7 +208,12 @@ pub fn nn(args: &Args) -> CliResult {
     index
         .reset_counters()
         .map_err(|e| err(format!("resetting counters: {e}")))?;
-    let (matches, metrics) = knn::knn(&index, &q, &family, k).map_err(|e| err(e.to_string()))?;
+    let lq = LogicalQuery::knn(family.clone(), k);
+    let stats = StatsRegistry::new();
+    let (_, out) = plan::run(&index, &stats, &lq, Some(&q)).map_err(|e| err(e.to_string()))?;
+    let PlanOutput::Knn(matches, metrics) = out else {
+        return Err(err("kNN plan produced a non-kNN result"));
+    };
     for m in &matches {
         println!(
             "{:24} via {:12} D = {:.4}",
@@ -233,6 +238,7 @@ pub fn serve(args: &Args) -> CliResult {
         workers: args.parse_or("workers", defaults.workers)?,
         queue_depth: args.parse_or("queue", defaults.queue_depth)?,
         max_conns: args.parse_or("max-conns", defaults.max_conns)?,
+        result_cache: args.parse_or("result-cache", defaults.result_cache)?,
     };
     {
         let index = shared.read();
@@ -256,10 +262,15 @@ pub fn serve(args: &Args) -> CliResult {
 pub fn load(args: &Args) -> CliResult {
     let defaults = simserve::load::LoadConfig::default();
     let engine = match args.opt("engine").unwrap_or("mt") {
+        "auto" => simserve::protocol::EngineKind::Auto,
         "mt" => simserve::protocol::EngineKind::Mt,
         "st" => simserve::protocol::EngineKind::St,
         "scan" => simserve::protocol::EngineKind::Scan,
-        other => return Err(err(format!("--engine must be mt|st|scan, got `{other}`"))),
+        other => {
+            return Err(err(format!(
+                "--engine must be auto|mt|st|scan, got `{other}`"
+            )))
+        }
     };
     let verify = match args.opt("verify-index") {
         None => None,
@@ -408,17 +419,13 @@ fn shard_query(args: &Args) -> CliResult {
     let family = family_from(args, sharded.seq_len())?;
     let spec = shard_spec_from(args)?;
     let q = shard_query_series(args, &sharded)?;
-    let engine = match args.opt("engine").unwrap_or("mt") {
-        "mt" => gather::Engine::Mt,
-        "st" => gather::Engine::St,
-        "scan" => gather::Engine::Scan,
-        other => return Err(err(format!("--engine must be mt|st|scan, got `{other}`"))),
-    };
+    let engine = engine_pref_from(args)?;
     sharded
         .reset_counters()
         .map_err(|e| err(format!("resetting counters: {e}")))?;
-    let (result, per_shard) = gather::range_query_detailed(&sharded, engine, &q, &family, &spec)
-        .map_err(|e| err(e.to_string()))?;
+    let lq = LogicalQuery::range(family.clone(), spec).with_engine(engine);
+    let (chosen, result, per_shard) =
+        gather::execute_range(&sharded, &lq, &q).map_err(|e| err(e.to_string()))?;
 
     let limit: usize = args.parse_or("limit", 20)?;
     let mut matches = result.matches.clone();
@@ -443,6 +450,7 @@ fn shard_query(args: &Args) -> CliResult {
     for (i, m) in per_shard.iter().enumerate() {
         eprintln!("  shard {i}: {m}");
     }
+    eprintln!("{}", plan_line(&chosen));
     Ok(())
 }
 
@@ -455,8 +463,9 @@ fn shard_nn(args: &Args) -> CliResult {
     sharded
         .reset_counters()
         .map_err(|e| err(format!("resetting counters: {e}")))?;
-    let (matches, metrics, per_shard) =
-        gather::knn_detailed(&sharded, &q, &family, k).map_err(|e| err(e.to_string()))?;
+    let lq = LogicalQuery::knn(family.clone(), k);
+    let (_, matches, metrics, per_shard) =
+        gather::execute_knn(&sharded, &lq, &q).map_err(|e| err(e.to_string()))?;
     for m in &matches {
         println!(
             "{:24} via {:12} D = {:.4}",
@@ -596,22 +605,41 @@ fn family_from(args: &Args, n: usize) -> Result<Family, CliError> {
     Ok(family)
 }
 
+/// `--engine` → planner preference. `mt` stays the default (matching the
+/// wire protocol); `auto` hands the choice to the cost model.
+fn engine_pref_from(args: &Args) -> Result<EnginePref, CliError> {
+    match args.opt("engine").unwrap_or("mt") {
+        "auto" => Ok(EnginePref::Auto),
+        "mt" => Ok(EnginePref::Force(EngineChoice::Mt)),
+        "st" => Ok(EnginePref::Force(EngineChoice::St)),
+        "scan" => Ok(EnginePref::Force(EngineChoice::Scan)),
+        other => Err(err(format!(
+            "--engine must be auto|mt|st|scan, got `{other}`"
+        ))),
+    }
+}
+
+/// The one-line plan summary the query commands print to stderr.
+fn plan_line(plan: &PhysicalPlan) -> String {
+    format!(
+        "plan: engine={} chosen_by={} partitions={} est_nodes={:.1} est_pages={:.1} est_cost={:.1}",
+        plan.engine.as_str(),
+        plan.chosen_by.as_str(),
+        plan.partitions(),
+        plan.est_nodes,
+        plan.est_pages,
+        plan.est_cost
+    )
+}
+
 fn spec_from(args: &Args) -> Result<RangeSpec, CliError> {
-    let mut spec = match (args.opt("rho"), args.opt("eps")) {
-        (Some(_), Some(_)) => return Err(err("give either --rho or --eps, not both")),
-        (Some(raw), None) => {
-            let rho: f64 = raw
-                .parse()
-                .map_err(|_| err(format!("--rho: bad value `{raw}`")))?;
-            RangeSpec::correlation(rho)
-        }
-        (None, Some(raw)) => {
-            let eps: f64 = raw
-                .parse()
-                .map_err(|_| err(format!("--eps: bad value `{raw}`")))?;
-            RangeSpec::euclidean(eps)
-        }
-        (None, None) => RangeSpec::correlation(0.96), // the paper's default
+    // Threshold validation is shared with the server's protocol parser
+    // (`Threshold::parse_args`), so the two front ends cannot drift.
+    let mut spec = match Threshold::parse_args(args.opt("rho"), args.opt("eps"))
+        .map_err(|e| err(e.to_string()))?
+    {
+        Some(t) => RangeSpec::from_threshold(t),
+        None => RangeSpec::correlation(0.96), // the paper's default
     };
     spec = match args.opt("policy").unwrap_or("adaptive") {
         "adaptive" => spec.with_policy(FilterPolicy::Adaptive),

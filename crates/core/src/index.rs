@@ -292,6 +292,15 @@ impl SeqIndex {
         }
     }
 
+    /// Per-level node counts and mean MBR extents — the structural inputs
+    /// of the analytical cost model (§4.3). One full tree walk.
+    pub fn level_summaries(&self) -> Result<Vec<rstartree::LevelSummary<DIMS>>, PageError> {
+        match &self.tree {
+            TreeImpl::Mem(t) => t.level_summaries(),
+            TreeImpl::Paged(t) => t.level_summaries(),
+        }
+    }
+
     /// Prepares a query sequence: validates its length and extracts its
     /// features.
     pub fn prepare_query(&self, ts: &TimeSeries) -> Result<SeqFeatures, QueryError> {

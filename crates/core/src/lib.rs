@@ -53,9 +53,11 @@ pub mod feature;
 pub mod index;
 pub mod ordering;
 pub mod partition;
+pub mod plan;
 pub mod query;
 pub mod report;
 pub mod shared;
+pub mod stats;
 pub mod subseq;
 pub mod tmbr;
 pub mod transform;
@@ -72,9 +74,14 @@ pub mod prelude {
     pub use crate::index::{IndexConfig, SeqIndex, StoreKind};
     pub use crate::ordering::OrderedFamily;
     pub use crate::partition::PartitionStrategy;
-    pub use crate::query::{FilterPolicy, QueryMode, RangeSpec};
+    pub use crate::plan::{
+        EngineChoice, EnginePref, LogicalQuery, LogicalVerb, PhysicalPlan, PlanCache, PlanOutput,
+        Planner, QueryEpoch,
+    };
+    pub use crate::query::{FilterPolicy, QueryMode, RangeSpec, Threshold, ThresholdParseError};
     pub use crate::report::{EngineMetrics, Match, QueryResult};
     pub use crate::shared::SharedIndex;
+    pub use crate::stats::StatsRegistry;
     pub use crate::subseq::SubseqIndex;
     pub use crate::tmbr::TransformMbr;
     pub use crate::transform::{Family, Transform};

@@ -135,6 +135,84 @@ impl RangeSpec {
     }
 }
 
+/// Why a `rho`/`eps` argument pair failed to parse — the one validation
+/// of the Eq. 9 bridge shared by the CLI (`--rho`/`--eps`) and the wire
+/// protocol (`rho=`/`eps=`). Consumers render it with `Display` (possibly
+/// prefixed with their own flag spelling).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThresholdParseError {
+    /// Both a correlation and a Euclidean threshold were given.
+    Both,
+    /// The correlation did not parse as a number.
+    BadRho(String),
+    /// The correlation lies outside `[-1, 1]` (or is not finite).
+    RhoRange,
+    /// The distance did not parse as a number.
+    BadEps(String),
+    /// The distance is negative or not finite.
+    EpsRange,
+}
+
+impl std::fmt::Display for ThresholdParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Both => write!(f, "give a correlation or a distance threshold, not both"),
+            Self::BadRho(raw) => write!(f, "bad correlation threshold `{raw}`"),
+            Self::RhoRange => write!(f, "correlation threshold must lie in [-1, 1]"),
+            Self::BadEps(raw) => write!(f, "bad distance threshold `{raw}`"),
+            Self::EpsRange => write!(f, "distance threshold must be a non-negative number"),
+        }
+    }
+}
+
+impl std::error::Error for ThresholdParseError {}
+
+impl Threshold {
+    /// Parses the raw `rho`/`eps` argument pair every front end accepts:
+    /// at most one may be given; ρ must lie in `[-1, 1]` (Eq. 9's domain),
+    /// ε must be a finite non-negative distance. `Ok(None)` when neither
+    /// is present (the caller applies its default).
+    pub fn parse_args(
+        rho: Option<&str>,
+        eps: Option<&str>,
+    ) -> Result<Option<Threshold>, ThresholdParseError> {
+        match (rho, eps) {
+            (Some(_), Some(_)) => Err(ThresholdParseError::Both),
+            (Some(raw), None) => {
+                let rho: f64 = raw
+                    .parse()
+                    .map_err(|_| ThresholdParseError::BadRho(raw.to_string()))?;
+                if !rho.is_finite() || !(-1.0..=1.0).contains(&rho) {
+                    return Err(ThresholdParseError::RhoRange);
+                }
+                Ok(Some(Threshold::Correlation(rho)))
+            }
+            (None, Some(raw)) => {
+                let eps: f64 = raw
+                    .parse()
+                    .map_err(|_| ThresholdParseError::BadEps(raw.to_string()))?;
+                if !eps.is_finite() || eps < 0.0 {
+                    return Err(ThresholdParseError::EpsRange);
+                }
+                Ok(Some(Threshold::Euclidean(eps)))
+            }
+            (None, None) => Ok(None),
+        }
+    }
+}
+
+impl RangeSpec {
+    /// A spec from an already-validated [`Threshold`] with default policy
+    /// and mode (the constructor [`Threshold::parse_args`] feeds).
+    pub fn from_threshold(threshold: Threshold) -> Self {
+        Self {
+            threshold,
+            policy: FilterPolicy::default(),
+            mode: QueryMode::default(),
+        }
+    }
+}
+
 /// Per-dimension half-widths of the search window for threshold `eps`.
 pub fn expansion(eps: f64, policy: FilterPolicy) -> [f64; DIMS] {
     let w = eps / std::f64::consts::SQRT_2; // conjugate-symmetry factor
@@ -302,6 +380,38 @@ mod tests {
     #[should_panic(expected = "correlation")]
     fn bad_correlation_rejected() {
         RangeSpec::correlation(1.5);
+    }
+
+    #[test]
+    fn threshold_args_parse_and_validate() {
+        use ThresholdParseError as E;
+        assert_eq!(Threshold::parse_args(None, None), Ok(None));
+        assert_eq!(
+            Threshold::parse_args(Some("0.9"), None),
+            Ok(Some(Threshold::Correlation(0.9)))
+        );
+        assert_eq!(
+            Threshold::parse_args(None, Some("2.5")),
+            Ok(Some(Threshold::Euclidean(2.5)))
+        );
+        assert_eq!(Threshold::parse_args(Some("0.9"), Some("1")), Err(E::Both));
+        assert_eq!(
+            Threshold::parse_args(Some("abc"), None),
+            Err(E::BadRho("abc".into()))
+        );
+        assert_eq!(Threshold::parse_args(Some("1.5"), None), Err(E::RhoRange));
+        assert_eq!(Threshold::parse_args(Some("-1.5"), None), Err(E::RhoRange));
+        assert_eq!(Threshold::parse_args(Some("nan"), None), Err(E::RhoRange));
+        assert_eq!(
+            Threshold::parse_args(None, Some("x")),
+            Err(E::BadEps("x".into()))
+        );
+        assert_eq!(Threshold::parse_args(None, Some("-3")), Err(E::EpsRange));
+        assert_eq!(Threshold::parse_args(None, Some("inf")), Err(E::EpsRange));
+        // The validated threshold builds a spec without re-asserting.
+        let spec = RangeSpec::from_threshold(Threshold::Correlation(0.9));
+        assert_eq!(spec.threshold, Threshold::Correlation(0.9));
+        assert_eq!(spec.policy, FilterPolicy::default());
     }
 
     #[test]

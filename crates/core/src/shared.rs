@@ -34,7 +34,9 @@
 //!    guard is deliberately held.
 
 use crate::index::{DeviceWrap, SeqIndex};
+use crate::plan::{self, LogicalQuery, PhysicalPlan, PlanOutput, QueryEpoch};
 use crate::report::QueryError;
+use crate::stats::StatsRegistry;
 use pagestore::sync::RwLock;
 use simwal::{FsyncPolicy, ReplayReport, Wal, WalError, WalOp, WalStats};
 use std::path::{Path, PathBuf};
@@ -131,6 +133,10 @@ struct Durability {
 pub struct SharedIndex {
     inner: Arc<RwLock<SeqIndex>>,
     durable: Option<Arc<Durability>>,
+    stats: Arc<StatsRegistry>,
+    /// Mutations acknowledged through the typed paths since this handle
+    /// (group) was created — the fine-grained half of [`QueryEpoch`].
+    mutations: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for SharedIndex {
@@ -145,6 +151,8 @@ impl SharedIndex {
         Self {
             inner: Arc::new(RwLock::new(index)),
             durable: None,
+            stats: Arc::new(StatsRegistry::new()),
+            mutations: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -246,6 +254,8 @@ impl SharedIndex {
                 next_lsn: AtomicU64::new(max_lsn + 1),
                 poisoned: AtomicBool::new(false),
             })),
+            stats: Arc::new(StatsRegistry::new()),
+            mutations: Arc::new(AtomicU64::new(0)),
         };
         if dropped && !faulted {
             // Frames past the recovered prefix would otherwise replay on
@@ -295,6 +305,9 @@ impl SharedIndex {
                 return Err(e.into());
             }
         }
+        // Bump while still under the write guard so no reader can observe
+        // the new state under the old epoch.
+        self.mutations.fetch_add(1, Ordering::Release);
         Ok(ordinal)
     }
 
@@ -317,6 +330,9 @@ impl SharedIndex {
                     return Err(e.into());
                 }
             }
+        }
+        if deleted {
+            self.mutations.fetch_add(1, Ordering::Release);
         }
         Ok(deleted)
     }
@@ -370,6 +386,35 @@ impl SharedIndex {
         d.wal.install_epoch(new_epoch)?;
         drop(guard);
         Ok(Some(new_epoch))
+    }
+
+    /// The runtime-statistics registry the planner reads and the plan
+    /// executor writes. Shared across clones of this handle.
+    pub fn stats(&self) -> &Arc<StatsRegistry> {
+        &self.stats
+    }
+
+    /// The cache epoch of the current state: WAL checkpoint epoch plus
+    /// the typed-path mutation counter. Results cached under an equal
+    /// epoch are exact for the current state; any acknowledged mutation
+    /// makes older epochs unequal.
+    pub fn query_epoch(&self) -> QueryEpoch {
+        QueryEpoch {
+            epoch: self.wal_epoch().unwrap_or(0),
+            mutations: self.mutations.load(Ordering::Acquire),
+        }
+    }
+
+    /// Plans and executes a logical query against this index — the one
+    /// query entry point every consumer (server, CLI, shard executor)
+    /// routes through. Takes the shared read guard for the duration.
+    pub fn execute(
+        &self,
+        lq: &LogicalQuery,
+        query: Option<&TimeSeries>,
+    ) -> Result<(PhysicalPlan, PlanOutput), QueryError> {
+        let guard = self.inner.read();
+        plan::run(&guard, &self.stats, lq, query)
     }
 
     /// Acquires a shared read guard: queries, scans, counter reads.

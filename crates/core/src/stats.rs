@@ -1,0 +1,331 @@
+//! Runtime statistics feeding the cost-based planner.
+//!
+//! The §4.2–§4.3 cost model (Eq. 18–20) needs two kinds of input the
+//! engines can measure but a cold optimiser cannot: how *selective* a
+//! transformation family actually is on this corpus (candidates and
+//! matches per query), and how many node/page accesses its traversals
+//! really cost. A [`StatsRegistry`] hangs off every shared index and
+//! accumulates both, per `(family, engine)` pair, as queries execute; the
+//! planner ([`crate::plan::Planner`]) consults it before falling back to
+//! the analytical estimate of [`crate::cost::analytic_disk_accesses`].
+//!
+//! The registry also memoises the structural inputs of the analytical
+//! model — the R*-tree [`rstartree::LevelSummary`] walk and the data-space
+//! extent — keyed on `(len, deleted, height)` so repeated planning does
+//! not re-walk an unchanged tree, and the §4.3 multi-rectangle choice per
+//! family so the optimizer's probe cost is paid once, not per query.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pagestore::sync::Mutex;
+use rstartree::LevelSummary;
+
+use crate::feature::DIMS;
+use crate::index::SeqIndex;
+use crate::plan::EngineChoice;
+use crate::report::EngineMetrics;
+use crate::tmbr::TransformMbr;
+use crate::transform::Family;
+
+/// Number of log₂-spaced selectivity histogram buckets.
+pub const SELECTIVITY_BUCKETS: usize = 16;
+
+/// Accumulated per-`(family, engine)` execution statistics.
+#[derive(Clone, Debug, Default)]
+pub struct FamilyStats {
+    /// Queries recorded.
+    pub queries: u64,
+    /// Candidate sequences summed over all recorded queries.
+    pub candidates: u64,
+    /// Qualifying `(sequence, transformation)` pairs summed.
+    pub matches: u64,
+    /// Index node accesses summed.
+    pub node_accesses: u64,
+    /// Leaf accesses summed.
+    pub leaf_accesses: u64,
+    /// Record-page accesses summed.
+    pub page_accesses: u64,
+    /// Full-sequence distance computations summed.
+    pub comparisons: u64,
+    /// `|S|·|T|` pairs examined, summed — the selectivity denominator.
+    pub pairs_examined: u64,
+    /// Histogram of per-query match selectivity: bucket `b` counts queries
+    /// with `matches / (|S|·|T|)` in `(2^-(b+1), 2^-b]`; the last bucket
+    /// absorbs everything smaller (including zero matches).
+    pub selectivity: [u64; SELECTIVITY_BUCKETS],
+}
+
+impl FamilyStats {
+    fn record(&mut self, metrics: &EngineMetrics, pairs: u64, matches: u64) {
+        self.queries += 1;
+        self.candidates += metrics.candidates;
+        self.matches += matches;
+        self.node_accesses += metrics.node_accesses;
+        self.leaf_accesses += metrics.leaf_accesses;
+        self.page_accesses += metrics.record_page_accesses;
+        self.comparisons += metrics.comparisons;
+        self.pairs_examined += pairs;
+        self.selectivity[bucket_of(matches, pairs)] += 1;
+    }
+
+    /// Mean node accesses per recorded query.
+    pub fn avg_nodes(&self) -> f64 {
+        self.node_accesses as f64 / self.queries.max(1) as f64
+    }
+
+    /// Mean record-page accesses per recorded query.
+    pub fn avg_pages(&self) -> f64 {
+        self.page_accesses as f64 / self.queries.max(1) as f64
+    }
+
+    /// Mean distance computations per recorded query.
+    pub fn avg_comparisons(&self) -> f64 {
+        self.comparisons as f64 / self.queries.max(1) as f64
+    }
+
+    /// Mean match selectivity `matches / (|S|·|T|)` over all recorded
+    /// queries, or `None` before the first query.
+    pub fn mean_selectivity(&self) -> Option<f64> {
+        if self.pairs_examined == 0 {
+            None
+        } else {
+            Some(self.matches as f64 / self.pairs_examined as f64)
+        }
+    }
+}
+
+/// The histogram bucket for one query's selectivity.
+fn bucket_of(matches: u64, pairs: u64) -> usize {
+    if pairs == 0 || matches == 0 {
+        return SELECTIVITY_BUCKETS - 1;
+    }
+    let s = matches as f64 / pairs as f64;
+    // s ∈ (2^-(b+1), 2^-b] → bucket b.
+    let b = (-s.log2()).ceil().max(1.0) - 1.0;
+    (b as usize).min(SELECTIVITY_BUCKETS - 1)
+}
+
+/// Memoised structural inputs of the analytical cost model.
+#[derive(Clone, Debug)]
+pub struct TreeShape {
+    /// Per-level node counts and mean MBR extents (level 0 = leaves).
+    pub summaries: Vec<LevelSummary<DIMS>>,
+    /// Data-space extent per dimension (the root MBR's side lengths).
+    pub extent: [f64; DIMS],
+}
+
+/// The memo key a [`TreeShape`] stays valid for.
+type ShapeKey = (usize, usize, u32);
+
+/// A memoised §4.3 multi-rectangle choice.
+type PartitionMemo = HashMap<(String, u64), Vec<TransformMbr>>;
+
+/// Aggregate counters every shared index exposes through STATS.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Physical plans constructed by the planner.
+    pub plans_built: u64,
+    /// Executions dispatched to the MT-index engine.
+    pub dispatch_mt: u64,
+    /// Executions dispatched to the ST-index engine.
+    pub dispatch_st: u64,
+    /// Executions dispatched to the sequential-scan engine.
+    pub dispatch_scan: u64,
+    /// Queries whose metrics were recorded into family statistics.
+    pub recorded: u64,
+}
+
+/// Runtime statistics registry — one per shared index (and one per shard
+/// group), shared by reference with every planner invocation.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    plans_built: AtomicU64,
+    dispatch_mt: AtomicU64,
+    dispatch_st: AtomicU64,
+    dispatch_scan: AtomicU64,
+    recorded: AtomicU64,
+    families: Mutex<HashMap<(String, u8), FamilyStats>>,
+    shape: Mutex<Option<(ShapeKey, TreeShape)>>,
+    partitions: Mutex<PartitionMemo>,
+}
+
+/// The key family statistics are accumulated under.
+fn family_key(family: &Family) -> String {
+    format!("{}#{}", family.name(), family.len())
+}
+
+fn engine_tag(engine: EngineChoice) -> u8 {
+    match engine {
+        EngineChoice::Scan => 0,
+        EngineChoice::St => 1,
+        EngineChoice::Mt => 2,
+    }
+}
+
+impl StatsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes one planner invocation.
+    pub fn note_plan_built(&self) {
+        self.plans_built.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes one execution dispatched to `engine`.
+    pub fn note_dispatch(&self, engine: EngineChoice) {
+        match engine {
+            EngineChoice::Mt => &self.dispatch_mt,
+            EngineChoice::St => &self.dispatch_st,
+            EngineChoice::Scan => &self.dispatch_scan,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed query's measured cost into the family
+    /// statistics. `pairs` is the `|S|·|T|` selectivity denominator.
+    pub fn record_query(
+        &self,
+        engine: EngineChoice,
+        family: &Family,
+        pairs: u64,
+        matches: u64,
+        metrics: &EngineMetrics,
+    ) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.families.lock();
+        map.entry((family_key(family), engine_tag(engine)))
+            .or_default()
+            .record(metrics, pairs, matches);
+    }
+
+    /// Statistics accumulated for `(family, engine)`, if any.
+    pub fn family_stats(&self, engine: EngineChoice, family: &Family) -> Option<FamilyStats> {
+        self.families
+            .lock()
+            .get(&(family_key(family), engine_tag(engine)))
+            .cloned()
+    }
+
+    /// Aggregate counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            plans_built: self.plans_built.load(Ordering::Relaxed),
+            dispatch_mt: self.dispatch_mt.load(Ordering::Relaxed),
+            dispatch_st: self.dispatch_st.load(Ordering::Relaxed),
+            dispatch_scan: self.dispatch_scan.load(Ordering::Relaxed),
+            recorded: self.recorded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The tree's structural summary, memoised until the index visibly
+    /// changes (`len`/`deleted`/`height` key). One full tree walk on miss.
+    pub fn tree_shape(&self, index: &SeqIndex) -> Result<TreeShape, pagestore::PageError> {
+        let key: ShapeKey = (index.len(), index.deleted_count(), index.height());
+        if let Some((k, shape)) = self.shape.lock().as_ref() {
+            if *k == key {
+                return Ok(shape.clone());
+            }
+        }
+        let summaries = index.level_summaries()?;
+        // The data-space extent is the root MBR's side lengths — the level
+        // with a single node (absent only for an empty tree).
+        let extent = summaries
+            .iter()
+            .find(|l| l.nodes == 1)
+            .map(|l| l.avg_extent)
+            .unwrap_or([0.0; DIMS]);
+        let shape = TreeShape { summaries, extent };
+        *self.shape.lock() = Some((key, shape.clone()));
+        Ok(shape)
+    }
+
+    /// Looks up (or computes and memoises) the §4.3 rectangle choice for a
+    /// family. `variant` distinguishes specs that change the geometry
+    /// (policy/threshold); the memo is dropped when the tree shape key
+    /// changes enough to be re-probed via [`Self::invalidate_structures`].
+    pub fn partition_for(
+        &self,
+        family: &Family,
+        variant: u64,
+        compute: impl FnOnce() -> Vec<TransformMbr>,
+    ) -> Vec<TransformMbr> {
+        let key = (family_key(family), variant);
+        if let Some(mbrs) = self.partitions.lock().get(&key) {
+            return mbrs.clone();
+        }
+        let mbrs = compute();
+        self.partitions.lock().insert(key, mbrs.clone());
+        mbrs
+    }
+
+    /// Drops the memoised tree shape and partitionings (call after bulk
+    /// mutations or checkpoint restores; per-query staleness is already
+    /// handled by the shape key).
+    pub fn invalidate_structures(&self) {
+        *self.shape.lock() = None;
+        self.partitions.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_buckets_are_log2() {
+        // s = 1/2 → bucket 0; s = 1/5 → bucket 2 (2^-3 < 1/5 ≤ 2^-2);
+        // zero matches → last bucket.
+        assert_eq!(bucket_of(1, 2), 0);
+        assert_eq!(bucket_of(1, 5), 2);
+        assert_eq!(bucket_of(0, 100), SELECTIVITY_BUCKETS - 1);
+        assert_eq!(bucket_of(1, u64::MAX), SELECTIVITY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn registry_accumulates_per_family_and_engine() {
+        let reg = StatsRegistry::new();
+        let fam = Family::moving_averages(2..=5, 32);
+        let m = EngineMetrics {
+            node_accesses: 10,
+            candidates: 4,
+            comparisons: 16,
+            ..Default::default()
+        };
+        reg.record_query(EngineChoice::Mt, &fam, 400, 2, &m);
+        reg.record_query(EngineChoice::Mt, &fam, 400, 0, &m);
+        let s = reg.family_stats(EngineChoice::Mt, &fam).unwrap();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.node_accesses, 20);
+        assert!((s.mean_selectivity().unwrap() - 2.0 / 800.0).abs() < 1e-12);
+        assert!(reg.family_stats(EngineChoice::Scan, &fam).is_none());
+        reg.note_dispatch(EngineChoice::Mt);
+        reg.note_dispatch(EngineChoice::Scan);
+        let snap = reg.snapshot();
+        assert_eq!(snap.dispatch_mt, 1);
+        assert_eq!(snap.dispatch_scan, 1);
+        assert_eq!(snap.recorded, 2);
+    }
+
+    #[test]
+    fn partition_memo_computes_once() {
+        let reg = StatsRegistry::new();
+        let fam = Family::moving_averages(2..=9, 32);
+        let mut calls = 0;
+        for _ in 0..3 {
+            reg.partition_for(&fam, 7, || {
+                calls += 1;
+                vec![TransformMbr::of_family(&fam)]
+            });
+        }
+        assert_eq!(calls, 1);
+        reg.invalidate_structures();
+        reg.partition_for(&fam, 7, || {
+            calls += 1;
+            vec![TransformMbr::of_family(&fam)]
+        });
+        assert_eq!(calls, 2);
+    }
+}

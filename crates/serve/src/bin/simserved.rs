@@ -5,6 +5,7 @@
 //!           [--queue 64] [--max-conns 64] [--pool-pages 256]
 //!           [--shards N] [--partitioner hash|round-robin|range]
 //!           [--wal DIR/] [--fsync always|never|N]
+//!           [--result-cache N]
 //! ```
 //!
 //! With `--shards N > 1` the opened index is repartitioned across N
@@ -20,6 +21,11 @@
 //! top of the snapshot, so a crash loses at most the unsynced suffix.
 //! `--fsync` trades durability for throughput: `always` syncs every
 //! append, `N` every N appends, `never` leaves syncing to the OS.
+//!
+//! `--result-cache N` keeps the last N query results in an LRU cache
+//! keyed on the query fingerprint and the index epoch; any `INSERT`,
+//! `DELETE`, or `CHECKPOINT` moves the epoch, so cached results are
+//! never stale. `0` (the default) disables the cache.
 
 use simquery::shared::SharedIndex;
 use simserve::opts::Opts;
@@ -36,6 +42,7 @@ USAGE:
             [--queue N] [--max-conns N] [--pool-pages N]
             [--shards N] [--partitioner hash|round-robin|range]
             [--wal DIR/] [--fsync always|never|N]
+            [--result-cache N]
 
 The protocol is documented in crates/serve/PROTOCOL.md. Build an index
 with `simseq gen` + `simseq build` first (or a sharded one with
@@ -43,6 +50,9 @@ with `simseq gen` + `simseq build` first (or a sharded one with
 directory across N shards at startup; JOIN requires an unsharded
 backend. `--wal DIR/` makes INSERT/DELETE durable (write-ahead logged,
 replayed on restart; see SYNC and CHECKPOINT in the protocol).
+`--result-cache N` answers repeated queries from an epoch-keyed LRU
+cache (mutations invalidate; see the EXPLAIN verb and the STATS PLAN
+line in the protocol).
 ";
 
 fn main() {
@@ -90,6 +100,9 @@ fn run() -> Result<(), String> {
             .map_err(|e| e.to_string())?,
         max_conns: opts
             .parse_or("max-conns", defaults.max_conns)
+            .map_err(|e| e.to_string())?,
+        result_cache: opts
+            .parse_or("result-cache", defaults.result_cache)
             .map_err(|e| e.to_string())?,
     };
 

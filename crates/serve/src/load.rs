@@ -4,14 +4,14 @@
 //! (closed loop: the next request goes out only after the previous
 //! response is fully read), measuring client-side latency into the same
 //! log₂ histograms the server uses. With `verify`, every server response
-//! is compared — as a sorted `(seq, transform)` set — against a direct
-//! single-threaded engine call on a locally opened copy of the index, so
-//! a run doubles as an end-to-end result-parity check.
+//! is compared — as a sorted `(seq, transform)` set — against a
+//! single-threaded plan execution on a locally opened copy of the index,
+//! so a run doubles as an end-to-end result-parity check.
 
 use crate::client::Client;
 use crate::metrics::Histogram;
 use crate::protocol::{EngineKind, QueryParams, Response, WireThreshold};
-use simquery::engine::{mtindex, seqscan, stindex};
+use crate::server::engine_pref;
 use simquery::prelude::*;
 use std::io;
 use std::sync::Arc;
@@ -323,18 +323,20 @@ fn corpus_size(client: &mut Client) -> io::Result<usize> {
     ))
 }
 
-/// The expected result set, computed locally and single-threaded.
+/// The expected result set, computed locally through the plan layer.
 fn local_pairs(shared: &SharedIndex, ord: usize, cfg: &LoadConfig) -> Vec<(usize, usize)> {
-    let index = shared.read();
-    let family = Family::moving_averages(cfg.ma.0..=cfg.ma.1, index.seq_len());
-    let spec = WireThreshold::Rho(cfg.rho).to_spec();
-    let q = index
-        .fetch_series(ord)
-        .expect("load generator runs on a healthy in-memory index");
-    let result = match cfg.engine {
-        EngineKind::Mt => mtindex::range_query(&index, &q, &family, &spec),
-        EngineKind::St => stindex::range_query(&index, &q, &family, &spec),
-        EngineKind::Scan => seqscan::range_query(&index, &q, &family, &spec),
+    let (family, q) = {
+        let index = shared.read();
+        let family = Family::moving_averages(cfg.ma.0..=cfg.ma.1, index.seq_len());
+        let q = index
+            .fetch_series(ord)
+            .expect("load generator runs on a healthy in-memory index");
+        (family, q)
     };
-    result.map(|r| r.sorted_pairs()).unwrap_or_default()
+    let spec = WireThreshold::Rho(cfg.rho).to_spec();
+    let lq = LogicalQuery::range(family, spec).with_engine(engine_pref(cfg.engine));
+    match shared.execute(&lq, Some(&q)) {
+        Ok((_, PlanOutput::Range(r))) => r.sorted_pairs(),
+        _ => Vec::new(),
+    }
 }

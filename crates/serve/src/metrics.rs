@@ -7,7 +7,7 @@
 //! reports (percentiles are bucket upper bounds, i.e. ≤ 2× the true
 //! value).
 
-use crate::protocol::{OpStatLine, ShardStatLine, StatsReport, WalStatLine};
+use crate::protocol::{OpStatLine, PlanStatLine, ShardStatLine, StatsReport, WalStatLine};
 use simquery::index::AccessCounters;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -82,10 +82,11 @@ impl Histogram {
 }
 
 /// The operations the registry tracks, in reporting order.
-pub const OPS: [&str; 9] = [
+pub const OPS: [&str; 10] = [
     "query",
     "knn",
     "join",
+    "explain",
     "insert",
     "delete",
     "sync",
@@ -146,12 +147,14 @@ impl Registry {
     /// histograms afterwards. `now` is the backend's aggregate access
     /// counters (totals since server start; the delta baseline is kept
     /// here), and `shards` is the per-shard breakdown — empty for a
-    /// single-index backend.
+    /// single-index backend. `plan` carries the planner and result-cache
+    /// counters (always present on current servers).
     pub fn report(
         &self,
         now: AccessCounters,
         shards: Vec<ShardStatLine>,
         wal: Option<WalStatLine>,
+        plan: Option<PlanStatLine>,
         reset: bool,
     ) -> StatsReport {
         let mut baseline = self.baseline.lock().unwrap_or_else(|e| e.into_inner());
@@ -189,6 +192,7 @@ impl Registry {
             ),
             shards,
             wal,
+            plan,
         };
         if reset {
             for s in &self.ops {

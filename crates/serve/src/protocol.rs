@@ -22,6 +22,8 @@ pub enum EngineKind {
     St,
     /// Sequential scan.
     Scan,
+    /// Let the cost-based planner pick (`simquery::plan::Planner`).
+    Auto,
 }
 
 impl EngineKind {
@@ -30,6 +32,7 @@ impl EngineKind {
             Self::Mt => "mt",
             Self::St => "st",
             Self::Scan => "scan",
+            Self::Auto => "auto",
         }
     }
 
@@ -38,6 +41,7 @@ impl EngineKind {
             "mt" => Ok(Self::Mt),
             "st" => Ok(Self::St),
             "scan" => Ok(Self::Scan),
+            "auto" => Ok(Self::Auto),
             other => Err(ProtoError::bad(format!("unknown engine `{other}`"))),
         }
     }
@@ -144,6 +148,13 @@ pub enum Request {
         /// Reset after reporting.
         reset: bool,
     },
+    /// `EXPLAIN <QUERY|KNN|JOIN …>` — plans (and executes, bypassing the
+    /// result cache) the wrapped request, returning the chosen physical
+    /// plan with estimated-vs-actual cost counters instead of the result.
+    Explain {
+        /// The wrapped query request (`Query`, `Knn`, or `Join`).
+        inner: Box<Request>,
+    },
     /// Ends the connection.
     Quit,
 }
@@ -200,6 +211,7 @@ impl Request {
                     "STATS".into()
                 }
             }
+            Self::Explain { inner } => format!("EXPLAIN {}", inner.to_line()),
             Self::Quit => "QUIT".into(),
         }
     }
@@ -207,6 +219,15 @@ impl Request {
     /// Parses one request line.
     pub fn parse(line: &str) -> Result<Self, ProtoError> {
         let line = line.trim_end_matches(['\r', '\n']);
+        if let Some(rest) = line.strip_prefix("EXPLAIN ") {
+            let inner = Self::parse(rest)?;
+            if !matches!(inner, Self::Query(_) | Self::Knn { .. } | Self::Join { .. }) {
+                return Err(ProtoError::bad("EXPLAIN wraps QUERY, KNN or JOIN"));
+            }
+            return Ok(Self::Explain {
+                inner: Box::new(inner),
+            });
+        }
         let mut tokens = line.split_whitespace();
         let verb = tokens
             .next()
@@ -251,6 +272,7 @@ impl Request {
                 reset: kv.get("reset") == Some("yes"),
             }),
             "QUIT" => Ok(Self::Quit),
+            "EXPLAIN" => Err(ProtoError::bad("EXPLAIN wraps QUERY, KNN or JOIN")),
             other => Err(ProtoError::bad(format!("unknown verb `{other}`"))),
         }
     }
@@ -405,6 +427,27 @@ pub struct WalStatLine {
     pub epoch: u64,
 }
 
+/// Planner and result-cache counters of a `STATS` response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStatLine {
+    /// Physical plans built since server start.
+    pub built: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses (including cache-disabled lookups).
+    pub cache_misses: u64,
+    /// Result-cache LRU evictions.
+    pub cache_evictions: u64,
+    /// Entries currently resident in the result cache.
+    pub cache_entries: u64,
+    /// Executions dispatched to the MT-index engine.
+    pub mt: u64,
+    /// Executions dispatched to the ST-index engine.
+    pub st: u64,
+    /// Executions dispatched to the sequential scan.
+    pub scan: u64,
+}
+
 /// The full `STATS` payload.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatsReport {
@@ -423,6 +466,9 @@ pub struct StatsReport {
     pub shards: Vec<ShardStatLine>,
     /// WAL counters; `None` when the server runs without durability.
     pub wal: Option<WalStatLine>,
+    /// Planner/result-cache counters; `None` only for reports produced
+    /// by servers predating the plan layer.
+    pub plan: Option<PlanStatLine>,
 }
 
 /// A parsed response.
@@ -458,6 +504,9 @@ pub enum Response {
     },
     /// `INFO` payload: ordered key/value pairs.
     Info(Vec<(String, String)>),
+    /// `EXPLAIN` payload: ordered key/value pairs describing the chosen
+    /// physical plan (engine, partitions, estimated vs actual cost).
+    Plan(Vec<(String, String)>),
     /// `STATS` payload (boxed: the report dwarfs every other variant).
     Stats(Box<StatsReport>),
     /// `CHECKPOINT` acknowledgement carrying the new epoch.
@@ -510,6 +559,12 @@ impl Response {
                     writeln!(w, "INFO {k}={v}")?;
                 }
             }
+            Self::Plan(pairs) => {
+                writeln!(w, "OK")?;
+                for (k, v) in pairs {
+                    writeln!(w, "PLAN {k}={v}")?;
+                }
+            }
             Self::Stats(s) => {
                 writeln!(w, "OK")?;
                 for o in &s.ops {
@@ -543,6 +598,21 @@ impl Response {
                         w,
                         "WAL appends={} fsyncs={} replayed={} epoch={}",
                         wal.appends, wal.fsyncs, wal.replayed, wal.epoch
+                    )?;
+                }
+                if let Some(p) = &s.plan {
+                    writeln!(
+                        w,
+                        "PLAN built={} cache_hits={} cache_misses={} cache_evictions={} \
+                         cache_entries={} mt={} st={} scan={}",
+                        p.built,
+                        p.cache_hits,
+                        p.cache_misses,
+                        p.cache_evictions,
+                        p.cache_entries,
+                        p.mt,
+                        p.st,
+                        p.scan
                     )?;
                 }
                 writeln!(
@@ -613,17 +683,9 @@ impl Response {
                 {
                     Self::assemble_stats(body)
                 } else if body.iter().any(|l| l.starts_with("INFO ")) {
-                    let mut pairs = Vec::new();
-                    for line in body {
-                        let rest = line
-                            .strip_prefix("INFO ")
-                            .ok_or_else(|| ProtoError::bad("mixed INFO body"))?;
-                        let (k, v) = rest
-                            .split_once('=')
-                            .ok_or_else(|| ProtoError::bad("INFO line without ="))?;
-                        pairs.push((k.to_string(), v.to_string()));
-                    }
-                    Ok(Self::Info(pairs))
+                    Ok(Self::Info(assemble_kv_body(body, "INFO ")?))
+                } else if body.iter().any(|l| l.starts_with("PLAN ")) {
+                    Ok(Self::Plan(assemble_kv_body(body, "PLAN ")?))
                 } else {
                     Ok(Self::Ok)
                 }
@@ -731,6 +793,19 @@ impl Response {
                         epoch: kv.req_parse("epoch")?,
                     });
                 }
+                Some("PLAN") => {
+                    let kv = KvTokens::collect(tokens)?;
+                    report.plan = Some(PlanStatLine {
+                        built: kv.req_parse("built")?,
+                        cache_hits: kv.req_parse("cache_hits")?,
+                        cache_misses: kv.req_parse("cache_misses")?,
+                        cache_evictions: kv.req_parse("cache_evictions")?,
+                        cache_entries: kv.req_parse("cache_entries")?,
+                        mt: kv.req_parse("mt")?,
+                        st: kv.req_parse("st")?,
+                        scan: kv.req_parse("scan")?,
+                    });
+                }
                 Some("SERVER") => {
                     let kv = KvTokens::collect(tokens)?;
                     report.busy_rejected = kv.req_parse("busy_rejected")?;
@@ -743,6 +818,22 @@ impl Response {
         }
         Ok(Self::Stats(Box::new(report)))
     }
+}
+
+/// Parses a homogeneous `<PREFIX> k=v` body (INFO/PLAN payloads).
+fn assemble_kv_body(body: &[String], prefix: &str) -> Result<Vec<(String, String)>, ProtoError> {
+    let tag = prefix.trim_end();
+    let mut pairs = Vec::new();
+    for line in body {
+        let rest = line
+            .strip_prefix(prefix)
+            .ok_or_else(|| ProtoError::bad(format!("mixed {tag} body")))?;
+        let (k, v) = rest
+            .split_once('=')
+            .ok_or_else(|| ProtoError::bad(format!("{tag} line without =")))?;
+        pairs.push((k.to_string(), v.to_string()));
+    }
+    Ok(pairs)
 }
 
 fn write_metrics(w: &mut impl Write, m: &WireMetrics) -> io::Result<()> {
@@ -848,26 +939,16 @@ impl<'a> KvTokens<'a> {
     }
 
     fn threshold(&self) -> Result<WireThreshold, ProtoError> {
-        match (self.get("rho"), self.get("eps")) {
-            (Some(_), Some(_)) => Err(ProtoError::bad("give rho= or eps=, not both")),
-            (Some(r), None) => {
-                let rho: f64 = r.parse().map_err(|_| ProtoError::bad("bad rho="))?;
-                // Reject here, not in the worker: RangeSpec::correlation
-                // asserts this range and a panicking job must never reach
-                // the pool.
-                if !(-1.0..=1.0).contains(&rho) {
-                    return Err(ProtoError::bad("rho= must lie in [-1, 1]"));
-                }
-                Ok(WireThreshold::Rho(rho))
-            }
-            (None, Some(e)) => {
-                let eps: f64 = e.parse().map_err(|_| ProtoError::bad("bad eps="))?;
-                if !eps.is_finite() || eps < 0.0 {
-                    return Err(ProtoError::bad("eps= must be a non-negative number"));
-                }
-                Ok(WireThreshold::Eps(eps))
-            }
-            (None, None) => Ok(WireThreshold::default()),
+        // Validated here, not in the worker: RangeSpec::correlation asserts
+        // its range and a panicking job must never reach the pool. The
+        // validation itself lives in `Threshold::parse_args`, shared with
+        // the CLI front end.
+        match Threshold::parse_args(self.get("rho"), self.get("eps"))
+            .map_err(|e| ProtoError::bad(e.to_string()))?
+        {
+            Some(Threshold::Correlation(rho)) => Ok(WireThreshold::Rho(rho)),
+            Some(Threshold::Euclidean(eps)) => Ok(WireThreshold::Eps(eps)),
+            None => Ok(WireThreshold::default()),
         }
     }
 
@@ -926,6 +1007,25 @@ mod tests {
         round_trip_request(Request::Stats { reset: true });
         round_trip_request(Request::Stats { reset: false });
         round_trip_request(Request::Quit);
+        round_trip_request(Request::Query(QueryParams {
+            ord: 5,
+            engine: EngineKind::Auto,
+            ..QueryParams::default()
+        }));
+        round_trip_request(Request::Explain {
+            inner: Box::new(Request::Query(QueryParams {
+                ord: 2,
+                engine: EngineKind::Auto,
+                ..QueryParams::default()
+            })),
+        });
+        round_trip_request(Request::Explain {
+            inner: Box::new(Request::Knn {
+                ord: 1,
+                k: 3,
+                ma: (1, 8),
+            }),
+        });
     }
 
     #[test]
@@ -945,25 +1045,28 @@ mod tests {
         for bad in [
             "",
             "FROB ord=1",
-            "QUERY",                      // missing ord
-            "QUERY ord=x",                // bad number
-            "QUERY ord=1 ma=5",           // not a range
-            "QUERY ord=1 ma=0..4",        // lo must be ≥ 1
-            "QUERY ord=1 ma=9..4",        // hi < lo
-            "QUERY ord=1 rho=a",          // bad float
-            "QUERY ord=1 rho=0.9 eps=1",  // both thresholds
-            "QUERY ord=1 engine=quantum", // unknown engine
-            "QUERY ord=1 junk",           // token without =
-            "KNN ord=1",                  // missing k
-            "INSERT",                     // missing data
-            "INSERT data=1,x,3",          // bad float in data
-            "INSERT data=",               // empty data
-            "DELETE",                     // missing ord
-            "QUERY ord=1 rho=2",          // rho outside [-1, 1]
-            "QUERY ord=1 rho=-1.5",       // rho outside [-1, 1]
-            "JOIN rho=1.01",              // rho validated on JOIN too
-            "QUERY ord=1 eps=-3",         // negative eps
-            "QUERY ord=1 eps=nan",        // non-finite eps
+            "QUERY",                       // missing ord
+            "QUERY ord=x",                 // bad number
+            "QUERY ord=1 ma=5",            // not a range
+            "QUERY ord=1 ma=0..4",         // lo must be ≥ 1
+            "QUERY ord=1 ma=9..4",         // hi < lo
+            "QUERY ord=1 rho=a",           // bad float
+            "QUERY ord=1 rho=0.9 eps=1",   // both thresholds
+            "QUERY ord=1 engine=quantum",  // unknown engine
+            "QUERY ord=1 junk",            // token without =
+            "KNN ord=1",                   // missing k
+            "INSERT",                      // missing data
+            "INSERT data=1,x,3",           // bad float in data
+            "INSERT data=",                // empty data
+            "DELETE",                      // missing ord
+            "QUERY ord=1 rho=2",           // rho outside [-1, 1]
+            "QUERY ord=1 rho=-1.5",        // rho outside [-1, 1]
+            "JOIN rho=1.01",               // rho validated on JOIN too
+            "QUERY ord=1 eps=-3",          // negative eps
+            "QUERY ord=1 eps=nan",         // non-finite eps
+            "EXPLAIN",                     // nothing to explain
+            "EXPLAIN INFO",                // only query verbs are plannable
+            "EXPLAIN EXPLAIN QUERY ord=1", // no nesting
         ] {
             assert!(Request::parse(bad).is_err(), "should reject `{bad}`");
         }
@@ -1053,9 +1156,26 @@ mod tests {
                 replayed: 7,
                 epoch: 3,
             }),
+            plan: Some(PlanStatLine {
+                built: 42,
+                cache_hits: 9,
+                cache_misses: 33,
+                cache_evictions: 2,
+                cache_entries: 7,
+                mt: 25,
+                st: 10,
+                scan: 7,
+            }),
         })));
         round_trip_response(Response::Checkpointed { epoch: 5 });
         round_trip_response(Response::Ok);
+        round_trip_response(Response::Plan(vec![
+            ("verb".into(), "query".into()),
+            ("engine".into(), "mt".into()),
+            ("partitions".into(), "4".into()),
+            ("est_pages".into(), "120".into()),
+            ("pages".into(), "97".into()),
+        ]));
     }
 
     #[test]

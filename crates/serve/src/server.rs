@@ -19,11 +19,11 @@
 use crate::metrics::{op_index, Registry};
 use crate::pool::{PushError, WorkerPool};
 use crate::protocol::{
-    EngineKind, ErrCode, QueryParams, Request, Response, WireMatch, WireMetrics, WirePair,
+    EngineKind, ErrCode, PlanStatLine, QueryParams, Request, Response, WireMatch, WireMetrics,
+    WirePair, WireThreshold,
 };
-use simquery::engine::{join, knn, mtindex, seqscan, stindex};
 use simquery::prelude::*;
-use simquery::report::QueryError;
+use simquery::report::{JoinResult, QueryError};
 use simquery::shared::DurableError;
 use simshard::{gather, ShardError, ShardedIndex};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -44,6 +44,10 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Maximum concurrent connections.
     pub max_conns: usize,
+    /// Result-cache capacity in entries (0 disables caching). Cached
+    /// results are keyed on the query fingerprint and the index's
+    /// [`QueryEpoch`], so mutations can never serve stale reads.
+    pub result_cache: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +59,7 @@ impl Default for ServerConfig {
                 .unwrap_or(4),
             queue_depth: 64,
             max_conns: 64,
+            result_cache: 0,
         }
     }
 }
@@ -125,6 +130,7 @@ pub fn serve(backend: impl Into<Backend>, cfg: &ServerConfig) -> io::Result<Serv
     let metrics = Arc::new(Registry::default());
     let stop = Arc::new(AtomicBool::new(false));
     let pool = Arc::new(WorkerPool::new(cfg.workers, cfg.queue_depth));
+    let cache = Arc::new(PlanCache::new(cfg.result_cache));
     let live_conns = Arc::new(AtomicUsize::new(0));
     let max_conns = cfg.max_conns;
 
@@ -154,11 +160,12 @@ pub fn serve(backend: impl Into<Backend>, cfg: &ServerConfig) -> io::Result<Serv
                     let backend = backend.clone();
                     let metrics = Arc::clone(&metrics);
                     let pool = Arc::clone(&pool);
+                    let cache = Arc::clone(&cache);
                     let live_conns = Arc::clone(&live_conns);
                     let _ = std::thread::Builder::new()
                         .name("simserve-conn".into())
                         .spawn(move || {
-                            let _ = handle_connection(stream, &backend, &metrics, &pool);
+                            let _ = handle_connection(stream, &backend, &metrics, &pool, &cache);
                             live_conns.fetch_sub(1, Ordering::SeqCst);
                         });
                 }
@@ -178,6 +185,7 @@ fn handle_connection(
     backend: &Backend,
     metrics: &Arc<Registry>,
     pool: &Arc<WorkerPool>,
+    cache: &Arc<PlanCache>,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -214,10 +222,11 @@ fn handle_connection(
         let job = {
             let backend = backend.clone();
             let metrics = Arc::clone(metrics);
+            let cache = Arc::clone(cache);
             Box::new(move || {
                 let op = op_index(request.op_name());
                 let start = Instant::now();
-                let response = execute(&backend, &metrics, request);
+                let response = execute(&backend, &metrics, &cache, request);
                 let is_err = matches!(response, Response::Err { .. });
                 metrics.record(op, start.elapsed(), is_err);
                 let _ = tx.send(response);
@@ -258,6 +267,7 @@ impl Request {
             Self::Checkpoint => "checkpoint",
             Self::Info => "info",
             Self::Stats { .. } => "stats",
+            Self::Explain { .. } => "explain",
             Self::Quit => "info",
         }
     }
@@ -265,29 +275,20 @@ impl Request {
 
 /// Executes one request against the backend. `Stats` reads the metrics
 /// registry; everything else touches only the index (or its shards).
-fn execute(backend: &Backend, metrics: &Registry, request: Request) -> Response {
+/// Query verbs build a [`LogicalQuery`], consult the result cache, and
+/// route through the plan layer — the server never calls an engine
+/// directly.
+fn execute(backend: &Backend, metrics: &Registry, cache: &PlanCache, request: Request) -> Response {
     match request {
-        Request::Query(p) => match backend {
-            Backend::Single(shared) => run_query(shared, p),
-            Backend::Sharded(sharded) => run_query_sharded(sharded, p),
-        },
-        Request::Knn { ord, k, ma } => match backend {
-            Backend::Single(shared) => run_knn(shared, ord, k, ma),
-            Backend::Sharded(sharded) => run_knn_sharded(sharded, ord, k, ma),
-        },
+        Request::Query(p) => run_query(backend, cache, p),
+        Request::Knn { ord, k, ma } => run_knn(backend, cache, ord, k, ma),
         Request::Join {
             ma,
             threshold,
             engine,
             limit,
-        } => match backend {
-            Backend::Single(shared) => run_join(shared, ma, threshold.to_spec(), engine, limit),
-            Backend::Sharded(_) => err(
-                ErrCode::Query,
-                "JOIN is not supported on a sharded backend (pairs cross shards); \
-                 serve the index unsharded to join",
-            ),
-        },
+        } => run_join(backend, cache, ma, threshold, engine, limit),
+        Request::Explain { inner } => run_explain(backend, *inner),
         Request::Insert { values } => {
             let ts = TimeSeries::new(values);
             // The WAL-aware mutation paths: logged-then-acked when the
@@ -417,7 +418,24 @@ fn execute(backend: &Backend, metrics: &Registry, request: Request) -> Response 
                 replayed: s.replayed,
                 epoch: epoch.unwrap_or(0),
             });
-            Response::Stats(Box::new(metrics.report(counters, shards, wal, reset)))
+            let snap = match backend {
+                Backend::Single(shared) => shared.stats().snapshot(),
+                Backend::Sharded(sharded) => sharded.stats().snapshot(),
+            };
+            let cc = cache.counters();
+            let plan_line = Some(PlanStatLine {
+                built: snap.plans_built,
+                cache_hits: cc.hits,
+                cache_misses: cc.misses,
+                cache_evictions: cc.evictions,
+                cache_entries: cc.entries,
+                mt: snap.dispatch_mt,
+                st: snap.dispatch_st,
+                scan: snap.dispatch_scan,
+            });
+            Response::Stats(Box::new(
+                metrics.report(counters, shards, wal, plan_line, reset),
+            ))
         }
         Request::Quit => Response::Ok, // handled on the connection thread
     }
@@ -483,190 +501,274 @@ fn family_for(ma: (usize, usize), seq_len: usize) -> Result<Family, Response> {
     Ok(Family::moving_averages(ma.0..=ma.1, seq_len))
 }
 
-fn run_query(shared: &SharedIndex, p: QueryParams) -> Response {
-    let index = shared.read();
-    if p.ord >= index.len() {
-        return err(
-            ErrCode::Range,
-            format!("ordinal {} out of range (0..{})", p.ord, index.len()),
-        );
+/// Wire engine choice → planner preference.
+pub(crate) fn engine_pref(kind: EngineKind) -> EnginePref {
+    match kind {
+        EngineKind::Mt => EnginePref::Force(EngineChoice::Mt),
+        EngineKind::St => EnginePref::Force(EngineChoice::St),
+        EngineKind::Scan => EnginePref::Force(EngineChoice::Scan),
+        EngineKind::Auto => EnginePref::Auto,
     }
-    let family = match family_for(p.ma, index.seq_len()) {
-        Ok(f) => f,
-        Err(e) => return e,
-    };
-    let spec = p.threshold.to_spec();
-    let q = match index.fetch_series(p.ord) {
-        Ok(q) => q,
-        Err(e) => return io_err(e),
-    };
-    let result = match p.engine {
-        EngineKind::Mt => mtindex::range_query(&index, &q, &family, &spec),
-        EngineKind::St => stindex::range_query(&index, &q, &family, &spec),
-        EngineKind::Scan => seqscan::range_query(&index, &q, &family, &spec),
-    };
-    match result {
-        Ok(r) => {
-            let n = r.matches.len();
-            let take = if p.limit == 0 { n } else { p.limit.min(n) };
-            Response::Matches {
-                n,
-                matches: r.matches[..take]
-                    .iter()
-                    .map(|m| WireMatch {
-                        seq: m.seq,
-                        transform: m.transform,
-                        dist: m.dist,
-                    })
-                    .collect(),
-                metrics: WireMetrics::from(&r.metrics),
+}
+
+/// Renders a range/kNN match list, truncating the body by `limit`.
+fn matches_response(matches: &[Match], metrics: &EngineMetrics, limit: usize) -> Response {
+    let n = matches.len();
+    let take = if limit == 0 { n } else { limit.min(n) };
+    Response::Matches {
+        n,
+        matches: matches[..take]
+            .iter()
+            .map(|m| WireMatch {
+                seq: m.seq,
+                transform: m.transform,
+                dist: m.dist,
+            })
+            .collect(),
+        metrics: WireMetrics::from(metrics),
+    }
+}
+
+/// Renders a join pair list, truncating the body by `limit`.
+fn pairs_response(r: &JoinResult, limit: usize) -> Response {
+    let n = r.matches.len();
+    let take = if limit == 0 { n } else { limit.min(n) };
+    Response::Pairs {
+        n,
+        pairs: r.matches[..take]
+            .iter()
+            .map(|m| WirePair {
+                a: m.seq_a,
+                b: m.seq_b,
+                transform: m.transform,
+                dist: m.dist,
+            })
+            .collect(),
+        metrics: WireMetrics::from(&r.metrics),
+    }
+}
+
+/// Validates the ordinal and family, then fetches the query sequence —
+/// the shared front half of every ord-addressed query verb.
+fn prepare(
+    backend: &Backend,
+    ord: usize,
+    ma: (usize, usize),
+) -> Result<(Family, TimeSeries), Response> {
+    match backend {
+        Backend::Single(shared) => {
+            let index = shared.read();
+            if ord >= index.len() {
+                return Err(err(
+                    ErrCode::Range,
+                    format!("ordinal {ord} out of range (0..{})", index.len()),
+                ));
             }
+            let family = family_for(ma, index.seq_len())?;
+            let q = index.fetch_series(ord).map_err(io_err)?;
+            Ok((family, q))
         }
-        Err(e) => query_err(e),
-    }
-}
-
-fn run_knn(shared: &SharedIndex, ord: usize, k: usize, ma: (usize, usize)) -> Response {
-    let index = shared.read();
-    if ord >= index.len() {
-        return err(
-            ErrCode::Range,
-            format!("ordinal {ord} out of range (0..{})", index.len()),
-        );
-    }
-    let family = match family_for(ma, index.seq_len()) {
-        Ok(f) => f,
-        Err(e) => return e,
-    };
-    let q = match index.fetch_series(ord) {
-        Ok(q) => q,
-        Err(e) => return io_err(e),
-    };
-    match knn::knn(&index, &q, &family, k) {
-        Ok((matches, m)) => Response::Matches {
-            n: matches.len(),
-            matches: matches
-                .iter()
-                .map(|m| WireMatch {
-                    seq: m.seq,
-                    transform: m.transform,
-                    dist: m.dist,
-                })
-                .collect(),
-            metrics: WireMetrics::from(&m),
-        },
-        Err(e) => query_err(e),
-    }
-}
-
-fn run_query_sharded(sharded: &ShardedIndex, p: QueryParams) -> Response {
-    if p.ord >= sharded.len() {
-        return err(
-            ErrCode::Range,
-            format!("ordinal {} out of range (0..{})", p.ord, sharded.len()),
-        );
-    }
-    let family = match family_for(p.ma, sharded.seq_len()) {
-        Ok(f) => f,
-        Err(e) => return e,
-    };
-    let spec = p.threshold.to_spec();
-    let q = match sharded.fetch_series(p.ord) {
-        Ok(q) => q,
-        Err(e) => return query_err(e),
-    };
-    let engine = match p.engine {
-        EngineKind::Mt => gather::Engine::Mt,
-        EngineKind::St => gather::Engine::St,
-        EngineKind::Scan => gather::Engine::Scan,
-    };
-    match gather::range_query(sharded, engine, &q, &family, &spec) {
-        Ok(r) => {
-            let n = r.matches.len();
-            let take = if p.limit == 0 { n } else { p.limit.min(n) };
-            Response::Matches {
-                n,
-                matches: r.matches[..take]
-                    .iter()
-                    .map(|m| WireMatch {
-                        seq: m.seq,
-                        transform: m.transform,
-                        dist: m.dist,
-                    })
-                    .collect(),
-                metrics: WireMetrics::from(&r.metrics),
+        Backend::Sharded(sharded) => {
+            if ord >= sharded.len() {
+                return Err(err(
+                    ErrCode::Range,
+                    format!("ordinal {ord} out of range (0..{})", sharded.len()),
+                ));
             }
+            let family = family_for(ma, sharded.seq_len())?;
+            let q = sharded.fetch_series(ord).map_err(query_err)?;
+            Ok((family, q))
         }
-        Err(e) => query_err(e),
     }
 }
 
-fn run_knn_sharded(sharded: &ShardedIndex, ord: usize, k: usize, ma: (usize, usize)) -> Response {
-    if ord >= sharded.len() {
-        return err(
-            ErrCode::Range,
-            format!("ordinal {ord} out of range (0..{})", sharded.len()),
-        );
+/// The cache epoch of the backend's current state.
+fn backend_epoch(backend: &Backend) -> QueryEpoch {
+    match backend {
+        Backend::Single(shared) => shared.query_epoch(),
+        Backend::Sharded(sharded) => sharded.query_epoch(),
     }
-    let family = match family_for(ma, sharded.seq_len()) {
-        Ok(f) => f,
-        Err(e) => return e,
-    };
-    let q = match sharded.fetch_series(ord) {
-        Ok(q) => q,
-        Err(e) => return query_err(e),
-    };
-    match gather::knn(sharded, &q, &family, k) {
-        Ok((matches, m)) => Response::Matches {
-            n: matches.len(),
-            matches: matches
-                .iter()
-                .map(|m| WireMatch {
-                    seq: m.seq,
-                    transform: m.transform,
-                    dist: m.dist,
-                })
-                .collect(),
-            metrics: WireMetrics::from(&m),
+}
+
+/// Plans and executes a logical query against either backend shape,
+/// returning the plan and its output.
+fn dispatch(
+    backend: &Backend,
+    lq: &LogicalQuery,
+    q: Option<&TimeSeries>,
+) -> Result<(PhysicalPlan, PlanOutput), QueryError> {
+    match backend {
+        Backend::Single(shared) => shared.execute(lq, q),
+        Backend::Sharded(sharded) => match lq.verb {
+            LogicalVerb::Range => {
+                let query = q.expect("range queries carry a query sequence");
+                let (plan, r, _per_shard) = gather::execute_range(sharded, lq, query)?;
+                Ok((plan, PlanOutput::Range(r)))
+            }
+            LogicalVerb::Knn { .. } => {
+                let query = q.expect("kNN queries carry a query sequence");
+                let (plan, matches, merged, _per_shard) = gather::execute_knn(sharded, lq, query)?;
+                Ok((plan, PlanOutput::Knn(matches, merged)))
+            }
+            LogicalVerb::Join => unreachable!("JOIN is rejected on sharded backends"),
         },
-        Err(e) => query_err(e),
+    }
+}
+
+/// Executes a cacheable query verb: epoch-keyed cache lookup, then the
+/// plan layer on a miss. The epoch is read *before* execution so a
+/// racing mutation can only waste a cache entry, never leave a stale one
+/// valid for the current epoch.
+fn run_cached(
+    backend: &Backend,
+    cache: &PlanCache,
+    lq: &LogicalQuery,
+    q: Option<&TimeSeries>,
+) -> Result<PlanOutput, Response> {
+    let epoch = backend_epoch(backend);
+    let fp = lq.fingerprint(q);
+    if let Some((_, out)) = cache.get(fp, epoch) {
+        return Ok(out);
+    }
+    match dispatch(backend, lq, q) {
+        Ok((plan, out)) => {
+            cache.put(fp, epoch, plan, out.clone());
+            Ok(out)
+        }
+        Err(e) => Err(query_err(e)),
+    }
+}
+
+fn run_query(backend: &Backend, cache: &PlanCache, p: QueryParams) -> Response {
+    let (family, q) = match prepare(backend, p.ord, p.ma) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let lq = LogicalQuery::range(family, p.threshold.to_spec()).with_engine(engine_pref(p.engine));
+    match run_cached(backend, cache, &lq, Some(&q)) {
+        Ok(PlanOutput::Range(r)) => matches_response(&r.matches, &r.metrics, p.limit),
+        Ok(_) => err(ErrCode::Server, "range plan produced a non-range result"),
+        Err(resp) => resp,
+    }
+}
+
+fn run_knn(
+    backend: &Backend,
+    cache: &PlanCache,
+    ord: usize,
+    k: usize,
+    ma: (usize, usize),
+) -> Response {
+    let (family, q) = match prepare(backend, ord, ma) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let lq = LogicalQuery::knn(family, k);
+    match run_cached(backend, cache, &lq, Some(&q)) {
+        Ok(PlanOutput::Knn(matches, metrics)) => matches_response(&matches, &metrics, 0),
+        Ok(_) => err(ErrCode::Server, "kNN plan produced a non-kNN result"),
+        Err(resp) => resp,
     }
 }
 
 fn run_join(
-    shared: &SharedIndex,
+    backend: &Backend,
+    cache: &PlanCache,
     ma: (usize, usize),
-    spec: RangeSpec,
+    threshold: WireThreshold,
     engine: EngineKind,
     limit: usize,
 ) -> Response {
-    let index = shared.read();
-    let family = match family_for(ma, index.seq_len()) {
+    let Backend::Single(shared) = backend else {
+        return err(
+            ErrCode::Query,
+            "JOIN is not supported on a sharded backend (pairs cross shards); \
+             serve the index unsharded to join",
+        );
+    };
+    let family = match family_for(ma, shared.read().seq_len()) {
         Ok(f) => f,
-        Err(e) => return e,
+        Err(resp) => return resp,
     };
-    let result = match engine {
-        EngineKind::Mt => join::mt_join(&index, &family, &spec),
-        EngineKind::St => join::st_join(&index, &family, &spec),
-        EngineKind::Scan => join::scan_join(&index, &family, &spec),
+    let lq = LogicalQuery::join(family, threshold.to_spec()).with_engine(engine_pref(engine));
+    match run_cached(backend, cache, &lq, None) {
+        Ok(PlanOutput::Join(r)) => pairs_response(&r, limit),
+        Ok(_) => err(ErrCode::Server, "join plan produced a non-join result"),
+        Err(resp) => resp,
+    }
+}
+
+/// `EXPLAIN`: plans and executes the wrapped verb, bypassing the result
+/// cache (an EXPLAIN that answered from cache would have no actual cost
+/// to report), and renders the chosen plan with estimated-vs-actual
+/// counters.
+fn run_explain(backend: &Backend, inner: Request) -> Response {
+    let (verb, lq, q) = match inner {
+        Request::Query(p) => {
+            let (family, q) = match prepare(backend, p.ord, p.ma) {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
+            let lq = LogicalQuery::range(family, p.threshold.to_spec())
+                .with_engine(engine_pref(p.engine));
+            ("query", lq, Some(q))
+        }
+        Request::Knn { ord, k, ma } => {
+            let (family, q) = match prepare(backend, ord, ma) {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
+            ("knn", LogicalQuery::knn(family, k), Some(q))
+        }
+        Request::Join {
+            ma,
+            threshold,
+            engine,
+            ..
+        } => {
+            let Backend::Single(shared) = backend else {
+                return err(
+                    ErrCode::Query,
+                    "JOIN is not supported on a sharded backend (pairs cross shards); \
+                     serve the index unsharded to join",
+                );
+            };
+            let family = match family_for(ma, shared.read().seq_len()) {
+                Ok(f) => f,
+                Err(resp) => return resp,
+            };
+            let lq =
+                LogicalQuery::join(family, threshold.to_spec()).with_engine(engine_pref(engine));
+            ("join", lq, None)
+        }
+        // Request::parse only wraps query verbs in EXPLAIN.
+        _ => return err(ErrCode::BadRequest, "EXPLAIN wraps QUERY, KNN or JOIN"),
     };
-    match result {
-        Ok(r) => {
-            let n = r.matches.len();
-            let take = if limit == 0 { n } else { limit.min(n) };
-            Response::Pairs {
-                n,
-                pairs: r.matches[..take]
-                    .iter()
-                    .map(|m| WirePair {
-                        a: m.seq_a,
-                        b: m.seq_b,
-                        transform: m.transform,
-                        dist: m.dist,
-                    })
-                    .collect(),
-                metrics: WireMetrics::from(&r.metrics),
-            }
+    match dispatch(backend, &lq, q.as_ref()) {
+        Ok((plan, out)) => {
+            let m = out.metrics();
+            let n = match &out {
+                PlanOutput::Range(r) => r.matches.len(),
+                PlanOutput::Knn(matches, _) => matches.len(),
+                PlanOutput::Join(r) => r.matches.len(),
+            };
+            Response::Plan(vec![
+                ("verb".into(), verb.into()),
+                ("engine".into(), plan.engine.as_str().into()),
+                ("chosen_by".into(), plan.chosen_by.as_str().into()),
+                ("partitions".into(), plan.partitions().to_string()),
+                ("fanout".into(), plan.fanout.to_string()),
+                ("threads".into(), plan.threads.to_string()),
+                ("est_nodes".into(), format!("{:.1}", plan.est_nodes)),
+                ("est_pages".into(), format!("{:.1}", plan.est_pages)),
+                ("est_cmps".into(), format!("{:.1}", plan.est_comparisons)),
+                ("est_cost".into(), format!("{:.1}", plan.est_cost)),
+                ("nodes".into(), m.node_accesses.to_string()),
+                ("pages".into(), m.record_page_accesses.to_string()),
+                ("cmps".into(), m.comparisons.to_string()),
+                ("matches".into(), n.to_string()),
+                ("wall_us".into(), (m.wall.as_micros() as u64).to_string()),
+            ])
         }
         Err(e) => query_err(e),
     }

@@ -16,6 +16,7 @@ fn test_config() -> ServerConfig {
         workers: 2,
         queue_depth: 16,
         max_conns: 16,
+        result_cache: 0,
     }
 }
 
@@ -327,6 +328,170 @@ fn stats_report_counts_and_latencies() {
         !stats2.ops.iter().any(|o| o.op == "query"),
         "query stats were reset: {stats2:?}"
     );
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn explain_reports_the_chosen_plan() {
+    let (_shared, handle) = start(60, 31);
+    let mut client = Client::connect(handle.addr).unwrap();
+
+    // Baseline: the real query's total count.
+    let (n, _) = client
+        .query(QueryParams {
+            ord: 0,
+            ma: (4, 10),
+            threshold: WireThreshold::Rho(0.95),
+            engine: EngineKind::Auto,
+            limit: 0,
+        })
+        .unwrap()
+        .unwrap();
+
+    let response = client
+        .call_raw("EXPLAIN QUERY ord=0 ma=4..10 rho=0.95 engine=auto")
+        .unwrap();
+    let Response::Plan(pairs) = response else {
+        panic!("EXPLAIN did not return a plan: {response:?}");
+    };
+    let get = |k: &str| -> &str {
+        pairs
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_else(|| panic!("PLAN missing key {k}: {pairs:?}"))
+    };
+    assert_eq!(get("verb"), "query");
+    assert_eq!(get("chosen_by"), "cost-model");
+    assert!(["mt", "st", "scan"].contains(&get("engine")), "{pairs:?}");
+    assert_eq!(get("matches"), n.to_string(), "EXPLAIN executed the query");
+    // Estimates and measurements are both present and well-formed.
+    for k in ["est_nodes", "est_pages", "est_cmps", "est_cost"] {
+        get(k)
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("{k} not a float"));
+    }
+    for k in ["partitions", "nodes", "pages", "cmps", "wall_us"] {
+        get(k)
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("{k} not an integer"));
+    }
+
+    // A forced engine is reported as forced; kNN has only one strategy.
+    let Response::Plan(forced) = client
+        .call_raw("EXPLAIN QUERY ord=0 ma=4..10 rho=0.95 engine=scan")
+        .unwrap()
+    else {
+        panic!("forced EXPLAIN failed");
+    };
+    let find = |pairs: &[(String, String)], k: &str| -> String {
+        pairs.iter().find(|(key, _)| key == k).unwrap().1.clone()
+    };
+    assert_eq!(find(&forced, "engine"), "scan");
+    assert_eq!(find(&forced, "chosen_by"), "forced");
+
+    let Response::Plan(knn) = client.call_raw("EXPLAIN KNN ord=0 k=3 ma=4..10").unwrap() else {
+        panic!("EXPLAIN KNN failed");
+    };
+    assert_eq!(find(&knn, "verb"), "knn");
+    assert_eq!(find(&knn, "chosen_by"), "only-option");
+    assert_eq!(find(&knn, "matches"), "3");
+
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn result_cache_hits_and_mutation_invalidates() {
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 50, 64, 37);
+    let index = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    let shared = SharedIndex::new(index);
+    let cfg = ServerConfig {
+        result_cache: 32,
+        ..test_config()
+    };
+    let handle = serve(shared.clone(), &cfg).unwrap();
+    let mut client = Client::connect(handle.addr).unwrap();
+
+    let params = QueryParams {
+        ord: 0,
+        ma: (2, 6),
+        threshold: WireThreshold::Rho(0.95),
+        engine: EngineKind::Mt,
+        limit: 0,
+    };
+    let (n1, m1) = client.query(params).unwrap().unwrap();
+    let (n2, m2) = client.query(params).unwrap().unwrap();
+    assert_eq!(n1, n2, "cache hit must be byte-identical");
+    assert_eq!(
+        m1.iter().map(|m| (m.seq, m.transform)).collect::<Vec<_>>(),
+        m2.iter().map(|m| (m.seq, m.transform)).collect::<Vec<_>>()
+    );
+    let stats = client.stats(false).unwrap().unwrap();
+    let plan = stats.plan.expect("PLAN line present");
+    assert!(plan.cache_hits >= 1, "{plan:?}");
+    assert!(plan.cache_misses >= 1, "{plan:?}");
+    assert!(plan.cache_entries >= 1, "{plan:?}");
+    assert!(plan.built >= 1, "{plan:?}");
+    assert!(plan.mt >= 1, "dispatch counter moved: {plan:?}");
+
+    // INSERT between two identical queries: the epoch moves, the cache
+    // entry dies, and the next response must include the new duplicate —
+    // a stale cached answer would omit it.
+    let values = shared.read().fetch_series(0).unwrap().values().to_vec();
+    let inserted = client.insert(values).unwrap().unwrap();
+    let (_, m3) = client.query(params).unwrap().unwrap();
+    let seqs: Vec<usize> = m3.iter().map(|m| m.seq).collect();
+    assert!(
+        seqs.contains(&inserted),
+        "post-insert query served a stale cached result: {seqs:?}"
+    );
+
+    // DELETE invalidates too: the duplicate disappears again.
+    assert!(client.delete(inserted).unwrap().unwrap());
+    let (_, m4) = client.query(params).unwrap().unwrap();
+    assert!(
+        m4.iter().all(|m| m.seq != inserted),
+        "post-delete query served a stale cached result"
+    );
+
+    // The limit is applied after the cache: a truncated variant of the
+    // same query still hits and still reports the full count.
+    let before = client.stats(false).unwrap().unwrap().plan.unwrap();
+    let (n5, m5) = client
+        .query(QueryParams { limit: 1, ..params })
+        .unwrap()
+        .unwrap();
+    assert_eq!(n5, m4.len(), "full count survives truncation");
+    assert!(m5.len() <= 1);
+    let after = client.stats(false).unwrap().unwrap().plan.unwrap();
+    assert!(
+        after.cache_hits > before.cache_hits,
+        "limit variants share the cache entry: {before:?} -> {after:?}"
+    );
+
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn cache_disabled_by_default_never_hits() {
+    let (_shared, handle) = start(30, 41);
+    let mut client = Client::connect(handle.addr).unwrap();
+    let params = QueryParams {
+        ord: 1,
+        ma: (4, 10),
+        threshold: WireThreshold::Rho(0.95),
+        engine: EngineKind::Mt,
+        limit: 0,
+    };
+    client.query(params).unwrap().unwrap();
+    client.query(params).unwrap().unwrap();
+    let plan = client.stats(false).unwrap().unwrap().plan.unwrap();
+    assert_eq!(plan.cache_hits, 0, "{plan:?}");
+    assert_eq!(plan.cache_entries, 0, "{plan:?}");
+    assert_eq!(plan.cache_misses, 2, "{plan:?}");
     client.quit().unwrap();
     handle.shutdown();
 }

@@ -24,6 +24,7 @@ fn test_config() -> ServerConfig {
         workers: 2,
         queue_depth: 16,
         max_conns: 16,
+        result_cache: 0,
     }
 }
 

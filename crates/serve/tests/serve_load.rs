@@ -19,6 +19,7 @@ fn eight_connections_full_parity_and_live_stats() {
         workers: 4,
         queue_depth: 64,
         max_conns: 64,
+        result_cache: 0,
     };
     let handle = serve(shared.clone(), &cfg).unwrap();
 
@@ -81,6 +82,7 @@ fn busy_responses_are_counted_not_fatal() {
         workers: 1,
         queue_depth: 1,
         max_conns: 64,
+        result_cache: 0,
     };
     let handle = serve(shared.clone(), &cfg).unwrap();
 

@@ -24,7 +24,7 @@
 //! be globally irrelevant while shard B holds all true top-k. Instead the
 //! gather runs shards *sequentially*, threading the running global k-th
 //! distance `τ` into each next shard as the initial pruning bound of
-//! [`simquery::engine::knn::knn_bounded`]: a shard search abandons any
+//! [`simquery::plan::execute_knn_fragment`]: a shard search abandons any
 //! subtree (and skips any candidate refinement) whose lower bound exceeds
 //! `τ`. The first shard runs unbounded (`τ = ∞`); each later shard can
 //! only shrink `τ`. Bound comparisons keep ties (`≤ τ` survives), so
@@ -34,7 +34,9 @@
 //! [`QueryError`] — a partial merge is never returned.
 
 use crate::index::ShardedIndex;
-use simquery::engine::{knn as knn_engine, mtindex, seqscan, stindex};
+use simquery::plan::{
+    self, EngineChoice, EnginePref, LogicalQuery, LogicalVerb, PhysicalPlan, PlanOutput, Planner,
+};
 use simquery::query::RangeSpec;
 use simquery::report::{EngineMetrics, Match, QueryError, QueryResult};
 use simquery::transform::Family;
@@ -52,17 +54,46 @@ pub enum Engine {
     Scan,
 }
 
-fn run_engine(
+impl From<Engine> for EngineChoice {
+    fn from(e: Engine) -> Self {
+        match e {
+            Engine::Mt => EngineChoice::Mt,
+            Engine::St => EngineChoice::St,
+            Engine::Scan => EngineChoice::Scan,
+        }
+    }
+}
+
+/// Lowers a logical range query to the fan-out physical plan: the
+/// planner runs once (against shard 0 — every shard holds an i.i.d.
+/// partition of the same corpus, so one shard's statistics price all of
+/// them), then the plan is stamped with the scatter shape: fan-out =
+/// shard count, threads capped at the hardware parallelism.
+fn plan_fanout(
+    sharded: &ShardedIndex,
+    lq: &LogicalQuery,
+    query: Option<&TimeSeries>,
+) -> Result<PhysicalPlan, QueryError> {
+    let shards = sharded.shards();
+    let guard = shards[0].read();
+    let mut plan = Planner::new().plan(&guard, sharded.stats(), lq, query)?;
+    drop(guard);
+    plan.fanout = shards.len();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    plan.threads = cores.min(shards.len());
+    Ok(plan)
+}
+
+fn run_fragment(
     index: &simquery::index::SeqIndex,
-    engine: Engine,
+    sharded: &ShardedIndex,
+    lq: &LogicalQuery,
+    plan: &PhysicalPlan,
     query: &TimeSeries,
-    family: &Family,
-    spec: &RangeSpec,
 ) -> Result<QueryResult, QueryError> {
-    match engine {
-        Engine::Mt => mtindex::range_query(index, query, family, spec),
-        Engine::St => stindex::range_query(index, query, family, spec),
-        Engine::Scan => seqscan::range_query(index, query, family, spec),
+    match plan::execute_plan(index, sharded.stats(), lq, plan, Some(query))? {
+        PlanOutput::Range(r) => Ok(r),
+        _ => unreachable!("range fragment produced a non-range output"),
     }
 }
 
@@ -84,41 +115,43 @@ fn merge_metrics(parts: &[EngineMetrics], wall: std::time::Duration) -> EngineMe
     total
 }
 
-/// Scatters a range query to every shard and merges the exact union,
-/// also returning each shard's own metrics (the per-fragment accounting).
-pub fn range_query_detailed(
+/// The distributed executor for a planned range query: scatters the
+/// plan's fragment to every shard and merges the exact union, returning
+/// the plan alongside the result and each shard's own metrics.
+pub fn execute_range(
     sharded: &ShardedIndex,
-    engine: Engine,
+    lq: &LogicalQuery,
     query: &TimeSeries,
-    family: &Family,
-    spec: &RangeSpec,
-) -> Result<(QueryResult, Vec<EngineMetrics>), QueryError> {
+) -> Result<(PhysicalPlan, QueryResult, Vec<EngineMetrics>), QueryError> {
+    debug_assert!(matches!(lq.verb, LogicalVerb::Range));
     let start = Instant::now();
+    let plan = plan_fanout(sharded, lq, Some(query))?;
     let map = sharded.map_snapshot();
     let shards = sharded.shards();
 
     let mut outcomes: Vec<Option<Result<QueryResult, QueryError>>> = Vec::new();
     outcomes.resize_with(shards.len(), || None);
-    // Scatter threads only pay off when cores exist to run them; fan-out
-    // is capped at the hardware thread count so a 64-shard index on an
-    // 8-core box spawns 8 threads per query, each draining a contiguous
-    // chunk of shards, rather than 64. On a single hardware thread (or a
-    // single shard) the same loop runs inline with no spawn at all.
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let threads = cores.min(shards.len());
+    // Scatter threads only pay off when cores exist to run them; the
+    // planner capped the fan-out at the hardware thread count so a
+    // 64-shard index on an 8-core box spawns 8 threads per query, each
+    // draining a contiguous chunk of shards, rather than 64. On a single
+    // hardware thread (or a single shard) the same loop runs inline with
+    // no spawn at all.
+    let threads = plan.threads.max(1);
     if threads <= 1 {
         for (shard, slot) in outcomes.iter_mut().enumerate() {
             let index = shards[shard].read();
-            *slot = Some(run_engine(&index, engine, query, family, spec));
+            *slot = Some(run_fragment(&index, sharded, lq, &plan, query));
         }
     } else {
         let chunk = shards.len().div_ceil(threads);
+        let (planref, lqref) = (&plan, lq);
         std::thread::scope(|s| {
             for (t, slots) in outcomes.chunks_mut(chunk).enumerate() {
                 s.spawn(move || {
                     for (i, slot) in slots.iter_mut().enumerate() {
                         let index = shards[t * chunk + i].read();
-                        *slot = Some(run_engine(&index, engine, query, family, spec));
+                        *slot = Some(run_fragment(&index, sharded, lqref, planref, query));
                     }
                 });
             }
@@ -147,7 +180,23 @@ pub fn range_query_detailed(
         matches,
         metrics: merge_metrics(&per_shard, start.elapsed()),
     };
-    Ok((merged, per_shard))
+    Ok((plan, merged, per_shard))
+}
+
+/// Scatters a range query with a forced engine to every shard — the
+/// pre-planner entry point, kept for callers (and tests) that pin the
+/// engine themselves. Internally this is [`execute_range`] with
+/// [`EnginePref::Force`].
+pub fn range_query_detailed(
+    sharded: &ShardedIndex,
+    engine: Engine,
+    query: &TimeSeries,
+    family: &Family,
+    spec: &RangeSpec,
+) -> Result<(QueryResult, Vec<EngineMetrics>), QueryError> {
+    let lq =
+        LogicalQuery::range(family.clone(), *spec).with_engine(EnginePref::Force(engine.into()));
+    execute_range(sharded, &lq, query).map(|(_, r, per)| (r, per))
 }
 
 /// [`range_query_detailed`] without the per-shard breakdown.
@@ -170,7 +219,25 @@ pub fn knn_detailed(
     family: &Family,
     k: usize,
 ) -> Result<(Vec<Match>, EngineMetrics, Vec<EngineMetrics>), QueryError> {
+    let lq = LogicalQuery::knn(family.clone(), k);
+    execute_knn(sharded, &lq, query).map(|(_, m, t, per)| (m, t, per))
+}
+
+/// The distributed executor for a planned kNN query: the planner shapes
+/// the fan-out, then the τ-threaded bounded merge of the module docs runs
+/// the shards sequentially.
+pub fn execute_knn(
+    sharded: &ShardedIndex,
+    lq: &LogicalQuery,
+    query: &TimeSeries,
+) -> Result<(PhysicalPlan, Vec<Match>, EngineMetrics, Vec<EngineMetrics>), QueryError> {
+    let LogicalVerb::Knn { k } = lq.verb else {
+        unreachable!("execute_knn takes a kNN logical query");
+    };
     let start = Instant::now();
+    let mut plan = plan_fanout(sharded, lq, Some(query))?;
+    // Bound propagation is inherently sequential; the plan records that.
+    plan.threads = 1;
     let map = sharded.map_snapshot();
     let shards = sharded.shards();
 
@@ -179,7 +246,8 @@ pub fn knn_detailed(
     let mut tau = f64::INFINITY;
     for (shard, handle) in shards.iter().enumerate() {
         let index = handle.read();
-        let (found, metrics) = knn_engine::knn_bounded(&index, query, family, k, tau)?;
+        sharded.stats().note_dispatch(plan.engine);
+        let (found, metrics) = plan::execute_knn_fragment(&index, query, &lq.family, k, tau)?;
         per_shard.push(metrics);
         // As in the range gather: snapshot translation drops sequences
         // inserted after this query linearized.
@@ -197,7 +265,7 @@ pub fn knn_detailed(
     }
 
     let total = merge_metrics(&per_shard, start.elapsed());
-    Ok((top, total, per_shard))
+    Ok((plan, top, total, per_shard))
 }
 
 /// [`knn_detailed`] without the per-shard breakdown.

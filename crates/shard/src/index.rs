@@ -27,8 +27,10 @@ use crate::partition::{Partitioner, ShardMap};
 use pagestore::sync::{Mutex, RwLock};
 use pagestore::{PageDevice, PageError};
 use simquery::index::{AccessCounters, DeviceWrap, IndexConfig, SeqIndex};
+use simquery::plan::QueryEpoch;
 use simquery::report::QueryError;
 use simquery::shared::{DurableError, SharedIndex};
+use simquery::stats::StatsRegistry;
 use simwal::{DirLock, FsyncPolicy, Wal, WalError, WalOp, WalStats};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -170,6 +172,12 @@ pub struct ShardedIndex {
     poisoned: AtomicBool,
     // Advisory lock on the index directory, held while open.
     _dir_lock: Option<DirLock>,
+    // Planner statistics for the shard group (shard 0's tree shape is the
+    // planning sample; dispatch and family statistics are group-wide).
+    stats: Arc<StatsRegistry>,
+    // Mutations acknowledged since open — the fine-grained half of
+    // [`QueryEpoch`], bumped under the owning shard's write guard.
+    mutations: AtomicU64,
 }
 
 impl fmt::Debug for ShardedIndex {
@@ -250,6 +258,8 @@ impl ShardedIndex {
             wals: None,
             durable_dir: None,
             poisoned: AtomicBool::new(false),
+            stats: Arc::new(StatsRegistry::new()),
+            mutations: AtomicU64::new(0),
             _dir_lock: None,
         })
     }
@@ -381,6 +391,7 @@ impl ShardedIndex {
         let mut map = self.map.write();
         let (g, l) = map.push(shard);
         debug_assert_eq!((g, l), (global, local), "gate must serialise ordinals");
+        self.mutations.fetch_add(1, Ordering::Release);
         Ok(global)
     }
 
@@ -421,6 +432,9 @@ impl ShardedIndex {
                     return Err(DurableError::Wal(e));
                 }
             }
+        }
+        if deleted {
+            self.mutations.fetch_add(1, Ordering::Release);
         }
         Ok(deleted)
     }
@@ -590,6 +604,8 @@ impl ShardedIndex {
             wals: None,
             durable_dir: None,
             poisoned: AtomicBool::new(false),
+            stats: Arc::new(StatsRegistry::new()),
+            mutations: AtomicU64::new(0),
             _dir_lock: lock,
         })
     }
@@ -771,6 +787,8 @@ impl ShardedIndex {
             wals: Some(wals),
             durable_dir: Some(dir.to_path_buf()),
             poisoned: AtomicBool::new(false),
+            stats: Arc::new(StatsRegistry::new()),
+            mutations: AtomicU64::new(0),
             _dir_lock: Some(lock),
         };
         if recovery.dropped > 0 && !faulted {
@@ -785,6 +803,20 @@ impl ShardedIndex {
     /// Whether this index logs mutations to per-shard WALs.
     pub fn is_durable(&self) -> bool {
         self.wals.is_some()
+    }
+
+    /// The planner-statistics registry of this shard group.
+    pub fn stats(&self) -> &Arc<StatsRegistry> {
+        &self.stats
+    }
+
+    /// The cache epoch of the current state: checkpoint epoch plus the
+    /// mutation counter (see [`simquery::plan::QueryEpoch`]).
+    pub fn query_epoch(&self) -> QueryEpoch {
+        QueryEpoch {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Acquire),
+        }
     }
 
     /// Whether an earlier WAL append failure poisoned this index (see

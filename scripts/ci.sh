@@ -6,6 +6,8 @@
 #   scripts/ci.sh           # tier-1: build + tests + fmt (the default)
 #   scripts/ci.sh chaos     # tier-2: seeded fault-injection suites only
 #   scripts/ci.sh recovery  # tier-2: crash-point WAL recovery suites only
+#   scripts/ci.sh parity    # tier-2: planner-parity grid (plan layer vs
+#                           # forced engines, every backend + result cache)
 #
 # The chaos stage replays the fixed seed ranges baked into tests/chaos.rs
 # and crates/serve/tests/chaos_loopback.rs. Every violation panics with
@@ -61,9 +63,40 @@ run_recovery() {
     echo "ci: recovery green"
 }
 
+run_parity() {
+    echo "== parity: planner-chosen vs forced engines, 1/2/4/8 shards =="
+    local log
+    log="$(mktemp)"
+    trap 'rm -f "$log"' RETURN
+    if ! cargo test --offline -p simshard --test plan_parity -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "parity: FAILED — see divergence messages above"
+        echo "replay: cargo test -p simshard --test plan_parity -- --nocapture"
+        return 1
+    fi
+    echo "== parity: sharded-vs-single engine suite =="
+    if ! cargo test --offline -p simshard --test parity -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "parity: FAILED — see output above"
+        echo "replay: cargo test -p simshard --test parity -- --nocapture"
+        return 1
+    fi
+    echo "== parity: EXPLAIN + epoch-keyed result cache over the wire =="
+    if ! cargo test --offline -p simserve --test loopback -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "parity: FAILED — see output above"
+        echo "replay: cargo test -p simserve --test loopback -- --nocapture"
+        return 1
+    fi
+    echo "ci: parity green"
+}
+
 case "$stage" in
 chaos)
     run_chaos
+    ;;
+parity)
+    run_parity
     ;;
 recovery)
     run_recovery
@@ -84,7 +117,7 @@ all)
     echo "ci: all green"
     ;;
 *)
-    echo "usage: scripts/ci.sh [chaos|recovery]" >&2
+    echo "usage: scripts/ci.sh [chaos|recovery|parity]" >&2
     exit 2
     ;;
 esac
