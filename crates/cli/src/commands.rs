@@ -25,6 +25,7 @@ USAGE:
                --k K [--ma LO..HI]
   simseq serve --index DIR/ [--addr HOST:PORT] [--workers N] [--queue N]
                [--max-conns N] [--pool-pages N] [--result-cache N]
+               [--replicate-from HOST:PORT]
   simseq load  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
                [--ma LO..HI] [--rho R] [--engine auto|mt|st|scan]
                [--verify-index DIR/]
@@ -43,8 +44,10 @@ Thresholds: --rho is a cross-correlation in [-1, 1], converted through
 Eq. 9; --eps is a Euclidean distance over transformed normal forms.
 
 `serve` runs the simserved line protocol (see crates/serve/PROTOCOL.md)
-over the given index; `load` replays a seeded closed-loop workload
-against a running server and prints a latency/throughput table.
+over the given index; with --replicate-from it runs an in-memory
+read-only follower of a durable primary instead (writes get ERR
+code=READONLY). `load` replays a seeded closed-loop workload against a
+running server and prints a latency/throughput table.
 
 `recover` replays a write-ahead log (written by `simserved --wal`) on
 top of the index snapshot, reports what it salvaged, and checkpoints so
@@ -227,11 +230,12 @@ pub fn nn(args: &Args) -> CliResult {
 }
 
 /// `simseq serve` — serve a persisted index over TCP (blocks forever).
+/// With `--replicate-from HOST:PORT` it runs an in-memory read-only
+/// follower instead: `--index` seeds the starting state (optional —
+/// without it the whole state bootstraps from a snapshot transfer).
 pub fn serve(args: &Args) -> CliResult {
-    let dir = PathBuf::from(args.req("index")?);
+    let replicate_from = args.opt("replicate-from").map(str::to_string);
     let pool_pages: usize = args.parse_or("pool-pages", 256)?;
-    let shared = SharedIndex::open(&dir, pool_pages)
-        .map_err(|e| err(format!("opening index {}: {e}", dir.display())))?;
     let defaults = simserve::server::ServerConfig::default();
     let cfg = simserve::server::ServerConfig {
         addr: args.opt("addr").unwrap_or(&defaults.addr).to_string(),
@@ -240,10 +244,39 @@ pub fn serve(args: &Args) -> CliResult {
         max_conns: args.parse_or("max-conns", defaults.max_conns)?,
         result_cache: args.parse_or("result-cache", defaults.result_cache)?,
     };
+    let (shared, follower) = match &replicate_from {
+        None => {
+            let dir = PathBuf::from(args.req("index")?);
+            let shared = SharedIndex::open(&dir, pool_pages)
+                .map_err(|e| err(format!("opening index {}: {e}", dir.display())))?;
+            (shared, None)
+        }
+        Some(primary) => {
+            let fopts = simserve::repl::FollowerOpts::default();
+            let (shared, follower) = match args.opt("index") {
+                None => simserve::repl::bootstrap(primary, fopts)
+                    .map_err(|e| err(format!("bootstrapping from {primary}: {e}")))?,
+                Some(dir) => {
+                    let dir = PathBuf::from(dir);
+                    let shared = SharedIndex::open(&dir, pool_pages)
+                        .map_err(|e| err(format!("opening index {}: {e}", dir.display())))?;
+                    let follower =
+                        simserve::repl::Follower::connect(primary, shared.clone(), fopts)
+                            .map_err(|e| err(format!("connecting to primary {primary}: {e}")))?;
+                    (shared, follower)
+                }
+            };
+            (shared, Some(follower))
+        }
+    };
     {
         let index = shared.read();
+        let role = match &replicate_from {
+            Some(primary) => format!("following {primary}, "),
+            None => String::new(),
+        };
         eprintln!(
-            "serving {} sequences of length {} ({} workers, queue {}, max {} conns)",
+            "serving {} sequences of length {} ({role}{} workers, queue {}, max {} conns)",
             index.len(),
             index.seq_len(),
             cfg.workers,
@@ -251,8 +284,18 @@ pub fn serve(args: &Args) -> CliResult {
             cfg.max_conns
         );
     }
-    let handle =
-        simserve::server::serve(shared, &cfg).map_err(|e| err(format!("starting server: {e}")))?;
+    let handle = match follower {
+        None => simserve::server::serve(shared, &cfg)
+            .map_err(|e| err(format!("starting server: {e}")))?,
+        Some(follower) => {
+            let stats = follower.stats();
+            follower.spawn(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(
+                false,
+            )));
+            simserve::server::serve_with(shared, &cfg, Some(stats))
+                .map_err(|e| err(format!("starting server: {e}")))?
+        }
+    };
     println!("listening on {}", handle.addr);
     handle.join();
     Ok(())

@@ -70,6 +70,19 @@ pub enum DurableError {
     /// would make it unrecoverable. Reopen the index to resume from the
     /// acknowledged prefix.
     Poisoned,
+    /// A replicated frame addressed state this replica does not hold —
+    /// an insert for an ordinal beyond the current prefix. Applying it
+    /// would tear a hole in the exact-prefix guarantee, so the frame is
+    /// refused; the follower must re-handshake (the primary falls back
+    /// to a snapshot transfer).
+    Gap {
+        /// LSN of the offending frame.
+        lsn: u64,
+        /// Global ordinal the frame addressed.
+        global: u64,
+        /// Sequences the replica actually holds.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for DurableError {
@@ -83,6 +96,12 @@ impl std::fmt::Display for DurableError {
                 "index poisoned by an earlier wal append failure; \
                  mutations are rejected until the index is reopened"
             ),
+            Self::Gap { lsn, global, len } => write!(
+                f,
+                "replication gap: frame lsn {lsn} addresses ordinal {global} \
+                 but the replica holds only {len} sequences; re-handshake \
+                 for a snapshot transfer"
+            ),
         }
     }
 }
@@ -93,7 +112,7 @@ impl std::error::Error for DurableError {
             Self::Query(e) => Some(e),
             Self::Wal(e) => Some(e),
             Self::Io(e) => Some(e),
-            Self::Poisoned => None,
+            Self::Poisoned | Self::Gap { .. } => None,
         }
     }
 }
@@ -136,7 +155,17 @@ pub struct SharedIndex {
     stats: Arc<StatsRegistry>,
     /// Mutations acknowledged through the typed paths since this handle
     /// (group) was created — the fine-grained half of [`QueryEpoch`].
+    /// Replicated frames bump it too, so a follower's [`QueryEpoch`]
+    /// (and therefore every plan-cache key) moves with every applied
+    /// frame, not just local mutations.
     mutations: Arc<AtomicU64>,
+    /// Highest primary LSN applied through [`Self::apply_replicated`].
+    /// Zero until the first frame lands (primary LSNs start at 1).
+    applied_lsn: Arc<AtomicU64>,
+    /// The primary's checkpoint epoch as of the last snapshot install /
+    /// handshake — the coarse half of a *follower's* [`QueryEpoch`] when
+    /// the handle has no WAL of its own.
+    repl_epoch: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for SharedIndex {
@@ -153,6 +182,8 @@ impl SharedIndex {
             durable: None,
             stats: Arc::new(StatsRegistry::new()),
             mutations: Arc::new(AtomicU64::new(0)),
+            applied_lsn: Arc::new(AtomicU64::new(0)),
+            repl_epoch: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -256,6 +287,10 @@ impl SharedIndex {
             })),
             stats: Arc::new(StatsRegistry::new()),
             mutations: Arc::new(AtomicU64::new(0)),
+            // On a durable follower the local log stores the primary's
+            // LSNs, so the replayed maximum is the applied position.
+            applied_lsn: Arc::new(AtomicU64::new(max_lsn)),
+            repl_epoch: Arc::new(AtomicU64::new(0)),
         };
         if dropped && !faulted {
             // Frames past the recovered prefix would otherwise replay on
@@ -337,6 +372,193 @@ impl SharedIndex {
         Ok(deleted)
     }
 
+    /// Applies one WAL frame shipped from a replication primary, under
+    /// the write guard and with exactly the recovery replay's idempotent
+    /// semantics: an insert lands only when its ordinal extends the
+    /// current prefix (a frame the snapshot already absorbed is skipped,
+    /// a frame *beyond* the prefix is a typed [`DurableError::Gap`]); a
+    /// delete of an already-tombstoned ordinal is a no-op. Returns
+    /// whether the frame changed state. Re-applying any shipped prefix
+    /// is therefore always safe — no gaps, no duplicates.
+    ///
+    /// On a durable handle every state-changing frame is also appended
+    /// to the *local* WAL carrying the primary's LSN, so a restarted
+    /// follower recovers its applied position (`max` replayed LSN) along
+    /// with its state; an append failure poisons the handle exactly like
+    /// a local mutation would. The mutation counter bumps under the
+    /// guard on every state change, so no cached plan result can outlive
+    /// an applied frame (see [`Self::query_epoch`]).
+    pub fn apply_replicated(&self, op: &WalOp) -> Result<bool, DurableError> {
+        let mut guard = self.inner.write();
+        self.check_poisoned()?;
+        let changed = match op {
+            WalOp::Insert {
+                lsn,
+                global,
+                values,
+                ..
+            } => {
+                let g = *global as usize;
+                if g > guard.len() {
+                    return Err(DurableError::Gap {
+                        lsn: *lsn,
+                        global: *global,
+                        len: guard.len(),
+                    });
+                }
+                if g == guard.len() {
+                    guard.insert_series(&TimeSeries::new(values.clone()))?;
+                    true
+                } else {
+                    false // the snapshot (or an earlier frame) already holds it
+                }
+            }
+            WalOp::Delete { global, .. } => {
+                let g = *global as usize;
+                g < guard.len() && guard.delete_series(g)?
+            }
+        };
+        if changed {
+            if let Some(d) = &self.durable {
+                if let Err(e) = d.wal.append(op) {
+                    d.poisoned.store(true, Ordering::Release);
+                    return Err(e.into());
+                }
+                // Keep the local allocator strictly ahead of the shipped
+                // LSNs, so a promoted follower could not reuse one.
+                let mut cur = d.next_lsn.load(Ordering::Relaxed);
+                while cur <= op.lsn() {
+                    match d.next_lsn.compare_exchange(
+                        cur,
+                        op.lsn() + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+            self.mutations.fetch_add(1, Ordering::Release);
+        }
+        // Still under the guard: a reader that observes this applied
+        // position is guaranteed to see the state that includes it.
+        let mut cur = self.applied_lsn.load(Ordering::Relaxed);
+        while cur < op.lsn() {
+            match self.applied_lsn.compare_exchange(
+                cur,
+                op.lsn(),
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        drop(guard);
+        Ok(changed)
+    }
+
+    /// Replaces the whole index with a snapshot transferred from a
+    /// replication primary (the epoch-mismatch fallback of the `REPL`
+    /// handshake). `primary_epoch` is the primary's checkpoint epoch the
+    /// snapshot corresponds to and `next_lsn` the first LSN the stream
+    /// will resume from; the replica's applied position becomes
+    /// `next_lsn - 1`. On a durable handle the snapshot is checkpointed
+    /// into the local index directory under the *local* next epoch (the
+    /// local epoch sequence is independent of the primary's), so a
+    /// restart recovers it without re-transferring.
+    pub fn install_replica_snapshot(
+        &self,
+        index: SeqIndex,
+        primary_epoch: u64,
+        next_lsn: u64,
+    ) -> Result<(), DurableError> {
+        let mut guard = self.inner.write();
+        self.check_poisoned()?;
+        *guard = index;
+        if let Some(d) = &self.durable {
+            d.wal.sync()?;
+            let new_epoch = d.wal.epoch() + 1;
+            guard.save_with_epoch(&d.index_dir, new_epoch)?;
+            d.wal.install_epoch(new_epoch)?;
+            d.next_lsn.store(next_lsn, Ordering::Relaxed);
+        }
+        self.repl_epoch.store(primary_epoch, Ordering::Release);
+        self.applied_lsn
+            .store(next_lsn.saturating_sub(1), Ordering::Release);
+        // Bump under the guard: the whole state changed, so every cached
+        // result keyed on the old epoch must become unreachable.
+        self.mutations.fetch_add(1, Ordering::Release);
+        drop(guard);
+        Ok(())
+    }
+
+    /// Records the primary's checkpoint epoch learned at handshake time
+    /// (the frame-streaming path, where no snapshot transfer happens).
+    pub fn note_replica_epoch(&self, primary_epoch: u64) {
+        self.repl_epoch.store(primary_epoch, Ordering::Release);
+    }
+
+    /// Restores a follower's replication position after a restart:
+    /// adopts `primary_epoch` and raises the applied position to at
+    /// least `applied` (never lowers it). A durable follower's local
+    /// log replays only frames appended since its last snapshot
+    /// install, so the install-time floor is re-asserted from the
+    /// persisted replica state.
+    pub fn note_replica_position(&self, primary_epoch: u64, applied: u64) {
+        self.repl_epoch.store(primary_epoch, Ordering::Release);
+        self.applied_lsn.fetch_max(applied, Ordering::AcqRel);
+    }
+
+    /// Highest primary LSN applied through [`Self::apply_replicated`]
+    /// (0 before any frame lands). On a restarted durable follower this
+    /// is recovered from the local log's replayed maximum.
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn.load(Ordering::Acquire)
+    }
+
+    /// The primary checkpoint epoch this replica last synchronised with
+    /// (0 until a snapshot install or `note_replica_*` call records one).
+    pub fn replica_epoch(&self) -> u64 {
+        self.repl_epoch.load(Ordering::Acquire)
+    }
+
+    /// The next LSN this index would allocate, when durable — the
+    /// exclusive upper bound of the log's coverage, which the `REPL`
+    /// handshake checks a follower's resume position against.
+    pub fn wal_next_lsn(&self) -> Option<u64> {
+        self.durable
+            .as_ref()
+            .map(|d| d.next_lsn.load(Ordering::Relaxed))
+    }
+
+    /// Reads up to `max` frames with `lsn >= from_lsn` from the durable
+    /// prefix of this index's own WAL (see [`Wal::frames_since`]) — the
+    /// catch-up half of the replication feeder. `max == 0` means no cap.
+    pub fn wal_frames_since(&self, from_lsn: u64, max: usize) -> Result<Vec<WalOp>, DurableError> {
+        self.wal_frames_since_hinted(from_lsn, max, None)
+            .map(|(frames, _)| frames)
+    }
+
+    /// [`Self::wal_frames_since`] with a `(lsn, byte offset)` resume
+    /// cursor (see [`Wal::frames_since_hinted`]): a valid cursor makes
+    /// tailing O(frames served); a stale one degrades to a full scan.
+    pub fn wal_frames_since_hinted(
+        &self,
+        from_lsn: u64,
+        max: usize,
+        hint: Option<(u64, u64)>,
+    ) -> Result<(Vec<WalOp>, (u64, u64)), DurableError> {
+        match &self.durable {
+            Some(d) => Ok(d.wal.frames_since_hinted(from_lsn, max, hint)?),
+            None => Err(DurableError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "index has no write-ahead log to stream from",
+            ))),
+        }
+    }
+
     /// Whether an earlier WAL append failure poisoned this handle (see
     /// [`DurableError::Poisoned`]). Queries still serve; mutations and
     /// checkpoints are rejected until the index is reopened.
@@ -397,10 +619,15 @@ impl SharedIndex {
     /// The cache epoch of the current state: WAL checkpoint epoch plus
     /// the typed-path mutation counter. Results cached under an equal
     /// epoch are exact for the current state; any acknowledged mutation
-    /// makes older epochs unequal.
+    /// makes older epochs unequal. On a non-durable *follower* the
+    /// coarse half is the primary's epoch learned over replication, and
+    /// [`Self::apply_replicated`] bumps the counter — so a cached result
+    /// can never outlive an applied frame, local or shipped.
     pub fn query_epoch(&self) -> QueryEpoch {
         QueryEpoch {
-            epoch: self.wal_epoch().unwrap_or(0),
+            epoch: self
+                .wal_epoch()
+                .unwrap_or_else(|| self.repl_epoch.load(Ordering::Acquire)),
             mutations: self.mutations.load(Ordering::Acquire),
         }
     }
@@ -564,5 +791,132 @@ mod tests {
             }
         });
         assert_eq!(shared.read().len(), 68);
+    }
+
+    #[test]
+    fn apply_replicated_is_idempotent_and_gap_safe() {
+        let (_, shared) = shared(4);
+        let extra = Corpus::generate(CorpusKind::SyntheticWalks, 2, 64, 41);
+        let ins = |lsn: u64, g: u64, ts: &TimeSeries| WalOp::Insert {
+            lsn,
+            global: g,
+            local: g,
+            values: ts.values().to_vec(),
+        };
+        let e0 = shared.query_epoch();
+        assert!(shared
+            .apply_replicated(&ins(1, 4, &extra.series()[0]))
+            .unwrap());
+        assert_eq!(shared.read().len(), 5);
+        assert_eq!(shared.applied_lsn(), 1);
+        assert_ne!(
+            shared.query_epoch(),
+            e0,
+            "applied frame must move the epoch"
+        );
+        // Re-applying the same frame: no duplicate, position keeps.
+        assert!(!shared
+            .apply_replicated(&ins(1, 4, &extra.series()[0]))
+            .unwrap());
+        assert_eq!(shared.read().len(), 5);
+        // A frame beyond the prefix is a typed gap, not an apply.
+        let err = shared
+            .apply_replicated(&ins(3, 6, &extra.series()[1]))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DurableError::Gap {
+                    lsn: 3,
+                    global: 6,
+                    len: 5
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(shared.read().len(), 5);
+        // Deletes: applied once, then a no-op — never an error.
+        let del = WalOp::Delete {
+            lsn: 2,
+            global: 4,
+            local: 4,
+        };
+        assert!(shared.apply_replicated(&del).unwrap());
+        assert!(!shared.apply_replicated(&del).unwrap());
+        assert_eq!(shared.applied_lsn(), 2);
+        // A no-change frame still advances the applied position.
+        assert!(!shared
+            .apply_replicated(&WalOp::Delete {
+                lsn: 7,
+                global: 4,
+                local: 4
+            })
+            .unwrap());
+        assert_eq!(shared.applied_lsn(), 7);
+    }
+
+    #[test]
+    fn durable_follower_recovers_applied_position() {
+        let root = std::env::temp_dir()
+            .join("simquery-shared-tests")
+            .join(format!("repl-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let c = Corpus::generate(CorpusKind::SyntheticWalks, 3, 64, 5);
+        SeqIndex::build(&c, IndexConfig::default())
+            .unwrap()
+            .save(&root.join("idx"))
+            .unwrap();
+        let extra = Corpus::generate(CorpusKind::SyntheticWalks, 2, 64, 6);
+        let (follower, _) = SharedIndex::open_durable(
+            &root.join("idx"),
+            &root.join("wal"),
+            16,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        // Ship two frames with the primary's (sparse) LSNs.
+        for (i, ts) in extra.series().iter().enumerate() {
+            follower
+                .apply_replicated(&WalOp::Insert {
+                    lsn: 10 + i as u64 * 10,
+                    global: 3 + i as u64,
+                    local: 3 + i as u64,
+                    values: ts.values().to_vec(),
+                })
+                .unwrap();
+        }
+        assert_eq!(follower.applied_lsn(), 20);
+        assert!(follower.wal_next_lsn().unwrap() > 20);
+        drop(follower);
+        // Restart: state and applied position both come back.
+        let (follower, rep) = SharedIndex::open_durable(
+            &root.join("idx"),
+            &root.join("wal"),
+            16,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        assert_eq!(rep.frames, 2);
+        assert_eq!(follower.read().len(), 5);
+        assert_eq!(follower.applied_lsn(), 20);
+        drop(follower);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn snapshot_install_replaces_state_and_epoch() {
+        let (_, follower) = shared(3);
+        let c2 = Corpus::generate(CorpusKind::SyntheticWalks, 6, 64, 9);
+        let snap = SeqIndex::build(&c2, IndexConfig::default()).unwrap();
+        let before = follower.query_epoch();
+        follower.install_replica_snapshot(snap, 4, 31).unwrap();
+        assert_eq!(follower.read().len(), 6);
+        assert_eq!(follower.applied_lsn(), 30);
+        let after = follower.query_epoch();
+        assert_ne!(before, after);
+        assert_eq!(
+            after.epoch, 4,
+            "non-durable follower adopts the primary epoch"
+        );
     }
 }

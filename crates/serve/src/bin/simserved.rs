@@ -26,13 +26,25 @@
 //! keyed on the query fingerprint and the index epoch; any `INSERT`,
 //! `DELETE`, or `CHECKPOINT` moves the epoch, so cached results are
 //! never stale. `0` (the default) disables the cache.
+//!
+//! With `--replicate-from HOST:PORT` the server runs as a **follower**:
+//! it streams WAL frames from the primary over the `REPL` verb, applies
+//! them through the crash-recovery replay path, and serves read-only
+//! queries (writes get `ERR code=READONLY`). Without `--index` the
+//! follower bootstraps its whole state from a snapshot transfer; with
+//! `--index` (optionally plus `--wal` for a durable follower that
+//! resumes from its persisted replica position) it starts from local
+//! state and catches up.
 
 use simquery::shared::SharedIndex;
 use simserve::opts::Opts;
-use simserve::server::{serve, Backend, ServerConfig};
+use simserve::repl::{self, Follower, FollowerOpts};
+use simserve::server::{serve, serve_with, Backend, ServerConfig};
 use simshard::{ShardConfig, ShardedIndex};
 use simwal::FsyncPolicy;
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 simserved — serve a persisted similarity index over TCP
@@ -43,6 +55,8 @@ USAGE:
             [--shards N] [--partitioner hash|round-robin|range]
             [--wal DIR/] [--fsync always|never|N]
             [--result-cache N]
+  simserved --replicate-from HOST:PORT [--index DIR/] [--wal DIR/]
+            [--addr HOST:PORT] [...]
 
 The protocol is documented in crates/serve/PROTOCOL.md. Build an index
 with `simseq gen` + `simseq build` first (or a sharded one with
@@ -52,7 +66,10 @@ backend. `--wal DIR/` makes INSERT/DELETE durable (write-ahead logged,
 replayed on restart; see SYNC and CHECKPOINT in the protocol).
 `--result-cache N` answers repeated queries from an epoch-keyed LRU
 cache (mutations invalidate; see the EXPLAIN verb and the STATS PLAN
-line in the protocol).
+line in the protocol). `--replicate-from HOST:PORT` runs a read-only
+follower of a durable primary: without --index it bootstraps from a
+snapshot transfer, with --index (+ --wal for durability) it resumes
+from local state; writes are refused with ERR code=READONLY.
 ";
 
 fn main() {
@@ -82,7 +99,12 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let opts = Opts::parse(&argv).map_err(|e| e.to_string())?;
-    let dir = PathBuf::from(opts.req("index").map_err(|e| e.to_string())?);
+    let replicate_from = opts.get("replicate-from").map(str::to_string);
+    let dir = match (opts.get("index"), &replicate_from) {
+        (Some(d), _) => Some(PathBuf::from(d)),
+        (None, Some(_)) => None, // a fresh follower bootstraps from a snapshot
+        (None, None) => return Err("missing required --index".into()),
+    };
     let pool_pages: usize = opts
         .parse_or("pool-pages", 256)
         .map_err(|e| e.to_string())?;
@@ -118,6 +140,75 @@ fn run() -> Result<(), String> {
     if wal_dir.is_none() && opts.get("fsync").is_some() {
         return Err("--fsync requires --wal".into());
     }
+
+    if let Some(primary) = &replicate_from {
+        if opts.get("shards").is_some() || opts.get("partitioner").is_some() {
+            return Err(
+                "--replicate-from serves a single-index follower; --shards/--partitioner \
+                 do not apply (shards ship separately)"
+                    .into(),
+            );
+        }
+        let fopts = FollowerOpts {
+            state_dir: wal_dir.clone(),
+            ..FollowerOpts::default()
+        };
+        let (shared, follower) = match &dir {
+            None => {
+                if wal_dir.is_some() {
+                    return Err("--wal on a follower requires --index \
+                         (a durable follower opens both directories)"
+                        .into());
+                }
+                repl::bootstrap(primary, fopts)
+                    .map_err(|e| format!("bootstrapping from {primary}: {e}"))?
+            }
+            Some(dir) => {
+                if dir.join("sharding.txt").is_file() {
+                    return Err(format!(
+                        "{} is a sharded directory; replication requires a single index",
+                        dir.display()
+                    ));
+                }
+                let shared = match &wal_dir {
+                    None => SharedIndex::open(dir, pool_pages)
+                        .map_err(|e| format!("opening index {}: {e}", dir.display()))?,
+                    Some(wal) => {
+                        let (shared, rep) = SharedIndex::open_durable(dir, wal, pool_pages, policy)
+                            .map_err(|e| format!("opening index {}: {e}", dir.display()))?;
+                        eprintln!(
+                            "wal: epoch {}, replayed {} frames ({} stale, {} torn bytes)",
+                            rep.epoch, rep.frames, rep.stale_frames, rep.truncated_bytes
+                        );
+                        shared
+                    }
+                };
+                let follower = Follower::connect(primary, shared.clone(), fopts)
+                    .map_err(|e| format!("connecting to primary {primary}: {e}"))?;
+                (shared, follower)
+            }
+        };
+        {
+            let index = shared.read();
+            eprintln!(
+                "follower of {primary}: {} sequences of length {}, applied lsn {} \
+                 ({} workers, queue {})",
+                index.len(),
+                index.seq_len(),
+                shared.applied_lsn(),
+                cfg.workers,
+                cfg.queue_depth
+            );
+        }
+        let stats = follower.stats();
+        follower.spawn(Arc::new(AtomicBool::new(false)));
+        let handle = serve_with(Backend::from(shared), &cfg, Some(stats))
+            .map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+        println!("listening on {}", handle.addr);
+        handle.join();
+        return Ok(());
+    }
+    let dir = dir.expect("--index is required without --replicate-from");
 
     let backend = if dir.join("sharding.txt").is_file() {
         // A `simseq shard build` directory is already partitioned; explicit

@@ -14,6 +14,8 @@
 //!   histograms (p50/p95/p99), plus index access-counter deltas, reported
 //!   by the `STATS` request;
 //! * [`client`] — a typed blocking client;
+//! * [`repl`] — WAL-shipping replication: the primary-side `REPL` feeder
+//!   and the follower loop behind `simserved --replicate-from`;
 //! * [`load`] — the `simload` closed-loop load generator: N concurrent
 //!   connections replaying seeded workloads, with optional result-parity
 //!   verification against a directly-opened copy of the index.
@@ -29,4 +31,5 @@ pub mod metrics;
 pub mod opts;
 pub mod pool;
 pub mod protocol;
+pub mod repl;
 pub mod server;

@@ -7,7 +7,9 @@
 //! reports (percentiles are bucket upper bounds, i.e. ≤ 2× the true
 //! value).
 
-use crate::protocol::{OpStatLine, PlanStatLine, ShardStatLine, StatsReport, WalStatLine};
+use crate::protocol::{
+    OpStatLine, PlanStatLine, ReplStatLine, ShardStatLine, StatsReport, WalStatLine,
+};
 use simquery::index::AccessCounters;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -82,7 +84,7 @@ impl Histogram {
 }
 
 /// The operations the registry tracks, in reporting order.
-pub const OPS: [&str; 10] = [
+pub const OPS: [&str; 11] = [
     "query",
     "knn",
     "join",
@@ -92,6 +94,7 @@ pub const OPS: [&str; 10] = [
     "sync",
     "checkpoint",
     "info",
+    "repl",
     "stats",
 ];
 
@@ -148,13 +151,16 @@ impl Registry {
     /// counters (totals since server start; the delta baseline is kept
     /// here), and `shards` is the per-shard breakdown — empty for a
     /// single-index backend. `plan` carries the planner and result-cache
-    /// counters (always present on current servers).
+    /// counters (always present on current servers), and `repl` the
+    /// replication view when the server is a primary with followers or a
+    /// follower itself.
     pub fn report(
         &self,
         now: AccessCounters,
         shards: Vec<ShardStatLine>,
         wal: Option<WalStatLine>,
         plan: Option<PlanStatLine>,
+        repl: Option<ReplStatLine>,
         reset: bool,
     ) -> StatsReport {
         let mut baseline = self.baseline.lock().unwrap_or_else(|e| e.into_inner());
@@ -193,6 +199,7 @@ impl Registry {
             shards,
             wal,
             plan,
+            repl,
         };
         if reset {
             for s in &self.ops {

@@ -9,6 +9,7 @@
 //! sides cannot drift apart.
 
 use simquery::prelude::*;
+use simwal::WalOp;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
@@ -155,6 +156,25 @@ pub enum Request {
         /// The wrapped query request (`Query`, `Knn`, or `Join`).
         inner: Box<Request>,
     },
+    /// Replication poll: a follower asks the primary for WAL frames.
+    /// The handshake state rides on every request — `epoch` is the
+    /// primary checkpoint epoch the follower's state corresponds to and
+    /// `from` the next LSN it expects; the primary streams frames when
+    /// they line up and answers with a snapshot transfer otherwise.
+    Repl {
+        /// Primary checkpoint epoch the follower last synchronised with.
+        epoch: u64,
+        /// Next LSN the follower expects (exclusive ack position).
+        from: u64,
+        /// Highest LSN the follower has durably applied — the primary
+        /// records it as this follower's acked position.
+        ack: u64,
+        /// Maximum frames per response (0 = server default).
+        max: usize,
+        /// Long-poll budget: how long the primary may hold the request
+        /// open waiting for new frames before answering empty.
+        wait_ms: u64,
+    },
     /// Ends the connection.
     Quit,
 }
@@ -212,6 +232,13 @@ impl Request {
                 }
             }
             Self::Explain { inner } => format!("EXPLAIN {}", inner.to_line()),
+            Self::Repl {
+                epoch,
+                from,
+                ack,
+                max,
+                wait_ms,
+            } => format!("REPL epoch={epoch} from={from} ack={ack} max={max} wait_ms={wait_ms}"),
             Self::Quit => "QUIT".into(),
         }
     }
@@ -271,6 +298,13 @@ impl Request {
             "STATS" => Ok(Self::Stats {
                 reset: kv.get("reset") == Some("yes"),
             }),
+            "REPL" => Ok(Self::Repl {
+                epoch: kv.req_parse("epoch")?,
+                from: kv.req_parse("from")?,
+                ack: kv.parse_or("ack", 0)?,
+                max: kv.parse_or("max", 0)?,
+                wait_ms: kv.parse_or("wait_ms", 0)?,
+            }),
             "QUIT" => Ok(Self::Quit),
             "EXPLAIN" => Err(ProtoError::bad("EXPLAIN wraps QUERY, KNN or JOIN")),
             other => Err(ProtoError::bad(format!("unknown verb `{other}`"))),
@@ -302,6 +336,9 @@ pub enum ErrCode {
     Io,
     /// Internal server failure.
     Server,
+    /// The server is a replication follower: writes (`INSERT`, `DELETE`,
+    /// `CHECKPOINT`) are refused — send them to the primary.
+    ReadOnly,
 }
 
 impl ErrCode {
@@ -313,6 +350,7 @@ impl ErrCode {
             Self::Query => "QUERY",
             Self::Io => "IO",
             Self::Server => "SERVER",
+            Self::ReadOnly => "READONLY",
         }
     }
 
@@ -324,6 +362,7 @@ impl ErrCode {
             "QUERY" => Ok(Self::Query),
             "IO" => Ok(Self::Io),
             "SERVER" => Ok(Self::Server),
+            "READONLY" => Ok(Self::ReadOnly),
             other => Err(ProtoError::bad(format!("unknown error code `{other}`"))),
         }
     }
@@ -448,6 +487,27 @@ pub struct PlanStatLine {
     pub scan: u64,
 }
 
+/// Replication counters of a `STATS` response. On a primary, the
+/// follower-fleet view; on a follower, its own applied position.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplStatLine {
+    /// `primary` or `follower`.
+    pub role: String,
+    /// Followers that have polled since server start (primary only).
+    pub followers: u64,
+    /// Minimum acked LSN across the follower fleet (primary), or the
+    /// LSN this follower has acked upstream (follower).
+    pub acked_lsn: u64,
+    /// Highest LSN applied locally (follower; 0 on a primary).
+    pub applied_lsn: u64,
+    /// Next-LSN-minus-acked lag in frames (both roles).
+    pub lag: u64,
+    /// Frame bytes shipped to followers (primary) or received (follower).
+    pub bytes: u64,
+    /// Checkpoint epoch the replication stream is on.
+    pub epoch: u64,
+}
+
 /// The full `STATS` payload.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatsReport {
@@ -469,6 +529,21 @@ pub struct StatsReport {
     /// Planner/result-cache counters; `None` only for reports produced
     /// by servers predating the plan layer.
     pub plan: Option<PlanStatLine>,
+    /// Replication counters; `None` when the server neither serves
+    /// followers nor follows a primary.
+    pub repl: Option<ReplStatLine>,
+}
+
+/// One `SNAP` line of a snapshot-transfer response: a stored sequence
+/// and whether it is live or tombstoned.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapEntry {
+    /// Global ordinal.
+    pub ord: u64,
+    /// Whether the sequence is live (not tombstoned).
+    pub live: bool,
+    /// The raw values.
+    pub values: Vec<f64>,
 }
 
 /// A parsed response.
@@ -513,6 +588,31 @@ pub enum Response {
     Checkpointed {
         /// Epoch installed by the checkpoint.
         epoch: u64,
+    },
+    /// `REPL` payload: a batch of WAL frames from the primary's log.
+    ReplFrames {
+        /// The primary's current checkpoint epoch.
+        epoch: u64,
+        /// Exclusive upper bound of the primary's log (its next LSN);
+        /// `end - 1` is the newest LSN a fully drained follower holds.
+        end: u64,
+        /// Frames with `lsn >= from`, in log order (possibly empty).
+        frames: Vec<WalOp>,
+    },
+    /// `REPL` payload: a full snapshot transfer — the epoch-mismatch
+    /// fallback of the handshake.
+    ReplSnapshot {
+        /// The primary's current checkpoint epoch (what the snapshot
+        /// corresponds to).
+        epoch: u64,
+        /// First LSN the follower resumes streaming from.
+        next: u64,
+        /// Sequence length of the served corpus.
+        seq_len: usize,
+        /// One entry per ordinal, in ordinal order — tombstoned
+        /// ordinals ship too (`live=no`) so the follower reproduces the
+        /// exact ordinal assignment.
+        entries: Vec<SnapEntry>,
     },
     /// Plain acknowledgement (`QUIT`, `SYNC`).
     Ok,
@@ -615,6 +715,14 @@ impl Response {
                         p.scan
                     )?;
                 }
+                if let Some(r) = &s.repl {
+                    writeln!(
+                        w,
+                        "REPL role={} followers={} acked_lsn={} applied_lsn={} lag={} \
+                         bytes={} epoch={}",
+                        r.role, r.followers, r.acked_lsn, r.applied_lsn, r.lag, r.bytes, r.epoch
+                    )?;
+                }
                 writeln!(
                     w,
                     "SERVER busy_rejected={} connections={}",
@@ -622,6 +730,47 @@ impl Response {
                 )?;
             }
             Self::Checkpointed { epoch } => writeln!(w, "OK epoch={epoch}")?,
+            Self::ReplFrames { epoch, end, frames } => {
+                writeln!(w, "OK repl=frames epoch={epoch} end={end}")?;
+                for op in frames {
+                    match op {
+                        WalOp::Insert {
+                            lsn,
+                            global,
+                            local,
+                            values,
+                        } => writeln!(
+                            w,
+                            "FRAME lsn={lsn} op=insert global={global} local={local} data={}",
+                            join_floats(values)
+                        )?,
+                        WalOp::Delete { lsn, global, local } => {
+                            writeln!(w, "FRAME lsn={lsn} op=delete global={global} local={local}")?
+                        }
+                    }
+                }
+            }
+            Self::ReplSnapshot {
+                epoch,
+                next,
+                seq_len,
+                entries,
+            } => {
+                writeln!(
+                    w,
+                    "OK repl=snapshot epoch={epoch} next={next} seq_len={seq_len} count={}",
+                    entries.len()
+                )?;
+                for e in entries {
+                    writeln!(
+                        w,
+                        "SNAP ord={} live={} data={}",
+                        e.ord,
+                        if e.live { "yes" } else { "no" },
+                        join_floats(&e.values)
+                    )?;
+                }
+            }
             Self::Ok => writeln!(w, "OK")?,
             Self::Err { code, msg } => writeln!(w, "ERR code={} msg={}", code.as_str(), msg)?,
         }
@@ -662,7 +811,9 @@ impl Response {
             }
             Some("OK") => {
                 let kv = KvTokens::collect(tokens)?;
-                if let Some(n) = kv.get("n") {
+                if let Some(kind) = kv.get("repl") {
+                    Self::assemble_repl(kind, &kv, body)
+                } else if let Some(n) = kv.get("n") {
                     let n: usize = n.parse().map_err(|_| ProtoError::bad("bad n="))?;
                     Self::assemble_result(n, body)
                 } else if let Some(ord) = kv.get("ord") {
@@ -744,6 +895,70 @@ impl Response {
         }
     }
 
+    fn assemble_repl(kind: &str, kv: &KvTokens, body: &[String]) -> Result<Self, ProtoError> {
+        match kind {
+            "frames" => {
+                let mut frames = Vec::new();
+                for line in body {
+                    let mut tokens = line.split_whitespace();
+                    if tokens.next() != Some("FRAME") {
+                        return Err(ProtoError::bad(format!("unexpected repl line `{line}`")));
+                    }
+                    let fkv = KvTokens::collect(tokens)?;
+                    let lsn = fkv.req_parse("lsn")?;
+                    let global = fkv.req_parse("global")?;
+                    let local = fkv.req_parse("local")?;
+                    frames.push(match fkv.req("op")? {
+                        "insert" => WalOp::Insert {
+                            lsn,
+                            global,
+                            local,
+                            values: parse_floats(fkv.req("data")?)?,
+                        },
+                        "delete" => WalOp::Delete { lsn, global, local },
+                        other => {
+                            return Err(ProtoError::bad(format!("unknown frame op `{other}`")));
+                        }
+                    });
+                }
+                Ok(Self::ReplFrames {
+                    epoch: kv.req_parse("epoch")?,
+                    end: kv.req_parse("end")?,
+                    frames,
+                })
+            }
+            "snapshot" => {
+                let count: usize = kv.req_parse("count")?;
+                let mut entries = Vec::new();
+                for line in body {
+                    let mut tokens = line.split_whitespace();
+                    if tokens.next() != Some("SNAP") {
+                        return Err(ProtoError::bad(format!("unexpected repl line `{line}`")));
+                    }
+                    let skv = KvTokens::collect(tokens)?;
+                    entries.push(SnapEntry {
+                        ord: skv.req_parse("ord")?,
+                        live: skv.req("live")? == "yes",
+                        values: parse_floats(skv.req("data")?)?,
+                    });
+                }
+                if entries.len() != count {
+                    return Err(ProtoError::bad(format!(
+                        "snapshot announced count={count} but carried {}",
+                        entries.len()
+                    )));
+                }
+                Ok(Self::ReplSnapshot {
+                    epoch: kv.req_parse("epoch")?,
+                    next: kv.req_parse("next")?,
+                    seq_len: kv.req_parse("seq_len")?,
+                    entries,
+                })
+            }
+            other => Err(ProtoError::bad(format!("unknown repl payload `{other}`"))),
+        }
+    }
+
     fn assemble_stats(body: &[String]) -> Result<Self, ProtoError> {
         let mut report = StatsReport::default();
         for line in body {
@@ -806,6 +1021,18 @@ impl Response {
                         scan: kv.req_parse("scan")?,
                     });
                 }
+                Some("REPL") => {
+                    let kv = KvTokens::collect(tokens)?;
+                    report.repl = Some(ReplStatLine {
+                        role: kv.req("role")?.to_string(),
+                        followers: kv.req_parse("followers")?,
+                        acked_lsn: kv.req_parse("acked_lsn")?,
+                        applied_lsn: kv.req_parse("applied_lsn")?,
+                        lag: kv.req_parse("lag")?,
+                        bytes: kv.req_parse("bytes")?,
+                        epoch: kv.req_parse("epoch")?,
+                    });
+                }
                 Some("SERVER") => {
                     let kv = KvTokens::collect(tokens)?;
                     report.busy_rejected = kv.req_parse("busy_rejected")?;
@@ -834,6 +1061,23 @@ fn assemble_kv_body(body: &[String], prefix: &str) -> Result<Vec<(String, String
         pairs.push((k.to_string(), v.to_string()));
     }
     Ok(pairs)
+}
+
+/// Joins values with commas in Rust's shortest round-trip formatting —
+/// the same representation `INSERT data=` uses, so a replicated value is
+/// bit-identical on both ends.
+fn join_floats(values: &[f64]) -> String {
+    let out: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
+    out.join(",")
+}
+
+fn parse_floats(data: &str) -> Result<Vec<f64>, ProtoError> {
+    let values: Result<Vec<f64>, _> = data.split(',').map(str::parse).collect();
+    let values = values.map_err(|_| ProtoError::bad("data= must be comma-separated floats"))?;
+    if values.is_empty() {
+        return Err(ProtoError::bad("data= must be non-empty"));
+    }
+    Ok(values)
 }
 
 fn write_metrics(w: &mut impl Write, m: &WireMetrics) -> io::Result<()> {
@@ -1026,6 +1270,29 @@ mod tests {
                 ma: (1, 8),
             }),
         });
+        round_trip_request(Request::Repl {
+            epoch: 3,
+            from: 17,
+            ack: 16,
+            max: 256,
+            wait_ms: 500,
+        });
+    }
+
+    #[test]
+    fn repl_request_defaults_fill_in() {
+        assert_eq!(
+            Request::parse("REPL epoch=1 from=5").unwrap(),
+            Request::Repl {
+                epoch: 1,
+                from: 5,
+                ack: 0,
+                max: 0,
+                wait_ms: 0,
+            }
+        );
+        assert!(Request::parse("REPL from=5").is_err(), "epoch is required");
+        assert!(Request::parse("REPL epoch=1").is_err(), "from is required");
     }
 
     #[test]
@@ -1166,8 +1433,56 @@ mod tests {
                 st: 10,
                 scan: 7,
             }),
+            repl: Some(ReplStatLine {
+                role: "primary".into(),
+                followers: 2,
+                acked_lsn: 17,
+                applied_lsn: 0,
+                lag: 3,
+                bytes: 4096,
+                epoch: 3,
+            }),
         })));
         round_trip_response(Response::Checkpointed { epoch: 5 });
+        round_trip_response(Response::ReplFrames {
+            epoch: 2,
+            end: 10,
+            frames: vec![
+                WalOp::Insert {
+                    lsn: 8,
+                    global: 4,
+                    local: 4,
+                    values: vec![1.5, -0.25, 3.0],
+                },
+                WalOp::Delete {
+                    lsn: 9,
+                    global: 2,
+                    local: 2,
+                },
+            ],
+        });
+        round_trip_response(Response::ReplFrames {
+            epoch: 0,
+            end: 1,
+            frames: vec![],
+        });
+        round_trip_response(Response::ReplSnapshot {
+            epoch: 3,
+            next: 42,
+            seq_len: 4,
+            entries: vec![
+                SnapEntry {
+                    ord: 0,
+                    live: true,
+                    values: vec![0.5, 1.0, 1.5, 2.0],
+                },
+                SnapEntry {
+                    ord: 1,
+                    live: false,
+                    values: vec![-1.0, 0.0, 1.0, 2.0],
+                },
+            ],
+        });
         round_trip_response(Response::Ok);
         round_trip_response(Response::Plan(vec![
             ("verb".into(), "query".into()),
@@ -1190,6 +1505,10 @@ mod tests {
                 "page access failed: read of P7 failed: i/o error",
             ),
             (ErrCode::Server, ""),
+            (
+                ErrCode::ReadOnly,
+                "follower is read-only; write to the primary",
+            ),
         ] {
             round_trip_response(Response::Err {
                 code,

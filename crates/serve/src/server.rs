@@ -22,6 +22,7 @@ use crate::protocol::{
     EngineKind, ErrCode, PlanStatLine, QueryParams, Request, Response, WireMatch, WireMetrics,
     WirePair, WireThreshold,
 };
+use crate::repl::{serve_repl, FollowerStats, ReplPoll, ReplState};
 use simquery::prelude::*;
 use simquery::report::{JoinResult, QueryError};
 use simquery::shared::DurableError;
@@ -123,7 +124,20 @@ impl ServerHandle {
 
 /// Starts serving `backend` per `cfg` (a bare [`SharedIndex`] converts
 /// into a single-index backend). Returns once the listener is bound.
+/// The server answers `REPL` polls whenever the backend is a durable
+/// single index — any such server can feed followers.
 pub fn serve(backend: impl Into<Backend>, cfg: &ServerConfig) -> io::Result<ServerHandle> {
+    serve_with(backend, cfg, None)
+}
+
+/// [`serve`] for a replication follower: `follower` carries the counters
+/// the follower loop publishes. The server then refuses writes with
+/// `ERR code=READONLY` and reports the follower `REPL` stats line.
+pub fn serve_with(
+    backend: impl Into<Backend>,
+    cfg: &ServerConfig,
+    follower: Option<Arc<FollowerStats>>,
+) -> io::Result<ServerHandle> {
     let backend = backend.into();
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
@@ -131,6 +145,10 @@ pub fn serve(backend: impl Into<Backend>, cfg: &ServerConfig) -> io::Result<Serv
     let stop = Arc::new(AtomicBool::new(false));
     let pool = Arc::new(WorkerPool::new(cfg.workers, cfg.queue_depth));
     let cache = Arc::new(PlanCache::new(cfg.result_cache));
+    let repl = Arc::new(match follower {
+        Some(stats) => ReplState::follower(stats),
+        None => ReplState::primary(),
+    });
     let live_conns = Arc::new(AtomicUsize::new(0));
     let max_conns = cfg.max_conns;
 
@@ -161,11 +179,19 @@ pub fn serve(backend: impl Into<Backend>, cfg: &ServerConfig) -> io::Result<Serv
                     let metrics = Arc::clone(&metrics);
                     let pool = Arc::clone(&pool);
                     let cache = Arc::clone(&cache);
+                    let repl = Arc::clone(&repl);
                     let live_conns = Arc::clone(&live_conns);
                     let _ = std::thread::Builder::new()
                         .name("simserve-conn".into())
                         .spawn(move || {
-                            let _ = handle_connection(stream, &backend, &metrics, &pool, &cache);
+                            let peer = stream
+                                .peer_addr()
+                                .map(|a| a.to_string())
+                                .unwrap_or_else(|_| "unknown".into());
+                            let _ = handle_connection(
+                                stream, &backend, &metrics, &pool, &cache, &repl, &peer,
+                            );
+                            repl.drop_peer(&peer);
                             live_conns.fetch_sub(1, Ordering::SeqCst);
                         });
                 }
@@ -186,6 +212,8 @@ fn handle_connection(
     metrics: &Arc<Registry>,
     pool: &Arc<WorkerPool>,
     cache: &Arc<PlanCache>,
+    repl: &Arc<ReplState>,
+    peer: &str,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -215,6 +243,31 @@ fn handle_connection(
             writer.flush()?;
             return Ok(());
         }
+        if let Request::Repl {
+            epoch,
+            from,
+            ack,
+            max,
+            wait_ms,
+        } = request
+        {
+            // Served inline, like QUIT: a long-poll parked in the
+            // bounded worker pool would starve query traffic.
+            let start = Instant::now();
+            let poll = ReplPoll {
+                epoch,
+                from,
+                ack,
+                max,
+                wait_ms,
+            };
+            let response = serve_repl(backend, repl, peer, poll);
+            let is_err = matches!(response, Response::Err { .. });
+            metrics.record(op_index("repl"), start.elapsed(), is_err);
+            response.write_to(&mut writer)?;
+            writer.flush()?;
+            continue;
+        }
 
         // Hand execution to the worker pool; a full queue is an immediate
         // BUSY error — the admission-control contract.
@@ -223,10 +276,11 @@ fn handle_connection(
             let backend = backend.clone();
             let metrics = Arc::clone(metrics);
             let cache = Arc::clone(cache);
+            let repl = Arc::clone(repl);
             Box::new(move || {
                 let op = op_index(request.op_name());
                 let start = Instant::now();
-                let response = execute(&backend, &metrics, &cache, request);
+                let response = execute(&backend, &metrics, &cache, &repl, request);
                 let is_err = matches!(response, Response::Err { .. });
                 metrics.record(op, start.elapsed(), is_err);
                 let _ = tx.send(response);
@@ -268,6 +322,7 @@ impl Request {
             Self::Info => "info",
             Self::Stats { .. } => "stats",
             Self::Explain { .. } => "explain",
+            Self::Repl { .. } => "repl",
             Self::Quit => "info",
         }
     }
@@ -278,7 +333,24 @@ impl Request {
 /// Query verbs build a [`LogicalQuery`], consult the result cache, and
 /// route through the plan layer — the server never calls an engine
 /// directly.
-fn execute(backend: &Backend, metrics: &Registry, cache: &PlanCache, request: Request) -> Response {
+fn execute(
+    backend: &Backend,
+    metrics: &Registry,
+    cache: &PlanCache,
+    repl: &ReplState,
+    request: Request,
+) -> Response {
+    if repl.is_follower()
+        && matches!(
+            request,
+            Request::Insert { .. } | Request::Delete { .. } | Request::Checkpoint
+        )
+    {
+        return err(
+            ErrCode::ReadOnly,
+            "this server is a replication follower; send writes to the primary",
+        );
+    }
     match request {
         Request::Query(p) => run_query(backend, cache, p),
         Request::Knn { ord, k, ma } => run_knn(backend, cache, ord, k, ma),
@@ -298,7 +370,10 @@ fn execute(backend: &Backend, metrics: &Registry, cache: &PlanCache, request: Re
                 Backend::Sharded(sharded) => sharded.insert_series(&ts),
             };
             match outcome {
-                Ok(ord) => Response::Inserted { ord },
+                Ok(ord) => {
+                    repl.notify_append();
+                    Response::Inserted { ord }
+                }
                 Err(e) => durable_err(e),
             }
         }
@@ -308,7 +383,12 @@ fn execute(backend: &Backend, metrics: &Registry, cache: &PlanCache, request: Re
                 Backend::Sharded(sharded) => sharded.delete_series(ord),
             };
             match outcome {
-                Ok(existed) => Response::Deleted { existed },
+                Ok(existed) => {
+                    if existed {
+                        repl.notify_append();
+                    }
+                    Response::Deleted { existed }
+                }
                 Err(e) => durable_err(e),
             }
         }
@@ -345,9 +425,20 @@ fn execute(backend: &Backend, metrics: &Registry, cache: &PlanCache, request: Re
                     ("skipped".into(), index.skipped().len().to_string()),
                     ("deleted".into(), index.deleted_count().to_string()),
                     ("durable".into(), shared.is_durable().to_string()),
+                    (
+                        "role".into(),
+                        if repl.is_follower() {
+                            "follower".into()
+                        } else {
+                            "primary".to_string()
+                        },
+                    ),
                 ];
                 if let Some(epoch) = shared.wal_epoch() {
                     info.push(("wal_epoch".into(), epoch.to_string()));
+                }
+                if repl.is_follower() {
+                    info.push(("applied_lsn".into(), shared.applied_lsn().to_string()));
                 }
                 Response::Info(info)
             }
@@ -433,11 +524,13 @@ fn execute(backend: &Backend, metrics: &Registry, cache: &PlanCache, request: Re
                 st: snap.dispatch_st,
                 scan: snap.dispatch_scan,
             });
+            let repl_line = repl.stat_line(backend);
             Response::Stats(Box::new(
-                metrics.report(counters, shards, wal, plan_line, reset),
+                metrics.report(counters, shards, wal, plan_line, repl_line, reset),
             ))
         }
-        Request::Quit => Response::Ok, // handled on the connection thread
+        // Both handled on the connection thread, never submitted here.
+        Request::Repl { .. } | Request::Quit => Response::Ok,
     }
 }
 
@@ -464,13 +557,15 @@ fn io_err(e: pagestore::PageError) -> Response {
 }
 
 /// Durable-mutation errors: engine rejections keep their `QUERY`/`IO`
-/// split; WAL and snapshot failures are `IO`.
+/// split; WAL and snapshot failures are `IO`; a replication gap is a
+/// protocol-level inconsistency, so `SERVER`.
 fn durable_err(e: DurableError) -> Response {
     match e {
         DurableError::Query(q) => query_err(q),
         e @ (DurableError::Wal(_) | DurableError::Io(_) | DurableError::Poisoned) => {
             err(ErrCode::Io, e.to_string())
         }
+        gap @ DurableError::Gap { .. } => err(ErrCode::Server, gap.to_string()),
     }
 }
 

@@ -123,6 +123,7 @@ impl From<DurableError> for ShardError {
             DurableError::Wal(w) => Self::Wal(w),
             DurableError::Io(io) => Self::Io(io),
             DurableError::Poisoned => Self::Poisoned,
+            gap @ DurableError::Gap { .. } => Self::Config(gap.to_string()),
         }
     }
 }

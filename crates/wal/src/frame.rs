@@ -131,6 +131,120 @@ fn decode_payload(payload: &[u8]) -> Option<WalOp> {
     }
 }
 
+/// An incremental decoder over any byte stream of concatenated frames —
+/// the streaming counterpart of [`decode_frames`], used by the
+/// replication catch-up reader ([`crate::Wal::frames_since`]) so a
+/// primary can serialise frames to a follower without slurping the whole
+/// log into memory at once.
+///
+/// Iteration yields every intact frame in order and then ends. A torn
+/// tail (short header, oversized length, CRC mismatch, undecodable
+/// payload) ends the stream exactly like [`decode_frames`] truncating
+/// there; an I/O error from the underlying reader surfaces as one
+/// `Err` item and also ends the stream.
+pub struct FrameIter<R> {
+    reader: R,
+    buf: Vec<u8>,
+    /// Offset of the first unconsumed byte in `buf`.
+    at: usize,
+    /// Total bytes of frames yielded so far (see [`Self::consumed`]).
+    consumed: u64,
+    eof: bool,
+    done: bool,
+}
+
+impl<R: std::io::Read> FrameIter<R> {
+    /// Starts decoding frames from `reader` (positioned past any file
+    /// header — the stream must start at a frame boundary).
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: Vec::new(),
+            at: 0,
+            consumed: 0,
+            eof: false,
+            done: false,
+        }
+    }
+
+    /// Total encoded bytes of every frame yielded so far — i.e. the
+    /// stream offset of the next frame boundary. Lets a catch-up reader
+    /// remember where a served frame ended and resume there instead of
+    /// rescanning the log from the top.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Tries to decode one frame from the buffered bytes. `None` means
+    /// more bytes are needed (or the tail is torn — distinguished by
+    /// `eof`).
+    fn decode_buffered(&mut self) -> Option<WalOp> {
+        let buf = &self.buf[self.at..];
+        if buf.len() < 8 {
+            return None;
+        }
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            self.done = true; // corrupt length: torn tail, stream over
+            return None;
+        }
+        let end = 8 + len as usize;
+        if buf.len() < end {
+            return None;
+        }
+        let payload = &buf[8..end];
+        if crc32(payload) != crc {
+            self.done = true;
+            return None;
+        }
+        match decode_payload(payload) {
+            Some(op) => {
+                self.at += end;
+                self.consumed += end as u64;
+                Some(op)
+            }
+            None => {
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+impl<R: std::io::Read> Iterator for FrameIter<R> {
+    type Item = Result<WalOp, std::io::Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if let Some(op) = self.decode_buffered() {
+                return Some(Ok(op));
+            }
+            if self.done || self.eof {
+                // A partial frame at EOF is a torn tail: end of stream.
+                self.done = true;
+                return None;
+            }
+            // Compact consumed bytes, then pull the next chunk.
+            self.buf.drain(..self.at);
+            self.at = 0;
+            let mut chunk = [0u8; 64 * 1024];
+            match self.reader.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
 /// Walks a buffer of concatenated frames, returning every intact frame and
 /// the byte offset where the intact prefix ends. Anything after that
 /// offset — a short header, a length overrunning the buffer, a CRC
@@ -232,6 +346,50 @@ mod tests {
         let (back, consumed) = decode_frames(&buf);
         assert_eq!(back.as_slice(), &ops[..1]);
         assert_eq!(consumed, first);
+    }
+
+    #[test]
+    fn frame_iter_matches_decode_frames() {
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        for op in &ops {
+            buf.extend_from_slice(&encode_frame(op));
+        }
+        let got: Vec<WalOp> = FrameIter::new(std::io::Cursor::new(&buf))
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got, ops);
+    }
+
+    #[test]
+    fn frame_iter_stops_at_torn_tail_on_every_cut() {
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for op in &ops {
+            buf.extend_from_slice(&encode_frame(op));
+            boundaries.push(buf.len());
+        }
+        for cut in 0..=buf.len() {
+            let got: Vec<WalOp> = FrameIter::new(std::io::Cursor::new(&buf[..cut]))
+                .map(|r| r.unwrap())
+                .collect();
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(got.as_slice(), &ops[..whole], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_iter_surfaces_read_errors() {
+        struct Failing;
+        impl std::io::Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("injected"))
+            }
+        }
+        let mut it = FrameIter::new(Failing);
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none(), "stream ends after the error");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod frame;
 pub mod lock;
 mod log;
 
-pub use frame::{decode_frames, encode_frame, WalOp};
+pub use frame::{decode_frames, encode_frame, FrameIter, WalOp};
 pub use lock::DirLock;
 pub use log::{FsyncPolicy, ReplayReport, Wal, WalStats, HEADER_LEN, LOG_FILE, MANIFEST_FILE};
 

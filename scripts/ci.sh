@@ -8,6 +8,8 @@
 #   scripts/ci.sh recovery  # tier-2: crash-point WAL recovery suites only
 #   scripts/ci.sh parity    # tier-2: planner-parity grid (plan layer vs
 #                           # forced engines, every backend + result cache)
+#   scripts/ci.sh replication # tier-2: WAL-shipping follower suites
+#                           # (loopback parity, crash points, faulted apply)
 #
 # The chaos stage replays the fixed seed ranges baked into tests/chaos.rs
 # and crates/serve/tests/chaos_loopback.rs. Every violation panics with
@@ -91,6 +93,34 @@ run_parity() {
     echo "ci: parity green"
 }
 
+run_replication() {
+    echo "== replication: loopback convergence + read-only follower =="
+    local log
+    log="$(mktemp)"
+    trap 'rm -f "$log"' RETURN
+    if ! cargo test --offline -p simserve --test replication_loopback -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "replication: FAILED — see output above"
+        echo "replay: cargo test -p simserve --test replication_loopback -- --nocapture"
+        return 1
+    fi
+    echo "== replication: crash at every frame boundary, both roles =="
+    if ! cargo test --offline -p simserve --test replication_crash -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "replication: FAILED — see output above"
+        echo "replay: cargo test -p simserve --test replication_crash -- --nocapture"
+        return 1
+    fi
+    echo "== replication: faulted follower devices during apply =="
+    if ! cargo test --offline -p simserve --test replication_chaos -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "replication: FAILED — see output above"
+        echo "replay: cargo test -p simserve --test replication_chaos -- --nocapture"
+        return 1
+    fi
+    echo "ci: replication green"
+}
+
 case "$stage" in
 chaos)
     run_chaos
@@ -100,6 +130,9 @@ parity)
     ;;
 recovery)
     run_recovery
+    ;;
+replication)
+    run_replication
     ;;
 all)
     echo "== cargo build --release =="
@@ -117,7 +150,7 @@ all)
     echo "ci: all green"
     ;;
 *)
-    echo "usage: scripts/ci.sh [chaos|recovery|parity]" >&2
+    echo "usage: scripts/ci.sh [chaos|recovery|parity|replication]" >&2
     exit 2
     ;;
 esac

@@ -467,7 +467,8 @@ fn faulted_replay_is_typed_error_or_exact_result() {
                 DurableError::Query(_)
                 | DurableError::Wal(_)
                 | DurableError::Io(_)
-                | DurableError::Poisoned,
+                | DurableError::Poisoned
+                | DurableError::Gap { .. },
             ) => errs += 1,
         }
         std::fs::remove_dir_all(&case).unwrap();
