@@ -533,9 +533,19 @@ impl SharedIndex {
             .map(|d| d.next_lsn.load(Ordering::Relaxed))
     }
 
+    /// Bytes of this index's WAL covered by the last fsync — the prefix
+    /// a crash is guaranteed to keep, and the bound the replication
+    /// feeder serves under. Crash-point tests truncate the log file to
+    /// this length to simulate losing the page-cache tail.
+    pub fn wal_durable_bytes(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.wal.durable_len())
+    }
+
     /// Reads up to `max` frames with `lsn >= from_lsn` from the durable
     /// prefix of this index's own WAL (see [`Wal::frames_since`]) — the
-    /// catch-up half of the replication feeder. `max == 0` means no cap.
+    /// catch-up half of the replication feeder; frames are fsynced
+    /// before they are served, so a shipped frame always survives a
+    /// crash. `max == 0` means no cap.
     pub fn wal_frames_since(&self, from_lsn: u64, max: usize) -> Result<Vec<WalOp>, DurableError> {
         self.wal_frames_since_hinted(from_lsn, max, None)
             .map(|(frames, _)| frames)

@@ -279,16 +279,9 @@ impl Request {
                 engine: kv.engine()?,
                 limit: kv.parse_or("limit", 0)?,
             }),
-            "INSERT" => {
-                let data = kv.req("data")?;
-                let values: Result<Vec<f64>, _> = data.split(',').map(str::parse).collect();
-                let values =
-                    values.map_err(|_| ProtoError::bad("data= must be comma-separated floats"))?;
-                if values.is_empty() {
-                    return Err(ProtoError::bad("data= must be non-empty"));
-                }
-                Ok(Self::Insert { values })
-            }
+            "INSERT" => Ok(Self::Insert {
+                values: parse_floats(kv.req("data")?)?,
+            }),
             "DELETE" => Ok(Self::Delete {
                 ord: kv.req_parse("ord")?,
             }),
@@ -913,7 +906,7 @@ impl Response {
                             lsn,
                             global,
                             local,
-                            values: parse_floats(fkv.req("data")?)?,
+                            values: parse_floats_or_empty(fkv.req("data")?)?,
                         },
                         "delete" => WalOp::Delete { lsn, global, local },
                         other => {
@@ -939,7 +932,7 @@ impl Response {
                     entries.push(SnapEntry {
                         ord: skv.req_parse("ord")?,
                         live: skv.req("live")? == "yes",
-                        values: parse_floats(skv.req("data")?)?,
+                        values: parse_floats_or_empty(skv.req("data")?)?,
                     });
                 }
                 if entries.len() != count {
@@ -1072,12 +1065,25 @@ fn join_floats(values: &[f64]) -> String {
 }
 
 fn parse_floats(data: &str) -> Result<Vec<f64>, ProtoError> {
-    let values: Result<Vec<f64>, _> = data.split(',').map(str::parse).collect();
-    let values = values.map_err(|_| ProtoError::bad("data= must be comma-separated floats"))?;
+    let values = parse_floats_or_empty(data)?;
     if values.is_empty() {
         return Err(ProtoError::bad("data= must be non-empty"));
     }
     Ok(values)
+}
+
+/// Like [`parse_floats`] but an empty `data=` token decodes to an empty
+/// list. `FRAME`/`SNAP` lines use this: `WalOp::Insert` with no values
+/// is legal at the WAL layer (it allocates an ordinal for a degenerate
+/// series), and `join_floats(&[])` encodes it as the empty string, so
+/// the replication stream must round-trip it rather than wedge on it.
+/// Client-facing `INSERT` keeps the strict non-empty rule.
+fn parse_floats_or_empty(data: &str) -> Result<Vec<f64>, ProtoError> {
+    if data.is_empty() {
+        return Ok(Vec::new());
+    }
+    let values: Result<Vec<f64>, _> = data.split(',').map(str::parse).collect();
+    values.map_err(|_| ProtoError::bad("data= must be comma-separated floats"))
 }
 
 fn write_metrics(w: &mut impl Write, m: &WireMetrics) -> io::Result<()> {
@@ -1491,6 +1497,37 @@ mod tests {
             ("est_pages".into(), "120".into()),
             ("pages".into(), "97".into()),
         ]));
+    }
+
+    #[test]
+    fn empty_value_lists_round_trip_on_the_replication_stream() {
+        // `WalOp::Insert { values: vec![] }` is legal at the WAL layer
+        // (a degenerate series still claims its ordinal), so the
+        // FRAME/SNAP encoding must carry it — an empty `data=` token —
+        // without wedging the follower's parser.
+        round_trip_response(Response::ReplFrames {
+            epoch: 1,
+            end: 3,
+            frames: vec![WalOp::Insert {
+                lsn: 2,
+                global: 5,
+                local: 5,
+                values: vec![],
+            }],
+        });
+        round_trip_response(Response::ReplSnapshot {
+            epoch: 1,
+            next: 3,
+            seq_len: 8,
+            entries: vec![SnapEntry {
+                ord: 0,
+                live: true,
+                values: vec![],
+            }],
+        });
+        // The client-facing strict rule is untouched: an empty INSERT
+        // is still refused at the door.
+        assert!(Request::parse("INSERT data=").is_err());
     }
 
     #[test]

@@ -14,12 +14,22 @@
 //!   and `L` does not run past its next LSN, the epoch's log covers the
 //!   follower's position exactly; the primary serves `lsn >= L` frames
 //!   from its live log ([`simquery::shared::SharedIndex::wal_frames_since`]).
-//! * **snapshot** — otherwise (a checkpoint reset the log, the primary
-//!   lost an unsynced tail and restarted, or the follower is brand new,
-//!   which it signals with the reserved `from=0`): the primary transfers
-//!   its full state per ordinal, tombstones included, so the follower
-//!   reproduces the exact ordinal assignment, then resumes streaming at
-//!   the returned `next` LSN.
+//! * **snapshot** — otherwise (a checkpoint reset the log, the follower
+//!   is behind a restarted primary's recovered log, or the follower is
+//!   brand new, which it signals with the reserved `from=0`): the primary
+//!   transfers its full state per ordinal, tombstones included, so the
+//!   follower reproduces the exact ordinal assignment, then resumes
+//!   streaming at the returned `next` LSN.
+//!
+//! Nothing leaves the primary before it is durable: the catch-up reader
+//! fsyncs the log's written tail before serving it (see
+//! [`simwal::Wal::frames_since`]), and a snapshot cut syncs the log under
+//! the same guard that pins `(epoch, next)`. A primary crash therefore
+//! only ever loses frames *no follower has seen* — with `--fsync
+//! never`/`EveryN` the lost unsynced tail was by construction never
+//! shipped, so the restarted primary may reuse those LSNs for new writes
+//! and the same-epoch handshake still resumes every follower onto an
+//! identical timeline, never a divergent one.
 //!
 //! Frames apply on the follower through
 //! [`simquery::shared::SharedIndex::apply_replicated`] — the same
@@ -71,6 +81,13 @@ struct PeerAck {
     /// still at `epoch`. Purely an optimisation — a stale or missing
     /// cursor just costs a full log scan.
     cursor: Option<(u64, u64, u64)>,
+    /// Set when the last response to this peer was a snapshot transfer:
+    /// its real applied position may have *dropped* (a resync after an
+    /// epoch change or an unrelated history), so the next ack overwrites
+    /// the recorded one instead of `max`-ing it — otherwise the
+    /// min-acked `REPL` lag line under-reports until the follower
+    /// regrows past its stale ack.
+    resync: bool,
 }
 
 /// Server-wide replication state: the primary-side feeder (append
@@ -156,9 +173,24 @@ impl ReplState {
     fn record_ack(&self, peer: &str, acked: u64, bytes: u64) {
         let mut peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
         let entry = peers.entry(peer.to_string()).or_default();
-        entry.acked = entry.acked.max(acked);
+        if entry.resync {
+            // First poll after a snapshot transfer: the ack is the
+            // follower's true post-install position, which may be lower
+            // than what it claimed before the resync.
+            entry.acked = acked;
+            entry.resync = false;
+        } else {
+            entry.acked = entry.acked.max(acked);
+        }
         entry.bytes += bytes;
         self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Marks that `peer` was just served a snapshot, so its next ack
+    /// resets (rather than raises) the recorded position.
+    fn mark_resync(&self, peer: &str) {
+        let mut peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        peers.entry(peer.to_string()).or_default().resync = true;
     }
 
     /// The peer's catch-up cursor, when it is still valid for `epoch`
@@ -274,8 +306,9 @@ pub fn serve_repl(backend: &Backend, repl: &ReplState, peer: &str, poll: ReplPol
     let deadline = Instant::now() + Duration::from_millis(wait_ms);
     loop {
         // The read guard pins one consistent (epoch, next) cut; the
-        // snapshot path keeps it for the whole transfer because the copy
-        // must match that cut exactly.
+        // snapshot path captures the cut's shape under it (length +
+        // tombstone set) and syncs the WAL so nothing non-durable can
+        // leave the primary, then copies with the guard released.
         let (wal_epoch, next) = {
             let guard = shared.read();
             let wal_epoch = shared.wal_epoch().unwrap_or(0);
@@ -284,7 +317,31 @@ pub fn serve_repl(backend: &Backend, repl: &ReplState, peer: &str, poll: ReplPol
             // follower has no state at all, so no epoch's log can
             // cover it.
             if epoch != wal_epoch || from == 0 || from > next {
-                return snapshot_response(&guard, wal_epoch, next);
+                // Still under the guard (no mutation can interleave):
+                // make every LSN below `next` durable, so a primary
+                // crash after the transfer cannot lose state the
+                // follower now holds.
+                if let Err(e) = shared.sync_wal() {
+                    return Response::Err {
+                        code: ErrCode::Io,
+                        msg: format!("snapshot cut sync failed: {e}"),
+                    };
+                }
+                let len = guard.len();
+                let seq_len = guard.seq_len();
+                let dead: HashSet<usize> = guard.deleted_ordinals().into_iter().collect();
+                drop(guard);
+                let resp = snapshot_response(shared, wal_epoch, next, len, seq_len, &dead);
+                // A checkpoint may have landed while the copy ran with
+                // the guard released; its epoch bump invalidates the
+                // pinned cut, so rebuild at the new one.
+                if shared.wal_epoch().unwrap_or(0) != wal_epoch {
+                    continue;
+                }
+                if matches!(resp, Response::ReplSnapshot { .. }) {
+                    repl.mark_resync(peer);
+                }
+                return resp;
             }
             (wal_epoch, next)
         };
@@ -327,32 +384,53 @@ pub fn serve_repl(backend: &Backend, repl: &ReplState, peer: &str, poll: ReplPol
     }
 }
 
-fn snapshot_response(guard: &SeqIndex, epoch: u64, next: u64) -> Response {
-    let dead: HashSet<usize> = guard.deleted_ordinals().into_iter().collect();
-    let mut entries = Vec::with_capacity(guard.len());
-    for ord in 0..guard.len() {
-        // fetch_series reads the heap record, which tombstoning keeps:
-        // dead ordinals ship too (live=no) so the follower reproduces
-        // the exact ordinal assignment.
-        let ts = match guard.fetch_series(ord) {
-            Ok(ts) => ts,
-            Err(e) => {
-                return Response::Err {
-                    code: ErrCode::Io,
-                    msg: format!("snapshot transfer failed at ordinal {ord}: {e}"),
+/// Ordinals copied per read-guard acquisition in [`snapshot_response`],
+/// so writers and checkpoints interleave with a large transfer instead
+/// of stalling for its whole duration.
+const SNAPSHOT_COPY_BATCH: usize = 256;
+
+/// Copies the cut pinned by the caller — `len` ordinals, `dead`
+/// tombstones, `seq_len` — re-acquiring the read guard per batch. Safe
+/// without holding the guard across batches because ordinals below a
+/// cut are immutable: inserts only append, deletes only tombstone, and
+/// the heap record behind `fetch_series` survives tombstoning. The one
+/// operation that can invalidate them — a checkpoint swapping the index
+/// — bumps the WAL epoch, which the caller re-checks after this returns.
+fn snapshot_response(
+    shared: &SharedIndex,
+    epoch: u64,
+    next: u64,
+    len: usize,
+    seq_len: usize,
+    dead: &HashSet<usize>,
+) -> Response {
+    let mut entries = Vec::with_capacity(len);
+    for batch_start in (0..len).step_by(SNAPSHOT_COPY_BATCH) {
+        let guard = shared.read();
+        for ord in batch_start..(batch_start + SNAPSHOT_COPY_BATCH).min(len) {
+            // fetch_series reads the heap record, which tombstoning
+            // keeps: dead ordinals ship too (live=no) so the follower
+            // reproduces the exact ordinal assignment.
+            let ts = match guard.fetch_series(ord) {
+                Ok(ts) => ts,
+                Err(e) => {
+                    return Response::Err {
+                        code: ErrCode::Io,
+                        msg: format!("snapshot transfer failed at ordinal {ord}: {e}"),
+                    }
                 }
-            }
-        };
-        entries.push(SnapEntry {
-            ord: ord as u64,
-            live: !dead.contains(&ord),
-            values: ts.values().to_vec(),
-        });
+            };
+            entries.push(SnapEntry {
+                ord: ord as u64,
+                live: !dead.contains(&ord),
+                values: ts.values().to_vec(),
+            });
+        }
     }
     Response::ReplSnapshot {
         epoch,
         next,
-        seq_len: guard.seq_len(),
+        seq_len,
         entries,
     }
 }
@@ -441,12 +519,18 @@ impl Follower {
                 synced = true;
             }
         }
-        // A nonzero applied position or replica epoch means the local
-        // state already corresponds to a known primary position (frames
-        // replayed from a local WAL, or a position asserted via
-        // `note_replica_position`); resume streaming instead of
-        // re-transferring the snapshot.
-        if synced || shared.applied_lsn() > 0 || shared.replica_epoch() > 0 {
+        // An in-memory handle with a nonzero applied position or replica
+        // epoch can only have gotten it from replication (a prior
+        // snapshot install or `note_replica_position`), so it may resume
+        // streaming. A *durable* handle is different: local WAL replay
+        // also raises `applied_lsn`, and a directory that used to be a
+        // standalone primary holds LSNs unrelated to the new primary's
+        // timeline — so a durable follower claims `synced` only via its
+        // REPLICA state file (written on every snapshot install), and
+        // without one it re-bootstraps with `from=0`.
+        if synced
+            || (!shared.is_durable() && (shared.applied_lsn() > 0 || shared.replica_epoch() > 0))
+        {
             synced = true;
             stats.epoch.store(replica_epoch(&shared), Ordering::Relaxed);
             stats.acked.store(shared.applied_lsn(), Ordering::Relaxed);
@@ -717,4 +801,32 @@ pub fn bootstrap(primary: &str, opts: FollowerOpts) -> io::Result<(SharedIndex, 
         synced: true,
     };
     Ok((shared, follower))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acked(repl: &ReplState, peer: &str) -> u64 {
+        repl.peers.lock().unwrap_or_else(|e| e.into_inner())[peer].acked
+    }
+
+    #[test]
+    fn resync_overwrites_the_recorded_ack_once() {
+        let repl = ReplState::primary();
+        repl.record_ack("f", 10, 0);
+        // Acks are normally monotonic: a stale lower ack is ignored.
+        repl.record_ack("f", 4, 0);
+        assert_eq!(acked(&repl, "f"), 10);
+        // But the first ack after a snapshot transfer is the follower's
+        // true (possibly lower) post-install position, so it overwrites —
+        // otherwise the min-acked lag line under-reports until the
+        // follower regrows past its stale ack.
+        repl.mark_resync("f");
+        repl.record_ack("f", 4, 0);
+        assert_eq!(acked(&repl, "f"), 4);
+        // The overwrite is one-shot: monotonic again afterwards.
+        repl.record_ack("f", 2, 0);
+        assert_eq!(acked(&repl, "f"), 4);
+    }
 }

@@ -344,6 +344,237 @@ fn primary_restart_mid_stream_same_epoch_then_epoch_change() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// A `--fsync never` primary crash must never diverge a follower: every
+/// frame a follower has seen must survive the crash (the feeder fsyncs
+/// before serving), so the lost tail is only ever frames nobody
+/// received, and the same-epoch handshake after the restart resumes by
+/// frames onto an identical timeline. The crash is simulated honestly:
+/// the log file is truncated to exactly the fsynced prefix
+/// (`wal_durable_bytes`) — what a real crash is guaranteed to keep.
+#[test]
+fn fsync_never_primary_crash_cannot_diverge_a_follower() {
+    let root = fresh_dir("losttail");
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 8, SEQ_LEN, 0x7A17);
+    let seed = SeqIndex::build(&corpus, IndexConfig::default()).unwrap();
+    seed.save(&root.join("idx")).unwrap();
+    seed.save(&root.join("fidx")).unwrap();
+    drop(seed);
+    let mut rng = SeededRng::seed_from_u64(0x10557);
+    let fopts = FollowerOpts {
+        batch: 1,
+        wait_ms: 0,
+        state_dir: Some(root.join("fwal")),
+        ..Default::default()
+    };
+
+    let (shared_f, _) = SharedIndex::open_durable(
+        &root.join("fidx"),
+        &root.join("fwal"),
+        POOL,
+        FsyncPolicy::Always,
+    )
+    .unwrap();
+
+    // Generation 1: a never-fsyncing primary ships 9 mutations to the
+    // follower, then takes 2 more nobody polls — the crash-vulnerable
+    // tail.
+    let durable;
+    let mut f = {
+        let (shared_p, _) = SharedIndex::open_durable(
+            &root.join("idx"),
+            &root.join("wal"),
+            POOL,
+            FsyncPolicy::Never,
+        )
+        .unwrap();
+        let hp = serve(shared_p.clone(), &test_config()).unwrap();
+        let mut pc = Client::connect(hp.addr).unwrap();
+        let mut f = Follower::connect(&hp.addr.to_string(), shared_f.clone(), fopts).unwrap();
+        assert_eq!(f.poll_once().unwrap(), 8, "bootstrap snapshot");
+        for _ in 0..7 {
+            pc.insert(random_walk(&mut rng, SEQ_LEN, 50.0).values().to_vec())
+                .unwrap()
+                .unwrap();
+        }
+        assert!(pc.delete(1).unwrap().unwrap());
+        assert!(pc.delete(3).unwrap().unwrap());
+        drain(&mut f);
+        assert_eq!(f.applied(), 9, "the follower holds every shipped frame");
+        for _ in 0..2 {
+            pc.insert(random_walk(&mut rng, SEQ_LEN, 50.0).values().to_vec())
+                .unwrap()
+                .unwrap();
+        }
+        // Shipped implies durable; the unpolled tail is not, so the
+        // simulated crash below cuts something real.
+        durable = shared_p.wal_durable_bytes().unwrap();
+        let written = std::fs::metadata(root.join("wal").join(simwal::LOG_FILE))
+            .unwrap()
+            .len();
+        assert!(
+            durable < written,
+            "the unpolled tail must be sitting unsynced past the durable prefix"
+        );
+        pc.quit().unwrap();
+        hp.shutdown();
+        f
+    };
+    assert!(f.reconnect(None).is_err(), "the primary is down");
+
+    // The crash: everything past the fsynced prefix is gone.
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(root.join("wal").join(simwal::LOG_FILE))
+        .unwrap()
+        .set_len(durable)
+        .unwrap();
+
+    // Generation 2: the restarted primary replays exactly the shipped
+    // frames — so its timeline still covers everything the follower
+    // holds — then moves on, reusing the lost LSNs for new writes.
+    let (shared_p2, rep) = retry_locked(|| {
+        SharedIndex::open_durable(
+            &root.join("idx"),
+            &root.join("wal"),
+            POOL,
+            FsyncPolicy::Never,
+        )
+    });
+    assert_eq!(
+        rep.frames, 9,
+        "every frame the follower received survives the crash"
+    );
+    let hp2 = serve(shared_p2.clone(), &test_config()).unwrap();
+    let mut pc = Client::connect(hp2.addr).unwrap();
+    // Regrow well past the follower's resume position (LSN 10) so a
+    // regressed feeder would stream the reused LSNs as a divergent
+    // timeline instead of forcing a snapshot.
+    for _ in 0..10 {
+        pc.insert(random_walk(&mut rng, SEQ_LEN, 50.0).values().to_vec())
+            .unwrap()
+            .unwrap();
+    }
+    f.reconnect(Some(&hp2.addr.to_string())).unwrap();
+    drain(&mut f);
+    assert_eq!(f.applied(), 19, "9 shipped pre-crash + 10 post-restart");
+    assert_eq!(
+        f.stats()
+            .snapshots
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "only the bootstrap snapshot: the same-epoch restart resumes by frames"
+    );
+    assert_state_identical(&shared_p2, &shared_f, "fsync-never lost-tail restart");
+
+    pc.quit().unwrap();
+    hp2.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Pointing a durable directory that used to be a *standalone primary*
+/// at `--replicate-from` must not resume streaming from its local LSNs
+/// (they are unrelated to the new primary's timeline): without a
+/// REPLICA state file the follower is unsynced and bootstraps via
+/// snapshot, after which it streams normally.
+#[test]
+fn ex_standalone_primary_directory_bootstraps_via_snapshot() {
+    let root = fresh_dir("expri");
+    let mut rng = SeededRng::seed_from_u64(0xE19);
+
+    // The real primary: 10 seed series + 3 inserts (LSNs 1..=3).
+    let corpus = Corpus::generate(CorpusKind::SyntheticWalks, 10, SEQ_LEN, 0xAAA);
+    SeqIndex::build(&corpus, IndexConfig::default())
+        .unwrap()
+        .save(&root.join("idx"))
+        .unwrap();
+    let (shared_p, _) = SharedIndex::open_durable(
+        &root.join("idx"),
+        &root.join("wal"),
+        POOL,
+        FsyncPolicy::Always,
+    )
+    .unwrap();
+    let hp = serve(shared_p.clone(), &test_config()).unwrap();
+    let mut pc = Client::connect(hp.addr).unwrap();
+    for _ in 0..3 {
+        pc.insert(random_walk(&mut rng, SEQ_LEN, 50.0).values().to_vec())
+            .unwrap()
+            .unwrap();
+    }
+
+    // An unrelated standalone primary on its own directories: different
+    // corpus, 2 local mutations (LSNs 1..=2 on *its* timeline), then a
+    // clean shutdown. No REPLICA file is ever written here.
+    let corpus_b = Corpus::generate(CorpusKind::SyntheticWalks, 6, SEQ_LEN, 0xBBB);
+    SeqIndex::build(&corpus_b, IndexConfig::default())
+        .unwrap()
+        .save(&root.join("fidx"))
+        .unwrap();
+    {
+        let (shared_s, _) = SharedIndex::open_durable(
+            &root.join("fidx"),
+            &root.join("fwal"),
+            POOL,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        let hs = serve(shared_s, &test_config()).unwrap();
+        let mut sc = Client::connect(hs.addr).unwrap();
+        for _ in 0..2 {
+            sc.insert(random_walk(&mut rng, SEQ_LEN, 50.0).values().to_vec())
+                .unwrap()
+                .unwrap();
+        }
+        sc.quit().unwrap();
+        hs.shutdown();
+    }
+
+    // Repoint the ex-primary's directories at the real primary. Its
+    // replayed local log leaves applied_lsn=2, but with no REPLICA file
+    // that must not count as synced.
+    let (shared_f, rep) = retry_locked(|| {
+        SharedIndex::open_durable(
+            &root.join("fidx"),
+            &root.join("fwal"),
+            POOL,
+            FsyncPolicy::Always,
+        )
+    });
+    assert_eq!(rep.frames, 2, "the unrelated local log replays");
+    assert_eq!(shared_f.applied_lsn(), 2);
+    let fopts = FollowerOpts {
+        batch: 1,
+        wait_ms: 0,
+        state_dir: Some(root.join("fwal")),
+        ..Default::default()
+    };
+    let mut f = Follower::connect(&hp.addr.to_string(), shared_f.clone(), fopts).unwrap();
+    assert_eq!(
+        f.poll_once().unwrap(),
+        13,
+        "first poll transfers the full snapshot, not frames at unrelated ordinals"
+    );
+    assert_eq!(
+        f.stats()
+            .snapshots
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert_state_identical(&shared_p, &shared_f, "ex-primary repointed");
+
+    // And it streams normally from there.
+    pc.insert(random_walk(&mut rng, SEQ_LEN, 50.0).values().to_vec())
+        .unwrap()
+        .unwrap();
+    drain(&mut f);
+    assert_eq!(f.applied(), 4);
+    assert_state_identical(&shared_p, &shared_f, "ex-primary streams after re-sync");
+
+    pc.quit().unwrap();
+    hp.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// The reserved `from=0` bootstrap sentinel always answers with a
 /// snapshot — even when a stale client claims the current epoch.
 #[test]

@@ -98,6 +98,14 @@ struct Inner {
     /// front of later frames — replay truncates at the first bad frame,
     /// which would silently discard every acknowledged successor.
     good_len: u64,
+    /// File length covered by the last successful fsync — the prefix a
+    /// crash is guaranteed to keep. Everything in `durable_len..good_len`
+    /// is written but rides on the page cache (`FsyncPolicy::EveryN` /
+    /// `Never` between syncs) and may not survive. The replication
+    /// catch-up reader serves only from this prefix (syncing first to
+    /// extend it), so no follower can ever hold a frame a restarted
+    /// primary lost.
+    durable_len: u64,
     /// Set when the tail state became unknowable (a rewind failed, or an
     /// fsync error made the page cache untrustworthy). All further
     /// appends/syncs fail with [`WalError::Poisoned`].
@@ -260,6 +268,11 @@ impl Wal {
             }
         }
         let good_len = file.seek(SeekFrom::End(0))?;
+        // The fresh/truncate paths synced above; sync the clean path too,
+        // so everything `open` read (possibly written-but-unsynced by the
+        // previous owner) is durable and `durable_len` may start at
+        // `good_len`.
+        file.sync_all()?;
         sync_dir(dir)?;
 
         let wal = Self {
@@ -270,6 +283,7 @@ impl Wal {
                 epoch,
                 since_sync: 0,
                 good_len,
+                durable_len: good_len,
                 poisoned: false,
             }),
             appends: AtomicU64::new(0),
@@ -323,11 +337,12 @@ impl Wal {
         if due {
             if let Err(e) = inner.file.sync_data() {
                 // After a failed fsync the kernel may have dropped the
-                // dirty tail; nothing past good_len can be trusted.
+                // dirty tail; nothing past durable_len can be trusted.
                 inner.poisoned = true;
                 return Err(e.into());
             }
             inner.since_sync = 0;
+            inner.durable_len = inner.good_len + frame.len() as u64;
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
         inner.good_len += frame.len() as u64;
@@ -349,6 +364,7 @@ impl Wal {
             return Err(e.into());
         }
         inner.since_sync = 0;
+        inner.durable_len = inner.good_len;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -409,6 +425,7 @@ impl Wal {
         inner.epoch = new_epoch;
         inner.since_sync = 0;
         inner.good_len = HEADER_LEN;
+        inner.durable_len = HEADER_LEN;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -418,8 +435,15 @@ impl Wal {
     /// reader**. A follower that reconnects mid-epoch names the next LSN
     /// it expects; this serves the already-on-disk tail without touching
     /// the append path's file handle (a fresh read handle, bounded by the
-    /// `good_len` snapshot, so a concurrent append can never expose a
+    /// `durable_len` snapshot, so a concurrent append can never expose a
     /// torn frame to the stream).
+    ///
+    /// Frames are made durable *before* they are served: a written but
+    /// unsynced tail (`EveryN`/`Never` policies) is fsynced first, so a
+    /// frame a follower holds can never be lost by a primary crash — the
+    /// shipped prefix is always a prefix of what recovery replays. On a
+    /// lazily-synced primary this amounts to group commit driven by
+    /// follower polls.
     pub fn frames_since(&self, from_lsn: u64, max: usize) -> Result<Vec<WalOp>, WalError> {
         self.frames_since_hinted(from_lsn, max, None)
             .map(|(frames, _)| frames)
@@ -440,38 +464,71 @@ impl Wal {
         max: usize,
         hint: Option<(u64, u64)>,
     ) -> Result<(Vec<WalOp>, (u64, u64)), WalError> {
-        let good_len = {
-            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-            inner.good_len
-        };
+        let durable_len = self.sync_for_read()?;
         if let Some((lsn, offset)) = hint {
-            if lsn == from_lsn && (HEADER_LEN..=good_len).contains(&offset) {
-                let got = self.scan_frames(from_lsn, max, offset, good_len)?;
-                // Below `good_len` every frame is intact, so an empty or
-                // mis-LSN'd decode means the hint pointed at garbage
+            if lsn == from_lsn && (HEADER_LEN..=durable_len).contains(&offset) {
+                let got = self.scan_frames(from_lsn, max, offset, durable_len)?;
+                // Below `durable_len` every frame is intact, so an empty
+                // or mis-LSN'd decode means the hint pointed at garbage
                 // (e.g. the log was truncated and regrown) — rescan.
                 match got.0.first() {
                     Some(op) if op.lsn() == from_lsn => return Ok(got),
-                    None if offset == good_len => return Ok(got),
+                    None if offset == durable_len => return Ok(got),
                     _ => {}
                 }
             }
         }
-        self.scan_frames(from_lsn, max, HEADER_LEN, good_len)
+        self.scan_frames(from_lsn, max, HEADER_LEN, durable_len)
+    }
+
+    /// Extends the durable prefix over everything appended so far (the
+    /// shipped-implies-durable half of the replication guarantee) and
+    /// returns its length. A no-op holding the lock only briefly when
+    /// the log is already fully synced (`FsyncPolicy::Always`, or no
+    /// appends since the last poll).
+    fn sync_for_read(&self) -> Result<u64, WalError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.durable_len < inner.good_len {
+            if inner.poisoned {
+                // The tail past durable_len is unknowable; refusing the
+                // read beats shipping frames that may not survive.
+                return Err(WalError::Poisoned {
+                    dir: self.dir.clone(),
+                });
+            }
+            if let Err(e) = inner.file.sync_data() {
+                inner.poisoned = true;
+                return Err(e.into());
+            }
+            inner.since_sync = 0;
+            inner.durable_len = inner.good_len;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(inner.durable_len)
+    }
+
+    /// Length of the fsynced log prefix — the bytes a crash is
+    /// guaranteed to keep (and the bound the catch-up reader serves
+    /// under). Crash simulations truncate the file to this length.
+    pub fn durable_len(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .durable_len
     }
 
     /// Decodes frames with `lsn >= from_lsn` starting at byte `start`,
-    /// bounded by the `good_len` durable-prefix snapshot.
+    /// bounded by the `durable_len` durable-prefix snapshot.
     fn scan_frames(
         &self,
         from_lsn: u64,
         max: usize,
         start: u64,
-        good_len: u64,
+        durable_len: u64,
     ) -> Result<(Vec<WalOp>, (u64, u64)), WalError> {
         let mut file = File::open(self.dir.join(LOG_FILE))?;
         file.seek(SeekFrom::Start(start))?;
-        let body = good_len.saturating_sub(start);
+        let body = durable_len.saturating_sub(start);
         let mut out = Vec::new();
         let mut last_lsn = None;
         let mut iter = crate::frame::FrameIter::new(file.take(body));
@@ -645,6 +702,50 @@ mod tests {
         wal.append(&ins(8)).unwrap();
         assert_eq!(wal.frames_since(7, 0).unwrap(), vec![ins(8)]);
         drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frames_are_forced_durable_before_being_served() {
+        let dir = tmp("durable");
+        let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        let base = wal.durable_len();
+        assert_eq!(base, HEADER_LEN);
+        for i in 1..=3 {
+            wal.append(&ins(i)).unwrap();
+        }
+        // Never policy: the appends ride the page cache, so the durable
+        // prefix still ends at the header …
+        assert_eq!(wal.stats().fsyncs, 0);
+        assert_eq!(wal.durable_len(), HEADER_LEN);
+        // … until the catch-up reader serves them: shipping a frame
+        // fsyncs it first, so a follower can never hold a frame a
+        // primary crash would lose.
+        let frames = wal.frames_since(1, 0).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(wal.stats().fsyncs, 1);
+        let shipped = wal.durable_len();
+        assert!(shipped > HEADER_LEN);
+        // A further unpolled append lags again (and a caught-up re-read
+        // does not re-sync) …
+        let (none, _) = wal.frames_since_hinted(4, 0, None).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(wal.stats().fsyncs, 1, "caught-up reads never re-sync");
+        wal.append(&ins(4)).unwrap();
+        assert_eq!(wal.durable_len(), shipped);
+        // … and a crash losing everything past the durable prefix keeps
+        // every served frame: truncate to durable_len and reopen.
+        drop(wal);
+        let log = dir.join(LOG_FILE);
+        OpenOptions::new()
+            .write(true)
+            .open(&log)
+            .unwrap()
+            .set_len(shipped)
+            .unwrap();
+        let (_wal, replay, _) = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        assert_eq!(replay, (1..=3).map(ins).collect::<Vec<_>>());
+        drop(_wal);
         let _ = fs::remove_dir_all(&dir);
     }
 
