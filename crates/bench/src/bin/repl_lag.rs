@@ -64,6 +64,7 @@ fn server_config() -> ServerConfig {
         queue_depth: 32,
         max_conns: 16,
         result_cache: 0,
+        ..ServerConfig::default()
     }
 }
 

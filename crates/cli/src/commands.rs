@@ -25,10 +25,12 @@ USAGE:
                --k K [--ma LO..HI]
   simseq serve --index DIR/ [--addr HOST:PORT] [--workers N] [--queue N]
                [--max-conns N] [--pool-pages N] [--result-cache N]
+               [--cache-floor COST] [--slow-query-ms N] [--trace-sample K]
                [--replicate-from HOST:PORT]
   simseq load  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
                [--ma LO..HI] [--rho R] [--engine auto|mt|st|scan]
                [--verify-index DIR/]
+  simseq metrics --addr HOST:PORT [--trace N]
   simseq recover --index DIR/ --wal DIR/ [--pool-pages N]
   simseq shard build --data FILE.csv --out DIR/ --shards N
                [--partitioner hash|round-robin|range]
@@ -48,6 +50,14 @@ over the given index; with --replicate-from it runs an in-memory
 read-only follower of a durable primary instead (writes get ERR
 code=READONLY). `load` replays a seeded closed-loop workload against a
 running server and prints a latency/throughput table.
+
+`metrics` fetches a running server's METRICS exposition (one
+`name{labels} value` line per metric — the same numbers STATS reports)
+and, with --trace N, drains up to N recorded spans from its sampling
+tracer. `serve --slow-query-ms N` logs queries at or over the
+threshold; `--trace-sample K` records every K-th request's span tree
+(0 disables); `--cache-floor COST` only admits query results whose
+execution cost met the floor.
 
 `recover` replays a write-ahead log (written by `simserved --wal`) on
 top of the index snapshot, reports what it salvaged, and checkpoints so
@@ -243,6 +253,15 @@ pub fn serve(args: &Args) -> CliResult {
         queue_depth: args.parse_or("queue", defaults.queue_depth)?,
         max_conns: args.parse_or("max-conns", defaults.max_conns)?,
         result_cache: args.parse_or("result-cache", defaults.result_cache)?,
+        cache_floor: args.parse_or("cache-floor", defaults.cache_floor)?,
+        slow_query_us: match args.opt("slow-query-ms") {
+            None => defaults.slow_query_us,
+            Some(raw) => raw
+                .parse::<u64>()
+                .map(|ms| ms.saturating_mul(1000))
+                .map_err(|_| err(format!("--slow-query-ms must be an integer, got `{raw}`")))?,
+        },
+        trace_sample: args.parse_or("trace-sample", defaults.trace_sample)?,
     };
     let (shared, follower) = match &replicate_from {
         None => {
@@ -345,6 +364,37 @@ pub fn load(args: &Args) -> CliResult {
             report.total_errors(),
             report.total_parity_failures()
         )));
+    }
+    Ok(())
+}
+
+/// `simseq metrics` — fetch a running server's metrics exposition.
+pub fn metrics(args: &Args) -> CliResult {
+    let addr = args.req("addr")?;
+    let mut client = simserve::client::Client::connect(addr)
+        .map_err(|e| err(format!("connecting to {addr}: {e}")))?;
+    let lines = client
+        .metrics()
+        .map_err(|e| err(format!("METRICS failed: {e}")))?
+        .map_err(|resp| err(format!("METRICS rejected: {resp:?}")))?;
+    for line in &lines {
+        println!("{line}");
+    }
+    if let Some(n) = args.opt("trace") {
+        let n: usize = n
+            .parse()
+            .map_err(|e| err(format!("--trace must be a count: {e}")))?;
+        let events = client
+            .trace(n)
+            .map_err(|e| err(format!("TRACE failed: {e}")))?
+            .map_err(|resp| err(format!("TRACE rejected: {resp:?}")))?;
+        println!("# {} spans (oldest first)", events.len());
+        for ev in &events {
+            println!(
+                "trace={} depth={} start_us={} dur_us={} {}",
+                ev.trace, ev.depth, ev.start_us, ev.dur_us, ev.name
+            );
+        }
     }
     Ok(())
 }

@@ -26,6 +26,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use pagestore::sync::Mutex;
 use pagestore::PAGE_SIZE;
@@ -318,6 +319,7 @@ impl Planner {
         lq: &LogicalQuery,
         query: Option<&TimeSeries>,
     ) -> Result<PhysicalPlan, QueryError> {
+        let _span = simobs::trace::span("plan.build");
         stats.note_plan_built();
         if let LogicalVerb::Knn { .. } = lq.verb {
             // kNN is answered by best-first search over the one index
@@ -612,6 +614,7 @@ pub fn execute_plan(
     plan: &PhysicalPlan,
     query: Option<&TimeSeries>,
 ) -> Result<PlanOutput, QueryError> {
+    let _span = simobs::trace::span("plan.execute");
     stats.note_dispatch(plan.engine);
     let out = match &lq.verb {
         LogicalVerb::Range => {
@@ -658,8 +661,24 @@ pub fn execute_plan(
         PlanOutput::Knn(m, _) => m.len() as u64,
         PlanOutput::Join(r) => r.matches.len() as u64,
     };
-    stats.record_query(plan.engine, &lq.family, pairs, matched, out.metrics());
+    stats.record_query(
+        plan.engine,
+        &lq.family,
+        pairs,
+        matched,
+        out.metrics(),
+        (plan.est_pages, plan.est_comparisons),
+    );
     Ok(out)
+}
+
+/// Wall-clock split of one planned execution, for the slow-query log.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Time spent in [`Planner::plan`], µs.
+    pub plan_us: u64,
+    /// Time spent in [`execute_plan`], µs.
+    pub exec_us: u64,
 }
 
 /// Plans and executes in one call (the common single-index path).
@@ -669,10 +688,30 @@ pub fn run(
     lq: &LogicalQuery,
     query: Option<&TimeSeries>,
 ) -> Result<(PhysicalPlan, PlanOutput), QueryError> {
-    let planner = Planner::new();
-    let plan = planner.plan(index, stats, lq, query)?;
-    let out = execute_plan(index, stats, lq, &plan, query)?;
+    let (plan, out, _) = run_timed(index, stats, lq, query)?;
     Ok((plan, out))
+}
+
+/// [`run`], but also reporting the per-stage wall-clock split. The clock
+/// is read unconditionally — two `Instant::now` pairs per query, noise
+/// against the work of planning itself — so the slow-query log never
+/// depends on trace sampling.
+pub fn run_timed(
+    index: &SeqIndex,
+    stats: &StatsRegistry,
+    lq: &LogicalQuery,
+    query: Option<&TimeSeries>,
+) -> Result<(PhysicalPlan, PlanOutput, StageTimings), QueryError> {
+    let planner = Planner::new();
+    let t0 = Instant::now();
+    let plan = planner.plan(index, stats, lq, query)?;
+    let t1 = Instant::now();
+    let out = execute_plan(index, stats, lq, &plan, query)?;
+    let timings = StageTimings {
+        plan_us: t1.duration_since(t0).as_micros().min(u64::MAX as u128) as u64,
+        exec_us: t1.elapsed().as_micros().min(u64::MAX as u128) as u64,
+    };
+    Ok((plan, out, timings))
 }
 
 /// The kNN fan-out fragment: a bounded per-shard search the distributed
@@ -712,6 +751,10 @@ pub struct CacheCounters {
     pub inserts: u64,
     /// Current entry count.
     pub entries: u64,
+    /// Results admitted by the cost floor (every insert is an admission).
+    pub admitted: u64,
+    /// Results refused because their measured cost was under the floor.
+    pub rejected: u64,
 }
 
 struct CacheEntry {
@@ -732,20 +775,47 @@ struct CacheInner {
 /// the caller's current epoch is a miss (and the stale entry is dropped),
 /// so WAL checkpoints *and* individual mutations invalidate without any
 /// explicit flush call. Capacity 0 disables caching entirely.
+///
+/// Admission is adaptive when a cost floor is set ([`Self::with_floor`]):
+/// [`Self::offer`] prices the result by its measured work
+/// ([`execution_cost`]) and refuses entries cheaper than the floor —
+/// caching a result that costs less to recompute than the cache
+/// bookkeeping only evicts entries worth keeping. [`Self::put`] bypasses
+/// the floor for callers that know better.
 pub struct PlanCache {
     cap: usize,
+    floor: f64,
     inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     inserts: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// The admission-control price of one executed result: its measured work
+/// in cost-model units (node + page accesses weigh like disk accesses,
+/// comparisons like CPU — the same currency as Eq. 18–20, with unit
+/// weights so the floor is easy to reason about).
+pub fn execution_cost(out: &PlanOutput) -> f64 {
+    let m = out.metrics();
+    (m.node_accesses + m.record_page_accesses + m.comparisons) as f64
 }
 
 impl PlanCache {
-    /// A cache holding at most `cap` results.
+    /// A cache holding at most `cap` results, admitting everything
+    /// (floor 0 — the historical behaviour).
     pub fn new(cap: usize) -> Self {
+        Self::with_floor(cap, 0.0)
+    }
+
+    /// A cache holding at most `cap` results, admitting only results whose
+    /// measured execution cost is at least `floor` work units.
+    pub fn with_floor(cap: usize, floor: f64) -> Self {
         Self {
             cap,
+            floor,
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
                 tick: 0,
@@ -754,12 +824,40 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
     /// Configured capacity.
     pub fn capacity(&self) -> usize {
         self.cap
+    }
+
+    /// Configured admission floor (work units).
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Offers a result to the cache: admitted (and stored) when its
+    /// [`execution_cost`] reaches the floor, refused otherwise. Returns
+    /// whether it was admitted.
+    pub fn offer(
+        &self,
+        fingerprint: u64,
+        epoch: QueryEpoch,
+        plan: PhysicalPlan,
+        output: PlanOutput,
+    ) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        if execution_cost(&output) < self.floor {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.put(fingerprint, epoch, plan, output);
+        true
     }
 
     /// Looks up `fingerprint` at `epoch`. A stored entry from another
@@ -815,6 +913,7 @@ impl PlanCache {
             },
         );
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Drops every entry.
@@ -833,6 +932,8 @@ impl PlanCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             entries: self.inner.lock().map.len() as u64,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -1053,5 +1154,45 @@ mod tests {
         off.put(9, e, plan, out);
         assert!(off.get(9, e).is_none());
         assert_eq!(off.counters().entries, 0);
+    }
+
+    #[test]
+    fn admission_floor_refuses_cheap_results() {
+        let cache = PlanCache::with_floor(4, 100.0);
+        let plan = PhysicalPlan {
+            engine: EngineChoice::Scan,
+            mbrs: Vec::new(),
+            fanout: 1,
+            threads: 1,
+            est_nodes: 0.0,
+            est_pages: 0.0,
+            est_comparisons: 0.0,
+            est_cost: 0.0,
+            chosen_by: ChosenBy::Forced,
+        };
+        let e = QueryEpoch::default();
+        let cheap = PlanOutput::Range(QueryResult::default());
+        assert!((execution_cost(&cheap) - 0.0).abs() < 1e-12);
+        assert!(!cache.offer(1, e, plan.clone(), cheap), "under the floor");
+        assert!(cache.get(1, e).is_none());
+        let mut costly = QueryResult::default();
+        costly.metrics.comparisons = 80;
+        costly.metrics.node_accesses = 15;
+        costly.metrics.record_page_accesses = 5;
+        let costly = PlanOutput::Range(costly);
+        assert!((execution_cost(&costly) - 100.0).abs() < 1e-12);
+        assert!(
+            cache.offer(2, e, plan.clone(), costly),
+            "at the floor admits"
+        );
+        assert!(cache.get(2, e).is_some());
+        let c = cache.counters();
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.admitted, 1);
+        assert_eq!(c.inserts, 1);
+        // The floorless constructor admits everything (back-compat).
+        let open = PlanCache::new(4);
+        assert!(open.offer(3, e, plan, PlanOutput::Range(QueryResult::default())));
+        assert_eq!(open.counters().admitted, 1);
     }
 }

@@ -654,6 +654,17 @@ impl SharedIndex {
         plan::run(&guard, &self.stats, lq, query)
     }
 
+    /// [`Self::execute`], but also reporting the plan/execute wall-clock
+    /// split — what the server's slow-query log records.
+    pub fn execute_timed(
+        &self,
+        lq: &LogicalQuery,
+        query: Option<&TimeSeries>,
+    ) -> Result<(PhysicalPlan, PlanOutput, plan::StageTimings), QueryError> {
+        let guard = self.inner.read();
+        plan::run_timed(&guard, &self.stats, lq, query)
+    }
+
     /// Acquires a shared read guard: queries, scans, counter reads.
     /// Any number of readers proceed concurrently.
     pub fn read(&self) -> RwLockReadGuard<'_, SeqIndex> {

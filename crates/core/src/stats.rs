@@ -54,10 +54,21 @@ pub struct FamilyStats {
     /// with `matches / (|S|·|T|)` in `(2^-(b+1), 2^-b]`; the last bucket
     /// absorbs everything smaller (including zero matches).
     pub selectivity: [u64; SELECTIVITY_BUCKETS],
+    /// Planner page estimates summed — the drift-gauge denominator.
+    pub est_pages_sum: f64,
+    /// Planner comparison estimates summed.
+    pub est_comparisons_sum: f64,
 }
 
 impl FamilyStats {
-    fn record(&mut self, metrics: &EngineMetrics, pairs: u64, matches: u64) {
+    fn record(
+        &mut self,
+        metrics: &EngineMetrics,
+        pairs: u64,
+        matches: u64,
+        est_pages: f64,
+        est_comparisons: f64,
+    ) {
         self.queries += 1;
         self.candidates += metrics.candidates;
         self.matches += matches;
@@ -67,6 +78,8 @@ impl FamilyStats {
         self.comparisons += metrics.comparisons;
         self.pairs_examined += pairs;
         self.selectivity[bucket_of(matches, pairs)] += 1;
+        self.est_pages_sum += est_pages.max(0.0);
+        self.est_comparisons_sum += est_comparisons.max(0.0);
     }
 
     /// Mean node accesses per recorded query.
@@ -92,6 +105,50 @@ impl FamilyStats {
         } else {
             Some(self.matches as f64 / self.pairs_examined as f64)
         }
+    }
+
+    /// Cost-model page drift: measured pages over estimated pages (ratio
+    /// of sums — 1.0 means the Eq. 18–20 estimate was exact on average).
+    /// `None` until an estimate has been recorded.
+    pub fn pages_drift(&self) -> Option<f64> {
+        (self.est_pages_sum > 0.0).then(|| self.page_accesses as f64 / self.est_pages_sum)
+    }
+
+    /// Cost-model comparison drift (see [`Self::pages_drift`]).
+    pub fn comparisons_drift(&self) -> Option<f64> {
+        (self.est_comparisons_sum > 0.0).then(|| self.comparisons as f64 / self.est_comparisons_sum)
+    }
+}
+
+/// One `(family, engine)` row of the est-vs-actual drift report.
+#[derive(Clone, Debug)]
+pub struct DriftLine {
+    /// Family key (`name#len`).
+    pub family: String,
+    /// Engine name (`scan` / `st` / `mt`).
+    pub engine: &'static str,
+    /// Queries the row aggregates.
+    pub queries: u64,
+    /// Planner page estimates summed.
+    pub est_pages: f64,
+    /// Measured page accesses summed.
+    pub actual_pages: u64,
+    /// Planner comparison estimates summed.
+    pub est_comparisons: f64,
+    /// Measured comparisons summed.
+    pub actual_comparisons: u64,
+}
+
+impl DriftLine {
+    /// Measured-over-estimated page ratio (`None` when the estimate sum
+    /// is zero).
+    pub fn pages_ratio(&self) -> Option<f64> {
+        (self.est_pages > 0.0).then(|| self.actual_pages as f64 / self.est_pages)
+    }
+
+    /// Measured-over-estimated comparison ratio.
+    pub fn comparisons_ratio(&self) -> Option<f64> {
+        (self.est_comparisons > 0.0).then(|| self.actual_comparisons as f64 / self.est_comparisons)
     }
 }
 
@@ -163,6 +220,14 @@ fn engine_tag(engine: EngineChoice) -> u8 {
     }
 }
 
+fn engine_name(tag: u8) -> &'static str {
+    match tag {
+        0 => "scan",
+        1 => "st",
+        _ => "mt",
+    }
+}
+
 impl StatsRegistry {
     /// An empty registry.
     pub fn new() -> Self {
@@ -185,7 +250,9 @@ impl StatsRegistry {
     }
 
     /// Records one executed query's measured cost into the family
-    /// statistics. `pairs` is the `|S|·|T|` selectivity denominator.
+    /// statistics. `pairs` is the `|S|·|T|` selectivity denominator;
+    /// `est` is the plan's `(est_pages, est_comparisons)` pair, kept for
+    /// the drift report.
     pub fn record_query(
         &self,
         engine: EngineChoice,
@@ -193,12 +260,13 @@ impl StatsRegistry {
         pairs: u64,
         matches: u64,
         metrics: &EngineMetrics,
+        est: (f64, f64),
     ) {
         self.recorded.fetch_add(1, Ordering::Relaxed);
         let mut map = self.families.lock();
         map.entry((family_key(family), engine_tag(engine)))
             .or_default()
-            .record(metrics, pairs, matches);
+            .record(metrics, pairs, matches, est.0, est.1);
     }
 
     /// Statistics accumulated for `(family, engine)`, if any.
@@ -207,6 +275,27 @@ impl StatsRegistry {
             .lock()
             .get(&(family_key(family), engine_tag(engine)))
             .cloned()
+    }
+
+    /// Est-vs-actual drift rows for every `(family, engine)` pair that has
+    /// recorded at least one query, sorted for deterministic exposition.
+    pub fn drift_report(&self) -> Vec<DriftLine> {
+        let map = self.families.lock();
+        let mut rows: Vec<DriftLine> = map
+            .iter()
+            .map(|((family, tag), fs)| DriftLine {
+                family: family.clone(),
+                engine: engine_name(*tag),
+                queries: fs.queries,
+                est_pages: fs.est_pages_sum,
+                actual_pages: fs.page_accesses,
+                est_comparisons: fs.est_comparisons_sum,
+                actual_comparisons: fs.comparisons,
+            })
+            .collect();
+        drop(map);
+        rows.sort_by(|a, b| (&a.family, a.engine).cmp(&(&b.family, b.engine)));
+        rows
     }
 
     /// Aggregate counters.
@@ -294,13 +383,21 @@ mod tests {
             comparisons: 16,
             ..Default::default()
         };
-        reg.record_query(EngineChoice::Mt, &fam, 400, 2, &m);
-        reg.record_query(EngineChoice::Mt, &fam, 400, 0, &m);
+        reg.record_query(EngineChoice::Mt, &fam, 400, 2, &m, (8.0, 20.0));
+        reg.record_query(EngineChoice::Mt, &fam, 400, 0, &m, (8.0, 20.0));
         let s = reg.family_stats(EngineChoice::Mt, &fam).unwrap();
         assert_eq!(s.queries, 2);
         assert_eq!(s.node_accesses, 20);
         assert!((s.mean_selectivity().unwrap() - 2.0 / 800.0).abs() < 1e-12);
         assert!(reg.family_stats(EngineChoice::Scan, &fam).is_none());
+        // Drift: 0 measured pages over 16 estimated; 32 comparisons over 40.
+        assert!((s.pages_drift().unwrap() - 0.0).abs() < 1e-12);
+        assert!((s.comparisons_drift().unwrap() - 32.0 / 40.0).abs() < 1e-12);
+        let drift = reg.drift_report();
+        assert_eq!(drift.len(), 1);
+        assert_eq!(drift[0].engine, "mt");
+        assert_eq!(drift[0].queries, 2);
+        assert!((drift[0].comparisons_ratio().unwrap() - 0.8).abs() < 1e-12);
         reg.note_dispatch(EngineChoice::Mt);
         reg.note_dispatch(EngineChoice::Scan);
         let snap = reg.snapshot();

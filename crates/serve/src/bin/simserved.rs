@@ -54,7 +54,8 @@ USAGE:
             [--queue N] [--max-conns N] [--pool-pages N]
             [--shards N] [--partitioner hash|round-robin|range]
             [--wal DIR/] [--fsync always|never|N]
-            [--result-cache N]
+            [--result-cache N] [--cache-floor COST]
+            [--slow-query-ms N] [--trace-sample K]
   simserved --replicate-from HOST:PORT [--index DIR/] [--wal DIR/]
             [--addr HOST:PORT] [...]
 
@@ -66,7 +67,12 @@ backend. `--wal DIR/` makes INSERT/DELETE durable (write-ahead logged,
 replayed on restart; see SYNC and CHECKPOINT in the protocol).
 `--result-cache N` answers repeated queries from an epoch-keyed LRU
 cache (mutations invalidate; see the EXPLAIN verb and the STATS PLAN
-line in the protocol). `--replicate-from HOST:PORT` runs a read-only
+line in the protocol); `--cache-floor COST` admits only results whose
+measured execution cost reaches COST work units. `--slow-query-ms N`
+logs any query at or over N ms (inspect with `simseq metrics`), and
+`--trace-sample K` records every K-th query's span tree into a bounded
+ring served by the TRACE verb (0 disables; see METRICS and TRACE in
+the protocol). `--replicate-from HOST:PORT` runs a read-only
 follower of a durable primary: without --index it bootstraps from a
 snapshot transfer, with --index (+ --wal for durability) it resumes
 from local state; writes are refused with ERR code=READONLY.
@@ -125,6 +131,20 @@ fn run() -> Result<(), String> {
             .map_err(|e| e.to_string())?,
         result_cache: opts
             .parse_or("result-cache", defaults.result_cache)
+            .map_err(|e| e.to_string())?,
+        cache_floor: opts
+            .parse_or("cache-floor", defaults.cache_floor)
+            .map_err(|e| e.to_string())?,
+        // The flag is in milliseconds (human scale); the log gates in µs.
+        slow_query_us: match opts.get("slow-query-ms") {
+            None => defaults.slow_query_us,
+            Some(raw) => raw
+                .parse::<u64>()
+                .map(|ms| ms.saturating_mul(1000))
+                .map_err(|_| format!("--slow-query-ms must be an integer, got `{raw}`"))?,
+        },
+        trace_sample: opts
+            .parse_or("trace-sample", defaults.trace_sample)
             .map_err(|e| e.to_string())?,
     };
 

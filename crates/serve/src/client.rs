@@ -1,6 +1,8 @@
 //! A typed blocking client for the `simserved` protocol.
 
-use crate::protocol::{QueryParams, Request, Response, StatsReport, WireMatch, WirePair};
+use crate::protocol::{
+    QueryParams, Request, Response, StatsReport, WireMatch, WirePair, WireTraceEvent,
+};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -123,6 +125,22 @@ impl Client {
     pub fn stats(&mut self, reset: bool) -> io::Result<Result<StatsReport, Response>> {
         match self.call(&Request::Stats { reset })? {
             Response::Stats(s) => Ok(Ok(*s)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `METRICS` — the raw text exposition, one metric per line.
+    pub fn metrics(&mut self) -> io::Result<Result<Vec<String>, Response>> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { lines } => Ok(Ok(lines)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `TRACE` — drains up to `n` recorded spans, oldest first.
+    pub fn trace(&mut self, n: usize) -> io::Result<Result<Vec<WireTraceEvent>, Response>> {
+        match self.call(&Request::Trace { n })? {
+            Response::Trace { events } => Ok(Ok(events)),
             other => Ok(Err(other)),
         }
     }

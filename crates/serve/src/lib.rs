@@ -26,6 +26,7 @@
 //! consistent), `INSERT`/`DELETE` take the write guard.
 
 pub mod client;
+pub mod expose;
 pub mod load;
 pub mod metrics;
 pub mod opts;

@@ -9,9 +9,9 @@
 //! so a run doubles as an end-to-end result-parity check.
 
 use crate::client::Client;
-use crate::metrics::Histogram;
 use crate::protocol::{EngineKind, QueryParams, Response, WireThreshold};
 use crate::server::engine_pref;
+use simobs::Histogram;
 use simquery::prelude::*;
 use std::io;
 use std::sync::Arc;

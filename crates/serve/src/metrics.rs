@@ -1,90 +1,24 @@
-//! Server observability: per-operation counters and latency histograms.
+//! Server observability: per-operation counters and latency histograms,
+//! backed by the workspace-wide [`simobs`] instruments.
 //!
-//! Latencies are recorded in microseconds into log₂ buckets (bucket `i`
-//! holds `[2^i, 2^{i+1})` µs), so a histogram is 64 atomic counters —
-//! cheap enough to update on every request from every worker without a
-//! lock, and precise enough for the p50/p95/p99 the `STATS` request
-//! reports (percentiles are bucket upper bounds, i.e. ≤ 2× the true
-//! value).
+//! The histogram/counter code that used to live here moved to
+//! `crates/obs` in PR 9; what remains is the server's *view*: an op table
+//! of shared handles registered in a per-server [`MetricsRegistry`]. The
+//! same atomics feed both the `STATS` report and the `METRICS` text
+//! exposition, so the two can never disagree — parity is structural, and
+//! the loopback metrics suite pins it op-for-op anyway.
 
 use crate::protocol::{
     OpStatLine, PlanStatLine, ReplStatLine, ShardStatLine, StatsReport, WalStatLine,
 };
+use simobs::metrics::labeled;
+use simobs::{Counter, Exposition, Histogram, MetricsRegistry, SlowLog};
 use simquery::index::AccessCounters;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-const BUCKETS: usize = 64;
-
-/// A lock-free log₂-bucketed histogram of microsecond latencies.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl Histogram {
-    /// Records one latency.
-    pub fn record(&self, d: Duration) {
-        let us = d.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - us.leading_zeros()).saturating_sub(1) as usize; // floor(log2), 0 for 0–1 µs
-        self.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket the
-    /// quantile sample falls in; 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Upper bound of bucket i = 2^{i+1} − 1.
-                return (2u64 << i) - 1;
-            }
-        }
-        self.max_us()
-    }
-
-    /// Largest recorded value.
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    fn reset(&self) {
-        for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
-        }
-        self.count.store(0, Ordering::Relaxed);
-        self.max_us.store(0, Ordering::Relaxed);
-    }
-}
-
 /// The operations the registry tracks, in reporting order.
-pub const OPS: [&str; 11] = [
+pub const OPS: [&str; 13] = [
     "query",
     "knn",
     "join",
@@ -96,54 +30,107 @@ pub const OPS: [&str; 11] = [
     "info",
     "repl",
     "stats",
+    "metrics",
+    "trace",
 ];
 
-/// Index of an op name in [`OPS`] (`stats` catches anything unknown).
+/// Index of an op name in [`OPS`] (the last entry catches anything
+/// unknown).
 pub fn op_index(op: &str) -> usize {
     OPS.iter().position(|o| *o == op).unwrap_or(OPS.len() - 1)
 }
 
-#[derive(Default)]
-struct OpStats {
-    count: AtomicU64,
-    errors: AtomicU64,
-    hist: Histogram,
+/// Capacity of the per-server slow-query ring.
+const SLOW_RING: usize = 128;
+
+struct OpHandles {
+    count: Arc<Counter>,
+    errors: Arc<Counter>,
+    hist: Arc<Histogram>,
 }
 
 /// The server-wide metrics registry shared by all workers.
-#[derive(Default)]
 pub struct Registry {
-    ops: [OpStats; OPS.len()],
-    busy_rejected: AtomicU64,
-    connections: AtomicU64,
+    metrics: MetricsRegistry,
+    ops: [OpHandles; OPS.len()],
+    busy_rejected: Arc<Counter>,
+    connections: Arc<Counter>,
+    slow: SlowLog,
     /// Index counters at the previous STATS call — the delta baseline.
     baseline: Mutex<Option<AccessCounters>>,
 }
 
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Registry {
+    /// A registry with every op instrument pre-registered.
+    pub fn new() -> Self {
+        let metrics = MetricsRegistry::new();
+        let ops = std::array::from_fn(|i| {
+            let op = [("op", OPS[i])];
+            OpHandles {
+                count: metrics.counter(&labeled("simseq_op_total", &op)),
+                errors: metrics.counter(&labeled("simseq_op_errors_total", &op)),
+                hist: metrics.histogram(&labeled("simseq_op_latency_us", &op)),
+            }
+        });
+        let busy_rejected = metrics.counter("simseq_busy_rejected_total");
+        let connections = metrics.counter("simseq_connections_total");
+        Self {
+            metrics,
+            ops,
+            busy_rejected,
+            connections,
+            slow: SlowLog::new(SLOW_RING),
+            baseline: Mutex::new(None),
+        }
+    }
+
     /// Records one completed operation.
     pub fn record(&self, op: usize, latency: Duration, is_err: bool) {
         let s = &self.ops[op];
-        s.count.fetch_add(1, Ordering::Relaxed);
+        s.count.inc();
         if is_err {
-            s.errors.fetch_add(1, Ordering::Relaxed);
+            s.errors.inc();
         }
         s.hist.record(latency);
     }
 
     /// Counts a request rejected by admission control.
     pub fn record_busy(&self) {
-        self.busy_rejected.fetch_add(1, Ordering::Relaxed);
+        self.busy_rejected.inc();
     }
 
     /// Counts an accepted connection.
     pub fn record_connection(&self) {
-        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.connections.inc();
     }
 
     /// Requests rejected so far.
     pub fn busy_rejected(&self) -> u64 {
-        self.busy_rejected.load(Ordering::Relaxed)
+        self.busy_rejected.get()
+    }
+
+    /// Recorded count for one op index (the parity test's ground truth).
+    pub fn op_count(&self, op: usize) -> u64 {
+        self.ops[op].count.get()
+    }
+
+    /// The server's slow-query log.
+    pub fn slow(&self) -> &SlowLog {
+        &self.slow
+    }
+
+    /// Renders every registered instrument (op counters, histograms,
+    /// connection/busy counters) into `exp` — the registry-owned half of
+    /// the `METRICS` exposition.
+    pub fn render_into(&self, exp: &mut Exposition) {
+        self.metrics.render_into(exp);
+        exp.counter("simseq_slow_queries_total", &[], self.slow.fired());
     }
 
     /// Builds the `STATS` payload; with `reset`, zeroes op counters and
@@ -175,11 +162,11 @@ impl Registry {
         let ops = OPS
             .iter()
             .zip(&self.ops)
-            .filter(|(_, s)| s.count.load(Ordering::Relaxed) > 0)
+            .filter(|(_, s)| s.count.get() > 0)
             .map(|(name, s)| OpStatLine {
                 op: name.to_string(),
-                count: s.count.load(Ordering::Relaxed),
-                errors: s.errors.load(Ordering::Relaxed),
+                count: s.count.get(),
+                errors: s.errors.get(),
                 p50_us: s.hist.quantile_us(0.50),
                 p95_us: s.hist.quantile_us(0.95),
                 p99_us: s.hist.quantile_us(0.99),
@@ -188,8 +175,8 @@ impl Registry {
             .collect();
         let report = StatsReport {
             ops,
-            busy_rejected: self.busy_rejected.load(Ordering::Relaxed),
-            connections: self.connections.load(Ordering::Relaxed),
+            busy_rejected: self.busy_rejected.get(),
+            connections: self.connections.get(),
             counters_total: (now.node_reads, now.record_page_reads, now.record_fetches),
             counters_delta: (
                 now.node_reads - prev.node_reads,
@@ -203,8 +190,8 @@ impl Registry {
         };
         if reset {
             for s in &self.ops {
-                s.count.store(0, Ordering::Relaxed);
-                s.errors.store(0, Ordering::Relaxed);
+                s.count.reset();
+                s.errors.reset();
                 s.hist.reset();
             }
         }
@@ -217,38 +204,60 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
-        let h = Histogram::default();
-        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
-        for us in [1u64, 2, 3, 100, 100, 100, 100, 5000, 80_000] {
-            h.record(Duration::from_micros(us));
-        }
-        assert_eq!(h.count(), 9);
-        assert_eq!(h.max_us(), 80_000);
-        let p50 = h.quantile_us(0.50);
-        let p95 = h.quantile_us(0.95);
-        let p99 = h.quantile_us(0.99);
-        // 5th of 9 samples is one of the 100 µs records → bucket [64, 128).
-        assert_eq!(p50, 127);
-        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
-        assert!(p99 >= 80_000, "p99 covers the max bucket");
-    }
-
-    #[test]
-    fn quantiles_are_upper_bounds_within_2x() {
-        let h = Histogram::default();
-        for us in 1..=1000u64 {
-            h.record(Duration::from_micros(us));
-        }
-        let p50 = h.quantile_us(0.5);
-        assert!((500..=1024).contains(&p50), "p50 = {p50}");
-    }
-
-    #[test]
     fn op_indices_cover_all_ops() {
         for (i, op) in OPS.iter().enumerate() {
             assert_eq!(op_index(op), i);
         }
         assert_eq!(op_index("nonsense"), OPS.len() - 1);
+    }
+
+    #[test]
+    fn stats_and_exposition_read_the_same_atomics() {
+        let reg = Registry::new();
+        let q = op_index("query");
+        for _ in 0..5 {
+            reg.record(q, Duration::from_micros(100), false);
+        }
+        reg.record(q, Duration::from_micros(100), true);
+        reg.record_connection();
+        let report = reg.report(
+            AccessCounters {
+                node_reads: 0,
+                record_page_reads: 0,
+                record_fetches: 0,
+            },
+            Vec::new(),
+            None,
+            None,
+            None,
+            false,
+        );
+        let line = report.ops.iter().find(|o| o.op == "query").unwrap();
+        assert_eq!(line.count, 6);
+        assert_eq!(line.errors, 1);
+        let mut exp = Exposition::new();
+        reg.render_into(&mut exp);
+        let lines = exp.into_lines();
+        assert!(lines.contains(&"simseq_op_total{op=\"query\"} 6".to_string()));
+        assert!(lines.contains(&"simseq_op_errors_total{op=\"query\"} 1".to_string()));
+        assert!(lines.contains(&"simseq_connections_total 1".to_string()));
+        assert!(lines.contains(&"simseq_slow_queries_total 0".to_string()));
+    }
+
+    #[test]
+    fn reset_zeroes_ops_but_not_connections() {
+        let reg = Registry::new();
+        reg.record(op_index("insert"), Duration::from_micros(10), false);
+        reg.record_connection();
+        let zero = AccessCounters {
+            node_reads: 0,
+            record_page_reads: 0,
+            record_fetches: 0,
+        };
+        reg.report(zero, Vec::new(), None, None, None, true);
+        assert_eq!(reg.op_count(op_index("insert")), 0);
+        let report = reg.report(zero, Vec::new(), None, None, None, false);
+        assert!(report.ops.is_empty());
+        assert_eq!(report.connections, 1);
     }
 }

@@ -149,6 +149,16 @@ pub enum Request {
         /// Reset after reporting.
         reset: bool,
     },
+    /// Text-exposition dump of every registered instrument — the same
+    /// atomics `STATS` reads, rendered one `name{labels} value` line per
+    /// series for scrapers.
+    Metrics,
+    /// Drains up to `n` of the most recent completed trace spans from
+    /// the server's bounded trace ring.
+    Trace {
+        /// Maximum spans returned (the newest win).
+        n: usize,
+    },
     /// `EXPLAIN <QUERY|KNN|JOIN …>` — plans (and executes, bypassing the
     /// result cache) the wrapped request, returning the chosen physical
     /// plan with estimated-vs-actual cost counters instead of the result.
@@ -231,6 +241,8 @@ impl Request {
                     "STATS".into()
                 }
             }
+            Self::Metrics => "METRICS".into(),
+            Self::Trace { n } => format!("TRACE n={n}"),
             Self::Explain { inner } => format!("EXPLAIN {}", inner.to_line()),
             Self::Repl {
                 epoch,
@@ -290,6 +302,10 @@ impl Request {
             "INFO" => Ok(Self::Info),
             "STATS" => Ok(Self::Stats {
                 reset: kv.get("reset") == Some("yes"),
+            }),
+            "METRICS" => Ok(Self::Metrics),
+            "TRACE" => Ok(Self::Trace {
+                n: kv.parse_or("n", 100)?,
             }),
             "REPL" => Ok(Self::Repl {
                 epoch: kv.req_parse("epoch")?,
@@ -472,6 +488,10 @@ pub struct PlanStatLine {
     pub cache_evictions: u64,
     /// Entries currently resident in the result cache.
     pub cache_entries: u64,
+    /// Results admitted by the cache's cost floor.
+    pub cache_admitted: u64,
+    /// Results refused by the cost floor (too cheap to be worth a slot).
+    pub cache_rejected: u64,
     /// Executions dispatched to the MT-index engine.
     pub mt: u64,
     /// Executions dispatched to the ST-index engine.
@@ -527,6 +547,23 @@ pub struct StatsReport {
     pub repl: Option<ReplStatLine>,
 }
 
+/// One completed span of a `TRACE` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireTraceEvent {
+    /// Global completion order (monotonic per server).
+    pub seq: u64,
+    /// Trace id shared by every span of one sampled root.
+    pub trace: u64,
+    /// Span name (e.g. `plan.execute`, `wal.fsync`).
+    pub name: String,
+    /// Nesting depth below the root (root = 0).
+    pub depth: u16,
+    /// Span start, µs since the tracer was created.
+    pub start_us: u64,
+    /// Span duration in µs.
+    pub dur_us: u64,
+}
+
 /// One `SNAP` line of a snapshot-transfer response: a stored sequence
 /// and whether it is live or tombstoned.
 #[derive(Clone, Debug, PartialEq)]
@@ -577,6 +614,16 @@ pub enum Response {
     Plan(Vec<(String, String)>),
     /// `STATS` payload (boxed: the report dwarfs every other variant).
     Stats(Box<StatsReport>),
+    /// `METRICS` payload: raw text-exposition lines, one per series.
+    Metrics {
+        /// The exposition, already formatted (`name{labels} value`).
+        lines: Vec<String>,
+    },
+    /// `TRACE` payload: drained spans, oldest first.
+    Trace {
+        /// The spans.
+        events: Vec<WireTraceEvent>,
+    },
     /// `CHECKPOINT` acknowledgement carrying the new epoch.
     Checkpointed {
         /// Epoch installed by the checkpoint.
@@ -697,12 +744,15 @@ impl Response {
                     writeln!(
                         w,
                         "PLAN built={} cache_hits={} cache_misses={} cache_evictions={} \
-                         cache_entries={} mt={} st={} scan={}",
+                         cache_entries={} cache_admitted={} cache_rejected={} mt={} st={} \
+                         scan={}",
                         p.built,
                         p.cache_hits,
                         p.cache_misses,
                         p.cache_evictions,
                         p.cache_entries,
+                        p.cache_admitted,
+                        p.cache_rejected,
                         p.mt,
                         p.st,
                         p.scan
@@ -721,6 +771,25 @@ impl Response {
                     "SERVER busy_rejected={} connections={}",
                     s.busy_rejected, s.connections
                 )?;
+            }
+            Self::Metrics { lines } => {
+                // `metrics=prom` tags the status line so the reader never
+                // confuses the exposition body (free-form lines) with a
+                // keyed payload.
+                writeln!(w, "OK metrics=prom lines={}", lines.len())?;
+                for line in lines {
+                    writeln!(w, "{line}")?;
+                }
+            }
+            Self::Trace { events } => {
+                writeln!(w, "OK trace={}", events.len())?;
+                for e in events {
+                    writeln!(
+                        w,
+                        "TRACE seq={} trace={} name={} depth={} start_us={} dur_us={}",
+                        e.seq, e.trace, e.name, e.depth, e.start_us, e.dur_us
+                    )?;
+                }
             }
             Self::Checkpointed { epoch } => writeln!(w, "OK epoch={epoch}")?,
             Self::ReplFrames { epoch, end, frames } => {
@@ -806,6 +875,21 @@ impl Response {
                 let kv = KvTokens::collect(tokens)?;
                 if let Some(kind) = kv.get("repl") {
                     Self::assemble_repl(kind, &kv, body)
+                } else if kv.get("metrics").is_some() {
+                    // Sniffed before n=: the exposition body is free-form
+                    // text and must never reach the keyed-line parsers.
+                    let announced: usize = kv.req_parse("lines")?;
+                    if body.len() != announced {
+                        return Err(ProtoError::bad(format!(
+                            "metrics announced lines={announced} but carried {}",
+                            body.len()
+                        )));
+                    }
+                    Ok(Self::Metrics {
+                        lines: body.to_vec(),
+                    })
+                } else if kv.get("trace").is_some() {
+                    Self::assemble_trace(&kv, body)
                 } else if let Some(n) = kv.get("n") {
                     let n: usize = n.parse().map_err(|_| ProtoError::bad("bad n="))?;
                     Self::assemble_result(n, body)
@@ -952,6 +1036,33 @@ impl Response {
         }
     }
 
+    fn assemble_trace(kv: &KvTokens, body: &[String]) -> Result<Self, ProtoError> {
+        let announced: usize = kv.req_parse("trace")?;
+        let mut events = Vec::new();
+        for line in body {
+            let mut tokens = line.split_whitespace();
+            if tokens.next() != Some("TRACE") {
+                return Err(ProtoError::bad(format!("unexpected trace line `{line}`")));
+            }
+            let tkv = KvTokens::collect(tokens)?;
+            events.push(WireTraceEvent {
+                seq: tkv.req_parse("seq")?,
+                trace: tkv.req_parse("trace")?,
+                name: tkv.req("name")?.to_string(),
+                depth: tkv.req_parse("depth")?,
+                start_us: tkv.req_parse("start_us")?,
+                dur_us: tkv.req_parse("dur_us")?,
+            });
+        }
+        if events.len() != announced {
+            return Err(ProtoError::bad(format!(
+                "trace announced {announced} spans but carried {}",
+                events.len()
+            )));
+        }
+        Ok(Self::Trace { events })
+    }
+
     fn assemble_stats(body: &[String]) -> Result<Self, ProtoError> {
         let mut report = StatsReport::default();
         for line in body {
@@ -1009,6 +1120,10 @@ impl Response {
                         cache_misses: kv.req_parse("cache_misses")?,
                         cache_evictions: kv.req_parse("cache_evictions")?,
                         cache_entries: kv.req_parse("cache_entries")?,
+                        // Admission counters arrived with the cost floor;
+                        // older servers omit them.
+                        cache_admitted: kv.parse_or("cache_admitted", 0)?,
+                        cache_rejected: kv.parse_or("cache_rejected", 0)?,
                         mt: kv.req_parse("mt")?,
                         st: kv.req_parse("st")?,
                         scan: kv.req_parse("scan")?,
@@ -1256,6 +1371,8 @@ mod tests {
         round_trip_request(Request::Info);
         round_trip_request(Request::Stats { reset: true });
         round_trip_request(Request::Stats { reset: false });
+        round_trip_request(Request::Metrics);
+        round_trip_request(Request::Trace { n: 25 });
         round_trip_request(Request::Quit);
         round_trip_request(Request::Query(QueryParams {
             ord: 5,
@@ -1435,6 +1552,8 @@ mod tests {
                 cache_misses: 33,
                 cache_evictions: 2,
                 cache_entries: 7,
+                cache_admitted: 30,
+                cache_rejected: 3,
                 mt: 25,
                 st: 10,
                 scan: 7,
@@ -1497,6 +1616,52 @@ mod tests {
             ("est_pages".into(), "120".into()),
             ("pages".into(), "97".into()),
         ]));
+    }
+
+    #[test]
+    fn trace_request_defaults_to_100_spans() {
+        assert_eq!(Request::parse("TRACE").unwrap(), Request::Trace { n: 100 });
+    }
+
+    #[test]
+    fn observability_responses_round_trip() {
+        // Exposition lines are free-form text (braces, quotes, spaces) —
+        // they must pass through untouched, not be fed to a kv parser.
+        round_trip_response(Response::Metrics {
+            lines: vec![
+                "simseq_op_total{op=\"query\"} 6".into(),
+                "simseq_op_latency_us{op=\"query\",quantile=\"0.95\"} 512".into(),
+                "simseq_connections_total 2".into(),
+            ],
+        });
+        round_trip_response(Response::Metrics { lines: vec![] });
+        round_trip_response(Response::Trace {
+            events: vec![
+                WireTraceEvent {
+                    seq: 1,
+                    trace: 7,
+                    name: "plan.execute".into(),
+                    depth: 1,
+                    start_us: 10,
+                    dur_us: 250,
+                },
+                WireTraceEvent {
+                    seq: 2,
+                    trace: 7,
+                    name: "shard.gather".into(),
+                    depth: 0,
+                    start_us: 5,
+                    dur_us: 400,
+                },
+            ],
+        });
+        round_trip_response(Response::Trace { events: vec![] });
+    }
+
+    #[test]
+    fn metrics_body_must_match_announced_line_count() {
+        let input = b"OK metrics=prom lines=2\nsimseq_connections_total 1\nEND\n".to_vec();
+        assert!(Response::read_from(&mut Cursor::new(input)).is_err());
     }
 
     #[test]

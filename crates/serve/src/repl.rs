@@ -282,6 +282,7 @@ pub struct ReplPoll {
 /// connection thread (like `QUIT`): a long-poll parked in the bounded
 /// worker pool would starve query traffic.
 pub fn serve_repl(backend: &Backend, repl: &ReplState, peer: &str, poll: ReplPoll) -> Response {
+    let _span = simobs::trace::span("repl.feed");
     let ReplPoll {
         epoch,
         from,
@@ -583,6 +584,7 @@ impl Follower {
     /// entries) were received; `Ok(0)` means the follower is drained to
     /// the primary's acked tip. Crash-point tests step this directly.
     pub fn poll_once(&mut self) -> io::Result<usize> {
+        let _span = simobs::trace::span("repl.apply");
         let epoch = replica_epoch(&self.shared);
         let from = if self.synced { self.applied() + 1 } else { 0 };
         let req = Request::Repl {

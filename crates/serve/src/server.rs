@@ -20,9 +20,10 @@ use crate::metrics::{op_index, Registry};
 use crate::pool::{PushError, WorkerPool};
 use crate::protocol::{
     EngineKind, ErrCode, PlanStatLine, QueryParams, Request, Response, WireMatch, WireMetrics,
-    WirePair, WireThreshold,
+    WirePair, WireThreshold, WireTraceEvent,
 };
 use crate::repl::{serve_repl, FollowerStats, ReplPoll, ReplState};
+use simobs::{SlowEntry, SlowLog};
 use simquery::prelude::*;
 use simquery::report::{JoinResult, QueryError};
 use simquery::shared::DurableError;
@@ -49,6 +50,15 @@ pub struct ServerConfig {
     /// results are keyed on the query fingerprint and the index's
     /// [`QueryEpoch`], so mutations can never serve stale reads.
     pub result_cache: usize,
+    /// Result-cache admission floor in cost-model work units
+    /// ([`simquery::plan::execution_cost`]): results cheaper than this
+    /// are not worth a cache slot. 0.0 admits everything.
+    pub cache_floor: f64,
+    /// Slow-query log threshold, µs (inclusive). `u64::MAX` disables the
+    /// log; 0 logs every cache-missing query.
+    pub slow_query_us: u64,
+    /// Trace sampling: record every k-th root span (0 disables tracing).
+    pub trace_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +71,9 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_conns: 64,
             result_cache: 0,
+            cache_floor: 0.0,
+            slow_query_us: u64::MAX,
+            trace_sample: simobs::trace::DEFAULT_SAMPLE,
         }
     }
 }
@@ -142,9 +155,13 @@ pub fn serve_with(
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let metrics = Arc::new(Registry::default());
+    metrics.slow().set_threshold_us(cfg.slow_query_us);
+    // The tracer is process-global (the instrumented crates have no
+    // server handle); the most recently started server wins the rate.
+    simobs::trace::global().set_sample(cfg.trace_sample);
     let stop = Arc::new(AtomicBool::new(false));
     let pool = Arc::new(WorkerPool::new(cfg.workers, cfg.queue_depth));
-    let cache = Arc::new(PlanCache::new(cfg.result_cache));
+    let cache = Arc::new(PlanCache::with_floor(cfg.result_cache, cfg.cache_floor));
     let repl = Arc::new(match follower {
         Some(stats) => ReplState::follower(stats),
         None => ReplState::primary(),
@@ -321,6 +338,8 @@ impl Request {
             Self::Checkpoint => "checkpoint",
             Self::Info => "info",
             Self::Stats { .. } => "stats",
+            Self::Metrics => "metrics",
+            Self::Trace { .. } => "trace",
             Self::Explain { .. } => "explain",
             Self::Repl { .. } => "repl",
             Self::Quit => "info",
@@ -352,14 +371,14 @@ fn execute(
         );
     }
     match request {
-        Request::Query(p) => run_query(backend, cache, p),
-        Request::Knn { ord, k, ma } => run_knn(backend, cache, ord, k, ma),
+        Request::Query(p) => run_query(backend, cache, metrics.slow(), p),
+        Request::Knn { ord, k, ma } => run_knn(backend, cache, metrics.slow(), ord, k, ma),
         Request::Join {
             ma,
             threshold,
             engine,
             limit,
-        } => run_join(backend, cache, ma, threshold, engine, limit),
+        } => run_join(backend, cache, metrics.slow(), ma, threshold, engine, limit),
         Request::Explain { inner } => run_explain(backend, *inner),
         Request::Insert { values } => {
             let ts = TimeSeries::new(values);
@@ -520,6 +539,8 @@ fn execute(
                 cache_misses: cc.misses,
                 cache_evictions: cc.evictions,
                 cache_entries: cc.entries,
+                cache_admitted: cc.admitted,
+                cache_rejected: cc.rejected,
                 mt: snap.dispatch_mt,
                 st: snap.dispatch_st,
                 scan: snap.dispatch_scan,
@@ -528,6 +549,22 @@ fn execute(
             Response::Stats(Box::new(
                 metrics.report(counters, shards, wal, plan_line, repl_line, reset),
             ))
+        }
+        Request::Metrics => crate::expose::render(backend, metrics, cache, repl),
+        Request::Trace { n } => {
+            let events = simobs::trace::global()
+                .drain(n)
+                .into_iter()
+                .map(|e| WireTraceEvent {
+                    seq: e.seq,
+                    trace: e.trace,
+                    name: e.name.to_string(),
+                    depth: e.depth,
+                    start_us: e.start_us,
+                    dur_us: e.dur_us,
+                })
+                .collect();
+            Response::Trace { events }
         }
         // Both handled on the connection thread, never submitted here.
         Request::Repl { .. } | Request::Quit => Response::Ok,
@@ -692,55 +729,114 @@ fn dispatch(
     lq: &LogicalQuery,
     q: Option<&TimeSeries>,
 ) -> Result<(PhysicalPlan, PlanOutput), QueryError> {
+    let (plan, out, _) = dispatch_timed(backend, lq, q)?;
+    Ok((plan, out))
+}
+
+/// [`dispatch`], but also reporting the plan/execute wall-clock split.
+/// The scatter-gather path can't separate planning from execution (each
+/// shard plans inside its lane), so there the whole call counts as
+/// execution and `plan_us` stays 0.
+fn dispatch_timed(
+    backend: &Backend,
+    lq: &LogicalQuery,
+    q: Option<&TimeSeries>,
+) -> Result<(PhysicalPlan, PlanOutput, StageTimings), QueryError> {
     match backend {
-        Backend::Single(shared) => shared.execute(lq, q),
-        Backend::Sharded(sharded) => match lq.verb {
-            LogicalVerb::Range => {
-                let query = q.expect("range queries carry a query sequence");
-                let (plan, r, _per_shard) = gather::execute_range(sharded, lq, query)?;
-                Ok((plan, PlanOutput::Range(r)))
-            }
-            LogicalVerb::Knn { .. } => {
-                let query = q.expect("kNN queries carry a query sequence");
-                let (plan, matches, merged, _per_shard) = gather::execute_knn(sharded, lq, query)?;
-                Ok((plan, PlanOutput::Knn(matches, merged)))
-            }
-            LogicalVerb::Join => unreachable!("JOIN is rejected on sharded backends"),
-        },
+        Backend::Single(shared) => shared.execute_timed(lq, q),
+        Backend::Sharded(sharded) => {
+            let start = Instant::now();
+            let (plan, out) = match lq.verb {
+                LogicalVerb::Range => {
+                    let query = q.expect("range queries carry a query sequence");
+                    let (plan, r, _per_shard) = gather::execute_range(sharded, lq, query)?;
+                    (plan, PlanOutput::Range(r))
+                }
+                LogicalVerb::Knn { .. } => {
+                    let query = q.expect("kNN queries carry a query sequence");
+                    let (plan, matches, merged, _per_shard) =
+                        gather::execute_knn(sharded, lq, query)?;
+                    (plan, PlanOutput::Knn(matches, merged))
+                }
+                LogicalVerb::Join => unreachable!("JOIN is rejected on sharded backends"),
+            };
+            let timings = StageTimings {
+                plan_us: 0,
+                exec_us: start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            };
+            Ok((plan, out, timings))
+        }
+    }
+}
+
+/// Matches (or pairs) an output carries, for the slow-query log.
+fn output_matches(out: &PlanOutput) -> u64 {
+    match out {
+        PlanOutput::Range(r) => r.matches.len() as u64,
+        PlanOutput::Knn(matches, _) => matches.len() as u64,
+        PlanOutput::Join(r) => r.matches.len() as u64,
     }
 }
 
 /// Executes a cacheable query verb: epoch-keyed cache lookup, then the
 /// plan layer on a miss. The epoch is read *before* execution so a
 /// racing mutation can only waste a cache entry, never leave a stale one
-/// valid for the current epoch.
+/// valid for the current epoch. Cache misses are timed and offered to
+/// the slow-query log (`describe` renders the query text only when the
+/// log actually fires); the result is then *offered* to the cache, which
+/// admits it only when its measured cost clears the admission floor.
 fn run_cached(
     backend: &Backend,
     cache: &PlanCache,
+    slow: &SlowLog,
     lq: &LogicalQuery,
     q: Option<&TimeSeries>,
+    describe: impl FnOnce() -> String,
 ) -> Result<PlanOutput, Response> {
     let epoch = backend_epoch(backend);
     let fp = lq.fingerprint(q);
     if let Some((_, out)) = cache.get(fp, epoch) {
         return Ok(out);
     }
-    match dispatch(backend, lq, q) {
-        Ok((plan, out)) => {
-            cache.put(fp, epoch, plan, out.clone());
+    let start = Instant::now();
+    match dispatch_timed(backend, lq, q) {
+        Ok((plan, out, timings)) => {
+            let total_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            let m = out.metrics();
+            slow.observe(total_us, || SlowEntry {
+                query: describe(),
+                plan: format!(
+                    "engine={} chosen_by={} fanout={} threads={}",
+                    plan.engine.as_str(),
+                    plan.chosen_by.as_str(),
+                    plan.fanout,
+                    plan.threads
+                ),
+                est_pages: plan.est_pages,
+                actual_pages: m.record_page_accesses,
+                est_comparisons: plan.est_comparisons,
+                actual_comparisons: m.comparisons,
+                candidates: m.candidates,
+                matches: output_matches(&out),
+                plan_us: timings.plan_us,
+                exec_us: timings.exec_us,
+                total_us: 0, // observe() stamps the measured total
+            });
+            cache.offer(fp, epoch, plan, out.clone());
             Ok(out)
         }
         Err(e) => Err(query_err(e)),
     }
 }
 
-fn run_query(backend: &Backend, cache: &PlanCache, p: QueryParams) -> Response {
+fn run_query(backend: &Backend, cache: &PlanCache, slow: &SlowLog, p: QueryParams) -> Response {
     let (family, q) = match prepare(backend, p.ord, p.ma) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
     let lq = LogicalQuery::range(family, p.threshold.to_spec()).with_engine(engine_pref(p.engine));
-    match run_cached(backend, cache, &lq, Some(&q)) {
+    let describe = || Request::Query(p).to_line();
+    match run_cached(backend, cache, slow, &lq, Some(&q), describe) {
         Ok(PlanOutput::Range(r)) => matches_response(&r.matches, &r.metrics, p.limit),
         Ok(_) => err(ErrCode::Server, "range plan produced a non-range result"),
         Err(resp) => resp,
@@ -750,6 +846,7 @@ fn run_query(backend: &Backend, cache: &PlanCache, p: QueryParams) -> Response {
 fn run_knn(
     backend: &Backend,
     cache: &PlanCache,
+    slow: &SlowLog,
     ord: usize,
     k: usize,
     ma: (usize, usize),
@@ -759,7 +856,8 @@ fn run_knn(
         Err(resp) => return resp,
     };
     let lq = LogicalQuery::knn(family, k);
-    match run_cached(backend, cache, &lq, Some(&q)) {
+    let describe = || Request::Knn { ord, k, ma }.to_line();
+    match run_cached(backend, cache, slow, &lq, Some(&q), describe) {
         Ok(PlanOutput::Knn(matches, metrics)) => matches_response(&matches, &metrics, 0),
         Ok(_) => err(ErrCode::Server, "kNN plan produced a non-kNN result"),
         Err(resp) => resp,
@@ -769,6 +867,7 @@ fn run_knn(
 fn run_join(
     backend: &Backend,
     cache: &PlanCache,
+    slow: &SlowLog,
     ma: (usize, usize),
     threshold: WireThreshold,
     engine: EngineKind,
@@ -786,7 +885,16 @@ fn run_join(
         Err(resp) => return resp,
     };
     let lq = LogicalQuery::join(family, threshold.to_spec()).with_engine(engine_pref(engine));
-    match run_cached(backend, cache, &lq, None) {
+    let describe = || {
+        Request::Join {
+            ma,
+            threshold,
+            engine,
+            limit,
+        }
+        .to_line()
+    };
+    match run_cached(backend, cache, slow, &lq, None, describe) {
         Ok(PlanOutput::Join(r)) => pairs_response(&r, limit),
         Ok(_) => err(ErrCode::Server, "join plan produced a non-join result"),
         Err(resp) => resp,

@@ -25,6 +25,7 @@ fn test_config() -> ServerConfig {
         queue_depth: 16,
         max_conns: 16,
         result_cache: 0,
+        ..ServerConfig::default()
     }
 }
 

@@ -27,6 +27,7 @@ fn test_config(result_cache: usize) -> ServerConfig {
         queue_depth: 16,
         max_conns: 16,
         result_cache,
+        ..ServerConfig::default()
     }
 }
 

@@ -20,6 +20,7 @@ fn eight_connections_full_parity_and_live_stats() {
         queue_depth: 64,
         max_conns: 64,
         result_cache: 0,
+        ..ServerConfig::default()
     };
     let handle = serve(shared.clone(), &cfg).unwrap();
 
@@ -83,6 +84,7 @@ fn busy_responses_are_counted_not_fatal() {
         queue_depth: 1,
         max_conns: 64,
         result_cache: 0,
+        ..ServerConfig::default()
     };
     let handle = serve(shared.clone(), &cfg).unwrap();
 

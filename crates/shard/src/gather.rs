@@ -64,11 +64,27 @@ impl From<Engine> for EngineChoice {
     }
 }
 
+/// Minimum recorded fragment executions before measured selectivity may
+/// reshape the scatter (mirrors the planner's own warm-up gate).
+const SELECTIVE_MIN_QUERIES: u64 = 3;
+
+/// Mean match selectivity below which a family counts as highly
+/// selective: per-shard result sets are then so small that the scatter
+/// threads cost more than the fragments they run.
+const SELECTIVE_SCATTER_THRESHOLD: f64 = 0.02;
+
 /// Lowers a logical range query to the fan-out physical plan: the
 /// planner runs once (against shard 0 — every shard holds an i.i.d.
 /// partition of the same corpus, so one shard's statistics price all of
 /// them), then the plan is stamped with the scatter shape: fan-out =
 /// shard count, threads capped at the hardware parallelism.
+///
+/// **Plan-aware scatter:** once the registry has seen enough queries to
+/// trust the family's measured selectivity, a highly selective query
+/// collapses to a single scatter lane (`fanout = threads = 1`). Every
+/// shard still executes — the lanes only decide concurrency, so results
+/// are bit-identical (the sharded-parity regression test pins this) —
+/// but the per-query thread spawns are gone.
 fn plan_fanout(
     sharded: &ShardedIndex,
     lq: &LogicalQuery,
@@ -81,6 +97,18 @@ fn plan_fanout(
     plan.fanout = shards.len();
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     plan.threads = cores.min(shards.len());
+    if shards.len() > 1 {
+        if let Some(fs) = sharded.stats().family_stats(plan.engine, &lq.family) {
+            if fs.queries >= SELECTIVE_MIN_QUERIES
+                && fs
+                    .mean_selectivity()
+                    .is_some_and(|s| s < SELECTIVE_SCATTER_THRESHOLD)
+            {
+                plan.fanout = 1;
+                plan.threads = 1;
+            }
+        }
+    }
     Ok(plan)
 }
 
@@ -91,6 +119,7 @@ fn run_fragment(
     plan: &PhysicalPlan,
     query: &TimeSeries,
 ) -> Result<QueryResult, QueryError> {
+    let _span = simobs::trace::span("shard.fragment");
     match plan::execute_plan(index, sharded.stats(), lq, plan, Some(query))? {
         PlanOutput::Range(r) => Ok(r),
         _ => unreachable!("range fragment produced a non-range output"),
@@ -138,26 +167,30 @@ pub fn execute_range(
     // hardware thread (or a single shard) the same loop runs inline with
     // no spawn at all.
     let threads = plan.threads.max(1);
-    if threads <= 1 {
-        for (shard, slot) in outcomes.iter_mut().enumerate() {
-            let index = shards[shard].read();
-            *slot = Some(run_fragment(&index, sharded, lq, &plan, query));
-        }
-    } else {
-        let chunk = shards.len().div_ceil(threads);
-        let (planref, lqref) = (&plan, lq);
-        std::thread::scope(|s| {
-            for (t, slots) in outcomes.chunks_mut(chunk).enumerate() {
-                s.spawn(move || {
-                    for (i, slot) in slots.iter_mut().enumerate() {
-                        let index = shards[t * chunk + i].read();
-                        *slot = Some(run_fragment(&index, sharded, lqref, planref, query));
-                    }
-                });
+    {
+        let _scatter = simobs::trace::span("shard.scatter");
+        if threads <= 1 {
+            for (shard, slot) in outcomes.iter_mut().enumerate() {
+                let index = shards[shard].read();
+                *slot = Some(run_fragment(&index, sharded, lq, &plan, query));
             }
-        });
+        } else {
+            let chunk = shards.len().div_ceil(threads);
+            let (planref, lqref) = (&plan, lq);
+            std::thread::scope(|s| {
+                for (t, slots) in outcomes.chunks_mut(chunk).enumerate() {
+                    s.spawn(move || {
+                        for (i, slot) in slots.iter_mut().enumerate() {
+                            let index = shards[t * chunk + i].read();
+                            *slot = Some(run_fragment(&index, sharded, lqref, planref, query));
+                        }
+                    });
+                }
+            });
+        }
     }
 
+    let _gather = simobs::trace::span("shard.gather");
     let mut matches: Vec<Match> = Vec::new();
     let mut per_shard = Vec::with_capacity(shards.len());
     for (shard, outcome) in outcomes.into_iter().enumerate() {
@@ -234,6 +267,7 @@ pub fn execute_knn(
     let LogicalVerb::Knn { k } = lq.verb else {
         unreachable!("execute_knn takes a kNN logical query");
     };
+    let _span = simobs::trace::span("shard.knn");
     let start = Instant::now();
     let mut plan = plan_fanout(sharded, lq, Some(query))?;
     // Bound propagation is inherently sequential; the plan records that.
@@ -356,6 +390,43 @@ mod tests {
                 assert_eq!(top[0].seq, 3);
             }
         });
+    }
+
+    #[test]
+    fn selective_queries_shrink_the_scatter_without_changing_results() {
+        let (c, s) = fixtures(120, 4);
+        // mv1 is the identity, so the query always matches itself exactly;
+        // at correlation 0.95 on synthetic walks essentially nothing else
+        // qualifies, so selectivity ≈ 5/600 — far below the scatter
+        // threshold.
+        let family = Family::moving_averages(1..=5, 64);
+        let spec = RangeSpec::correlation(0.95);
+        let lq = LogicalQuery::range(family.clone(), spec)
+            .with_engine(EnginePref::Force(EngineChoice::Scan));
+        let q = &c.series()[5];
+        // Cold registry: the scatter is stamped at full width.
+        let (plan_cold, cold, _) = execute_range(&s, &lq, q).unwrap();
+        assert_eq!(plan_cold.fanout, 4, "no statistics yet, full fan-out");
+        // Warm past the minimum (each scatter records one fragment per
+        // shard, so one query already clears it — run a few regardless).
+        for _ in 0..3 {
+            execute_range(&s, &lq, q).unwrap();
+        }
+        let (plan_warm, warm, per_shard) = execute_range(&s, &lq, q).unwrap();
+        assert!(
+            plan_warm.fanout < 4,
+            "measured selectivity must shrink the scatter width, got fanout={}",
+            plan_warm.fanout
+        );
+        assert_eq!(plan_warm.threads, 1);
+        assert_eq!(per_shard.len(), 4, "every shard still executes");
+        // Parity: the shrunken scatter is a concurrency decision only.
+        assert_eq!(
+            cold.sorted_pairs(),
+            warm.sorted_pairs(),
+            "plan-aware scatter changed the result set"
+        );
+        assert!(!warm.matches.is_empty(), "self-match must survive");
     }
 
     #[test]

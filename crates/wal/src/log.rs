@@ -301,6 +301,7 @@ impl Wal {
     /// only after it is true of the in-memory index, so replay order is
     /// apply order.
     pub fn append(&self, op: &WalOp) -> Result<(), WalError> {
+        let _span = simobs::trace::span("wal.append");
         let frame = encode_frame(op);
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.poisoned {
@@ -335,6 +336,7 @@ impl Wal {
             FsyncPolicy::Never => false,
         };
         if due {
+            let _fsync_span = simobs::trace::span("wal.fsync");
             if let Err(e) = inner.file.sync_data() {
                 // After a failed fsync the kernel may have dropped the
                 // dirty tail; nothing past durable_len can be trusted.
@@ -353,6 +355,7 @@ impl Wal {
     /// Forces everything appended so far to stable storage, regardless of
     /// policy (the `SYNC` protocol op).
     pub fn sync(&self) -> Result<(), WalError> {
+        let _span = simobs::trace::span("wal.fsync");
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.poisoned {
             return Err(WalError::Poisoned {

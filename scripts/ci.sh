@@ -10,6 +10,9 @@
 #                           # forced engines, every backend + result cache)
 #   scripts/ci.sh replication # tier-2: WAL-shipping follower suites
 #                           # (loopback parity, crash points, faulted apply)
+#   scripts/ci.sh obs       # tier-2: METRICS/STATS exactness suite plus
+#                           # the obs_overhead gate (default sampling
+#                           # must cost <= 2% on the hot query path)
 #
 # The chaos stage replays the fixed seed ranges baked into tests/chaos.rs
 # and crates/serve/tests/chaos_loopback.rs. Every violation panics with
@@ -121,6 +124,40 @@ run_replication() {
     echo "ci: replication green"
 }
 
+run_obs() {
+    echo "== obs: metrics/stats parity, slow-query log, trace ring =="
+    local log
+    log="$(mktemp)"
+    trap 'rm -f "$log"' RETURN
+    if ! cargo test --offline -p simobs 2>&1 | tee "$log"; then
+        echo
+        echo "obs: FAILED — see output above"
+        echo "replay: cargo test -p simobs"
+        return 1
+    fi
+    if ! cargo test --offline -p simserve --test metrics_parity -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "obs: FAILED — see output above"
+        echo "replay: cargo test -p simserve --test metrics_parity -- --nocapture"
+        return 1
+    fi
+    echo "== obs: overhead gate (default sampling <= 2% vs off) =="
+    if ! REPRO_FAST=1 cargo run --offline --release -p bench --bin obs_overhead 2>&1 | tee "$log"; then
+        echo
+        echo "obs: benchmark FAILED — see output above"
+        return 1
+    fi
+    local pct
+    pct="$(grep -o '"default_overhead_pct_vs_off": [0-9.-]*' results/obs_overhead.json | awk '{print $2}')"
+    if awk -v p="$pct" 'BEGIN { exit !(p <= 2.0) }'; then
+        echo "obs: default-sampling overhead ${pct}% within the 2% budget"
+    else
+        echo "obs: FAILED — default-sampling overhead ${pct}% exceeds 2%"
+        return 1
+    fi
+    echo "ci: obs green"
+}
+
 case "$stage" in
 chaos)
     run_chaos
@@ -133,6 +170,9 @@ recovery)
     ;;
 replication)
     run_replication
+    ;;
+obs)
+    run_obs
     ;;
 all)
     echo "== cargo build --release =="
@@ -150,7 +190,7 @@ all)
     echo "ci: all green"
     ;;
 *)
-    echo "usage: scripts/ci.sh [chaos|recovery|parity|replication]" >&2
+    echo "usage: scripts/ci.sh [chaos|recovery|parity|replication|obs]" >&2
     exit 2
     ;;
 esac
