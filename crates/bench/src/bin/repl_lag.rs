@@ -87,6 +87,7 @@ fn run_one(snapshot: &PathBuf, followers: usize, inserts: usize, seed: u64) -> R
                 wait_ms: 0,
                 pace_ms: PACE_MS,
                 state_dir: None,
+                reconnect_seed: 0,
             },
         )
         .expect("bootstrap follower");

@@ -29,8 +29,10 @@ USAGE:
                [--replicate-from HOST:PORT]
   simseq load  --addr HOST:PORT [--conns N] [--ops N] [--seed S]
                [--ma LO..HI] [--rho R] [--engine auto|mt|st|scan]
-               [--verify-index DIR/]
-  simseq metrics --addr HOST:PORT [--trace N]
+               [--verify-index DIR/] [--timeout-ms MS]
+               [--failover HOST:PORT,HOST:PORT]
+  simseq promote --addr HOST:PORT [--timeout-ms MS]
+  simseq metrics --addr HOST:PORT [--trace N] [--timeout-ms MS]
   simseq recover --index DIR/ --wal DIR/ [--pool-pages N]
   simseq shard build --data FILE.csv --out DIR/ --shards N
                [--partitioner hash|round-robin|range]
@@ -49,7 +51,14 @@ Eq. 9; --eps is a Euclidean distance over transformed normal forms.
 over the given index; with --replicate-from it runs an in-memory
 read-only follower of a durable primary instead (writes get ERR
 code=READONLY). `load` replays a seeded closed-loop workload against a
-running server and prints a latency/throughput table.
+running server and prints a latency/throughput table; --failover lists
+extra endpoints its client rotates to on ERR READONLY or connection
+failure, and --timeout-ms bounds every socket operation (0 = none).
+
+`promote` flips a running follower to primary: the follower bumps its
+WAL epoch past everything it has seen, fences the old timeline, and
+starts accepting writes from its acked prefix. The old primary demotes
+itself to read-only the moment it sees the higher epoch.
 
 `metrics` fetches a running server's METRICS exposition (one
 `name{labels} value` line per metric — the same numbers STATS reports)
@@ -271,7 +280,19 @@ pub fn serve(args: &Args) -> CliResult {
             (shared, None)
         }
         Some(primary) => {
-            let fopts = simserve::repl::FollowerOpts::default();
+            // Per-node jitter seed: distinct listen addresses give
+            // distinct reconnect schedules, so a follower fleet doesn't
+            // thundering-herd a recovering primary.
+            let reconnect_seed = {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                cfg.addr.hash(&mut h);
+                h.finish()
+            };
+            let fopts = simserve::repl::FollowerOpts {
+                reconnect_seed,
+                ..simserve::repl::FollowerOpts::default()
+            };
             let (shared, follower) = match args.opt("index") {
                 None => simserve::repl::bootstrap(primary, fopts)
                     .map_err(|e| err(format!("bootstrapping from {primary}: {e}")))?,
@@ -308,11 +329,14 @@ pub fn serve(args: &Args) -> CliResult {
             .map_err(|e| err(format!("starting server: {e}")))?,
         Some(follower) => {
             let stats = follower.stats();
-            follower.spawn(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(
-                false,
-            )));
-            simserve::server::serve_with(shared, &cfg, Some(stats))
-                .map_err(|e| err(format!("starting server: {e}")))?
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let loop_handle = follower.spawn(std::sync::Arc::clone(&stop));
+            let handle = simserve::server::serve_with(shared, &cfg, Some(stats))
+                .map_err(|e| err(format!("starting server: {e}")))?;
+            // Registered so a PROMOTE request can halt the poll loop
+            // before flipping this server to primary.
+            handle.repl().register_follower_loop(stop, loop_handle);
+            handle
         }
     };
     println!("listening on {}", handle.addr);
@@ -355,6 +379,23 @@ pub fn load(args: &Args) -> CliResult {
         rho: args.parse_or("rho", defaults.rho)?,
         engine,
         verify,
+        failover_to: args
+            .opt("failover")
+            .map(|raw| {
+                raw.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default(),
+        timeout_ms: match args.opt("timeout-ms") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|_| err(format!("--timeout-ms: cannot parse `{raw}`")))?,
+            ),
+        },
     };
     let report = simserve::load::run(&cfg).map_err(|e| err(format!("load run failed: {e}")))?;
     print!("{}", report.render());
@@ -368,11 +409,26 @@ pub fn load(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// `simseq promote` — flip a running follower to primary.
+pub fn promote(args: &Args) -> CliResult {
+    let addr = args.req("addr")?;
+    let mut client = connect_client(args, addr)?;
+    match client
+        .promote()
+        .map_err(|e| err(format!("PROMOTE failed: {e}")))?
+    {
+        Ok(epoch) => {
+            println!("promoted: {addr} is now primary at epoch {epoch}");
+            Ok(())
+        }
+        Err(resp) => Err(err(format!("PROMOTE rejected: {resp:?}"))),
+    }
+}
+
 /// `simseq metrics` — fetch a running server's metrics exposition.
 pub fn metrics(args: &Args) -> CliResult {
     let addr = args.req("addr")?;
-    let mut client = simserve::client::Client::connect(addr)
-        .map_err(|e| err(format!("connecting to {addr}: {e}")))?;
+    let mut client = connect_client(args, addr)?;
     let lines = client
         .metrics()
         .map_err(|e| err(format!("METRICS failed: {e}")))?
@@ -575,6 +631,22 @@ fn shard_nn(args: &Args) -> CliResult {
 }
 
 // ---------------------------------------------------------------------
+
+/// Dials a server for the point commands (`promote`, `metrics`),
+/// honouring `--timeout-ms` (0 = no socket timeouts).
+fn connect_client(args: &Args, addr: &str) -> Result<simserve::client::Client, CliError> {
+    let cfg = match args.opt("timeout-ms") {
+        None => simserve::client::ClientConfig::default(),
+        Some(raw) => {
+            let ms: u64 = raw
+                .parse()
+                .map_err(|_| err(format!("--timeout-ms: cannot parse `{raw}`")))?;
+            simserve::client::ClientConfig::with_timeout_ms(ms)
+        }
+    };
+    simserve::client::Client::connect_with(addr, cfg)
+        .map_err(|e| err(format!("connecting to {addr}: {e}")))
+}
 
 // Every `shard info`/`shard query`/`shard nn` invocation is read-only, so
 // skip the directory LOCK and coexist with a live simserved on the same

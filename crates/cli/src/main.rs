@@ -9,6 +9,7 @@
 //! simseq nn    --index idx/ --query-index 42 --k 5 --ma 2..20
 //! simseq serve --index idx/ --addr 127.0.0.1:7878
 //! simseq load  --addr 127.0.0.1:7878 --conns 8 --ops 100
+//! simseq promote --addr 127.0.0.1:7879
 //! simseq metrics --addr 127.0.0.1:7878
 //! simseq recover --index idx/ --wal wal/
 //! simseq shard build --data data.csv --out sidx/ --shards 4
@@ -43,6 +44,7 @@ fn main() {
         "nn" => commands::nn(&args),
         "serve" => commands::serve(&args),
         "load" => commands::load(&args),
+        "promote" => commands::promote(&args),
         "metrics" => commands::metrics(&args),
         "recover" => commands::recover(&args),
         other => Err(args::err(format!(

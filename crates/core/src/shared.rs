@@ -83,6 +83,16 @@ pub enum DurableError {
         /// Sequences the replica actually holds.
         len: usize,
     },
+    /// A peer was promoted past this node's timeline: the fencing token
+    /// forbids writes until the node re-syncs onto the new timeline
+    /// (which clears the fence). Accepting a write here would put it on
+    /// a timeline the rest of the fleet has abandoned — split-brain.
+    Fenced {
+        /// The minimum epoch this node may accept writes at.
+        fence: u64,
+        /// The epoch the node is actually at.
+        epoch: u64,
+    },
 }
 
 impl std::fmt::Display for DurableError {
@@ -102,6 +112,12 @@ impl std::fmt::Display for DurableError {
                  but the replica holds only {len} sequences; re-handshake \
                  for a snapshot transfer"
             ),
+            Self::Fenced { fence, epoch } => write!(
+                f,
+                "node is fenced at epoch {fence} (currently at epoch {epoch}): \
+                 a peer was promoted onto a newer timeline; re-sync from the \
+                 new primary before accepting writes"
+            ),
         }
     }
 }
@@ -112,7 +128,7 @@ impl std::error::Error for DurableError {
             Self::Query(e) => Some(e),
             Self::Wal(e) => Some(e),
             Self::Io(e) => Some(e),
-            Self::Poisoned | Self::Gap { .. } => None,
+            Self::Poisoned | Self::Gap { .. } | Self::Fenced { .. } => None,
         }
     }
 }
@@ -166,6 +182,10 @@ pub struct SharedIndex {
     /// handshake — the coarse half of a *follower's* [`QueryEpoch`] when
     /// the handle has no WAL of its own.
     repl_epoch: Arc<AtomicU64>,
+    /// Fencing token for handles without a WAL (`0` = unfenced); durable
+    /// handles persist theirs in the WAL manifest instead. See
+    /// [`Self::fence_at`].
+    mem_fence: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for SharedIndex {
@@ -184,6 +204,7 @@ impl SharedIndex {
             mutations: Arc::new(AtomicU64::new(0)),
             applied_lsn: Arc::new(AtomicU64::new(0)),
             repl_epoch: Arc::new(AtomicU64::new(0)),
+            mem_fence: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -291,6 +312,7 @@ impl SharedIndex {
             // LSNs, so the replayed maximum is the applied position.
             applied_lsn: Arc::new(AtomicU64::new(max_lsn)),
             repl_epoch: Arc::new(AtomicU64::new(0)),
+            mem_fence: Arc::new(AtomicU64::new(0)),
         };
         if dropped && !faulted {
             // Frames past the recovered prefix would otherwise replay on
@@ -315,6 +337,86 @@ impl SharedIndex {
         self.durable.as_ref().map(|d| d.wal.epoch())
     }
 
+    /// The epoch of this node on the replication timeline: its own WAL
+    /// checkpoint epoch when durable, otherwise the primary epoch
+    /// learned over replication. Fencing comparisons happen in this
+    /// timeline.
+    pub fn timeline_epoch(&self) -> u64 {
+        self.wal_epoch().unwrap_or_else(|| self.replica_epoch())
+    }
+
+    /// The fencing token: the minimum epoch this node may accept writes
+    /// at (`0` = unfenced). Persisted in the WAL manifest when durable.
+    pub fn fence(&self) -> u64 {
+        match &self.durable {
+            Some(d) => d.wal.fence(),
+            None => self.mem_fence.load(Ordering::Acquire),
+        }
+    }
+
+    /// Whether the fencing token forbids writes at the current epoch — a
+    /// peer was promoted onto a newer timeline and this node has not yet
+    /// re-synced onto it. Queries still serve; mutations, checkpoints,
+    /// and promotion-independent epoch bumps are refused (see
+    /// [`DurableError::Fenced`]).
+    pub fn is_fenced(&self) -> bool {
+        self.fence() > self.timeline_epoch()
+    }
+
+    /// Raises the fencing token to at least `epoch` — the demotion half
+    /// of failover. Called when a higher-epoch peer reveals itself (a
+    /// `REPL` poll from a follower that already applied frames of a
+    /// newer timeline). Durable before it returns on a durable handle,
+    /// so a fenced ex-primary that crashes restarts fenced. Never
+    /// lowers an existing fence; [`Self::install_replica_snapshot`]
+    /// clears it once the node has re-synced.
+    pub fn fence_at(&self, epoch: u64) -> Result<(), DurableError> {
+        match &self.durable {
+            Some(d) => {
+                if epoch > d.wal.fence() {
+                    d.wal.set_fence(epoch)?;
+                }
+            }
+            None => {
+                self.mem_fence.fetch_max(epoch, Ordering::AcqRel);
+            }
+        }
+        Ok(())
+    }
+
+    /// Promotes this node to primary on a new timeline: under the write
+    /// guard, picks an epoch strictly past everything the node has seen
+    /// (its own checkpoint sequence, the old primary's epoch, and any
+    /// fence), checkpoints the current state under it, installs it in
+    /// the WAL, and persists the fencing token at the same epoch — so
+    /// the switch survives a crash and the node begins accepting writes
+    /// from exactly its acked prefix ([`Self::apply_replicated`] keeps
+    /// the LSN allocator strictly ahead of every shipped frame). Returns
+    /// the new timeline epoch.
+    pub fn promote(&self) -> Result<u64, DurableError> {
+        let guard = self.inner.write();
+        self.check_poisoned()?;
+        let new_epoch = self
+            .timeline_epoch()
+            .max(self.replica_epoch())
+            .max(self.fence())
+            + 1;
+        if let Some(d) = &self.durable {
+            d.wal.sync()?;
+            guard.save_with_epoch(&d.index_dir, new_epoch)?;
+            d.wal.install_epoch(new_epoch)?;
+            d.wal.set_fence(new_epoch)?;
+        } else {
+            self.mem_fence.store(new_epoch, Ordering::Release);
+        }
+        self.repl_epoch.store(new_epoch, Ordering::Release);
+        // Bump under the guard: cached results keyed on the follower-era
+        // epoch must not survive the timeline switch.
+        self.mutations.fetch_add(1, Ordering::Release);
+        drop(guard);
+        Ok(new_epoch)
+    }
+
     /// Inserts a sequence through the logged-mutation path: the mutation
     /// is applied under the write guard, then (still under the guard, so
     /// log order is apply order) appended to the WAL — the op only
@@ -323,6 +425,7 @@ impl SharedIndex {
     pub fn insert_series(&self, ts: &TimeSeries) -> Result<usize, DurableError> {
         let mut guard = self.inner.write();
         self.check_poisoned()?;
+        self.check_fenced()?;
         let ordinal = guard.insert_series(ts)?;
         if let Some(d) = &self.durable {
             let lsn = d.next_lsn.fetch_add(1, Ordering::Relaxed);
@@ -351,6 +454,7 @@ impl SharedIndex {
     pub fn delete_series(&self, ordinal: usize) -> Result<bool, DurableError> {
         let mut guard = self.inner.write();
         self.check_poisoned()?;
+        self.check_fenced()?;
         let deleted = guard.delete_series(ordinal)?;
         if deleted {
             if let Some(d) = &self.durable {
@@ -476,6 +580,17 @@ impl SharedIndex {
     ) -> Result<(), DurableError> {
         let mut guard = self.inner.write();
         self.check_poisoned()?;
+        // Refuse a snapshot from a timeline older than the one this node
+        // already follows: a poll that was in flight when the node was
+        // promoted must not roll the new timeline back (and clear its
+        // fence) by installing the deposed primary's state.
+        let current = self.repl_epoch.load(Ordering::Acquire);
+        if primary_epoch < current {
+            return Err(DurableError::Fenced {
+                fence: current,
+                epoch: primary_epoch,
+            });
+        }
         *guard = index;
         if let Some(d) = &self.durable {
             d.wal.sync()?;
@@ -483,7 +598,13 @@ impl SharedIndex {
             guard.save_with_epoch(&d.index_dir, new_epoch)?;
             d.wal.install_epoch(new_epoch)?;
             d.next_lsn.store(next_lsn, Ordering::Relaxed);
+            // The node now holds the new timeline's state byte-for-byte;
+            // a demotion fence (if any) has served its purpose. Clearing
+            // it last means a crash anywhere above restarts fenced —
+            // never writable with half-installed state.
+            d.wal.set_fence(0)?;
         }
+        self.mem_fence.store(0, Ordering::Release);
         self.repl_epoch.store(primary_epoch, Ordering::Release);
         self.applied_lsn
             .store(next_lsn.saturating_sub(1), Ordering::Release);
@@ -585,6 +706,15 @@ impl SharedIndex {
         Ok(())
     }
 
+    fn check_fenced(&self) -> Result<(), DurableError> {
+        let fence = self.fence();
+        let epoch = self.timeline_epoch();
+        if fence > epoch {
+            return Err(DurableError::Fenced { fence, epoch });
+        }
+        Ok(())
+    }
+
     /// Forces every appended frame to stable storage (the `SYNC` op).
     /// `Ok(false)` when the handle has no WAL.
     pub fn sync_wal(&self) -> Result<bool, DurableError> {
@@ -610,8 +740,12 @@ impl SharedIndex {
         let guard = self.inner.write();
         // A poisoned handle holds an applied-but-unlogged mutation that
         // was never acknowledged; folding it into a snapshot would make
-        // the recovered state more than the acknowledged prefix.
+        // the recovered state more than the acknowledged prefix. A
+        // fenced one must not checkpoint either: each checkpoint bumps
+        // the epoch, and enough of them would walk it up to the fence
+        // and silently unfence a node that never re-synced.
         self.check_poisoned()?;
+        self.check_fenced()?;
         d.wal.sync()?;
         let new_epoch = d.wal.epoch() + 1;
         guard.save_with_epoch(&d.index_dir, new_epoch)?;
@@ -921,6 +1055,138 @@ mod tests {
         assert_eq!(follower.read().len(), 5);
         assert_eq!(follower.applied_lsn(), 20);
         drop(follower);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fence_blocks_writes_and_snapshot_install_clears_it() {
+        let (_, shared) = shared(4);
+        let extra = Corpus::generate(CorpusKind::SyntheticWalks, 2, 64, 42);
+        assert!(!shared.is_fenced());
+        // A promoted peer at epoch 5 fences this node.
+        shared.fence_at(5).unwrap();
+        assert!(shared.is_fenced());
+        assert_eq!(shared.fence(), 5);
+        let err = shared.insert_series(&extra.series()[0]).unwrap_err();
+        assert!(
+            matches!(err, DurableError::Fenced { fence: 5, epoch: 0 }),
+            "{err}"
+        );
+        assert!(matches!(
+            shared.delete_series(0).unwrap_err(),
+            DurableError::Fenced { .. }
+        ));
+        // Fences only ratchet upward …
+        shared.fence_at(3).unwrap();
+        assert_eq!(shared.fence(), 5);
+        // … and queries still serve while fenced.
+        assert_eq!(shared.read().len(), 4);
+        // Re-syncing onto the new timeline clears the fence.
+        let c2 = Corpus::generate(CorpusKind::SyntheticWalks, 6, 64, 43);
+        let snap = SeqIndex::build(&c2, IndexConfig::default()).unwrap();
+        shared.install_replica_snapshot(snap, 5, 11).unwrap();
+        assert!(!shared.is_fenced());
+        assert_eq!(shared.fence(), 0);
+        shared.write().insert_series(&extra.series()[1]).unwrap();
+    }
+
+    #[test]
+    fn promotion_moves_past_the_old_timeline_and_survives_restart() {
+        let root = std::env::temp_dir()
+            .join("simquery-shared-tests")
+            .join(format!("promote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let c = Corpus::generate(CorpusKind::SyntheticWalks, 3, 64, 5);
+        SeqIndex::build(&c, IndexConfig::default())
+            .unwrap()
+            .save(&root.join("idx"))
+            .unwrap();
+        let extra = Corpus::generate(CorpusKind::SyntheticWalks, 2, 64, 6);
+        let (follower, _) = SharedIndex::open_durable(
+            &root.join("idx"),
+            &root.join("wal"),
+            16,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        // Catch up as a follower of a primary at epoch 7, then promote.
+        follower
+            .apply_replicated(&WalOp::Insert {
+                lsn: 9,
+                global: 3,
+                local: 3,
+                values: extra.series()[0].values().to_vec(),
+            })
+            .unwrap();
+        follower.note_replica_epoch(7);
+        let new_epoch = follower.promote().unwrap();
+        assert!(new_epoch > 7, "promotion must outrun the old timeline");
+        assert_eq!(follower.wal_epoch(), Some(new_epoch));
+        assert_eq!(follower.fence(), new_epoch);
+        assert!(!follower.is_fenced(), "a promoted node is writable");
+        // Writes resume from the acked prefix with fresh LSNs.
+        let ord = follower.insert_series(&extra.series()[1]).unwrap();
+        assert_eq!(ord, 4);
+        assert!(follower.wal_next_lsn().unwrap() > 9);
+        drop(follower);
+        // The switch is durable: a restart comes back on the new
+        // timeline with the full prefix.
+        let (reopened, _) = SharedIndex::open_durable(
+            &root.join("idx"),
+            &root.join("wal"),
+            16,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        assert_eq!(reopened.wal_epoch(), Some(new_epoch));
+        assert_eq!(reopened.read().len(), 5);
+        assert!(!reopened.is_fenced());
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fenced_durable_node_stays_fenced_across_restart() {
+        let root = std::env::temp_dir()
+            .join("simquery-shared-tests")
+            .join(format!("fence-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let c = Corpus::generate(CorpusKind::SyntheticWalks, 3, 64, 5);
+        SeqIndex::build(&c, IndexConfig::default())
+            .unwrap()
+            .save(&root.join("idx"))
+            .unwrap();
+        let extra = Corpus::generate(CorpusKind::SyntheticWalks, 1, 64, 6);
+        let (primary, _) = SharedIndex::open_durable(
+            &root.join("idx"),
+            &root.join("wal"),
+            16,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        let epoch = primary.wal_epoch().unwrap();
+        primary.fence_at(epoch + 3).unwrap();
+        assert!(primary.is_fenced());
+        assert!(matches!(
+            primary.insert_series(&extra.series()[0]).unwrap_err(),
+            DurableError::Fenced { .. }
+        ));
+        // Checkpoints are refused too — they would walk the epoch up to
+        // the fence and silently unfence a node that never re-synced.
+        assert!(matches!(
+            primary.checkpoint().unwrap_err(),
+            DurableError::Fenced { .. }
+        ));
+        drop(primary);
+        let (reopened, _) = SharedIndex::open_durable(
+            &root.join("idx"),
+            &root.join("wal"),
+            16,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        assert!(reopened.is_fenced(), "the fence survives a restart");
+        drop(reopened);
         let _ = std::fs::remove_dir_all(&root);
     }
 

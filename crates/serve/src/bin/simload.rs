@@ -3,7 +3,7 @@
 //! ```sh
 //! simload --addr 127.0.0.1:7878 --conns 8 --ops 100 [--seed 1]
 //!         [--ma 5..20] [--rho 0.96] [--engine mt|st|scan]
-//!         [--verify-index idx/]
+//!         [--verify-index idx/] [--timeout-ms MS] [--failover A,B]
 //! ```
 //!
 //! Exits non-zero on any error response or (with `--verify-index`) any
@@ -22,11 +22,14 @@ USAGE:
   simload --addr HOST:PORT [--conns N] [--ops N] [--seed S]
           [--ma LO..HI] [--rho R] [--engine mt|st|scan]
           [--verify-index DIR/] [--pool-pages N]
+          [--timeout-ms MS] [--failover HOST:PORT,HOST:PORT]
 
 Each connection replays a seeded stream of QUERY requests and reports a
 per-connection latency/throughput table. --verify-index opens the same
 index directly and checks every response for result parity against a
-single-threaded engine call.
+single-threaded engine call. --timeout-ms bounds connect/read/write on
+every socket (0 = no timeouts); --failover lists extra endpoints the
+client rotates to on ERR READONLY or connection failure.
 ";
 
 fn main() {
@@ -84,6 +87,23 @@ fn run_cli() -> Result<(), String> {
             .map_err(|e| e.to_string())?,
         engine,
         verify,
+        failover_to: opts
+            .get("failover")
+            .map(|raw| {
+                raw.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default(),
+        timeout_ms: match opts.get("timeout-ms") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|_| format!("--timeout-ms: bad value `{raw}`"))?,
+            ),
+        },
     };
     let report = run(&cfg).map_err(|e| format!("load run failed: {e}"))?;
     print!("{}", report.render());

@@ -169,8 +169,18 @@ fn run() -> Result<(), String> {
                     .into(),
             );
         }
+        // Per-node jitter seed: distinct listen addresses give distinct
+        // reconnect schedules, so a follower fleet doesn't thundering-herd
+        // a recovering primary.
+        let reconnect_seed = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            cfg.addr.hash(&mut h);
+            h.finish()
+        };
         let fopts = FollowerOpts {
             state_dir: wal_dir.clone(),
+            reconnect_seed,
             ..FollowerOpts::default()
         };
         let (shared, follower) = match &dir {
@@ -221,9 +231,13 @@ fn run() -> Result<(), String> {
             );
         }
         let stats = follower.stats();
-        follower.spawn(Arc::new(AtomicBool::new(false)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_handle = follower.spawn(Arc::clone(&stop));
         let handle = serve_with(Backend::from(shared), &cfg, Some(stats))
             .map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+        // Registered so a PROMOTE request can halt the poll loop before
+        // flipping this server to primary.
+        handle.repl().register_follower_loop(stop, loop_handle);
         println!("listening on {}", handle.addr);
         handle.join();
         return Ok(());

@@ -5,6 +5,43 @@ use crate::protocol::{
 };
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket timeouts of one [`Client`] connection. A zero duration
+/// disables that timeout (block forever — the pre-failover behaviour).
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// TCP connect budget.
+    pub connect_timeout: Duration,
+    /// Per-read budget. Must exceed the server's `REPL` long-poll
+    /// `wait_ms` on a follower connection, or idle polls time out.
+    pub read_timeout: Duration,
+    /// Per-write budget.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// All three timeouts set to `ms` milliseconds (`0` disables them
+    /// all) — the shape `--timeout-ms` maps onto.
+    pub fn with_timeout_ms(ms: u64) -> Self {
+        let d = Duration::from_millis(ms);
+        Self {
+            connect_timeout: d,
+            read_timeout: d,
+            write_timeout: d,
+        }
+    }
+}
 
 /// One connection to a `simserved` instance.
 pub struct Client {
@@ -13,10 +50,41 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects.
+    /// Connects with the default timeouts ([`ClientConfig::default`]):
+    /// a hung or partitioned server surfaces as `TimedOut`/`WouldBlock`
+    /// instead of stalling the caller forever.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeouts.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> io::Result<Self> {
+        let stream = if cfg.connect_timeout.is_zero() {
+            TcpStream::connect(&addr)?
+        } else {
+            // `connect_timeout` wants resolved addresses; try each in
+            // resolution order and keep the last failure for the error.
+            let mut last: Option<io::Error> = None;
+            let mut connected = None;
+            for a in addr.to_socket_addrs()? {
+                match TcpStream::connect_timeout(&a, cfg.connect_timeout) {
+                    Ok(s) => {
+                        connected = Some(s);
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            connected.ok_or_else(|| {
+                last.unwrap_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                })
+            })?
+        };
         stream.set_nodelay(true).ok();
+        let opt = |d: Duration| if d.is_zero() { None } else { Some(d) };
+        stream.set_read_timeout(opt(cfg.read_timeout))?;
+        stream.set_write_timeout(opt(cfg.write_timeout))?;
         Ok(Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
@@ -109,6 +177,15 @@ impl Client {
     pub fn checkpoint(&mut self) -> io::Result<Result<u64, Response>> {
         match self.call(&Request::Checkpoint)? {
             Response::Checkpointed { epoch } => Ok(Ok(epoch)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// `PROMOTE` — flips a follower server to primary; returns the new
+    /// fencing epoch.
+    pub fn promote(&mut self) -> io::Result<Result<u64, Response>> {
+        match self.call(&Request::Promote)? {
+            Response::Promoted { epoch } => Ok(Ok(epoch)),
             other => Ok(Err(other)),
         }
     }

@@ -120,6 +120,23 @@ pub(crate) fn render(
         }
     }
 
+    // Failover/role view: primary=1 follower=0, the fencing state of the
+    // local timeline, and how many promotions this process has served.
+    exp.gauge(
+        "simseq_role",
+        &[],
+        if repl.is_follower() { 0.0 } else { 1.0 },
+    );
+    exp.counter("simseq_promotions_total", &[], repl.promotions());
+    if let Backend::Single(shared) = backend {
+        exp.gauge("simseq_fence_epoch", &[], shared.fence() as f64);
+        exp.gauge(
+            "simseq_fenced",
+            &[],
+            if shared.is_fenced() { 1.0 } else { 0.0 },
+        );
+    }
+
     // Replication position (primary fleet view or follower position).
     if let Some(r) = repl.stat_line(backend) {
         let labels = [("role", r.role.as_str())];

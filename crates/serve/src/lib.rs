@@ -13,9 +13,16 @@
 //! * [`metrics`] — per-operation counters and log₂-bucketed latency
 //!   histograms (p50/p95/p99), plus index access-counter deltas, reported
 //!   by the `STATS` request;
-//! * [`client`] — a typed blocking client;
+//! * [`client`] — a typed blocking client with connect/read/write
+//!   timeouts;
+//! * [`failover`] — a multi-endpoint client that chases `ERR READONLY`
+//!   and connection failures to the current primary with bounded,
+//!   seeded-jitter retries;
 //! * [`repl`] — WAL-shipping replication: the primary-side `REPL` feeder
-//!   and the follower loop behind `simserved --replicate-from`;
+//!   and the follower loop behind `simserved --replicate-from`, plus
+//!   `PROMOTE`/fencing failover state;
+//! * [`chaos`] — a deterministic fault-injecting TCP proxy for failover
+//!   and partition tests;
 //! * [`load`] — the `simload` closed-loop load generator: N concurrent
 //!   connections replaying seeded workloads, with optional result-parity
 //!   verification against a directly-opened copy of the index.
@@ -25,8 +32,10 @@
 //! engines' access counters are atomics, so concurrent queries stay
 //! consistent), `INSERT`/`DELETE` take the write guard.
 
+pub mod chaos;
 pub mod client;
 pub mod expose;
+pub mod failover;
 pub mod load;
 pub mod metrics;
 pub mod opts;

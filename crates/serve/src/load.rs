@@ -8,8 +8,9 @@
 //! single-threaded plan execution on a locally opened copy of the index,
 //! so a run doubles as an end-to-end result-parity check.
 
-use crate::client::Client;
-use crate::protocol::{EngineKind, QueryParams, Response, WireThreshold};
+use crate::client::ClientConfig;
+use crate::failover::{FailoverClient, FailoverConfig};
+use crate::protocol::{EngineKind, QueryParams, Request, Response, WireThreshold};
 use crate::server::engine_pref;
 use simobs::Histogram;
 use simquery::prelude::*;
@@ -38,6 +39,12 @@ pub struct LoadConfig {
     /// When set, verify result parity against this index (opened
     /// directly, queried single-threaded with the same engine).
     pub verify: Option<SharedIndex>,
+    /// Extra endpoints to fail over to (tried after `addr` when a
+    /// request hits `ERR READONLY` or a transport failure).
+    pub failover_to: Vec<String>,
+    /// Socket timeouts in milliseconds for every connection (`None` =
+    /// the [`ClientConfig`] defaults, `Some(0)` = no timeouts).
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for LoadConfig {
@@ -51,6 +58,8 @@ impl Default for LoadConfig {
             rho: 0.96,
             engine: EngineKind::Mt,
             verify: None,
+            failover_to: Vec::new(),
+            timeout_ms: None,
         }
     }
 }
@@ -74,6 +83,9 @@ pub struct ConnReport {
     pub hist: Histogram,
     /// Total wall time of this connection's loop.
     pub wall: Duration,
+    /// `(retries, redirects, reconnects, giveups)` from this
+    /// connection's [`FailoverClient`].
+    pub failover: (u64, u64, u64, u64),
 }
 
 /// Aggregated outcome of one load run.
@@ -104,6 +116,19 @@ impl LoadReport {
     /// Parity failures over all connections (0 = 100 % parity).
     pub fn total_parity_failures(&self) -> u64 {
         self.conns.iter().map(|c| c.parity_failures).sum()
+    }
+
+    /// Failover `(retries, redirects, reconnects, giveups)` summed over
+    /// all connections.
+    pub fn total_failover(&self) -> (u64, u64, u64, u64) {
+        self.conns.iter().fold((0, 0, 0, 0), |acc, c| {
+            (
+                acc.0 + c.failover.0,
+                acc.1 + c.failover.1,
+                acc.2 + c.failover.2,
+                acc.3 + c.failover.3,
+            )
+        })
     }
 
     /// Aggregate throughput, requests per second.
@@ -184,6 +209,13 @@ impl LoadReport {
             out.push_str(&line(row));
             out.push('\n');
         }
+        let (retries, redirects, reconnects, giveups) = self.total_failover();
+        if retries + redirects + reconnects + giveups > 0 {
+            out.push_str(&format!(
+                "failover: {retries} retries, {redirects} readonly redirects, \
+                 {reconnects} reconnects, {giveups} giveups\n"
+            ));
+        }
         let verified: u64 = self.conns.iter().map(|c| c.verified).sum();
         if self.total_parity_failures() > 0 {
             out.push_str(&format!(
@@ -227,7 +259,21 @@ fn run_conn(
     conn_id: usize,
     verify: Option<Arc<SharedIndex>>,
 ) -> io::Result<ConnReport> {
-    let mut client = Client::connect(&cfg.addr)?;
+    let mut endpoints = Vec::with_capacity(1 + cfg.failover_to.len());
+    endpoints.push(cfg.addr.clone());
+    endpoints.extend(cfg.failover_to.iter().cloned());
+    let mut client = FailoverClient::new(
+        endpoints,
+        FailoverConfig {
+            client: cfg
+                .timeout_ms
+                .map(ClientConfig::with_timeout_ms)
+                .unwrap_or_default(),
+            seed: cfg.seed + conn_id as u64,
+            ..FailoverConfig::default()
+        },
+    );
+    let counters = client.counters();
     let mut rng = SeededRng::seed_from_u64(cfg.seed + conn_id as u64);
     let mut report = ConnReport {
         ops: 0,
@@ -238,6 +284,7 @@ fn run_conn(
         parity_failures: 0,
         hist: Histogram::default(),
         wall: Duration::ZERO,
+        failover: (0, 0, 0, 0),
     };
     // Ordinals must land inside the served corpus: take its size from the
     // verify copy when present, otherwise ask the server (retrying while
@@ -260,7 +307,7 @@ fn run_conn(
             limit: 0,
         };
         let t0 = Instant::now();
-        let response = client.call(&crate::protocol::Request::Query(params))?;
+        let response = client.call(&Request::Query(params))?;
         report.hist.record(t0.elapsed());
         report.ops += 1;
         match &response {
@@ -294,26 +341,26 @@ fn run_conn(
         }
     }
     report.wall = start.elapsed();
-    client.quit()?;
+    report.failover = counters.snapshot();
     Ok(report)
 }
 
 /// Asks the server how many sequences it serves, retrying on BUSY.
-fn corpus_size(client: &mut Client) -> io::Result<usize> {
+fn corpus_size(client: &mut FailoverClient) -> io::Result<usize> {
     for _ in 0..1000 {
-        match client.info()? {
-            Ok(pairs) => {
+        match client.call(&Request::Info)? {
+            Response::Info(pairs) => {
                 return pairs
                     .iter()
                     .find(|(k, _)| k == "sequences")
                     .and_then(|(_, v)| v.parse().ok())
                     .ok_or_else(|| io::Error::other("INFO did not report the corpus size"));
             }
-            Err(Response::Err {
+            Response::Err {
                 code: crate::protocol::ErrCode::Busy,
                 ..
-            }) => std::thread::sleep(Duration::from_millis(1)),
-            Err(other) => {
+            } => std::thread::sleep(Duration::from_millis(1)),
+            other => {
                 return Err(io::Error::other(format!("INFO failed: {other:?}")));
             }
         }

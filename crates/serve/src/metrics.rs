@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The operations the registry tracks, in reporting order.
-pub const OPS: [&str; 13] = [
+pub const OPS: [&str; 14] = [
     "query",
     "knn",
     "join",
@@ -27,6 +27,7 @@ pub const OPS: [&str; 13] = [
     "delete",
     "sync",
     "checkpoint",
+    "promote",
     "info",
     "repl",
     "stats",

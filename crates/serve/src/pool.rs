@@ -96,7 +96,10 @@ pub type Job = Box<dyn FnOnce() + Send + 'static>;
 /// A fixed pool of worker threads draining one [`BoundedQueue`] of jobs.
 pub struct WorkerPool {
     queue: Arc<BoundedQueue<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    // Behind a Mutex so `drain` works through a shared reference (the
+    // server holds the pool in an `Arc`); joined handles are taken out,
+    // making a second drain a no-op.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl WorkerPool {
@@ -123,7 +126,7 @@ impl WorkerPool {
             .collect();
         Self {
             queue,
-            workers: handles,
+            workers: Mutex::new(handles),
         }
     }
 
@@ -137,17 +140,25 @@ impl WorkerPool {
         self.queue.depth()
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads still running (0 after a drain).
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.workers.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Closes the queue (new submissions fail with
+    /// [`PushError::Closed`]), lets the already-admitted jobs finish,
+    /// and joins every worker. Idempotent — a second call is a no-op.
+    pub fn drain(&self) {
+        self.queue.close();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for w in handles {
+            let _ = w.join();
+        }
     }
 
     /// Drains outstanding jobs and joins every worker.
     pub fn shutdown(self) {
-        self.queue.close();
-        for w in self.workers {
-            let _ = w.join();
-        }
+        self.drain();
     }
 }
 

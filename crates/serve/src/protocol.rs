@@ -185,6 +185,11 @@ pub enum Request {
         /// open waiting for new frames before answering empty.
         wait_ms: u64,
     },
+    /// Promotes a follower to primary: the node stops polling its old
+    /// primary, bumps its WAL epoch past every timeline it has seen,
+    /// persists a fencing token, and begins accepting writes from its
+    /// acked prefix. Refused on a node that is already a primary.
+    Promote,
     /// Ends the connection.
     Quit,
 }
@@ -251,6 +256,7 @@ impl Request {
                 max,
                 wait_ms,
             } => format!("REPL epoch={epoch} from={from} ack={ack} max={max} wait_ms={wait_ms}"),
+            Self::Promote => "PROMOTE".into(),
             Self::Quit => "QUIT".into(),
         }
     }
@@ -314,6 +320,7 @@ impl Request {
                 max: kv.parse_or("max", 0)?,
                 wait_ms: kv.parse_or("wait_ms", 0)?,
             }),
+            "PROMOTE" => Ok(Self::Promote),
             "QUIT" => Ok(Self::Quit),
             "EXPLAIN" => Err(ProtoError::bad("EXPLAIN wraps QUERY, KNN or JOIN")),
             other => Err(ProtoError::bad(format!("unknown verb `{other}`"))),
@@ -629,6 +636,11 @@ pub enum Response {
         /// Epoch installed by the checkpoint.
         epoch: u64,
     },
+    /// `PROMOTE` acknowledgement carrying the new timeline epoch.
+    Promoted {
+        /// Epoch the promoted node's timeline begins at.
+        epoch: u64,
+    },
     /// `REPL` payload: a batch of WAL frames from the primary's log.
     ReplFrames {
         /// The primary's current checkpoint epoch.
@@ -792,6 +804,7 @@ impl Response {
                 }
             }
             Self::Checkpointed { epoch } => writeln!(w, "OK epoch={epoch}")?,
+            Self::Promoted { epoch } => writeln!(w, "OK promoted=1 epoch={epoch}")?,
             Self::ReplFrames { epoch, end, frames } => {
                 writeln!(w, "OK repl=frames epoch={epoch} end={end}")?;
                 for op in frames {
@@ -900,6 +913,12 @@ impl Response {
                 } else if let Some(d) = kv.get("deleted") {
                     Ok(Self::Deleted {
                         existed: d == "true",
+                    })
+                } else if kv.get("promoted").is_some() {
+                    // Sniffed before the bare epoch= (Checkpointed) branch:
+                    // both acks carry an epoch, only this one the marker.
+                    Ok(Self::Promoted {
+                        epoch: kv.req_parse("epoch")?,
                     })
                 } else if let Some(e) = kv.get("epoch") {
                     Ok(Self::Checkpointed {
@@ -1400,6 +1419,7 @@ mod tests {
             max: 256,
             wait_ms: 500,
         });
+        round_trip_request(Request::Promote);
     }
 
     #[test]
@@ -1569,6 +1589,9 @@ mod tests {
             }),
         })));
         round_trip_response(Response::Checkpointed { epoch: 5 });
+        // Promoted carries an epoch too; the promoted= marker keeps it
+        // from collapsing into Checkpointed on the way back.
+        round_trip_response(Response::Promoted { epoch: 6 });
         round_trip_response(Response::ReplFrames {
             epoch: 2,
             end: 10,

@@ -51,6 +51,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use tseries::rng::SeededRng;
 
 /// Default frames per `REPL` response when the request says `max=0`.
 pub const DEFAULT_BATCH: usize = 256;
@@ -92,9 +93,24 @@ struct PeerAck {
 
 /// Server-wide replication state: the primary-side feeder (append
 /// notification + per-follower ack table) and, when this server is
-/// itself a follower, the follower loop's published counters.
+/// itself a follower, the follower loop's published counters. The role
+/// is runtime-mutable: `PROMOTE` flips a follower to primary in place
+/// (see [`Self::promote_to_primary`]).
 pub struct ReplState {
-    follower: Option<Arc<FollowerStats>>,
+    follower: Mutex<Option<Arc<FollowerStats>>>,
+    /// Cached role bit so the per-request write gate never takes the
+    /// `follower` mutex. `true` while the server follows a primary.
+    follower_role: AtomicBool,
+    /// Stop flag + thread handle of the local follower poll loop,
+    /// registered at startup so `PROMOTE` can halt the loop (and wait
+    /// out any in-flight poll) before flipping the role.
+    follower_stop: Mutex<Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>>,
+    /// Promotions served by this process (0 or 1 in practice; the
+    /// counter shape matches the metrics surface).
+    promotions: AtomicU64,
+    /// Epoch of the peer timeline that fenced this server (0 = never
+    /// fenced) — observability for the demotion half of failover.
+    fenced_epoch: AtomicU64,
     /// Append generation counter; bumped after every acknowledged
     /// mutation so long-polling `REPL` handlers wake without spinning.
     appended: AtomicU64,
@@ -112,7 +128,11 @@ impl ReplState {
     /// State for a standalone or primary server.
     pub fn primary() -> Self {
         Self {
-            follower: None,
+            follower: Mutex::new(None),
+            follower_role: AtomicBool::new(false),
+            follower_stop: Mutex::new(None),
+            promotions: AtomicU64::new(0),
+            fenced_epoch: AtomicU64::new(0),
             appended: AtomicU64::new(0),
             waiters: AtomicU64::new(0),
             park: Mutex::new(()),
@@ -124,16 +144,77 @@ impl ReplState {
 
     /// State for a follower server publishing `stats`.
     pub fn follower(stats: Arc<FollowerStats>) -> Self {
-        Self {
-            follower: Some(stats),
-            ..Self::primary()
-        }
+        let state = Self::primary();
+        *state.follower.lock().unwrap_or_else(|e| e.into_inner()) = Some(stats);
+        state.follower_role.store(true, Ordering::Release);
+        state
     }
 
     /// Whether this server replicates from a primary (and must refuse
     /// writes).
     pub fn is_follower(&self) -> bool {
-        self.follower.is_some()
+        self.follower_role.load(Ordering::Acquire)
+    }
+
+    /// Registers the stop flag and thread handle of the local follower
+    /// poll loop so a later `PROMOTE` can halt it.
+    pub fn register_follower_loop(
+        &self,
+        stop: Arc<AtomicBool>,
+        handle: std::thread::JoinHandle<()>,
+    ) {
+        *self.follower_stop.lock().unwrap_or_else(|e| e.into_inner()) = Some((stop, handle));
+    }
+
+    /// Stops the registered follower poll loop and joins its thread, so
+    /// no in-flight poll can land frames after the caller moves on.
+    /// Idempotent; a no-op when no loop was registered (tests that step
+    /// `poll_once` by hand manage their own loop). Bounded by one
+    /// long-poll budget plus one reconnect backoff (a few seconds).
+    pub fn halt_follower_loop(&self) {
+        let taken = self
+            .follower_stop
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some((stop, handle)) = taken {
+            stop.store(true, Ordering::SeqCst);
+            let _ = handle.join();
+        }
+    }
+
+    /// Flips a follower server to primary: clears the follower role, so
+    /// the write gate opens and `STATS`/`METRICS` report the primary
+    /// view. Returns `false` (and changes nothing) when the server
+    /// already is a primary. The caller halts the poll loop and promotes
+    /// the underlying index *before* calling this — the role flips only
+    /// after the new timeline is durably installed.
+    pub fn promote_to_primary(&self) -> bool {
+        let mut follower = self.follower.lock().unwrap_or_else(|e| e.into_inner());
+        if follower.is_none() {
+            return false;
+        }
+        *follower = None;
+        drop(follower);
+        self.halt_follower_loop();
+        self.follower_role.store(false, Ordering::Release);
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Promotions served by this process.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Records that a higher-epoch peer fenced this server.
+    pub fn note_fenced(&self, epoch: u64) {
+        self.fenced_epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Epoch of the peer timeline that fenced this server (0 = never).
+    pub fn fenced_epoch(&self) -> u64 {
+        self.fenced_epoch.load(Ordering::Acquire)
     }
 
     /// Wakes long-polling `REPL` handlers after an acknowledged
@@ -219,7 +300,12 @@ impl ReplState {
     /// The `STATS` `REPL` line for this server, or `None` when it
     /// neither follows a primary nor has followers attached.
     pub fn stat_line(&self, backend: &Backend) -> Option<ReplStatLine> {
-        if let Some(f) = &self.follower {
+        let follower = self
+            .follower
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(f) = follower {
             let applied = match backend {
                 Backend::Single(shared) => shared.applied_lsn(),
                 Backend::Sharded(_) => 0,
@@ -314,6 +400,31 @@ pub fn serve_repl(backend: &Backend, repl: &ReplState, peer: &str, poll: ReplPol
             let guard = shared.read();
             let wal_epoch = shared.wal_epoch().unwrap_or(0);
             let next = shared.wal_next_lsn().unwrap_or(1);
+            // A poll from a NEWER epoch means a peer was promoted onto a
+            // timeline this server has never seen: this server is a
+            // deposed primary. Serving the generic mismatch path below
+            // would hand the caller a STALE snapshot and roll the new
+            // timeline back — instead, fence ourselves at the caller's
+            // epoch (persisted in the manifest, so a crash cannot
+            // unfence us) and answer read-only. This in-band handshake
+            // is how an ex-primary learns of its own demotion.
+            if epoch > wal_epoch {
+                drop(guard);
+                if let Err(e) = shared.fence_at(epoch) {
+                    return Response::Err {
+                        code: ErrCode::Io,
+                        msg: format!("failed to persist fence at epoch {epoch}: {e}"),
+                    };
+                }
+                repl.note_fenced(epoch);
+                return Response::Err {
+                    code: ErrCode::ReadOnly,
+                    msg: format!(
+                        "fenced: peer {peer} is on newer epoch {epoch} (local {wal_epoch}); \
+                         this ex-primary is read-only until it re-syncs from the new primary"
+                    ),
+                };
+            }
             // `from == 0` is the reserved bootstrap position: the
             // follower has no state at all, so no epoch's log can
             // cover it.
@@ -474,6 +585,10 @@ pub struct FollowerOpts {
     /// Directory holding the persisted replica position (the follower's
     /// WAL directory); `None` for an in-memory follower.
     pub state_dir: Option<PathBuf>,
+    /// Seed for the reconnect-backoff jitter. Followers in a fleet should
+    /// get distinct seeds so a primary restart does not make them all
+    /// re-dial in lockstep; equal seeds reproduce the exact schedule.
+    pub reconnect_seed: u64,
 }
 
 impl Default for FollowerOpts {
@@ -483,6 +598,7 @@ impl Default for FollowerOpts {
             wait_ms: 1000,
             pace_ms: 0,
             state_dir: None,
+            reconnect_seed: 0,
         }
     }
 }
@@ -601,6 +717,13 @@ impl Follower {
             Response::ReplFrames {
                 epoch, end, frames, ..
             } => {
+                // A promotion can race an in-flight long poll: this node
+                // may already be on a newer timeline than the primary
+                // that answered. Applying the stale batch would graft
+                // old-timeline writes onto the promoted state — drop it.
+                if epoch < replica_epoch(&self.shared) {
+                    return Ok(0);
+                }
                 let n = frames.len();
                 for op in &frames {
                     self.stats
@@ -640,6 +763,12 @@ impl Follower {
                 seq_len,
                 entries,
             } => {
+                // Same race as above, but worse: installing a stale
+                // snapshot would roll a freshly promoted node back to
+                // the deposed primary's state (and clear its fence).
+                if epoch < replica_epoch(&self.shared) {
+                    return Ok(0);
+                }
                 let n = entries.len();
                 self.install_snapshot(epoch, next, seq_len, entries)?;
                 self.synced = true;
@@ -691,6 +820,7 @@ impl Follower {
     /// a bounded backoff when the primary goes away (it re-handshakes on
     /// the primary's new epoch after a restart).
     pub fn run(mut self, stop: Arc<AtomicBool>) {
+        let mut rng = SeededRng::seed_from_u64(self.opts.reconnect_seed ^ 0x666f_6c6c_6f77_6572);
         let mut backoff = Duration::from_millis(50);
         while !stop.load(Ordering::SeqCst) {
             match self.poll_once() {
@@ -704,7 +834,13 @@ impl Follower {
                     // Sever the dead connection before backing off, so a
                     // restarting primary is not kept waiting on it.
                     self.client = None;
-                    std::thread::sleep(backoff);
+                    // Equal-jitter sleep in [backoff/2, backoff]: the cap
+                    // still bounds reconnect latency, but a fleet of
+                    // followers spreads its re-dials instead of hammering
+                    // a recovering primary in lockstep.
+                    let half = (backoff.as_millis() as u64) / 2;
+                    let jittered = rng.random_range(half..=half * 2);
+                    std::thread::sleep(Duration::from_millis(jittered));
                     backoff = (backoff * 2).min(Duration::from_secs(2));
                     if let Ok(client) = Client::connect(&self.primary) {
                         self.client = Some(client);

@@ -117,16 +117,31 @@ pub struct ServerHandle {
     acceptor: JoinHandle<()>,
     /// Shared metrics, exposed for in-process inspection.
     pub metrics: Arc<Registry>,
+    repl: Arc<ReplState>,
+    pool: Arc<WorkerPool>,
 }
 
 impl ServerHandle {
-    /// Requests shutdown and joins the acceptor (connection handlers and
-    /// workers drain and exit as their queues close).
+    /// The server's replication state — register the follower loop here
+    /// (see [`ReplState::register_follower_loop`]) so a later `PROMOTE`
+    /// can halt it.
+    pub fn repl(&self) -> &Arc<ReplState> {
+        &self.repl
+    }
+}
+
+impl ServerHandle {
+    /// Graceful shutdown: stops accepting, joins the acceptor, then
+    /// drains the worker pool — already-admitted requests finish and
+    /// answer their clients, later submissions from still-open
+    /// connections get the typed shutting-down error, and every worker
+    /// thread is joined before this returns.
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock accept() with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         let _ = self.acceptor.join();
+        self.pool.drain();
     }
 
     /// Blocks until the acceptor exits (i.e. forever, for a daemon).
@@ -169,6 +184,8 @@ pub fn serve_with(
     let live_conns = Arc::new(AtomicUsize::new(0));
     let max_conns = cfg.max_conns;
 
+    let repl_handle = Arc::clone(&repl);
+    let pool_handle = Arc::clone(&pool);
     let acceptor = {
         let (metrics, stop) = (Arc::clone(&metrics), Arc::clone(&stop));
         std::thread::Builder::new()
@@ -220,6 +237,8 @@ pub fn serve_with(
         stop,
         acceptor,
         metrics,
+        repl: repl_handle,
+        pool: pool_handle,
     })
 }
 
@@ -342,6 +361,7 @@ impl Request {
             Self::Trace { .. } => "trace",
             Self::Explain { .. } => "explain",
             Self::Repl { .. } => "repl",
+            Self::Promote => "promote",
             Self::Quit => "info",
         }
     }
@@ -456,6 +476,11 @@ fn execute(
                 if let Some(epoch) = shared.wal_epoch() {
                     info.push(("wal_epoch".into(), epoch.to_string()));
                 }
+                info.push(("fenced".into(), shared.is_fenced().to_string()));
+                let fence = shared.fence();
+                if fence > 0 {
+                    info.push(("fence_epoch".into(), fence.to_string()));
+                }
                 if repl.is_follower() {
                     info.push(("applied_lsn".into(), shared.applied_lsn().to_string()));
                 }
@@ -566,6 +591,32 @@ fn execute(
                 .collect();
             Response::Trace { events }
         }
+        Request::Promote => match backend {
+            Backend::Single(shared) => {
+                if !repl.is_follower() {
+                    return err(
+                        ErrCode::Query,
+                        "PROMOTE: this server is already a primary (or standalone)",
+                    );
+                }
+                // Halt the replication loop and wait out any in-flight
+                // poll BEFORE touching the index, so no frame or
+                // snapshot from the old timeline can land on (or roll
+                // back) the promoted state.
+                repl.halt_follower_loop();
+                match shared.promote() {
+                    Ok(epoch) => {
+                        repl.promote_to_primary();
+                        Response::Promoted { epoch }
+                    }
+                    Err(e) => durable_err(e),
+                }
+            }
+            Backend::Sharded(_) => err(
+                ErrCode::Query,
+                "PROMOTE requires a single-index server (shards replicate separately)",
+            ),
+        },
         // Both handled on the connection thread, never submitted here.
         Request::Repl { .. } | Request::Quit => Response::Ok,
     }
@@ -603,6 +654,9 @@ fn durable_err(e: DurableError) -> Response {
             err(ErrCode::Io, e.to_string())
         }
         gap @ DurableError::Gap { .. } => err(ErrCode::Server, gap.to_string()),
+        // A fenced node is read-only by definition: the same signal a
+        // follower sends, so FailoverClient chases both identically.
+        fenced @ DurableError::Fenced { .. } => err(ErrCode::ReadOnly, fenced.to_string()),
     }
 }
 

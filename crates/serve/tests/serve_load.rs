@@ -35,6 +35,8 @@ fn eight_connections_full_parity_and_live_stats() {
         // Same handle the server holds: every response is checked against
         // a single-threaded engine run over identical data.
         verify: Some(shared.clone()),
+        failover_to: Vec::new(),
+        timeout_ms: None,
     };
     let report = run(&load).unwrap();
 
@@ -97,6 +99,8 @@ fn busy_responses_are_counted_not_fatal() {
         rho: 0.96,
         engine: EngineKind::Mt,
         verify: None,
+        failover_to: Vec::new(),
+        timeout_ms: None,
     };
     let report = run(&load).unwrap();
     assert_eq!(report.total_ops(), 80, "closed loop completes every op");

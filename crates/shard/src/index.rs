@@ -124,6 +124,7 @@ impl From<DurableError> for ShardError {
             DurableError::Io(io) => Self::Io(io),
             DurableError::Poisoned => Self::Poisoned,
             gap @ DurableError::Gap { .. } => Self::Config(gap.to_string()),
+            fenced @ DurableError::Fenced { .. } => Self::Config(fenced.to_string()),
         }
     }
 }

@@ -92,6 +92,11 @@ pub struct WalStats {
 struct Inner {
     file: File,
     epoch: u64,
+    /// Fencing token from the manifest: the minimum epoch this node may
+    /// accept writes at (`0` = unfenced). A node whose `epoch` is below
+    /// its fence has been superseded by a promoted peer and must stay
+    /// read-only until it re-syncs onto the new timeline.
+    fence: u64,
     since_sync: u32,
     /// File length after the last fully-written frame (or the header).
     /// A failed append rewinds here so its torn bytes can never sit in
@@ -144,15 +149,19 @@ fn header_bytes(epoch: u64) -> [u8; HEADER_LEN as usize] {
     h
 }
 
-fn write_manifest(dir: &Path, epoch: u64) -> Result<(), WalError> {
-    atomic_write(
-        &dir.join(MANIFEST_FILE),
-        format!("simwal v1\nepoch {epoch}\n").as_bytes(),
-    )?;
+fn write_manifest(dir: &Path, epoch: u64, fence: u64) -> Result<(), WalError> {
+    let mut text = format!("simwal v1\nepoch {epoch}\n");
+    if fence > 0 {
+        // The fencing token: the minimum epoch this node may accept
+        // writes at. Omitted when unset, so pre-failover manifests and
+        // unfenced nodes keep the two-line format older readers expect.
+        text.push_str(&format!("fence {fence}\n"));
+    }
+    atomic_write(&dir.join(MANIFEST_FILE), text.as_bytes())?;
     Ok(())
 }
 
-fn read_manifest(dir: &Path) -> Result<Option<u64>, WalError> {
+fn read_manifest(dir: &Path) -> Result<Option<(u64, u64)>, WalError> {
     let text = match fs::read_to_string(dir.join(MANIFEST_FILE)) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -164,14 +173,21 @@ fn read_manifest(dir: &Path) -> Result<Option<u64>, WalError> {
             "manifest header is not `simwal v1`".into(),
         ));
     }
-    match lines.next().and_then(|l| l.strip_prefix("epoch ")) {
+    let epoch = match lines.next().and_then(|l| l.strip_prefix("epoch ")) {
         Some(n) => n
             .trim()
             .parse()
-            .map(Some)
-            .map_err(|_| WalError::Corrupt("manifest epoch is not a number".into())),
-        None => Err(WalError::Corrupt("manifest has no epoch line".into())),
-    }
+            .map_err(|_| WalError::Corrupt("manifest epoch is not a number".into()))?,
+        None => return Err(WalError::Corrupt("manifest has no epoch line".into())),
+    };
+    let fence = match lines.next().and_then(|l| l.strip_prefix("fence ")) {
+        Some(n) => n
+            .trim()
+            .parse()
+            .map_err(|_| WalError::Corrupt("manifest fence is not a number".into()))?,
+        None => 0,
+    };
+    Ok(Some((epoch, fence)))
 }
 
 impl Wal {
@@ -195,17 +211,20 @@ impl Wal {
     ) -> Result<(Self, Vec<WalOp>, ReplayReport), WalError> {
         let lock = DirLock::acquire(dir)?;
         let manifest = read_manifest(dir)?;
+        let fence = manifest.map_or(0, |(_, f)| f);
         let epoch = match manifest {
-            Some(m) if m > snapshot_epoch => {
+            Some((m, _)) if m > snapshot_epoch => {
                 return Err(WalError::EpochMismatch {
                     wal: m,
                     snapshot: snapshot_epoch,
                 })
             }
-            Some(m) if m == snapshot_epoch => m,
+            Some((m, _)) if m == snapshot_epoch => m,
             _ => {
-                // Missing or behind: (re)install the snapshot's epoch.
-                write_manifest(dir, snapshot_epoch)?;
+                // Missing or behind: (re)install the snapshot's epoch
+                // (keeping any fencing token — a crash can never unfence
+                // a demoted node).
+                write_manifest(dir, snapshot_epoch, fence)?;
                 snapshot_epoch
             }
         };
@@ -281,6 +300,7 @@ impl Wal {
             inner: Mutex::new(Inner {
                 file,
                 epoch,
+                fence,
                 since_sync: 0,
                 good_len,
                 durable_len: good_len,
@@ -414,7 +434,7 @@ impl Wal {
         // either installs the new manifest or leaves the old), so the old
         // epoch simply stays in force. A failure during the reset leaves
         // the file in an unknown half-reset state: poison.
-        write_manifest(&self.dir, new_epoch)?;
+        write_manifest(&self.dir, new_epoch, inner.fence)?;
         let reset = (|| {
             inner.file.set_len(0)?;
             inner.file.seek(SeekFrom::Start(0))?;
@@ -558,6 +578,35 @@ impl Wal {
     /// The epoch the log is currently at.
     pub fn epoch(&self) -> u64 {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).epoch
+    }
+
+    /// The fencing token: the minimum epoch this node may accept writes
+    /// at (`0` = unfenced).
+    pub fn fence(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).fence
+    }
+
+    /// Whether the fencing token forbids writes at the current epoch —
+    /// a peer was promoted past this node's timeline and this node has
+    /// not yet re-synced onto it.
+    pub fn is_fenced(&self) -> bool {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.fence > inner.epoch
+    }
+
+    /// Persists a new fencing token (`0` clears it). Durable before it
+    /// returns — a fenced node that crashes restarts fenced — and
+    /// deliberately *not* gated on poisoning: fencing is a safety
+    /// property, and refusing to fence a broken node would let it keep
+    /// acknowledging writes the new timeline will never contain.
+    pub fn set_fence(&self, fence: u64) -> Result<(), WalError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.fence == fence {
+            return Ok(());
+        }
+        write_manifest(&self.dir, inner.epoch, fence)?;
+        inner.fence = fence;
+        Ok(())
     }
 
     /// The directory this log lives in.
@@ -898,6 +947,60 @@ mod tests {
             Err(WalError::Locked { .. }) => {}
             other => panic!("expected Locked, got {other:?}"),
         }
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fence_persists_across_reopen_and_epoch_installs() {
+        let dir = tmp("fence");
+        {
+            let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            assert_eq!(wal.fence(), 0);
+            assert!(!wal.is_fenced());
+            // A higher-epoch peer fences this node.
+            wal.set_fence(3).unwrap();
+            assert_eq!(wal.fence(), 3);
+            assert!(wal.is_fenced());
+        }
+        // The token survives a restart …
+        {
+            let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            assert!(wal.is_fenced());
+            // … and an epoch install below the fence keeps the node
+            // fenced, while reaching the fence epoch unfences it.
+            wal.install_epoch(2).unwrap();
+            assert!(wal.is_fenced());
+            wal.install_epoch(3).unwrap();
+            assert_eq!(wal.fence(), 3);
+            assert!(!wal.is_fenced());
+        }
+        let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Always, 3).unwrap();
+        assert_eq!(wal.fence(), 3);
+        assert!(!wal.is_fenced());
+        // Clearing drops the manifest line entirely (back to the
+        // two-line format).
+        wal.set_fence(0).unwrap();
+        assert_eq!(wal.fence(), 0);
+        let text = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        assert_eq!(text, "simwal v1\nepoch 3\n");
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unfenced_manifest_reads_as_fence_zero() {
+        let dir = tmp("nofence");
+        {
+            let (wal, _, _) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            wal.append(&ins(0)).unwrap();
+        }
+        // Pre-failover manifests have no fence line at all.
+        let text = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        assert_eq!(text, "simwal v1\nepoch 1\n");
+        let (wal, replay, _) = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(wal.fence(), 0);
+        assert_eq!(replay.len(), 1);
         drop(wal);
         let _ = fs::remove_dir_all(&dir);
     }

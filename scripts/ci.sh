@@ -13,6 +13,10 @@
 #   scripts/ci.sh obs       # tier-2: METRICS/STATS exactness suite plus
 #                           # the obs_overhead gate (default sampling
 #                           # must cost <= 2% on the hot query path)
+#   scripts/ci.sh failover  # tier-2: epoch-fenced promotion at every
+#                           # frame boundary, FailoverClient through the
+#                           # seeded ChaosProxy (fixed seed matrix
+#                           # 0xC0FFEE1..3), graceful-shutdown drain
 #
 # The chaos stage replays the fixed seed ranges baked into tests/chaos.rs
 # and crates/serve/tests/chaos_loopback.rs. Every violation panics with
@@ -158,6 +162,35 @@ run_obs() {
     echo "ci: obs green"
 }
 
+run_failover() {
+    echo "== failover: promotion at every frame boundary + fencing =="
+    local log
+    log="$(mktemp)"
+    trap 'rm -f "$log"' RETURN
+    if ! cargo test --offline -p simserve --test failover_promotion -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "failover: FAILED — see output above"
+        echo "replay: cargo test -p simserve --test failover_promotion -- --nocapture"
+        return 1
+    fi
+    echo "== failover: FailoverClient through ChaosProxy (seeds 0xC0FFEE1..3) =="
+    if ! cargo test --offline -p simserve --test failover_chaos -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "failover: FAILED — offending seed(s):"
+        grep -o "seed [0-9a-fx]*[^\"]*" "$log" | sort -u | sed 's/^/  /' || true
+        echo "replay: cargo test -p simserve --test failover_chaos -- --nocapture"
+        return 1
+    fi
+    echo "== failover: graceful-shutdown drain =="
+    if ! cargo test --offline -p simserve --test shutdown_drain -- --nocapture 2>&1 | tee "$log"; then
+        echo
+        echo "failover: FAILED — see output above"
+        echo "replay: cargo test -p simserve --test shutdown_drain -- --nocapture"
+        return 1
+    fi
+    echo "ci: failover green"
+}
+
 case "$stage" in
 chaos)
     run_chaos
@@ -173,6 +206,9 @@ replication)
     ;;
 obs)
     run_obs
+    ;;
+failover)
+    run_failover
     ;;
 all)
     echo "== cargo build --release =="
@@ -190,7 +226,7 @@ all)
     echo "ci: all green"
     ;;
 *)
-    echo "usage: scripts/ci.sh [chaos|recovery|parity|replication|obs]" >&2
+    echo "usage: scripts/ci.sh [chaos|recovery|parity|replication|obs|failover]" >&2
     exit 2
     ;;
 esac

@@ -468,6 +468,7 @@ fn faulted_replay_is_typed_error_or_exact_result() {
                 | DurableError::Wal(_)
                 | DurableError::Io(_)
                 | DurableError::Poisoned
+                | DurableError::Fenced { .. }
                 | DurableError::Gap { .. },
             ) => errs += 1,
         }
